@@ -1,0 +1,162 @@
+//! Deep-ensemble baseline.
+//!
+//! The "traditional" uncertainty method the paper's memory comparisons
+//! weigh against (an ensemble stores E full model copies — the 10×32-bit
+//! baseline of the 158.7× claim). Provided so the uncertainty-quality
+//! experiments can compare the NeuSpin methods against the strongest
+//! software baseline.
+
+use crate::mc::{mc_predict_with, Predictive};
+use neuspin_nn::{Mode, Sequential, Tensor};
+use rand::rngs::StdRng;
+
+/// An ensemble of independently trained models, predicted by averaging
+/// member softmax outputs.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_bayes::{build_mlp, Ensemble, Method};
+/// use neuspin_nn::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let members = (0..3)
+///     .map(|_| build_mlp(Method::Deterministic, 16, 10, &mut rng))
+///     .collect();
+/// let mut ensemble = Ensemble::new(members);
+/// let x = Tensor::ones(&[2, 1, 16, 16]);
+/// let pred = ensemble.predict(&x, &mut rng);
+/// assert_eq!(pred.mean_probs.shape(), &[2, 10]);
+/// assert_eq!(pred.passes, 3);
+/// ```
+#[derive(Default)]
+pub struct Ensemble {
+    members: Vec<Sequential>,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ensemble({} members)", self.members.len())
+    }
+}
+
+impl Ensemble {
+    /// Wraps independently trained members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Sequential>) -> Self {
+        assert!(!members.is_empty(), "an ensemble needs at least one member");
+        Self { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Borrows member `i`.
+    pub fn member_mut(&mut self, i: usize) -> &mut Sequential {
+        &mut self.members[i]
+    }
+
+    /// Ensemble prediction: one `Eval` pass per member, averaged by the
+    /// shared MC machinery (each member counts as one "pass", so the
+    /// epistemic signal is the across-member disagreement).
+    pub fn predict(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
+        let members = &mut self.members;
+        mc_predict_with(members.len(), |k| members[k].forward(inputs, Mode::Eval, rng))
+    }
+
+    /// Total stored parameters across members (the memory cost the
+    /// sub-set VI comparison charges this baseline for).
+    pub fn total_params(&mut self) -> usize {
+        self.members.iter_mut().map(|m| m.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{build_mlp, Method};
+    use neuspin_nn::{cross_entropy, Adam, Optimizer};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(555)
+    }
+
+    #[test]
+    fn ensemble_disagreement_gives_epistemic_signal() {
+        let mut r = rng();
+        // Independently initialised (untrained) members disagree.
+        let members: Vec<Sequential> =
+            (0..4).map(|_| build_mlp(Method::Deterministic, 16, 10, &mut r)).collect();
+        let mut ens = Ensemble::new(members);
+        let x = Tensor::from_fn(&[3, 1, 16, 16], |i| (i as f32 * 0.013).sin());
+        let pred = ens.predict(&x, &mut r);
+        assert!(
+            pred.mutual_information.iter().any(|&mi| mi > 1e-3),
+            "disagreeing members must produce epistemic uncertainty: {:?}",
+            pred.mutual_information
+        );
+    }
+
+    #[test]
+    fn trained_members_agree_more_than_untrained() {
+        let mut r = rng();
+        let x = Tensor::from_fn(&[8, 1, 16, 16], |i| ((i * 13 % 7) as f32) / 7.0);
+        let labels = vec![0usize, 1, 2, 3, 0, 1, 2, 3];
+        let train = |r: &mut StdRng| {
+            let mut m = build_mlp(Method::Deterministic, 16, 10, r);
+            let mut opt = Adam::new(0.01);
+            for _ in 0..60 {
+                m.zero_grad();
+                let logits = m.forward(&x, Mode::Train, r);
+                let (_, grad) = cross_entropy(&logits, &labels);
+                m.backward(&grad);
+                opt.step(&mut m);
+            }
+            m
+        };
+        let mut untrained = Ensemble::new(
+            (0..3).map(|_| build_mlp(Method::Deterministic, 16, 10, &mut r)).collect(),
+        );
+        let mut trained = Ensemble::new((0..3).map(|_| train(&mut r)).collect());
+        let mi = |p: &Predictive| p.mutual_information.iter().sum::<f64>();
+        let p_untrained = untrained.predict(&x, &mut r);
+        let p_trained = trained.predict(&x, &mut r);
+        assert!(
+            mi(&p_trained) < mi(&p_untrained),
+            "fitting the same data must shrink disagreement: {} vs {}",
+            mi(&p_trained),
+            mi(&p_untrained)
+        );
+    }
+
+    #[test]
+    fn param_accounting_scales_with_members() {
+        let mut r = rng();
+        let one = build_mlp(Method::Deterministic, 16, 10, &mut r);
+        let mut single = Ensemble::new(vec![one]);
+        let base = single.total_params();
+        let mut five = Ensemble::new(
+            (0..5).map(|_| build_mlp(Method::Deterministic, 16, 10, &mut r)).collect(),
+        );
+        assert_eq!(five.total_params(), 5 * base);
+        assert_eq!(five.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = Ensemble::new(vec![]);
+    }
+}

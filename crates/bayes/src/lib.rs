@@ -1,0 +1,38 @@
+//! # neuspin-bayes — Bayesian methods and uncertainty metrics
+//!
+//! The algorithmic half of the NeuSpin co-design: Monte-Carlo
+//! predictive inference ([`mc`]), the paper's method zoo ([`methods`]),
+//! variational sub-set inference ([`vi`]), the SpinBayes in-memory
+//! posterior approximation ([`spinbayes`]), and the uncertainty-quality
+//! metrics the experiments report ([`metrics`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use neuspin_bayes::{build_mlp, mc_predict, Method};
+//! use neuspin_nn::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = build_mlp(Method::SpinDrop, 32, 10, &mut rng);
+//! let x = Tensor::ones(&[4, 1, 16, 16]);
+//! let pred = mc_predict(&mut model, &x, 10, &mut rng);
+//! assert_eq!(pred.mean_probs.shape(), &[4, 10]);
+//! assert!(pred.entropy.iter().all(|&h| h >= 0.0));
+//! ```
+
+pub mod ensemble;
+pub mod mc;
+pub mod methods;
+pub mod metrics;
+pub mod spinbayes;
+pub mod vi;
+
+pub use ensemble::Ensemble;
+pub use mc::{eval_predict, mc_predict, mc_predict_with, Predictive};
+pub use methods::{
+    build_cnn, build_fp_mlp, build_mlp, calibrate_norm, spinbayes_from_mlp, ArchConfig, Method,
+};
+pub use metrics::{auroc, brier, detection_rate_at_95, ece, rmse};
+pub use spinbayes::{quantize, SpinBayesConfig, SpinBayesLinear};
+pub use vi::{ScalePrior, ViScale};

@@ -1,0 +1,236 @@
+//! Monte-Carlo Bayesian prediction.
+//!
+//! All NeuSpin methods share the same inference recipe: run `T`
+//! stochastic forward passes (dropout / scale / affine masks or
+//! posterior samples active), average the softmax outputs, and derive
+//! uncertainty from the spread. [`mc_predict`] runs it on a software
+//! [`Sequential`]; [`mc_predict_with`] runs it on *any* forward function
+//! — that is how the hardware-in-the-loop runtime in `neuspin-core`
+//! reuses this code path unchanged.
+
+use neuspin_nn::{softmax, Mode, Sequential, Tensor};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The output of a Monte-Carlo predictive pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predictive {
+    /// Mean softmax probabilities `[N, C]`.
+    pub mean_probs: Tensor,
+    /// Predictive entropy per sample (total uncertainty), nats.
+    pub entropy: Vec<f64>,
+    /// Mutual information per sample (epistemic part):
+    /// `H(mean) − mean(H(sample))`.
+    pub mutual_information: Vec<f64>,
+    /// Mean over classes of the across-pass probability variance.
+    pub variance: Vec<f64>,
+    /// Number of MC passes.
+    pub passes: usize,
+}
+
+impl Predictive {
+    /// Argmax class per sample.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.mean_probs.argmax_rows()
+    }
+
+    /// Classification accuracy against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size.
+    pub fn accuracy(&self, labels: &[usize]) -> f64 {
+        let preds = self.predictions();
+        assert_eq!(preds.len(), labels.len(), "label count mismatch");
+        if preds.is_empty() {
+            return 0.0;
+        }
+        let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        hits as f64 / preds.len() as f64
+    }
+
+    /// Confidence (max mean probability) per sample.
+    pub fn confidence(&self) -> Vec<f64> {
+        let (n, c) = (self.mean_probs.shape()[0], self.mean_probs.shape()[1]);
+        (0..n)
+            .map(|i| {
+                (0..c)
+                    .map(|j| self.mean_probs[i * c + j] as f64)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+}
+
+fn entropy_of(row: &[f32]) -> f64 {
+    -row.iter()
+        .map(|&p| {
+            let p = p as f64;
+            if p > 1e-12 {
+                p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+}
+
+/// Runs `passes` stochastic forward passes of an arbitrary logit
+/// function and aggregates them into a [`Predictive`].
+///
+/// The closure receives the pass index and must return logits `[N, C]`
+/// for the whole batch with fresh stochasticity each call.
+///
+/// # Panics
+///
+/// Panics if `passes == 0` or the closure returns inconsistent shapes.
+pub fn mc_predict_with(passes: usize, mut forward: impl FnMut(usize) -> Tensor) -> Predictive {
+    assert!(passes > 0, "need at least one MC pass");
+    let first = softmax(&forward(0));
+    let (n, c) = (first.shape()[0], first.shape()[1]);
+    let mut sum = first.clone();
+    let mut sum_sq = &first * &first;
+    let mut sum_entropy: Vec<f64> = (0..n).map(|i| entropy_of(first.row(i))).collect();
+    for t in 1..passes {
+        let probs = softmax(&forward(t));
+        assert_eq!(probs.shape(), first.shape(), "inconsistent logit shapes across passes");
+        sum.axpy(1.0, &probs);
+        sum_sq.axpy(1.0, &(&probs * &probs));
+        for i in 0..n {
+            sum_entropy[i] += entropy_of(probs.row(i));
+        }
+    }
+    let tf = passes as f32;
+    let mean_probs = sum.map(|v| v / tf);
+    let entropy: Vec<f64> = (0..n).map(|i| entropy_of(mean_probs.row(i))).collect();
+    let mutual_information: Vec<f64> = (0..n)
+        .map(|i| (entropy[i] - sum_entropy[i] / passes as f64).max(0.0))
+        .collect();
+    let variance: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..c)
+                .map(|j| {
+                    let m = mean_probs[i * c + j] as f64;
+                    (sum_sq[i * c + j] as f64 / passes as f64) - m * m
+                })
+                .sum::<f64>()
+                .max(0.0)
+                / c as f64
+        })
+        .collect();
+    Predictive { mean_probs, entropy, mutual_information, variance, passes }
+}
+
+/// Monte-Carlo prediction of a software model: `passes` forward passes
+/// in [`Mode::Sample`].
+pub fn mc_predict(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    passes: usize,
+    rng: &mut StdRng,
+) -> Predictive {
+    mc_predict_with(passes, |_| model.forward(inputs, Mode::Sample, rng))
+}
+
+/// Deterministic (single `Eval` pass) prediction wrapped in the same
+/// report type, for baseline comparisons.
+pub fn eval_predict(model: &mut Sequential, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
+    mc_predict_with(1, |_| model.forward(inputs, Mode::Eval, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_nn::{Dropout, Linear};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    fn dropout_model(r: &mut StdRng) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Linear::new(4, 16, r));
+        m.push(Dropout::new(0.5));
+        m.push(Linear::new(16, 3, r));
+        m
+    }
+
+    #[test]
+    fn shapes_and_bounds() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::ones(&[5, 4]);
+        let p = mc_predict(&mut m, &x, 8, &mut r);
+        assert_eq!(p.mean_probs.shape(), &[5, 3]);
+        assert_eq!(p.entropy.len(), 5);
+        assert_eq!(p.passes, 8);
+        for i in 0..5 {
+            let row_sum: f32 = p.mean_probs.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-4);
+            assert!(p.entropy[i] >= 0.0 && p.entropy[i] <= (3.0f64).ln() + 1e-9);
+            assert!(p.mutual_information[i] >= 0.0);
+            assert!(p.mutual_information[i] <= p.entropy[i] + 1e-9);
+            assert!(p.variance[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_model_has_zero_mi() {
+        let mut r = rng();
+        let mut m = Sequential::new();
+        m.push(Linear::new(4, 3, &mut r));
+        let x = Tensor::ones(&[2, 4]);
+        let p = mc_predict(&mut m, &x, 6, &mut r);
+        for mi in &p.mutual_information {
+            assert!(*mi < 1e-6, "no stochastic layers → no epistemic uncertainty");
+        }
+        for v in &p.variance {
+            assert!(*v < 1e-6, "f32 rounding only");
+        }
+    }
+
+    #[test]
+    fn stochastic_model_has_positive_mi() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.61).sin() * 2.0);
+        let p = mc_predict(&mut m, &x, 32, &mut r);
+        assert!(p.mutual_information.iter().any(|&mi| mi > 1e-4), "{:?}", p.mutual_information);
+    }
+
+    #[test]
+    fn accuracy_and_confidence() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]);
+        let p = Predictive {
+            mean_probs: probs,
+            entropy: vec![0.0; 2],
+            mutual_information: vec![0.0; 2],
+            variance: vec![0.0; 2],
+            passes: 1,
+        };
+        assert_eq!(p.predictions(), vec![0, 1]);
+        assert_eq!(p.accuracy(&[0, 1]), 1.0);
+        assert_eq!(p.accuracy(&[1, 1]), 0.5);
+        assert!((p.confidence()[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_passes_stabilize_mean() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::ones(&[1, 4]);
+        let reference = mc_predict(&mut m, &x, 600, &mut r);
+        let small_a = mc_predict(&mut m, &x, 4, &mut r);
+        let big_a = mc_predict(&mut m, &x, 200, &mut r);
+        let dev =
+            |p: &Predictive| (&p.mean_probs - &reference.mean_probs).map(f32::abs).max();
+        assert!(dev(&big_a) < dev(&small_a) + 0.05, "law of large numbers");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MC pass")]
+    fn zero_passes_rejected() {
+        let _ = mc_predict_with(0, |_| Tensor::zeros(&[1, 2]));
+    }
+}

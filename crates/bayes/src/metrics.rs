@@ -1,0 +1,205 @@
+//! Uncertainty-quality metrics: calibration (ECE, Brier), OOD
+//! separability (AUROC, detection rate at 95 % TPR), and regression
+//! RMSE.
+
+use neuspin_nn::Tensor;
+
+/// Expected calibration error over `bins` equal-width confidence bins.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `bins == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_bayes::metrics::ece;
+/// use neuspin_nn::Tensor;
+///
+/// // Perfectly confident and correct → zero calibration error.
+/// let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert!(ece(&probs, &[0, 1], 10) < 1e-9);
+/// ```
+pub fn ece(mean_probs: &Tensor, labels: &[usize], bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    let (n, c) = (mean_probs.shape()[0], mean_probs.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_acc = vec![0.0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    for i in 0..n {
+        let row = mean_probs.row(i);
+        let (pred, conf) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, &p)| (j, p as f64))
+            .unwrap_or((0, 0.0));
+        let b = ((conf * bins as f64) as usize).min(bins - 1);
+        bin_conf[b] += conf;
+        bin_acc[b] += f64::from(pred == labels[i]);
+        bin_count[b] += 1;
+        let _ = c;
+    }
+    let mut total = 0.0;
+    for b in 0..bins {
+        if bin_count[b] > 0 {
+            let conf = bin_conf[b] / bin_count[b] as f64;
+            let acc = bin_acc[b] / bin_count[b] as f64;
+            total += (bin_count[b] as f64 / n as f64) * (conf - acc).abs();
+        }
+    }
+    total
+}
+
+/// Brier score: mean squared error between the probability vector and
+/// the one-hot label.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn brier(mean_probs: &Tensor, labels: &[usize]) -> f64 {
+    let (n, c) = (mean_probs.shape()[0], mean_probs.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..c {
+            let target = f64::from(labels[i] == j);
+            let p = mean_probs[i * c + j] as f64;
+            total += (p - target).powi(2);
+        }
+    }
+    total / n as f64
+}
+
+/// Area under the ROC curve for separating `positive` scores (should be
+/// high) from `negative` scores, computed by the Mann–Whitney statistic
+/// with tie correction.
+///
+/// Returns 0.5 when either side is empty.
+pub fn auroc(positive: &[f64], negative: &[f64]) -> f64 {
+    if positive.is_empty() || negative.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &p in positive {
+        for &n in negative {
+            if p > n {
+                wins += 1.0;
+            } else if (p - n).abs() < 1e-15 {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positive.len() * negative.len()) as f64
+}
+
+/// OOD detection rate at the 95 %-TPR operating point: the threshold is
+/// the 5th percentile of the in-distribution scores (so 95 % of ID
+/// samples score above it when higher = more OOD is flipped; here
+/// *higher score = more OOD*, so the threshold keeps 95 % of ID below),
+/// and the detection rate is the fraction of OOD samples above it.
+///
+/// Returns 0 when either slice is empty.
+pub fn detection_rate_at_95(id_scores: &[f64], ood_scores: &[f64]) -> f64 {
+    if id_scores.is_empty() || ood_scores.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = id_scores.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() as f64) * 0.95).floor() as usize;
+    let threshold = sorted[idx.min(sorted.len() - 1)];
+    let detected = ood_scores.iter().filter(|&&s| s > threshold).count();
+    detected as f64 / ood_scores.len() as f64
+}
+
+/// Root-mean-square error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or inputs are empty.
+pub fn rmse(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    assert!(!pred.is_empty(), "empty tensors");
+    let sum: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    (sum / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ece_zero_for_perfect_calibration() {
+        let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!(ece(&probs, &[0, 1, 0], 15) < 1e-9);
+    }
+
+    #[test]
+    fn ece_high_for_confident_errors() {
+        let probs = Tensor::from_vec(vec![0.99, 0.01, 0.99, 0.01], &[2, 2]);
+        // Always predicts 0, always wrong.
+        let e = ece(&probs, &[1, 1], 10);
+        assert!(e > 0.9, "ece {e}");
+    }
+
+    #[test]
+    fn brier_bounds() {
+        let perfect = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        assert!(brier(&perfect, &[0]) < 1e-12);
+        let worst = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        assert!((brier(&worst, &[0]) - 2.0).abs() < 1e-12);
+        let uniform = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]);
+        assert!((brier(&uniform, &[0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_separable() {
+        let pos = [0.9, 0.8, 0.95];
+        let neg = [0.1, 0.2, 0.3];
+        assert_eq!(auroc(&pos, &neg), 1.0);
+        assert_eq!(auroc(&neg, &pos), 0.0);
+    }
+
+    #[test]
+    fn auroc_random_is_half() {
+        let a = [0.5, 0.5];
+        assert_eq!(auroc(&a, &a), 0.5);
+        assert_eq!(auroc(&[], &a), 0.5);
+    }
+
+    #[test]
+    fn detection_rate_perfect_separation() {
+        let id: Vec<f64> = (0..100).map(|i| i as f64 / 1000.0).collect(); // 0..0.1
+        let ood: Vec<f64> = (0..50).map(|i| 1.0 + i as f64).collect();
+        assert_eq!(detection_rate_at_95(&id, &ood), 1.0);
+    }
+
+    #[test]
+    fn detection_rate_overlapping() {
+        let id: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let ood = id.clone();
+        let rate = detection_rate_at_95(&id, &ood);
+        assert!(rate < 0.1, "identical distributions detect ~5 %, got {rate}");
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+        // sqrt((1 + 4)/2) = sqrt(2.5)
+        assert!((rmse(&a, &b) - 2.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn ece_rejects_bad_labels() {
+        let probs = Tensor::zeros(&[2, 2]);
+        let _ = ece(&probs, &[0], 10);
+    }
+}

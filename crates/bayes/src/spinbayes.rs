@@ -1,0 +1,316 @@
+//! SpinBayes: Bayesian in-memory approximation (§III-B2, Fig. 3).
+//!
+//! The idea: instead of sampling weights on the fly (expensive in CIM),
+//! approximate the posterior by `N` *pre-programmed, quantized* weight
+//! instances per layer — each instance lives in its own multi-level
+//! crossbar — and let a stochastic Arbiter pick one instance per
+//! forward pass. Sampling then costs `⌈log₂N⌉` RNG bits per layer per
+//! pass instead of one gaussian per weight.
+//!
+//! [`SpinBayesLinear`] is the software model of such a layer:
+//! inference-only (built *post-training* from a trained layer), with
+//! CIM-aware post-training quantization baked into each instance.
+
+use neuspin_nn::{Layer, Mode, Param, Tensor};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Quantizes a value to `levels` uniform levels over `[-w_max, w_max]`
+/// (saturating) — the CIM-aware post-training quantization.
+///
+/// # Panics
+///
+/// Panics if `levels < 2` or `w_max <= 0`.
+pub fn quantize(w: f32, levels: usize, w_max: f32) -> f32 {
+    assert!(levels >= 2, "need at least two levels");
+    assert!(w_max > 0.0, "w_max must be positive");
+    let steps = (levels - 1) as f32;
+    let clipped = w.clamp(-w_max, w_max);
+    let frac = (clipped + w_max) / (2.0 * w_max);
+    let level = (frac * steps).round();
+    (level / steps) * 2.0 * w_max - w_max
+}
+
+/// Configuration of the in-memory posterior approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpinBayesConfig {
+    /// Number of posterior instances (crossbars) per layer.
+    pub instances: usize,
+    /// Conductance levels per cell (multi-level MTJ design).
+    pub levels: usize,
+    /// Relative posterior std: instance weights are sampled from
+    /// `N(w, (rel_sigma · rms(W))²)` around the trained weights.
+    pub rel_sigma: f32,
+    /// Weight clipping range for quantization.
+    pub w_max: f32,
+}
+
+impl Default for SpinBayesConfig {
+    fn default() -> Self {
+        Self { instances: 8, levels: 9, rel_sigma: 0.1, w_max: 1.0 }
+    }
+}
+
+/// An inference-only linear layer whose weight posterior is
+/// approximated by `N` quantized instances; each forward pass selects
+/// one uniformly at random (the Arbiter's one-hot selection).
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_bayes::spinbayes::{SpinBayesConfig, SpinBayesLinear};
+/// use neuspin_nn::{Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = Tensor::from_vec(vec![0.5, -0.5, 0.25, 0.75], &[2, 2]);
+/// let b = Tensor::zeros(&[2]);
+/// let layer = SpinBayesLinear::from_weights(&w, &b, &SpinBayesConfig::default(), &mut rng);
+/// assert_eq!(layer.instance_count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpinBayesLinear {
+    /// Quantized weight instances, each `[out, in]`.
+    instances: Vec<Tensor>,
+    bias: Tensor,
+    in_features: usize,
+    out_features: usize,
+    selected: usize,
+    input: Option<Tensor>,
+    draws: u64,
+}
+
+impl SpinBayesLinear {
+    /// Builds the posterior approximation around trained weights
+    /// `[out, in]` and bias `[out]`.
+    ///
+    /// Instance 0 is the quantized mean itself; instances 1.. are
+    /// quantized perturbations `N(w, (rel_sigma·rms)²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight tensor is not 2-D, the bias length differs,
+    /// or the config is degenerate.
+    pub fn from_weights(
+        weights: &Tensor,
+        bias: &Tensor,
+        config: &SpinBayesConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(weights.ndim(), 2, "weights must be [out, in]");
+        assert!(config.instances >= 1, "need at least one instance");
+        let (out_features, in_features) = (weights.shape()[0], weights.shape()[1]);
+        assert_eq!(bias.len(), out_features, "bias length mismatch");
+        let rms = (weights.norm_sq() / weights.len() as f32).sqrt().max(1e-8);
+        let sigma = config.rel_sigma * rms;
+        let mut instances = Vec::with_capacity(config.instances);
+        for k in 0..config.instances {
+            let mut inst = weights.clone();
+            for w in inst.as_mut_slice() {
+                let perturbed = if k == 0 {
+                    *w
+                } else {
+                    *w + sigma * neuspin_device::stats::standard_normal(rng) as f32
+                };
+                *w = quantize(perturbed, config.levels, config.w_max);
+            }
+            instances.push(inst);
+        }
+        Self {
+            instances,
+            bias: bias.clone(),
+            in_features,
+            out_features,
+            selected: 0,
+            input: None,
+            draws: 0,
+        }
+    }
+
+    /// Number of posterior instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The instance the last forward pass used.
+    pub fn last_selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Arbiter draws so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Borrow instance `k`'s quantized weights.
+    pub fn instance(&self, k: usize) -> &Tensor {
+        &self.instances[k]
+    }
+}
+
+impl Layer for SpinBayesLinear {
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut StdRng) -> Tensor {
+        assert_eq!(input.ndim(), 2, "SpinBayesLinear expects [N, in]");
+        assert_eq!(input.shape()[1], self.in_features, "feature mismatch");
+        self.selected = if mode.stochastic() && self.instances.len() > 1 {
+            self.draws += 1;
+            rng.random_range(0..self.instances.len())
+        } else {
+            0 // Eval: the quantized-mean instance
+        };
+        self.input = Some(input.clone());
+        let w = &self.instances[self.selected];
+        let mut out = input.matmul(&w.transpose());
+        let (n, f) = (out.shape()[0], out.shape()[1]);
+        for i in 0..n {
+            for j in 0..f {
+                out[i * f + j] += self.bias[j];
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Inference-only layer: weights are frozen posterior samples.
+        // Gradients flow to the input through the selected instance so
+        // the layer composes inside larger (partly trainable) models.
+        let _ = self.input.as_ref().expect("backward before forward");
+        grad_out.matmul(&self.instances[self.selected])
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&str, &mut Param)) {
+        // Frozen — no trainable parameters.
+    }
+
+    fn name(&self) -> &'static str {
+        "SpinBayesLinear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn quantize_endpoints_and_middle() {
+        assert_eq!(quantize(1.0, 5, 1.0), 1.0);
+        assert_eq!(quantize(-1.0, 5, 1.0), -1.0);
+        assert_eq!(quantize(0.0, 5, 1.0), 0.0);
+        assert_eq!(quantize(0.6, 5, 1.0), 0.5);
+        assert_eq!(quantize(2.0, 5, 1.0), 1.0, "saturates");
+    }
+
+    #[test]
+    fn quantize_error_bounded() {
+        let levels = 9;
+        let step = 2.0 / (levels - 1) as f32;
+        for i in -20..=20 {
+            let w = i as f32 * 0.05;
+            let q = quantize(w, levels, 1.0);
+            assert!((q - w).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn instance_zero_is_quantized_mean() {
+        let mut r = rng();
+        let w = Tensor::from_vec(vec![0.3, -0.8, 0.55, 0.0], &[2, 2]);
+        let layer = SpinBayesLinear::from_weights(
+            &w,
+            &Tensor::zeros(&[2]),
+            &SpinBayesConfig { instances: 4, levels: 5, rel_sigma: 0.2, w_max: 1.0 },
+            &mut r,
+        );
+        for i in 0..4 {
+            assert_eq!(layer.instance(0)[i], quantize(w[i], 5, 1.0));
+        }
+    }
+
+    #[test]
+    fn instances_differ_but_cluster_around_mean() {
+        let mut r = rng();
+        let w = Tensor::from_fn(&[8, 8], |i| ((i * 13 % 17) as f32 / 8.5) - 1.0);
+        let layer = SpinBayesLinear::from_weights(
+            &w,
+            &Tensor::zeros(&[8]),
+            &SpinBayesConfig::default(),
+            &mut r,
+        );
+        let mean_inst = layer.instance(0);
+        let mut any_diff = false;
+        for k in 1..layer.instance_count() {
+            let d = (layer.instance(k) - mean_inst).map(f32::abs).max();
+            if d > 0.0 {
+                any_diff = true;
+            }
+            assert!(d < 1.0, "perturbations stay local");
+        }
+        assert!(any_diff, "posterior must have spread");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut r = rng();
+        let w = Tensor::from_fn(&[4, 4], |i| (i as f32 * 0.37).sin());
+        let mut layer = SpinBayesLinear::from_weights(
+            &w,
+            &Tensor::zeros(&[4]),
+            &SpinBayesConfig::default(),
+            &mut r,
+        );
+        let x = Tensor::ones(&[1, 4]);
+        let y1 = layer.forward(&x, Mode::Eval, &mut r);
+        let y2 = layer.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y1, y2);
+        assert_eq!(layer.last_selected(), 0);
+        assert_eq!(layer.draws(), 0);
+    }
+
+    #[test]
+    fn sample_mode_varies_instances() {
+        let mut r = rng();
+        let w = Tensor::from_fn(&[4, 8], |i| ((i * 7 % 13) as f32 / 6.0) - 1.0);
+        let mut layer = SpinBayesLinear::from_weights(
+            &w,
+            &Tensor::zeros(&[4]),
+            &SpinBayesConfig { instances: 8, rel_sigma: 0.3, ..Default::default() },
+            &mut r,
+        );
+        let x = Tensor::ones(&[1, 8]);
+        let outs: Vec<Tensor> = (0..20).map(|_| layer.forward(&x, Mode::Sample, &mut r)).collect();
+        let distinct = outs.iter().any(|o| (o - &outs[0]).map(f32::abs).max() > 1e-6);
+        assert!(distinct, "different instances must give different outputs");
+        assert_eq!(layer.draws(), 20);
+    }
+
+    #[test]
+    fn backward_flows_through_selected_instance() {
+        let mut r = rng();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let mut layer = SpinBayesLinear::from_weights(
+            &w,
+            &Tensor::zeros(&[2]),
+            &SpinBayesConfig { instances: 1, levels: 3, rel_sigma: 0.0, w_max: 1.0 },
+            &mut r,
+        );
+        let x = Tensor::ones(&[1, 2]);
+        let _ = layer.forward(&x, Mode::Eval, &mut r);
+        let g = layer.backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        assert_eq!(g.as_slice(), &[1.0, 2.0], "identity instance passes grads");
+    }
+}

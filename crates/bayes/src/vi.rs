@@ -1,0 +1,310 @@
+//! Bayesian sub-set parameter inference (§III-B1): variational
+//! inference applied to the *scale vector only*.
+//!
+//! The weights stay deterministic (binary, maximum-likelihood trained);
+//! Bayesian treatment is reserved for the small per-feature scale
+//! vector, whose Gaussian posterior `q(s) = N(μ, σ²)` is learned by the
+//! reparameterization trick. This is what makes the method's memory
+//! footprint ~2 distribution parameters per *feature* instead of 2 per
+//! *weight* — the source of the paper's 158.7× memory saving.
+
+use neuspin_nn::{Layer, Mode, Param, Tensor};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+fn softplus(x: f32) -> f32 {
+    // Numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Gaussian prior over the scale entries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePrior {
+    /// Prior mean (1.0: scales centred at identity).
+    pub mean: f32,
+    /// Prior standard deviation.
+    pub std: f32,
+}
+
+impl Default for ScalePrior {
+    fn default() -> Self {
+        Self { mean: 1.0, std: 0.25 }
+    }
+}
+
+/// A variational scale layer: `y = x ⊙ s`, `s ~ N(μ, softplus(ρ)²)`.
+///
+/// One posterior sample is drawn per forward pass (shared across the
+/// batch — this mirrors the hardware, which programs one sampled scale
+/// into the scale memory per inference pass). In [`Mode::Eval`] the
+/// posterior mean is used.
+///
+/// [`Layer::reg_loss`] returns the KL divergence to the prior
+/// (scaled by `strength`), accumulating its gradients — add it to the
+/// data loss for the ELBO.
+#[derive(Debug, Clone)]
+pub struct ViScale {
+    mu: Param,
+    rho: Param,
+    prior: ScalePrior,
+    features: usize,
+    // Caches.
+    input: Option<Tensor>,
+    epsilon: Vec<f32>,
+    sampled: Vec<f32>,
+    stochastic: bool,
+}
+
+impl ViScale {
+    /// Creates the layer over `features` features/channels with the
+    /// default prior; μ initialises to 1, σ to ≈ 0.05.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`.
+    pub fn new(features: usize) -> Self {
+        Self::with_prior(features, ScalePrior::default())
+    }
+
+    /// Creates the layer with an explicit prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0` or the prior std is not positive.
+    pub fn with_prior(features: usize, prior: ScalePrior) -> Self {
+        assert!(features > 0, "features must be positive");
+        assert!(prior.std > 0.0 && prior.std.is_finite(), "prior std must be positive");
+        // softplus(ρ0) = 0.05.
+        let rho0 = (0.05f32.exp() - 1.0).ln();
+        Self {
+            mu: Param::new(Tensor::ones(&[features])),
+            rho: Param::new(Tensor::full(&[features], rho0)),
+            prior,
+            features,
+            input: None,
+            epsilon: vec![],
+            sampled: vec![],
+            stochastic: false,
+        }
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Posterior means.
+    pub fn mu(&self) -> &Tensor {
+        &self.mu.value
+    }
+
+    /// Posterior standard deviations (`softplus(ρ)`).
+    pub fn sigma(&self) -> Vec<f32> {
+        self.rho.value.as_slice().iter().map(|&r| softplus(r)).collect()
+    }
+
+    /// The prior.
+    pub fn prior(&self) -> ScalePrior {
+        self.prior
+    }
+
+    /// Distribution-parameter count (μ and ρ): the "Bayesian memory"
+    /// this method pays for, versus two per *weight* in full VI.
+    pub fn bayesian_params(&self) -> usize {
+        2 * self.features
+    }
+
+    /// RNG draws per stochastic pass: one gaussian per feature.
+    pub fn rng_draws_per_pass(&self) -> usize {
+        self.features
+    }
+
+    fn layout(&self, shape: &[usize]) -> (usize, usize) {
+        match shape.len() {
+            2 => (shape[1], 1),
+            4 => (shape[1], shape[2] * shape[3]),
+            _ => panic!("ViScale expects [N,F] or [N,C,H,W], got {shape:?}"),
+        }
+    }
+}
+
+impl Layer for ViScale {
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut StdRng) -> Tensor {
+        let (f, spatial) = self.layout(input.shape());
+        assert_eq!(f, self.features, "feature mismatch: {f} vs {}", self.features);
+        let n = input.shape()[0];
+        self.stochastic = mode.stochastic();
+        self.epsilon = if self.stochastic {
+            (0..f)
+                .map(|_| neuspin_device::stats::standard_normal(rng) as f32)
+                .collect()
+        } else {
+            vec![0.0; f]
+        };
+        self.sampled = (0..f)
+            .map(|j| self.mu.value[j] + softplus(self.rho.value[j]) * self.epsilon[j])
+            .collect();
+        self.input = Some(input.clone());
+        let mut out = Tensor::zeros(input.shape());
+        for ni in 0..n {
+            for fi in 0..f {
+                let s = self.sampled[fi];
+                for si in 0..spatial {
+                    let i = (ni * f + fi) * spatial + si;
+                    out[i] = input[i] * s;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("backward before forward");
+        let (f, spatial) = self.layout(grad_out.shape());
+        let n = grad_out.shape()[0];
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        for fi in 0..f {
+            let s = self.sampled[fi];
+            let mut ds = 0.0f32;
+            for ni in 0..n {
+                for si in 0..spatial {
+                    let i = (ni * f + fi) * spatial + si;
+                    ds += grad_out[i] * input[i];
+                    grad_in[i] = grad_out[i] * s;
+                }
+            }
+            // Reparameterization: s = μ + softplus(ρ)·ε.
+            self.mu.grad[fi] += ds;
+            self.rho.grad[fi] += ds * self.epsilon[fi] * sigmoid(self.rho.value[fi]);
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("mu", &mut self.mu);
+        f("rho", &mut self.rho);
+    }
+
+    fn reg_loss(&mut self, strength: f32) -> f32 {
+        // KL(N(μ,σ²) ‖ N(m, p²)) = ln(p/σ) + (σ² + (μ−m)²)/(2p²) − ½.
+        let (m, p) = (self.prior.mean, self.prior.std);
+        let p_sq = p * p;
+        let mut total = 0.0f32;
+        for j in 0..self.features {
+            let mu = self.mu.value[j];
+            let rho = self.rho.value[j];
+            let sigma = softplus(rho);
+            total += (p / sigma).ln() + (sigma * sigma + (mu - m) * (mu - m)) / (2.0 * p_sq) - 0.5;
+            let d_mu = (mu - m) / p_sq;
+            let d_sigma = -1.0 / sigma + sigma / p_sq;
+            self.mu.grad[j] += strength * d_mu;
+            self.rho.grad[j] += strength * d_sigma * sigmoid(rho);
+        }
+        strength * total
+    }
+
+    fn name(&self) -> &'static str {
+        "ViScale"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_nn::grad_check_input;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn eval_uses_posterior_mean() {
+        let mut r = rng();
+        let mut layer = ViScale::new(3);
+        layer.mu.value = Tensor::from_vec(vec![2.0, 0.5, 1.0], &[3]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = layer.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.as_slice(), &[2.0, 1.0, 3.0]);
+        // Deterministic across calls.
+        let y2 = layer.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn sample_mode_is_stochastic_with_correct_spread() {
+        let mut r = rng();
+        let mut layer = ViScale::new(1);
+        layer.rho.value = Tensor::full(&[1], (0.5f32.exp() - 1.0).ln()); // σ = 0.5
+        let x = Tensor::ones(&[1, 1]);
+        let samples: Vec<f32> =
+            (0..3000).map(|_| layer.forward(&x, Mode::Sample, &mut r)[0]).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / samples.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn grad_check_eval_mode() {
+        let mut layer = ViScale::new(4);
+        layer.mu.value = Tensor::from_vec(vec![1.2, 0.8, 1.5, 0.9], &[4]);
+        let x = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.57).sin());
+        assert!(grad_check_input(&mut layer, &x, Mode::Eval, 1, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn grad_check_sample_mode_seeded() {
+        let mut layer = ViScale::new(3);
+        let x = Tensor::from_fn(&[2, 3], |i| (i as f32 * 0.43).cos());
+        assert!(grad_check_input(&mut layer, &x, Mode::Sample, 5, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn kl_zero_at_prior() {
+        let mut layer = ViScale::with_prior(2, ScalePrior { mean: 1.0, std: 0.05 });
+        // μ = 1 (init), σ = 0.05 (init) == prior → KL ≈ 0.
+        let kl = layer.reg_loss(1.0);
+        assert!(kl.abs() < 1e-4, "kl {kl}");
+    }
+
+    #[test]
+    fn kl_positive_away_from_prior() {
+        let mut layer = ViScale::new(2);
+        layer.mu.value = Tensor::from_vec(vec![3.0, -1.0], &[2]);
+        let kl = layer.reg_loss(1.0);
+        assert!(kl > 1.0, "kl {kl}");
+        // Gradients pull μ back toward 1.
+        assert!(layer.mu.grad[0] > 0.0);
+        assert!(layer.mu.grad[1] < 0.0);
+    }
+
+    #[test]
+    fn kl_training_recovers_prior() {
+        // Pure-KL gradient descent shrinks the divergence.
+        let mut layer = ViScale::new(4);
+        layer.mu.value = Tensor::from_vec(vec![2.0, 0.2, 1.7, 0.5], &[4]);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            layer.zero_grad();
+            last = layer.reg_loss(1.0);
+            first.get_or_insert(last);
+            let (g_mu, g_rho) = (layer.mu.grad.clone(), layer.rho.grad.clone());
+            layer.mu.value.axpy(-0.05, &g_mu);
+            layer.rho.value.axpy(-0.05, &g_rho);
+        }
+        assert!(last < 0.05 * first.unwrap(), "{last} vs {first:?}");
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let layer = ViScale::new(64);
+        assert_eq!(layer.bayesian_params(), 128);
+        assert_eq!(layer.rng_draws_per_pass(), 64);
+    }
+}

@@ -1,0 +1,72 @@
+//! **Corrupted-data experiment** (§III-A1: Bayesian inference improves
+//! accuracy on corrupted data by up to 15 %).
+//!
+//! For each corruption family and severity 1–5, compares the
+//! deterministic binary CNN against the SpinDrop Bayesian CNN (MC
+//! averaging) on the same corrupted test set.
+//!
+//! ```sh
+//! cargo run --release -p neuspin-bench --bin exp_corrupt
+//! ```
+
+use neuspin_bayes::{eval_predict, mc_predict, Method};
+use neuspin_bench::{write_json, Setup};
+use neuspin_core::CorruptionResult;
+use neuspin_data::corrupt::{corrupt_dataset, Corruption};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct CorruptTable {
+    corruption: String,
+    results: Vec<CorruptionResult>,
+}
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("== Corrupted data: Bayesian vs deterministic accuracy ==\n");
+    let (train, _calib, test) = setup.datasets();
+
+    eprintln!("training deterministic baseline ...");
+    let mut det = setup.train(Method::Deterministic, &train);
+    eprintln!("training SpinDrop ...");
+    let mut bayes = setup.train(Method::SpinDrop, &train);
+
+    let mut tables = Vec::new();
+    let mut max_gain = 0.0f64;
+
+    for kind in Corruption::ALL {
+        println!("-- {kind} --");
+        println!("{:<10} {:>14} {:>14} {:>8}", "severity", "deterministic", "SpinDrop MC", "gain");
+        let mut results = Vec::new();
+        for severity in 0..=5u8 {
+            let mut r = setup.rng(60 + severity as u64);
+            let data = if severity == 0 {
+                test.clone()
+            } else {
+                corrupt_dataset(&test, kind, severity, &mut r)
+            };
+            let base = eval_predict(&mut det, &data.inputs, &mut r).accuracy(&data.labels);
+            let mc = mc_predict(&mut bayes, &data.inputs, setup.passes, &mut r)
+                .accuracy(&data.labels);
+            let gain = mc - base;
+            max_gain = max_gain.max(gain);
+            println!(
+                "{:<10} {:>13.1}% {:>13.1}% {:>+7.1}%",
+                severity,
+                100.0 * base,
+                100.0 * mc,
+                100.0 * gain
+            );
+            results.push(CorruptionResult {
+                severity,
+                baseline_accuracy: base,
+                bayesian_accuracy: mc,
+            });
+        }
+        println!();
+        tables.push(CorruptTable { corruption: kind.to_string(), results });
+    }
+
+    println!("largest Bayesian gain observed: {:+.1} pp (paper: up to 15 %)", 100.0 * max_gain);
+    write_json("exp_corrupt", &tables);
+}

@@ -1,0 +1,159 @@
+//! **LSTM time-series experiment** (§III-A4: inverted normalization
+//! with affine dropout reduces RMSE by up to 46.7 % on LSTM-based
+//! time-series prediction).
+//!
+//! Two models on the sine-mixture next-step prediction task:
+//! * baseline: `LSTM → Linear`
+//! * NeuSpin:  `LSTM → InvertedNorm(+affine dropout) → Linear`, with
+//!   MC-averaged prediction.
+//!
+//! Both are evaluated clean and under in-field conductance drift —
+//! the dominant CIM non-ideality for deployed recurrent models: a
+//! *common-mode* multiplicative shift of all programmed conductances
+//! (temperature / retention loss), plus mild per-weight variation.
+//! The claim is about robustness of the prediction error.
+//!
+//! ```sh
+//! cargo run --release -p neuspin-bench --bin exp_lstm
+//! ```
+
+use neuspin_bayes::metrics::rmse;
+use neuspin_bench::{write_json, Setup};
+use neuspin_data::series;
+use neuspin_device::stats::LogNormal;
+use neuspin_nn::{mse, InvertedNorm, Linear, Lstm, Mode, Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const WINDOW: usize = 12;
+const HIDDEN: usize = 16;
+
+#[derive(Debug, Serialize)]
+struct LstmReport {
+    scenario: String,
+    baseline_rmse: f64,
+    neuspin_rmse: f64,
+    reduction_pct: f64,
+}
+
+fn build(invnorm: bool, rng: &mut StdRng) -> Sequential {
+    let mut m = Sequential::new();
+    m.push(Lstm::new(1, HIDDEN, rng));
+    if invnorm {
+        m.push(InvertedNorm::new(HIDDEN, 0.15));
+    }
+    m.push(Linear::new(HIDDEN, 1, rng));
+    m
+}
+
+fn train(model: &mut Sequential, data: &series::SeriesDataset, epochs: usize, rng: &mut StdRng) {
+    let mut opt = neuspin_nn::Adam::new(0.005);
+    use neuspin_nn::Optimizer;
+    let n = data.len();
+    for _ in 0..epochs {
+        let order = neuspin_nn::shuffled_indices(n, rng);
+        for chunk in order.chunks(32) {
+            let (x, y) = data.gather(chunk);
+            model.zero_grad();
+            let pred = model.forward(&x, Mode::Train, rng);
+            let (_, grad) = mse(&pred, &y);
+            model.backward(&grad);
+            opt.step(model);
+        }
+    }
+}
+
+/// In-field conductance drift: a global factor on every programmed
+/// weight (common-mode temperature/retention shift) plus mild
+/// independent lognormal per-cell variation.
+fn apply_drift(model: &mut Sequential, global: f32, sigma: f64, rng: &mut StdRng) {
+    let dist = LogNormal::from_median_sigma(1.0, sigma.max(1e-9));
+    model.visit_params(&mut |_, p| {
+        for i in 0..p.value.len() {
+            p.value[i] *= global * dist.sample(rng) as f32;
+        }
+    });
+}
+
+fn eval_rmse(
+    model: &mut Sequential,
+    data: &series::SeriesDataset,
+    mc_passes: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let (x, y) = data.gather(&idx);
+    if mc_passes <= 1 {
+        let pred = model.forward(&x, Mode::Eval, rng);
+        rmse(&pred, &y)
+    } else {
+        let mut acc = Tensor::zeros(&[data.len(), 1]);
+        for _ in 0..mc_passes {
+            let pred = model.forward(&x, Mode::Sample, rng);
+            acc.axpy(1.0, &pred);
+        }
+        acc.scale_in_place(1.0 / mc_passes as f32);
+        rmse(&acc, &y)
+    }
+}
+
+fn main() {
+    let setup = Setup::from_env();
+    let quick = setup.epochs < 5;
+    let epochs = if quick { 10 } else { 40 };
+    println!("== LSTM time-series prediction: inverted norm + affine dropout ==\n");
+
+    let mut rng = StdRng::seed_from_u64(setup.seed);
+    let train_data = series::dataset(1_500, WINDOW, 0.05, &mut rng);
+    let test_data = series::dataset(400, WINDOW, 0.05, &mut rng);
+
+    eprintln!("training baseline LSTM ...");
+    let mut baseline = build(false, &mut rng);
+    train(&mut baseline, &train_data, epochs, &mut rng);
+    eprintln!("training LSTM + InvertedNorm(+affine dropout) ...");
+    let mut neuspin = build(true, &mut rng);
+    train(&mut neuspin, &train_data, epochs, &mut rng);
+
+    let mut reports = Vec::new();
+    println!("{:<34} {:>12} {:>12} {:>10}", "scenario", "baseline", "NeuSpin", "reduction");
+    for (scenario, global, sigma) in [
+        ("clean", 1.0f32, 0.0),
+        ("drift ×0.85", 0.85, 0.0),
+        ("drift ×0.75 + variation σ=0.03", 0.75, 0.03),
+        ("drift ×0.60 + variation σ=0.05", 0.60, 0.05),
+    ] {
+        // Fresh drifted copies per scenario (same trained weights).
+        let state_b = baseline.state_dict();
+        let state_n = neuspin.state_dict();
+        let mut b = build(false, &mut rng);
+        b.load_state_dict(&state_b);
+        let mut n = build(true, &mut rng);
+        n.load_state_dict(&state_n);
+        if global != 1.0 || sigma > 0.0 {
+            let mut r1 = StdRng::seed_from_u64(setup.seed ^ 0xD21F7);
+            apply_drift(&mut b, global, sigma, &mut r1);
+            let mut r2 = StdRng::seed_from_u64(setup.seed ^ 0xD21F7);
+            apply_drift(&mut n, global, sigma, &mut r2);
+        }
+        let mut r = StdRng::seed_from_u64(setup.seed ^ 99);
+        let rb = eval_rmse(&mut b, &test_data, 1, &mut r);
+        let rn = eval_rmse(&mut n, &test_data, 16, &mut r);
+        let reduction = 100.0 * (rb - rn) / rb;
+        println!("{scenario:<34} {rb:>12.4} {rn:>12.4} {reduction:>+9.1}%");
+        reports.push(LstmReport {
+            scenario: scenario.to_string(),
+            baseline_rmse: rb,
+            neuspin_rmse: rn,
+            reduction_pct: reduction,
+        });
+    }
+
+    println!("\n→ common-mode conductance drift rescales the LSTM's hidden code;");
+    println!("  the unprotected readout mis-scales its prediction, while the");
+    println!("  inverted norm re-whitens each sample before the readout and MC");
+    println!("  averaging smooths the residual — cutting RMSE under drift");
+    println!("  (paper: up to 46.7 % RMSE reduction).");
+
+    write_json("exp_lstm", &reports);
+}

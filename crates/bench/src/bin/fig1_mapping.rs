@@ -1,0 +1,114 @@
+//! **Fig. 1 reproduction** — crossbar designs for MC-SpatialDropout
+//! under the two conv mapping strategies:
+//!
+//! * strategy ① — kernels unfolded into columns of one large array,
+//! * strategy ② — a `C_in × C_out` grid of `K×K` sub-arrays.
+//!
+//! For each strategy and a range of conv shapes, the bench reports the
+//! physical arrays, dropout-module counts (SpinDrop vs spatial — the
+//! paper's 9× reduction), and the per-inference energy of both dropout
+//! designs (the 2.94× energy factor).
+//!
+//! ```sh
+//! cargo run --release -p neuspin-bench --bin fig1_mapping
+//! ```
+
+use neuspin_bayes::Method;
+use neuspin_bench::{row, write_json};
+use neuspin_cim::{map_conv, ArrayLimit, ConvMapping, MappingReport};
+use neuspin_energy::{estimate_method_energy, NetworkSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig1Entry {
+    layer: String,
+    strategy: String,
+    crossbars: usize,
+    shapes: Vec<(usize, usize)>,
+    spindrop_modules: usize,
+    spatial_modules: usize,
+    module_reduction: f64,
+}
+
+fn entry(name: &str, report: &MappingReport) -> Fig1Entry {
+    Fig1Entry {
+        layer: name.to_string(),
+        strategy: report.strategy.map(|s| s.to_string()).unwrap_or_default(),
+        crossbars: report.crossbar_count,
+        shapes: report.crossbar_shapes.clone(),
+        spindrop_modules: report.spindrop_modules,
+        spatial_modules: report.spatial_modules,
+        module_reduction: report.spatial_reduction(),
+    }
+}
+
+fn main() {
+    println!("== Fig. 1: MC-SpatialDropout crossbar mapping strategies ==\n");
+    let limit = ArrayLimit::default();
+    let layers = [
+        ("conv 3→16 k3", 3, 16, 3),
+        ("conv 16→32 k3", 16, 32, 3),
+        ("conv 32→64 k3", 32, 64, 3),
+        ("conv 6→16 k5 (LeNet)", 6, 16, 5),
+        ("conv 64→128 k3", 64, 128, 3),
+    ];
+
+    let widths = [22, 34, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "layer".into(),
+                "strategy".into(),
+                "arrays".into(),
+                "SpinDrop".into(),
+                "spatial".into(),
+                "reduction".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", "-".repeat(100));
+
+    let mut entries = Vec::new();
+    for (name, cin, cout, k) in layers {
+        for strategy in [ConvMapping::UnfoldedColumns, ConvMapping::KernelTiled] {
+            let report = map_conv(cin, cout, k, strategy, &limit);
+            let e = entry(name, &report);
+            println!(
+                "{}",
+                row(
+                    &[
+                        e.layer.clone(),
+                        e.strategy.clone(),
+                        e.crossbars.to_string(),
+                        e.spindrop_modules.to_string(),
+                        e.spatial_modules.to_string(),
+                        format!("{:.1}×", e.module_reduction),
+                    ],
+                    &widths
+                )
+            );
+            entries.push(e);
+        }
+    }
+
+    println!("\n→ per-layer module reduction is K² (9× for 3×3, 25× for 5×5),");
+    println!("  independent of the mapping strategy — the spatial module gates");
+    println!("  either K·K consecutive word lines (①) or a whole sub-array (②).\n");
+
+    // Energy side of Fig. 1: per-neuron vs per-map dropout on the
+    // reference network.
+    let spec = NetworkSpec::lenet_reference();
+    let sd = estimate_method_energy(&spec, Method::SpinDrop);
+    let sp = estimate_method_energy(&spec, Method::SpatialSpinDrop);
+    println!("-- energy on {} ({} MC passes each) --", spec.name, sd.profile.passes);
+    println!("  SpinDrop          {} / image (RNG share {})", sd.per_image, sd.breakdown.rng);
+    println!("  Spatial-SpinDrop  {} / image (RNG share {})", sp.per_image, sp.breakdown.rng);
+    println!(
+        "  energy factor: {:.2}×  (paper: 2.94×)",
+        sd.per_image.0 / sp.per_image.0
+    );
+
+    write_json("fig1_mapping", &entries);
+}

@@ -1,0 +1,102 @@
+//! **Fig. 3 reproduction** — the SpinBayes layer topology: `N`
+//! quantized posterior instances in multi-value SOT crossbars, selected
+//! per forward pass by a stochastic one-hot Arbiter.
+//!
+//! The bench sweeps the two design knobs of the in-memory
+//! approximation:
+//! * instance count `N` (posterior capacity ↔ area),
+//! * conductance levels per cell (quantization ↔ MTJs per cell),
+//!
+//! and reports hardware accuracy, uncertainty quality (OOD AUROC), and
+//! arbiter sampling cost for each point.
+//!
+//! ```sh
+//! cargo run --release -p neuspin-bench --bin fig3_spinbayes
+//! ```
+
+use neuspin_bayes::{auroc, Method, SpinBayesConfig};
+use neuspin_bench::{write_json, Setup};
+use neuspin_core::{HardwareConfig, HardwareModel};
+use neuspin_data::ood::uniform_noise;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig3Point {
+    instances: usize,
+    levels: usize,
+    arbiter_bits_per_pass: usize,
+    hardware_accuracy: f64,
+    ood_auroc: f64,
+    mean_id_entropy: f64,
+}
+
+fn main() {
+    let setup = Setup::from_env();
+    println!("== Fig. 3: SpinBayes topology (N instances + Arbiter) ==\n");
+
+    let (train, calib, test) = setup.datasets();
+    let mut model = setup.train(Method::SpinBayes, &train);
+    let mut rng = setup.rng(33);
+    let ood = uniform_noise(test.len(), &mut rng);
+
+    let mut points = Vec::new();
+
+    println!(
+        "{:<12} {:<8} {:<14} {:<10} {:<10} {:<10}",
+        "instances", "levels", "arbiter bits", "hw acc", "OOD AUROC", "ID entropy"
+    );
+    println!("{}", "-".repeat(68));
+
+    for &(instances, levels) in
+        &[(1usize, 9usize), (2, 9), (4, 9), (8, 9), (16, 9), (8, 3), (8, 5), (8, 17)]
+    {
+        let mut r = setup.rng(34 + instances as u64 * 100 + levels as u64);
+        let config = HardwareConfig {
+            spinbayes: SpinBayesConfig {
+                instances,
+                levels,
+                rel_sigma: 0.12,
+                ..SpinBayesConfig::default()
+            },
+            passes: setup.passes,
+            ..HardwareConfig::default()
+        };
+        let mut hw =
+            HardwareModel::compile(&mut model, Method::SpinBayes, &setup.arch, &config, &mut r);
+        hw.calibrate(&calib.inputs, 2, &mut r);
+        let pred = hw.predict(&test.inputs, &mut r);
+        let pred_ood = hw.predict(&ood.inputs, &mut r);
+        let acc = pred.accuracy(&test.labels);
+        let roc = auroc(&pred_ood.entropy, &pred.entropy);
+        let id_entropy = pred.entropy.iter().sum::<f64>() / pred.entropy.len() as f64;
+        let bits = (usize::BITS - (instances.max(2) - 1).leading_zeros()) as usize
+            * if instances > 1 { 1 } else { 0 };
+        println!(
+            "{:<12} {:<8} {:<14} {:<10.2} {:<10.3} {:<10.3}",
+            instances,
+            levels,
+            bits,
+            100.0 * acc,
+            roc,
+            id_entropy
+        );
+        points.push(Fig3Point {
+            instances,
+            levels,
+            arbiter_bits_per_pass: bits,
+            hardware_accuracy: acc,
+            ood_auroc: roc,
+            mean_id_entropy: id_entropy,
+        });
+    }
+
+    println!("\n→ one instance = deterministic quantized net (no epistemic");
+    println!("  signal); more instances buy posterior capacity at ⌈log₂N⌉");
+    println!("  arbiter bits per layer per pass — the memory-friendly");
+    println!("  distribution of the Bayesian in-memory approximation.");
+    println!("→ coarse levels (3) hurt accuracy; ≥9 levels recover the");
+    println!("  full-precision decision boundary (CIM-aware post-training");
+    println!("  quantization with multi-value MTJ cells).");
+
+    write_json("fig3_spinbayes", &points);
+}

@@ -1,0 +1,311 @@
+//! Crossbar bit-cells.
+//!
+//! * [`XnorBitCell`] — the binary-weight cell of the SpinDrop family:
+//!   two 1T-1MTJ devices in a differential pair. A `+1` weight stores
+//!   (P, AP), a `−1` stores (AP, P); with the input applied
+//!   complementarily to the two devices the differential column current
+//!   computes input·weight — an XNOR in the binary-input case.
+//! * [`MlcBitCell`] — the SpinBayes multi-value cell: a
+//!   [`MultiLevelCell`] of several MTJs storing a quantized weight
+//!   level.
+
+use neuspin_device::{defects, DefectKind, MultiLevelCell, VariedParams};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A differential two-MTJ binary bit-cell.
+///
+/// The cell caches its two device conductances (drawn once with
+/// device-to-device variation at *program* time — re-programming redraws
+/// nothing, devices are physical) and exposes the *effective weight*
+/// `(g⁺ − g⁻) / (G_P − G_AP)`, which is `±1` for an ideal pair and
+/// drifts with variation and defects.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_cim::XnorBitCell;
+/// use neuspin_device::VariedParams;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut cell = XnorBitCell::new(VariedParams::ideal(), &mut rng);
+/// cell.program(1.0);
+/// assert!((cell.effective_weight() - 1.0).abs() < 1e-9);
+/// cell.program(-1.0);
+/// assert!((cell.effective_weight() + 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XnorBitCell {
+    /// Conductances of the (plus, minus) devices in both states:
+    /// `(g_parallel, g_antiparallel)` per device.
+    plus_levels: (f64, f64),
+    minus_levels: (f64, f64),
+    /// Stored sign: `true` = +1.
+    sign: bool,
+    /// Defect on the plus / minus device, if any.
+    plus_defect: Option<DefectKind>,
+    minus_defect: Option<DefectKind>,
+    /// Nominal state conductances used as the sensing reference.
+    reference: (f64, f64),
+}
+
+impl XnorBitCell {
+    /// Draws the two device instances from a process corner; the cell
+    /// starts programmed to `+1`.
+    pub fn new(corner: VariedParams, rng: &mut StdRng) -> Self {
+        let plus = corner.instantiate(rng);
+        let minus = corner.instantiate(rng);
+        let p = (1.0 / plus.params().resistance_parallel,
+                 1.0 / plus.params().resistance_antiparallel());
+        let m = (1.0 / minus.params().resistance_parallel,
+                 1.0 / minus.params().resistance_antiparallel());
+        let reference = (
+            1.0 / corner.nominal.resistance_parallel,
+            1.0 / corner.nominal.resistance_antiparallel(),
+        );
+        Self { plus_levels: p, minus_levels: m, sign: true, plus_defect: None, minus_defect: None, reference }
+    }
+
+    /// Programs the stored sign from a real weight (`>= 0` → `+1`).
+    pub fn program(&mut self, weight: f32) {
+        self.sign = weight >= 0.0;
+    }
+
+    /// The stored sign as `±1`.
+    pub fn stored_sign(&self) -> f32 {
+        if self.sign { 1.0 } else { -1.0 }
+    }
+
+    /// Injects a defect into the plus-side device.
+    pub fn inject_plus_defect(&mut self, kind: DefectKind) {
+        self.plus_defect = Some(kind);
+    }
+
+    /// Injects a defect into the minus-side device.
+    pub fn inject_minus_defect(&mut self, kind: DefectKind) {
+        self.minus_defect = Some(kind);
+    }
+
+    /// Whether either device is defective.
+    pub fn is_defective(&self) -> bool {
+        self.plus_defect.is_some() || self.minus_defect.is_some()
+    }
+
+    fn device_conductance(levels: (f64, f64), parallel: bool, defect: Option<DefectKind>) -> f64 {
+        match defect {
+            Some(kind) => defects::defect_conductance(kind, levels.0, levels.1),
+            None => {
+                if parallel {
+                    levels.0
+                } else {
+                    levels.1
+                }
+            }
+        }
+    }
+
+    /// Plus-device conductance for the stored sign (S).
+    pub fn plus_conductance(&self) -> f64 {
+        // +1: plus device parallel (high G); −1: plus device AP.
+        Self::device_conductance(self.plus_levels, self.sign, self.plus_defect)
+    }
+
+    /// Minus-device conductance for the stored sign (S).
+    pub fn minus_conductance(&self) -> f64 {
+        Self::device_conductance(self.minus_levels, !self.sign, self.minus_defect)
+    }
+
+    /// The effective analog weight seen by the column:
+    /// `(g⁺ − g⁻) / (G_P^nom − G_AP^nom)`.
+    pub fn effective_weight(&self) -> f64 {
+        (self.plus_conductance() - self.minus_conductance()) / (self.reference.0 - self.reference.1)
+    }
+}
+
+/// A multi-level (quantized) bit-cell for SpinBayes: `k` MTJs give
+/// `k + 1` conductance levels, mapped linearly onto a symmetric weight
+/// range `[-w_max, +w_max]`.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_cim::MlcBitCell;
+/// use neuspin_device::VariedParams;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut cell = MlcBitCell::new(3, 1.0, VariedParams::ideal(), &mut rng);
+/// assert_eq!(cell.level_count(), 4);
+/// cell.program_weight(1.0);
+/// assert!((cell.effective_weight() - 1.0).abs() < 1e-6);
+/// cell.program_weight(-1.0);
+/// assert!((cell.effective_weight() + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlcBitCell {
+    cell: MultiLevelCell,
+    w_max: f64,
+    /// Nominal ladder endpoints for normalization.
+    g_min: f64,
+    g_max: f64,
+}
+
+impl MlcBitCell {
+    /// Builds a `k`-device cell covering weights `[-w_max, +w_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `w_max <= 0`.
+    pub fn new(k: usize, w_max: f64, corner: VariedParams, rng: &mut StdRng) -> Self {
+        assert!(w_max > 0.0, "w_max must be positive");
+        let ladder = MultiLevelCell::nominal_ladder(&corner, k);
+        let cell = MultiLevelCell::new(k, corner, rng);
+        Self { cell, w_max, g_min: ladder[0], g_max: ladder[k] }
+    }
+
+    /// Number of programmable levels.
+    pub fn level_count(&self) -> usize {
+        self.cell.level_count()
+    }
+
+    /// Quantizes `weight` to the nearest level and programs it.
+    /// Values outside `[-w_max, +w_max]` saturate.
+    pub fn program_weight(&mut self, weight: f64) {
+        let k = self.cell.device_count() as f64;
+        let clipped = weight.clamp(-self.w_max, self.w_max);
+        let frac = (clipped + self.w_max) / (2.0 * self.w_max); // [0, 1]
+        let level = (frac * k).round() as usize;
+        self.cell.program(level.min(self.cell.device_count()));
+    }
+
+    /// The programmed level.
+    pub fn level(&self) -> usize {
+        self.cell.level()
+    }
+
+    /// Effective analog weight: the cell conductance mapped back through
+    /// the *nominal* ladder to the weight range (so variation shows up
+    /// as weight error, exactly as the readout periphery would see it).
+    pub fn effective_weight(&self) -> f64 {
+        let g = self.cell.conductance();
+        let frac = (g - self.g_min) / (self.g_max - self.g_min);
+        (2.0 * frac - 1.0) * self.w_max
+    }
+
+    /// Quantization step in weight units.
+    pub fn weight_step(&self) -> f64 {
+        2.0 * self.w_max / self.cell.device_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_device::{MtjParams, VariationModel};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ideal_cell_weights_are_exact() {
+        let mut r = rng();
+        let mut cell = XnorBitCell::new(VariedParams::ideal(), &mut r);
+        cell.program(0.7);
+        assert!((cell.effective_weight() - 1.0).abs() < 1e-12);
+        cell.program(-0.1);
+        assert!((cell.effective_weight() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_spreads_effective_weight() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.10));
+        let mut spread = 0.0f64;
+        for _ in 0..100 {
+            let mut cell = XnorBitCell::new(corner, &mut r);
+            cell.program(1.0);
+            spread = spread.max((cell.effective_weight() - 1.0).abs());
+        }
+        assert!(spread > 0.02, "10 % variation must perturb weights, spread {spread}");
+        assert!(spread < 1.0, "but not flip them");
+    }
+
+    #[test]
+    fn open_defect_kills_plus_side() {
+        let mut r = rng();
+        let mut cell = XnorBitCell::new(VariedParams::ideal(), &mut r);
+        cell.program(1.0);
+        cell.inject_plus_defect(DefectKind::Open);
+        assert!(cell.is_defective());
+        // Plus side gone: weight collapses towards −g_AP/(ΔG) < 0.
+        assert!(cell.effective_weight() < 0.0);
+    }
+
+    #[test]
+    fn short_defect_dominates() {
+        let mut r = rng();
+        let mut cell = XnorBitCell::new(VariedParams::ideal(), &mut r);
+        cell.program(-1.0);
+        cell.inject_plus_defect(DefectKind::Short);
+        assert!(cell.effective_weight() > 10.0, "a short blows up the column weight");
+    }
+
+    #[test]
+    fn stuck_defect_freezes_weight() {
+        let mut r = rng();
+        let mut cell = XnorBitCell::new(VariedParams::ideal(), &mut r);
+        cell.inject_plus_defect(DefectKind::StuckParallel);
+        cell.inject_minus_defect(DefectKind::StuckAntiParallel);
+        cell.program(1.0);
+        let w1 = cell.effective_weight();
+        cell.program(-1.0);
+        let w2 = cell.effective_weight();
+        assert_eq!(w1, w2, "double-stuck cell ignores programming");
+        assert!((w1 - 1.0).abs() < 1e-12, "stuck at the +1 pattern");
+    }
+
+    #[test]
+    fn mlc_levels_cover_range() {
+        let mut r = rng();
+        let mut cell = MlcBitCell::new(4, 1.0, VariedParams::ideal(), &mut r);
+        let mut last = f64::NEG_INFINITY;
+        for target in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+            cell.program_weight(target);
+            let w = cell.effective_weight();
+            assert!((w - target).abs() < 1e-9, "level for {target} gives {w}");
+            assert!(w > last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn mlc_quantizes_to_nearest() {
+        let mut r = rng();
+        let mut cell = MlcBitCell::new(2, 1.0, VariedParams::ideal(), &mut r);
+        // Levels: −1, 0, +1. 0.4 → 0; 0.6 → 1.
+        cell.program_weight(0.4);
+        assert_eq!(cell.level(), 1);
+        cell.program_weight(0.6);
+        assert_eq!(cell.level(), 2);
+    }
+
+    #[test]
+    fn mlc_saturates_out_of_range() {
+        let mut r = rng();
+        let mut cell = MlcBitCell::new(2, 1.0, VariedParams::ideal(), &mut r);
+        cell.program_weight(5.0);
+        assert!((cell.effective_weight() - 1.0).abs() < 1e-9);
+        cell.program_weight(-7.0);
+        assert!((cell.effective_weight() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_step_matches_levels() {
+        let mut r = rng();
+        let cell = MlcBitCell::new(4, 1.0, VariedParams::ideal(), &mut r);
+        assert!((cell.weight_step() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,596 @@
+//! Crossbar array simulators.
+//!
+//! A crossbar stores a weight matrix in resistive cells and computes an
+//! analog matrix-vector product: inputs drive the word lines, column
+//! currents sum `input · conductance`, sense amplifiers + ADCs digitise
+//! the result. Two variants:
+//!
+//! * [`Crossbar`] — binary weights in differential
+//!   [`XnorBitCell`]s (SpinDrop family),
+//! * [`MlcCrossbar`] — quantized weights in multi-level cells
+//!   (SpinBayes / sub-set VI).
+//!
+//! Device-to-device variation is frozen at *programming* time (devices
+//! are physical objects); cycle-to-cycle read noise is drawn per
+//! evaluation. Every operation is tallied in an [`OpCounter`] for the
+//! energy model.
+
+use crate::adc::{Adc, OpCounter};
+use crate::bitcell::{MlcBitCell, XnorBitCell};
+use neuspin_device::{stats, DefectMap, DefectRates, VariedParams};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by crossbar constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    /// Device process corner (nominal parameters + variation).
+    pub corner: VariedParams,
+    /// Manufacturing defect rates.
+    pub defect_rates: DefectRates,
+    /// Cycle-to-cycle relative read noise on each column evaluation.
+    pub read_noise: f64,
+    /// Column ADC resolution in bits; `None` = ideal (no quantization).
+    pub adc_bits: Option<u32>,
+    /// First-order IR-drop coefficient: the wire resistance of word and
+    /// bit lines attenuates contributions far from the drivers by
+    /// `1 / (1 + ir_drop · (r/rows + c/cols))`. 0 disables the effect;
+    /// 0.02–0.1 covers published 256×256 macro corners.
+    pub ir_drop: f64,
+}
+
+impl Default for CrossbarConfig {
+    /// Ideal devices, no defects, 1 % read noise, ideal readout.
+    fn default() -> Self {
+        Self {
+            corner: VariedParams::ideal(),
+            defect_rates: DefectRates::none(),
+            read_noise: 0.01,
+            adc_bits: None,
+            ir_drop: 0.0,
+        }
+    }
+}
+
+impl CrossbarConfig {
+    /// An ideal crossbar: no variation, defects, noise, or quantization.
+    pub fn ideal() -> Self {
+        Self { read_noise: 0.0, ..Self::default() }
+    }
+}
+
+/// A binary-weight crossbar of differential XNOR bit-cells, `rows`
+/// inputs × `cols` outputs.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_cim::{Crossbar, CrossbarConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let weights = vec![1.0, -1.0, -1.0, 1.0]; // 2×2, row-major [input][output]
+/// let mut xbar = Crossbar::program(&weights, 2, 2, &CrossbarConfig::ideal(), &mut rng);
+/// let y = xbar.matvec(&[1.0, 1.0], &mut rng);
+/// assert!((y[0] - 0.0).abs() < 1e-6);
+/// assert!((y[1] - 0.0).abs() < 1e-6);
+/// let y = xbar.matvec(&[1.0, -1.0], &mut rng);
+/// assert!((y[0] - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<XnorBitCell>,
+    /// Cached effective weights (refreshed on program/defect injection).
+    eff: Vec<f64>,
+    row_enabled: Vec<bool>,
+    read_noise: f64,
+    adc: Option<Adc>,
+    counter: OpCounter,
+    defects: DefectMap,
+    ir_drop: f64,
+}
+
+impl Crossbar {
+    /// Programs a `rows × cols` crossbar from row-major weights
+    /// (`weights[i * cols + j]` = weight from input `i` to output `j`).
+    /// Device instances and defects are drawn from `config`; programming
+    /// costs are tallied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` or either dim is zero.
+    pub fn program(
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        config: &CrossbarConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(weights.len(), rows * cols, "weight count mismatch");
+        let defects = DefectMap::sample(rows, cols, &config.defect_rates, rng);
+        let mut cells = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut cell = XnorBitCell::new(config.corner, rng);
+                cell.program(weights[r * cols + c]);
+                if let Some(kind) = defects.defect_at(r, c) {
+                    // A defect hits one device of the pair; alternate
+                    // deterministically by position parity.
+                    if (r + c) % 2 == 0 {
+                        cell.inject_plus_defect(kind);
+                    } else {
+                        cell.inject_minus_defect(kind);
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+        let adc = config.adc_bits.map(|b| Adc::new(b, rows as f64));
+        let mut xbar = Self {
+            rows,
+            cols,
+            cells,
+            eff: vec![0.0; rows * cols],
+            row_enabled: vec![true; rows],
+            read_noise: config.read_noise,
+            adc,
+            counter: OpCounter::new(),
+            defects,
+            ir_drop: config.ir_drop,
+        };
+        xbar.refresh_eff();
+        // Each cell programs two devices (write + verify each).
+        xbar.counter.cell_writes += (rows * cols * 2) as u64;
+        xbar.counter.cell_reads += (rows * cols * 2) as u64;
+        xbar
+    }
+
+    fn refresh_eff(&mut self) {
+        for (i, cell) in self.cells.iter().enumerate() {
+            self.eff[i] = cell.effective_weight();
+        }
+    }
+
+    /// Number of input rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of output columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sampled defect map.
+    pub fn defects(&self) -> &DefectMap {
+        &self.defects
+    }
+
+    /// The op counter accumulated so far.
+    pub fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    /// Resets the op counter.
+    pub fn reset_counter(&mut self) {
+        self.counter.reset();
+    }
+
+    /// The effective analog weight of cell `(row, col)` (±1 ideal).
+    pub fn effective_weight(&self, row: usize, col: usize) -> f64 {
+        self.eff[row * self.cols + col]
+    }
+
+    /// Enables/disables a word line (the hook dropout modules use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn set_row_enabled(&mut self, row: usize, enabled: bool) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.row_enabled[row] = enabled;
+    }
+
+    /// Re-enables every word line.
+    pub fn enable_all_rows(&mut self) {
+        self.row_enabled.iter_mut().for_each(|e| *e = true);
+    }
+
+    /// Number of currently enabled rows.
+    pub fn enabled_rows(&self) -> usize {
+        self.row_enabled.iter().filter(|&&e| e).count()
+    }
+
+    /// Analog matrix-vector product: `y_j = Σ_i x_i · w_ij` over enabled
+    /// rows, with read noise and optional ADC quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows`.
+    pub fn matvec(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(input.len(), self.rows, "input length mismatch");
+        let active = self.enabled_rows() as u64;
+        self.counter.cell_reads += active * self.cols as u64;
+        self.counter.sa_evals += self.cols as u64;
+        if self.adc.is_some() {
+            self.counter.adc_converts += self.cols as u64;
+        }
+        self.counter.digital_ops += self.cols as u64;
+        let mut out = vec![0.0f64; self.cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            let mut power = 0.0f64; // Σ (x·w)² for the noise model
+            for i in 0..self.rows {
+                if !self.row_enabled[i] {
+                    continue;
+                }
+                let mut term = input[i] as f64 * self.eff[i * self.cols + j];
+                if self.ir_drop > 0.0 {
+                    term /= 1.0
+                        + self.ir_drop
+                            * (i as f64 / self.rows as f64 + j as f64 / self.cols as f64);
+                }
+                acc += term;
+                power += term * term;
+            }
+            if self.read_noise > 0.0 && power > 0.0 {
+                acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
+            }
+            *o = match &self.adc {
+                Some(adc) => adc.quantize(acc),
+                None => acc,
+            };
+        }
+        out
+    }
+
+    /// Applies an in-field drift transform to every cell's effective
+    /// weight (e.g. retention loss or temperature-induced conductance
+    /// shift after deployment). The transform receives and returns the
+    /// effective analog weight.
+    pub fn apply_drift(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for w in &mut self.eff {
+            *w = f(*w);
+        }
+    }
+
+    /// Batch version of [`matvec`](Self::matvec): input matrix
+    /// `[n, rows]` flattened row-major, returns `[n, cols]` flattened.
+    pub fn matmul(&mut self, inputs: &[f32], n: usize, rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(inputs.len(), n * self.rows, "batch input length mismatch");
+        let mut out = Vec::with_capacity(n * self.cols);
+        for b in 0..n {
+            out.extend(self.matvec(&inputs[b * self.rows..(b + 1) * self.rows], rng));
+        }
+        out
+    }
+}
+
+/// A quantized-weight crossbar of multi-level cells (`k` MTJs per cell,
+/// `k + 1` levels), used by SpinBayes and the sub-set VI architecture.
+#[derive(Debug, Clone)]
+pub struct MlcCrossbar {
+    rows: usize,
+    cols: usize,
+    eff: Vec<f64>,
+    levels: usize,
+    row_enabled: Vec<bool>,
+    read_noise: f64,
+    adc: Option<Adc>,
+    counter: OpCounter,
+}
+
+impl MlcCrossbar {
+    /// Programs a quantized crossbar: each real weight is clipped to
+    /// `[-w_max, +w_max]` and quantized to the cell's `k + 1` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree, dims are zero, `k == 0`, or
+    /// `w_max <= 0`.
+    pub fn program(
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        k: usize,
+        w_max: f64,
+        config: &CrossbarConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(weights.len(), rows * cols, "weight count mismatch");
+        let mut eff = Vec::with_capacity(rows * cols);
+        let mut counter = OpCounter::new();
+        for &w in weights {
+            let mut cell = MlcBitCell::new(k, w_max, config.corner, rng);
+            cell.program_weight(w as f64);
+            eff.push(cell.effective_weight());
+            counter.cell_writes += k as u64;
+            counter.cell_reads += k as u64; // verify
+        }
+        let adc = config.adc_bits.map(|b| Adc::new(b, rows as f64 * w_max));
+        Self {
+            rows,
+            cols,
+            eff,
+            levels: k + 1,
+            row_enabled: vec![true; rows],
+            read_noise: config.read_noise,
+            adc,
+            counter,
+        }
+    }
+
+    /// Number of input rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of output columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of conductance levels per cell.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The op counter accumulated so far.
+    pub fn counter(&self) -> &OpCounter {
+        &self.counter
+    }
+
+    /// Resets the op counter.
+    pub fn reset_counter(&mut self) {
+        self.counter.reset();
+    }
+
+    /// The stored (quantized, variation-perturbed) weight at a cell.
+    pub fn effective_weight(&self, row: usize, col: usize) -> f64 {
+        self.eff[row * self.cols + col]
+    }
+
+    /// Enables/disables a word line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn set_row_enabled(&mut self, row: usize, enabled: bool) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.row_enabled[row] = enabled;
+    }
+
+    /// Applies an in-field drift transform to every cell's effective
+    /// weight (see [`Crossbar::apply_drift`]).
+    pub fn apply_drift(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for w in &mut self.eff {
+            *w = f(*w);
+        }
+    }
+
+    /// Analog matrix-vector product over enabled rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows`.
+    pub fn matvec(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(input.len(), self.rows, "input length mismatch");
+        let active = self.row_enabled.iter().filter(|&&e| e).count() as u64;
+        self.counter.cell_reads += active * self.cols as u64;
+        self.counter.sa_evals += self.cols as u64;
+        if self.adc.is_some() {
+            self.counter.adc_converts += self.cols as u64;
+        }
+        self.counter.digital_ops += self.cols as u64;
+        let mut out = vec![0.0f64; self.cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            let mut power = 0.0f64;
+            for i in 0..self.rows {
+                if !self.row_enabled[i] {
+                    continue;
+                }
+                let term = input[i] as f64 * self.eff[i * self.cols + j];
+                acc += term;
+                power += term * term;
+            }
+            if self.read_noise > 0.0 && power > 0.0 {
+                acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
+            }
+            *o = match &self.adc {
+                Some(adc) => adc.quantize(acc),
+                None => acc,
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_device::{MtjParams, VariationModel};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(101)
+    }
+
+    fn ideal() -> CrossbarConfig {
+        CrossbarConfig::ideal()
+    }
+
+    #[test]
+    fn ideal_crossbar_computes_exact_mvm() {
+        let mut r = rng();
+        // 3 inputs × 2 outputs.
+        let w = vec![1.0, -1.0, 1.0, 1.0, -1.0, -1.0];
+        let mut xbar = Crossbar::program(&w, 3, 2, &ideal(), &mut r);
+        let y = xbar.matvec(&[1.0, 2.0, 3.0], &mut r);
+        // y0 = 1·1 + 2·1 + 3·(−1) = 0 ; y1 = −1 + 2 − 3 = −2.
+        assert!((y[0] - 0.0).abs() < 1e-9);
+        assert!((y[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_noise_perturbs_output() {
+        let mut r = rng();
+        let w = vec![1.0; 64];
+        let config = CrossbarConfig { read_noise: 0.05, ..CrossbarConfig::ideal() };
+        let mut xbar = Crossbar::program(&w, 64, 1, &config, &mut r);
+        let x = vec![1.0f32; 64];
+        let a = xbar.matvec(&x, &mut r)[0];
+        let b = xbar.matvec(&x, &mut r)[0];
+        assert_ne!(a, b);
+        assert!((a - 64.0).abs() < 64.0 * 0.25);
+    }
+
+    #[test]
+    fn variation_shifts_weights_but_preserves_signs() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.08));
+        let config = CrossbarConfig { corner, read_noise: 0.0, ..CrossbarConfig::ideal() };
+        let w: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xbar = Crossbar::program(&w, 10, 10, &config, &mut r);
+        for row in 0..10 {
+            for col in 0..10 {
+                let expected = w[row * 10 + col] as f64;
+                let actual = xbar.effective_weight(row, col);
+                assert!(actual * expected > 0.0, "sign preserved at ({row},{col})");
+                assert!((actual - expected).abs() < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn row_gating_removes_contribution() {
+        let mut r = rng();
+        let w = vec![1.0, 1.0, 1.0]; // 3×1
+        let mut xbar = Crossbar::program(&w, 3, 1, &ideal(), &mut r);
+        assert!((xbar.matvec(&[1.0, 1.0, 1.0], &mut r)[0] - 3.0).abs() < 1e-9);
+        xbar.set_row_enabled(1, false);
+        assert_eq!(xbar.enabled_rows(), 2);
+        assert!((xbar.matvec(&[1.0, 1.0, 1.0], &mut r)[0] - 2.0).abs() < 1e-9);
+        xbar.enable_all_rows();
+        assert!((xbar.matvec(&[1.0, 1.0, 1.0], &mut r)[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adc_quantizes_output() {
+        let mut r = rng();
+        let w = vec![1.0; 8];
+        let config = CrossbarConfig { adc_bits: Some(2), ..CrossbarConfig::ideal() };
+        let mut xbar = Crossbar::program(&w, 8, 1, &config, &mut r);
+        let y = xbar.matvec(&[0.3; 8], &mut r)[0];
+        // 2-bit ADC over ±8: step 4, mid-rise codes at ±2, ±6.
+        assert!([-6.0, -2.0, 2.0, 6.0].iter().any(|&v| (y - v).abs() < 1e-9), "y {y}");
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut r = rng();
+        let w = vec![1.0; 12];
+        let mut xbar = Crossbar::program(&w, 4, 3, &ideal(), &mut r);
+        let programming = *xbar.counter();
+        assert_eq!(programming.cell_writes, 24, "two devices per cell");
+        xbar.reset_counter();
+        let _ = xbar.matvec(&[1.0; 4], &mut r);
+        assert_eq!(xbar.counter().cell_reads, 12);
+        assert_eq!(xbar.counter().sa_evals, 3);
+        assert_eq!(xbar.counter().adc_converts, 0, "ideal readout has no ADC");
+    }
+
+    #[test]
+    fn defects_perturb_some_weights() {
+        let mut r = rng();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            ..CrossbarConfig::ideal()
+        };
+        let w = vec![1.0; 400];
+        let xbar = Crossbar::program(&w, 20, 20, &config, &mut r);
+        assert!(xbar.defects().defect_count() > 0);
+        let bad = (0..20)
+            .flat_map(|i| (0..20).map(move |j| (i, j)))
+            .filter(|&(i, j)| (xbar.effective_weight(i, j) - 1.0).abs() > 0.1)
+            .count();
+        assert!(bad > 0, "defects must corrupt some weights");
+        assert!(bad <= xbar.defects().defect_count());
+    }
+
+    #[test]
+    fn batch_matmul_matches_loop() {
+        let mut r = rng();
+        let w = vec![1.0, -1.0, -1.0, 1.0];
+        let mut xbar = Crossbar::program(&w, 2, 2, &ideal(), &mut r);
+        let batch = xbar.matmul(&[1.0, 0.0, 0.0, 1.0], 2, &mut r);
+        assert_eq!(batch.len(), 4);
+        assert!((batch[0] - 1.0).abs() < 1e-9);
+        assert!((batch[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlc_crossbar_quantized_mvm() {
+        let mut r = rng();
+        // 2 levels per device pair... k=4 → 5 levels over ±1: −1, −0.5, 0, 0.5, 1.
+        let w = vec![0.45, -0.9, 0.1, 1.4]; // quantizes to 0.5, −1, 0, 1
+        let mut xbar = MlcCrossbar::program(&w, 2, 2, 4, 1.0, &ideal(), &mut r);
+        assert_eq!(xbar.levels(), 5);
+        let y = xbar.matvec(&[1.0, 1.0], &mut r);
+        assert!((y[0] - 0.5).abs() < 1e-6, "0.5 + 0 = 0.5, y0 {}", y[0]);
+        assert!((y[1] - 0.0).abs() < 1e-6, "−1 + 1 = 0, y1 {}", y[1]);
+    }
+
+    #[test]
+    fn mlc_quantization_error_bounded_by_step() {
+        let mut r = rng();
+        let w: Vec<f32> = (0..50).map(|i| (i as f32 / 25.0) - 1.0).collect();
+        let xbar = MlcCrossbar::program(&w, 50, 1, 8, 1.0, &ideal(), &mut r);
+        let step = 2.0 / 8.0;
+        for (i, &orig) in w.iter().enumerate() {
+            let q = xbar.effective_weight(i, 0);
+            assert!((q - orig as f64).abs() <= step / 2.0 + 1e-9, "w {orig} q {q}");
+        }
+    }
+
+    #[test]
+    fn ir_drop_attenuates_far_cells() {
+        let mut r = rng();
+        let w = vec![1.0; 128]; // 128×1
+        let clean = CrossbarConfig::ideal();
+        let droopy = CrossbarConfig { ir_drop: 0.1, ..CrossbarConfig::ideal() };
+        let mut a = Crossbar::program(&w, 128, 1, &clean, &mut r);
+        let mut b = Crossbar::program(&w, 128, 1, &droopy, &mut r);
+        let x = vec![1.0f32; 128];
+        let ya = a.matvec(&x, &mut r)[0];
+        let yb = b.matvec(&x, &mut r)[0];
+        assert!(yb < ya, "IR drop must lose signal: {yb} vs {ya}");
+        assert!(yb > 0.9 * ya, "first-order model stays mild: {yb} vs {ya}");
+    }
+
+    #[test]
+    fn ir_drop_hits_far_rows_harder() {
+        let mut r = rng();
+        let w = vec![1.0; 100]; // 100×1
+        let config = CrossbarConfig { ir_drop: 0.2, ..CrossbarConfig::ideal() };
+        let mut xbar = Crossbar::program(&w, 100, 1, &config, &mut r);
+        let mut near = vec![0.0f32; 100];
+        near[0] = 1.0;
+        let mut far = vec![0.0f32; 100];
+        far[99] = 1.0;
+        let y_near = xbar.matvec(&near, &mut r)[0];
+        let y_far = xbar.matvec(&far, &mut r)[0];
+        assert!(y_near > y_far, "{y_near} vs {y_far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn program_rejects_bad_shape() {
+        let mut r = rng();
+        let _ = Crossbar::program(&[1.0; 5], 2, 3, &ideal(), &mut r);
+    }
+}

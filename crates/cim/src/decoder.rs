@@ -1,0 +1,150 @@
+//! The word-line decoder with multi-enable capability.
+//!
+//! NeuSpin's crossbars use a decoder that can enable *multiple
+//! consecutive addresses* at once (needed both for parallel MVM and for
+//! the group gating of spatial dropout, Fig. 1b). This module tracks
+//! the enable state and the decode activity for the energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// A word-line decoder over `rows` lines supporting consecutive
+/// multi-enable.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_cim::WordlineDecoder;
+///
+/// let mut dec = WordlineDecoder::new(16);
+/// dec.disable_range(0, 16); // all lines off
+/// dec.enable_range(4, 8);   // enable lines 4..12
+/// assert_eq!(dec.enabled_count(), 8);
+/// assert!(dec.is_enabled(4) && dec.is_enabled(11) && !dec.is_enabled(12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordlineDecoder {
+    enabled: Vec<bool>,
+    decode_ops: u64,
+}
+
+impl WordlineDecoder {
+    /// Creates a decoder with all `rows` lines enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`.
+    pub fn new(rows: usize) -> Self {
+        assert!(rows > 0, "rows must be positive");
+        Self { enabled: vec![true; rows], decode_ops: 0 }
+    }
+
+    /// Number of word lines.
+    pub fn rows(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Whether line `row` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn is_enabled(&self, row: usize) -> bool {
+        self.enabled[row]
+    }
+
+    /// Number of enabled lines.
+    pub fn enabled_count(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
+    }
+
+    /// Enables exactly the consecutive range `start .. start + len`
+    /// (one decode operation), leaving other lines untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the decoder.
+    pub fn enable_range(&mut self, start: usize, len: usize) {
+        assert!(start + len <= self.enabled.len(), "range {start}+{len} exceeds {} rows", self.enabled.len());
+        self.decode_ops += 1;
+        for e in &mut self.enabled[start..start + len] {
+            *e = true;
+        }
+    }
+
+    /// Disables the consecutive range `start .. start + len` (one decode
+    /// operation) — the gating primitive of spatial dropout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the decoder.
+    pub fn disable_range(&mut self, start: usize, len: usize) {
+        assert!(start + len <= self.enabled.len(), "range {start}+{len} exceeds {} rows", self.enabled.len());
+        self.decode_ops += 1;
+        for e in &mut self.enabled[start..start + len] {
+            *e = false;
+        }
+    }
+
+    /// Enables all lines (one decode operation).
+    pub fn enable_all(&mut self) {
+        self.decode_ops += 1;
+        self.enabled.iter_mut().for_each(|e| *e = true);
+    }
+
+    /// Decode operations performed so far.
+    pub fn decode_ops(&self) -> u64 {
+        self.decode_ops
+    }
+
+    /// Applies the enable pattern to a crossbar's row gates.
+    pub fn apply_to(&self, xbar: &mut crate::Crossbar) {
+        assert_eq!(self.rows(), xbar.rows(), "decoder/crossbar row mismatch");
+        for (row, &e) in self.enabled.iter().enumerate() {
+            xbar.set_row_enabled(row, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crossbar, CrossbarConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_fully_enabled() {
+        let d = WordlineDecoder::new(8);
+        assert_eq!(d.enabled_count(), 8);
+    }
+
+    #[test]
+    fn range_gating() {
+        let mut d = WordlineDecoder::new(10);
+        d.disable_range(2, 5);
+        assert_eq!(d.enabled_count(), 5);
+        assert!(!d.is_enabled(2) && !d.is_enabled(6) && d.is_enabled(7));
+        d.enable_range(2, 5);
+        assert_eq!(d.enabled_count(), 10);
+        assert_eq!(d.decode_ops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_rejected() {
+        let mut d = WordlineDecoder::new(4);
+        d.disable_range(2, 3);
+    }
+
+    #[test]
+    fn applies_to_crossbar() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut xbar = Crossbar::program(&[1.0; 8], 8, 1, &CrossbarConfig::ideal(), &mut rng);
+        let mut d = WordlineDecoder::new(8);
+        d.disable_range(0, 4);
+        d.apply_to(&mut xbar);
+        assert_eq!(xbar.enabled_rows(), 4);
+        let y = xbar.matvec(&[1.0; 8], &mut rng);
+        assert!((y[0] - 4.0).abs() < 1e-9);
+    }
+}

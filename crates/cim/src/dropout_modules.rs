@@ -1,0 +1,377 @@
+//! Hardware dropout modules built from stochastic MTJs.
+//!
+//! All four NeuSpin dropout designs reduce to the same primitive — a
+//! [`SpinRng`] producing calibrated Bernoulli bits — but differ in *how
+//! many* modules a layer needs and *what* each bit gates:
+//!
+//! | Module | Gates | Modules per conv layer |
+//! |---|---|---|
+//! | [`SpinDropModule`] | one word-line pair (one neuron) | `K·K·C_in` |
+//! | [`SpatialDropModule`] | one feature map (group of rows) | `C_in` |
+//! | [`ScaleDropModule`] | the layer's scale vector | `1` |
+//! | [`Arbiter`] | which of `N` crossbars is read | `⌈log₂N⌉` bits/pass |
+
+use crate::adc::OpCounter;
+use neuspin_device::{SpinRng, VariedParams};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A per-neuron dropout module (SpinDrop, §III-A1): one stochastic MTJ
+/// whose SET→read→RESET cycle yields one drop/keep decision for one
+/// word-line pair.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_cim::SpinDropModule;
+/// use neuspin_device::VariedParams;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut module = SpinDropModule::new(0.25, VariedParams::ideal(), &mut rng);
+/// let drops = (0..1000).filter(|_| module.sample(&mut rng)).count();
+/// assert!((drops as f64 / 1000.0 - 0.25).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpinDropModule {
+    rng: SpinRng,
+    target_p: f64,
+}
+
+impl SpinDropModule {
+    /// Builds and nominal-calibrates a module for drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`.
+    pub fn new(p: f64, corner: VariedParams, rng: &mut StdRng) -> Self {
+        let mut spin = SpinRng::new(corner, rng);
+        spin.calibrate_nominal(p);
+        Self { rng: spin, target_p: p }
+    }
+
+    /// The design-target drop probability.
+    pub fn target_p(&self) -> f64 {
+        self.target_p
+    }
+
+    /// The device's true probability at its bias point (oracle).
+    pub fn realized_p(&self) -> f64 {
+        self.rng.realized_p()
+    }
+
+    /// Closed-loop post-fabrication tuning: adjusts the bias current
+    /// against the device's *measured* switch rate until the realized
+    /// probability is within `tolerance` of the target (spending
+    /// measurement bits). Returns the calibration report.
+    pub fn tune(&mut self, bits_per_step: u32, tolerance: f64, rng: &mut StdRng)
+        -> neuspin_device::CalibrationReport {
+        self.rng.calibrate_measured(self.target_p, bits_per_step, tolerance, 25, rng)
+    }
+
+    /// Draws one drop decision (`true` = drop the neuron).
+    pub fn sample(&mut self, rng: &mut StdRng) -> bool {
+        self.rng.next_bit(rng)
+    }
+
+    /// Total RNG bits consumed so far.
+    pub fn bits_used(&self) -> u64 {
+        self.rng.bits_generated()
+    }
+}
+
+/// A per-feature-map dropout module (Spatial-SpinDrop, §III-A2): the
+/// same MTJ primitive, but its bit gates a whole group of consecutive
+/// word lines through the multi-enable decoder (Fig. 1), so a conv layer
+/// needs only `C_in` modules instead of `K·K·C_in`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialDropModule {
+    inner: SpinDropModule,
+    /// How many word lines one decision gates (`K·K` for strategy ①, a
+    /// whole `K×K` sub-crossbar for strategy ②).
+    rows_gated: usize,
+}
+
+impl SpatialDropModule {
+    /// Builds a module that gates `rows_gated` word lines per decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)` or `rows_gated == 0`.
+    pub fn new(p: f64, rows_gated: usize, corner: VariedParams, rng: &mut StdRng) -> Self {
+        assert!(rows_gated > 0, "rows_gated must be positive");
+        Self { inner: SpinDropModule::new(p, corner, rng), rows_gated }
+    }
+
+    /// Word lines gated by one decision.
+    pub fn rows_gated(&self) -> usize {
+        self.rows_gated
+    }
+
+    /// The design-target drop probability.
+    pub fn target_p(&self) -> f64 {
+        self.inner.target_p()
+    }
+
+    /// The device's realized probability (oracle).
+    pub fn realized_p(&self) -> f64 {
+        self.inner.realized_p()
+    }
+
+    /// Closed-loop tuning of the underlying module (see
+    /// [`SpinDropModule::tune`]).
+    pub fn tune(&mut self, bits_per_step: u32, tolerance: f64, rng: &mut StdRng)
+        -> neuspin_device::CalibrationReport {
+        self.inner.tune(bits_per_step, tolerance, rng)
+    }
+
+    /// Draws one drop decision for the whole feature map.
+    pub fn sample(&mut self, rng: &mut StdRng) -> bool {
+        self.inner.sample(rng)
+    }
+
+    /// Total RNG bits consumed so far.
+    pub fn bits_used(&self) -> u64 {
+        self.inner.bits_used()
+    }
+}
+
+/// The single per-layer scale-dropout module (SpinScaleDrop, §III-A3).
+///
+/// One stochastic MTJ decides per forward pass whether the layer's
+/// scale vector (held in adjacent SRAM) is applied or bypassed. Because
+/// the MTJ is variation-prone, the *realized* drop probability is a
+/// random variable around the design target — the paper models it as a
+/// Gaussian; here it arises mechanically from the lognormal device
+/// variation in the corner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleDropModule {
+    inner: SpinDropModule,
+    scale_len: usize,
+}
+
+impl ScaleDropModule {
+    /// Builds the module for a layer whose scale vector has
+    /// `scale_len` entries (each application costs that many SRAM reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)` or `scale_len == 0`.
+    pub fn new(p: f64, scale_len: usize, corner: VariedParams, rng: &mut StdRng) -> Self {
+        assert!(scale_len > 0, "scale_len must be positive");
+        Self { inner: SpinDropModule::new(p, corner, rng), scale_len }
+    }
+
+    /// Scale-vector length (SRAM words per application).
+    pub fn scale_len(&self) -> usize {
+        self.scale_len
+    }
+
+    /// The design-target drop probability.
+    pub fn target_p(&self) -> f64 {
+        self.inner.target_p()
+    }
+
+    /// The device's realized probability (oracle).
+    pub fn realized_p(&self) -> f64 {
+        self.inner.realized_p()
+    }
+
+    /// Closed-loop tuning of the underlying module (see
+    /// [`SpinDropModule::tune`]).
+    pub fn tune(&mut self, bits_per_step: u32, tolerance: f64, rng: &mut StdRng)
+        -> neuspin_device::CalibrationReport {
+        self.inner.tune(bits_per_step, tolerance, rng)
+    }
+
+    /// Draws the per-pass decision (`true` = bypass the scale vector)
+    /// and tallies the SRAM traffic into `counter`.
+    pub fn sample(&mut self, counter: &mut OpCounter, rng: &mut StdRng) -> bool {
+        counter.rng_bits += 1;
+        let dropped = self.inner.sample(rng);
+        if !dropped {
+            counter.sram_accesses += self.scale_len as u64;
+        }
+        dropped
+    }
+
+    /// Total RNG bits consumed so far.
+    pub fn bits_used(&self) -> u64 {
+        self.inner.bits_used()
+    }
+}
+
+/// The SpinBayes stochastic arbiter (§III-B2, Fig. 3): selects one of
+/// `n` crossbars per forward pass via a random one-hot vector, using
+/// `⌈log₂ n⌉` stochastic-MTJ bits (p = 0.5 each) and rejection sampling
+/// when `n` is not a power of two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arbiter {
+    bit_sources: Vec<SpinRng>,
+    n: usize,
+    bits_used: u64,
+}
+
+impl Arbiter {
+    /// Builds an arbiter over `n` crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, corner: VariedParams, rng: &mut StdRng) -> Self {
+        assert!(n > 0, "arbiter needs at least one target");
+        let bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        let bit_sources = (0..bits.max(if n > 1 { 1 } else { 0 }))
+            .map(|_| {
+                let mut s = SpinRng::new(corner, rng);
+                s.calibrate_nominal(0.5);
+                s
+            })
+            .collect();
+        Self { bit_sources, n, bits_used: 0 }
+    }
+
+    /// Number of selectable crossbars.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bits per candidate draw (`⌈log₂ n⌉`).
+    pub fn bits_per_draw(&self) -> usize {
+        self.bit_sources.len()
+    }
+
+    /// Draws a uniformly random index in `0..n` (one-hot selection).
+    pub fn select(&mut self, rng: &mut StdRng) -> usize {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            let mut value = 0usize;
+            for src in &mut self.bit_sources {
+                value = (value << 1) | usize::from(src.next_bit(rng));
+                self.bits_used += 1;
+            }
+            if value < self.n {
+                return value;
+            }
+            // Rejection: redraw (only possible for non-power-of-two n).
+        }
+    }
+
+    /// Draws the full one-hot vector.
+    pub fn select_one_hot(&mut self, rng: &mut StdRng) -> Vec<bool> {
+        let idx = self.select(rng);
+        (0..self.n).map(|i| i == idx).collect()
+    }
+
+    /// Total RNG bits consumed so far.
+    pub fn bits_used(&self) -> u64 {
+        self.bits_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_device::{MtjParams, VariationModel};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(303)
+    }
+
+    #[test]
+    fn spindrop_module_frequency() {
+        let mut r = rng();
+        let mut m = SpinDropModule::new(0.4, VariedParams::ideal(), &mut r);
+        let drops = (0..5000).filter(|_| m.sample(&mut r)).count();
+        assert!((drops as f64 / 5000.0 - 0.4).abs() < 0.03);
+        assert_eq!(m.bits_used(), 5000);
+    }
+
+    #[test]
+    fn variation_shifts_realized_p() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.10));
+        let ps: Vec<f64> = (0..40)
+            .map(|_| SpinDropModule::new(0.5, corner, &mut r).realized_p())
+            .collect();
+        let spread = ps.iter().cloned().fold(0.0f64, |a, p| a.max((p - 0.5).abs()));
+        assert!(spread > 0.05, "realized p must spread under variation, got {spread}");
+    }
+
+    #[test]
+    fn spatial_module_gates_multiple_rows() {
+        let mut r = rng();
+        let m = SpatialDropModule::new(0.3, 9, VariedParams::ideal(), &mut r);
+        assert_eq!(m.rows_gated(), 9);
+        assert_eq!(m.target_p(), 0.3);
+    }
+
+    #[test]
+    fn scale_module_counts_sram_traffic() {
+        let mut r = rng();
+        let mut m = ScaleDropModule::new(0.5, 64, VariedParams::ideal(), &mut r);
+        let mut counter = OpCounter::new();
+        let mut kept = 0;
+        for _ in 0..100 {
+            if !m.sample(&mut counter, &mut r) {
+                kept += 1;
+            }
+        }
+        assert_eq!(counter.rng_bits, 100);
+        assert_eq!(counter.sram_accesses, kept * 64);
+        assert!(kept > 20 && kept < 80);
+    }
+
+    #[test]
+    fn arbiter_uniform_selection_power_of_two() {
+        let mut r = rng();
+        let mut arb = Arbiter::new(4, VariedParams::ideal(), &mut r);
+        assert_eq!(arb.bits_per_draw(), 2);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[arb.select(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 4000.0 - 0.25).abs() < 0.04, "{counts:?}");
+        }
+        assert_eq!(arb.bits_used(), 8000);
+    }
+
+    #[test]
+    fn arbiter_rejection_sampling_non_power_of_two() {
+        let mut r = rng();
+        let mut arb = Arbiter::new(3, VariedParams::ideal(), &mut r);
+        assert_eq!(arb.bits_per_draw(), 2);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[arb.select(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 3000.0 - 1.0 / 3.0).abs() < 0.05, "{counts:?}");
+        }
+        // Rejection costs extra bits: more than 2 per draw on average.
+        assert!(arb.bits_used() > 6000);
+    }
+
+    #[test]
+    fn arbiter_one_hot_has_single_true() {
+        let mut r = rng();
+        let mut arb = Arbiter::new(5, VariedParams::ideal(), &mut r);
+        for _ in 0..20 {
+            let oh = arb.select_one_hot(&mut r);
+            assert_eq!(oh.len(), 5);
+            assert_eq!(oh.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn arbiter_single_target_is_free() {
+        let mut r = rng();
+        let mut arb = Arbiter::new(1, VariedParams::ideal(), &mut r);
+        assert_eq!(arb.select(&mut r), 0);
+        assert_eq!(arb.bits_used(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Layer-to-crossbar mapping strategies (Fig. 1) and their cost
+//! reports.
+//!
+//! Two conv-layer mappings are modelled, exactly as the paper describes:
+//!
+//! * **Strategy ① (unfolded columns)** — every `K×K×C_in` kernel is
+//!   unfolded into one crossbar column (Gokmen et al.), giving one
+//!   `(K·K·C_in) × C_out` array per layer (tiled to the physical array
+//!   limit).
+//! * **Strategy ② (kernel tiling)** — each kernel maps onto a small
+//!   `K×K`-row crossbar; the layer becomes a `C_in × C_out` grid of such
+//!   crossbars (Peng et al.).
+//!
+//! The report also counts the dropout modules each Bayesian method needs
+//! on that mapping — the quantity behind the paper's 9× module-count
+//! reduction for Spatial-SpinDrop.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical crossbar size limit for tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayLimit {
+    /// Maximum word lines per physical array.
+    pub max_rows: usize,
+    /// Maximum bit lines per physical array.
+    pub max_cols: usize,
+}
+
+impl Default for ArrayLimit {
+    /// 256 × 256 arrays — a common macro size in the CIM literature.
+    fn default() -> Self {
+        Self { max_rows: 256, max_cols: 256 }
+    }
+}
+
+/// The two conv mapping strategies of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvMapping {
+    /// Strategy ①: kernels unfolded into columns of one big array.
+    UnfoldedColumns,
+    /// Strategy ②: a `C_in × C_out` grid of `K×K` sub-arrays.
+    KernelTiled,
+}
+
+impl fmt::Display for ConvMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvMapping::UnfoldedColumns => f.write_str("strategy-1 (unfolded columns)"),
+            ConvMapping::KernelTiled => f.write_str("strategy-2 (kernel tiled)"),
+        }
+    }
+}
+
+/// A layer's logical shape, the unit of mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// A fully-connected layer `in → out`.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// A 2-D convolution with square kernel.
+    Conv {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel side.
+        kernel: usize,
+    },
+}
+
+impl LayerShape {
+    /// Number of crossbar input rows the layer occupies logically.
+    pub fn logical_rows(&self) -> usize {
+        match *self {
+            LayerShape::Linear { in_features, .. } => in_features,
+            LayerShape::Conv { in_channels, kernel, .. } => in_channels * kernel * kernel,
+        }
+    }
+
+    /// Number of crossbar output columns.
+    pub fn logical_cols(&self) -> usize {
+        match *self {
+            LayerShape::Linear { out_features, .. } => out_features,
+            LayerShape::Conv { out_channels, .. } => out_channels,
+        }
+    }
+
+    /// Weight count.
+    pub fn weights(&self) -> usize {
+        self.logical_rows() * self.logical_cols()
+    }
+}
+
+/// The mapping cost report for one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingReport {
+    /// The mapped layer.
+    pub shape: LayerShape,
+    /// Strategy used (None for linear layers).
+    pub strategy: Option<ConvMapping>,
+    /// Physical arrays instantiated after tiling.
+    pub crossbar_count: usize,
+    /// `(rows, cols)` of each physical array.
+    pub crossbar_shapes: Vec<(usize, usize)>,
+    /// Total programmed cells (2 MTJs each for binary cells).
+    pub cells: usize,
+    /// Dropout modules needed by SpinDrop (one per input neuron row).
+    pub spindrop_modules: usize,
+    /// Dropout modules needed by Spatial-SpinDrop (one per input
+    /// feature map / gated group).
+    pub spatial_modules: usize,
+    /// Dropout modules needed by SpinScaleDrop (always one).
+    pub scale_modules: usize,
+}
+
+impl MappingReport {
+    /// Module-count reduction of spatial vs per-neuron dropout (the
+    /// paper's 9× for 3×3 kernels).
+    pub fn spatial_reduction(&self) -> f64 {
+        self.spindrop_modules as f64 / self.spatial_modules.max(1) as f64
+    }
+}
+
+fn tile(rows: usize, cols: usize, limit: &ArrayLimit) -> Vec<(usize, usize)> {
+    let mut shapes = Vec::new();
+    let mut r = 0;
+    while r < rows {
+        let h = (rows - r).min(limit.max_rows);
+        let mut c = 0;
+        while c < cols {
+            let w = (cols - c).min(limit.max_cols);
+            shapes.push((h, w));
+            c += w;
+        }
+        r += h;
+    }
+    shapes
+}
+
+/// Maps a fully-connected layer onto physical arrays.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn map_linear(in_features: usize, out_features: usize, limit: &ArrayLimit) -> MappingReport {
+    assert!(in_features > 0 && out_features > 0, "dimensions must be positive");
+    let shape = LayerShape::Linear { in_features, out_features };
+    let shapes = tile(in_features, out_features, limit);
+    MappingReport {
+        shape,
+        strategy: None,
+        crossbar_count: shapes.len(),
+        cells: shape.weights(),
+        crossbar_shapes: shapes,
+        spindrop_modules: in_features,
+        spatial_modules: in_features, // no spatial grouping in FC layers
+        scale_modules: 1,
+    }
+}
+
+/// Maps a convolution onto physical arrays under the given strategy.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn map_conv(
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    strategy: ConvMapping,
+    limit: &ArrayLimit,
+) -> MappingReport {
+    assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "dimensions must be positive");
+    let shape = LayerShape::Conv { in_channels, out_channels, kernel };
+    let logical_rows = shape.logical_rows();
+    let shapes = match strategy {
+        ConvMapping::UnfoldedColumns => tile(logical_rows, out_channels, limit),
+        ConvMapping::KernelTiled => {
+            // A C_in × C_out grid of K·K-row single-kernel arrays,
+            // merged along columns up to the physical column limit.
+            let cols_per_array = limit.max_cols.min(out_channels);
+            let arrays_per_row_of_grid = out_channels.div_ceil(cols_per_array);
+            let mut shapes = Vec::new();
+            for _cin in 0..in_channels {
+                for a in 0..arrays_per_row_of_grid {
+                    let w = if a + 1 == arrays_per_row_of_grid {
+                        out_channels - a * cols_per_array
+                    } else {
+                        cols_per_array
+                    };
+                    shapes.push((kernel * kernel, w));
+                }
+            }
+            shapes
+        }
+    };
+    MappingReport {
+        shape,
+        strategy: Some(strategy),
+        crossbar_count: shapes.len(),
+        cells: shape.weights(),
+        crossbar_shapes: shapes,
+        spindrop_modules: logical_rows,
+        spatial_modules: in_channels,
+        scale_modules: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_mapping_single_tile() {
+        let r = map_linear(128, 64, &ArrayLimit::default());
+        assert_eq!(r.crossbar_count, 1);
+        assert_eq!(r.crossbar_shapes, vec![(128, 64)]);
+        assert_eq!(r.cells, 128 * 64);
+        assert_eq!(r.spindrop_modules, 128);
+        assert_eq!(r.scale_modules, 1);
+    }
+
+    #[test]
+    fn linear_mapping_tiles_large_layers() {
+        let r = map_linear(600, 300, &ArrayLimit::default());
+        // 600 rows → 3 row-tiles (256+256+88); 300 cols → 2 col-tiles.
+        assert_eq!(r.crossbar_count, 6);
+        let total_cells: usize = r.crossbar_shapes.iter().map(|(h, w)| h * w).sum();
+        assert_eq!(total_cells, 600 * 300);
+    }
+
+    #[test]
+    fn conv_strategy1_unfolds_kernels() {
+        let r = map_conv(16, 32, 3, ConvMapping::UnfoldedColumns, &ArrayLimit::default());
+        // 16·9 = 144 rows ≤ 256 → single tile.
+        assert_eq!(r.crossbar_shapes, vec![(144, 32)]);
+        assert_eq!(r.spindrop_modules, 144);
+        assert_eq!(r.spatial_modules, 16);
+        assert!((r.spatial_reduction() - 9.0).abs() < 1e-12, "K² = 9 for 3×3");
+    }
+
+    #[test]
+    fn conv_strategy2_grid_of_kernel_arrays() {
+        let r = map_conv(16, 32, 3, ConvMapping::KernelTiled, &ArrayLimit::default());
+        assert_eq!(r.crossbar_count, 16, "one 9×32 array per input channel");
+        assert!(r.crossbar_shapes.iter().all(|&(h, w)| h == 9 && w == 32));
+        assert_eq!(r.spatial_modules, 16);
+    }
+
+    #[test]
+    fn strategy2_splits_wide_outputs() {
+        let limit = ArrayLimit { max_rows: 256, max_cols: 20 };
+        let r = map_conv(4, 50, 3, ConvMapping::KernelTiled, &limit);
+        // 50 cols / 20 → 3 arrays per input channel (20+20+10).
+        assert_eq!(r.crossbar_count, 12);
+        let cells: usize = r.crossbar_shapes.iter().map(|(h, w)| h * w).sum();
+        assert_eq!(cells, 4 * 9 * 50);
+    }
+
+    #[test]
+    fn both_strategies_map_all_weights() {
+        for strategy in [ConvMapping::UnfoldedColumns, ConvMapping::KernelTiled] {
+            let r = map_conv(8, 24, 5, strategy, &ArrayLimit::default());
+            let cells: usize = r.crossbar_shapes.iter().map(|(h, w)| h * w).sum();
+            assert_eq!(cells, 8 * 25 * 24, "{strategy}");
+            assert_eq!(r.cells, 8 * 25 * 24);
+        }
+    }
+
+    #[test]
+    fn module_reduction_scales_with_kernel() {
+        let r5 = map_conv(8, 8, 5, ConvMapping::UnfoldedColumns, &ArrayLimit::default());
+        assert!((r5.spatial_reduction() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(ConvMapping::UnfoldedColumns.to_string().contains("strategy-1"));
+        assert!(ConvMapping::KernelTiled.to_string().contains("strategy-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = map_linear(0, 4, &ArrayLimit::default());
+    }
+}

@@ -1,0 +1,532 @@
+//! Hardware execution blocks.
+//!
+//! A compiled [`HardwareModel`](crate::HardwareModel) is a pipeline of
+//! these blocks: crossbar-backed layers (binary conv / FC, SpinBayes
+//! multi-instance FC), digital periphery (norms, activations, pooling,
+//! the final classifier), and the stochastic units built from
+//! [`neuspin_cim`] dropout modules. Every block tallies its operations
+//! for the energy model.
+
+use neuspin_cim::{
+    Arbiter, Crossbar, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
+};
+use neuspin_nn::conv::{im2col, ConvGeometry};
+use neuspin_nn::Tensor;
+use rand::rngs::StdRng;
+
+/// Welford accumulator for per-feature calibration statistics.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FeatureStats {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl FeatureStats {
+    fn ensure(&mut self, f: usize) {
+        if self.mean.len() != f {
+            self.mean = vec![0.0; f];
+            self.m2 = vec![0.0; f];
+            self.count = 0;
+        }
+    }
+
+    fn push(&mut self, feature: usize, x: f64) {
+        // count tracks pushes per feature (uniform across features).
+        let delta = x - self.mean[feature];
+        self.mean[feature] += delta / self.count as f64;
+        self.m2[feature] += delta * (x - self.mean[feature]);
+    }
+
+    fn mean_var(&self, feature: usize) -> (f32, f32) {
+        let var = if self.count > 1 {
+            self.m2[feature] / (self.count - 1) as f64
+        } else {
+            1.0
+        };
+        (self.mean[feature] as f32, var.max(1e-6) as f32)
+    }
+}
+
+fn layout(shape: &[usize]) -> (usize, usize, usize) {
+    match shape.len() {
+        2 => (shape[0], shape[1], 1),
+        4 => (shape[0], shape[1], shape[2] * shape[3]),
+        _ => panic!("expected [N,F] or [N,C,H,W], got {shape:?}"),
+    }
+}
+
+/// A binary-crossbar convolution: sign weights in the array, per-channel
+/// α scales and biases applied digitally.
+#[derive(Debug)]
+pub struct HwConv {
+    pub(crate) xbar: Crossbar,
+    pub(crate) geo: ConvGeometry,
+    pub(crate) alphas: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) local: OpCounter,
+}
+
+impl HwConv {
+    pub(crate) fn forward(&mut self, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (self.geo.out_size(h), self.geo.out_size(w));
+        let cout = self.geo.out_channels;
+        let col = im2col(x, &self.geo);
+        let patch = self.geo.patch_len();
+        let positions = n * oh * ow;
+        let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+        for pos in 0..positions {
+            let input = &col.as_slice()[pos * patch..(pos + 1) * patch];
+            let y = self.xbar.matvec(input, rng);
+            let (ni, rem) = (pos / (oh * ow), pos % (oh * ow));
+            let (oy, ox) = (rem / ow, rem % ow);
+            for (co, &v) in y.iter().enumerate() {
+                out[((ni * cout + co) * oh + oy) * ow + ox] =
+                    v as f32 * self.alphas[co] + self.bias[co];
+            }
+        }
+        self.local.digital_ops += (positions * cout) as u64;
+        out
+    }
+
+    pub(crate) fn counter(&self) -> OpCounter {
+        let mut c = *self.xbar.counter();
+        c.merge(&self.local);
+        c
+    }
+
+}
+
+/// A binary-crossbar fully-connected layer.
+#[derive(Debug)]
+pub struct HwFc {
+    pub(crate) xbar: Crossbar,
+    pub(crate) alphas: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) local: OpCounter,
+}
+
+impl HwFc {
+    pub(crate) fn forward(&mut self, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        assert_eq!(x.ndim(), 2, "HwFc expects [N, F]");
+        let (n, f) = (x.shape()[0], x.shape()[1]);
+        let o = self.alphas.len();
+        let mut out = Tensor::zeros(&[n, o]);
+        for ni in 0..n {
+            let y = self.xbar.matvec(&x.as_slice()[ni * f..(ni + 1) * f], rng);
+            for (j, &v) in y.iter().enumerate() {
+                out[ni * o + j] = v as f32 * self.alphas[j] + self.bias[j];
+            }
+        }
+        self.local.digital_ops += (n * o) as u64;
+        out
+    }
+
+    pub(crate) fn counter(&self) -> OpCounter {
+        let mut c = *self.xbar.counter();
+        c.merge(&self.local);
+        c
+    }
+
+}
+
+/// The SpinBayes multi-instance FC layer: `N` quantized crossbars and a
+/// stochastic Arbiter choosing one per forward pass (Fig. 3).
+#[derive(Debug)]
+pub struct HwFcSpinBayes {
+    pub(crate) xbars: Vec<MlcCrossbar>,
+    pub(crate) arbiter: Arbiter,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) out_features: usize,
+    pub(crate) local: OpCounter,
+}
+
+impl HwFcSpinBayes {
+    pub(crate) fn forward(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        assert_eq!(x.ndim(), 2, "HwFcSpinBayes expects [N, F]");
+        let (n, f) = (x.shape()[0], x.shape()[1]);
+        let o = self.out_features;
+        let before = self.arbiter.bits_used();
+        let selected = if stochastic { self.arbiter.select(rng) } else { 0 };
+        self.local.rng_bits += self.arbiter.bits_used() - before;
+        let xbar = &mut self.xbars[selected];
+        let mut out = Tensor::zeros(&[n, o]);
+        for ni in 0..n {
+            let y = xbar.matvec(&x.as_slice()[ni * f..(ni + 1) * f], rng);
+            for (j, &v) in y.iter().enumerate() {
+                out[ni * o + j] = v as f32 + self.bias[j];
+            }
+        }
+        self.local.digital_ops += (n * o) as u64;
+        out
+    }
+
+    pub(crate) fn counter(&self) -> OpCounter {
+        let mut c = self.local;
+        for xb in &self.xbars {
+            c.merge(xb.counter());
+        }
+        c
+    }
+
+}
+
+/// The final classifier, executed in the digital periphery.
+#[derive(Debug)]
+pub struct HwDigitalFc {
+    pub(crate) weight: Tensor, // [o, i]
+    pub(crate) bias: Vec<f32>,
+    pub(crate) local: OpCounter,
+}
+
+impl HwDigitalFc {
+    pub(crate) fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut out = x.matmul(&self.weight.transpose());
+        let (n, o) = (out.shape()[0], out.shape()[1]);
+        for ni in 0..n {
+            for j in 0..o {
+                out[ni * o + j] += self.bias[j];
+            }
+        }
+        self.local.digital_ops += (x.len() * o) as u64;
+        out
+    }
+}
+
+/// Digital batch-norm with *hardware-calibrated* statistics: the mean
+/// and variance are measured at this pipeline position by calibration
+/// passes run on the compiled hardware, so they absorb programming-time
+/// crossbar variation (the standard CIM deployment flow).
+#[derive(Debug)]
+pub struct HwNorm {
+    pub(crate) gamma: Vec<f32>,
+    pub(crate) beta: Vec<f32>,
+    pub(crate) mean: Vec<f32>,
+    pub(crate) var: Vec<f32>,
+    pub(crate) stats: FeatureStats,
+    pub(crate) local: OpCounter,
+}
+
+impl HwNorm {
+    pub(crate) fn forward(&mut self, x: &Tensor, calibrating: bool) -> Tensor {
+        let (n, f, spatial) = layout(x.shape());
+        assert_eq!(f, self.gamma.len(), "feature mismatch");
+        if calibrating {
+            self.stats.ensure(f);
+            for ni in 0..n {
+                for si in 0..spatial {
+                    self.stats.count += 1;
+                    for fi in 0..f {
+                        let v = x[(ni * f + fi) * spatial + si] as f64;
+                        self.stats.push(fi, v);
+                    }
+                }
+            }
+            for fi in 0..f {
+                let (m, v) = self.stats.mean_var(fi);
+                self.mean[fi] = m;
+                self.var[fi] = v;
+            }
+        }
+        let mut out = Tensor::zeros(x.shape());
+        for ni in 0..n {
+            for fi in 0..f {
+                let inv = 1.0 / (self.var[fi] + 1e-5).sqrt();
+                let (g, b, m) = (self.gamma[fi], self.beta[fi], self.mean[fi]);
+                for si in 0..spatial {
+                    let i = (ni * f + fi) * spatial + si;
+                    out[i] = g * (x[i] - m) * inv + b;
+                }
+            }
+        }
+        self.local.digital_ops += x.len() as u64;
+        out
+    }
+}
+
+/// Digital inverted normalization (affine first, per-sample whitening
+/// after) with optional hardware affine-dropout modules. Needs no
+/// calibration — the self-healing property.
+#[derive(Debug)]
+pub struct HwInvNorm {
+    pub(crate) gamma: Vec<f32>,
+    pub(crate) beta: Vec<f32>,
+    /// Affine-dropout modules for (γ, β); `None` when p = 0.
+    pub(crate) modules: Option<(SpinDropModule, SpinDropModule)>,
+    pub(crate) local: OpCounter,
+}
+
+impl HwInvNorm {
+    pub(crate) fn forward(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        let (n, f, spatial) = layout(x.shape());
+        assert_eq!(f, self.gamma.len(), "feature mismatch");
+        let (gamma_kept, beta_kept) = match (&mut self.modules, stochastic) {
+            (Some((mg, mb)), true) => {
+                self.local.rng_bits += 2;
+                (!mg.sample(rng), !mb.sample(rng))
+            }
+            _ => (true, true),
+        };
+        let m_elems = (f * spatial) as f32;
+        let mut out = Tensor::zeros(x.shape());
+        for ni in 0..n {
+            // Affine first.
+            let mut a = vec![0.0f32; f * spatial];
+            for fi in 0..f {
+                let g = if gamma_kept { self.gamma[fi] } else { 1.0 };
+                let b = if beta_kept { self.beta[fi] } else { 0.0 };
+                for si in 0..spatial {
+                    a[fi * spatial + si] = g * x[(ni * f + fi) * spatial + si] + b;
+                }
+            }
+            // Per-sample whitening.
+            let mean: f32 = a.iter().sum::<f32>() / m_elems;
+            let var: f32 = a.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m_elems;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for (idx, &v) in a.iter().enumerate() {
+                let fi = idx / spatial;
+                let si = idx % spatial;
+                out[(ni * f + fi) * spatial + si] = (v - mean) * inv;
+            }
+        }
+        self.local.digital_ops += 2 * x.len() as u64;
+        self.local.sram_accesses += 2 * f as u64; // γ and β reads
+        out
+    }
+}
+
+/// Hardware stochastic (dropout) units.
+#[derive(Debug)]
+pub enum HwDropout {
+    /// One SpinDrop module per neuron (gates one word-line pair each).
+    PerNeuron {
+        /// The per-neuron modules.
+        modules: Vec<SpinDropModule>,
+        /// Design drop probability (for the inverted-dropout rescale).
+        p: f32,
+    },
+    /// One module per feature map, gating a row group via the decoder.
+    PerChannel {
+        /// The per-channel modules.
+        modules: Vec<SpatialDropModule>,
+        /// Design drop probability.
+        p: f32,
+    },
+    /// The single per-layer scale-dropout module + SRAM scale vector.
+    Scale {
+        /// The layer's one module.
+        module: ScaleDropModule,
+        /// Trained scale vector (SRAM contents).
+        scale: Vec<f32>,
+        /// Local op tallies.
+        local: OpCounter,
+    },
+    /// Sub-set VI: gaussian scale samples from the learned posterior.
+    ViScale {
+        /// Posterior means.
+        mu: Vec<f32>,
+        /// Posterior standard deviations.
+        sigma: Vec<f32>,
+        /// Stochastic bits charged per gaussian sample.
+        bits_per_sample: u32,
+        /// Local op tallies.
+        local: OpCounter,
+    },
+}
+
+impl HwDropout {
+    pub(crate) fn forward(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        let (n, f, spatial) = layout(x.shape());
+        match self {
+            HwDropout::PerNeuron { modules, p } => {
+                if !stochastic {
+                    return x.clone();
+                }
+                assert_eq!(modules.len(), f * spatial, "one module per neuron");
+                let keep_scale = 1.0 / (1.0 - *p);
+                let mut out = Tensor::zeros(x.shape());
+                for ni in 0..n {
+                    for (mi, module) in modules.iter_mut().enumerate() {
+                        let dropped = module.sample(rng);
+                        let i = ni * f * spatial + mi;
+                        out[i] = if dropped { 0.0 } else { x[i] * keep_scale };
+                    }
+                }
+                out
+            }
+            HwDropout::PerChannel { modules, p } => {
+                if !stochastic {
+                    return x.clone();
+                }
+                assert_eq!(modules.len(), f, "one module per channel");
+                let keep_scale = 1.0 / (1.0 - *p);
+                let mut out = Tensor::zeros(x.shape());
+                for ni in 0..n {
+                    for (fi, module) in modules.iter_mut().enumerate() {
+                        let dropped = module.sample(rng);
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = if dropped { 0.0 } else { x[i] * keep_scale };
+                        }
+                    }
+                }
+                out
+            }
+            HwDropout::Scale { module, scale, local } => {
+                let dropped = if stochastic {
+                    module.sample(local, rng)
+                } else {
+                    local.sram_accesses += scale.len() as u64;
+                    false
+                };
+                if dropped {
+                    return x.clone(); // scale modulated to identity
+                }
+                assert_eq!(scale.len(), f, "scale length mismatch");
+                let mut out = Tensor::zeros(x.shape());
+                for ni in 0..n {
+                    for fi in 0..f {
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = x[i] * scale[fi];
+                        }
+                    }
+                }
+                out
+            }
+            HwDropout::ViScale { mu, sigma, bits_per_sample, local } => {
+                assert_eq!(mu.len(), f, "scale length mismatch");
+                let sampled: Vec<f32> = if stochastic {
+                    local.rng_bits += u64::from(*bits_per_sample) * f as u64;
+                    (0..f)
+                        .map(|j| {
+                            mu[j]
+                                + sigma[j]
+                                    * neuspin_device::stats::standard_normal(rng) as f32
+                        })
+                        .collect()
+                } else {
+                    mu.clone()
+                };
+                local.sram_accesses += 2 * f as u64;
+                let mut out = Tensor::zeros(x.shape());
+                for ni in 0..n {
+                    for fi in 0..f {
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = x[i] * sampled[fi];
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    pub(crate) fn counter(&self) -> OpCounter {
+        match self {
+            HwDropout::PerNeuron { modules, .. } => OpCounter {
+                rng_bits: modules.iter().map(|m| m.bits_used()).sum(),
+                ..OpCounter::new()
+            },
+            HwDropout::PerChannel { modules, .. } => OpCounter {
+                rng_bits: modules.iter().map(|m| m.bits_used()).sum(),
+                ..OpCounter::new()
+            },
+            HwDropout::Scale { local, .. } => *local,
+            HwDropout::ViScale { local, .. } => *local,
+        }
+    }
+}
+
+/// One stage of the compiled hardware pipeline.
+#[derive(Debug)]
+pub enum HwBlock {
+    /// Binary crossbar convolution.
+    Conv(HwConv),
+    /// Binary crossbar FC layer.
+    Fc(HwFc),
+    /// SpinBayes multi-instance FC layer.
+    FcSpinBayes(HwFcSpinBayes),
+    /// Digital final classifier.
+    DigitalFc(HwDigitalFc),
+    /// Calibrated digital batch norm.
+    Norm(HwNorm),
+    /// Inverted normalization (+ affine dropout).
+    InvNorm(HwInvNorm),
+    /// Hard-tanh activation (digital).
+    HardTanh,
+    /// Non-overlapping max pool.
+    MaxPool(usize),
+    /// NCHW → `[N, F]` flatten.
+    Flatten,
+    /// A stochastic dropout unit.
+    Dropout(HwDropout),
+}
+
+impl HwBlock {
+    /// Executes the block.
+    pub(crate) fn forward(
+        &mut self,
+        x: &Tensor,
+        stochastic: bool,
+        calibrating: bool,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        match self {
+            HwBlock::Conv(b) => b.forward(x, rng),
+            HwBlock::Fc(b) => b.forward(x, rng),
+            HwBlock::FcSpinBayes(b) => b.forward(x, stochastic, rng),
+            HwBlock::DigitalFc(b) => b.forward(x),
+            HwBlock::Norm(b) => b.forward(x, calibrating),
+            HwBlock::InvNorm(b) => b.forward(x, stochastic, rng),
+            HwBlock::HardTanh => x.map(|v| v.clamp(-1.0, 1.0)),
+            HwBlock::MaxPool(k) => max_pool(x, *k),
+            HwBlock::Flatten => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                x.reshape(&[n, rest])
+            }
+            HwBlock::Dropout(d) => d.forward(x, stochastic, rng),
+        }
+    }
+
+    /// The block's accumulated op counts.
+    pub(crate) fn counter(&self) -> OpCounter {
+        match self {
+            HwBlock::Conv(b) => b.counter(),
+            HwBlock::Fc(b) => b.counter(),
+            HwBlock::FcSpinBayes(b) => b.counter(),
+            HwBlock::DigitalFc(b) => b.local,
+            HwBlock::Norm(b) => b.local,
+            HwBlock::InvNorm(b) => b.local,
+            HwBlock::Dropout(d) => d.counter(),
+            _ => OpCounter::new(),
+        }
+    }
+}
+
+fn max_pool(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert!(h % k == 0 && w % k == 0, "pool window must divide input");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = x[((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx];
+                            best = best.max(v);
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = best;
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,171 @@
+//! Extraction of trained parameters from a software model.
+//!
+//! The hardware compiler consumes a trained [`Sequential`]'s state dict.
+//! Rather than downcasting layer objects, it relies on the *order and
+//! suffix* of the exported keys, which the `neuspin-bayes` builders fix:
+//! `.weight`/`.bias` pairs appear in network order (conv1, conv2, fc1,
+//! fc2), `.gamma`/`.beta` pairs per norm layer, `.scale` per scale-drop
+//! layer, `.mu`/`.rho` per VI scale layer.
+
+use neuspin_bayes::ArchConfig;
+use neuspin_nn::{Sequential, Tensor};
+
+/// Trained parameters of the method CNN, grouped by role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedParams {
+    /// Weight matrices in network order: conv1 `[c1, 9]`,
+    /// conv2 `[c2, c1·9]`, fc1 `[hidden, flat]`, fc2 `[classes, hidden]`.
+    pub weights: Vec<Tensor>,
+    /// Bias vectors matching `weights`.
+    pub biases: Vec<Tensor>,
+    /// Norm γ vectors in order (3 entries: after conv1, conv2, fc1).
+    pub gammas: Vec<Tensor>,
+    /// Norm β vectors matching `gammas`.
+    pub betas: Vec<Tensor>,
+    /// Scale-dropout scale vectors (empty unless the method uses them).
+    pub scales: Vec<Tensor>,
+    /// VI posterior means (empty unless sub-set VI).
+    pub mus: Vec<Tensor>,
+    /// VI posterior ρ (pre-softplus std) vectors matching `mus`.
+    pub rhos: Vec<Tensor>,
+}
+
+impl TrainedParams {
+    /// Extracts the parameter groups from a trained model built by
+    /// [`neuspin_bayes::build_cnn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state dict does not contain the expected four
+    /// weight matrices with shapes implied by `arch`.
+    pub fn from_model(model: &mut Sequential, arch: &ArchConfig) -> Self {
+        let state = model.state_dict();
+        let collect = |suffix: &str| -> Vec<Vec<f32>> {
+            state
+                .iter()
+                .filter(|(k, _)| k.ends_with(suffix))
+                .map(|(_, v)| v.clone())
+                .collect()
+        };
+        let raw_w = collect(".weight");
+        let raw_b = collect(".bias");
+        assert_eq!(raw_w.len(), 4, "expected 4 weight matrices, got {}", raw_w.len());
+        assert_eq!(raw_b.len(), 4, "expected 4 bias vectors");
+
+        let shapes: [(usize, usize); 4] = [
+            (arch.c1, 9),
+            (arch.c2, arch.c1 * 9),
+            (arch.hidden, arch.flat_features()),
+            (arch.classes, arch.hidden),
+        ];
+        let weights: Vec<Tensor> = raw_w
+            .into_iter()
+            .zip(shapes)
+            .map(|(data, (o, i))| Tensor::from_vec(data, &[o, i]))
+            .collect();
+        let biases: Vec<Tensor> =
+            raw_b.into_iter().map(|data| { let n = data.len(); Tensor::from_vec(data, &[n]) }).collect();
+
+        let vectorize = |raw: Vec<Vec<f32>>| -> Vec<Tensor> {
+            raw.into_iter().map(|data| { let n = data.len(); Tensor::from_vec(data, &[n]) }).collect()
+        };
+        Self {
+            weights,
+            biases,
+            gammas: vectorize(collect(".gamma")),
+            betas: vectorize(collect(".beta")),
+            scales: vectorize(collect(".scale")),
+            mus: vectorize(collect(".mu")),
+            rhos: vectorize(collect(".rho")),
+        }
+    }
+
+    /// Binarizes weight matrix `idx`: returns `(signs [o·i], alphas [o])`
+    /// with `α_o = mean |w_o|` — the values a binary crossbar stores and
+    /// the digital periphery applies.
+    pub fn binarized(&self, idx: usize) -> (Vec<f32>, Vec<f32>) {
+        let w = &self.weights[idx];
+        let (o, i) = (w.shape()[0], w.shape()[1]);
+        let mut signs = vec![0.0f32; o * i];
+        let mut alphas = vec![0.0f32; o];
+        for r in 0..o {
+            let row = &w.as_slice()[r * i..(r + 1) * i];
+            alphas[r] = row.iter().map(|x| x.abs()).sum::<f32>() / i as f32;
+            for c in 0..i {
+                signs[r * i + c] = if row[c] >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        (signs, alphas)
+    }
+
+    /// Transposes a row-major `[o, i]` sign matrix into the crossbar's
+    /// `[rows = i, cols = o]` layout.
+    pub fn to_crossbar_layout(signs: &[f32], o: usize, i: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; o * i];
+        for r in 0..o {
+            for c in 0..i {
+                out[c * o + r] = signs[r * i + c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_bayes::{build_cnn, Method};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::default()
+    }
+
+    #[test]
+    fn extracts_expected_groups_per_method() {
+        let a = arch();
+        for (method, scales, mus) in [
+            (Method::Deterministic, 0, 0),
+            (Method::SpinDrop, 0, 0),
+            (Method::SpinScaleDrop, 3, 0),
+            (Method::SubsetVi, 0, 3),
+            (Method::AffineDropout, 0, 0),
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut m = build_cnn(method, &a, &mut rng);
+            let p = TrainedParams::from_model(&mut m, &a);
+            assert_eq!(p.weights.len(), 4, "{method}");
+            assert_eq!(p.gammas.len(), 3, "{method}");
+            assert_eq!(p.scales.len(), scales, "{method}");
+            assert_eq!(p.mus.len(), mus, "{method}");
+            assert_eq!(p.rhos.len(), mus, "{method}");
+            // Shape spot checks.
+            assert_eq!(p.weights[0].shape(), &[a.c1, 9]);
+            assert_eq!(p.weights[2].shape(), &[a.hidden, a.flat_features()]);
+            assert_eq!(p.biases[3].len(), a.classes);
+            assert_eq!(p.gammas[2].len(), a.hidden);
+        }
+    }
+
+    #[test]
+    fn binarization_signs_and_alphas() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = build_cnn(Method::Deterministic, &a, &mut rng);
+        let mut p = TrainedParams::from_model(&mut m, &a);
+        p.weights[0] = Tensor::from_vec(vec![0.5, -0.3, 0.1, -0.9], &[2, 2]);
+        let (signs, alphas) = p.binarized(0);
+        assert_eq!(signs, vec![1.0, -1.0, 1.0, -1.0]);
+        assert!((alphas[0] - 0.4).abs() < 1e-6);
+        assert!((alphas[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crossbar_layout_transposes() {
+        // [o=2, i=3] row-major → [rows=3, cols=2].
+        let signs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let layout = TrainedParams::to_crossbar_layout(&signs, 2, 3);
+        assert_eq!(layout, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+}

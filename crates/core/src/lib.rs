@@ -1,0 +1,227 @@
+//! # neuspin-core — the hardware/software co-design runtime
+//!
+//! The paper's primary contribution, as an executable pipeline:
+//!
+//! 1. **Train** a Bayesian binary network in software
+//!    ([`neuspin_bayes::build_cnn`] + [`neuspin_nn::fit`]).
+//! 2. **Compile** it onto the spintronic CIM simulator
+//!    ([`HardwareModel::compile`]): binary weights → differential MTJ
+//!    crossbars; each method's stochastic element → the matching
+//!    MTJ dropout module (SpinDrop / Spatial / Scale / Arbiter);
+//!    normalization → digital periphery.
+//! 3. **Calibrate** the digital norm statistics on the compiled
+//!    hardware ([`HardwareModel::calibrate`]).
+//! 4. **Predict** with hardware-in-the-loop Monte-Carlo passes
+//!    ([`HardwareModel::predict`]), tallying every device event for the
+//!    energy model.
+//!
+//! Reliability scenarios — process variation, manufacturing defects,
+//! post-calibration drift — are scripted by [`reliability::sweep`].
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use neuspin_bayes::{build_cnn, ArchConfig, Method};
+//! use neuspin_core::{HardwareConfig, HardwareModel};
+//! use neuspin_data::digits::{dataset, DigitStyle};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let arch = ArchConfig::default();
+//! let mut model = build_cnn(Method::SpinDrop, &arch, &mut rng);
+//! // ... train `model` with neuspin_nn::fit ...
+//! let data = dataset(128, &DigitStyle::default(), &mut rng);
+//! let mut hw = HardwareModel::compile(
+//!     &mut model, Method::SpinDrop, &arch, &HardwareConfig::default(), &mut rng);
+//! hw.calibrate(&data.inputs, 2, &mut rng);
+//! let pred = hw.predict(&data.inputs, &mut rng);
+//! println!("hardware accuracy: {:.2}%", 100.0 * pred.accuracy(&data.labels));
+//! println!("energy: {}", hw.energy());
+//! ```
+
+pub mod blocks;
+#[cfg(test)]
+mod blocks_tests;
+pub mod extract;
+pub mod model;
+pub mod reliability;
+pub mod report;
+
+pub use extract::TrainedParams;
+pub use model::{HardwareConfig, HardwareModel};
+pub use reliability::{reliability_base, sweep, SweepKind, SweepPoint};
+pub use report::{CorruptionResult, OodResult, Series, Table1Row};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuspin_bayes::{build_cnn, ArchConfig, Method};
+    use neuspin_cim::CrossbarConfig;
+    use neuspin_nn::{Mode, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::default()
+    }
+
+    fn ideal_config() -> HardwareConfig {
+        HardwareConfig {
+            crossbar: CrossbarConfig::ideal(),
+            passes: 4,
+            ..HardwareConfig::default()
+        }
+    }
+
+    #[test]
+    fn compile_and_forward_all_methods() {
+        let a = arch();
+        let x = Tensor::from_fn(&[2, 1, 16, 16], |i| ((i * 13 % 29) as f32 / 14.5) - 1.0);
+        for method in Method::ALL {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut sw = build_cnn(
+                if method == Method::SpinBayes { Method::Deterministic } else { method },
+                &a,
+                &mut rng,
+            );
+            let mut hw = HardwareModel::compile(&mut sw, method, &a, &ideal_config(), &mut rng);
+            hw.calibrate(&x, 1, &mut rng);
+            let y = hw.forward(&x, method.is_bayesian(), &mut rng);
+            assert_eq!(y.shape(), &[2, 10], "{method}");
+            assert!(y.all_finite(), "{method}");
+        }
+    }
+
+    #[test]
+    fn ideal_hardware_matches_software_on_deterministic_model() {
+        // With an ideal crossbar (no variation/noise/ADC) the hardware
+        // forward must agree with the software model's Eval forward up
+        // to calibrated-vs-running norm statistics. Compare argmax
+        // decisions over a batch after calibrating on the same batch.
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sw = build_cnn(Method::Deterministic, &a, &mut rng);
+        let x = Tensor::from_fn(&[16, 1, 16, 16], |i| ((i * 31 % 101) as f32 / 50.5) - 1.0);
+        // A few software train passes to set running stats.
+        for _ in 0..30 {
+            let _ = sw.forward(&x, Mode::Train, &mut rng);
+        }
+        let sw_logits = sw.forward(&x, Mode::Eval, &mut rng);
+        let mut hw = HardwareModel::compile(&mut sw, Method::Deterministic, &a, &ideal_config(), &mut rng);
+        hw.calibrate(&x, 3, &mut rng);
+        let hw_logits = hw.forward(&x, false, &mut rng);
+        let agree = sw_logits
+            .argmax_rows()
+            .iter()
+            .zip(hw_logits.argmax_rows())
+            .filter(|(a, b)| **a == *b)
+            .count();
+        assert!(agree >= 14, "ideal hardware must track software: {agree}/16");
+    }
+
+    #[test]
+    fn bayesian_hardware_prediction_is_stochastic() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut sw = build_cnn(Method::SpinDrop, &a, &mut rng);
+        let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &a, &ideal_config(), &mut rng);
+        let x = Tensor::from_fn(&[2, 1, 16, 16], |i| (i as f32 * 0.037).sin());
+        hw.calibrate(&x, 1, &mut rng);
+        let y1 = hw.forward(&x, true, &mut rng);
+        let y2 = hw.forward(&x, true, &mut rng);
+        assert_ne!(y1, y2, "dropout modules must vary the output");
+        let pred = hw.predict(&x, &mut rng);
+        assert_eq!(pred.passes, 4);
+        assert!(pred.mutual_information.iter().any(|&mi| mi >= 0.0));
+    }
+
+    #[test]
+    fn energy_accounting_counts_rng_for_dropout_methods() {
+        let a = arch();
+        let x = Tensor::from_fn(&[1, 1, 16, 16], |i| (i as f32 * 0.05).cos());
+        let mut energies = Vec::new();
+        for method in [Method::Deterministic, Method::SpinDrop, Method::SpinScaleDrop] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut sw = build_cnn(method, &a, &mut rng);
+            let mut hw = HardwareModel::compile(&mut sw, method, &a, &ideal_config(), &mut rng);
+            hw.calibrate(&x, 1, &mut rng);
+            hw.reset_counter();
+            let _ = hw.predict(&x, &mut rng);
+            let c = hw.counter();
+            if method == Method::Deterministic {
+                assert_eq!(c.rng_bits, 0);
+            } else {
+                assert!(c.rng_bits > 0, "{method} must consume RNG bits");
+            }
+            energies.push((method, hw.energy().0));
+        }
+        // SpinDrop (per-neuron bits × 4 passes) must dwarf ScaleDrop.
+        let spindrop = energies[1].1;
+        let scaledrop = energies[2].1;
+        assert!(spindrop > scaledrop, "{spindrop} vs {scaledrop}");
+    }
+
+    #[test]
+    fn module_counts_follow_method_hierarchy() {
+        let a = arch();
+        let x = Tensor::zeros(&[1, 1, 16, 16]);
+        let _ = x;
+        let mut counts = std::collections::HashMap::new();
+        for method in [Method::SpinDrop, Method::SpatialSpinDrop, Method::SpinScaleDrop] {
+            let mut rng = StdRng::seed_from_u64(19);
+            let mut sw = build_cnn(method, &a, &mut rng);
+            let hw = HardwareModel::compile(&mut sw, method, &a, &ideal_config(), &mut rng);
+            counts.insert(method, hw.stochastic_module_count());
+        }
+        let sd = counts[&Method::SpinDrop];
+        let sp = counts[&Method::SpatialSpinDrop];
+        let sc = counts[&Method::SpinScaleDrop];
+        assert!(sd > sp && sp > sc, "{sd} > {sp} > {sc} expected");
+        assert_eq!(sc, 3, "one scale module per layer");
+        // conv maps (8 + 16) + fc features (64) = 88 spatial modules.
+        assert_eq!(sp, 88);
+    }
+
+    #[test]
+    fn drift_injection_changes_outputs() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sw = build_cnn(Method::Deterministic, &a, &mut rng);
+        let mut hw = HardwareModel::compile(&mut sw, Method::Deterministic, &a, &ideal_config(), &mut rng);
+        let x = Tensor::from_fn(&[2, 1, 16, 16], |i| (i as f32 * 0.021).sin());
+        hw.calibrate(&x, 1, &mut rng);
+        let before = hw.forward(&x, false, &mut rng);
+        hw.inject_drift(0.8, 0.2, &mut rng);
+        let after = hw.forward(&x, false, &mut rng);
+        assert_ne!(before, after, "drift must perturb the computation");
+        assert!(after.all_finite());
+    }
+
+    #[test]
+    fn summary_describes_pipeline() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut sw = build_cnn(Method::SpinScaleDrop, &a, &mut rng);
+        let hw = HardwareModel::compile(&mut sw, Method::SpinScaleDrop, &a, &ideal_config(), &mut rng);
+        let s = hw.summary();
+        assert!(s.contains("ScaleDrop: 1 module"), "{s}");
+        assert!(s.contains("crossbar conv 9×8"), "{s}");
+        assert!(s.contains("crossbar fc 256×64"), "{s}");
+        assert!(s.contains("digital fc 64×10"), "{s}");
+    }
+
+    #[test]
+    fn counter_window_resets() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut sw = build_cnn(Method::Deterministic, &a, &mut rng);
+        let mut hw = HardwareModel::compile(&mut sw, Method::Deterministic, &a, &ideal_config(), &mut rng);
+        let x = Tensor::zeros(&[1, 1, 16, 16]);
+        assert_eq!(hw.counter().cell_reads, 0, "programming excluded from window");
+        let _ = hw.forward(&x, false, &mut rng);
+        let after_one = hw.counter().cell_reads;
+        assert!(after_one > 0);
+        hw.reset_counter();
+        assert_eq!(hw.counter().cell_reads, 0);
+    }
+}

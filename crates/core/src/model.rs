@@ -1,0 +1,508 @@
+//! The compiled hardware model: compile → calibrate → predict.
+
+use crate::blocks::{
+    FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes, HwInvNorm, HwNorm,
+};
+use crate::extract::TrainedParams;
+use neuspin_bayes::{mc_predict_with, quantize, ArchConfig, Method, Predictive, SpinBayesConfig};
+use neuspin_cim::{
+    Arbiter, Crossbar, CrossbarConfig, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule,
+    SpinDropModule,
+};
+use neuspin_device::stats::LogNormal;
+use neuspin_energy::{EnergyBreakdown, EnergyModel, Joules};
+use neuspin_nn::conv::ConvGeometry;
+use neuspin_nn::{Sequential, Tensor};
+use rand::rngs::StdRng;
+
+fn softplus(x: f32) -> f32 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+/// Hardware deployment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareConfig {
+    /// Crossbar process corner, defects, noise, ADC.
+    pub crossbar: CrossbarConfig,
+    /// Monte-Carlo passes per prediction (0 = use the method profile's
+    /// publication setting; typically set lower for simulation speed).
+    pub passes: usize,
+    /// SpinBayes posterior configuration.
+    pub spinbayes: SpinBayesConfig,
+    /// Bits charged per gaussian sample in the VI scale sampler.
+    pub vi_bits_per_sample: u32,
+    /// Post-fabrication closed-loop tuning of the dropout modules:
+    /// measurement bits per bisection step (0 disables tuning and
+    /// leaves every module at its variation-skewed open-loop bias).
+    pub module_tuning_bits: u32,
+}
+
+impl Default for HardwareConfig {
+    fn default() -> Self {
+        Self {
+            crossbar: CrossbarConfig::default(),
+            passes: 16,
+            spinbayes: SpinBayesConfig::default(),
+            vi_bits_per_sample: 4,
+            module_tuning_bits: 150,
+        }
+    }
+}
+
+/// A network compiled onto the spintronic CIM simulator.
+///
+/// Built from a *trained* software model via [`HardwareModel::compile`];
+/// run [`HardwareModel::calibrate`] once after compilation (and after
+/// any drift injection, if re-calibration is part of the scenario being
+/// studied), then [`HardwareModel::predict`].
+#[derive(Debug)]
+pub struct HardwareModel {
+    blocks: Vec<HwBlock>,
+    method: Method,
+    passes: usize,
+    baseline: OpCounter,
+    energy_model: EnergyModel,
+}
+
+impl HardwareModel {
+    /// Compiles a trained method-CNN (from [`neuspin_bayes::build_cnn`])
+    /// onto crossbars drawn from `config.crossbar`'s process corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trained model's parameters do not match `arch`.
+    pub fn compile(
+        trained: &mut Sequential,
+        method: Method,
+        arch: &ArchConfig,
+        config: &HardwareConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let params = TrainedParams::from_model(trained, arch);
+        let corner = config.crossbar.corner;
+        let mut blocks: Vec<HwBlock> = Vec::new();
+
+        let conv_geo = |c_in: usize, c_out: usize| ConvGeometry {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+
+        // Block builder helpers -------------------------------------------------
+        let make_conv = |idx: usize, c_in: usize, c_out: usize, rng: &mut StdRng| -> HwConv {
+            let (signs, alphas) = params.binarized(idx);
+            let (o, i) = (c_out, c_in * 9);
+            let layout = TrainedParams::to_crossbar_layout(&signs, o, i);
+            HwConv {
+                xbar: Crossbar::program(&layout, i, o, &config.crossbar, rng),
+                geo: conv_geo(c_in, c_out),
+                alphas,
+                bias: params.biases[idx].as_slice().to_vec(),
+                local: OpCounter::new(),
+            }
+        };
+
+        let norm_block = |norm_idx: usize, p: f32, rng: &mut StdRng| -> HwBlock {
+            let gamma = params.gammas[norm_idx].as_slice().to_vec();
+            let beta = params.betas[norm_idx].as_slice().to_vec();
+            if method == Method::AffineDropout {
+                let modules = if p > 0.0 {
+                    let mk = |rng: &mut StdRng| {
+                        let mut m = SpinDropModule::new(p as f64, corner, rng);
+                        if config.module_tuning_bits > 0 {
+                            m.tune(config.module_tuning_bits, 0.02, rng);
+                        }
+                        m
+                    };
+                    Some((mk(rng), mk(rng)))
+                } else {
+                    None
+                };
+                HwBlock::InvNorm(HwInvNorm { gamma, beta, modules, local: OpCounter::new() })
+            } else {
+                let f = gamma.len();
+                HwBlock::Norm(HwNorm {
+                    gamma,
+                    beta,
+                    mean: vec![0.0; f],
+                    var: vec![1.0; f],
+                    stats: FeatureStats::default(),
+                    local: OpCounter::new(),
+                })
+            }
+        };
+
+        let mut scale_idx = 0usize;
+        let mut vi_idx = 0usize;
+        let mut dropout_block =
+            |features: usize, rng: &mut StdRng| -> Option<HwBlock> {
+                match method {
+                    Method::SpinDrop => Some(HwBlock::Dropout(HwDropout::PerNeuron {
+                        modules: (0..features)
+                            .map(|_| {
+                                let mut m = SpinDropModule::new(arch.p as f64, corner, rng);
+                                if config.module_tuning_bits > 0 {
+                                    m.tune(config.module_tuning_bits, 0.02, rng);
+                                }
+                                m
+                            })
+                            .collect(),
+                        p: arch.p,
+                    })),
+                    Method::SpatialSpinDrop => None, // built separately (needs channel count)
+                    Method::SpinScaleDrop => {
+                        let scale = params.scales[scale_idx].as_slice().to_vec();
+                        scale_idx += 1;
+                        let mut module =
+                            ScaleDropModule::new(arch.p as f64, scale.len(), corner, rng);
+                        if config.module_tuning_bits > 0 {
+                            module.tune(config.module_tuning_bits, 0.02, rng);
+                        }
+                        Some(HwBlock::Dropout(HwDropout::Scale {
+                            module,
+                            scale,
+                            local: OpCounter::new(),
+                        }))
+                    }
+                    Method::SubsetVi => {
+                        let mu = params.mus[vi_idx].as_slice().to_vec();
+                        let sigma: Vec<f32> =
+                            params.rhos[vi_idx].as_slice().iter().map(|&r| softplus(r)).collect();
+                        vi_idx += 1;
+                        Some(HwBlock::Dropout(HwDropout::ViScale {
+                            mu,
+                            sigma,
+                            bits_per_sample: config.vi_bits_per_sample,
+                            local: OpCounter::new(),
+                        }))
+                    }
+                    _ => None,
+                }
+            };
+
+        let spatial_block = |channels: usize, rows_gated: usize, rng: &mut StdRng| -> HwBlock {
+            HwBlock::Dropout(HwDropout::PerChannel {
+                modules: (0..channels)
+                    .map(|_| {
+                        let mut m =
+                            SpatialDropModule::new(arch.p as f64, rows_gated, corner, rng);
+                        if config.module_tuning_bits > 0 {
+                            m.tune(config.module_tuning_bits, 0.02, rng);
+                        }
+                        m
+                    })
+                    .collect(),
+                p: arch.p,
+            })
+        };
+
+        // --- conv block 1 ---
+        blocks.push(HwBlock::Conv(make_conv(0, 1, arch.c1, rng)));
+        blocks.push(norm_block(0, arch.p, rng));
+        blocks.push(HwBlock::HardTanh);
+        let act1 = arch.c1 * arch.side * arch.side;
+        if method == Method::SpatialSpinDrop {
+            blocks.push(spatial_block(arch.c1, 9, rng));
+        } else if let Some(b) = dropout_block(act1, rng) {
+            blocks.push(b);
+        }
+        blocks.push(HwBlock::MaxPool(2));
+
+        // --- conv block 2 ---
+        blocks.push(HwBlock::Conv(make_conv(1, arch.c1, arch.c2, rng)));
+        blocks.push(norm_block(1, arch.p, rng));
+        blocks.push(HwBlock::HardTanh);
+        let act2 = arch.c2 * (arch.side / 2) * (arch.side / 2);
+        if method == Method::SpatialSpinDrop {
+            blocks.push(spatial_block(arch.c2, 9, rng));
+        } else if let Some(b) = dropout_block(act2, rng) {
+            blocks.push(b);
+        }
+        blocks.push(HwBlock::MaxPool(2));
+
+        // --- FC stage ---
+        blocks.push(HwBlock::Flatten);
+        if method == Method::SpinBayes {
+            // Multi-instance quantized crossbars around the *latent*
+            // fc1 weights, arbiter-selected.
+            let w = &params.weights[2];
+            let sb = &config.spinbayes;
+            let rms = (w.norm_sq() / w.len() as f32).sqrt();
+            // Clip the level ladder at 3·rms: spending levels on the
+            // outlier tail would starve the bulk of the distribution
+            // (the paper's design-time bit-precision exploration).
+            let w_max = (3.0 * rms).min(w.map(f32::abs).max()).max(1e-6) as f64;
+            let sigma = sb.rel_sigma * rms;
+            let (o, i) = (arch.hidden, arch.flat_features());
+            let mut xbars = Vec::with_capacity(sb.instances);
+            for k in 0..sb.instances {
+                let mut inst = vec![0.0f32; o * i];
+                for r in 0..o {
+                    for c in 0..i {
+                        let base = w[r * i + c];
+                        let perturbed = if k == 0 {
+                            base
+                        } else {
+                            base + sigma
+                                * neuspin_device::stats::standard_normal(rng) as f32
+                        };
+                        // Crossbar layout: rows = inputs.
+                        inst[c * o + r] =
+                            quantize(perturbed, sb.levels, w_max as f32);
+                    }
+                }
+                xbars.push(MlcCrossbar::program(
+                    &inst,
+                    i,
+                    o,
+                    sb.levels - 1,
+                    w_max,
+                    &config.crossbar,
+                    rng,
+                ));
+            }
+            blocks.push(HwBlock::FcSpinBayes(HwFcSpinBayes {
+                xbars,
+                arbiter: Arbiter::new(sb.instances, corner, rng),
+                bias: params.biases[2].as_slice().to_vec(),
+                out_features: arch.hidden,
+                local: OpCounter::new(),
+            }));
+        } else {
+            let (signs, alphas) = params.binarized(2);
+            let (o, i) = (arch.hidden, arch.flat_features());
+            let layout = TrainedParams::to_crossbar_layout(&signs, o, i);
+            blocks.push(HwBlock::Fc(HwFc {
+                xbar: Crossbar::program(&layout, i, o, &config.crossbar, rng),
+                alphas,
+                bias: params.biases[2].as_slice().to_vec(),
+                local: OpCounter::new(),
+            }));
+        }
+        blocks.push(norm_block(2, arch.p, rng));
+        blocks.push(HwBlock::HardTanh);
+        if method == Method::SpatialSpinDrop {
+            blocks.push(spatial_block(arch.hidden, 1, rng));
+        } else if let Some(b) = dropout_block(arch.hidden, rng) {
+            blocks.push(b);
+        }
+
+        // Final classifier in the digital periphery.
+        blocks.push(HwBlock::DigitalFc(HwDigitalFc {
+            weight: params.weights[3].clone(),
+            bias: params.biases[3].as_slice().to_vec(),
+            local: OpCounter::new(),
+        }));
+
+        let mut model = Self {
+            blocks,
+            method,
+            passes: config.passes.max(1),
+            baseline: OpCounter::new(),
+            energy_model: EnergyModel::default(),
+        };
+        model.baseline = model.raw_counter();
+        model
+    }
+
+    /// The method this model implements.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Monte-Carlo passes per prediction.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Sets the MC pass count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes == 0`.
+    pub fn set_passes(&mut self, passes: usize) {
+        assert!(passes > 0, "passes must be positive");
+        self.passes = passes;
+    }
+
+    /// One hardware forward pass.
+    pub fn forward(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        let mut cur = x.clone();
+        for block in &mut self.blocks {
+            cur = block.forward(&cur, stochastic, false, rng);
+        }
+        cur
+    }
+
+    /// Calibrates the digital norm statistics by running `rounds`
+    /// deterministic hardware passes over `inputs` (the standard CIM
+    /// deployment flow; absorbs programming-time variation). A no-op for
+    /// the inverted-norm method, which needs no stored statistics.
+    pub fn calibrate(&mut self, inputs: &Tensor, rounds: usize, rng: &mut StdRng) {
+        for _ in 0..rounds.max(1) {
+            let mut cur = inputs.clone();
+            for block in &mut self.blocks {
+                cur = block.forward(&cur, false, true, rng);
+            }
+        }
+    }
+
+    /// Bayesian prediction: `passes` stochastic hardware passes
+    /// aggregated by the shared MC machinery.
+    pub fn predict(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
+        let passes = if self.method.is_bayesian() { self.passes } else { 1 };
+        mc_predict_with(passes, |_| self.forward(inputs, self.method.is_bayesian(), rng))
+    }
+
+    /// Deterministic (1-pass, stochastic units off) prediction.
+    pub fn predict_deterministic(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
+        mc_predict_with(1, |_| self.forward(inputs, false, rng))
+    }
+
+    fn raw_counter(&self) -> OpCounter {
+        let mut c = OpCounter::new();
+        for b in &self.blocks {
+            c.merge(&b.counter());
+        }
+        c
+    }
+
+    /// Op counts since the last [`HardwareModel::reset_counter`] (or
+    /// compilation), excluding programming costs.
+    pub fn counter(&self) -> OpCounter {
+        self.raw_counter().since(&self.baseline)
+    }
+
+    /// Starts a fresh counting window.
+    pub fn reset_counter(&mut self) {
+        self.baseline = self.raw_counter();
+    }
+
+    /// Energy of the current counting window.
+    pub fn energy(&self) -> Joules {
+        self.energy_model.energy_of(&self.counter())
+    }
+
+    /// Energy breakdown of the current counting window.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        self.energy_model.breakdown(&self.counter())
+    }
+
+    /// Injects multiplicative in-field conductance drift into every
+    /// crossbar: each cell's effective weight is scaled by an
+    /// independent lognormal factor of sigma `sigma` (plus a global
+    /// factor `global`). Models retention loss / temperature drift
+    /// *after* calibration — the self-healing scenario of §III-A4.
+    pub fn inject_drift(&mut self, global: f64, sigma: f64, rng: &mut StdRng) {
+        let dist = LogNormal::from_median_sigma(1.0, sigma.max(1e-12));
+        for block in &mut self.blocks {
+            match block {
+                HwBlock::Conv(b) => drift_crossbar(&mut b.xbar, global, &dist, rng),
+                HwBlock::Fc(b) => drift_crossbar(&mut b.xbar, global, &dist, rng),
+                HwBlock::FcSpinBayes(b) => {
+                    for xb in &mut b.xbars {
+                        drift_mlc(xb, global, &dist, rng);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A human-readable description of the compiled pipeline: one line
+    /// per stage with crossbar dimensions and module counts.
+    pub fn summary(&self) -> String {
+        let mut lines = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let desc = match block {
+                HwBlock::Conv(b) => format!(
+                    "crossbar conv {}×{} (binary, α+bias digital)",
+                    b.xbar.rows(),
+                    b.xbar.cols()
+                ),
+                HwBlock::Fc(b) => {
+                    format!("crossbar fc {}×{} (binary)", b.xbar.rows(), b.xbar.cols())
+                }
+                HwBlock::FcSpinBayes(b) => format!(
+                    "SpinBayes fc: {} instances of {}×{} ({} levels) + arbiter",
+                    b.xbars.len(),
+                    b.xbars[0].rows(),
+                    b.xbars[0].cols(),
+                    b.xbars[0].levels()
+                ),
+                HwBlock::DigitalFc(b) => format!(
+                    "digital fc {}×{}",
+                    b.weight.shape()[1],
+                    b.weight.shape()[0]
+                ),
+                HwBlock::Norm(b) => format!("calibrated norm ({} features)", b.gamma.len()),
+                HwBlock::InvNorm(b) => format!(
+                    "inverted norm ({} features{})",
+                    b.gamma.len(),
+                    if b.modules.is_some() { ", affine dropout" } else { "" }
+                ),
+                HwBlock::HardTanh => "hard-tanh".to_string(),
+                HwBlock::MaxPool(k) => format!("max-pool {k}×{k}"),
+                HwBlock::Flatten => "flatten".to_string(),
+                HwBlock::Dropout(HwDropout::PerNeuron { modules, p }) => {
+                    format!("SpinDrop: {} modules (p={p})", modules.len())
+                }
+                HwBlock::Dropout(HwDropout::PerChannel { modules, p }) => {
+                    format!("Spatial-SpinDrop: {} modules (p={p})", modules.len())
+                }
+                HwBlock::Dropout(HwDropout::Scale { scale, .. }) => {
+                    format!("ScaleDrop: 1 module, {}-entry SRAM scale", scale.len())
+                }
+                HwBlock::Dropout(HwDropout::ViScale { mu, .. }) => {
+                    format!("VI scale sampler: {} gaussians/pass", mu.len())
+                }
+            };
+            lines.push(format!("  [{i:>2}] {desc}"));
+        }
+        format!(
+            "{} on CIM ({} stochastic modules, {} MC passes):\n{}",
+            self.method,
+            self.stochastic_module_count(),
+            self.passes,
+            lines.join("\n")
+        )
+    }
+
+    /// Number of stochastic modules instantiated (the hardware-cost
+    /// figure behind the paper's module-count comparisons).
+    pub fn stochastic_module_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                HwBlock::Dropout(HwDropout::PerNeuron { modules, .. }) => modules.len(),
+                HwBlock::Dropout(HwDropout::PerChannel { modules, .. }) => modules.len(),
+                HwBlock::Dropout(HwDropout::Scale { .. }) => 1,
+                HwBlock::Dropout(HwDropout::ViScale { mu, .. }) => mu.len(),
+                HwBlock::InvNorm(n) => {
+                    if n.modules.is_some() {
+                        2
+                    } else {
+                        0
+                    }
+                }
+                HwBlock::FcSpinBayes(b) => b.arbiter.bits_per_draw(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn drift_crossbar(
+    xbar: &mut Crossbar,
+    global: f64,
+    dist: &LogNormal,
+    rng: &mut StdRng,
+) {
+    xbar.apply_drift(|w| w * global * dist.sample(rng));
+}
+
+fn drift_mlc(xbar: &mut MlcCrossbar, global: f64, dist: &LogNormal, rng: &mut StdRng) {
+    xbar.apply_drift(|w| w * global * dist.sample(rng));
+}

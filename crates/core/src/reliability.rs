@@ -1,0 +1,121 @@
+//! Reliability sweep drivers: variation, defect, and drift scenarios.
+//!
+//! These helpers script the §III-A4 "self-healing" experiments: train
+//! once, compile many hardware instances across a severity sweep, and
+//! measure the accuracy trajectory of each method.
+
+use crate::model::{HardwareConfig, HardwareModel};
+use neuspin_bayes::{ArchConfig, Method};
+use neuspin_cim::CrossbarConfig;
+use neuspin_device::{DefectRates, MtjParams, VariationModel, VariedParams};
+use neuspin_nn::{Dataset, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One point of a reliability sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The severity knob (variation sigma, defect rate, or drift sigma).
+    pub severity: f64,
+    /// Hardware accuracy at this severity.
+    pub accuracy: f64,
+    /// Mean predictive entropy (uncertainty should rise with severity).
+    pub mean_entropy: f64,
+}
+
+/// The severity knob a sweep turns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SweepKind {
+    /// Device-to-device variation sigma at programming time.
+    Variation,
+    /// Per-cell manufacturing defect rate.
+    Defects,
+    /// Post-calibration *common-mode* conductance drift: severity `s`
+    /// scales every programmed weight by `1 − s` (plus a fixed 5 %
+    /// per-cell lognormal spread). The temperature/retention scenario
+    /// the inverted norm is designed for.
+    Drift,
+}
+
+/// Hardware instances averaged per sweep point (each with fresh device
+/// draws) — reliability curves from a single die are noisy.
+pub const INSTANCES_PER_POINT: usize = 3;
+
+/// Runs a reliability sweep for one trained model.
+///
+/// For every severity, the trained model is compiled onto
+/// [`INSTANCES_PER_POINT`] fresh hardware instances (new device draws),
+/// each calibrated on `calib` and evaluated on `test`; the point is the
+/// average. For [`SweepKind::Drift`] the hardware is calibrated *first*
+/// and the drift injected afterwards — the scenario where stored norm
+/// statistics go stale.
+///
+/// The defect sweep injects stuck-at and open defects only: barrier
+/// shorts are catastrophic, screened at production test, and mapped out
+/// by the row/column redundancy every memory product ships — modelling
+/// them as unrepaired in-field defects would measure the repair flow,
+/// not the network.
+pub fn sweep(
+    trained: &mut Sequential,
+    method: Method,
+    arch: &ArchConfig,
+    base: &HardwareConfig,
+    kind: SweepKind,
+    severities: &[f64],
+    calib: &Dataset,
+    test: &Dataset,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(severities.len());
+    for (i, &severity) in severities.iter().enumerate() {
+        let mut config = *base;
+        match kind {
+            SweepKind::Variation => {
+                config.crossbar.corner =
+                    VariedParams::new(MtjParams::default(), VariationModel::uniform(severity));
+            }
+            SweepKind::Defects => {
+                let each = severity / 3.0;
+                config.crossbar.defect_rates = DefectRates {
+                    stuck_parallel: each,
+                    stuck_antiparallel: each,
+                    open: each,
+                    short: 0.0,
+                };
+            }
+            SweepKind::Drift => {}
+        }
+        let mut acc_sum = 0.0;
+        let mut entropy_sum = 0.0;
+        for instance in 0..INSTANCES_PER_POINT {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ ((i as u64) << 32) ^ ((instance as u64) << 16));
+            let mut hw = HardwareModel::compile(trained, method, arch, &config, &mut rng);
+            hw.calibrate(&calib.inputs, 2, &mut rng);
+            if kind == SweepKind::Drift && severity > 0.0 {
+                hw.inject_drift(1.0 - severity, 0.05, &mut rng);
+            }
+            let pred = hw.predict(&test.inputs, &mut rng);
+            acc_sum += pred.accuracy(&test.labels);
+            entropy_sum +=
+                pred.entropy.iter().sum::<f64>() / pred.entropy.len().max(1) as f64;
+        }
+        points.push(SweepPoint {
+            severity,
+            accuracy: acc_sum / INSTANCES_PER_POINT as f64,
+            mean_entropy: entropy_sum / INSTANCES_PER_POINT as f64,
+        });
+    }
+    points
+}
+
+/// A convenience base configuration for reliability studies: typical
+/// corner, 1 % read noise, no ADC quantization, moderate MC budget.
+pub fn reliability_base() -> HardwareConfig {
+    HardwareConfig {
+        crossbar: CrossbarConfig::default(),
+        passes: 12,
+        ..HardwareConfig::default()
+    }
+}

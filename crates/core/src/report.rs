@@ -1,0 +1,115 @@
+//! Typed, serializable experiment reports.
+//!
+//! Every bench binary emits one of these as JSON next to its
+//! human-readable table, so EXPERIMENTS.md numbers are regenerable and
+//! machine-checkable.
+
+use neuspin_bayes::Method;
+use neuspin_cim::OpCounter;
+use neuspin_energy::Joules;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The method.
+    pub method: Method,
+    /// Software (algorithm-only) MC accuracy.
+    pub software_accuracy: f64,
+    /// Hardware-in-the-loop MC accuracy.
+    pub hardware_accuracy: f64,
+    /// Simulated per-image energy on the trained CNN.
+    pub simulated_energy_per_image: Joules,
+    /// Analytic per-image energy on the paper-scale reference network.
+    pub reference_energy_per_image: Joules,
+    /// Paper value (µJ/image) for side-by-side display, if reported.
+    pub paper_energy_uj: Option<f64>,
+    /// Paper accuracy (%) for side-by-side display, if reported.
+    pub paper_accuracy_pct: Option<f64>,
+    /// Op counts of the simulated prediction window.
+    pub counter: OpCounter,
+}
+
+/// An OOD-detection experiment result for one (method, probe) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OodResult {
+    /// The method.
+    pub method: Method,
+    /// Detection rate at the 95 %-TPR threshold.
+    pub detection_rate: f64,
+    /// AUROC of the uncertainty score.
+    pub auroc: f64,
+    /// Mean entropy on in-distribution data.
+    pub id_entropy: f64,
+    /// Mean entropy on the OOD probe.
+    pub ood_entropy: f64,
+}
+
+/// A corrupted-data experiment result for one severity level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionResult {
+    /// Corruption severity (1–5).
+    pub severity: u8,
+    /// Deterministic-baseline accuracy.
+    pub baseline_accuracy: f64,
+    /// Bayesian (MC) accuracy.
+    pub bayesian_accuracy: f64,
+}
+
+/// A generic named scalar series (for figure-style outputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label.
+    pub label: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series lengths differ");
+        Self { label: label.into(), x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrips_through_json() {
+        let s = Series::new("accuracy", vec![0.0, 0.1], vec![0.9, 0.8]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn series_rejects_mismatch() {
+        let _ = Series::new("x", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn table1_row_serializes() {
+        let row = Table1Row {
+            method: Method::SpinDrop,
+            software_accuracy: 0.91,
+            hardware_accuracy: 0.9,
+            simulated_energy_per_image: Joules(2e-6),
+            reference_energy_per_image: Joules(2.1e-6),
+            paper_energy_uj: Some(2.0),
+            paper_accuracy_pct: Some(91.95),
+            counter: OpCounter::new(),
+        };
+        let json = serde_json::to_string_pretty(&row).unwrap();
+        assert!(json.contains("SpinDrop"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Input corruptions at graded severity (the "corrupted data"
+//! experiments: Bayesian methods should degrade more gracefully than
+//! deterministic networks).
+
+use crate::util::{box_blur, rotate_image, Image};
+use neuspin_nn::{Dataset, Tensor};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The corruption families, mirroring the common "-C" benchmark suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Additive gaussian pixel noise.
+    GaussianNoise,
+    /// Salt-and-pepper impulse noise.
+    SaltPepper,
+    /// Repeated box blur.
+    Blur,
+    /// Contrast compression toward mid-grey.
+    Contrast,
+    /// Rotation by a severity-scaled angle.
+    Rotation,
+}
+
+impl Corruption {
+    /// All corruption kinds in a stable order.
+    pub const ALL: [Corruption; 5] = [
+        Corruption::GaussianNoise,
+        Corruption::SaltPepper,
+        Corruption::Blur,
+        Corruption::Contrast,
+        Corruption::Rotation,
+    ];
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Corruption::GaussianNoise => "gaussian-noise",
+            Corruption::SaltPepper => "salt-pepper",
+            Corruption::Blur => "blur",
+            Corruption::Contrast => "contrast",
+            Corruption::Rotation => "rotation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Applies a corruption at `severity` 1..=5 to one image.
+///
+/// # Panics
+///
+/// Panics if `severity` is outside `1..=5`.
+pub fn corrupt_image(img: &Image, kind: Corruption, severity: u8, rng: &mut StdRng) -> Image {
+    assert!((1..=5).contains(&severity), "severity must be 1..=5, got {severity}");
+    let s = severity as f32;
+    match kind {
+        Corruption::GaussianNoise => {
+            let sigma = 0.06 * s;
+            let mut out = img.clone();
+            for p in out.pixels_mut() {
+                let n = (rng.random::<f32>() + rng.random::<f32>() - 1.0) * sigma * 1.7;
+                *p = (*p + n).clamp(0.0, 1.0);
+            }
+            out
+        }
+        Corruption::SaltPepper => {
+            let rate = 0.03 * s;
+            let mut out = img.clone();
+            for p in out.pixels_mut() {
+                let u: f32 = rng.random();
+                if u < rate / 2.0 {
+                    *p = 0.0;
+                } else if u < rate {
+                    *p = 1.0;
+                }
+            }
+            out
+        }
+        Corruption::Blur => box_blur(img, severity as usize),
+        Corruption::Contrast => {
+            let factor = 1.0 - 0.17 * s; // severity 5 → 15 % contrast left
+            let mean: f32 = img.pixels().iter().sum::<f32>() / img.pixels().len() as f32;
+            let mut out = img.clone();
+            for p in out.pixels_mut() {
+                *p = mean + (*p - mean) * factor;
+            }
+            out
+        }
+        Corruption::Rotation => {
+            let angle = 0.12 * s * if rng.random::<bool>() { 1.0 } else { -1.0 };
+            rotate_image(img, angle)
+        }
+    }
+}
+
+/// Corrupts every image of an NCHW single-channel dataset, preserving
+/// labels.
+///
+/// # Panics
+///
+/// Panics if the dataset is not `[N, 1, H, W]` or severity is invalid.
+pub fn corrupt_dataset(data: &Dataset, kind: Corruption, severity: u8, rng: &mut StdRng) -> Dataset {
+    let shape = data.inputs.shape();
+    assert_eq!(shape.len(), 4, "expected NCHW dataset");
+    assert_eq!(shape[1], 1, "expected single-channel images");
+    let (n, h, w) = (shape[0], shape[2], shape[3]);
+    let mut out = Vec::with_capacity(n * h * w);
+    for i in 0..n {
+        let img = Image::from_slice(&data.inputs.as_slice()[i * h * w..(i + 1) * h * w], w, h);
+        out.extend_from_slice(corrupt_image(&img, kind, severity, rng).pixels());
+    }
+    Dataset::new(Tensor::from_vec(out, shape), data.labels.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::{dataset, DigitStyle};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(555)
+    }
+
+    fn test_image() -> Image {
+        let mut img = Image::zeros(8, 8);
+        for i in 2..6 {
+            img.set(i, 3, 1.0);
+            img.set(i, 4, 1.0);
+        }
+        img
+    }
+
+    #[test]
+    fn noise_severity_scales_distortion() {
+        let mut r = rng();
+        let img = test_image();
+        let d1: f32 = corrupt_image(&img, Corruption::GaussianNoise, 1, &mut r)
+            .pixels()
+            .iter()
+            .zip(img.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let d5: f32 = corrupt_image(&img, Corruption::GaussianNoise, 5, &mut r)
+            .pixels()
+            .iter()
+            .zip(img.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d5 > 2.0 * d1, "severity must scale distortion: {d1} vs {d5}");
+    }
+
+    #[test]
+    fn salt_pepper_creates_extremes() {
+        let mut r = rng();
+        let mut img = Image::zeros(16, 16);
+        for p in img.pixels_mut() {
+            *p = 0.5;
+        }
+        let out = corrupt_image(&img, Corruption::SaltPepper, 5, &mut r);
+        assert!(out.pixels().iter().any(|&p| p == 0.0));
+        assert!(out.pixels().iter().any(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn blur_reduces_peak() {
+        let mut r = rng();
+        let img = test_image();
+        let out = corrupt_image(&img, Corruption::Blur, 3, &mut r);
+        let peak_in = img.pixels().iter().cloned().fold(0.0f32, f32::max);
+        let peak_out = out.pixels().iter().cloned().fold(0.0f32, f32::max);
+        assert!(peak_out < peak_in);
+    }
+
+    #[test]
+    fn contrast_compresses_toward_mean() {
+        let mut r = rng();
+        let img = test_image();
+        let out = corrupt_image(&img, Corruption::Contrast, 5, &mut r);
+        let spread =
+            |i: &Image| i.pixels().iter().cloned().fold(0.0f32, f32::max) - i.pixels().iter().cloned().fold(1.0f32, f32::min);
+        assert!(spread(&out) < 0.3 * spread(&img));
+    }
+
+    #[test]
+    fn corrupt_dataset_preserves_shape_and_labels() {
+        let mut r = rng();
+        let base = dataset(30, &DigitStyle::default(), &mut r);
+        for kind in Corruption::ALL {
+            let c = corrupt_dataset(&base, kind, 3, &mut r);
+            assert_eq!(c.inputs.shape(), base.inputs.shape(), "{kind}");
+            assert_eq!(c.labels, base.labels);
+            assert_ne!(c.inputs.as_slice(), base.inputs.as_slice(), "{kind} must change pixels");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "severity must be 1..=5")]
+    fn severity_zero_rejected() {
+        let mut r = rng();
+        let _ = corrupt_image(&test_image(), Corruption::Blur, 0, &mut r);
+    }
+}

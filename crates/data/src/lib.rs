@@ -1,0 +1,39 @@
+//! # neuspin-data — synthetic datasets
+//!
+//! Procedural datasets standing in for the paper's MNIST-class /
+//! segmentation / time-series benchmarks (none of which are available
+//! offline). Each generator is fully seeded and parameterised so the
+//! experiments control difficulty, corruption, and distribution shift
+//! exactly:
+//!
+//! * [`digits`] — 16×16 stroke-rendered ten-class digit images;
+//! * [`corrupt`] — five corruption families at severities 1–5;
+//! * [`ood`] — uniform-noise / heavy-rotation / texture OOD probes;
+//! * [`moons`] — two-moons and gaussian blobs (quickstart demos);
+//! * [`series`] — sine-mixture time series for the LSTM experiment;
+//! * [`shapes`] — a toy semantic-segmentation task (SpinBayes).
+//!
+//! ## Example
+//!
+//! ```
+//! use neuspin_data::digits::{dataset, DigitStyle};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let train = dataset(200, &DigitStyle::default(), &mut rng);
+//! assert_eq!(train.inputs.shape(), &[200, 1, 16, 16]);
+//! ```
+
+pub mod corrupt;
+pub mod digits;
+pub mod moons;
+pub mod ood;
+pub mod series;
+pub mod shapes;
+pub mod util;
+
+pub use corrupt::{corrupt_dataset, corrupt_image, Corruption};
+pub use digits::DigitStyle;
+pub use series::SeriesDataset;
+pub use shapes::SegDataset;
+pub use util::Image;

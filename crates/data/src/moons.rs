@@ -1,0 +1,118 @@
+//! Low-dimensional toy datasets: two-moons and gaussian blobs
+//! (quickstart material and uncertainty-visualisation demos).
+
+use neuspin_nn::{Dataset, Tensor};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The classic two-moons binary classification set: two interleaved
+/// half-circles with additive noise.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_data::moons::two_moons;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = two_moons(100, 0.1, &mut rng);
+/// assert_eq!(d.inputs.shape(), &[100, 2]);
+/// assert_eq!(d.labels.iter().filter(|&&l| l == 0).count(), 50);
+/// ```
+pub fn two_moons(n: usize, noise: f32, rng: &mut StdRng) -> Dataset {
+    use std::f32::consts::PI;
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let t = rng.random::<f32>() * PI;
+        let (mut x, mut y) = if label == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += (rng.random::<f32>() * 2.0 - 1.0) * noise;
+        y += (rng.random::<f32>() * 2.0 - 1.0) * noise;
+        data.push(x);
+        data.push(y);
+        labels.push(label);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 2]), labels)
+}
+
+/// `k` gaussian blobs evenly spaced on a circle of radius `spread`,
+/// each with the given `sigma`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn gaussian_blobs(n: usize, k: usize, spread: f32, sigma: f32, rng: &mut StdRng) -> Dataset {
+    use std::f32::consts::TAU;
+    assert!(k > 0, "need at least one blob");
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % k;
+        let angle = TAU * label as f32 / k as f32;
+        let gaussian = |rng: &mut StdRng| {
+            // Sum of 4 uniforms ≈ gaussian, scaled to unit variance.
+            let s: f32 = (0..4).map(|_| rng.random::<f32>()).sum::<f32>() - 2.0;
+            s * (12.0f32 / 4.0).sqrt()
+        };
+        data.push(spread * angle.cos() + sigma * gaussian(rng));
+        data.push(spread * angle.sin() + sigma * gaussian(rng));
+        labels.push(label);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 2]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn moons_are_separated_at_low_noise() {
+        let mut r = rng();
+        let d = two_moons(200, 0.02, &mut r);
+        // Mean y of class 0 above mean y of class 1.
+        let mut y0 = 0.0;
+        let mut y1 = 0.0;
+        for i in 0..200 {
+            let y = d.inputs[i * 2 + 1];
+            if d.labels[i] == 0 {
+                y0 += y;
+            } else {
+                y1 += y;
+            }
+        }
+        assert!(y0 / 100.0 > y1 / 100.0);
+    }
+
+    #[test]
+    fn blobs_center_on_circle() {
+        let mut r = rng();
+        let d = gaussian_blobs(300, 3, 5.0, 0.3, &mut r);
+        for class in 0..3 {
+            let pts: Vec<(f32, f32)> = (0..300)
+                .filter(|&i| d.labels[i] == class)
+                .map(|i| (d.inputs[i * 2], d.inputs[i * 2 + 1]))
+                .collect();
+            let cx: f32 = pts.iter().map(|p| p.0).sum::<f32>() / pts.len() as f32;
+            let cy: f32 = pts.iter().map(|p| p.1).sum::<f32>() / pts.len() as f32;
+            let radius = (cx * cx + cy * cy).sqrt();
+            assert!((radius - 5.0).abs() < 0.5, "class {class} radius {radius}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one blob")]
+    fn zero_blobs_rejected() {
+        let mut r = rng();
+        let _ = gaussian_blobs(10, 0, 1.0, 0.1, &mut r);
+    }
+}

@@ -1,0 +1,134 @@
+//! Out-of-distribution probe sets.
+//!
+//! The paper's OOD-detection experiments feed the trained classifier
+//! inputs from a different distribution and count how many are flagged
+//! by the uncertainty estimate. Three probes, matching the paper's
+//! choices:
+//!
+//! * [`uniform_noise`] — i.i.d. uniform pixels (§III-A4's
+//!   "uniform noise" probe),
+//! * [`rotated_ood`] — digits rotated by 90°–270° ("random rotation"),
+//! * [`textures`] — structured checkerboard/stripe patterns (an
+//!   "other dataset" stand-in with strong spatial correlations).
+
+use crate::digits::{self, DigitStyle};
+use crate::util::Image;
+use neuspin_nn::{Dataset, Tensor};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// `n` images of i.i.d. uniform noise in `[0, 1]`, shaped like the
+/// digit set (`[n, 1, 16, 16]`). Labels are all zero (unused by OOD
+/// scoring).
+pub fn uniform_noise(n: usize, rng: &mut StdRng) -> Dataset {
+    let side = digits::SIDE;
+    let data: Vec<f32> = (0..n * side * side).map(|_| rng.random::<f32>()).collect();
+    Dataset::new(Tensor::from_vec(data, &[n, 1, side, side]), vec![0; n])
+}
+
+/// `n` digit images rotated by a uniformly random angle in
+/// `[90°, 270°]` — far outside the training distribution's ±10° jitter.
+pub fn rotated_ood(n: usize, style: &DigitStyle, rng: &mut StdRng) -> Dataset {
+    use std::f32::consts::PI;
+    let side = digits::SIDE;
+    let mut data = Vec::with_capacity(n * side * side);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % digits::CLASSES;
+        let img = digits::render_digit(digit, style, rng);
+        let angle = PI / 2.0 + rng.random::<f32>() * PI; // 90°..270°
+        let rot = crate::util::rotate_image(&img, angle);
+        data.extend_from_slice(rot.pixels());
+        labels.push(digit);
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 1, side, side]), labels)
+}
+
+/// `n` structured texture images: random-phase checkerboards and
+/// stripes with random period 2–5 pixels.
+pub fn textures(n: usize, rng: &mut StdRng) -> Dataset {
+    let side = digits::SIDE;
+    let mut data = Vec::with_capacity(n * side * side);
+    for _ in 0..n {
+        let period = 2 + rng.random_range(0..4usize);
+        let phase_x = rng.random_range(0..period);
+        let phase_y = rng.random_range(0..period);
+        let stripes_only = rng.random::<bool>();
+        let mut img = Image::zeros(side, side);
+        for y in 0..side {
+            for x in 0..side {
+                let cx = (x + phase_x) / period % 2;
+                let cy = (y + phase_y) / period % 2;
+                let v = if stripes_only {
+                    cx as f32
+                } else {
+                    ((cx + cy) % 2) as f32
+                };
+                img.set(x, y, v * 0.9 + 0.05);
+            }
+        }
+        data.extend_from_slice(img.pixels());
+    }
+    Dataset::new(Tensor::from_vec(data, &[n, 1, side, side]), vec![0; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn uniform_noise_statistics() {
+        let mut r = rng();
+        let d = uniform_noise(20, &mut r);
+        assert_eq!(d.inputs.shape(), &[20, 1, 16, 16]);
+        let mean = d.inputs.mean();
+        assert!((mean - 0.5).abs() < 0.05, "uniform mean ≈ 0.5, got {mean}");
+    }
+
+    #[test]
+    fn rotated_ood_differs_from_in_distribution() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let style = DigitStyle::default();
+        let id = digits::dataset(20, &style, &mut r1);
+        let ood = rotated_ood(20, &style, &mut r2);
+        assert_eq!(ood.inputs.shape(), id.inputs.shape());
+        let diff: f32 = id
+            .inputs
+            .as_slice()
+            .iter()
+            .zip(ood.inputs.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 100.0, "heavy rotation must move substantial mass");
+    }
+
+    #[test]
+    fn textures_are_binaryish_patterns() {
+        let mut r = rng();
+        let d = textures(10, &mut r);
+        // Values concentrate at the two pattern levels.
+        let extreme = d
+            .inputs
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 0.05).abs() < 1e-4 || (v - 0.95).abs() < 1e-4)
+            .count();
+        assert_eq!(extreme, d.inputs.len());
+    }
+
+    #[test]
+    fn textures_vary_between_samples() {
+        let mut r = rng();
+        let d = textures(8, &mut r);
+        let per = 16 * 16;
+        let first = &d.inputs.as_slice()[..per];
+        let distinct = (1..8).any(|i| &d.inputs.as_slice()[i * per..(i + 1) * per] != first);
+        assert!(distinct);
+    }
+}

@@ -1,0 +1,195 @@
+//! A toy semantic-segmentation task (the SpinBayes paper evaluates on
+//! segmentation; this is the synthetic stand-in).
+//!
+//! Each 16×16 image contains one filled shape — a rectangle or a disc —
+//! over a noisy background; the label map assigns every pixel one of
+//! three classes: background (0), rectangle (1), disc (2).
+
+use crate::util::Image;
+use neuspin_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Image side for the segmentation task.
+pub const SIDE: usize = 16;
+/// Number of per-pixel classes (background, rectangle, disc).
+pub const CLASSES: usize = 3;
+
+/// A segmentation dataset: images `[n, 1, 16, 16]` and per-pixel labels
+/// `[n, 16·16]` (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegDataset {
+    /// Input images.
+    pub inputs: Tensor,
+    /// Per-pixel class labels, `n × (16·16)` flattened.
+    pub pixel_labels: Vec<usize>,
+}
+
+impl SegDataset {
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.inputs.shape()[0]
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label map of image `i`.
+    pub fn labels_of(&self, i: usize) -> &[usize] {
+        &self.pixel_labels[i * SIDE * SIDE..(i + 1) * SIDE * SIDE]
+    }
+}
+
+/// Generates `n` images, alternating rectangle / disc shapes.
+pub fn dataset(n: usize, noise: f32, rng: &mut StdRng) -> SegDataset {
+    let mut inputs = Vec::with_capacity(n * SIDE * SIDE);
+    let mut labels = Vec::with_capacity(n * SIDE * SIDE);
+    for i in 0..n {
+        let is_disc = i % 2 == 1;
+        let (img, lab) = render(is_disc, noise, rng);
+        inputs.extend_from_slice(img.pixels());
+        labels.extend_from_slice(&lab);
+    }
+    SegDataset {
+        inputs: Tensor::from_vec(inputs, &[n, 1, SIDE, SIDE]),
+        pixel_labels: labels,
+    }
+}
+
+fn render(is_disc: bool, noise: f32, rng: &mut StdRng) -> (Image, Vec<usize>) {
+    let mut img = Image::zeros(SIDE, SIDE);
+    let mut labels = vec![0usize; SIDE * SIDE];
+    // Background speckle.
+    for p in img.pixels_mut() {
+        *p = rng.random::<f32>() * noise;
+    }
+    let cx = 4.0 + rng.random::<f32>() * 8.0;
+    let cy = 4.0 + rng.random::<f32>() * 8.0;
+    let r = 2.5 + rng.random::<f32>() * 2.5;
+    let class = if is_disc { 2 } else { 1 };
+    let intensity = 0.75 + rng.random::<f32>() * 0.25;
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
+            let inside = if is_disc {
+                (fx - cx).powi(2) + (fy - cy).powi(2) <= r * r
+            } else {
+                (fx - cx).abs() <= r && (fy - cy).abs() <= r
+            };
+            if inside {
+                img.set(x, y, (intensity + rng.random::<f32>() * noise).min(1.0));
+                labels[y * SIDE + x] = class;
+            }
+        }
+    }
+    (img, labels)
+}
+
+/// Per-pixel accuracy between predicted and true label maps.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn pixel_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty label maps");
+    let hits = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Mean intersection-over-union across classes (ignoring classes absent
+/// from both maps).
+pub fn mean_iou(pred: &[usize], truth: &[usize], classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut counted = 0;
+    for c in 0..classes {
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for (&p, &t) in pred.iter().zip(truth) {
+            let pp = p == c;
+            let tt = t == c;
+            if pp && tt {
+                inter += 1;
+            }
+            if pp || tt {
+                union += 1;
+            }
+        }
+        if union > 0 {
+            total += inter as f64 / union as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31337)
+    }
+
+    #[test]
+    fn dataset_shapes_and_alternation() {
+        let mut r = rng();
+        let d = dataset(10, 0.1, &mut r);
+        assert_eq!(d.inputs.shape(), &[10, 1, 16, 16]);
+        assert_eq!(d.pixel_labels.len(), 10 * 256);
+        // Even images contain class 1 (rectangle), odd class 2 (disc).
+        assert!(d.labels_of(0).contains(&1));
+        assert!(!d.labels_of(0).contains(&2));
+        assert!(d.labels_of(1).contains(&2));
+    }
+
+    #[test]
+    fn shape_pixels_are_bright() {
+        let mut r = rng();
+        let d = dataset(4, 0.1, &mut r);
+        for i in 0..4 {
+            let labels = d.labels_of(i);
+            for (pi, &l) in labels.iter().enumerate() {
+                let v = d.inputs.as_slice()[i * 256 + pi];
+                if l != 0 {
+                    assert!(v > 0.5, "shape pixel must be bright, got {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_accuracy_basics() {
+        assert_eq!(pixel_accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(pixel_accuracy(&[0, 0, 0], &[0, 1, 2]), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn iou_perfect_is_one() {
+        let labels = vec![0, 0, 1, 1, 2];
+        assert!((mean_iou(&labels, &labels, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_penalizes_mislabels() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 1, 1];
+        let iou = mean_iou(&pred, &truth, 2);
+        // class 0: inter 1, union 2 → 0.5 ; class 1: inter 2, union 3 → 2/3.
+        assert!((iou - (0.5 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        let _ = pixel_accuracy(&[0], &[0, 1]);
+    }
+}

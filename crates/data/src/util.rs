@@ -1,0 +1,228 @@
+//! Shared image utilities for the dataset generators.
+
+/// A single-channel float image.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_data::util::Image;
+///
+/// let mut img = Image::zeros(4, 4);
+/// img.set(1, 2, 0.5);
+/// assert_eq!(img.get(1, 2), 0.5);
+/// assert_eq!(img.pixels().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Wraps existing row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_slice(data: &[f32], width: usize, height: usize) -> Self {
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        Self { width, height, pixels: data.to_vec() }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutable pixel data.
+    pub fn pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of range");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of range");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Bilinear sample at fractional coordinates (0 outside the image).
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        if x < 0.0 || y < 0.0 {
+            return 0.0;
+        }
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        if x0 + 1 >= self.width || y0 + 1 >= self.height {
+            if x0 < self.width && y0 < self.height {
+                return self.get(x0, y0);
+            }
+            return 0.0;
+        }
+        let fx = x - x0 as f32;
+        let fy = y - y0 as f32;
+        let p00 = self.get(x0, y0);
+        let p10 = self.get(x0 + 1, y0);
+        let p01 = self.get(x0, y0 + 1);
+        let p11 = self.get(x0 + 1, y0 + 1);
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Renders the image as ASCII art (for terminal inspection).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y).clamp(0.0, 1.0);
+                let idx = (v * (RAMP.len() - 1) as f32).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Rotates an image by `angle` radians around its centre (bilinear
+/// resampling, zero fill).
+pub fn rotate_image(img: &Image, angle: f32) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let (cx, cy) = (w as f32 / 2.0 - 0.5, h as f32 / 2.0 - 0.5);
+    let (sin_t, cos_t) = angle.sin_cos();
+    let mut out = Image::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            // Inverse-rotate the destination pixel into source coords.
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            let sx = cx + dx * cos_t + dy * sin_t;
+            let sy = cy - dx * sin_t + dy * cos_t;
+            out.set(x, y, img.sample(sx, sy));
+        }
+    }
+    out
+}
+
+/// 3×3 box blur, applied `iterations` times (edges clamp).
+pub fn box_blur(img: &Image, iterations: usize) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let mut current = img.clone();
+    for _ in 0..iterations {
+        let mut next = Image::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let nx = x as i32 + dx;
+                        let ny = y as i32 + dy;
+                        if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                            sum += current.get(nx as usize, ny as usize);
+                            count += 1.0;
+                        }
+                    }
+                }
+                next.set(x, y, sum / count);
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_accessors() {
+        let mut img = Image::zeros(3, 2);
+        img.set(2, 1, 0.7);
+        assert_eq!(img.get(2, 1), 0.7);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+    }
+
+    #[test]
+    fn bilinear_sample_interpolates() {
+        let mut img = Image::zeros(2, 2);
+        img.set(0, 0, 0.0);
+        img.set(1, 0, 1.0);
+        assert!((img.sample(0.5, 0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_outside_is_zero() {
+        let img = Image::from_slice(&[1.0; 4], 2, 2);
+        assert_eq!(img.sample(-1.0, 0.0), 0.0);
+        assert_eq!(img.sample(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity_ish() {
+        let mut img = Image::zeros(8, 8);
+        img.set(3, 4, 1.0);
+        let rot = rotate_image(&img, 0.0);
+        assert!((rot.get(3, 4) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rotation_by_pi_flips() {
+        let mut img = Image::zeros(8, 8);
+        img.set(1, 1, 1.0);
+        let rot = rotate_image(&img, std::f32::consts::PI);
+        // (1,1) maps to (6,6) for an 8×8 grid centred at 3.5.
+        assert!(rot.get(6, 6) > 0.9, "got {}", rot.get(6, 6));
+    }
+
+    #[test]
+    fn blur_spreads_mass() {
+        let mut img = Image::zeros(5, 5);
+        img.set(2, 2, 1.0);
+        let blurred = box_blur(&img, 1);
+        assert!(blurred.get(2, 2) < 1.0);
+        assert!(blurred.get(1, 2) > 0.0);
+        // Total mass approximately conserved in the interior.
+        let total: f32 = blurred.pixels().iter().sum();
+        assert!((total - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ascii_rendering_has_rows() {
+        let img = Image::zeros(4, 3);
+        let art = img.to_ascii();
+        assert_eq!(art.lines().count(), 3);
+        assert_eq!(art.lines().next().unwrap().len(), 4);
+    }
+}

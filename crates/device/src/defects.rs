@@ -1,0 +1,323 @@
+//! Manufacturing-defect models for MTJ arrays.
+//!
+//! Beyond parametric variation, fabricated arrays contain hard defects:
+//! junctions pinned in one state (stuck-at), barrier pinholes (short),
+//! and broken contacts (open). The NeuSpin reliability experiments
+//! inject these into programmed crossbars and measure how well each
+//! Bayesian method "self-heals".
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kinds of hard defects a cell can exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefectKind {
+    /// Free layer pinned parallel — cell always reads low resistance.
+    StuckParallel,
+    /// Free layer pinned anti-parallel — cell always reads high
+    /// resistance.
+    StuckAntiParallel,
+    /// Tunnel-barrier pinhole: near-zero resistance (very high
+    /// conductance), dominates column currents.
+    Short,
+    /// Broken access path: infinite resistance (zero conductance).
+    Open,
+}
+
+impl DefectKind {
+    /// All defect kinds, in a stable order.
+    pub const ALL: [DefectKind; 4] = [
+        DefectKind::StuckParallel,
+        DefectKind::StuckAntiParallel,
+        DefectKind::Short,
+        DefectKind::Open,
+    ];
+}
+
+impl fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefectKind::StuckParallel => "stuck-at-P",
+            DefectKind::StuckAntiParallel => "stuck-at-AP",
+            DefectKind::Short => "short",
+            DefectKind::Open => "open",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-kind defect incidence rates (probability that a given cell has
+/// that defect).
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{DefectRates, DefectMap};
+/// use rand::SeedableRng;
+///
+/// let rates = DefectRates::uniform(0.001);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let map = DefectMap::sample(64, 64, &rates, &mut rng);
+/// assert!(map.defect_count() < 64 * 64 / 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DefectRates {
+    /// P(stuck-at-P) per cell.
+    pub stuck_parallel: f64,
+    /// P(stuck-at-AP) per cell.
+    pub stuck_antiparallel: f64,
+    /// P(short) per cell.
+    pub short: f64,
+    /// P(open) per cell.
+    pub open: f64,
+}
+
+impl DefectRates {
+    /// No defects at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The same rate for every defect kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `4 * rate > 1` (rates must form a sub-probability).
+    pub fn uniform(rate: f64) -> Self {
+        assert!(rate >= 0.0 && 4.0 * rate <= 1.0, "4*rate must be <= 1, got rate {rate}");
+        Self { stuck_parallel: rate, stuck_antiparallel: rate, short: rate, open: rate }
+    }
+
+    /// Total per-cell defect probability.
+    pub fn total(&self) -> f64 {
+        self.stuck_parallel + self.stuck_antiparallel + self.short + self.open
+    }
+
+    /// Rate of the given kind.
+    pub fn rate(&self, kind: DefectKind) -> f64 {
+        match kind {
+            DefectKind::StuckParallel => self.stuck_parallel,
+            DefectKind::StuckAntiParallel => self.stuck_antiparallel,
+            DefectKind::Short => self.short,
+            DefectKind::Open => self.open,
+        }
+    }
+
+    /// Draws the defect (if any) of a single cell.
+    pub fn sample_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<DefectKind> {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for kind in DefectKind::ALL {
+            acc += self.rate(kind);
+            if u < acc {
+                return Some(kind);
+            }
+        }
+        None
+    }
+}
+
+/// A sparse map of defective cells in an `rows × cols` array.
+///
+/// Stored sparsely (defect rates are small) and iterated in a stable
+/// row-major order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DefectMap {
+    rows: usize,
+    cols: usize,
+    cells: BTreeMap<(usize, usize), DefectKind>,
+}
+
+impl DefectMap {
+    /// An empty (defect-free) map for an array of the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, cells: BTreeMap::new() }
+    }
+
+    /// Samples a defect map for an `rows × cols` array from the given
+    /// rates.
+    pub fn sample<R: Rng + ?Sized>(rows: usize, cols: usize, rates: &DefectRates, rng: &mut R) -> Self {
+        let mut cells = BTreeMap::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if let Some(kind) = rates.sample_cell(rng) {
+                    cells.insert((r, c), kind);
+                }
+            }
+        }
+        Self { rows, cols, cells }
+    }
+
+    /// Array shape `(rows, cols)` this map was built for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Defect at `(row, col)`, if any.
+    pub fn defect_at(&self, row: usize, col: usize) -> Option<DefectKind> {
+        self.cells.get(&(row, col)).copied()
+    }
+
+    /// Manually marks a cell defective (overwrites any existing defect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn inject(&mut self, row: usize, col: usize, kind: DefectKind) {
+        assert!(row < self.rows && col < self.cols,
+                "({row}, {col}) outside {}x{} map", self.rows, self.cols);
+        self.cells.insert((row, col), kind);
+    }
+
+    /// Number of defective cells.
+    pub fn defect_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Fraction of defective cells.
+    pub fn defect_density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.cells.len() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Iterates `((row, col), kind)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), DefectKind)> + '_ {
+        self.cells.iter().map(|(&pos, &kind)| (pos, kind))
+    }
+
+    /// Count of defects of one kind.
+    pub fn count_of(&self, kind: DefectKind) -> usize {
+        self.cells.values().filter(|&&k| k == kind).count()
+    }
+
+    /// Models the production repair flow: barrier shorts are screened at
+    /// test and mapped to spare columns, so they disappear from the
+    /// in-field defect population. Returns the number repaired.
+    pub fn repair_shorts(&mut self) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, kind| *kind != DefectKind::Short);
+        before - self.cells.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a DefectMap {
+    type Item = ((usize, usize), DefectKind);
+    type IntoIter = Box<dyn Iterator<Item = ((usize, usize), DefectKind)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// Conductance override (in siemens) implied by a defect, given the
+/// healthy P/AP conductances.
+///
+/// * stuck-at defects pin the cell to the corresponding healthy level;
+/// * a short conducts ~50× the parallel conductance;
+/// * an open conducts nothing.
+pub fn defect_conductance(kind: DefectKind, g_parallel: f64, g_antiparallel: f64) -> f64 {
+    match kind {
+        DefectKind::StuckParallel => g_parallel,
+        DefectKind::StuckAntiParallel => g_antiparallel,
+        DefectKind::Short => 50.0 * g_parallel,
+        DefectKind::Open => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_map_has_no_defects() {
+        let m = DefectMap::empty(8, 8);
+        assert_eq!(m.defect_count(), 0);
+        assert_eq!(m.defect_density(), 0.0);
+        assert_eq!(m.defect_at(3, 3), None);
+    }
+
+    #[test]
+    fn sampled_density_tracks_rates() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let rates = DefectRates::uniform(0.01); // 4 % total
+        let m = DefectMap::sample(200, 200, &rates, &mut rng);
+        let d = m.defect_density();
+        assert!((d - 0.04).abs() < 0.005, "density {d}");
+    }
+
+    #[test]
+    fn zero_rates_sample_empty() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = DefectMap::sample(50, 50, &DefectRates::none(), &mut rng);
+        assert_eq!(m.defect_count(), 0);
+    }
+
+    #[test]
+    fn inject_and_query() {
+        let mut m = DefectMap::empty(4, 4);
+        m.inject(1, 2, DefectKind::Open);
+        assert_eq!(m.defect_at(1, 2), Some(DefectKind::Open));
+        assert_eq!(m.count_of(DefectKind::Open), 1);
+        m.inject(1, 2, DefectKind::Short); // overwrite
+        assert_eq!(m.defect_at(1, 2), Some(DefectKind::Short));
+        assert_eq!(m.defect_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn inject_out_of_range_panics() {
+        DefectMap::empty(2, 2).inject(2, 0, DefectKind::Open);
+    }
+
+    #[test]
+    fn all_kinds_appear_at_high_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = DefectMap::sample(100, 100, &DefectRates::uniform(0.05), &mut rng);
+        for kind in DefectKind::ALL {
+            assert!(m.count_of(kind) > 0, "{kind} never sampled");
+        }
+    }
+
+    #[test]
+    fn defect_conductances_are_ordered() {
+        let gp = 1.0 / 5_000.0;
+        let gap = 1.0 / 12_500.0;
+        assert_eq!(defect_conductance(DefectKind::Open, gp, gap), 0.0);
+        assert_eq!(defect_conductance(DefectKind::StuckParallel, gp, gap), gp);
+        assert_eq!(defect_conductance(DefectKind::StuckAntiParallel, gp, gap), gap);
+        assert!(defect_conductance(DefectKind::Short, gp, gap) > 10.0 * gp);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DefectKind::StuckParallel.to_string(), "stuck-at-P");
+        assert_eq!(DefectKind::Open.to_string(), "open");
+    }
+
+    #[test]
+    fn repair_removes_only_shorts() {
+        let mut m = DefectMap::empty(4, 4);
+        m.inject(0, 0, DefectKind::Short);
+        m.inject(1, 1, DefectKind::Open);
+        m.inject(2, 2, DefectKind::Short);
+        assert_eq!(m.repair_shorts(), 2);
+        assert_eq!(m.defect_count(), 1);
+        assert_eq!(m.defect_at(1, 1), Some(DefectKind::Open));
+    }
+
+    #[test]
+    fn iteration_is_row_major() {
+        let mut m = DefectMap::empty(3, 3);
+        m.inject(2, 0, DefectKind::Open);
+        m.inject(0, 1, DefectKind::Short);
+        let order: Vec<_> = m.iter().map(|(pos, _)| pos).collect();
+        assert_eq!(order, vec![(0, 1), (2, 0)]);
+    }
+}

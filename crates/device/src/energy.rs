@@ -1,0 +1,137 @@
+//! Per-event device energy constants.
+//!
+//! The workspace-wide energy model ([`neuspin-energy`]) builds its
+//! totals from these device-level event energies. Values are taken from
+//! the MRAM / CIM literature the paper cites (Lee et al. IEDM'22 for the
+//! MRAM energies; ISSCC survey data for the peripheral circuits) and are
+//! design-time constants, not measurements.
+//!
+//! [`neuspin-energy`]: ../../neuspin_energy/index.html
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost of the primitive device events, in joules.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::DeviceEnergy;
+///
+/// let e = DeviceEnergy::default();
+/// // One RNG bit = stochastic write attempt + sense read + reset write.
+/// let per_bit = e.rng_bit();
+/// assert!(per_bit > e.read && per_bit < 2e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEnergy {
+    /// One sense-path read of a single cell (J).
+    pub read: f64,
+    /// One SOT write pulse (J) — current through the heavy-metal track.
+    pub write_sot: f64,
+    /// One STT write pulse (J) — current through the barrier.
+    pub write_stt: f64,
+    /// One sense-amplifier evaluation (J).
+    pub sense_amp: f64,
+    /// One 4-bit column ADC conversion (J).
+    pub adc_4bit: f64,
+    /// One SRAM word access (J) — used for scale-vector storage.
+    pub sram_access: f64,
+    /// One digital accumulate / shift-add operation (J).
+    pub digital_acc: f64,
+}
+
+impl Default for DeviceEnergy {
+    fn default() -> Self {
+        Self {
+            read: 25e-15,
+            write_sot: 300e-15,
+            write_stt: 450e-15,
+            sense_amp: 8e-15,
+            adc_4bit: 90e-15,
+            sram_access: 20e-15,
+            digital_acc: 2e-15,
+        }
+    }
+}
+
+impl DeviceEnergy {
+    /// Energy of one random bit from a [`crate::SpinRng`]: a stochastic
+    /// SOT write attempt, a sense read, and a reset write.
+    pub fn rng_bit(&self) -> f64 {
+        self.write_sot + self.read + self.sense_amp + self.write_sot
+    }
+
+    /// Energy of programming one binary cell (write-verified: write +
+    /// verify read).
+    pub fn program_cell(&self) -> f64 {
+        self.write_sot + self.read
+    }
+
+    /// Energy of one crossbar column evaluation sensing `rows` cells in
+    /// parallel followed by an ADC conversion.
+    pub fn column_read(&self, rows: usize) -> f64 {
+        rows as f64 * self.read + self.sense_amp + self.adc_4bit
+    }
+
+    /// Validates all constants are finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first non-positive / non-finite field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("read", self.read),
+            ("write_sot", self.write_sot),
+            ("write_stt", self.write_stt),
+            ("sense_amp", self.sense_amp),
+            ("adc_4bit", self.adc_4bit),
+            ("sram_access", self.sram_access),
+            ("digital_acc", self.digital_acc),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(DeviceEnergy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rng_bit_dominated_by_writes() {
+        let e = DeviceEnergy::default();
+        assert!(e.rng_bit() > 2.0 * e.write_sot);
+        assert!(e.rng_bit() < 3.0 * e.write_sot);
+    }
+
+    #[test]
+    fn column_read_scales_with_rows() {
+        let e = DeviceEnergy::default();
+        let small = e.column_read(16);
+        let big = e.column_read(256);
+        assert!(big > small);
+        assert!((big - small - 240.0 * e.read).abs() < 1e-20);
+    }
+
+    #[test]
+    fn validate_catches_bad_field() {
+        let e = DeviceEnergy { read: 0.0, ..DeviceEnergy::default() };
+        assert!(e.validate().is_err());
+        let e = DeviceEnergy { adc_4bit: f64::NAN, ..DeviceEnergy::default() };
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn sot_write_cheaper_than_stt() {
+        let e = DeviceEnergy::default();
+        assert!(e.write_sot < e.write_stt, "SOT writes avoid the barrier");
+    }
+}

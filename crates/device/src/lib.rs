@@ -1,0 +1,58 @@
+//! # neuspin-device — spintronic device substrate
+//!
+//! Physics-level behavioural models of the spintronic devices that the
+//! NeuSpin project (DATE 2024) builds on:
+//!
+//! * [`Mtj`] — a magnetic tunnel junction with parallel / anti-parallel
+//!   resistance states, tunnelling-magneto-resistance (TMR) resistance
+//!   model, and thermally-activated stochastic switching
+//!   ([`SwitchingModel`], Néel–Brown with spin-torque bias).
+//! * [`SotDevice`] — a three-terminal SOT-MRAM device with segregated
+//!   read and write paths and tunable read-path resistance.
+//! * [`VariationModel`] — device-to-device (lognormal) and
+//!   cycle-to-cycle (gaussian) variation, plus in-field drift.
+//! * [`DefectMap`] / [`DefectKind`] — manufacturing defects (stuck-at-P,
+//!   stuck-at-AP, open, short) injected into arrays of devices.
+//! * [`SpinRng`] — the SET → read → RESET bitstream random number
+//!   generator built from a stochastic MTJ, including the calibration
+//!   loop that tunes the write current to a target probability.
+//! * [`MultiLevelCell`] — a multi-value cell composed of several MTJs
+//!   sharing a read path (used by SpinBayes for quantized weights).
+//!
+//! Everything is deterministic given a seed: all stochastic behaviour is
+//! driven by a caller-supplied [`rand::Rng`].
+//!
+//! ## Example
+//!
+//! ```
+//! use neuspin_device::{Mtj, MtjParams, MtjState};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut mtj = Mtj::nominal(MtjParams::default());
+//! assert_eq!(mtj.state(), MtjState::Parallel);
+//!
+//! // A strong, long pulse switches essentially deterministically.
+//! mtj.apply_pulse(2.0 * mtj.params().critical_current, 20e-9, &mut rng);
+//! assert_eq!(mtj.state(), MtjState::AntiParallel);
+//! ```
+
+pub mod defects;
+pub mod energy;
+pub mod mlc;
+pub mod mtj;
+pub mod rng;
+pub mod sot;
+pub mod stats;
+pub mod switching;
+pub mod variation;
+
+pub use defects::{DefectKind, DefectMap, DefectRates};
+pub use energy::DeviceEnergy;
+pub use mlc::MultiLevelCell;
+pub use mtj::{Mtj, MtjParams, MtjState};
+pub use rng::{CalibrationReport, SpinRng};
+pub use sot::SotDevice;
+pub use stats::{Bernoulli, Gaussian, LogNormal};
+pub use switching::SwitchingModel;
+pub use variation::{VariationModel, VariedParams};

@@ -1,0 +1,187 @@
+//! Multi-level cells built from several MTJs.
+//!
+//! A single MTJ stores one bit (two conductance levels). SpinBayes and
+//! the sub-set VI architecture need *quantized multi-bit* weights, which
+//! the paper realises as several MTJs sharing a read path on the same
+//! heavy-metal track (SOT allows stacking MTJs on one write line). With
+//! `k` MTJs in parallel the cell exposes `k + 1` distinct conductance
+//! levels: `level = number of devices in the parallel state`.
+
+use crate::mtj::Mtj;
+use crate::variation::VariedParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multi-value cell of `k` parallel MTJs (`k + 1` conductance levels).
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{MultiLevelCell, VariedParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+/// let mut cell = MultiLevelCell::new(3, VariedParams::ideal(), &mut rng);
+/// assert_eq!(cell.level_count(), 4);
+///
+/// cell.program(2);
+/// assert_eq!(cell.level(), 2);
+/// let g2 = cell.conductance();
+/// cell.program(3);
+/// assert!(cell.conductance() > g2); // more parallel devices → higher G
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelCell {
+    devices: Vec<Mtj>,
+}
+
+impl MultiLevelCell {
+    /// Builds a cell of `k` device instances drawn from the process
+    /// corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new<R: Rng + ?Sized>(k: usize, corner: VariedParams, rng: &mut R) -> Self {
+        assert!(k > 0, "a multi-level cell needs at least one MTJ");
+        let devices = (0..k).map(|_| corner.instantiate(rng)).collect();
+        Self { devices }
+    }
+
+    /// Number of MTJs in the cell.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of programmable levels (`device_count() + 1`).
+    pub fn level_count(&self) -> usize {
+        self.devices.len() + 1
+    }
+
+    /// Currently programmed level (number of parallel-state devices).
+    pub fn level(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.state() == crate::MtjState::Parallel)
+            .count()
+    }
+
+    /// Programs the cell to `level` (write-verified): the first `level`
+    /// devices are set parallel, the rest anti-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= level_count()` is violated
+    /// (`level` must be `<= device_count()`).
+    pub fn program(&mut self, level: usize) {
+        assert!(
+            level < self.level_count(),
+            "level {level} out of range for {}-level cell",
+            self.level_count()
+        );
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.write_bit(i >= level); // bit 1 = AP
+        }
+    }
+
+    /// Ideal (noise-free) total conductance of the shared read path, in
+    /// siemens: the sum of the parallel devices' conductances.
+    pub fn conductance(&self) -> f64 {
+        self.devices.iter().map(Mtj::conductance).sum()
+    }
+
+    /// Noisy read of the total conductance (each device contributes its
+    /// own read noise).
+    pub fn read_conductance<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.devices.iter().map(|d| d.read_conductance(rng)).sum()
+    }
+
+    /// The ideal conductance the *nominal* cell would have at each level
+    /// — the reference ladder a readout ADC is designed against.
+    pub fn nominal_ladder(corner: &VariedParams, k: usize) -> Vec<f64> {
+        let g_p = 1.0 / corner.nominal.resistance_parallel;
+        let g_ap = 1.0 / corner.nominal.resistance_antiparallel();
+        (0..=k)
+            .map(|level| level as f64 * g_p + (k - level) as f64 * g_ap)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::VariationModel;
+    use crate::MtjParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(41)
+    }
+
+    #[test]
+    fn levels_are_monotone_in_conductance() {
+        let mut r = rng();
+        let mut cell = MultiLevelCell::new(7, VariedParams::ideal(), &mut r);
+        let mut last = -1.0;
+        for level in 0..cell.level_count() {
+            cell.program(level);
+            assert_eq!(cell.level(), level);
+            let g = cell.conductance();
+            assert!(g > last, "level {level} must raise conductance");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn nominal_ladder_matches_ideal_cell() {
+        let mut r = rng();
+        let corner = VariedParams::ideal();
+        let mut cell = MultiLevelCell::new(3, corner, &mut r);
+        let ladder = MultiLevelCell::nominal_ladder(&corner, 3);
+        assert_eq!(ladder.len(), 4);
+        for (level, &g_expected) in ladder.iter().enumerate() {
+            cell.program(level);
+            assert!((cell.conductance() - g_expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn variation_spreads_levels_but_keeps_order() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.05));
+        let mut cell = MultiLevelCell::new(4, corner, &mut r);
+        let mut last = -1.0;
+        for level in 0..5 {
+            cell.program(level);
+            let g = cell.conductance();
+            assert!(g > last, "5 % variation must not reorder a 150 % TMR ladder");
+            last = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn program_rejects_out_of_range_level() {
+        let mut r = rng();
+        let mut cell = MultiLevelCell::new(2, VariedParams::ideal(), &mut r);
+        cell.program(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MTJ")]
+    fn zero_device_cell_rejected() {
+        let mut r = rng();
+        let _ = MultiLevelCell::new(0, VariedParams::ideal(), &mut r);
+    }
+
+    #[test]
+    fn noisy_read_close_to_ideal() {
+        let mut r = rng();
+        let mut cell = MultiLevelCell::new(3, VariedParams::ideal(), &mut r);
+        cell.program(2);
+        let ideal = cell.conductance();
+        let noisy = cell.read_conductance(&mut r);
+        assert!((noisy / ideal - 1.0).abs() < 0.05);
+    }
+}

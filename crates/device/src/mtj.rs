@@ -1,0 +1,390 @@
+//! The magnetic tunnel junction (MTJ) model.
+//!
+//! An MTJ is two ferromagnetic layers (free layer and reference layer)
+//! separated by a thin tunnel barrier. The relative magnetisation —
+//! parallel (P) or anti-parallel (AP) — sets the device resistance:
+//! `R_AP = R_P · (1 + TMR)`. Writes are stochastic: a current pulse
+//! switches the free layer with a probability given by the
+//! thermal-activation model in [`crate::switching`].
+
+use crate::switching::SwitchingModel;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Magnetisation state of an MTJ's free layer relative to its reference
+/// layer.
+///
+/// The state determines the device resistance: parallel is the
+/// low-resistance state, anti-parallel the high-resistance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MtjState {
+    /// Low-resistance state (`R_P`). Also the "RESET" state for the
+    /// SpinRng bitstream generator.
+    #[default]
+    Parallel,
+    /// High-resistance state (`R_AP = R_P · (1 + TMR)`).
+    AntiParallel,
+}
+
+impl MtjState {
+    /// Returns the opposite state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use neuspin_device::MtjState;
+    /// assert_eq!(MtjState::Parallel.flipped(), MtjState::AntiParallel);
+    /// ```
+    pub fn flipped(self) -> Self {
+        match self {
+            Self::Parallel => Self::AntiParallel,
+            Self::AntiParallel => Self::Parallel,
+        }
+    }
+
+    /// Interprets the state as a stored bit (AP = 1, P = 0), the
+    /// convention used by the NeuSpin bit-cells.
+    pub fn as_bit(self) -> bool {
+        matches!(self, Self::AntiParallel)
+    }
+}
+
+/// Nominal (design-time) parameters of an MTJ device.
+///
+/// Defaults correspond to a perpendicular STT/SOT MTJ in the range
+/// reported by the MRAM literature the paper builds on (e.g. Lee et al.,
+/// IEDM 2022): kΩ-range parallel resistance, TMR well above 100 %,
+/// thermal stability Δ ≈ 60, nanosecond pulses and tens of µA critical
+/// current.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MtjParams {
+    /// Parallel-state resistance in ohms.
+    pub resistance_parallel: f64,
+    /// Tunnelling magneto-resistance ratio: `R_AP = R_P (1 + tmr)`.
+    pub tmr: f64,
+    /// Thermal-stability factor Δ = E_b / (k_B·T) at operating
+    /// temperature (dimensionless).
+    pub thermal_stability: f64,
+    /// Critical switching current `I_c0` in amperes (zero-temperature
+    /// intrinsic critical current).
+    pub critical_current: f64,
+    /// Attempt time τ₀ in seconds (inverse attempt frequency, ≈ 1 ns).
+    pub attempt_time: f64,
+    /// Default write-pulse duration in seconds.
+    pub pulse_width: f64,
+    /// Relative standard deviation of read-current noise (thermal +
+    /// sense noise, applied multiplicatively on read conductance).
+    pub read_noise: f64,
+}
+
+impl Default for MtjParams {
+    fn default() -> Self {
+        Self {
+            resistance_parallel: 5_000.0,
+            tmr: 1.5,
+            thermal_stability: 60.0,
+            critical_current: 40e-6,
+            attempt_time: 1e-9,
+            pulse_width: 10e-9,
+            read_noise: 0.01,
+        }
+    }
+}
+
+impl MtjParams {
+    /// Anti-parallel resistance `R_P · (1 + TMR)` in ohms.
+    pub fn resistance_antiparallel(&self) -> f64 {
+        self.resistance_parallel * (1.0 + self.tmr)
+    }
+
+    /// Validates physical plausibility, returning a description of the
+    /// first violated constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any parameter is non-positive, non-finite, or the
+    /// TMR / read-noise are out of their physical ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64); 6] = [
+            ("resistance_parallel", self.resistance_parallel),
+            ("tmr", self.tmr),
+            ("thermal_stability", self.thermal_stability),
+            ("critical_current", self.critical_current),
+            ("attempt_time", self.attempt_time),
+            ("pulse_width", self.pulse_width),
+        ];
+        for (name, v) in checks {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        if !self.read_noise.is_finite() || self.read_noise < 0.0 {
+            return Err(format!("read_noise must be finite and >= 0, got {}", self.read_noise));
+        }
+        Ok(())
+    }
+}
+
+/// A single MTJ device instance.
+///
+/// A device holds its own (possibly variation-perturbed) parameters and
+/// its current magnetisation state. Stochastic behaviour — switching and
+/// read noise — is driven by a caller-supplied RNG so that experiments
+/// are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{Mtj, MtjParams, MtjState};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut mtj = Mtj::nominal(MtjParams::default());
+///
+/// // Deterministic-regime write: strong over-drive.
+/// mtj.set(&mut rng);
+/// assert_eq!(mtj.state(), MtjState::AntiParallel);
+/// mtj.reset();
+/// assert_eq!(mtj.state(), MtjState::Parallel);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mtj {
+    params: MtjParams,
+    state: MtjState,
+    switching: SwitchingModel,
+}
+
+impl Mtj {
+    /// Creates a device with exactly the nominal parameters (no
+    /// device-to-device variation), initialised to the parallel state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`MtjParams::validate`].
+    pub fn nominal(params: MtjParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid MTJ parameters: {e}");
+        }
+        let switching = SwitchingModel::from_params(&params);
+        Self { params, state: MtjState::Parallel, switching }
+    }
+
+    /// Returns the device parameters.
+    pub fn params(&self) -> &MtjParams {
+        &self.params
+    }
+
+    /// Returns the current magnetisation state.
+    pub fn state(&self) -> MtjState {
+        self.state
+    }
+
+    /// Forces the state (used by defect injection and test setup); does
+    /// not consume energy or randomness.
+    pub fn set_state(&mut self, state: MtjState) {
+        self.state = state;
+    }
+
+    /// Returns the switching model for this device instance.
+    pub fn switching(&self) -> &SwitchingModel {
+        &self.switching
+    }
+
+    /// Ideal (noise-free) resistance of the current state, in ohms.
+    pub fn resistance(&self) -> f64 {
+        match self.state {
+            MtjState::Parallel => self.params.resistance_parallel,
+            MtjState::AntiParallel => self.params.resistance_antiparallel(),
+        }
+    }
+
+    /// Ideal conductance of the current state, in siemens.
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.resistance()
+    }
+
+    /// Reads the conductance through the sense path, applying
+    /// multiplicative read noise.
+    pub fn read_conductance<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let noise = 1.0 + self.params.read_noise * crate::stats::standard_normal(rng);
+        self.conductance() * noise.max(0.0)
+    }
+
+    /// Reads the stored bit by comparing the (noisy) resistance against
+    /// the mid-point reference, as a sense amplifier would.
+    pub fn read_bit<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let g = self.read_conductance(rng);
+        let g_mid = 0.5 * (1.0 / self.params.resistance_parallel
+            + 1.0 / self.params.resistance_antiparallel());
+        // AP (bit 1) is the *low*-conductance state.
+        g < g_mid
+    }
+
+    /// Applies a write pulse of amplitude `current` (A) and duration
+    /// `duration` (s) in the P→AP direction if the state is P, or AP→P if
+    /// the current is negative. Switching succeeds with the probability
+    /// given by the thermal-activation model; returns `true` if the state
+    /// flipped.
+    ///
+    /// A zero or wrongly-signed current never switches the device.
+    pub fn apply_pulse<R: Rng + ?Sized>(&mut self, current: f64, duration: f64, rng: &mut R) -> bool {
+        let (magnitude, target) = if current > 0.0 {
+            (current, MtjState::AntiParallel)
+        } else if current < 0.0 {
+            (-current, MtjState::Parallel)
+        } else {
+            return false;
+        };
+        if self.state == target {
+            return false;
+        }
+        let p = self.switching.probability(magnitude, duration);
+        if rng.random::<f64>() < p {
+            self.state = target;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attempts a SET (P→AP) with the given current at the default pulse
+    /// width; returns `true` if the device switched. This is the
+    /// stochastic write used by the SpinRng bitstream generator.
+    pub fn try_set<R: Rng + ?Sized>(&mut self, current: f64, rng: &mut R) -> bool {
+        self.apply_pulse(current.abs(), self.params.pulse_width, rng)
+    }
+
+    /// Deterministic-regime SET: a strong over-drive pulse (3·I_c, 10
+    /// pulse widths) that switches with probability ≈ 1.
+    pub fn set<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let i = 3.0 * self.params.critical_current;
+        let t = 10.0 * self.params.pulse_width;
+        self.apply_pulse(i, t, rng);
+        // The residual non-switching probability at 3·I_c over 100 ns is
+        // below 1e-12; treat the write as verified (write-verify loop).
+        self.state = MtjState::AntiParallel;
+    }
+
+    /// Deterministic RESET back to the parallel state (write-verified).
+    pub fn reset(&mut self) {
+        self.state = MtjState::Parallel;
+    }
+
+    /// Writes the given bit deterministically (write-verify), AP = 1.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.state = if bit { MtjState::AntiParallel } else { MtjState::Parallel };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn resistance_follows_state() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        assert_eq!(mtj.resistance(), 5_000.0);
+        mtj.set_state(MtjState::AntiParallel);
+        assert_eq!(mtj.resistance(), 12_500.0); // 5k * (1 + 1.5)
+    }
+
+    #[test]
+    fn conductance_is_reciprocal() {
+        let mtj = Mtj::nominal(MtjParams::default());
+        assert!((mtj.conductance() * mtj.resistance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_pulse_switches() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        let flipped = mtj.apply_pulse(3.0 * 40e-6, 100e-9, &mut rng);
+        assert!(flipped);
+        assert_eq!(mtj.state(), MtjState::AntiParallel);
+    }
+
+    #[test]
+    fn zero_current_never_switches() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        assert!(!mtj.apply_pulse(0.0, 1e-6, &mut rng));
+        assert_eq!(mtj.state(), MtjState::Parallel);
+    }
+
+    #[test]
+    fn negative_current_switches_back() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        mtj.set(&mut rng);
+        let flipped = mtj.apply_pulse(-3.0 * 40e-6, 100e-9, &mut rng);
+        assert!(flipped);
+        assert_eq!(mtj.state(), MtjState::Parallel);
+    }
+
+    #[test]
+    fn pulse_toward_current_state_is_noop() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        // Already parallel; AP→P pulse does nothing.
+        assert!(!mtj.apply_pulse(-1.0, 1e-6, &mut rng));
+    }
+
+    #[test]
+    fn read_bit_is_reliable_at_low_noise() {
+        let mut mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        mtj.write_bit(true);
+        let errors = (0..1_000).filter(|_| !mtj.read_bit(&mut rng)).count();
+        assert_eq!(errors, 0, "1 % read noise must not flip a 150 % TMR read");
+        mtj.write_bit(false);
+        let errors = (0..1_000).filter(|_| mtj.read_bit(&mut rng)).count();
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn read_noise_perturbs_conductance() {
+        let mtj = Mtj::nominal(MtjParams::default());
+        let mut rng = rng();
+        let a = mtj.read_conductance(&mut rng);
+        let b = mtj.read_conductance(&mut rng);
+        assert_ne!(a, b);
+        assert!((a / mtj.conductance() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MTJ parameters")]
+    fn invalid_params_panic() {
+        let params = MtjParams { tmr: -0.5, ..MtjParams::default() };
+        let _ = Mtj::nominal(params);
+    }
+
+    #[test]
+    fn state_flip_roundtrip() {
+        assert_eq!(MtjState::Parallel.flipped().flipped(), MtjState::Parallel);
+        assert!(MtjState::AntiParallel.as_bit());
+        assert!(!MtjState::Parallel.as_bit());
+    }
+
+    #[test]
+    fn params_validate_catches_each_field() {
+        for field in 0..6 {
+            let mut p = MtjParams::default();
+            match field {
+                0 => p.resistance_parallel = 0.0,
+                1 => p.tmr = f64::NAN,
+                2 => p.thermal_stability = -1.0,
+                3 => p.critical_current = 0.0,
+                4 => p.attempt_time = f64::INFINITY,
+                _ => p.pulse_width = -1e-9,
+            }
+            assert!(p.validate().is_err(), "field {field} should fail");
+        }
+        assert!(MtjParams::default().validate().is_ok());
+    }
+}

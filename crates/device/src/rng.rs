@@ -1,0 +1,303 @@
+//! The spintronic true random number generator (SpinRng).
+//!
+//! NeuSpin's dropout modules all reduce to the same primitive: an MTJ
+//! biased at a sub-critical write current so that a fixed-width SET
+//! pulse switches it with a chosen probability `p`. One bit is produced
+//! per SET → read → RESET cycle:
+//!
+//! 1. apply the calibrated SET pulse (stochastic switch),
+//! 2. read the state through the sense amplifier (did it switch?),
+//! 3. RESET back to parallel for the next cycle.
+//!
+//! Because every device deviates from nominal, the paper treats the
+//! realised probability as itself a random variable — the calibration
+//! loop here supports both *nominal* calibration (design-time current,
+//! subject to device variation) and *measured* closed-loop calibration
+//! (tune against the device's observed switch rate).
+
+use crate::mtj::{Mtj, MtjParams};
+use crate::variation::VariedParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of calibrating a [`SpinRng`] against a target probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Probability the module was asked to produce.
+    pub target_p: f64,
+    /// Write current (A) selected by the loop.
+    pub bias_current: f64,
+    /// The device's true switching probability at that bias (exact, from
+    /// its instance switching model).
+    pub realized_p: f64,
+    /// Number of measurement bits spent (0 for nominal calibration).
+    pub measurement_bits: u64,
+}
+
+impl CalibrationReport {
+    /// Absolute probability error `|realized − target|`.
+    pub fn abs_error(&self) -> f64 {
+        (self.realized_p - self.target_p).abs()
+    }
+}
+
+/// A Bernoulli bitstream generator built from one stochastic MTJ.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{SpinRng, VariedParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+/// let mut spin = SpinRng::new(VariedParams::ideal(), &mut rng);
+/// let report = spin.calibrate_nominal(0.5);
+/// assert!(report.abs_error() < 1e-9); // ideal device: exact
+///
+/// let ones = (0..1000).filter(|_| spin.next_bit(&mut rng)).count();
+/// assert!((ones as f64 / 1000.0 - 0.5).abs() < 0.06);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpinRng {
+    device: Mtj,
+    nominal: MtjParams,
+    bias_current: f64,
+    target_p: f64,
+    bits_generated: u64,
+}
+
+impl SpinRng {
+    /// Instantiates the module's MTJ from a process corner and leaves it
+    /// uncalibrated (bias current 0 → always-zero bits).
+    pub fn new<R: Rng + ?Sized>(corner: VariedParams, rng: &mut R) -> Self {
+        let device = corner.instantiate(rng);
+        Self {
+            device,
+            nominal: corner.nominal,
+            bias_current: 0.0,
+            target_p: 0.0,
+            bits_generated: 0,
+        }
+    }
+
+    /// The probability the module is currently calibrated for.
+    pub fn target_p(&self) -> f64 {
+        self.target_p
+    }
+
+    /// The bias current (A) currently applied for SET pulses.
+    pub fn bias_current(&self) -> f64 {
+        self.bias_current
+    }
+
+    /// Total bits produced since construction (RNG wear metric — each
+    /// bit costs one write + one read + one reset).
+    pub fn bits_generated(&self) -> u64 {
+        self.bits_generated
+    }
+
+    /// The true per-bit probability at the current bias, from the
+    /// device-instance switching model. (An oracle quantity: real
+    /// hardware can only estimate it by counting.)
+    pub fn realized_p(&self) -> f64 {
+        self.device
+            .switching()
+            .probability(self.bias_current, self.device.params().pulse_width)
+    }
+
+    /// Design-time calibration: pick the bias current that the *nominal*
+    /// device would need for probability `p`. Device-to-device variation
+    /// then makes the realised probability deviate — exactly the
+    /// non-ideality the NeuSpin training methods must absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn calibrate_nominal(&mut self, p: f64) -> CalibrationReport {
+        let nominal_model = crate::SwitchingModel::from_params(&self.nominal);
+        self.bias_current = nominal_model.current_for_probability(p, self.nominal.pulse_width);
+        self.target_p = p;
+        CalibrationReport {
+            target_p: p,
+            bias_current: self.bias_current,
+            realized_p: self.realized_p(),
+            measurement_bits: 0,
+        }
+    }
+
+    /// Closed-loop calibration: bisect on the bias current, *measuring*
+    /// the switch rate with `bits_per_step` trial bits per step, until
+    /// the measured rate is within `tolerance` of `p` or `max_steps` is
+    /// exhausted. This consumes real device cycles (counted in the
+    /// report) but cancels device-to-device variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`, or `bits_per_step == 0`.
+    pub fn calibrate_measured<R: Rng + ?Sized>(
+        &mut self,
+        p: f64,
+        bits_per_step: u32,
+        tolerance: f64,
+        max_steps: u32,
+        rng: &mut R,
+    ) -> CalibrationReport {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+        assert!(bits_per_step > 0, "bits_per_step must be positive");
+        // Bracket around the device's own inverse as a warm start.
+        let model = *self.device.switching();
+        let width = self.device.params().pulse_width;
+        let center = model.current_for_probability(p, width);
+        let mut lo = 0.5 * center;
+        let mut hi = 1.5 * center.max(1e-9);
+        let mut spent: u64 = 0;
+        let mut best = center;
+        for _ in 0..max_steps {
+            let mid = 0.5 * (lo + hi);
+            self.bias_current = mid;
+            let mut ones = 0u32;
+            for _ in 0..bits_per_step {
+                if self.raw_bit(rng) {
+                    ones += 1;
+                }
+            }
+            spent += u64::from(bits_per_step);
+            let measured = f64::from(ones) / f64::from(bits_per_step);
+            best = mid;
+            if (measured - p).abs() <= tolerance {
+                break;
+            }
+            if measured < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.bias_current = best;
+        self.target_p = p;
+        CalibrationReport {
+            target_p: p,
+            bias_current: best,
+            realized_p: self.realized_p(),
+            measurement_bits: spent,
+        }
+    }
+
+    fn raw_bit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        // SET attempt at the bias current.
+        let switched = self.device.try_set(self.bias_current, rng);
+        // Sense-amplifier read of the post-pulse state; with write-verify
+        // semantics the read reflects the switch outcome.
+        let bit = switched;
+        // RESET to parallel for the next cycle.
+        self.device.reset();
+        self.bits_generated += 1;
+        bit
+    }
+
+    /// Produces one random bit (one full SET → read → RESET cycle).
+    pub fn next_bit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.raw_bit(rng)
+    }
+
+    /// Produces `n` bits into a vector.
+    pub fn bits<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<bool> {
+        (0..n).map(|_| self.next_bit(rng)).collect()
+    }
+
+    /// Empirically estimates the module's probability with `n` bits
+    /// (consumes cycles).
+    pub fn measure_p<R: Rng + ?Sized>(&mut self, n: u32, rng: &mut R) -> f64 {
+        assert!(n > 0, "n must be positive");
+        let ones = (0..n).filter(|_| self.next_bit(rng)).count();
+        ones as f64 / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::VariationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn uncalibrated_rng_emits_zeros() {
+        let mut r = rng();
+        let mut spin = SpinRng::new(VariedParams::ideal(), &mut r);
+        assert!(spin.bits(100, &mut r).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn nominal_calibration_on_ideal_device_is_exact() {
+        let mut r = rng();
+        let mut spin = SpinRng::new(VariedParams::ideal(), &mut r);
+        for &p in &[0.1, 0.25, 0.5, 0.9] {
+            let rep = spin.calibrate_nominal(p);
+            assert!(rep.abs_error() < 1e-9, "p {p}: error {}", rep.abs_error());
+        }
+    }
+
+    #[test]
+    fn bitstream_frequency_matches_target() {
+        let mut r = rng();
+        let mut spin = SpinRng::new(VariedParams::ideal(), &mut r);
+        spin.calibrate_nominal(0.3);
+        let freq = spin.measure_p(20_000, &mut r);
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn variation_perturbs_nominal_calibration() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.10));
+        // Across devices the realised p spreads around the target.
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let mut spin = SpinRng::new(corner, &mut r);
+            let rep = spin.calibrate_nominal(0.5);
+            worst = worst.max(rep.abs_error());
+        }
+        assert!(worst > 0.02, "10 % variation should visibly shift p (worst {worst})");
+    }
+
+    #[test]
+    fn measured_calibration_beats_nominal_under_variation() {
+        let mut r = rng();
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.10));
+        let mut nominal_err = 0.0;
+        let mut measured_err = 0.0;
+        for _ in 0..20 {
+            let mut spin = SpinRng::new(corner, &mut r);
+            nominal_err += spin.calibrate_nominal(0.5).abs_error();
+            let rep = spin.calibrate_measured(0.5, 400, 0.01, 30, &mut r);
+            measured_err += rep.abs_error();
+            assert!(rep.measurement_bits > 0);
+        }
+        assert!(
+            measured_err < nominal_err,
+            "closed loop ({measured_err}) must beat open loop ({nominal_err})"
+        );
+    }
+
+    #[test]
+    fn bit_counter_accumulates() {
+        let mut r = rng();
+        let mut spin = SpinRng::new(VariedParams::ideal(), &mut r);
+        spin.calibrate_nominal(0.5);
+        spin.bits(64, &mut r);
+        assert_eq!(spin.bits_generated(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn measured_calibration_rejects_bad_p() {
+        let mut r = rng();
+        let mut spin = SpinRng::new(VariedParams::ideal(), &mut r);
+        spin.calibrate_measured(0.0, 10, 0.01, 5, &mut r);
+    }
+}

@@ -1,0 +1,237 @@
+//! Three-terminal SOT-MRAM device model.
+//!
+//! A spin-orbit-torque device places the MTJ on a heavy-metal strip; the
+//! write current flows *under* the junction (through the strip) and the
+//! read current flows *through* it. This segregation gives SOT devices
+//! their key advantages exploited by NeuSpin:
+//!
+//! * the read path never stresses the barrier → effectively unlimited
+//!   read endurance and tunable, MΩ-range read resistance;
+//! * write and read can use independently optimised currents;
+//! * several MTJs can share one strip ([`crate::MultiLevelCell`]).
+
+use crate::mtj::{Mtj, MtjParams, MtjState};
+use crate::variation::VariedParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A three-terminal SOT device: an [`Mtj`] plus a heavy-metal write
+/// track with its own resistance and a read-path series resistance that
+/// can be tuned at design time.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{SotDevice, VariedParams};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+/// let mut dev = SotDevice::new(VariedParams::ideal(), 1.0e6, &mut rng);
+///
+/// dev.write(true, &mut rng);
+/// assert!(dev.stored_bit());
+/// // Read path sees the series resistance: conductance well below 1/R_AP.
+/// assert!(dev.read_conductance(&mut rng) < 1.0 / 1.0e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SotDevice {
+    mtj: Mtj,
+    /// Series resistance inserted in the read path (Ω) — the "tunable
+    /// resistance" knob, adjustable to several MΩ.
+    read_series_resistance: f64,
+    /// Heavy-metal track resistance (Ω), sets the write energy.
+    track_resistance: f64,
+    writes: u64,
+    reads: u64,
+}
+
+impl SotDevice {
+    /// Builds a device from a process corner with the given read-path
+    /// series resistance (Ω). Track resistance defaults to 200 Ω.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_series_resistance` is negative or non-finite.
+    pub fn new<R: Rng + ?Sized>(corner: VariedParams, read_series_resistance: f64, rng: &mut R) -> Self {
+        assert!(
+            read_series_resistance.is_finite() && read_series_resistance >= 0.0,
+            "series resistance must be finite and >= 0"
+        );
+        Self {
+            mtj: corner.instantiate(rng),
+            read_series_resistance,
+            track_resistance: 200.0,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// The underlying MTJ.
+    pub fn mtj(&self) -> &Mtj {
+        &self.mtj
+    }
+
+    /// Read-path series resistance (Ω).
+    pub fn read_series_resistance(&self) -> f64 {
+        self.read_series_resistance
+    }
+
+    /// Retunes the read-path series resistance (Ω) — the conductance
+    /// programming knob used when SOT cells act as analog weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is negative or non-finite.
+    pub fn set_read_series_resistance(&mut self, ohms: f64) {
+        assert!(ohms.is_finite() && ohms >= 0.0, "series resistance must be finite and >= 0");
+        self.read_series_resistance = ohms;
+    }
+
+    /// Heavy-metal track resistance (Ω).
+    pub fn track_resistance(&self) -> f64 {
+        self.track_resistance
+    }
+
+    /// Number of write pulses applied so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of reads performed so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Stored bit (AP = 1).
+    pub fn stored_bit(&self) -> bool {
+        self.mtj.state().as_bit()
+    }
+
+    /// Deterministic (write-verified) bit write through the SOT track.
+    pub fn write<R: Rng + ?Sized>(&mut self, bit: bool, _rng: &mut R) {
+        self.mtj.write_bit(bit);
+        self.writes += 1;
+    }
+
+    /// Stochastic write attempt at `current` (A) through the track in
+    /// the SET direction; returns whether the device switched. Used when
+    /// the SOT device serves as a random source.
+    pub fn try_set<R: Rng + ?Sized>(&mut self, current: f64, rng: &mut R) -> bool {
+        self.writes += 1;
+        self.mtj.try_set(current, rng)
+    }
+
+    /// Resets to the parallel state through the track (write-verified).
+    pub fn reset(&mut self) {
+        self.mtj.reset();
+        self.writes += 1;
+    }
+
+    /// Noisy read-path conductance: the MTJ in series with the tuning
+    /// resistor, `G = 1 / (R_state + R_series)`.
+    pub fn read_conductance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.reads += 1;
+        let g_mtj = self.mtj.read_conductance(rng);
+        let r_mtj = if g_mtj > 0.0 { 1.0 / g_mtj } else { f64::INFINITY };
+        let total = r_mtj + self.read_series_resistance;
+        if total.is_finite() && total > 0.0 {
+            1.0 / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Ideal read-path conductance (no noise).
+    pub fn conductance(&self) -> f64 {
+        1.0 / (self.mtj.resistance() + self.read_series_resistance)
+    }
+
+    /// Energy of one write pulse at `current` (A) for `duration` (s):
+    /// `I² · R_track · t` (the write current never crosses the barrier).
+    pub fn write_energy(&self, current: f64, duration: f64) -> f64 {
+        current * current * self.track_resistance * duration
+    }
+
+    /// Nominal parameters this device was drawn from.
+    pub fn nominal(&self) -> MtjParams {
+        *self.mtj.params()
+    }
+
+    /// Current magnetisation state.
+    pub fn state(&self) -> MtjState {
+        self.mtj.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(55)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut r = rng();
+        let mut dev = SotDevice::new(VariedParams::ideal(), 0.0, &mut r);
+        dev.write(true, &mut r);
+        assert!(dev.stored_bit());
+        dev.write(false, &mut r);
+        assert!(!dev.stored_bit());
+        assert_eq!(dev.write_count(), 2);
+    }
+
+    #[test]
+    fn series_resistance_lowers_conductance() {
+        let mut r = rng();
+        let dev0 = SotDevice::new(VariedParams::ideal(), 0.0, &mut r);
+        let dev1 = SotDevice::new(VariedParams::ideal(), 1e6, &mut r);
+        assert!(dev1.conductance() < dev0.conductance());
+        // 1 MΩ swamps the 5 kΩ junction: conductance ≈ 1 µS.
+        assert!((dev1.conductance() - 1.0 / 1.005e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_does_not_disturb_state() {
+        let mut r = rng();
+        let mut dev = SotDevice::new(VariedParams::ideal(), 1e5, &mut r);
+        dev.write(true, &mut r);
+        for _ in 0..100 {
+            dev.read_conductance(&mut r);
+        }
+        assert!(dev.stored_bit(), "SOT reads must never flip the free layer");
+        assert_eq!(dev.read_count(), 100);
+    }
+
+    #[test]
+    fn write_energy_scales_quadratically() {
+        let mut r = rng();
+        let dev = SotDevice::new(VariedParams::ideal(), 0.0, &mut r);
+        let e1 = dev.write_energy(50e-6, 10e-9);
+        let e2 = dev.write_energy(100e-6, 10e-9);
+        assert!((e2 / e1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_set_and_reset_count_writes() {
+        let mut r = rng();
+        let mut dev = SotDevice::new(VariedParams::ideal(), 0.0, &mut r);
+        let ic = dev.nominal().critical_current;
+        dev.try_set(2.0 * ic, &mut r);
+        dev.reset();
+        assert_eq!(dev.write_count(), 2);
+        assert_eq!(dev.state(), MtjState::Parallel);
+    }
+
+    #[test]
+    fn retuning_series_resistance() {
+        let mut r = rng();
+        let mut dev = SotDevice::new(VariedParams::ideal(), 1e5, &mut r);
+        let g_before = dev.conductance();
+        dev.set_read_series_resistance(2e5);
+        assert!(dev.conductance() < g_before);
+    }
+}

@@ -1,0 +1,350 @@
+//! Self-contained probability distributions.
+//!
+//! The device models need Gaussian, lognormal, and Bernoulli sampling.
+//! They are implemented here (Box–Muller for the Gaussian) instead of
+//! pulling in `rand_distr`, so that the substrate stays dependency-light
+//! and the sampling sequence is fully under our control (important for
+//! bit-for-bit reproducible experiments).
+
+use rand::{Rng, RngExt};
+
+/// A Gaussian (normal) distribution `N(mean, std²)`.
+///
+/// Sampling uses the Box–Muller transform; each call to [`Gaussian::sample`]
+/// consumes exactly two uniform draws from the supplied RNG, which keeps
+/// the RNG stream position predictable.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::stats::Gaussian;
+/// use rand::SeedableRng;
+///
+/// let g = Gaussian::new(1.0, 0.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = g.sample(&mut rng);
+/// assert!((x - 1.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0, got {std}");
+        Self { mean, std }
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Returns the mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Returns the standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Draws a standard-normal variate via Box–Muller (two uniform draws).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A lognormal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used for device-to-device resistance and thermal-stability variation,
+/// which are multiplicative in nature (a device is "x % off nominal").
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::stats::LogNormal;
+/// use rand::SeedableRng;
+///
+/// // Median 5 kΩ, 10 % relative sigma.
+/// let d = LogNormal::from_median_sigma(5_000.0, 0.10);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let r = d.sample(&mut rng);
+/// assert!(r > 2_000.0 && r < 12_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// Creates a lognormal whose *median* is `median` and whose
+    /// log-domain standard deviation is `sigma` (≈ relative spread for
+    /// small `sigma`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn from_median_sigma(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Returns the median (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Returns the log-domain sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// A Bernoulli distribution over `{true, false}`.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::stats::Bernoulli;
+/// use rand::SeedableRng;
+///
+/// let b = Bernoulli::new(0.25);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let _bit: bool = b.sample(&mut rng);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        Self { p }
+    }
+
+    /// Returns the success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random::<f64>() < self.p
+    }
+}
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// Used throughout the workspace for measuring empirical switching
+/// probabilities, read noise, and Monte-Carlo statistics without storing
+/// the samples.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.count(), 3);
+/// assert!((r.variance() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with Bessel's correction (0 with fewer than two
+    /// observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut r = Self::new();
+        r.extend(iter);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn gaussian_moments_match() {
+        let g = Gaussian::new(3.0, 2.0);
+        let mut rng = rng();
+        let r: Running = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        assert!((r.mean() - 3.0).abs() < 0.05, "mean {}", r.mean());
+        assert!((r.std() - 2.0).abs() < 0.05, "std {}", r.std());
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let g = Gaussian::new(5.0, 0.0);
+        let mut rng = rng();
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite")]
+    fn gaussian_rejects_negative_std() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn lognormal_median_is_preserved() {
+        let d = LogNormal::from_median_sigma(5_000.0, 0.2);
+        let mut rng = rng();
+        let mut samples: Vec<f64> = (0..9_999).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        assert!((median / 5_000.0 - 1.0).abs() < 0.03, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::from_median_sigma(1.0, 1.5);
+        let mut rng = rng();
+        assert!((0..1_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let b = Bernoulli::new(0.3);
+        let mut rng = rng();
+        let hits = (0..50_000).filter(|_| b.sample(&mut rng)).count();
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = rng();
+        assert!((0..100).all(|_| !Bernoulli::new(0.0).sample(&mut rng)));
+        assert!((0..100).all(|_| Bernoulli::new(1.0).sample(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn bernoulli_rejects_out_of_range() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn running_empty_is_zero() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_single_observation() {
+        let r: Running = [42.0].into_iter().collect();
+        assert_eq!(r.mean(), 42.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+}

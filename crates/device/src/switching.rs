@@ -1,0 +1,271 @@
+//! Thermally-activated stochastic switching of spin-torque devices.
+//!
+//! In the thermal-activation (Néel–Brown) regime, a spin-torque current
+//! `I` lowers the energy barrier of the free layer, and the probability
+//! of switching within a pulse of duration `t` is
+//!
+//! ```text
+//! P_sw(I, t) = 1 − exp( −(t / τ₀) · exp( −Δ · (1 − I / I_c0) ) )
+//! ```
+//!
+//! where Δ is the thermal-stability factor and `I_c0` the intrinsic
+//! critical current. Below `I_c0` the exponent is negative and switching
+//! is rare; above it the barrier collapses and switching is fast. This
+//! single expression gives the sigmoidal `P_sw(I)` curve that the
+//! NeuSpin project exploits: biasing the device at a sub-critical
+//! current turns it into a tunable Bernoulli sampler (the SpinDrop /
+//! Scale-Drop / Arbiter random number source).
+
+use crate::mtj::MtjParams;
+use serde::{Deserialize, Serialize};
+
+/// The switching-probability model of one device instance.
+///
+/// Holds the (possibly variation-perturbed) Δ, `I_c0`, τ₀ triple and
+/// evaluates `P_sw(I, t)` as well as its inverse (the current needed to
+/// hit a target probability — used by the RNG calibration loop).
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{MtjParams, SwitchingModel};
+///
+/// let m = SwitchingModel::from_params(&MtjParams::default());
+/// let p_low = m.probability(0.5 * 40e-6, 10e-9);
+/// let p_high = m.probability(1.5 * 40e-6, 10e-9);
+/// assert!(p_low < 1e-6);
+/// assert!(p_high > 0.999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingModel {
+    thermal_stability: f64,
+    critical_current: f64,
+    attempt_time: f64,
+}
+
+impl SwitchingModel {
+    /// Builds the model from explicit Δ, `I_c0` (A), τ₀ (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or non-finite.
+    pub fn new(thermal_stability: f64, critical_current: f64, attempt_time: f64) -> Self {
+        for (name, v) in [
+            ("thermal_stability", thermal_stability),
+            ("critical_current", critical_current),
+            ("attempt_time", attempt_time),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be finite and positive, got {v}");
+        }
+        Self { thermal_stability, critical_current, attempt_time }
+    }
+
+    /// Builds the model from the corresponding [`MtjParams`] fields.
+    pub fn from_params(params: &MtjParams) -> Self {
+        Self::new(params.thermal_stability, params.critical_current, params.attempt_time)
+    }
+
+    /// Thermal-stability factor Δ.
+    pub fn thermal_stability(&self) -> f64 {
+        self.thermal_stability
+    }
+
+    /// Intrinsic critical current `I_c0` in amperes.
+    pub fn critical_current(&self) -> f64 {
+        self.critical_current
+    }
+
+    /// Attempt time τ₀ in seconds.
+    pub fn attempt_time(&self) -> f64 {
+        self.attempt_time
+    }
+
+    /// Probability that a pulse of amplitude `current` (A, magnitude) and
+    /// duration `duration` (s) switches the free layer.
+    ///
+    /// Returns a value clamped to `[0, 1]`; zero current or zero duration
+    /// gives exactly 0.
+    pub fn probability(&self, current: f64, duration: f64) -> f64 {
+        if current <= 0.0 || duration <= 0.0 {
+            return 0.0;
+        }
+        let barrier = self.thermal_stability * (1.0 - current / self.critical_current);
+        // Rate = (1/τ0)·exp(−barrier). Cap the exponent to avoid overflow
+        // deep in the precessional regime (barrier very negative).
+        let exponent = (-barrier).min(700.0);
+        let rate = exponent.exp() / self.attempt_time;
+        let p = 1.0 - (-rate * duration).exp();
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Inverse of [`probability`](Self::probability) in the current
+    /// argument: the pulse amplitude that yields switching probability
+    /// `p` at pulse width `duration`.
+    ///
+    /// This is the *design-time* calibration used to bias a device as a
+    /// Bernoulli(p) sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `(0, 1)` or `duration <= 0`.
+    pub fn current_for_probability(&self, p: f64, duration: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+        assert!(duration > 0.0, "duration must be positive, got {duration}");
+        // Invert: p = 1 − exp(−(t/τ0)·exp(−Δ(1 − I/Ic)))
+        //   ⇒ exp(−Δ(1 − I/Ic)) = −ln(1−p)·τ0/t
+        //   ⇒ I = Ic · (1 + ln(−ln(1−p)·τ0/t)/Δ)
+        let k = -( -(1.0 - p).ln() * self.attempt_time / duration ).ln();
+        self.critical_current * (1.0 - k / self.thermal_stability)
+    }
+
+    /// Mean switching time (inverse rate) at the given current, in
+    /// seconds. Diverges (very large) for deeply sub-critical currents.
+    pub fn mean_switching_time(&self, current: f64) -> f64 {
+        let barrier = self.thermal_stability * (1.0 - current / self.critical_current);
+        self.attempt_time * barrier.min(700.0).exp()
+    }
+
+    /// Data-retention probability: the chance an *unbiased* cell still
+    /// holds its state after `seconds` (pure Néel–Brown relaxation,
+    /// `P = exp(−t·f₀·e^{−Δ})`). With Δ ≈ 60 this is effectively 1 for
+    /// any practical horizon — the non-volatility MRAM is prized for —
+    /// and collapses quickly once Δ drops below ~40.
+    pub fn retention_probability(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 1.0;
+        }
+        let rate = (-self.thermal_stability).max(-700.0).exp() / self.attempt_time;
+        (-rate * seconds).exp()
+    }
+
+    /// The thermal-stability factor needed to retain data with
+    /// probability `p` over `seconds` (the designer's retention-target
+    /// inverse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)` or `seconds <= 0`.
+    pub fn stability_for_retention(p: f64, seconds: f64, attempt_time: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+        assert!(seconds > 0.0, "seconds must be positive");
+        // p = exp(−t/τ0·e^{−Δ}) ⇒ Δ = ln(t / (τ0·(−ln p))).
+        (seconds / (attempt_time * (-p.ln()))).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SwitchingModel {
+        SwitchingModel::from_params(&MtjParams::default())
+    }
+
+    #[test]
+    fn probability_is_monotone_in_current() {
+        let m = model();
+        let t = 10e-9;
+        let mut last = -1.0;
+        for i in 1..=60 {
+            let current = i as f64 * 1e-6;
+            let p = m.probability(current, t);
+            assert!(p >= last, "P_sw must be monotone, broke at {current}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_duration() {
+        let m = model();
+        let i = 38e-6;
+        let mut last = -1.0;
+        for k in 1..=50 {
+            let t = k as f64 * 1e-9;
+            let p = m.probability(i, t);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let m = model();
+        assert_eq!(m.probability(0.0, 1e-9), 0.0);
+        assert_eq!(m.probability(40e-6, 0.0), 0.0);
+        assert_eq!(m.probability(-1.0, 1e-9), 0.0);
+        assert!(m.probability(1.0, 1.0) <= 1.0);
+        // Huge over-drive saturates to 1 without NaN/inf.
+        let p = m.probability(1.0, 1e-3);
+        assert!(p.is_finite() && (p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_transition_around_calibration_point() {
+        // At I = Ic the rate is 1/τ0 = 1 GHz, so a 10 ns pulse switches
+        // with probability ≈ 1 − e^{-10} ≈ 0.99995.
+        let m = model();
+        let p = m.probability(40e-6, 10e-9);
+        assert!(p > 0.9999 && p < 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = model();
+        let t = 10e-9;
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let i = m.current_for_probability(p, t);
+            let back = m.probability(i, t);
+            assert!(
+                (back - p).abs() < 1e-9,
+                "p = {p}: current {i} gives back {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_current_is_subcritical_for_moderate_p() {
+        let m = model();
+        let i = m.current_for_probability(0.5, 10e-9);
+        assert!(i < m.critical_current(), "p=0.5 bias must be sub-critical");
+        assert!(i > 0.5 * m.critical_current());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn inverse_rejects_p_one() {
+        let _ = model().current_for_probability(1.0, 1e-9);
+    }
+
+    #[test]
+    fn retention_is_essentially_perfect_at_delta_60() {
+        let m = model();
+        // Ten years.
+        let ten_years = 10.0 * 365.25 * 24.0 * 3600.0;
+        assert!(m.retention_probability(ten_years) > 0.999_999);
+    }
+
+    #[test]
+    fn low_barrier_devices_lose_data() {
+        let m = SwitchingModel::new(25.0, 40e-6, 1e-9);
+        let year = 365.25 * 24.0 * 3600.0;
+        assert!(m.retention_probability(year) < 0.9, "Δ=25 cannot hold a year");
+        assert!(m.retention_probability(0.0) == 1.0);
+    }
+
+    #[test]
+    fn retention_target_inverse_roundtrips() {
+        let ten_years = 10.0 * 365.25 * 24.0 * 3600.0;
+        let delta = SwitchingModel::stability_for_retention(0.999, ten_years, 1e-9);
+        assert!(delta > 35.0 && delta < 60.0, "Δ = {delta}");
+        let m = SwitchingModel::new(delta, 40e-6, 1e-9);
+        let p = m.retention_probability(ten_years);
+        assert!((p - 0.999).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn mean_switching_time_shrinks_with_current() {
+        let m = model();
+        assert!(m.mean_switching_time(20e-6) > m.mean_switching_time(40e-6));
+        assert!(m.mean_switching_time(40e-6) > m.mean_switching_time(60e-6));
+    }
+}

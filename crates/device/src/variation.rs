@@ -1,0 +1,206 @@
+//! Device-to-device and cycle-to-cycle variation models.
+//!
+//! Manufacturing variation makes every fabricated MTJ slightly different
+//! from the nominal design: resistance, TMR, thermal stability, and
+//! critical current all spread (multiplicatively, hence lognormal).
+//! NeuSpin's central thesis is that BayNNs *tolerate and even exploit*
+//! this variation; the experiments sweep these sigmas.
+
+use crate::mtj::MtjParams;
+use crate::stats::LogNormal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative (log-domain) sigmas of the per-device parameter spreads.
+///
+/// Each field is the lognormal sigma applied multiplicatively to the
+/// corresponding nominal parameter when a device instance is drawn.
+/// A value of `0.05` means roughly a 5 % relative spread.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{MtjParams, VariationModel};
+/// use rand::SeedableRng;
+///
+/// let var = VariationModel::typical();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let dev = var.draw(&MtjParams::default(), &mut rng);
+/// assert!(dev.resistance_parallel > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Lognormal sigma of the parallel resistance.
+    pub sigma_resistance: f64,
+    /// Lognormal sigma of the TMR ratio.
+    pub sigma_tmr: f64,
+    /// Lognormal sigma of the thermal-stability factor Δ.
+    pub sigma_thermal_stability: f64,
+    /// Lognormal sigma of the critical current `I_c0`.
+    pub sigma_critical_current: f64,
+    /// Additional *cycle-to-cycle* relative jitter applied to every
+    /// conductance read beyond the per-device offset (gaussian sigma).
+    pub sigma_cycle: f64,
+}
+
+impl VariationModel {
+    /// No variation at all: every device is exactly nominal.
+    pub fn none() -> Self {
+        Self {
+            sigma_resistance: 0.0,
+            sigma_tmr: 0.0,
+            sigma_thermal_stability: 0.0,
+            sigma_critical_current: 0.0,
+            sigma_cycle: 0.0,
+        }
+    }
+
+    /// Typical fabricated-wafer spreads (≈ 5 % R, 5 % TMR, 3 % Δ,
+    /// 5 % `I_c0`, 1 % cycle-to-cycle), in line with the SPINTEC
+    /// characterisation data the paper refers to.
+    pub fn typical() -> Self {
+        Self {
+            sigma_resistance: 0.05,
+            sigma_tmr: 0.05,
+            sigma_thermal_stability: 0.03,
+            sigma_critical_current: 0.05,
+            sigma_cycle: 0.01,
+        }
+    }
+
+    /// A uniform relative spread `sigma` on all four device parameters
+    /// (cycle-to-cycle left at `sigma / 5`). Used by the variation-sweep
+    /// experiments.
+    pub fn uniform(sigma: f64) -> Self {
+        Self {
+            sigma_resistance: sigma,
+            sigma_tmr: sigma,
+            sigma_thermal_stability: sigma,
+            sigma_critical_current: sigma,
+            sigma_cycle: sigma / 5.0,
+        }
+    }
+
+    /// Draws one device instance's parameters around the nominal set.
+    pub fn draw<R: Rng + ?Sized>(&self, nominal: &MtjParams, rng: &mut R) -> MtjParams {
+        let scale = |nominal_value: f64, sigma: f64, rng: &mut R| -> f64 {
+            if sigma == 0.0 {
+                nominal_value
+            } else {
+                LogNormal::from_median_sigma(nominal_value, sigma).sample(rng)
+            }
+        };
+        MtjParams {
+            resistance_parallel: scale(nominal.resistance_parallel, self.sigma_resistance, rng),
+            tmr: scale(nominal.tmr, self.sigma_tmr, rng),
+            thermal_stability: scale(nominal.thermal_stability, self.sigma_thermal_stability, rng),
+            critical_current: scale(nominal.critical_current, self.sigma_critical_current, rng),
+            attempt_time: nominal.attempt_time,
+            pulse_width: nominal.pulse_width,
+            read_noise: (nominal.read_noise.powi(2) + self.sigma_cycle.powi(2)).sqrt(),
+        }
+    }
+}
+
+impl Default for VariationModel {
+    /// Defaults to [`VariationModel::typical`].
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// A nominal parameter set together with its variation model — the
+/// "process corner" handed to array constructors.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_device::{MtjParams, VariationModel, VariedParams};
+/// use rand::SeedableRng;
+///
+/// let corner = VariedParams::new(MtjParams::default(), VariationModel::typical());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let device = corner.instantiate(&mut rng);
+/// assert!(device.params().tmr > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VariedParams {
+    /// Design-time nominal parameters.
+    pub nominal: MtjParams,
+    /// Process spread around the nominal.
+    pub variation: VariationModel,
+}
+
+impl VariedParams {
+    /// Bundles a nominal parameter set with a variation model.
+    pub fn new(nominal: MtjParams, variation: VariationModel) -> Self {
+        Self { nominal, variation }
+    }
+
+    /// An ideal corner: nominal parameters, zero variation.
+    pub fn ideal() -> Self {
+        Self::new(MtjParams::default(), VariationModel::none())
+    }
+
+    /// Draws a full device instance.
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> crate::Mtj {
+        crate::Mtj::nominal(self.variation.draw(&self.nominal, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Running;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_variation_reproduces_nominal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let nominal = MtjParams::default();
+        let drawn = VariationModel::none().draw(&nominal, &mut rng);
+        assert_eq!(drawn, nominal);
+    }
+
+    #[test]
+    fn spread_matches_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let nominal = MtjParams::default();
+        let var = VariationModel::uniform(0.10);
+        let r: Running = (0..5_000)
+            .map(|_| var.draw(&nominal, &mut rng).resistance_parallel.ln())
+            .collect();
+        assert!((r.std() - 0.10).abs() < 0.01, "log-std {}", r.std());
+        assert!((r.mean() - nominal.resistance_parallel.ln()).abs() < 0.01);
+    }
+
+    #[test]
+    fn drawn_devices_are_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let var = VariationModel::uniform(0.3);
+        let nominal = MtjParams::default();
+        for _ in 0..500 {
+            let p = var.draw(&nominal, &mut rng);
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn cycle_sigma_folds_into_read_noise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let var = VariationModel { sigma_cycle: 0.03, ..VariationModel::none() };
+        let p = var.draw(&MtjParams::default(), &mut rng);
+        let expected = (0.01f64.powi(2) + 0.03f64.powi(2)).sqrt();
+        assert!((p.read_noise - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantiate_produces_distinct_devices() {
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::typical());
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = corner.instantiate(&mut rng);
+        let b = corner.instantiate(&mut rng);
+        assert_ne!(a.params().resistance_parallel, b.params().resistance_parallel);
+    }
+}

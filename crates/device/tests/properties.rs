@@ -1,0 +1,126 @@
+//! Property-based invariants of the device substrate.
+
+use neuspin_device::stats::{Bernoulli, Gaussian, LogNormal, Running};
+use neuspin_device::{
+    DefectRates, Mtj, MtjParams, MtjState, MultiLevelCell, SwitchingModel, VariationModel,
+    VariedParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_params() -> impl Strategy<Value = MtjParams> {
+    (1e3f64..1e5, 0.5f64..3.0, 20.0f64..100.0, 5e-6f64..200e-6).prop_map(
+        |(r, tmr, delta, ic)| MtjParams {
+            resistance_parallel: r,
+            tmr,
+            thermal_stability: delta,
+            critical_current: ic,
+            ..MtjParams::default()
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn resistance_contrast_follows_tmr(params in arb_params()) {
+        let mut mtj = Mtj::nominal(params);
+        let r_p = mtj.resistance();
+        mtj.set_state(MtjState::AntiParallel);
+        let r_ap = mtj.resistance();
+        prop_assert!(r_ap > r_p);
+        prop_assert!((r_ap / r_p - (1.0 + params.tmr)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_probability_always_valid(
+        params in arb_params(),
+        current_frac in 0.0f64..3.0,
+        duration in 1e-10f64..1e-5,
+    ) {
+        let m = SwitchingModel::from_params(&params);
+        let p = m.probability(current_frac * params.critical_current, duration);
+        prop_assert!(p.is_finite());
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn inverse_calibration_roundtrips_any_device(
+        params in arb_params(),
+        p in 0.02f64..0.98,
+    ) {
+        let m = SwitchingModel::from_params(&params);
+        let i = m.current_for_probability(p, params.pulse_width);
+        let back = m.probability(i, params.pulse_width);
+        prop_assert!((back - p).abs() < 1e-6, "{p} vs {back}");
+    }
+
+    #[test]
+    fn variation_draws_are_always_valid_devices(
+        sigma in 0.0f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let var = VariationModel::uniform(sigma);
+        let drawn = var.draw(&MtjParams::default(), &mut rng);
+        prop_assert!(drawn.validate().is_ok());
+    }
+
+    #[test]
+    fn mlc_levels_monotone_under_variation(
+        k in 1usize..8,
+        sigma in 0.0f64..0.05,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(sigma));
+        let mut cell = MultiLevelCell::new(k, corner, &mut rng);
+        let mut last = f64::NEG_INFINITY;
+        for level in 0..=k {
+            cell.program(level);
+            let g = cell.conductance();
+            prop_assert!(g > last, "level {level} must raise conductance");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn defect_rates_sum_constraint(rate in 0.0f64..0.25) {
+        let rates = DefectRates::uniform(rate);
+        prop_assert!((rates.total() - 4.0 * rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_samples_are_finite(mean in -1e3f64..1e3, std in 0.0f64..100.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Gaussian::new(mean, std);
+        for _ in 0..16 {
+            prop_assert!(g.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn lognormal_samples_positive(median in 1e-6f64..1e6, sigma in 0.0f64..2.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = LogNormal::from_median_sigma(median, sigma);
+        for _ in 0..16 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_respects_extremes(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(!Bernoulli::new(0.0).sample(&mut rng));
+        prop_assert!(Bernoulli::new(1.0).sample(&mut rng));
+    }
+
+    #[test]
+    fn running_stats_match_naive(data in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+        let r: Running = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        prop_assert!((r.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((r.variance() - var).abs() < 1e-6 * (1.0 + var));
+    }
+}

@@ -1,0 +1,166 @@
+//! Silicon-area estimates for the CIM macros and stochastic modules.
+//!
+//! Unit areas follow published MRAM macro data (bit-cell ≈ 0.05 µm² at
+//! a 28 nm-class node; SAR ADCs dominate the periphery). The area story
+//! behind Fig. 1: spatial dropout cuts the dropout-module *count* by
+//! K², which shows up directly in periphery area.
+
+use crate::network::NetworkSpec;
+use neuspin_bayes::Method;
+use serde::{Deserialize, Serialize};
+
+/// Unit areas in µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One differential binary bit-cell (two 1T-1MTJ).
+    pub bitcell: f64,
+    /// One sense amplifier.
+    pub sense_amp: f64,
+    /// One column ADC.
+    pub adc: f64,
+    /// One stochastic dropout/RNG module (MTJ + bias DAC + comparator).
+    pub rng_module: f64,
+    /// Word-line decoder per row.
+    pub decoder_per_row: f64,
+    /// SRAM bit.
+    pub sram_bit: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            bitcell: 0.05,
+            sense_amp: 15.0,
+            adc: 400.0,
+            rng_module: 60.0,
+            decoder_per_row: 2.0,
+            sram_bit: 0.12,
+        }
+    }
+}
+
+/// Area report for one method on one network, in µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Crossbar cell array.
+    pub array: f64,
+    /// Sense amps + ADCs + decoders.
+    pub periphery: f64,
+    /// Stochastic (dropout / arbiter) modules.
+    pub stochastic: f64,
+    /// Scale / distribution SRAM.
+    pub sram: f64,
+}
+
+impl AreaReport {
+    /// Total area in µm².
+    pub fn total(&self) -> f64 {
+        self.array + self.periphery + self.stochastic + self.sram
+    }
+
+    /// Total in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total() / 1e6
+    }
+}
+
+/// Number of stochastic modules a method instantiates on a network.
+pub fn stochastic_module_count(spec: &NetworkSpec, method: Method) -> usize {
+    match method {
+        Method::Deterministic => 0,
+        Method::SpinDrop => spec.activations(),
+        Method::SpatialSpinDrop => spec.channels(),
+        Method::SpinScaleDrop => spec.layers.len(),
+        Method::AffineDropout => 2 * spec.layers.len(),
+        Method::SubsetVi => spec.channels(), // one gaussian sampler per scale entry
+        Method::SpinBayes => 3 * spec.layers.len(), // ⌈log₂ 8⌉ bit sources per layer
+    }
+}
+
+/// Estimates the silicon area of a method's accelerator instance.
+pub fn method_area(spec: &NetworkSpec, method: Method, model: &AreaModel) -> AreaReport {
+    let cells: f64 = spec.weights() as f64;
+    let cols: f64 = spec.layers.iter().map(|l| l.cols as f64).sum();
+    let rows: f64 = spec.layers.iter().map(|l| l.rows as f64).sum();
+    let modules = stochastic_module_count(spec, method) as f64;
+    let sram_bits = match method {
+        Method::SpinScaleDrop => spec.channels() as f64 * 32.0,
+        Method::AffineDropout | Method::SubsetVi => spec.channels() as f64 * 64.0,
+        _ => 0.0,
+    };
+    let instance_factor = if method == Method::SpinBayes { 8.0 } else { 1.0 };
+    AreaReport {
+        array: cells * model.bitcell * instance_factor,
+        periphery: cols * (model.sense_amp + model.adc) + rows * model.decoder_per_row,
+        stochastic: modules * model.rng_module,
+        sram: sram_bits * model.sram_bit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_counts_reproduce_9x_reduction() {
+        // On a conv network with 3×3 kernels the per-activation →
+        // per-channel reduction is H·W per map; the *module* count
+        // reduction the paper quotes (9×) is per *crossbar row group* —
+        // checked directly in neuspin-cim::mapping. Here: network-level
+        // counts are strictly ordered.
+        let spec = NetworkSpec::lenet_reference();
+        let sd = stochastic_module_count(&spec, Method::SpinDrop);
+        let sp = stochastic_module_count(&spec, Method::SpatialSpinDrop);
+        let sc = stochastic_module_count(&spec, Method::SpinScaleDrop);
+        assert!(sd > 10 * sp, "{sd} vs {sp}");
+        assert!(sp > sc);
+        assert_eq!(sc, 5);
+    }
+
+    #[test]
+    fn stochastic_area_ordering() {
+        let spec = NetworkSpec::lenet_reference();
+        let m = AreaModel::default();
+        let sd = method_area(&spec, Method::SpinDrop, &m);
+        let sp = method_area(&spec, Method::SpatialSpinDrop, &m);
+        let sc = method_area(&spec, Method::SpinScaleDrop, &m);
+        assert!(sd.stochastic > sp.stochastic);
+        assert!(sp.stochastic > sc.stochastic);
+        // Array + periphery identical for the dropout family.
+        assert!((sd.array - sp.array).abs() < 1e-9);
+        assert!((sd.periphery - sp.periphery).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spindrop_stochastic_area_is_significant() {
+        let spec = NetworkSpec::lenet_reference();
+        let m = AreaModel::default();
+        let sd = method_area(&spec, Method::SpinDrop, &m);
+        assert!(
+            sd.stochastic > sd.array,
+            "per-neuron modules dwarf the (binary) array: {} vs {}",
+            sd.stochastic,
+            sd.array
+        );
+    }
+
+    #[test]
+    fn spinbayes_array_pays_8x() {
+        let spec = NetworkSpec::lenet_reference();
+        let m = AreaModel::default();
+        let det = method_area(&spec, Method::Deterministic, &m);
+        let sb = method_area(&spec, Method::SpinBayes, &m);
+        assert!((sb.array / det.array - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_are_positive_mm2_scale() {
+        let spec = NetworkSpec::lenet_reference();
+        let m = AreaModel::default();
+        for method in Method::ALL {
+            let a = method_area(&spec, method, &m);
+            assert!(a.total() > 0.0);
+            assert!(a.total_mm2() < 10.0, "{method}: {} mm²", a.total_mm2());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Inference-latency model.
+//!
+//! §II-D calls out *sampling latency* as a core MC-Dropout problem: the
+//! sheer number of dropout modules means a long serial stream of
+//! SET→read→RESET cycles per forward pass (modules are shared across
+//! neurons, so bits are generated sequentially per bank). This model
+//! counts cycles the same way the energy model counts events.
+
+use crate::network::NetworkSpec;
+use crate::profile::MethodProfile;
+use neuspin_bayes::Method;
+use serde::{Deserialize, Serialize};
+
+/// Timing constants of the CIM macro, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One crossbar evaluation (all rows in parallel, analog settle +
+    /// sense).
+    pub t_crossbar_eval: f64,
+    /// One ADC conversion.
+    pub t_adc: f64,
+    /// Columns sharing one ADC (conversions serialize per group).
+    pub adc_mux: usize,
+    /// One stochastic RNG bit (SET pulse + sense + RESET pulse).
+    pub t_rng_bit: f64,
+    /// Parallel RNG banks generating bits concurrently.
+    pub rng_banks: usize,
+    /// Digital pipeline clock period (accumulate, norm, activation).
+    pub t_digital: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            t_crossbar_eval: 20e-9,
+            t_adc: 10e-9,
+            adc_mux: 8,
+            t_rng_bit: 30e-9, // 10 ns SET + 10 ns read + 10 ns RESET
+            // Area forces heavy time-multiplexing of the stochastic
+            // modules; 8 concurrent banks is the reuse level the
+            // SpinDrop-era designs assume — the root of the paper's
+            // "sampling latency" concern (§II-D).
+            rng_banks: 8,
+            t_digital: 1e-9,
+        }
+    }
+}
+
+/// Per-image latency breakdown, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Crossbar evaluation time across all layers and passes.
+    pub crossbar: f64,
+    /// ADC conversion time (serialized per mux group).
+    pub adc: f64,
+    /// RNG bit-stream generation time (serialized per bank).
+    pub rng: f64,
+    /// Monte-Carlo passes included.
+    pub passes: usize,
+}
+
+impl LatencyReport {
+    /// Total per-image latency (pipeline stages overlap is *not*
+    /// assumed — a conservative sequential bound).
+    pub fn total(&self) -> f64 {
+        self.crossbar + self.adc + self.rng
+    }
+}
+
+/// Estimates the per-image inference latency of `method` on `spec`.
+pub fn estimate_method_latency(
+    spec: &NetworkSpec,
+    method: Method,
+    model: &LatencyModel,
+) -> LatencyReport {
+    let profile = MethodProfile::of(method);
+    let t = profile.passes as f64;
+    // Crossbar evaluations: one per output position per layer.
+    let evals: f64 = spec.layers.iter().map(|l| l.positions as f64).sum();
+    let crossbar = evals * model.t_crossbar_eval * t;
+    // ADC: column evaluations serialized per mux group.
+    let adc = spec
+        .layers
+        .iter()
+        .map(|l| {
+            let groups = l.cols.div_ceil(model.adc_mux).max(1) as f64;
+            l.positions as f64 * groups * model.t_adc * model.adc_mux.min(l.cols) as f64
+                / model.adc_mux as f64
+        })
+        .sum::<f64>()
+        * t;
+    // RNG bits serialized across banks.
+    let bits = profile.rng_bits_per_pass(spec) as f64;
+    let rng = (bits / model.rng_banks as f64).ceil() * model.t_rng_bit * t;
+    LatencyReport { crossbar, adc, rng, passes: profile.passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(method: Method) -> f64 {
+        estimate_method_latency(&NetworkSpec::lenet_reference(), method, &LatencyModel::default())
+            .total()
+            * 1e3
+    }
+
+    #[test]
+    fn sampling_latency_dominates_spindrop() {
+        let spec = NetworkSpec::lenet_reference();
+        let model = LatencyModel::default();
+        let sd = estimate_method_latency(&spec, Method::SpinDrop, &model);
+        assert!(
+            sd.rng > sd.crossbar,
+            "per-neuron sampling must dominate: rng {} vs xbar {}",
+            sd.rng,
+            sd.crossbar
+        );
+    }
+
+    #[test]
+    fn scaledrop_sampling_latency_is_negligible() {
+        let spec = NetworkSpec::lenet_reference();
+        let model = LatencyModel::default();
+        let sc = estimate_method_latency(&spec, Method::SpinScaleDrop, &model);
+        assert!(sc.rng < 0.01 * sc.crossbar, "rng {} vs xbar {}", sc.rng, sc.crossbar);
+    }
+
+    #[test]
+    fn latency_ordering_follows_rng_hierarchy() {
+        assert!(ms(Method::SpinDrop) > ms(Method::SpatialSpinDrop));
+        assert!(ms(Method::SpatialSpinDrop) > ms(Method::SpinScaleDrop));
+    }
+
+    #[test]
+    fn deterministic_single_pass_is_fastest() {
+        for m in [Method::SpinDrop, Method::SpinScaleDrop, Method::SpinBayes] {
+            assert!(ms(Method::Deterministic) < ms(m));
+        }
+    }
+
+    #[test]
+    fn totals_are_sub_second(){
+        for m in Method::ALL {
+            let t = ms(m);
+            assert!(t > 0.0 && t < 1_000.0, "{m}: {t} ms");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # neuspin-energy — architecture-level energy, area, and memory model
+//!
+//! Converts the operation tallies of the CIM simulator (and analytic op
+//! counts of paper-scale reference networks) into energy, area, and
+//! memory figures — the machinery behind Table I's energy column and
+//! the paper's headline ratios (2.94×, 9×, >100×, 70×, 158.7×).
+//!
+//! The absolute µJ numbers in Table I aggregate results from five
+//! different publications with different networks and Monte-Carlo
+//! budgets; this model therefore couples
+//!
+//! 1. shared per-event energy constants ([`neuspin_device::DeviceEnergy`],
+//!    values from the MRAM/CIM literature),
+//! 2. per-method hardware profiles ([`MethodProfile`]) capturing each
+//!    paper's RNG mechanism, sampling budget `T`, and memory traffic,
+//! 3. a paper-scale reference network ([`NetworkSpec::lenet_reference`])
+//!    for the analytic Table I estimate.
+//!
+//! ## Example
+//!
+//! ```
+//! use neuspin_energy::{estimate_method_energy, NetworkSpec};
+//! use neuspin_bayes::Method;
+//!
+//! let spec = NetworkSpec::lenet_reference();
+//! let spindrop = estimate_method_energy(&spec, Method::SpinDrop);
+//! let spatial = estimate_method_energy(&spec, Method::SpatialSpinDrop);
+//! // The paper's ordering: per-neuron dropout costs ~3× spatial dropout.
+//! let ratio = spindrop.per_image.0 / spatial.per_image.0;
+//! assert!(ratio > 2.0 && ratio < 4.0);
+//! ```
+
+pub mod area;
+pub mod latency;
+pub mod memory;
+pub mod model;
+pub mod network;
+pub mod profile;
+
+pub use area::{method_area, AreaModel};
+pub use latency::{estimate_method_latency, LatencyModel, LatencyReport};
+pub use memory::{memory_footprint, MemoryFootprint};
+pub use model::{EnergyBreakdown, EnergyModel, Joules};
+pub use network::{LayerSpec, NetworkSpec};
+pub use profile::{estimate_method_energy, EnergyEstimate, MethodProfile};

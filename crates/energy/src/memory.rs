@@ -1,0 +1,128 @@
+//! Storage-memory accounting — the source of the paper's 158.7× memory
+//! claim for Bayesian sub-set parameter inference.
+
+use crate::network::NetworkSpec;
+use neuspin_bayes::Method;
+use serde::{Deserialize, Serialize};
+
+/// Storage footprint of a method on a network, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Bits storing the weights themselves.
+    pub weight_bits: u64,
+    /// Bits storing distribution parameters (means/variances per
+    /// Bayesian unit) and scale vectors.
+    pub bayesian_bits: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.weight_bits + self.bayesian_bits
+    }
+
+    /// Total in kilobytes.
+    pub fn kilobytes(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Storage footprint of `method` on `spec`.
+///
+/// Conventions (matching the respective publications):
+/// * binary methods store 1 bit per weight;
+/// * FP32 baselines store 32 bits per weight;
+/// * full VI stores two FP32 distribution parameters per *weight*;
+/// * sub-set VI stores binary weights plus two FP32 parameters per
+///   *scale entry*;
+/// * deep-ensemble baselines store `E` FP32 copies (reference: E = 10);
+/// * SpinBayes stores `N` quantized instances at `log₂(levels)` bits.
+pub fn memory_footprint(spec: &NetworkSpec, method: Method) -> MemoryFootprint {
+    let w = spec.weights() as u64;
+    let scales = spec.channels() as u64;
+    match method {
+        Method::Deterministic => MemoryFootprint { weight_bits: w, bayesian_bits: 0 },
+        Method::SpinDrop | Method::SpatialSpinDrop => {
+            MemoryFootprint { weight_bits: w, bayesian_bits: 0 }
+        }
+        Method::SpinScaleDrop => {
+            MemoryFootprint { weight_bits: w, bayesian_bits: scales * 32 }
+        }
+        Method::AffineDropout => {
+            // γ and β per feature, FP32.
+            MemoryFootprint { weight_bits: w, bayesian_bits: 2 * scales * 32 }
+        }
+        Method::SubsetVi => {
+            // Binary weights + (μ, ρ) per scale entry.
+            MemoryFootprint { weight_bits: w, bayesian_bits: 2 * scales * 32 }
+        }
+        Method::SpinBayes => {
+            // 8 instances × 9 levels (⌈log₂ 9⌉ = 4 bits per cell... the
+            // multi-value cell stores the level directly).
+            let bits_per_cell = 4;
+            MemoryFootprint { weight_bits: 8 * w * bits_per_cell, bayesian_bits: 0 }
+        }
+    }
+}
+
+/// Footprints of the "traditional" baselines the sub-set VI paper
+/// compares against, in bits: `(full FP32 VI, deep ensemble of 10,
+/// FP32 MC-Dropout)`.
+pub fn traditional_baselines(spec: &NetworkSpec) -> (u64, u64, u64) {
+    let w = spec.weights() as u64;
+    let full_vi = 2 * w * 32; // μ and σ per weight, FP32
+    let ensemble10 = 10 * w * 32;
+    let mc_dropout_fp32 = w * 32;
+    (full_vi, ensemble10, mc_dropout_fp32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_vi_vs_traditional_is_two_orders() {
+        let spec = NetworkSpec::lenet_reference();
+        let subset = memory_footprint(&spec, Method::SubsetVi).total_bits();
+        let (full_vi, ensemble10, _) = traditional_baselines(&spec);
+        let vs_vi = full_vi as f64 / subset as f64;
+        let vs_ens = ensemble10 as f64 / subset as f64;
+        // Paper: 158.7× lower storage vs traditional methods.
+        assert!(vs_vi > 30.0, "vs full VI: {vs_vi}");
+        assert!(vs_ens > 100.0 && vs_ens < 350.0, "vs ensemble-10: {vs_ens}");
+    }
+
+    #[test]
+    fn binary_methods_are_32x_below_fp32() {
+        let spec = NetworkSpec::lenet_reference();
+        let binary = memory_footprint(&spec, Method::SpinDrop).total_bits();
+        let (_, _, fp32) = traditional_baselines(&spec);
+        assert_eq!(fp32 / binary, 32);
+    }
+
+    #[test]
+    fn scale_overhead_is_small() {
+        let spec = NetworkSpec::lenet_reference();
+        let plain = memory_footprint(&spec, Method::SpinDrop);
+        let scaled = memory_footprint(&spec, Method::SpinScaleDrop);
+        let overhead = scaled.bayesian_bits as f64 / plain.weight_bits as f64;
+        assert!(overhead < 0.5, "scale vector must be cheap: {overhead}");
+    }
+
+    #[test]
+    fn spinbayes_pays_for_instances() {
+        let spec = NetworkSpec::lenet_reference();
+        let sb = memory_footprint(&spec, Method::SpinBayes);
+        let binary = memory_footprint(&spec, Method::Deterministic);
+        assert!(sb.total_bits() > 8 * binary.total_bits());
+        // But still far below a 10-ensemble of FP32 models.
+        let (_, ensemble10, _) = traditional_baselines(&spec);
+        assert!(sb.total_bits() < ensemble10 / 5);
+    }
+
+    #[test]
+    fn kilobytes_conversion() {
+        let f = MemoryFootprint { weight_bits: 8 * 1024 * 10, bayesian_bits: 0 };
+        assert!((f.kilobytes() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Energy bookkeeping: the [`Joules`] quantity and the counter → energy
+//! mapping.
+
+use neuspin_cim::OpCounter;
+use neuspin_device::DeviceEnergy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An energy quantity in joules, displayed with an auto-scaled SI
+/// prefix.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_energy::Joules;
+///
+/// assert_eq!(Joules(2.0e-6).to_string(), "2.000 µJ");
+/// assert_eq!(Joules(25e-15).to_string(), "25.000 fJ");
+/// assert!(((Joules(1e-9) + Joules(2e-9)).0 - 3e-9).abs() < 1e-20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// The value expressed in microjoules.
+    pub fn micro(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The value expressed in nanojoules.
+    pub fn nano(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0.abs();
+        let (scaled, unit) = if v == 0.0 {
+            (0.0, "J")
+        } else if v < 1e-12 {
+            (self.0 * 1e15, "fJ")
+        } else if v < 1e-9 {
+            (self.0 * 1e12, "pJ")
+        } else if v < 1e-6 {
+            (self.0 * 1e9, "nJ")
+        } else if v < 1e-3 {
+            (self.0 * 1e6, "µJ")
+        } else {
+            (self.0 * 1e3, "mJ")
+        };
+        write!(f, "{scaled:.3} {unit}")
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+/// Per-category energy breakdown of a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Crossbar cell sensing.
+    pub reads: Joules,
+    /// Device programming writes.
+    pub writes: Joules,
+    /// Sense amplifiers.
+    pub sense_amps: Joules,
+    /// Column ADCs.
+    pub adcs: Joules,
+    /// Stochastic-MTJ RNG bits.
+    pub rng: Joules,
+    /// SRAM traffic (scale vectors, arbiter state).
+    pub sram: Joules,
+    /// Digital accumulation.
+    pub digital: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> Joules {
+        self.reads + self.writes + self.sense_amps + self.adcs + self.rng + self.sram + self.digital
+    }
+
+    /// `(label, energy)` pairs in display order.
+    pub fn entries(&self) -> [(&'static str, Joules); 7] {
+        [
+            ("cell reads", self.reads),
+            ("cell writes", self.writes),
+            ("sense amps", self.sense_amps),
+            ("ADCs", self.adcs),
+            ("RNG bits", self.rng),
+            ("SRAM", self.sram),
+            ("digital", self.digital),
+        ]
+    }
+}
+
+/// Maps [`OpCounter`] tallies to energy using per-event constants.
+///
+/// The stochastic-RNG bit cost deserves a note: generating one
+/// calibrated Bernoulli bit takes a *sub-critical long-pulse* SET
+/// attempt plus a read plus a deterministic RESET — substantially more
+/// expensive than a nominal memory write. The SpinDrop-era literature
+/// puts this at a few pJ per bit; [`EnergyModel::default`] uses 3.2 pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Per-event device constants.
+    pub device: DeviceEnergy,
+    /// Energy per stochastic RNG bit (SET attempt + read + RESET with
+    /// long sub-critical pulses), in joules.
+    pub rng_bit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self { device: DeviceEnergy::default(), rng_bit: 3.2e-12 }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the per-category breakdown of a counter.
+    pub fn breakdown(&self, c: &OpCounter) -> EnergyBreakdown {
+        let d = &self.device;
+        EnergyBreakdown {
+            reads: Joules(c.cell_reads as f64 * d.read),
+            writes: Joules(c.cell_writes as f64 * d.write_sot),
+            sense_amps: Joules(c.sa_evals as f64 * d.sense_amp),
+            adcs: Joules(c.adc_converts as f64 * d.adc_4bit),
+            rng: Joules(c.rng_bits as f64 * self.rng_bit),
+            sram: Joules(c.sram_accesses as f64 * d.sram_access),
+            digital: Joules(c.digital_ops as f64 * d.digital_acc),
+        }
+    }
+
+    /// Total energy of a counter.
+    pub fn energy_of(&self, c: &OpCounter) -> Joules {
+        self.breakdown(c).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_display_scales() {
+        assert_eq!(Joules(0.0).to_string(), "0.000 J");
+        assert_eq!(Joules(1.5e-12).to_string(), "1.500 pJ");
+        assert_eq!(Joules(0.68e-6).to_string(), "680.000 nJ");
+        assert_eq!(Joules(2e-6).to_string(), "2.000 µJ");
+        assert_eq!(Joules(5e-3).to_string(), "5.000 mJ");
+    }
+
+    #[test]
+    fn joules_arithmetic() {
+        let total: Joules = [Joules(1e-9), Joules(2e-9), Joules(3e-9)].into_iter().sum();
+        assert!((total.0 - 6e-9).abs() < 1e-20);
+        assert!((total.micro() - 6e-3).abs() < 1e-12);
+        let mut j = Joules(1e-9);
+        j += Joules(1e-9);
+        assert!((j.nano() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_match() {
+        let c = OpCounter {
+            cell_reads: 1000,
+            cell_writes: 10,
+            sa_evals: 50,
+            adc_converts: 50,
+            rng_bits: 100,
+            sram_accesses: 20,
+            digital_ops: 50,
+        };
+        let m = EnergyModel::default();
+        let b = m.breakdown(&c);
+        let sum: Joules = b.entries().iter().map(|(_, j)| *j).sum();
+        assert!((sum.0 - b.total().0).abs() < 1e-20);
+        assert_eq!(m.energy_of(&c), b.total());
+        // Reads: 1000 × 25 fJ = 25 pJ.
+        assert!((b.reads.0 - 25e-12).abs() < 1e-18);
+        // RNG dominates at 3.2 pJ/bit: 320 pJ.
+        assert!((b.rng.0 - 320e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_counter_is_free() {
+        let m = EnergyModel::default();
+        assert_eq!(m.energy_of(&OpCounter::new()).0, 0.0);
+    }
+
+    #[test]
+    fn rng_bit_is_pricier_than_nominal_write() {
+        let m = EnergyModel::default();
+        assert!(m.rng_bit > 2.0 * m.device.write_sot);
+    }
+}

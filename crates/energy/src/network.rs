@@ -1,0 +1,183 @@
+//! Network specifications for analytic op counting.
+//!
+//! The energy estimates need, per layer: the crossbar geometry (rows ×
+//! cols), how many spatial positions evaluate the crossbar per image,
+//! and how many activations / feature maps the layer produces (the
+//! dropout-module counts).
+
+use serde::{Deserialize, Serialize};
+
+/// One mapped layer of a reference network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Crossbar input rows (`K·K·C_in` for convs, `in_features` for FC).
+    pub rows: usize,
+    /// Crossbar output columns (`C_out` / `out_features`).
+    pub cols: usize,
+    /// Crossbar evaluations per image (output spatial positions for
+    /// convs, 1 for FC layers).
+    pub positions: usize,
+    /// Activations the layer outputs per image (`C_out·H_out·W_out` or
+    /// `out_features`) — the per-neuron dropout module count.
+    pub activations: usize,
+    /// Feature maps / channel groups (`C_out`, or `out_features` for FC)
+    /// — the spatial dropout module count.
+    pub channels: usize,
+}
+
+impl LayerSpec {
+    /// A convolution layer spec.
+    pub fn conv(c_in: usize, c_out: usize, k: usize, out_side: usize) -> Self {
+        Self {
+            rows: c_in * k * k,
+            cols: c_out,
+            positions: out_side * out_side,
+            activations: c_out * out_side * out_side,
+            channels: c_out,
+        }
+    }
+
+    /// A fully-connected layer spec.
+    pub fn linear(in_features: usize, out_features: usize) -> Self {
+        Self {
+            rows: in_features,
+            cols: out_features,
+            positions: 1,
+            activations: out_features,
+            channels: out_features,
+        }
+    }
+
+    /// Cell reads per image (one crossbar evaluation senses every cell
+    /// of every active row).
+    pub fn cell_reads(&self) -> u64 {
+        (self.positions * self.rows * self.cols) as u64
+    }
+
+    /// Column evaluations per image (SA + ADC events).
+    pub fn column_evals(&self) -> u64 {
+        (self.positions * self.cols) as u64
+    }
+
+    /// Weight count.
+    pub fn weights(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A full network specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (for reports).
+    pub name: String,
+    /// Mapped layers in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// The paper-scale reference network used for the Table I energy
+    /// estimate: a LeNet-5-class CNN on 28×28 inputs
+    /// (conv 1→6 k5, pool, conv 6→16 k5, pool, FC 256→120→84→10).
+    pub fn lenet_reference() -> Self {
+        Self {
+            name: "LeNet-5 (28×28)".to_string(),
+            layers: vec![
+                LayerSpec::conv(1, 6, 5, 24),
+                LayerSpec::conv(6, 16, 5, 8),
+                LayerSpec::linear(256, 120),
+                LayerSpec::linear(120, 84),
+                LayerSpec::linear(84, 10),
+            ],
+        }
+    }
+
+    /// The small binary CNN actually trained in this reproduction
+    /// (1→8 k3, pool, 8→16 k3, pool, FC 256→64→10 on 16×16 inputs).
+    pub fn digit_cnn() -> Self {
+        Self {
+            name: "synth-digits CNN (16×16)".to_string(),
+            layers: vec![
+                LayerSpec::conv(1, 8, 3, 16),
+                LayerSpec::conv(8, 16, 3, 8),
+                LayerSpec::linear(256, 64),
+                LayerSpec::linear(64, 10),
+            ],
+        }
+    }
+
+    /// Total weights.
+    pub fn weights(&self) -> usize {
+        self.layers.iter().map(LayerSpec::weights).sum()
+    }
+
+    /// Total activations per image.
+    pub fn activations(&self) -> usize {
+        self.layers.iter().map(|l| l.activations).sum()
+    }
+
+    /// Total channels / feature-map groups.
+    pub fn channels(&self) -> usize {
+        self.layers.iter().map(|l| l.channels).sum()
+    }
+
+    /// Cell reads per single forward pass.
+    pub fn cell_reads_per_pass(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::cell_reads).sum()
+    }
+
+    /// Column evaluations per single forward pass.
+    pub fn column_evals_per_pass(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::column_evals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_dimensions() {
+        let spec = NetworkSpec::lenet_reference();
+        assert_eq!(spec.layers.len(), 5);
+        // conv1: 25 rows, 6 cols, 576 positions.
+        assert_eq!(spec.layers[0].rows, 25);
+        assert_eq!(spec.layers[0].positions, 576);
+        // conv2: 150 rows.
+        assert_eq!(spec.layers[1].rows, 150);
+        // Weight total ≈ 44k (the 28×28 LeNet variant: fc1 sees 256).
+        let w = spec.weights();
+        assert!(w > 40_000 && w < 70_000, "weights {w}");
+    }
+
+    #[test]
+    fn reads_per_pass_is_mac_count() {
+        let spec = NetworkSpec::lenet_reference();
+        let reads = spec.cell_reads_per_pass();
+        // 576·25·6 + 64·150·16 + 256·120 + 120·84 + 84·10 = 282 496… ballpark.
+        assert!(reads > 250_000 && reads < 320_000, "reads {reads}");
+    }
+
+    #[test]
+    fn conv_spec_activation_math() {
+        let l = LayerSpec::conv(6, 16, 5, 8);
+        assert_eq!(l.activations, 16 * 64);
+        assert_eq!(l.channels, 16);
+        assert_eq!(l.cell_reads(), 64 * 150 * 16);
+        assert_eq!(l.column_evals(), 64 * 16);
+    }
+
+    #[test]
+    fn linear_spec() {
+        let l = LayerSpec::linear(256, 120);
+        assert_eq!(l.positions, 1);
+        assert_eq!(l.cell_reads(), 256 * 120);
+        assert_eq!(l.weights(), 30_720);
+    }
+
+    #[test]
+    fn digit_cnn_matches_trained_arch() {
+        let spec = NetworkSpec::digit_cnn();
+        assert_eq!(spec.layers[2].rows, 256, "flatten feeds 16·4·4 features");
+        assert_eq!(spec.layers[3].cols, 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based invariants of the energy/area/memory models.
+
+use neuspin_bayes::Method;
+use neuspin_cim::OpCounter;
+use neuspin_energy::{
+    estimate_method_energy, estimate_method_latency, memory_footprint, method_area, AreaModel,
+    EnergyModel, LatencyModel, LayerSpec, NetworkSpec,
+};
+use proptest::prelude::*;
+
+fn arb_counter() -> impl Strategy<Value = OpCounter> {
+    (
+        0u64..1_000_000,
+        0u64..1_000,
+        0u64..10_000,
+        0u64..10_000,
+        0u64..100_000,
+        0u64..10_000,
+        0u64..10_000,
+    )
+        .prop_map(|(r, w, sa, adc, rng, sram, dig)| OpCounter {
+            cell_reads: r,
+            cell_writes: w,
+            sa_evals: sa,
+            adc_converts: adc,
+            rng_bits: rng,
+            sram_accesses: sram,
+            digital_ops: dig,
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
+    proptest::collection::vec((1usize..32, 1usize..32, 1usize..5), 1..5).prop_map(|layers| {
+        NetworkSpec {
+            name: "arb".to_string(),
+            layers: layers
+                .into_iter()
+                .map(|(cin, cout, k)| LayerSpec::conv(cin, cout, k, 8))
+                .collect(),
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn energy_is_additive_over_counters(a in arb_counter(), b in arb_counter()) {
+        let model = EnergyModel::default();
+        let mut merged = a;
+        merged.merge(&b);
+        let sum = model.energy_of(&a).0 + model.energy_of(&b).0;
+        prop_assert!((model.energy_of(&merged).0 - sum).abs() < 1e-18 * (1.0 + sum.abs()));
+    }
+
+    #[test]
+    fn energy_is_monotone_in_counts(a in arb_counter(), extra in arb_counter()) {
+        let model = EnergyModel::default();
+        let mut bigger = a;
+        bigger.merge(&extra);
+        prop_assert!(model.energy_of(&bigger).0 >= model.energy_of(&a).0);
+    }
+
+    #[test]
+    fn breakdown_totals_consistent(c in arb_counter()) {
+        let model = EnergyModel::default();
+        let b = model.breakdown(&c);
+        let entries: f64 = b.entries().iter().map(|(_, j)| j.0).sum();
+        prop_assert!((entries - b.total().0).abs() < 1e-18 * (1.0 + entries));
+    }
+
+    #[test]
+    fn method_estimates_positive_and_finite(spec in arb_spec()) {
+        for method in Method::ALL {
+            let e = estimate_method_energy(&spec, method);
+            prop_assert!(e.per_image.0.is_finite());
+            prop_assert!(e.per_image.0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn bayesian_methods_cost_more_than_deterministic(spec in arb_spec()) {
+        let det = estimate_method_energy(&spec, Method::Deterministic).per_image.0;
+        for method in Method::ALL {
+            if method.is_bayesian() {
+                prop_assert!(
+                    estimate_method_energy(&spec, method).per_image.0 > det,
+                    "{method}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_footprints_positive(spec in arb_spec()) {
+        for method in Method::ALL {
+            let m = memory_footprint(&spec, method);
+            prop_assert!(m.total_bits() > 0);
+            prop_assert!(m.kilobytes() > 0.0);
+        }
+    }
+
+    #[test]
+    fn area_reports_finite_positive(spec in arb_spec()) {
+        let model = AreaModel::default();
+        for method in Method::ALL {
+            let a = method_area(&spec, method, &model);
+            prop_assert!(a.total().is_finite() && a.total() > 0.0, "{method}");
+        }
+    }
+
+    #[test]
+    fn latency_totals_scale_with_passes(spec in arb_spec()) {
+        let model = LatencyModel::default();
+        let det = estimate_method_latency(&spec, Method::Deterministic, &model);
+        let sd = estimate_method_latency(&spec, Method::SpinDrop, &model);
+        // 100 passes vs 1 pass: at least 50× the crossbar time.
+        prop_assert!(sd.crossbar > 50.0 * det.crossbar);
+    }
+}

@@ -1,0 +1,166 @@
+//! Activation layers: ReLU, hard-tanh, and the binary sign activation
+//! with straight-through gradient (the XNOR-net activation).
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Hard tanh: clamps to `[−1, 1]`; the standard pre-binarization
+/// activation in binary networks.
+#[derive(Debug, Clone, Default)]
+pub struct HardTanh {
+    mask: Option<Vec<bool>>,
+}
+
+impl HardTanh {
+    /// Creates a hard-tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for HardTanh {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        self.mask = Some(input.as_slice().iter().map(|&x| (-1.0..=1.0).contains(&x)).collect());
+        input.map(|x| x.clamp(-1.0, 1.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "HardTanh"
+    }
+}
+
+/// Binary sign activation with straight-through estimator: forward is
+/// `sign(x) ∈ {−1, +1}`, backward passes gradients where `|x| ≤ 1`.
+/// Combined with binary weights this turns MACs into XNOR/popcount —
+/// exactly what the NeuSpin crossbar bit-cells compute.
+#[derive(Debug, Clone, Default)]
+pub struct SignSte {
+    mask: Option<Vec<bool>>,
+}
+
+impl SignSte {
+    /// Creates the sign activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for SignSte {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        self.mask = Some(input.as_slice().iter().map(|&x| x.abs() <= 1.0).collect());
+        input.map(|x| if x >= 0.0 { 1.0 } else { -1.0 })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "SignSte"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = rng();
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = relu.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = relu.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn hardtanh_clamps_and_gates() {
+        let mut r = rng();
+        let mut h = HardTanh::new();
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.5, 2.0], &[4]);
+        let y = h.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+        let g = h.backward(&Tensor::ones(&[4]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_ste_binarizes() {
+        let mut r = rng();
+        let mut s = SignSte::new();
+        let x = Tensor::from_vec(vec![-0.3, 0.0, 0.7, -1.5], &[4]);
+        let y = s.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.as_slice(), &[-1.0, 1.0, 1.0, -1.0]);
+        let g = s.backward(&Tensor::ones(&[4]));
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 0.0], "STE clips |x| > 1");
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+        let mut s = SignSte::new();
+        assert_eq!(s.param_count(), 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! 2-D convolution layers (real-valued and binary) via im2col.
+//!
+//! Tensors are NCHW. The im2col lowering is also exactly how the CIM
+//! compiler maps convolutions onto crossbars (mapping strategy ① of
+//! Fig. 1 unrolls each `K×K×C_in` kernel into one crossbar column), so
+//! the same code path documents both the software and the hardware view.
+
+use crate::init::kaiming_uniform;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Spatial geometry of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side K.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an input of side `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit.
+    pub fn out_size(&self, h: usize) -> usize {
+        let padded = h + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel {} larger than padded input {}", self.kernel, padded);
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Unrolled patch length `C_in · K · K` (the crossbar column height
+    /// under mapping strategy ①).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers NCHW input `[n, c, h, w]` to a patch matrix
+/// `[n·oh·ow, c·k·k]` (im2col).
+pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Tensor {
+    let (n, c, h, w) = shape4(input);
+    assert_eq!(c, geo.in_channels, "channel mismatch");
+    let (oh, ow) = (geo.out_size(h), geo.out_size(w));
+    let (k, s, p) = (geo.kernel, geo.stride, geo.padding);
+    let patch = geo.patch_len();
+    let mut col = Tensor::zeros(&[n * oh * ow, patch]);
+    let data = input.as_slice();
+    let out = col.as_mut_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let dst = row + (ci * k + ky) * k + kx;
+                            out[dst] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Adjoint of [`im2col`]: scatters patch-matrix gradients back to an
+/// NCHW gradient of shape `[n, c, h, w]`.
+pub fn col2im(grad_col: &Tensor, geo: &ConvGeometry, n: usize, h: usize, w: usize) -> Tensor {
+    let c = geo.in_channels;
+    let (oh, ow) = (geo.out_size(h), geo.out_size(w));
+    let (k, s, p) = (geo.kernel, geo.stride, geo.padding);
+    let patch = geo.patch_len();
+    assert_eq!(grad_col.shape(), &[n * oh * ow, patch], "grad_col shape mismatch");
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let src = grad_col.as_slice();
+    let dst = grad_in.as_mut_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let d = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            dst[d] += src[row + (ci * k + ky) * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.ndim(), 4, "expected NCHW tensor, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+/// Rearranges a `[n·oh·ow, cout]` matrix to NCHW `[n, cout, oh, ow]`.
+fn mat_to_nchw(mat: &Tensor, n: usize, cout: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+    let src = mat.as_slice();
+    let dst = out.as_mut_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cout;
+                for co in 0..cout {
+                    dst[((ni * cout + co) * oh + oy) * ow + ox] = src[row + co];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rearranges NCHW `[n, cout, oh, ow]` to a `[n·oh·ow, cout]` matrix.
+fn nchw_to_mat(t: &Tensor) -> Tensor {
+    let (n, cout, oh, ow) = shape4(t);
+    let mut out = Tensor::zeros(&[n * oh * ow, cout]);
+    let src = t.as_slice();
+    let dst = out.as_mut_slice();
+    for ni in 0..n {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    dst[((ni * oh + oy) * ow + ox) * cout + co] =
+                        src[((ni * cout + co) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A real-valued 2-D convolution.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_nn::{Conv2d, Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+/// let x = Tensor::ones(&[2, 1, 8, 8]);
+/// let y = conv.forward(&x, Mode::Eval, &mut rng);
+/// assert_eq!(y.shape(), &[2, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geo: ConvGeometry,
+    weight: Param,
+    bias: Param,
+    col: Option<Tensor>,
+    in_hw: (usize, usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution `in_channels → out_channels` with a square
+    /// `kernel`, `stride` and `padding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channels, kernel, or stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let geo = ConvGeometry { in_channels, out_channels, kernel, stride, padding };
+        let fan_in = geo.patch_len();
+        Self {
+            weight: Param::new(kaiming_uniform(&[out_channels, fan_in], fan_in, rng)),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            geo,
+            col: None,
+            in_hw: (0, 0, 0),
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geo
+    }
+
+    /// The weight matrix `[out_channels, in_channels·K·K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    fn forward_with(&mut self, input: &Tensor, weight: &Tensor) -> Tensor {
+        let (n, _c, h, w) = shape4(input);
+        self.in_hw = (n, h, w);
+        let col = im2col(input, &self.geo);
+        let mut mat = col.matmul(&weight.transpose());
+        let cout = self.geo.out_channels;
+        let rows = mat.shape()[0];
+        for r in 0..rows {
+            for co in 0..cout {
+                mat[r * cout + co] += self.bias.value[co];
+            }
+        }
+        self.col = Some(col);
+        mat_to_nchw(&mat, n, cout, self.geo.out_size(h), self.geo.out_size(w))
+    }
+
+    fn backward_with(&mut self, grad_out: &Tensor, weight_for_input: &Tensor) -> (Tensor, Tensor) {
+        let col = self.col.as_ref().expect("backward before forward");
+        let g_mat = nchw_to_mat(grad_out);
+        let grad_w = g_mat.transpose().matmul(col);
+        let cout = self.geo.out_channels;
+        let rows = g_mat.shape()[0];
+        for co in 0..cout {
+            let mut s = 0.0;
+            for r in 0..rows {
+                s += g_mat[r * cout + co];
+            }
+            self.bias.grad[co] += s;
+        }
+        let grad_col = g_mat.matmul(weight_for_input);
+        let (n, h, w) = self.in_hw;
+        (grad_w, col2im(&grad_col, &self.geo, n, h, w))
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        let w = self.weight.value.clone();
+        self.forward_with(input, &w)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let w = self.weight.value.clone();
+        let (grad_w, grad_in) = self.backward_with(grad_out, &w);
+        self.weight.grad.axpy(1.0, &grad_w);
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// A binary-weight convolution (XNOR-style): kernels are binarized to
+/// `α_o · sign(W_o)` per output channel, gradients flow through the
+/// straight-through estimator. The sign kernels are what a NeuSpin
+/// crossbar stores.
+#[derive(Debug, Clone)]
+pub struct BinaryConv2d {
+    inner: Conv2d,
+    alphas: Vec<f32>,
+    binarized: Option<Tensor>,
+}
+
+impl BinaryConv2d {
+    /// Creates the layer; arguments as [`Conv2d::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channels, kernel, or stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            inner: Conv2d::new(in_channels, out_channels, kernel, stride, padding, rng),
+            alphas: vec![0.0; out_channels],
+            binarized: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.inner.geo
+    }
+
+    /// Latent (full-precision) kernel matrix.
+    pub fn latent_weight(&self) -> &Tensor {
+        &self.inner.weight.value
+    }
+
+    /// Sign pattern of the kernels (+1 / −1) — the crossbar bits.
+    pub fn sign_weights(&self) -> Tensor {
+        self.inner.weight.value.map(|w| if w >= 0.0 { 1.0 } else { -1.0 })
+    }
+
+    /// Per-output-channel binarization scales.
+    pub fn scales(&self) -> Vec<f32> {
+        let (o, i) = (self.inner.geo.out_channels, self.inner.geo.patch_len());
+        (0..o)
+            .map(|r| {
+                let row = &self.inner.weight.value.as_slice()[r * i..(r + 1) * i];
+                row.iter().map(|w| w.abs()).sum::<f32>() / i as f32
+            })
+            .collect()
+    }
+}
+
+impl Layer for BinaryConv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        self.alphas = self.scales();
+        let (o, i) = (self.inner.geo.out_channels, self.inner.geo.patch_len());
+        let mut wb = self.sign_weights();
+        for r in 0..o {
+            for c in 0..i {
+                wb[r * i + c] *= self.alphas[r];
+            }
+        }
+        let out = self.inner.forward_with(input, &wb);
+        self.binarized = Some(wb);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let wb = self.binarized.clone().expect("backward before forward");
+        let (grad_wb, grad_in) = self.inner.backward_with(grad_out, &wb);
+        let (o, i) = (self.inner.geo.out_channels, self.inner.geo.patch_len());
+        for r in 0..o {
+            let a = self.alphas[r];
+            for c in 0..i {
+                let w = self.inner.weight.value[r * i + c];
+                if w.abs() <= 1.0 {
+                    self.inner.weight.grad[r * i + c] += grad_wb[r * i + c] * a;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.inner.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "BinaryConv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{grad_check_input, grad_check_params};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = ConvGeometry { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(g.out_size(16), 16);
+        let g2 = ConvGeometry { kernel: 3, stride: 2, padding: 0, ..g };
+        assert_eq!(g2.out_size(7), 3);
+        assert_eq!(g.patch_len(), 27);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1: col equals a channel-last reshuffle.
+        let geo = ConvGeometry { in_channels: 2, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let col = im2col(&x, &geo);
+        assert_eq!(col.shape(), &[4, 2]);
+        // Pixel (0,0): channels 0 and 4.
+        assert_eq!(col.row(0), &[0.0, 4.0]);
+        assert_eq!(col.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
+        let geo = ConvGeometry { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| (i as f32 * 0.7).sin());
+        let col = im2col(&x, &geo);
+        let y = Tensor::from_fn(col.shape(), |i| (i as f32 * 0.3).cos());
+        let lhs: f32 = col.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &geo, 1, 5, 5);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_known_values() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut r);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Sums of 2×2 patches of [[0..2],[3..5],[6..8]].
+        assert_eq!(y.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv_grad_check() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.13).sin());
+        assert!(grad_check_input(&mut conv, &x, Mode::Eval, 1, 1e-2) < 2e-2);
+        assert!(grad_check_params(&mut conv, &x, Mode::Eval, 1, 1e-2) < 2e-2);
+    }
+
+    #[test]
+    fn conv_stride_grad_check() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut r);
+        let x = Tensor::from_fn(&[2, 1, 5, 5], |i| ((i * 7 % 11) as f32 / 5.0) - 1.0);
+        assert!(grad_check_input(&mut conv, &x, Mode::Eval, 1, 1e-2) < 2e-2);
+    }
+
+    #[test]
+    fn binary_conv_output_uses_signs() {
+        let mut r = rng();
+        let mut conv = BinaryConv2d::new(1, 1, 2, 1, 0, &mut r);
+        conv.inner.weight.value = Tensor::from_vec(vec![0.4, -0.2, 0.6, -0.8], &[1, 4]);
+        conv.inner.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, Mode::Eval, &mut r);
+        // α = 0.5, signs (+,−,+,−) → y = 0.5·(1−1+1−1) = 0.
+        assert!((y[0]).abs() < 1e-6);
+        assert_eq!(conv.sign_weights().as_slice(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn binary_conv_backward_runs_and_clips() {
+        let mut r = rng();
+        let mut conv = BinaryConv2d::new(1, 1, 2, 1, 0, &mut r);
+        conv.inner.weight.value = Tensor::from_vec(vec![0.4, -3.0, 0.6, -0.8], &[1, 4]);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let _ = conv.forward(&x, Mode::Train, &mut r);
+        let _ = conv.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(conv.inner.weight.grad[1], 0.0, "|w|>1 clipped");
+        assert_ne!(conv.inner.weight.grad[0], 0.0);
+    }
+
+    #[test]
+    fn param_count_matches() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut r);
+        assert_eq!(conv.param_count(), 8 * 27 + 8);
+    }
+}

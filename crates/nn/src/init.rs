@@ -1,0 +1,62 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws from `U(-bound, bound)`.
+fn uniform(shape: &[usize], bound: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::from_fn(shape, |_| (rng.random::<f32>() * 2.0 - 1.0) * bound)
+}
+
+/// Kaiming/He uniform initialisation for layers followed by ReLU-like
+/// nonlinearities: `U(±sqrt(6 / fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(±sqrt(6 / (fan_in + fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if both fans are zero.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must not both be zero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kaiming_uniform(&[64, 100], 100, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+        assert!(w.max() > 0.5 * bound, "should come close to the bound");
+    }
+
+    #[test]
+    fn xavier_spread_nonzero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        assert!(w.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be positive")]
+    fn zero_fan_in_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = kaiming_uniform(&[2, 2], 0, &mut rng);
+    }
+}

@@ -1,0 +1,225 @@
+//! The layer abstraction: forward / backward passes over [`Tensor`]s.
+//!
+//! The framework is a classic define-by-layer stack (no tape autograd):
+//! each [`Layer`] caches what it needs during `forward` and consumes the
+//! incoming gradient in `backward`. This keeps the system small,
+//! auditable, and fast enough for the laptop-scale models the NeuSpin
+//! experiments use.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Execution mode of a forward pass.
+///
+/// * `Train` — gradients will be requested; stochastic layers (dropout
+///   variants) are active; normalization layers use batch statistics.
+/// * `Eval` — deterministic inference; stochastic layers are identity;
+///   normalization layers use running statistics.
+/// * `Sample` — *Bayesian* inference: stochastic layers stay active
+///   (this is what makes MC-dropout a posterior sampler) while
+///   normalization layers use running statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training pass (stochastic + batch statistics).
+    Train,
+    /// Deterministic inference.
+    #[default]
+    Eval,
+    /// Monte-Carlo Bayesian inference (stochastic + running statistics).
+    Sample,
+}
+
+impl Mode {
+    /// Whether stochastic (dropout-family) layers should be active.
+    pub fn stochastic(self) -> bool {
+        matches!(self, Mode::Train | Mode::Sample)
+    }
+
+    /// Whether normalization layers should use batch statistics.
+    pub fn batch_stats(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A learnable parameter: value and accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches activations, `backward` uses
+/// them and must be called after the corresponding `forward`. Gradients
+/// *accumulate* into [`Param::grad`]; call [`Layer::zero_grad`] between
+/// optimizer steps.
+pub trait Layer {
+    /// Computes the layer output. `rng` drives any stochastic behaviour
+    /// (dropout masks, reparameterization noise).
+    fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut StdRng) -> Tensor;
+
+    /// Propagates `grad_out` (∂L/∂output) backwards, accumulating
+    /// parameter gradients and returning ∂L/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every learnable parameter (stable order).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&str, &mut Param)) {}
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, p| p.zero_grad());
+    }
+
+    /// Human-readable layer kind (for summaries).
+    fn name(&self) -> &'static str;
+
+    /// Total number of learnable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_, p| n += p.len());
+        n
+    }
+
+    /// Additional regularization loss contributed by this layer (e.g.
+    /// the scale-dropout "centred at one" regularizer, or a VI KL term),
+    /// with gradients accumulated into the relevant params. Default: 0.
+    fn reg_loss(&mut self, _strength: f32) -> f32 {
+        0.0
+    }
+}
+
+/// Numerically checks `d loss / d input` of a layer against finite
+/// differences, where `loss = Σ output²/2` (so ∂L/∂output = output).
+///
+/// Returns the maximum absolute error across all probed inputs.
+/// Available for tests of this crate and downstream crates.
+pub fn grad_check_input<L: Layer>(
+    layer: &mut L,
+    input: &Tensor,
+    mode: Mode,
+    rng_seed: u64,
+    eps: f32,
+) -> f32 {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let out = layer.forward(input, mode, &mut rng);
+    let analytic = layer.backward(&out.clone());
+    let mut max_err = 0.0f32;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus[i] += eps;
+        let mut minus = input.clone();
+        minus[i] -= eps;
+        // Re-seed so stochastic layers reproduce the same masks.
+        let mut r1 = StdRng::seed_from_u64(rng_seed);
+        let o1 = layer.forward(&plus, mode, &mut r1);
+        let mut r2 = StdRng::seed_from_u64(rng_seed);
+        let o2 = layer.forward(&minus, mode, &mut r2);
+        let l1 = 0.5 * o1.norm_sq();
+        let l2 = 0.5 * o2.norm_sq();
+        let numeric = (l1 - l2) / (2.0 * eps);
+        let err = (numeric - analytic[i]).abs();
+        max_err = max_err.max(err);
+    }
+    max_err
+}
+
+/// Numerically checks parameter gradients of a layer (same loss as
+/// [`grad_check_input`]). Returns the maximum absolute error.
+pub fn grad_check_params<L: Layer>(
+    layer: &mut L,
+    input: &Tensor,
+    mode: Mode,
+    rng_seed: u64,
+    eps: f32,
+) -> f32 {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    layer.zero_grad();
+    let out = layer.forward(input, mode, &mut rng);
+    let _ = layer.backward(&out.clone());
+
+    // Snapshot analytic gradients.
+    let mut analytic: Vec<(String, Tensor)> = Vec::new();
+    layer.visit_params(&mut |name, p| analytic.push((name.to_string(), p.grad.clone())));
+
+    let mut max_err = 0.0f32;
+    for (pi, (_, grad)) in analytic.iter().enumerate() {
+        for ei in 0..grad.len() {
+            let perturb = |layer: &mut L, delta: f32| {
+                let mut idx = 0;
+                layer.visit_params(&mut |_, p| {
+                    if idx == pi {
+                        p.value[ei] += delta;
+                    }
+                    idx += 1;
+                });
+            };
+            perturb(layer, eps);
+            let mut r1 = StdRng::seed_from_u64(rng_seed);
+            let l1 = 0.5 * layer.forward(input, mode, &mut r1).norm_sq();
+            perturb(layer, -2.0 * eps);
+            let mut r2 = StdRng::seed_from_u64(rng_seed);
+            let l2 = 0.5 * layer.forward(input, mode, &mut r2).norm_sq();
+            perturb(layer, eps);
+            let numeric = (l1 - l2) / (2.0 * eps);
+            let err = (numeric - grad[ei]).abs();
+            max_err = max_err.max(err);
+        }
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_semantics() {
+        assert!(Mode::Train.stochastic());
+        assert!(Mode::Sample.stochastic());
+        assert!(!Mode::Eval.stochastic());
+        assert!(Mode::Train.batch_stats());
+        assert!(!Mode::Sample.batch_stats());
+        assert!(!Mode::Eval.batch_stats());
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones(&[3]));
+        p.grad = Tensor::ones(&[3]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 3);
+    }
+}

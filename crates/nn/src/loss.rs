@@ -1,0 +1,196 @@
+//! Loss functions: softmax cross-entropy and mean-squared error.
+//!
+//! Each loss returns `(loss_value, grad_wrt_logits)` so the caller can
+//! start the backward pass directly.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a `[N, C]` logit matrix (numerically stabilised).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax expects [N, C], got {:?}", logits.shape());
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        let row = logits.row(i);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for j in 0..c {
+            let e = (row[j] - m).exp();
+            out[i * c + j] = e;
+            z += e;
+        }
+        for j in 0..c {
+            out[i * c + j] /= z;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy between `[N, C]` logits and integer
+/// `labels` (one per row).
+///
+/// Returns the mean loss and ∂L/∂logits (already divided by `N`).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != N` or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_nn::{cross_entropy, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2]);
+/// let (loss, grad) = cross_entropy(&logits, &[0, 1]);
+/// assert!(loss < 0.01, "confident correct predictions have low loss");
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count {} vs batch {}", labels.len(), n);
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for i in 0..n {
+        let y = labels[i];
+        assert!(y < c, "label {y} out of range for {c} classes");
+        loss -= probs[i * c + y].max(1e-12).ln();
+        grad[i * c + y] -= 1.0;
+    }
+    grad.scale_in_place(1.0 / n as f32);
+    (loss / n as f32, grad)
+}
+
+/// Mean squared error between predictions and targets of equal shape.
+///
+/// Returns the mean loss and ∂L/∂pred.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.norm_sq() / n;
+    let mut grad = diff;
+    grad.scale_in_place(2.0 / n);
+    (loss, grad)
+}
+
+/// Negative log-likelihood of integer labels under a `[N, C]`
+/// *probability* matrix (mean over the batch). Used for the
+/// dataset-shift NLL experiments.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or a label is out of range.
+pub fn nll(probs: &Tensor, labels: &[usize]) -> f32 {
+    let (n, c) = (probs.shape()[0], probs.shape()[1]);
+    assert_eq!(labels.len(), n);
+    let mut total = 0.0;
+    for i in 0..n {
+        assert!(labels[i] < c, "label out of range");
+        total -= probs[i * c + labels[i]].max(1e-12).ln();
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.7).sin() * 5.0);
+        let p = softmax(&logits);
+        for i in 0..3 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = &a + 100.0;
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for j in 0..3 {
+            assert!((pa[j] - pb[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[2, 10]);
+        let (loss, _) = cross_entropy(&logits, &[3, 7]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_direction() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        assert!(grad[1] < 0.0, "true-class logit pushed up");
+        assert!(grad[0] > 0.0 && grad[2] > 0.0, "other logits pushed down");
+        // Gradient rows sum to zero.
+        assert!(grad.row(0).iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8], &[1, 3]);
+        let labels = [2usize];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus[j] += eps;
+            let mut minus = logits.clone();
+            minus[j] -= eps;
+            let (lp, _) = cross_entropy(&plus, &labels);
+            let (lm, _) = cross_entropy(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad[j]).abs() < 1e-3, "dim {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = cross_entropy(&logits, &[3]);
+    }
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (loss, grad) = mse(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let pred = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+        let target = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4)/2
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]); // 2·diff/2
+    }
+
+    #[test]
+    fn nll_perfect_prediction_is_zero() {
+        let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert!(nll(&probs, &[0, 1]) < 1e-5);
+    }
+
+    #[test]
+    fn nll_grows_under_shift() {
+        let confident = Tensor::from_vec(vec![0.9, 0.1], &[1, 2]);
+        let shifted = Tensor::from_vec(vec![0.6, 0.4], &[1, 2]);
+        assert!(nll(&shifted, &[0]) > nll(&confident, &[0]));
+    }
+}

@@ -1,0 +1,319 @@
+//! A single-layer LSTM over `[N, T, D]` sequences, returning the final
+//! hidden state `[N, H]`.
+//!
+//! Used by the time-series experiment of §III-A4 (LSTM-based prediction
+//! with inverted normalization + affine dropout reducing RMSE).
+
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,       // [N, D]
+    h_prev: Vec<f32>,  // [N, H]
+    c_prev: Vec<f32>,  // [N, H]
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// A single-layer LSTM. Weights are packed as `[4H, D + H]` in gate
+/// order (input, forget, cell, output); biases `[4H]` with the forget
+/// gate initialised to 1.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_nn::{Lstm, Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut lstm = Lstm::new(3, 8, &mut rng);
+/// let x = Tensor::ones(&[2, 5, 3]); // batch 2, seq 5, features 3
+/// let h = lstm.forward(&x, Mode::Eval, &mut rng);
+/// assert_eq!(h.shape(), &[2, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    weight: Param, // [4H, D+H]
+    bias: Param,   // [4H]
+    input_size: usize,
+    hidden_size: usize,
+    caches: Vec<StepCache>,
+    batch: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping `input_size` features to a
+    /// `hidden_size`-dimensional final hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "sizes must be positive");
+        let cols = input_size + hidden_size;
+        let weight = Param::new(xavier_uniform(&[4 * hidden_size, cols], cols, hidden_size, rng));
+        let mut bias = Param::new(Tensor::zeros(&[4 * hidden_size]));
+        // Forget-gate bias at 1 (standard trick for gradient flow).
+        for j in hidden_size..2 * hidden_size {
+            bias.value[j] = 1.0;
+        }
+        Self { weight, bias, input_size, hidden_size, caches: vec![], batch: 0 }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    fn gates(&self, x: &[f32], h_prev: &[f32], n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (d, hs) = (self.input_size, self.hidden_size);
+        let cols = d + hs;
+        let mut i_g = vec![0.0f32; n * hs];
+        let mut f_g = vec![0.0f32; n * hs];
+        let mut g_g = vec![0.0f32; n * hs];
+        let mut o_g = vec![0.0f32; n * hs];
+        for ni in 0..n {
+            for j in 0..4 * hs {
+                let mut acc = self.bias.value[j];
+                let wrow = &self.weight.value.as_slice()[j * cols..(j + 1) * cols];
+                for (k, &w) in wrow[..d].iter().enumerate() {
+                    acc += w * x[ni * d + k];
+                }
+                for (k, &w) in wrow[d..].iter().enumerate() {
+                    acc += w * h_prev[ni * hs + k];
+                }
+                let gate = j / hs;
+                let jj = ni * hs + j % hs;
+                match gate {
+                    0 => i_g[jj] = sigmoid(acc),
+                    1 => f_g[jj] = sigmoid(acc),
+                    2 => g_g[jj] = acc.tanh(),
+                    _ => o_g[jj] = sigmoid(acc),
+                }
+            }
+        }
+        (i_g, f_g, g_g, o_g)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Lstm expects [N, T, D], got {:?}", input.shape());
+        let (n, t, d) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(d, self.input_size, "feature mismatch");
+        let hs = self.hidden_size;
+        self.batch = n;
+        self.caches.clear();
+        let mut h = vec![0.0f32; n * hs];
+        let mut c = vec![0.0f32; n * hs];
+        for ti in 0..t {
+            let mut x = vec![0.0f32; n * d];
+            for ni in 0..n {
+                for k in 0..d {
+                    x[ni * d + k] = input[(ni * t + ti) * d + k];
+                }
+            }
+            let (i_g, f_g, g_g, o_g) = self.gates(&x, &h, n);
+            let c_prev = c.clone();
+            let h_prev = h.clone();
+            let mut tanh_c = vec![0.0f32; n * hs];
+            for jj in 0..n * hs {
+                c[jj] = f_g[jj] * c_prev[jj] + i_g[jj] * g_g[jj];
+                tanh_c[jj] = c[jj].tanh();
+                h[jj] = o_g[jj] * tanh_c[jj];
+            }
+            self.caches.push(StepCache {
+                x,
+                h_prev,
+                c_prev,
+                i: i_g,
+                f: f_g,
+                g: g_g,
+                o: o_g,
+                tanh_c,
+            });
+        }
+        Tensor::from_vec(h, &[n, hs])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.caches.is_empty(), "backward before forward");
+        let n = self.batch;
+        let (d, hs) = (self.input_size, self.hidden_size);
+        let cols = d + hs;
+        let t = self.caches.len();
+        assert_eq!(grad_out.shape(), &[n, hs], "grad shape mismatch");
+
+        let mut dh: Vec<f32> = grad_out.as_slice().to_vec();
+        let mut dc = vec![0.0f32; n * hs];
+        let mut grad_in = Tensor::zeros(&[n, t, d]);
+
+        for ti in (0..t).rev() {
+            let cache = &self.caches[ti];
+            // Per-gate pre-activation gradients.
+            let mut d_pre = vec![0.0f32; n * 4 * hs]; // [N, 4H] layout: gate-major per sample
+            let mut dh_prev = vec![0.0f32; n * hs];
+            let mut dc_prev = vec![0.0f32; n * hs];
+            for ni in 0..n {
+                for j in 0..hs {
+                    let jj = ni * hs + j;
+                    let do_ = dh[jj] * cache.tanh_c[jj];
+                    let dtanh = dh[jj] * cache.o[jj];
+                    let dcj = dc[jj] + dtanh * (1.0 - cache.tanh_c[jj] * cache.tanh_c[jj]);
+                    let di = dcj * cache.g[jj];
+                    let df = dcj * cache.c_prev[jj];
+                    let dg = dcj * cache.i[jj];
+                    dc_prev[jj] = dcj * cache.f[jj];
+                    // Sigmoid/tanh derivatives.
+                    d_pre[ni * 4 * hs + j] = di * cache.i[jj] * (1.0 - cache.i[jj]);
+                    d_pre[ni * 4 * hs + hs + j] = df * cache.f[jj] * (1.0 - cache.f[jj]);
+                    d_pre[ni * 4 * hs + 2 * hs + j] = dg * (1.0 - cache.g[jj] * cache.g[jj]);
+                    d_pre[ni * 4 * hs + 3 * hs + j] = do_ * cache.o[jj] * (1.0 - cache.o[jj]);
+                }
+            }
+            // Accumulate parameter grads and input/hidden grads.
+            for ni in 0..n {
+                for j in 0..4 * hs {
+                    let dp = d_pre[ni * 4 * hs + j];
+                    if dp == 0.0 {
+                        continue;
+                    }
+                    self.bias.grad[j] += dp;
+                    let wrow_base = j * cols;
+                    for k in 0..d {
+                        self.weight.grad[wrow_base + k] += dp * cache.x[ni * d + k];
+                        grad_in[(ni * t + ti) * d + k] += dp * self.weight.value[wrow_base + k];
+                    }
+                    for k in 0..hs {
+                        self.weight.grad[wrow_base + d + k] += dp * cache.h_prev[ni * hs + k];
+                        dh_prev[ni * hs + k] += dp * self.weight.value[wrow_base + d + k];
+                    }
+                }
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        f("weight", &mut self.weight);
+        f("bias", &mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{grad_check_input, grad_check_params};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(4, 6, &mut r);
+        let x = Tensor::from_fn(&[3, 7, 4], |i| (i as f32 * 0.11).sin());
+        let h = lstm.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(h.shape(), &[3, 6]);
+        assert!(h.all_finite());
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(2, 4, &mut r);
+        let x = Tensor::from_fn(&[1, 20, 2], |i| (i as f32).sin() * 10.0);
+        let h = lstm.forward(&x, Mode::Eval, &mut r);
+        assert!(h.max() <= 1.0 && h.min() >= -1.0, "h = o·tanh(c) ∈ [−1, 1]");
+    }
+
+    #[test]
+    fn grad_check_input_small() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(2, 3, &mut r);
+        let x = Tensor::from_fn(&[2, 3, 2], |i| (i as f32 * 0.37).sin() * 0.5);
+        let err = grad_check_input(&mut lstm, &x, Mode::Eval, 1, 1e-2);
+        assert!(err < 2e-2, "input grad error {err}");
+    }
+
+    #[test]
+    fn grad_check_params_small() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(2, 2, &mut r);
+        let x = Tensor::from_fn(&[1, 3, 2], |i| (i as f32 * 0.53).cos() * 0.5);
+        let err = grad_check_params(&mut lstm, &x, Mode::Eval, 1, 1e-2);
+        assert!(err < 2e-2, "param grad error {err}");
+    }
+
+    #[test]
+    fn longer_sequences_integrate_more_signal() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(1, 4, &mut r);
+        let short = Tensor::ones(&[1, 2, 1]);
+        let long = Tensor::ones(&[1, 30, 1]);
+        let h_short = lstm.forward(&short, Mode::Eval, &mut r);
+        let h_long = lstm.forward(&long, Mode::Eval, &mut r);
+        assert_ne!(h_short, h_long);
+    }
+
+    #[test]
+    fn lstm_can_learn_mean_of_sequence() {
+        use crate::loss::mse;
+        let mut r = rng();
+        let mut lstm = Lstm::new(1, 8, &mut r);
+        let mut head = crate::linear::Linear::new(8, 1, &mut r);
+        // Task: predict the mean of a length-5 sequence.
+        let xs: Vec<Tensor> = (0..16)
+            .map(|s| Tensor::from_fn(&[1, 5, 1], |i| (((s * 5 + i) * 37 % 19) as f32 / 9.5) - 1.0))
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x.mean()).collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let mut total = 0.0;
+            for (x, &y) in xs.iter().zip(&ys) {
+                lstm.zero_grad();
+                head.zero_grad();
+                let h = lstm.forward(x, Mode::Train, &mut r);
+                let pred = head.forward(&h, Mode::Train, &mut r);
+                let target = Tensor::from_vec(vec![y], &[1, 1]);
+                let (l, g) = mse(&pred, &target);
+                total += l;
+                let gh = head.backward(&g);
+                let _ = lstm.backward(&gh);
+                for layer in [&mut lstm as &mut dyn Layer, &mut head as &mut dyn Layer] {
+                    layer.visit_params(&mut |_, p| {
+                        let g = p.grad.clone();
+                        p.value.axpy(-0.05, &g);
+                    });
+                }
+            }
+            first.get_or_insert(total);
+            last = total;
+        }
+        assert!(last < 0.2 * first.unwrap(), "loss {last} vs initial {first:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Sequential`] container: an ordered stack of layers.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// An ordered stack of layers trained and evaluated as one network.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_nn::{Sequential, Linear, Relu, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut model = Sequential::new();
+/// model.push(Linear::new(8, 16, &mut rng));
+/// model.push(Relu::new());
+/// model.push(Linear::new(16, 3, &mut rng));
+///
+/// let x = Tensor::ones(&[2, 8]);
+/// let y = model.forward(&x, Mode::Eval, &mut rng);
+/// assert_eq!(y.shape(), &[2, 3]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (for dynamically built models).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrows layer `i`.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Mutably borrows layer `i`.
+    pub fn layer_mut(&mut self, i: usize) -> &mut (dyn Layer + 'static) {
+        self.layers[i].as_mut()
+    }
+
+    /// Runs a forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode, rng: &mut StdRng) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode, rng);
+        }
+        x
+    }
+
+    /// Runs a backward pass (after a forward), returning ∂L/∂input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every parameter of every layer with `"layer{i}.{name}"`
+    /// keys.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_params(&mut |name, p| {
+                let key = format!("layer{i}.{name}");
+                f(&key, p);
+            });
+        }
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total learnable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_, p| n += p.len());
+        n
+    }
+
+    /// Sums the regularization losses of all layers (accumulating their
+    /// gradients), e.g. the scale-dropout regularizer.
+    pub fn reg_loss(&mut self, strength: f32) -> f32 {
+        self.layers.iter_mut().map(|l| l.reg_loss(strength)).sum()
+    }
+
+    /// Exports all parameter values as `(key, flat data)` pairs — a
+    /// framework-free state dict.
+    pub fn state_dict(&mut self) -> Vec<(String, Vec<f32>)> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |name, p| out.push((name.to_string(), p.value.as_slice().to_vec())));
+        out
+    }
+
+    /// Loads parameter values exported by [`Sequential::state_dict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys or lengths do not match the current architecture.
+    pub fn load_state_dict(&mut self, state: &[(String, Vec<f32>)]) {
+        let mut idx = 0;
+        self.visit_params(&mut |name, p| {
+            assert!(idx < state.len(), "state dict too short");
+            let (key, data) = &state[idx];
+            assert_eq!(key, name, "state dict key mismatch at {idx}");
+            assert_eq!(data.len(), p.value.len(), "state dict length mismatch for {name}");
+            for (i, &v) in data.iter().enumerate() {
+                p.value[i] = v;
+            }
+            idx += 1;
+        });
+        assert_eq!(idx, state.len(), "state dict has extra entries");
+    }
+
+    /// One-line architecture summary.
+    pub fn summary(&mut self) -> String {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        format!("{} ({} params)", names.join(" → "), self.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::linear::Linear;
+    use crate::loss::cross_entropy;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn mlp(r: &mut StdRng) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Linear::new(4, 8, r));
+        m.push(Relu::new());
+        m.push(Linear::new(8, 3, r));
+        m
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut r = rng();
+        let mut m = mlp(&mut r);
+        let x = Tensor::ones(&[5, 4]);
+        let y = m.forward(&x, Mode::Train, &mut r);
+        assert_eq!(y.shape(), &[5, 3]);
+        let (_, grad) = cross_entropy(&y, &[0, 1, 2, 0, 1]);
+        let gx = m.backward(&grad);
+        assert_eq!(gx.shape(), &[5, 4]);
+    }
+
+    #[test]
+    fn param_count_and_keys() {
+        let mut r = rng();
+        let mut m = mlp(&mut r);
+        assert_eq!(m.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        let mut keys = Vec::new();
+        m.visit_params(&mut |k, _| keys.push(k.to_string()));
+        assert_eq!(keys, vec!["layer0.weight", "layer0.bias", "layer2.weight", "layer2.bias"]);
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let mut r = rng();
+        let mut m1 = mlp(&mut r);
+        let mut m2 = mlp(&mut r); // different init
+        let x = Tensor::from_fn(&[2, 4], |i| i as f32 * 0.1);
+        let y1 = m1.forward(&x, Mode::Eval, &mut r);
+        let y2_before = m2.forward(&x, Mode::Eval, &mut r);
+        assert_ne!(y1, y2_before);
+        let state = m1.state_dict();
+        m2.load_state_dict(&state);
+        let y2_after = m2.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y1, y2_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_rejects_wrong_shapes() {
+        let mut r = rng();
+        let mut m = mlp(&mut r);
+        let mut state = m.state_dict();
+        state[0].1.pop();
+        m.load_state_dict(&state);
+    }
+
+    #[test]
+    fn debug_and_summary() {
+        let mut r = rng();
+        let mut m = mlp(&mut r);
+        assert_eq!(format!("{m:?}"), "Sequential[Linear, Relu, Linear]");
+        assert!(m.summary().contains("Linear → Relu → Linear"));
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut r = rng();
+        let mut m = mlp(&mut r);
+        let x = Tensor::ones(&[2, 4]);
+        let y = m.forward(&x, Mode::Train, &mut r);
+        let (_, g) = cross_entropy(&y, &[0, 1]);
+        m.backward(&g);
+        let mut total: f32 = 0.0;
+        m.visit_params(&mut |_, p| total += p.grad.norm_sq());
+        assert!(total > 0.0);
+        m.zero_grad();
+        total = 0.0;
+        m.visit_params(&mut |_, p| total += p.grad.norm_sq());
+        assert_eq!(total, 0.0);
+    }
+}

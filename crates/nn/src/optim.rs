@@ -1,0 +1,281 @@
+//! Optimizers: SGD with momentum, and Adam.
+//!
+//! Optimizers hold per-parameter state in the order parameters are
+//! visited, which is stable for a fixed model architecture.
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and optional
+/// decoupled weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use neuspin_nn::{Sequential, Linear, Sgd, Optimizer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut model = Sequential::new();
+/// model.push(Linear::new(4, 2, &mut rng));
+/// let mut opt = Sgd::new(0.1).momentum(0.9);
+/// opt.step(&mut model); // no-op on zero grads, but exercises the path
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "lr must be positive, got {lr}");
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: vec![] }
+    }
+
+    /// Sets the momentum coefficient (builder style).
+    pub fn momentum(mut self, m: f32) -> Self {
+        assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1), got {m}");
+        self.momentum = m;
+        self
+    }
+
+    /// Sets decoupled weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be >= 0");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "lr must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in
+    /// the model, then leaves gradients untouched (call
+    /// [`Sequential::zero_grad`] before the next backward).
+    fn step(&mut self, model: &mut Sequential);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Updates the learning rate (used by LR schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+impl Optimizer for Sgd {
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.set_lr(lr);
+    }
+
+    fn step(&mut self, model: &mut Sequential) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let mu = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |_, p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.shape(), p.value.shape(), "model shape changed under optimizer");
+            for i in 0..p.value.len() {
+                let g = p.grad[i] + wd * p.value[i];
+                v[i] = mu * v[i] + g;
+                p.value[i] -= lr * v[i];
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and standard defaults
+    /// (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "lr must be positive, got {lr}");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: vec![], v: vec![] }
+    }
+
+    /// Sets decoupled weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be >= 0");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "lr must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.set_lr(lr);
+    }
+
+    fn step(&mut self, model: &mut Sequential) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        model.visit_params(&mut |_, p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for i in 0..p.value.len() {
+                let g = p.grad[i] + wd * p.value[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p.value[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::linear::Linear;
+    use crate::loss::mse;
+    use crate::model::Sequential;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_problem() -> (Sequential, Tensor, Tensor, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = Sequential::new();
+        model.push(Linear::new(2, 1, &mut rng));
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5], &[4, 2]);
+        // Target: y = 2·x0 − x1.
+        let y = Tensor::from_vec(vec![2.0, -1.0, 1.0, 0.5], &[4, 1]);
+        (model, x, y, rng)
+    }
+
+    fn train_loss<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let (mut model, x, y, mut rng) = toy_problem();
+        let mut loss = f32::INFINITY;
+        for _ in 0..steps {
+            model.zero_grad();
+            let pred = model.forward(&x, Mode::Train, &mut rng);
+            let (l, grad) = mse(&pred, &y);
+            loss = l;
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        loss
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        // The design matrix is poorly conditioned, so plain SGD needs a
+        // generous budget; we only assert steady convergence.
+        let mut opt = Sgd::new(0.2);
+        assert!(train_loss(&mut opt, 1_000) < 1e-2);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.05);
+        let mut mom = Sgd::new(0.05).momentum(0.9);
+        let fewer_steps = 40;
+        assert!(train_loss(&mut mom, fewer_steps) < train_loss(&mut plain, fewer_steps));
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05);
+        assert!(train_loss(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Sequential::new();
+        model.push(Linear::new(3, 3, &mut rng));
+        let norm_before: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |_, p| n += p.value.norm_sq());
+            n
+        };
+        // Zero gradients, pure decay.
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        for _ in 0..10 {
+            model.zero_grad();
+            opt.step(&mut model);
+        }
+        let norm_after: f32 = {
+            let mut n = 0.0;
+            model.visit_params(&mut |_, p| n += p.value.norm_sq());
+            n
+        };
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr must be positive")]
+    fn rejects_bad_lr() {
+        let _ = Sgd::new(-0.1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Mini-batch training utilities.
+
+use crate::layer::Mode;
+use crate::loss::cross_entropy;
+use crate::model::Sequential;
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A labelled classification dataset: flattened samples plus integer
+/// labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Sample tensor; first dimension is the sample index.
+    pub inputs: Tensor,
+    /// One integer label per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Bundles inputs and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts disagree.
+    pub fn new(inputs: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(inputs.shape()[0], labels.len(), "sample/label count mismatch");
+        Self { inputs, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies the samples at `indices` into a new batch.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let per = self.inputs.len() / self.len().max(1);
+        let mut shape = self.inputs.shape().to_vec();
+        shape[0] = indices.len();
+        let mut data = Vec::with_capacity(indices.len() * per);
+        for &i in indices {
+            data.extend_from_slice(&self.inputs.as_slice()[i * per..(i + 1) * per]);
+        }
+        (Tensor::from_vec(data, &shape), indices.iter().map(|&i| self.labels[i]).collect())
+    }
+
+    /// A new dataset with only the samples at `indices`.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let (inputs, labels) = self.gather(indices);
+        Self { inputs, labels }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Strength of layer regularizers (scale-dropout centring, etc.).
+    pub reg_strength: f32,
+    /// Multiply the optimizer LR by this factor after each epoch.
+    pub lr_decay: f32,
+    /// Print a line per epoch when true.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, reg_strength: 0.0, lr_decay: 1.0, verbose: false }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy over the epoch.
+    pub loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Fisher–Yates shuffle of `0..n` driven by the given RNG.
+pub fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Trains `model` on `data` with cross-entropy; returns per-epoch stats.
+///
+/// The optimizer's learning rate is decayed by `config.lr_decay` after
+/// each epoch (set 1.0 for a constant rate). Regularizer gradients (e.g.
+/// the scale-dropout centring term) are added when
+/// `config.reg_strength > 0`.
+pub fn fit<O: Optimizer>(
+    model: &mut Sequential,
+    data: &Dataset,
+    opt: &mut O,
+    config: &TrainConfig,
+    rng: &mut StdRng,
+) -> Vec<EpochStats> {
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let order = shuffled_indices(data.len(), rng);
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let (x, y) = data.gather(chunk);
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train, rng);
+            let (loss, grad) = cross_entropy(&logits, &y);
+            if config.reg_strength > 0.0 {
+                let _ = model.reg_loss(config.reg_strength);
+            }
+            model.backward(&grad);
+            opt.step(model);
+            total_loss += loss as f64;
+            batches += 1;
+            for (pred, &label) in logits.argmax_rows().iter().zip(&y) {
+                if *pred == label {
+                    correct += 1;
+                }
+            }
+        }
+        let stats = EpochStats {
+            loss: (total_loss / batches.max(1) as f64) as f32,
+            accuracy: correct as f64 / data.len().max(1) as f64,
+        };
+        if config.verbose {
+            println!(
+                "epoch {:>3}: loss {:.4}  acc {:.2}%",
+                epoch + 1,
+                stats.loss,
+                100.0 * stats.accuracy
+            );
+        }
+        history.push(stats);
+        if config.lr_decay != 1.0 {
+            opt.set_learning_rate(opt.learning_rate() * config.lr_decay);
+        }
+    }
+    history
+}
+
+/// Refreshes normalization running statistics by running `rounds`
+/// forward passes in `Train` mode *without* optimizer steps.
+///
+/// Binary networks need this: the sign weights keep flipping late into
+/// training, so the exponentially-averaged BatchNorm statistics can lag
+/// the final weights badly (eval accuracy becomes a lottery). A few
+/// no-gradient passes re-estimate the statistics under the frozen
+/// weights — standard practice for quantized/binary model deployment.
+pub fn refresh_norm_stats(
+    model: &mut Sequential,
+    data: &Dataset,
+    rounds: usize,
+    rng: &mut StdRng,
+) {
+    for _ in 0..rounds.max(1) {
+        let order = shuffled_indices(data.len(), rng);
+        for chunk in order.chunks(256) {
+            let (x, _) = data.gather(chunk);
+            let _ = model.forward(&x, Mode::Train, rng);
+        }
+    }
+}
+
+/// Deterministic classification accuracy of `model` on `data`
+/// (single `Eval` pass).
+pub fn evaluate(model: &mut Sequential, data: &Dataset, rng: &mut StdRng) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for chunk in (0..data.len()).collect::<Vec<_>>().chunks(256) {
+        let (x, y) = data.gather(chunk);
+        let logits = model.forward(&x, Mode::Eval, rng);
+        for (pred, &label) in logits.argmax_rows().iter().zip(&y) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::linear::Linear;
+    use crate::optim::Sgd;
+    use rand::SeedableRng;
+
+    fn two_blob_dataset(n: usize, rng: &mut StdRng) -> Dataset {
+        // Two well-separated gaussian blobs in 2-D.
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let cx = if label == 0 { -2.0 } else { 2.0 };
+            data.push(cx + rng.random::<f32>() - 0.5);
+            data.push(rng.random::<f32>() - 0.5);
+            labels.push(label);
+        }
+        Dataset::new(Tensor::from_vec(data, &[n, 2]), labels)
+    }
+
+    #[test]
+    fn fit_learns_separable_blobs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let data = two_blob_dataset(128, &mut rng);
+        let mut model = Sequential::new();
+        model.push(Linear::new(2, 8, &mut rng));
+        model.push(Relu::new());
+        model.push(Linear::new(8, 2, &mut rng));
+        let mut opt = Sgd::new(0.1);
+        let config = TrainConfig { epochs: 12, batch_size: 16, ..TrainConfig::default() };
+        let history = fit(&mut model, &data, &mut opt, &config, &mut rng);
+        assert!(history.last().unwrap().accuracy > 0.95, "{history:?}");
+        assert!(evaluate(&mut model, &data, &mut rng) > 0.95);
+    }
+
+    #[test]
+    fn gather_copies_right_rows() {
+        let d = Dataset::new(Tensor::from_fn(&[4, 2], |i| i as f32), vec![0, 1, 2, 3]);
+        let (x, y) = d.gather(&[2, 0]);
+        assert_eq!(x.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(y, vec![2, 0]);
+    }
+
+    #[test]
+    fn subset_preserves_shape_suffix() {
+        let d = Dataset::new(Tensor::zeros(&[6, 3, 4, 4]), vec![0; 6]);
+        let s = d.subset(&[1, 3, 5]);
+        assert_eq!(s.inputs.shape(), &[3, 3, 4, 4]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut idx = shuffled_indices(100, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lr_decay_applies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = two_blob_dataset(32, &mut rng);
+        let mut model = Sequential::new();
+        model.push(Linear::new(2, 2, &mut rng));
+        let mut opt = Sgd::new(1.0);
+        let config = TrainConfig { epochs: 3, batch_size: 8, lr_decay: 0.5, ..Default::default() };
+        let h = fit(&mut model, &data, &mut opt, &config, &mut rng);
+        assert_eq!(h.len(), 3);
+        assert!((opt.learning_rate() - 0.125).abs() < 1e-6, "1.0 · 0.5³");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample/label count mismatch")]
+    fn dataset_rejects_mismatch() {
+        let _ = Dataset::new(Tensor::zeros(&[3, 2]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end hardware deployment: train a Bayesian CNN, compile it
+//! onto the spintronic CIM simulator, calibrate, and run
+//! hardware-in-the-loop inference with full energy accounting.
+//!
+//! ```sh
+//! cargo run --release --example hardware_deployment
+//! ```
+
+use neuspin::bayes::{build_cnn, ArchConfig, Method};
+use neuspin::cim::{map_conv, map_linear, ArrayLimit, ConvMapping};
+use neuspin::core::{HardwareConfig, HardwareModel};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::device::{MtjParams, VariationModel, VariedParams};
+use neuspin::nn::{fit, Adam, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let style = DigitStyle::default();
+    let arch = ArchConfig::default();
+    let method = Method::SpatialSpinDrop;
+
+    println!("== NeuSpin hardware deployment: {method} ==\n");
+
+    // 1. Train the Bayesian binary CNN in software.
+    let train = dataset(3_000, &style, &mut rng);
+    let test = dataset(400, &style, &mut rng);
+    let mut model = build_cnn(method, &arch, &mut rng);
+    let mut opt = Adam::new(0.003);
+    let cfg = TrainConfig { epochs: 8, batch_size: 64, verbose: true, ..Default::default() };
+    fit(&mut model, &train, &mut opt, &cfg, &mut rng);
+
+    // 2. Show how the layers map onto physical crossbars (Fig. 1).
+    println!("\n-- crossbar mapping (strategy 1, unfolded columns) --");
+    let limit = ArrayLimit::default();
+    for (name, report) in [
+        ("conv1", map_conv(1, arch.c1, 3, ConvMapping::UnfoldedColumns, &limit)),
+        ("conv2", map_conv(arch.c1, arch.c2, 3, ConvMapping::UnfoldedColumns, &limit)),
+        ("fc1", map_linear(arch.flat_features(), arch.hidden, &limit)),
+        ("fc2", map_linear(arch.hidden, arch.classes, &limit)),
+    ] {
+        println!(
+            "  {name}: {} array(s) {:?}, {} cells, dropout modules: {} (SpinDrop) vs {} (spatial)",
+            report.crossbar_count,
+            report.crossbar_shapes,
+            report.cells,
+            report.spindrop_modules,
+            report.spatial_modules,
+        );
+    }
+
+    // 3. Compile onto hardware with a realistic process corner.
+    let config = HardwareConfig {
+        crossbar: neuspin::cim::CrossbarConfig {
+            corner: VariedParams::new(MtjParams::default(), VariationModel::typical()),
+            read_noise: 0.01,
+            adc_bits: Some(6),
+            ..neuspin::cim::CrossbarConfig::default()
+        },
+        passes: 16,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut model, method, &arch, &config, &mut rng);
+    println!("\n{}", hw.summary());
+
+    // 4. Calibrate the digital norm statistics on the hardware itself.
+    let (calib, _) = train.gather(&(0..256).collect::<Vec<_>>());
+    hw.calibrate(&calib, 2, &mut rng);
+    println!("calibrated norm statistics on 256 images");
+
+    // 5. Hardware-in-the-loop Bayesian inference.
+    hw.reset_counter();
+    let pred = hw.predict(&test.inputs, &mut rng);
+    let acc = pred.accuracy(&test.labels);
+    println!("\nhardware MC accuracy ({} passes): {:.2}%", hw.passes(), 100.0 * acc);
+
+    // 6. Energy accounting.
+    let breakdown = hw.energy_breakdown();
+    let per_image = hw.energy().0 / test.len() as f64;
+    println!("\n-- energy for {} images × {} passes --", test.len(), hw.passes());
+    for (label, joules) in breakdown.entries() {
+        println!("  {label:<12} {joules}");
+    }
+    println!("  {:<12} {}", "total", breakdown.total());
+    println!("  per image:   {}", neuspin::energy::Joules(per_image));
+}

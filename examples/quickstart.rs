@@ -1,0 +1,60 @@
+//! Quickstart: train a Bayesian binary network (SpinDrop) on the
+//! synthetic digit task and inspect its uncertainty estimates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neuspin::bayes::{build_mlp, eval_predict, mc_predict, Method};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::data::ood::uniform_noise;
+use neuspin::nn::{evaluate, fit, Adam, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let style = DigitStyle::default();
+
+    println!("== NeuSpin quickstart: SpinDrop Bayesian binary MLP ==\n");
+
+    // 1. Data: procedurally generated 16×16 digit images.
+    let train = dataset(3_000, &style, &mut rng);
+    let test = dataset(600, &style, &mut rng);
+    println!("train: {} images, test: {} images", train.len(), test.len());
+
+    // 2. A binary MLP with per-neuron MC-dropout (the SpinDrop method).
+    let mut model = build_mlp(Method::SpinDrop, 64, 10, &mut rng);
+    println!("model: {}\n", model.summary());
+
+    // 3. Train.
+    let mut opt = Adam::new(0.003);
+    let cfg = TrainConfig { epochs: 12, batch_size: 64, verbose: true, ..Default::default() };
+    fit(&mut model, &train, &mut opt, &cfg, &mut rng);
+
+    // 4. Deterministic vs Monte-Carlo accuracy.
+    let det_acc = evaluate(&mut model, &test, &mut rng);
+    let mc = mc_predict(&mut model, &test.inputs, 24, &mut rng);
+    println!("\ndeterministic accuracy: {:.2}%", 100.0 * det_acc);
+    println!("MC (24 passes) accuracy: {:.2}%", 100.0 * mc.accuracy(&test.labels));
+
+    // 5. Uncertainty: in-distribution vs out-of-distribution inputs.
+    let ood = uniform_noise(600, &mut rng);
+    let mc_ood = mc_predict(&mut model, &ood.inputs, 24, &mut rng);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("\npredictive entropy (nats):");
+    println!("  in-distribution digits: {:.3}", mean(&mc.entropy));
+    println!("  uniform-noise OOD:      {:.3}", mean(&mc_ood.entropy));
+    println!("mutual information (epistemic):");
+    println!("  in-distribution digits: {:.4}", mean(&mc.mutual_information));
+    println!("  uniform-noise OOD:      {:.4}", mean(&mc_ood.mutual_information));
+
+    // A deterministic pass has no epistemic signal at all.
+    let det = eval_predict(&mut model, &test.inputs, &mut rng);
+    println!("\n(single deterministic pass MI: {:.6} — no epistemic signal)",
+        mean(&det.mutual_information));
+
+    println!("\nThe Bayesian network knows when it doesn't know: OOD inputs get");
+    println!("markedly higher entropy, which is what the NeuSpin hardware uses");
+    println!("to flag unreliable predictions at the edge.");
+}

@@ -1,0 +1,61 @@
+//! Self-healing under in-field drift (§III-A4): compare a
+//! batch-norm-based Bayesian method against inverted normalization with
+//! affine dropout when the crossbar conductances drift after
+//! calibration.
+//!
+//! ```sh
+//! cargo run --release --example self_healing
+//! ```
+
+use neuspin::bayes::{build_cnn, ArchConfig, Method};
+use neuspin::core::{reliability_base, sweep, SweepKind};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::nn::{fit, Adam, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let style = DigitStyle::default();
+    let arch = ArchConfig::default();
+
+    println!("== NeuSpin self-healing: drift robustness ==\n");
+
+    let train = dataset(3_000, &style, &mut rng);
+    let calib = dataset(200, &style, &mut rng);
+    let test = dataset(300, &style, &mut rng);
+
+    let severities = [0.0, 0.15, 0.3, 0.45, 0.6];
+    let config = reliability_base();
+
+    println!("post-calibration common-mode conductance drift (weights × (1−s)):\n");
+    println!("{:<28} {}", "method", severities.map(|s| format!("s={s:<5}")).join(" "));
+
+    for method in [Method::SpinDrop, Method::AffineDropout] {
+        let mut r = StdRng::seed_from_u64(1234);
+        let mut model = build_cnn(method, &arch, &mut r);
+        let mut opt = Adam::new(0.003);
+        let cfg = TrainConfig { epochs: 8, batch_size: 64, ..Default::default() };
+        fit(&mut model, &train, &mut opt, &cfg, &mut r);
+
+        let points = sweep(
+            &mut model,
+            method,
+            &arch,
+            &config,
+            SweepKind::Drift,
+            &severities,
+            &calib,
+            &test,
+            777,
+        );
+        let row: Vec<String> =
+            points.iter().map(|p| format!("{:>5.1}%", 100.0 * p.accuracy)).collect();
+        println!("{:<28} {}", method.to_string(), row.join(" "));
+    }
+
+    println!("\nBatch-norm methods rely on calibrated statistics that drift");
+    println!("invalidates; inverted normalization re-whitens every sample on");
+    println!("the fly, absorbing the conductance shift — the self-healing");
+    println!("property the paper reports as up to ~55% accuracy recovery.");
+}

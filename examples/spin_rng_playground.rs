@@ -1,0 +1,73 @@
+//! Device-level playground: the stochastic MTJ as a tunable random
+//! number generator — switching-probability curves, calibration under
+//! process variation, and the cost of one random bit.
+//!
+//! ```sh
+//! cargo run --release --example spin_rng_playground
+//! ```
+
+use neuspin::device::{
+    DeviceEnergy, MtjParams, SpinRng, SwitchingModel, VariationModel, VariedParams,
+};
+use neuspin::energy::Joules;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let params = MtjParams::default();
+    let model = SwitchingModel::from_params(&params);
+
+    println!("== The stochastic MTJ as a Bernoulli sampler ==\n");
+
+    // 1. The switching-probability sigmoid P_sw(I) at fixed pulse width.
+    println!("-- P_sw vs write current (10 ns pulse, Ic = {:.0} µA) --", params.critical_current * 1e6);
+    for frac in [0.70, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10] {
+        let i = frac * params.critical_current;
+        let p = model.probability(i, params.pulse_width);
+        let bar = "#".repeat((p * 40.0) as usize);
+        println!("  I = {:.2}·Ic  P_sw = {p:>8.5}  {bar}", frac);
+    }
+
+    // 2. Inverse calibration: what current gives p = 0.5?
+    let i_half = model.current_for_probability(0.5, params.pulse_width);
+    println!(
+        "\ncalibration: p = 0.5 needs I = {:.2} µA ({:.3}·Ic)",
+        i_half * 1e6,
+        i_half / params.critical_current
+    );
+
+    // 3. Device variation turns the calibrated p into a random variable.
+    println!("\n-- realized p of 12 fabricated devices calibrated for p = 0.3 --");
+    let corner = VariedParams::new(params, VariationModel::uniform(0.08));
+    for d in 0..12 {
+        let mut module = SpinRng::new(corner, &mut rng);
+        let report = module.calibrate_nominal(0.3);
+        let measured = module.measure_p(2_000, &mut rng);
+        println!(
+            "  device {d:>2}: realized p = {:.3}, measured (2000 bits) = {:.3}",
+            report.realized_p, measured
+        );
+    }
+
+    // 4. Closed-loop calibration cancels the variation.
+    println!("\n-- closed-loop (measured) calibration on one skewed device --");
+    let mut module = SpinRng::new(corner, &mut rng);
+    let open = module.calibrate_nominal(0.3);
+    let closed = module.calibrate_measured(0.3, 500, 0.01, 25, &mut rng);
+    println!("  open loop:   |p − 0.3| = {:.4}", open.abs_error());
+    println!(
+        "  closed loop: |p − 0.3| = {:.4} (spent {} measurement bits)",
+        closed.abs_error(),
+        closed.measurement_bits
+    );
+
+    // 5. What a random bit costs.
+    let e = DeviceEnergy::default();
+    println!("\n-- energy per primitive --");
+    println!("  cell read          {}", Joules(e.read));
+    println!("  SOT write          {}", Joules(e.write_sot));
+    println!("  RNG bit (SET+read+RESET) {}", Joules(e.rng_bit()));
+    println!("\nOne random bit costs ~{:.0}× a cell read — why NeuSpin's methods", e.rng_bit() / e.read);
+    println!("fight to reduce the number of RNG draws per forward pass.");
+}

@@ -1,0 +1,52 @@
+//! # NeuSpin — a reliable edge neuromorphic system based on spintronics
+//!
+//! A full-stack reproduction of *"NeuSpin: Design of a Reliable Edge
+//! Neuromorphic System Based on Spintronics for Green AI"* (DATE 2024):
+//! Bayesian binary neural networks co-designed with a simulated
+//! spintronic computation-in-memory (CIM) substrate.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`device`] | MTJ physics, stochastic switching, variation, defects, SpinRng, multi-level cells |
+//! | [`cim`] | crossbars, bit-cells, decoders, dropout modules, mapping strategies |
+//! | [`nn`] | tensor + backprop framework: binary layers, norms, dropout family, LSTM |
+//! | [`bayes`] | MC prediction, method zoo, sub-set VI, SpinBayes, uncertainty metrics |
+//! | [`data`] | synthetic digits, corruptions, OOD probes, time series, segmentation |
+//! | [`energy`] | per-event energy, area, and memory models (Table I machinery) |
+//! | [`core`] | the co-design runtime: compile → calibrate → hardware-in-the-loop predict |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neuspin::bayes::{build_mlp, mc_predict, Method};
+//! use neuspin::data::digits::{dataset, DigitStyle};
+//! use neuspin::nn::{fit, Adam, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let train = dataset(400, &DigitStyle::default(), &mut rng);
+//!
+//! // A Bayesian binary MLP with per-neuron MC-dropout (SpinDrop).
+//! let mut model = build_mlp(Method::SpinDrop, 32, 10, &mut rng);
+//! let mut opt = Adam::new(0.003);
+//! let cfg = TrainConfig { epochs: 2, batch_size: 64, ..Default::default() };
+//! fit(&mut model, &train, &mut opt, &cfg, &mut rng);
+//!
+//! // Monte-Carlo prediction with uncertainty.
+//! let pred = mc_predict(&mut model, &train.inputs, 8, &mut rng);
+//! assert_eq!(pred.mean_probs.shape()[1], 10);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and
+//! `crates/bench` for the harness that regenerates every table and
+//! figure of the paper.
+
+pub use neuspin_bayes as bayes;
+pub use neuspin_cim as cim;
+pub use neuspin_core as core;
+pub use neuspin_data as data;
+pub use neuspin_device as device;
+pub use neuspin_energy as energy;
+pub use neuspin_nn as nn;

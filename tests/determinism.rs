@@ -1,0 +1,85 @@
+//! Reproducibility: the entire stack is a pure function of the seed.
+
+use neuspin::bayes::{build_cnn, mc_predict, ArchConfig, Method};
+use neuspin::cim::{Crossbar, CrossbarConfig};
+use neuspin::core::{HardwareConfig, HardwareModel};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::nn::{fit, Adam, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arch() -> ArchConfig {
+    ArchConfig { c1: 4, c2: 8, hidden: 16, ..ArchConfig::default() }
+}
+
+#[test]
+fn dataset_generation_is_seed_deterministic() {
+    let a = dataset(50, &DigitStyle::default(), &mut StdRng::seed_from_u64(5));
+    let b = dataset(50, &DigitStyle::default(), &mut StdRng::seed_from_u64(5));
+    assert_eq!(a.inputs, b.inputs);
+    assert_eq!(a.labels, b.labels);
+    let c = dataset(50, &DigitStyle::default(), &mut StdRng::seed_from_u64(6));
+    assert_ne!(a.inputs, c.inputs);
+}
+
+#[test]
+fn training_is_seed_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = dataset(200, &DigitStyle::easy(), &mut rng);
+        let mut model = build_cnn(Method::SpinDrop, &arch(), &mut rng);
+        let mut opt = Adam::new(0.003);
+        let cfg = TrainConfig { epochs: 2, batch_size: 32, ..Default::default() };
+        fit(&mut model, &data, &mut opt, &cfg, &mut rng);
+        model.state_dict()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must give identical weights");
+}
+
+#[test]
+fn mc_prediction_is_seed_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = dataset(20, &DigitStyle::easy(), &mut rng);
+        let mut model = build_cnn(Method::SpinScaleDrop, &arch(), &mut rng);
+        mc_predict(&mut model, &data.inputs, 5, &mut rng).mean_probs
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn crossbar_programming_is_seed_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w: Vec<f32> = (0..64).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig::default();
+        let mut xbar = Crossbar::program(&w, 8, 8, &config, &mut rng);
+        xbar.matvec(&[1.0; 8], &mut rng)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn hardware_pipeline_is_seed_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = dataset(30, &DigitStyle::easy(), &mut rng);
+        let mut model = build_cnn(Method::SpatialSpinDrop, &arch(), &mut rng);
+        let mut hw = HardwareModel::compile(
+            &mut model,
+            Method::SpatialSpinDrop,
+            &arch(),
+            &HardwareConfig { passes: 3, ..HardwareConfig::default() },
+            &mut rng,
+        );
+        hw.calibrate(&data.inputs, 1, &mut rng);
+        let pred = hw.predict(&data.inputs, &mut rng);
+        (pred.mean_probs, hw.counter())
+    };
+    let (probs_a, counter_a) = run();
+    let (probs_b, counter_b) = run();
+    assert_eq!(probs_a, probs_b);
+    assert_eq!(counter_a, counter_b, "even op counts must reproduce");
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: train in software → compile to hardware →
+//! calibrate → hardware-in-the-loop Bayesian prediction.
+
+use neuspin::bayes::{build_cnn, ArchConfig, Method};
+use neuspin::cim::CrossbarConfig;
+use neuspin::core::{HardwareConfig, HardwareModel};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::nn::{fit, Adam, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_arch() -> ArchConfig {
+    ArchConfig { c1: 4, c2: 8, hidden: 32, ..ArchConfig::default() }
+}
+
+fn quick_style() -> DigitStyle {
+    DigitStyle::easy()
+}
+
+fn train_model(method: Method, rng: &mut StdRng) -> neuspin::nn::Sequential {
+    let train = dataset(1_200, &quick_style(), rng);
+    let mut model = build_cnn(method, &tiny_arch(), rng);
+    let mut opt = Adam::new(0.004);
+    let cfg = TrainConfig { epochs: 6, batch_size: 64, ..Default::default() };
+    fit(&mut model, &train, &mut opt, &cfg, rng);
+    model
+}
+
+fn hw_config(passes: usize) -> HardwareConfig {
+    HardwareConfig {
+        crossbar: CrossbarConfig::ideal(),
+        passes,
+        ..HardwareConfig::default()
+    }
+}
+
+#[test]
+fn spindrop_full_pipeline_reaches_usable_accuracy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = train_model(Method::SpinDrop, &mut rng);
+    let arch = tiny_arch();
+    let calib = dataset(128, &quick_style(), &mut rng);
+    let test = dataset(120, &quick_style(), &mut rng);
+
+    let mut hw = HardwareModel::compile(&mut model, Method::SpinDrop, &arch, &hw_config(6), &mut rng);
+    hw.calibrate(&calib.inputs, 2, &mut rng);
+    let pred = hw.predict(&test.inputs, &mut rng);
+    let acc = pred.accuracy(&test.labels);
+    assert!(acc > 0.6, "hardware accuracy too low: {acc}");
+    assert!(hw.counter().cell_reads > 0);
+    assert!(hw.counter().rng_bits > 0, "SpinDrop must consume RNG bits");
+}
+
+#[test]
+fn every_method_compiles_and_predicts() {
+    let arch = tiny_arch();
+    for method in Method::ALL {
+        let mut rng = StdRng::seed_from_u64(2);
+        // SpinBayes compiles from a deterministic backbone.
+        let base = if method == Method::SpinBayes { Method::Deterministic } else { method };
+        let mut model = train_model(base, &mut rng);
+        let calib = dataset(64, &quick_style(), &mut rng);
+        let test = dataset(60, &quick_style(), &mut rng);
+        let mut hw = HardwareModel::compile(&mut model, method, &arch, &hw_config(4), &mut rng);
+        hw.calibrate(&calib.inputs, 2, &mut rng);
+        let pred = hw.predict(&test.inputs, &mut rng);
+        let acc = pred.accuracy(&test.labels);
+        assert!(acc > 0.4, "{method}: hardware accuracy collapsed to {acc}");
+        assert!(pred.mean_probs.all_finite(), "{method}");
+    }
+}
+
+#[test]
+fn hardware_energy_ordering_spindrop_vs_scaledrop() {
+    // At equal MC budget, per-neuron RNG must cost more than one bit
+    // per layer — the core of the paper's energy story, measured on
+    // the actual simulated hardware rather than the analytic model.
+    let arch = tiny_arch();
+    let mut energy = Vec::new();
+    for method in [Method::SpinDrop, Method::SpinScaleDrop] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = train_model(method, &mut rng);
+        let test = dataset(30, &quick_style(), &mut rng);
+        let mut hw = HardwareModel::compile(&mut model, method, &arch, &hw_config(6), &mut rng);
+        hw.calibrate(&test.inputs, 1, &mut rng);
+        hw.reset_counter();
+        let _ = hw.predict(&test.inputs, &mut rng);
+        energy.push(hw.energy().0);
+    }
+    assert!(
+        energy[0] > energy[1],
+        "SpinDrop ({}) must out-cost ScaleDrop ({})",
+        energy[0],
+        energy[1]
+    );
+}
+
+#[test]
+fn variation_degrades_hardware_less_than_catastrophically() {
+    // A realistic corner with variation + ADC must not destroy accuracy
+    // (the robustness takeaway of the paper).
+    let mut rng = StdRng::seed_from_u64(4);
+    let arch = tiny_arch();
+    let mut model = train_model(Method::SpatialSpinDrop, &mut rng);
+    let calib = dataset(128, &quick_style(), &mut rng);
+    let test = dataset(120, &quick_style(), &mut rng);
+
+    let mut config = hw_config(6);
+    config.crossbar = CrossbarConfig {
+        corner: neuspin::device::VariedParams::new(
+            neuspin::device::MtjParams::default(),
+            neuspin::device::VariationModel::typical(),
+        ),
+        read_noise: 0.02,
+        adc_bits: Some(6),
+        ..CrossbarConfig::default()
+    };
+    let mut hw =
+        HardwareModel::compile(&mut model, Method::SpatialSpinDrop, &arch, &config, &mut rng);
+    hw.calibrate(&calib.inputs, 2, &mut rng);
+    let pred = hw.predict(&test.inputs, &mut rng);
+    let acc = pred.accuracy(&test.labels);
+    assert!(acc > 0.55, "typical-corner hardware accuracy: {acc}");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the NeuSpin workspace.
+#
+# The workspace is fully self-contained (every dependency is a path
+# crate, including the vendored `rand` shim), so everything here runs
+# with `--offline`: a network-less machine must produce the same green.
+#
+# Build and test are gating; clippy runs strict (`-D warnings`) because
+# the tree is currently warning-free — keep it that way.
+
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> OK"

@@ -10,10 +10,9 @@
 
 use neuspin_nn::{softmax, Mode, Sequential, Tensor};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// The output of a Monte-Carlo predictive pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predictive {
     /// Mean softmax probabilities `[N, C]`.
     pub mean_probs: Tensor,
@@ -96,8 +95,8 @@ pub fn mc_predict_with(passes: usize, mut forward: impl FnMut(usize) -> Tensor) 
         assert_eq!(probs.shape(), first.shape(), "inconsistent logit shapes across passes");
         sum.axpy(1.0, &probs);
         sum_sq.axpy(1.0, &(&probs * &probs));
-        for i in 0..n {
-            sum_entropy[i] += entropy_of(probs.row(i));
+        for (i, acc) in sum_entropy.iter_mut().enumerate() {
+            *acc += entropy_of(probs.row(i));
         }
     }
     let tf = passes as f32;

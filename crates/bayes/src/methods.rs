@@ -20,11 +20,10 @@ use neuspin_nn::{
     Linear, MaxPool2d, Mode, ScaleDrop, Sequential, SpatialDropout,
 };
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The Bayesian (or baseline) method a model is built with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Deterministic binary network (non-Bayesian baseline).
     Deterministic,

@@ -27,7 +27,7 @@ pub fn ece(mean_probs: &Tensor, labels: &[usize], bins: usize) -> f64 {
     let mut bin_conf = vec![0.0f64; bins];
     let mut bin_acc = vec![0.0f64; bins];
     let mut bin_count = vec![0usize; bins];
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let row = mean_probs.row(i);
         let (pred, conf) = row
             .iter()
@@ -37,7 +37,7 @@ pub fn ece(mean_probs: &Tensor, labels: &[usize], bins: usize) -> f64 {
             .unwrap_or((0, 0.0));
         let b = ((conf * bins as f64) as usize).min(bins - 1);
         bin_conf[b] += conf;
-        bin_acc[b] += f64::from(pred == labels[i]);
+        bin_acc[b] += f64::from(pred == label);
         bin_count[b] += 1;
         let _ = c;
     }

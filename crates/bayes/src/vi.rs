@@ -10,7 +10,6 @@
 
 use neuspin_nn::{Layer, Mode, Param, Tensor};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 fn softplus(x: f32) -> f32 {
     // Numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
@@ -22,7 +21,7 @@ fn sigmoid(x: f32) -> f32 {
 }
 
 /// Gaussian prior over the scale entries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalePrior {
     /// Prior mean (1.0: scales centred at identity).
     pub mean: f32,

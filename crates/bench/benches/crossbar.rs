@@ -1,49 +1,37 @@
-//! Criterion micro-benchmarks for the CIM substrate: crossbar
-//! programming and matrix-vector products at several array sizes,
-//! dropout-module sampling, arbiter selection.
+//! Micro-benchmarks for the CIM substrate: crossbar programming and
+//! matrix-vector products at several array sizes, dropout-module
+//! sampling, arbiter selection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuspin_bench::timing::{black_box, Harness};
 use neuspin_cim::{Arbiter, Crossbar, CrossbarConfig, SpinDropModule};
 use neuspin_device::VariedParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossbar/matvec");
+fn main() {
+    let mut h = Harness::new("crossbar");
+
     for &size in &[64usize, 128, 256] {
         let mut rng = StdRng::seed_from_u64(size as u64);
         let w: Vec<f32> = (0..size * size).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
         let mut xbar = Crossbar::program(&w, size, size, &CrossbarConfig::default(), &mut rng);
         let x: Vec<f32> = (0..size).map(|i| (i as f32 * 0.1).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+        h.bench(&format!("crossbar/matvec/{size}"), |b| {
             b.iter(|| black_box(xbar.matvec(black_box(&x), &mut rng)))
         });
     }
-    group.finish();
-}
 
-fn bench_programming(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let w: Vec<f32> = (0..128 * 128).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
-    c.bench_function("crossbar/program_128x128", |b| {
-        b.iter(|| {
-            black_box(Crossbar::program(&w, 128, 128, &CrossbarConfig::default(), &mut rng))
-        })
+    h.bench("crossbar/program_128x128", |b| {
+        b.iter(|| black_box(Crossbar::program(&w, 128, 128, &CrossbarConfig::default(), &mut rng)))
     });
-}
 
-fn bench_modules(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let mut module = SpinDropModule::new(0.2, VariedParams::ideal(), &mut rng);
-    c.bench_function("crossbar/dropout_module_sample", |b| {
-        b.iter(|| black_box(module.sample(&mut rng)))
-    });
+    h.bench("crossbar/dropout_module_sample", |b| b.iter(|| black_box(module.sample(&mut rng))));
     let mut arbiter = Arbiter::new(8, VariedParams::ideal(), &mut rng);
-    c.bench_function("crossbar/arbiter_select_8", |b| {
-        b.iter(|| black_box(arbiter.select(&mut rng)))
-    });
-}
+    h.bench("crossbar/arbiter_select_8", |b| b.iter(|| black_box(arbiter.select(&mut rng))));
 
-criterion_group!(benches, bench_matvec, bench_programming, bench_modules);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,51 +1,46 @@
-//! Criterion micro-benchmarks for the device substrate: switching-model
+//! Micro-benchmarks for the device substrate: switching-model
 //! evaluation, RNG bit generation, calibration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use neuspin_bench::timing::{black_box, Harness};
 use neuspin_device::{Mtj, MtjParams, SpinRng, SwitchingModel, VariedParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_switching(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("device");
+
     let model = SwitchingModel::from_params(&MtjParams::default());
-    c.bench_function("device/switching_probability", |b| {
+    h.bench("device/switching_probability", |b| {
         b.iter(|| black_box(model.probability(black_box(38e-6), black_box(10e-9))))
     });
-    c.bench_function("device/current_for_probability", |b| {
+    h.bench("device/current_for_probability", |b| {
         b.iter(|| black_box(model.current_for_probability(black_box(0.3), 10e-9)))
     });
-}
 
-fn bench_mtj_ops(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mtj = Mtj::nominal(MtjParams::default());
-    c.bench_function("device/mtj_read_conductance", |b| {
+    h.bench("device/mtj_read_conductance", |b| {
         b.iter(|| black_box(mtj.read_conductance(&mut rng)))
     });
     let mut mtj2 = Mtj::nominal(MtjParams::default());
-    c.bench_function("device/mtj_stochastic_pulse", |b| {
+    h.bench("device/mtj_stochastic_pulse", |b| {
         b.iter(|| {
             let flipped = mtj2.apply_pulse(38e-6, 10e-9, &mut rng);
             mtj2.reset();
             black_box(flipped)
         })
     });
-}
 
-fn bench_rng(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut spin = SpinRng::new(VariedParams::ideal(), &mut rng);
     spin.calibrate_nominal(0.5);
-    c.bench_function("device/spinrng_bit", |b| b.iter(|| black_box(spin.next_bit(&mut rng))));
-
-    c.bench_function("device/spinrng_closed_loop_calibration", |b| {
+    h.bench("device/spinrng_bit", |b| b.iter(|| black_box(spin.next_bit(&mut rng))));
+    h.bench("device/spinrng_closed_loop_calibration", |b| {
         b.iter(|| {
             let mut s = SpinRng::new(VariedParams::ideal(), &mut rng);
             black_box(s.calibrate_measured(0.3, 100, 0.02, 10, &mut rng))
         })
     });
-}
 
-criterion_group!(benches, bench_switching, bench_mtj_ops, bench_rng);
-criterion_main!(benches);
+    h.finish();
+}

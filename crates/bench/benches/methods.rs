@@ -1,20 +1,20 @@
-//! Criterion benchmarks across the method zoo: one stochastic hardware
-//! pass per method (the per-pass cost whose T-fold repetition is the
-//! Table I energy story), plus the analytic energy-estimate hot path.
+//! Benchmarks across the method zoo: one stochastic hardware pass per
+//! method (the per-pass cost whose T-fold repetition is the Table I
+//! energy story), plus the analytic energy-estimate hot path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use neuspin_bayes::Method;
+use neuspin_bench::timing::{black_box, Harness};
 use neuspin_core::{HardwareConfig, HardwareModel};
 use neuspin_energy::{estimate_method_energy, NetworkSpec};
 use neuspin_nn::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_hw_pass_per_method(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("methods");
+
     let arch = neuspin_bayes::ArchConfig { c1: 4, c2: 8, hidden: 32, ..Default::default() };
     let x = Tensor::from_fn(&[4, 1, 16, 16], |i| ((i * 13 % 31) as f32 / 15.5) - 1.0);
-    let mut group = c.benchmark_group("methods/hw_pass");
     for method in [
         Method::Deterministic,
         Method::SpinDrop,
@@ -24,29 +24,24 @@ fn bench_hw_pass_per_method(c: &mut Criterion) {
         Method::SpinBayes,
     ] {
         let mut rng = StdRng::seed_from_u64(11);
-        let software =
-            if method == Method::SpinBayes { Method::Deterministic } else { method };
+        let software = if method == Method::SpinBayes { Method::Deterministic } else { method };
         let mut model = neuspin_bayes::build_cnn(software, &arch, &mut rng);
         let config = HardwareConfig { passes: 1, ..HardwareConfig::default() };
         let mut hw = HardwareModel::compile(&mut model, method, &arch, &config, &mut rng);
         hw.calibrate(&x, 1, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(method), &method, |b, _| {
+        h.bench(&format!("methods/hw_pass/{method}"), |b| {
             b.iter(|| black_box(hw.forward(&x, true, &mut rng)))
         });
     }
-    group.finish();
-}
 
-fn bench_energy_estimator(c: &mut Criterion) {
     let spec = NetworkSpec::lenet_reference();
-    c.bench_function("methods/energy_estimate_all", |b| {
+    h.bench("methods/energy_estimate_all", |b| {
         b.iter(|| {
             for method in Method::ALL {
                 black_box(estimate_method_energy(&spec, method));
             }
         })
     });
-}
 
-criterion_group!(benches, bench_hw_pass_per_method, bench_energy_estimator);
-criterion_main!(benches);
+    h.finish();
+}

@@ -19,15 +19,16 @@ use neuspin_cim::CrossbarConfig;
 use neuspin_core::{HardwareConfig, HardwareModel};
 use neuspin_device::{MtjParams, VariationModel, VariedParams};
 use neuspin_nn::{evaluate, fit, refresh_norm_stats, Adam, TrainConfig};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AblationRow {
     mechanism: String,
     with_pct: f64,
     without_pct: f64,
     delta_pp: f64,
 }
+
+neuspin_core::impl_to_json!(AblationRow { mechanism, with_pct, without_pct, delta_pp });
 
 fn main() {
     let setup = Setup::from_env();

@@ -14,9 +14,8 @@ use neuspin_bayes::{brier, ece, eval_predict, mc_predict, Method};
 use neuspin_bench::{write_json, Setup};
 use neuspin_data::corrupt::{corrupt_dataset, Corruption};
 use neuspin_nn::nll;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CalibrationRow {
     method: String,
     clean_ece: f64,
@@ -27,6 +26,8 @@ struct CalibrationRow {
     shifted_nll: f64,
     accuracy: f64,
 }
+
+neuspin_core::impl_to_json!(CalibrationRow { method, clean_ece, clean_brier, clean_nll, shifted_ece, shifted_brier, shifted_nll, accuracy });
 
 fn main() {
     let setup = Setup::from_env();

@@ -13,13 +13,14 @@ use neuspin_bayes::{eval_predict, mc_predict, Method};
 use neuspin_bench::{write_json, Setup};
 use neuspin_core::CorruptionResult;
 use neuspin_data::corrupt::{corrupt_dataset, Corruption};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CorruptTable {
     corruption: String,
     results: Vec<CorruptionResult>,
 }
+
+neuspin_core::impl_to_json!(CorruptTable { corruption, results });
 
 fn main() {
     let setup = Setup::from_env();

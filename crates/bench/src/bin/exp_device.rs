@@ -19,14 +19,15 @@ use neuspin_device::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct DeviceReport {
     psw_curves: Vec<Series>,
     calibration_error: Vec<Series>,
     weight_error: Vec<Series>,
 }
+
+neuspin_core::impl_to_json!(DeviceReport { psw_curves, calibration_error, weight_error });
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0xDE71CE);

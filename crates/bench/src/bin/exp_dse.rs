@@ -17,14 +17,15 @@ use neuspin_bayes::Method;
 use neuspin_bench::{write_json, Setup};
 use neuspin_cim::CrossbarConfig;
 use neuspin_core::{HardwareConfig, HardwareModel, Series};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct DseReport {
     adc_sweep: Series,
     noise_sweep: Series,
     ir_drop_sweep: Series,
 }
+
+neuspin_core::impl_to_json!(DseReport { adc_sweep, noise_sweep, ir_drop_sweep });
 
 fn main() {
     let setup = Setup::from_env();

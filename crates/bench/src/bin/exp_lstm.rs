@@ -24,18 +24,19 @@ use neuspin_device::stats::LogNormal;
 use neuspin_nn::{mse, InvertedNorm, Linear, Lstm, Mode, Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 const WINDOW: usize = 12;
 const HIDDEN: usize = 16;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct LstmReport {
     scenario: String,
     baseline_rmse: f64,
     neuspin_rmse: f64,
     reduction_pct: f64,
 }
+
+neuspin_core::impl_to_json!(LstmReport { scenario, baseline_rmse, neuspin_rmse, reduction_pct });
 
 fn build(invnorm: bool, rng: &mut StdRng) -> Sequential {
     let mut m = Sequential::new();

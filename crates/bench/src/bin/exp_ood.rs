@@ -17,13 +17,14 @@ use neuspin_core::OodResult;
 use neuspin_data::digits::rotated_dataset;
 use neuspin_data::ood::{textures, uniform_noise};
 use neuspin_nn::Dataset;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct OodTable {
     probe: String,
     results: Vec<OodResult>,
 }
+
+neuspin_core::impl_to_json!(OodTable { probe, results });
 
 fn main() {
     let setup = Setup::from_env();

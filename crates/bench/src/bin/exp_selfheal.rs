@@ -14,15 +14,16 @@
 use neuspin_bayes::Method;
 use neuspin_bench::{write_json, Setup};
 use neuspin_core::{reliability_base, sweep, Series, SweepKind};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SelfHealReport {
     sweep: String,
     severities: Vec<f64>,
     series: Vec<Series>,
     max_gain_pp: f64,
 }
+
+neuspin_core::impl_to_json!(SelfHealReport { sweep, severities, series, max_gain_pp });
 
 fn main() {
     let setup = Setup::from_env();

@@ -23,12 +23,11 @@ use neuspin_nn::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 const PATCH: usize = 5; // 5×5 neighbourhood per pixel
 const HIDDEN: usize = 32;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SpinBayesReport {
     fp_pixel_accuracy: f64,
     spinbayes_pixel_accuracy: f64,
@@ -37,6 +36,8 @@ struct SpinBayesReport {
     ood_auroc_classification: f64,
     classification_accuracy: f64,
 }
+
+neuspin_core::impl_to_json!(SpinBayesReport { fp_pixel_accuracy, spinbayes_pixel_accuracy, fp_mean_iou, spinbayes_mean_iou, ood_auroc_classification, classification_accuracy });
 
 /// Extracts the 5×5 patch (zero-padded) around every pixel of every
 /// image: `[n·256, 25]` plus per-pixel labels.

@@ -14,9 +14,8 @@ use neuspin_data::corrupt::{corrupt_dataset, Corruption};
 use neuspin_energy::memory::{memory_footprint, traditional_baselines};
 use neuspin_energy::{estimate_method_energy, EnergyModel, NetworkSpec};
 use neuspin_nn::nll;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SubsetViReport {
     memory_kb: Vec<(String, f64)>,
     memory_ratio_vs_full_vi: f64,
@@ -25,6 +24,8 @@ struct SubsetViReport {
     nll_by_shift: Vec<(String, f64)>,
     accuracy: f64,
 }
+
+neuspin_core::impl_to_json!(SubsetViReport { memory_kb, memory_ratio_vs_full_vi, memory_ratio_vs_ensemble10, sampling_power_ratio_vs_full_vi, nll_by_shift, accuracy });
 
 fn main() {
     let setup = Setup::from_env();

@@ -17,9 +17,8 @@ use neuspin_bayes::Method;
 use neuspin_bench::{row, write_json};
 use neuspin_cim::{map_conv, ArrayLimit, ConvMapping, MappingReport};
 use neuspin_energy::{estimate_method_energy, NetworkSpec};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig1Entry {
     layer: String,
     strategy: String,
@@ -29,6 +28,8 @@ struct Fig1Entry {
     spatial_modules: usize,
     module_reduction: f64,
 }
+
+neuspin_core::impl_to_json!(Fig1Entry { layer, strategy, crossbars, shapes, spindrop_modules, spatial_modules, module_reduction });
 
 fn entry(name: &str, report: &MappingReport) -> Fig1Entry {
     Fig1Entry {

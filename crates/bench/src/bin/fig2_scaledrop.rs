@@ -23,9 +23,8 @@ use neuspin_energy::{
 use neuspin_nn::ScaleDrop;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig2Report {
     realized_p_mean: f64,
     realized_p_std: f64,
@@ -35,6 +34,8 @@ struct Fig2Report {
     energy_per_image_uj: Vec<(String, f64)>,
     adaptive_p: Vec<(usize, f32)>,
 }
+
+neuspin_core::impl_to_json!(Fig2Report { realized_p_mean, realized_p_std, tuned_p_mean, tuned_p_std, rng_bits_per_pass, energy_per_image_uj, adaptive_p });
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(20_24);

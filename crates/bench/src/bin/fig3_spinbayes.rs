@@ -18,9 +18,8 @@ use neuspin_bayes::{auroc, Method, SpinBayesConfig};
 use neuspin_bench::{write_json, Setup};
 use neuspin_core::{HardwareConfig, HardwareModel};
 use neuspin_data::ood::uniform_noise;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct Fig3Point {
     instances: usize,
     levels: usize,
@@ -29,6 +28,8 @@ struct Fig3Point {
     ood_auroc: f64,
     mean_id_entropy: f64,
 }
+
+neuspin_core::impl_to_json!(Fig3Point { instances, levels, arbiter_bits_per_pass, hardware_accuracy, ood_auroc, mean_id_entropy });
 
 fn main() {
     let setup = Setup::from_env();

@@ -1,7 +1,7 @@
 //! # neuspin-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see `src/bin/`), plus
-//! criterion micro-benchmarks (see `benches/`). Every binary prints a
+//! built-in micro-benchmarks (see `benches/` and [`timing`]). Every binary prints a
 //! human-readable table *and* writes machine-readable JSON under
 //! `results/`.
 //!
@@ -20,12 +20,14 @@
 //! | `exp_device` | §II-A device characterization |
 
 use neuspin_bayes::{build_cnn, ArchConfig, Method};
+use neuspin_core::json::ToJson;
 use neuspin_data::digits::{dataset, DigitStyle};
 use neuspin_nn::{fit, refresh_norm_stats, Adam, Dataset, Sequential, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 use std::path::PathBuf;
+
+pub mod timing;
 
 /// Where result JSON files land (`results/` at the workspace root).
 pub fn results_dir() -> PathBuf {
@@ -35,10 +37,11 @@ pub fn results_dir() -> PathBuf {
     path
 }
 
-/// Serializes `value` to `results/<name>.json` (pretty-printed).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+/// Serializes `value` to `results/<name>.json` (pretty-printed, via the
+/// workspace's hand-rolled JSON writer in `neuspin_core::json`).
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialization failed");
+    let json = value.to_json().to_string_pretty();
     std::fs::write(&path, json).expect("cannot write result file");
     println!("\n[wrote {}]", path.display());
 }

@@ -1,0 +1,197 @@
+//! A minimal built-in micro-benchmark harness (criterion replacement).
+//!
+//! The workspace cannot depend on crates.io, so the four bench targets
+//! under `benches/` run on this small harness instead: per-bench
+//! auto-calibrated batch sizes, median-of-batches reporting, and a
+//! machine-readable JSON dump next to the human table — the same
+//! results-file convention as the experiment binaries.
+//!
+//! Methodology: [`Bencher::iter`] first warms the closure up for a
+//! fixed budget, sizes a batch from the observed rate so one batch
+//! lasts ~10 ms, then times [`BATCHES`] batches and reports the
+//! per-iteration **median of batch means** (robust to scheduler noise)
+//! plus min and mean. `NEUSPIN_BENCH_FAST=1` shrinks the budgets ~20×
+//! for smoke runs and CI.
+//!
+//! ```no_run
+//! use neuspin_bench::timing::{black_box, Harness};
+//!
+//! let mut h = Harness::new("demo");
+//! h.bench("demo/add", |b| b.iter(|| black_box(2u64 + 2)));
+//! h.finish();
+//! ```
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark.
+pub const BATCHES: usize = 10;
+
+/// Runs closures under the timer for one named benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    target_batch: Duration,
+    batch_size: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Warms up, calibrates the batch size, then times `f` over
+    /// [`BATCHES`] batches.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: run until the budget elapses, counting iterations.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        self.batch_size =
+            ((self.target_batch.as_secs_f64() / per_iter.max(1e-12)) as u64).max(1);
+        // Timed batches.
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..self.batch_size {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / self.batch_size as f64);
+        }
+    }
+}
+
+/// One benchmark's summary statistics (per-iteration, nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed batch.
+    pub batch_size: u64,
+    /// Number of timed batches.
+    pub batches: usize,
+    /// Median of per-batch means (ns/iter) — the headline number.
+    pub median_ns: f64,
+    /// Mean over all batches (ns/iter).
+    pub mean_ns: f64,
+    /// Fastest batch (ns/iter).
+    pub min_ns: f64,
+}
+
+neuspin_core::impl_to_json!(Measurement { name, batch_size, batches, median_ns, mean_ns, min_ns });
+
+/// A named collection of benchmarks: times each, prints a table, and
+/// writes `results/bench_<suite>.json`.
+pub struct Harness {
+    suite: String,
+    warmup: Duration,
+    target_batch: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite.
+    pub fn new(suite: impl Into<String>) -> Self {
+        let suite = suite.into();
+        let fast = std::env::var("NEUSPIN_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+        let (warmup, target_batch) = if fast {
+            (Duration::from_micros(500), Duration::from_micros(500))
+        } else {
+            (Duration::from_millis(10), Duration::from_millis(10))
+        };
+        println!("suite: {suite}");
+        Self { suite, warmup, target_batch, results: Vec::new() }
+    }
+
+    /// Benchmarks one named closure.
+    pub fn bench(&mut self, name: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            target_batch: self.target_batch,
+            batch_size: 1,
+            samples: Vec::new(),
+        };
+        run(&mut b);
+        let m = summarize(name, b);
+        println!(
+            "  {:<44} {:>12}/iter  (min {}, mean {}, {} x {} iters)",
+            m.name,
+            format_ns(m.median_ns),
+            format_ns(m.min_ns),
+            format_ns(m.mean_ns),
+            m.batches,
+            m.batch_size,
+        );
+        self.results.push(m);
+    }
+
+    /// Writes the JSON results file (`results/bench_<suite>.json`).
+    pub fn finish(self) {
+        crate::write_json(&format!("bench_{}", self.suite), &self.results);
+    }
+}
+
+fn summarize(name: &str, b: Bencher) -> Measurement {
+    let mut per_iter_ns: Vec<f64> = b.samples.iter().map(|s| s * 1e9).collect();
+    assert!(!per_iter_ns.is_empty(), "bench '{name}' never called Bencher::iter");
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    Measurement {
+        name: name.to_string(),
+        batch_size: b.batch_size,
+        batches: per_iter_ns.len(),
+        median_ns,
+        mean_ns,
+        min_ns: per_iter_ns[0],
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_statistics_are_ordered() {
+        let b = Bencher {
+            warmup: Duration::ZERO,
+            target_batch: Duration::ZERO,
+            batch_size: 4,
+            samples: vec![3e-9, 1e-9, 2e-9],
+        };
+        let m = summarize("t", b);
+        assert_eq!(m.batches, 3);
+        assert!((m.min_ns - 1.0).abs() < 1e-9);
+        assert!((m.median_ns - 2.0).abs() < 1e-9);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.mean_ns + 1e-9);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+    }
+
+    #[test]
+    fn bencher_produces_samples_fast() {
+        std::env::set_var("NEUSPIN_BENCH_FAST", "1");
+        let mut h = Harness::new("selftest");
+        h.bench("selftest/noop", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(h.results.len(), 1);
+        assert!(h.results[0].median_ns >= 0.0);
+        assert!(h.results[0].batch_size >= 1);
+    }
+}

@@ -1,6 +1,5 @@
 //! Column readout: sense amplifier and ADC models.
 
-use serde::{Deserialize, Serialize};
 
 /// A uniform mid-rise ADC over a symmetric range.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// // Saturation at the rails.
 /// assert!(adc.quantize(100.0) <= 8.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Adc {
     bits: u32,
     full_scale: f64,
@@ -34,7 +33,7 @@ impl Adc {
     ///
     /// Panics if `bits` is 0 or > 16, or `full_scale <= 0`.
     pub fn new(bits: u32, full_scale: f64) -> Self {
-        assert!(bits >= 1 && bits <= 16, "bits must be in 1..=16, got {bits}");
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
         assert!(full_scale > 0.0 && full_scale.is_finite(), "full_scale must be positive");
         Self { bits, full_scale }
     }
@@ -72,7 +71,7 @@ impl Adc {
 /// Running operation counters for a CIM component — the raw material of
 /// the energy model. Counters merge with `+=` semantics via
 /// [`OpCounter::merge`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCounter {
     /// Individual cell reads (each sensed cell in each column evaluation).
     pub cell_reads: u64,

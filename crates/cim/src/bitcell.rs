@@ -11,7 +11,6 @@
 
 use neuspin_device::{defects, DefectKind, MultiLevelCell, VariedParams};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// A differential two-MTJ binary bit-cell.
 ///
@@ -35,7 +34,7 @@ use serde::{Deserialize, Serialize};
 /// cell.program(-1.0);
 /// assert!((cell.effective_weight() + 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct XnorBitCell {
     /// Conductances of the (plus, minus) devices in both states:
     /// `(g_parallel, g_antiparallel)` per device.
@@ -142,7 +141,7 @@ impl XnorBitCell {
 /// cell.program_weight(-1.0);
 /// assert!((cell.effective_weight() + 1.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlcBitCell {
     cell: MultiLevelCell,
     w_max: f64,

@@ -19,10 +19,9 @@ use crate::adc::{Adc, OpCounter};
 use crate::bitcell::{MlcBitCell, XnorBitCell};
 use neuspin_device::{stats, DefectMap, DefectRates, VariedParams};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration shared by crossbar constructors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarConfig {
     /// Device process corner (nominal parameters + variation).
     pub corner: VariedParams,
@@ -223,11 +222,11 @@ impl Crossbar {
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             let mut power = 0.0f64; // Σ (x·w)² for the noise model
-            for i in 0..self.rows {
+            for (i, &xi) in input.iter().take(self.rows).enumerate() {
                 if !self.row_enabled[i] {
                     continue;
                 }
-                let mut term = input[i] as f64 * self.eff[i * self.cols + j];
+                let mut term = xi as f64 * self.eff[i * self.cols + j];
                 if self.ir_drop > 0.0 {
                     term /= 1.0
                         + self.ir_drop
@@ -390,11 +389,11 @@ impl MlcCrossbar {
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             let mut power = 0.0f64;
-            for i in 0..self.rows {
+            for (i, &xi) in input.iter().take(self.rows).enumerate() {
                 if !self.row_enabled[i] {
                     continue;
                 }
-                let term = input[i] as f64 * self.eff[i * self.cols + j];
+                let term = xi as f64 * self.eff[i * self.cols + j];
                 acc += term;
                 power += term * term;
             }

@@ -5,7 +5,6 @@
 //! the group gating of spatial dropout, Fig. 1b). This module tracks
 //! the enable state and the decode activity for the energy model.
 
-use serde::{Deserialize, Serialize};
 
 /// A word-line decoder over `rows` lines supporting consecutive
 /// multi-enable.
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(dec.enabled_count(), 8);
 /// assert!(dec.is_enabled(4) && dec.is_enabled(11) && !dec.is_enabled(12));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WordlineDecoder {
     enabled: Vec<bool>,
     decode_ops: u64,

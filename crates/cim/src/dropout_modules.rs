@@ -14,7 +14,6 @@
 use crate::adc::OpCounter;
 use neuspin_device::{SpinRng, VariedParams};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// A per-neuron dropout module (SpinDrop, §III-A1): one stochastic MTJ
 /// whose SET→read→RESET cycle yields one drop/keep decision for one
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let drops = (0..1000).filter(|_| module.sample(&mut rng)).count();
 /// assert!((drops as f64 / 1000.0 - 0.25).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpinDropModule {
     rng: SpinRng,
     target_p: f64,
@@ -84,7 +83,7 @@ impl SpinDropModule {
 /// same MTJ primitive, but its bit gates a whole group of consecutive
 /// word lines through the multi-enable decoder (Fig. 1), so a conv layer
 /// needs only `C_in` modules instead of `K·K·C_in`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpatialDropModule {
     inner: SpinDropModule,
     /// How many word lines one decision gates (`K·K` for strategy ①, a
@@ -144,7 +143,7 @@ impl SpatialDropModule {
 /// random variable around the design target — the paper models it as a
 /// Gaussian; here it arises mechanically from the lognormal device
 /// variation in the corner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScaleDropModule {
     inner: SpinDropModule,
     scale_len: usize,
@@ -205,7 +204,7 @@ impl ScaleDropModule {
 /// `n` crossbars per forward pass via a random one-hot vector, using
 /// `⌈log₂ n⌉` stochastic-MTJ bits (p = 0.5 each) and rejection sampling
 /// when `n` is not a power of two.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Arbiter {
     bit_sources: Vec<SpinRng>,
     n: usize,

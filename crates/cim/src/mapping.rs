@@ -15,11 +15,10 @@
 //! on that mapping — the quantity behind the paper's 9× module-count
 //! reduction for Spatial-SpinDrop.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Physical crossbar size limit for tiling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArrayLimit {
     /// Maximum word lines per physical array.
     pub max_rows: usize,
@@ -35,7 +34,7 @@ impl Default for ArrayLimit {
 }
 
 /// The two conv mapping strategies of Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConvMapping {
     /// Strategy ①: kernels unfolded into columns of one big array.
     UnfoldedColumns,
@@ -53,7 +52,7 @@ impl fmt::Display for ConvMapping {
 }
 
 /// A layer's logical shape, the unit of mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerShape {
     /// A fully-connected layer `in → out`.
     Linear {
@@ -97,7 +96,7 @@ impl LayerShape {
 }
 
 /// The mapping cost report for one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappingReport {
     /// The mapped layer.
     pub shape: LayerShape,

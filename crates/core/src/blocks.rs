@@ -386,10 +386,10 @@ impl HwDropout {
                 assert_eq!(scale.len(), f, "scale length mismatch");
                 let mut out = Tensor::zeros(x.shape());
                 for ni in 0..n {
-                    for fi in 0..f {
+                    for (fi, &s) in scale.iter().enumerate() {
                         for si in 0..spatial {
                             let i = (ni * f + fi) * spatial + si;
-                            out[i] = x[i] * scale[fi];
+                            out[i] = x[i] * s;
                         }
                     }
                 }
@@ -412,10 +412,10 @@ impl HwDropout {
                 local.sram_accesses += 2 * f as u64;
                 let mut out = Tensor::zeros(x.shape());
                 for ni in 0..n {
-                    for fi in 0..f {
+                    for (fi, &s) in sampled.iter().enumerate() {
                         for si in 0..spatial {
                             let i = (ni * f + fi) * spatial + si;
-                            out[i] = x[i] * sampled[fi];
+                            out[i] = x[i] * s;
                         }
                     }
                 }

@@ -1,0 +1,85 @@
+//! The runtime's view of the vendored distribution samplers, plus their
+//! statistical acceptance tests.
+//!
+//! Implementations live in the vendored `rand` crate's `dist` module
+//! (and are also re-exported by `neuspin_device::stats`, the historical
+//! import path). The tests here are the subsystem's statistical
+//! self-checks: sampler moments and shape parameters must land within
+//! tight tolerances of their analytic values, from fixed seeds.
+
+pub use rand::dist::{standard_normal, Bernoulli, Distribution, Gaussian, LogNormal, Standard, Uniform};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SeedableRng, StdRng};
+    use neuspin_device::stats::Running;
+
+    #[test]
+    fn uniform_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(2001);
+        let d = Uniform::new(-3.0f64, 5.0);
+        let r: Running = d.sample_n(200_000, &mut rng).into_iter().collect();
+        // U(a,b): mean (a+b)/2 = 1, variance (b-a)²/12 = 16/3.
+        assert!((r.mean() - 1.0).abs() < 0.02, "mean {}", r.mean());
+        assert!((r.variance() - 16.0 / 3.0).abs() < 0.05, "var {}", r.variance());
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(2002);
+        let g = Gaussian::new(-2.5, 1.75);
+        let r: Running = g.sample_n(200_000, &mut rng).into_iter().collect();
+        assert!((r.mean() + 2.5).abs() < 0.02, "mean {}", r.mean());
+        assert!((r.std() - 1.75).abs() < 0.02, "std {}", r.std());
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        let mut rng = StdRng::seed_from_u64(2003);
+        let n = 200_000;
+        let beyond_2 = (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count();
+        // P(|Z| > 2) ≈ 0.0455.
+        let frac = beyond_2 as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.004, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn bernoulli_hit_rate() {
+        let mut rng = StdRng::seed_from_u64(2004);
+        for &p in &[0.05, 0.3, 0.5, 0.85] {
+            let b = Bernoulli::new(p);
+            let hits = (0..100_000).filter(|_| b.sample(&mut rng)).count();
+            let freq = hits as f64 / 100_000.0;
+            assert!((freq - p).abs() < 0.01, "p {p}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(2005);
+        let d = LogNormal::from_median_sigma(5_000.0, 0.4);
+        let mut samples = d.sample_n(100_001, &mut rng);
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        assert!((median / 5_000.0 - 1.0).abs() < 0.03, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_log_std_matches_sigma() {
+        let mut rng = StdRng::seed_from_u64(2006);
+        let d = LogNormal::from_median_sigma(1.0, 0.25);
+        let r: Running = d.sample_n(100_000, &mut rng).into_iter().map(f64::ln).collect();
+        assert!((r.std() - 0.25).abs() < 0.01, "log-std {}", r.std());
+    }
+
+    #[test]
+    fn standard_distribution_draws_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2007);
+        let d = Standard;
+        for _ in 0..1_000 {
+            let x: f64 = d.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

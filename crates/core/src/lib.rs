@@ -42,12 +42,16 @@
 pub mod blocks;
 #[cfg(test)]
 mod blocks_tests;
+pub mod dist;
 pub mod extract;
+pub mod json;
 pub mod model;
 pub mod reliability;
 pub mod report;
+pub mod rng;
 
 pub use extract::TrainedParams;
+pub use json::{Json, ToJson};
 pub use model::{HardwareConfig, HardwareModel};
 pub use reliability::{reliability_base, sweep, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};

@@ -480,13 +480,7 @@ impl HardwareModel {
                 HwBlock::Dropout(HwDropout::PerChannel { modules, .. }) => modules.len(),
                 HwBlock::Dropout(HwDropout::Scale { .. }) => 1,
                 HwBlock::Dropout(HwDropout::ViScale { mu, .. }) => mu.len(),
-                HwBlock::InvNorm(n) => {
-                    if n.modules.is_some() {
-                        2
-                    } else {
-                        0
-                    }
-                }
+                HwBlock::InvNorm(n) if n.modules.is_some() => 2,
                 HwBlock::FcSpinBayes(b) => b.arbiter.bits_per_draw(),
                 _ => 0,
             })

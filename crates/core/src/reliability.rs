@@ -11,10 +11,9 @@ use neuspin_device::{DefectRates, MtjParams, VariationModel, VariedParams};
 use neuspin_nn::{Dataset, Sequential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// One point of a reliability sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The severity knob (variation sigma, defect rate, or drift sigma).
     pub severity: f64,
@@ -25,7 +24,7 @@ pub struct SweepPoint {
 }
 
 /// The severity knob a sweep turns.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SweepKind {
     /// Device-to-device variation sigma at programming time.
     Variation,
@@ -56,6 +55,7 @@ pub const INSTANCES_PER_POINT: usize = 3;
 /// by the row/column redundancy every memory product ships — modelling
 /// them as unrepaired in-field defects would measure the repair flow,
 /// not the network.
+#[allow(clippy::too_many_arguments)]
 pub fn sweep(
     trained: &mut Sequential,
     method: Method,

@@ -7,10 +7,9 @@
 use neuspin_bayes::Method;
 use neuspin_cim::OpCounter;
 use neuspin_energy::Joules;
-use serde::{Deserialize, Serialize};
 
 /// One row of the Table I reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// The method.
     pub method: Method,
@@ -31,7 +30,7 @@ pub struct Table1Row {
 }
 
 /// An OOD-detection experiment result for one (method, probe) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OodResult {
     /// The method.
     pub method: Method,
@@ -46,7 +45,7 @@ pub struct OodResult {
 }
 
 /// A corrupted-data experiment result for one severity level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorruptionResult {
     /// Corruption severity (1–5).
     pub severity: u8,
@@ -57,7 +56,7 @@ pub struct CorruptionResult {
 }
 
 /// A generic named scalar series (for figure-style outputs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series label.
     pub label: String,
@@ -79,16 +78,37 @@ impl Series {
     }
 }
 
+crate::impl_to_json!(Table1Row {
+    method,
+    software_accuracy,
+    hardware_accuracy,
+    simulated_energy_per_image,
+    reference_energy_per_image,
+    paper_energy_uj,
+    paper_accuracy_pct,
+    counter,
+});
+
+crate::impl_to_json!(OodResult { method, detection_rate, auroc, id_entropy, ood_entropy });
+
+crate::impl_to_json!(CorruptionResult { severity, baseline_accuracy, bayesian_accuracy });
+
+crate::impl_to_json!(Series { label, x, y });
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{parse, ToJson};
 
     #[test]
     fn series_roundtrips_through_json() {
         let s = Series::new("accuracy", vec![0.0, 0.1], vec![0.9, 0.8]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Series = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
+        let back = parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(back.get("label").unwrap().as_str(), Some("accuracy"));
+        let y: Vec<f64> =
+            back.get("y").unwrap().as_arr().unwrap().iter().filter_map(|v| v.as_f64()).collect();
+        assert_eq!(y, s.y);
+        assert_eq!(back, s.to_json());
     }
 
     #[test]
@@ -109,7 +129,11 @@ mod tests {
             paper_accuracy_pct: Some(91.95),
             counter: OpCounter::new(),
         };
-        let json = serde_json::to_string_pretty(&row).unwrap();
+        let json = row.to_json().to_string_pretty();
         assert!(json.contains("SpinDrop"));
+        let back = parse(&json).unwrap();
+        assert_eq!(back.get("software_accuracy").unwrap().as_f64(), Some(0.91));
+        assert_eq!(back.get("paper_energy_uj").unwrap().as_f64(), Some(2.0));
+        assert!(back.get("counter").unwrap().get("cell_reads").is_some());
     }
 }

@@ -6,11 +6,10 @@ use crate::util::{box_blur, rotate_image, Image};
 use neuspin_nn::{Dataset, Tensor};
 use rand::rngs::StdRng;
 use rand::RngExt;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The corruption families, mirroring the common "-C" benchmark suites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Corruption {
     /// Additive gaussian pixel noise.
     GaussianNoise,
@@ -161,8 +160,8 @@ mod tests {
             *p = 0.5;
         }
         let out = corrupt_image(&img, Corruption::SaltPepper, 5, &mut r);
-        assert!(out.pixels().iter().any(|&p| p == 0.0));
-        assert!(out.pixels().iter().any(|&p| p == 1.0));
+        assert!(out.pixels().contains(&0.0));
+        assert!(out.pixels().contains(&1.0));
     }
 
     #[test]

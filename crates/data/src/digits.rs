@@ -131,7 +131,8 @@ pub fn render_digit(digit: usize, style: &DigitStyle, rng: &mut StdRng) -> Image
 
     // Collect jittered, rotated, translated segment endpoints in pixels,
     // each with its own intensity (faded segments emulate weak ink).
-    let mut strokes: Vec<((f32, f32), (f32, f32), f32)> = Vec::new();
+    type Stroke = ((f32, f32), (f32, f32), f32);
+    let mut strokes: Vec<Stroke> = Vec::new();
     for (si, &((x0, y0), (x1, y1))) in SEGMENTS.iter().enumerate() {
         if !DIGIT_SEGMENTS[digit][si] {
             continue;

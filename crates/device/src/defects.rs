@@ -7,12 +7,11 @@
 //! Bayesian method "self-heals".
 
 use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The kinds of hard defects a cell can exhibit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DefectKind {
     /// Free layer pinned parallel — cell always reads low resistance.
     StuckParallel,
@@ -62,7 +61,7 @@ impl fmt::Display for DefectKind {
 /// let map = DefectMap::sample(64, 64, &rates, &mut rng);
 /// assert!(map.defect_count() < 64 * 64 / 10);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DefectRates {
     /// P(stuck-at-P) per cell.
     pub stuck_parallel: f64,
@@ -123,7 +122,7 @@ impl DefectRates {
 ///
 /// Stored sparsely (defect rates are small) and iterated in a stable
 /// row-major order.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DefectMap {
     rows: usize,
     cols: usize,

@@ -8,7 +8,6 @@
 //!
 //! [`neuspin-energy`]: ../../neuspin_energy/index.html
 
-use serde::{Deserialize, Serialize};
 
 /// Energy cost of the primitive device events, in joules.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let per_bit = e.rng_bit();
 /// assert!(per_bit > e.read && per_bit < 2e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceEnergy {
     /// One sense-path read of a single cell (J).
     pub read: f64,

@@ -10,7 +10,6 @@
 use crate::mtj::Mtj;
 use crate::variation::VariedParams;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A multi-value cell of `k` parallel MTJs (`k + 1` conductance levels).
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// cell.program(3);
 /// assert!(cell.conductance() > g2); // more parallel devices → higher G
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiLevelCell {
     devices: Vec<Mtj>,
 }

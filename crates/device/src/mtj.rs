@@ -9,14 +9,13 @@
 
 use crate::switching::SwitchingModel;
 use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
 
 /// Magnetisation state of an MTJ's free layer relative to its reference
 /// layer.
 ///
 /// The state determines the device resistance: parallel is the
 /// low-resistance state, anti-parallel the high-resistance state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MtjState {
     /// Low-resistance state (`R_P`). Also the "RESET" state for the
     /// SpinRng bitstream generator.
@@ -56,7 +55,7 @@ impl MtjState {
 /// IEDM 2022): kΩ-range parallel resistance, TMR well above 100 %,
 /// thermal stability Δ ≈ 60, nanosecond pulses and tens of µA critical
 /// current.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MtjParams {
     /// Parallel-state resistance in ohms.
     pub resistance_parallel: f64,
@@ -147,7 +146,7 @@ impl MtjParams {
 /// mtj.reset();
 /// assert_eq!(mtj.state(), MtjState::Parallel);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mtj {
     params: MtjParams,
     state: MtjState,

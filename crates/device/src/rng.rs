@@ -18,10 +18,9 @@
 use crate::mtj::{Mtj, MtjParams};
 use crate::variation::VariedParams;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of calibrating a [`SpinRng`] against a target probability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationReport {
     /// Probability the module was asked to produce.
     pub target_p: f64,
@@ -57,7 +56,7 @@ impl CalibrationReport {
 /// let ones = (0..1000).filter(|_| spin.next_bit(&mut rng)).count();
 /// assert!((ones as f64 / 1000.0 - 0.5).abs() < 0.06);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpinRng {
     device: Mtj,
     nominal: MtjParams,

@@ -13,7 +13,6 @@
 use crate::mtj::{Mtj, MtjParams, MtjState};
 use crate::variation::VariedParams;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A three-terminal SOT device: an [`Mtj`] plus a heavy-metal write
 /// track with its own resistance and a read-path series resistance that
@@ -33,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// // Read path sees the series resistance: conductance well below 1/R_AP.
 /// assert!(dev.read_conductance(&mut rng) < 1.0 / 1.0e6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SotDevice {
     mtj: Mtj,
     /// Series resistance inserted in the read path (Ω) — the "tunable

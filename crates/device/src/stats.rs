@@ -1,182 +1,15 @@
 //! Self-contained probability distributions.
 //!
 //! The device models need Gaussian, lognormal, and Bernoulli sampling.
-//! They are implemented here (Box–Muller for the Gaussian) instead of
-//! pulling in `rand_distr`, so that the substrate stays dependency-light
-//! and the sampling sequence is fully under our control (important for
-//! bit-for-bit reproducible experiments).
+//! The implementations live in the workspace-vendored `rand` crate's
+//! `dist` module (Box–Muller for the Gaussian, exactly two uniform
+//! draws per sample) so that every crate shares one pinned,
+//! bit-reproducible sampling path; this module re-exports them under
+//! the historical `neuspin_device::stats` paths and keeps the
+//! [`Running`] accumulator, which is a measurement tool rather than a
+//! sampler.
 
-use rand::{Rng, RngExt};
-
-/// A Gaussian (normal) distribution `N(mean, std²)`.
-///
-/// Sampling uses the Box–Muller transform; each call to [`Gaussian::sample`]
-/// consumes exactly two uniform draws from the supplied RNG, which keeps
-/// the RNG stream position predictable.
-///
-/// # Examples
-///
-/// ```
-/// use neuspin_device::stats::Gaussian;
-/// use rand::SeedableRng;
-///
-/// let g = Gaussian::new(1.0, 0.1);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let x = g.sample(&mut rng);
-/// assert!((x - 1.0).abs() < 1.0);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Gaussian {
-    mean: f64,
-    std: f64,
-}
-
-impl Gaussian {
-    /// Creates a Gaussian with the given mean and standard deviation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `std` is negative or not finite.
-    pub fn new(mean: f64, std: f64) -> Self {
-        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0, got {std}");
-        Self { mean, std }
-    }
-
-    /// The standard normal distribution `N(0, 1)`.
-    pub fn standard() -> Self {
-        Self::new(0.0, 1.0)
-    }
-
-    /// Returns the mean of the distribution.
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Returns the standard deviation of the distribution.
-    pub fn std(&self) -> f64 {
-        self.std
-    }
-
-    /// Draws one sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        self.mean + self.std * standard_normal(rng)
-    }
-}
-
-impl Default for Gaussian {
-    fn default() -> Self {
-        Self::standard()
-    }
-}
-
-/// Draws a standard-normal variate via Box–Muller (two uniform draws).
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Guard the log against u1 == 0.
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
-/// A lognormal distribution: `exp(N(mu, sigma²))`.
-///
-/// Used for device-to-device resistance and thermal-stability variation,
-/// which are multiplicative in nature (a device is "x % off nominal").
-///
-/// # Examples
-///
-/// ```
-/// use neuspin_device::stats::LogNormal;
-/// use rand::SeedableRng;
-///
-/// // Median 5 kΩ, 10 % relative sigma.
-/// let d = LogNormal::from_median_sigma(5_000.0, 0.10);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-/// let r = d.sample(&mut rng);
-/// assert!(r > 2_000.0 && r < 12_000.0);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LogNormal {
-    mu: f64,
-    sigma: f64,
-}
-
-impl LogNormal {
-    /// Creates a lognormal from the parameters of the underlying normal.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sigma` is negative or not finite.
-    pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
-        Self { mu, sigma }
-    }
-
-    /// Creates a lognormal whose *median* is `median` and whose
-    /// log-domain standard deviation is `sigma` (≈ relative spread for
-    /// small `sigma`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `median <= 0` or `sigma < 0`.
-    pub fn from_median_sigma(median: f64, sigma: f64) -> Self {
-        assert!(median > 0.0, "median must be positive, got {median}");
-        Self::new(median.ln(), sigma)
-    }
-
-    /// Returns the median (`exp(mu)`).
-    pub fn median(&self) -> f64 {
-        self.mu.exp()
-    }
-
-    /// Returns the log-domain sigma.
-    pub fn sigma(&self) -> f64 {
-        self.sigma
-    }
-
-    /// Draws one sample (always strictly positive).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        (self.mu + self.sigma * standard_normal(rng)).exp()
-    }
-}
-
-/// A Bernoulli distribution over `{true, false}`.
-///
-/// # Examples
-///
-/// ```
-/// use neuspin_device::stats::Bernoulli;
-/// use rand::SeedableRng;
-///
-/// let b = Bernoulli::new(0.25);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-/// let _bit: bool = b.sample(&mut rng);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Bernoulli {
-    p: f64,
-}
-
-impl Bernoulli {
-    /// Creates a Bernoulli with success probability `p`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]` or not finite.
-    pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
-        Self { p }
-    }
-
-    /// Returns the success probability.
-    pub fn p(&self) -> f64 {
-        self.p
-    }
-
-    /// Draws one sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        rng.random::<f64>() < self.p
-    }
-}
+pub use rand::dist::{standard_normal, Bernoulli, Gaussian, LogNormal};
 
 /// Running mean/variance accumulator (Welford's algorithm).
 ///

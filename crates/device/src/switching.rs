@@ -17,7 +17,6 @@
 //! Scale-Drop / Arbiter random number source).
 
 use crate::mtj::MtjParams;
-use serde::{Deserialize, Serialize};
 
 /// The switching-probability model of one device instance.
 ///
@@ -36,7 +35,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(p_low < 1e-6);
 /// assert!(p_high > 0.999);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchingModel {
     thermal_stability: f64,
     critical_current: f64,

@@ -9,7 +9,6 @@
 use crate::mtj::MtjParams;
 use crate::stats::LogNormal;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Relative (log-domain) sigmas of the per-device parameter spreads.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// let dev = var.draw(&MtjParams::default(), &mut rng);
 /// assert!(dev.resistance_parallel > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// Lognormal sigma of the parallel resistance.
     pub sigma_resistance: f64,
@@ -123,7 +122,7 @@ impl Default for VariationModel {
 /// let device = corner.instantiate(&mut rng);
 /// assert!(device.params().tmr > 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VariedParams {
     /// Design-time nominal parameters.
     pub nominal: MtjParams,

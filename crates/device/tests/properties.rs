@@ -1,126 +1,186 @@
 //! Property-based invariants of the device substrate.
+//!
+//! Formerly `proptest!` suites; now deterministic seeded loops over the
+//! vendored RNG. Every case's generator is derived from `BASE`, the
+//! property's id, and the case index, so any failure names the exact
+//! seed that reproduces it.
 
 use neuspin_device::stats::{Bernoulli, Gaussian, LogNormal, Running};
 use neuspin_device::{
     DefectRates, Mtj, MtjParams, MtjState, MultiLevelCell, SwitchingModel, VariationModel,
     VariedParams,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
-fn arb_params() -> impl Strategy<Value = MtjParams> {
-    (1e3f64..1e5, 0.5f64..3.0, 20.0f64..100.0, 5e-6f64..200e-6).prop_map(
-        |(r, tmr, delta, ic)| MtjParams {
-            resistance_parallel: r,
-            tmr,
-            thermal_stability: delta,
-            critical_current: ic,
-            ..MtjParams::default()
-        },
-    )
+/// Fixed base so the whole suite replays bit-identically.
+const BASE: u64 = 0x00DE_71CE_0001;
+
+/// Sampled cases per property (the proptest default was 256 shrink-able
+/// cases; 64+ deterministic ones give at least the original coverage of
+/// the asserted invariants).
+const CASES: u64 = 96;
+
+fn case_seed(property: u64, case: u64) -> u64 {
+    BASE ^ property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.rotate_left(17)
 }
 
-proptest! {
-    #[test]
-    fn resistance_contrast_follows_tmr(params in arb_params()) {
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(case_seed(property, case))
+}
+
+fn arb_params(rng: &mut StdRng) -> MtjParams {
+    MtjParams {
+        resistance_parallel: rng.random_range(1e3f64..1e5),
+        tmr: rng.random_range(0.5f64..3.0),
+        thermal_stability: rng.random_range(20.0f64..100.0),
+        critical_current: rng.random_range(5e-6f64..200e-6),
+        ..MtjParams::default()
+    }
+}
+
+#[test]
+fn resistance_contrast_follows_tmr() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let params = arb_params(&mut rng);
         let mut mtj = Mtj::nominal(params);
         let r_p = mtj.resistance();
         mtj.set_state(MtjState::AntiParallel);
         let r_ap = mtj.resistance();
-        prop_assert!(r_ap > r_p);
-        prop_assert!((r_ap / r_p - (1.0 + params.tmr)).abs() < 1e-9);
+        let seed = case_seed(1, case);
+        assert!(r_ap > r_p, "seed {seed:#x}");
+        assert!((r_ap / r_p - (1.0 + params.tmr)).abs() < 1e-9, "seed {seed:#x}");
     }
+}
 
-    #[test]
-    fn switching_probability_always_valid(
-        params in arb_params(),
-        current_frac in 0.0f64..3.0,
-        duration in 1e-10f64..1e-5,
-    ) {
+#[test]
+fn switching_probability_always_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let params = arb_params(&mut rng);
+        let current_frac = rng.random_range(0.0f64..3.0);
+        let duration = rng.random_range(1e-10f64..1e-5);
         let m = SwitchingModel::from_params(&params);
         let p = m.probability(current_frac * params.critical_current, duration);
-        prop_assert!(p.is_finite());
-        prop_assert!((0.0..=1.0).contains(&p));
+        let seed = case_seed(2, case);
+        assert!(p.is_finite(), "seed {seed:#x}: p {p}");
+        assert!((0.0..=1.0).contains(&p), "seed {seed:#x}: p {p}");
     }
+}
 
-    #[test]
-    fn inverse_calibration_roundtrips_any_device(
-        params in arb_params(),
-        p in 0.02f64..0.98,
-    ) {
+#[test]
+fn inverse_calibration_roundtrips_any_device() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let params = arb_params(&mut rng);
+        let p = rng.random_range(0.02f64..0.98);
         let m = SwitchingModel::from_params(&params);
         let i = m.current_for_probability(p, params.pulse_width);
         let back = m.probability(i, params.pulse_width);
-        prop_assert!((back - p).abs() < 1e-6, "{p} vs {back}");
+        assert!((back - p).abs() < 1e-6, "seed {:#x}: {p} vs {back}", case_seed(3, case));
     }
+}
 
-    #[test]
-    fn variation_draws_are_always_valid_devices(
-        sigma in 0.0f64..0.5,
-        seed in 0u64..500,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn variation_draws_are_always_valid_devices() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let sigma = rng.random_range(0.0f64..0.5);
         let var = VariationModel::uniform(sigma);
         let drawn = var.draw(&MtjParams::default(), &mut rng);
-        prop_assert!(drawn.validate().is_ok());
+        assert!(
+            drawn.validate().is_ok(),
+            "seed {:#x}: sigma {sigma}: {:?}",
+            case_seed(4, case),
+            drawn.validate()
+        );
     }
+}
 
-    #[test]
-    fn mlc_levels_monotone_under_variation(
-        k in 1usize..8,
-        sigma in 0.0f64..0.05,
-        seed in 0u64..200,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn mlc_levels_monotone_under_variation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let k = rng.random_range(1usize..8);
+        let sigma = rng.random_range(0.0f64..0.05);
         let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(sigma));
         let mut cell = MultiLevelCell::new(k, corner, &mut rng);
         let mut last = f64::NEG_INFINITY;
         for level in 0..=k {
             cell.program(level);
             let g = cell.conductance();
-            prop_assert!(g > last, "level {level} must raise conductance");
+            assert!(
+                g > last,
+                "seed {:#x}: level {level} must raise conductance",
+                case_seed(5, case)
+            );
             last = g;
         }
     }
+}
 
-    #[test]
-    fn defect_rates_sum_constraint(rate in 0.0f64..0.25) {
+#[test]
+fn defect_rates_sum_constraint() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let rate = rng.random_range(0.0f64..0.25);
         let rates = DefectRates::uniform(rate);
-        prop_assert!((rates.total() - 4.0 * rate).abs() < 1e-12);
+        assert!(
+            (rates.total() - 4.0 * rate).abs() < 1e-12,
+            "seed {:#x}: rate {rate}",
+            case_seed(6, case)
+        );
     }
+}
 
-    #[test]
-    fn gaussian_samples_are_finite(mean in -1e3f64..1e3, std in 0.0f64..100.0, seed in 0u64..100) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn gaussian_samples_are_finite() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let mean = rng.random_range(-1e3f64..1e3);
+        let std = rng.random_range(0.0f64..100.0);
         let g = Gaussian::new(mean, std);
         for _ in 0..16 {
-            prop_assert!(g.sample(&mut rng).is_finite());
+            assert!(g.sample(&mut rng).is_finite(), "seed {:#x}", case_seed(7, case));
         }
     }
+}
 
-    #[test]
-    fn lognormal_samples_positive(median in 1e-6f64..1e6, sigma in 0.0f64..2.0, seed in 0u64..100) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn lognormal_samples_positive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let median = rng.random_range(1e-6f64..1e6);
+        let sigma = rng.random_range(0.0f64..2.0);
         let d = LogNormal::from_median_sigma(median, sigma);
         for _ in 0..16 {
-            prop_assert!(d.sample(&mut rng) > 0.0);
+            assert!(d.sample(&mut rng) > 0.0, "seed {:#x}", case_seed(8, case));
         }
     }
+}
 
-    #[test]
-    fn bernoulli_respects_extremes(seed in 0u64..100) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        prop_assert!(!Bernoulli::new(0.0).sample(&mut rng));
-        prop_assert!(Bernoulli::new(1.0).sample(&mut rng));
+#[test]
+fn bernoulli_respects_extremes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        assert!(!Bernoulli::new(0.0).sample(&mut rng), "seed {:#x}", case_seed(9, case));
+        assert!(Bernoulli::new(1.0).sample(&mut rng), "seed {:#x}", case_seed(9, case));
     }
+}
 
-    #[test]
-    fn running_stats_match_naive(data in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+#[test]
+fn running_stats_match_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let len = rng.random_range(2usize..50);
+        let data: Vec<f64> = (0..len).map(|_| rng.random_range(-100.0f64..100.0)).collect();
         let r: Running = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
-        prop_assert!((r.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
-        prop_assert!((r.variance() - var).abs() < 1e-6 * (1.0 + var));
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let seed = case_seed(10, case);
+        assert!((r.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()), "seed {seed:#x}");
+        assert!((r.variance() - var).abs() < 1e-6 * (1.0 + var), "seed {seed:#x}");
     }
 }

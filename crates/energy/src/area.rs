@@ -7,10 +7,9 @@
 
 use crate::network::NetworkSpec;
 use neuspin_bayes::Method;
-use serde::{Deserialize, Serialize};
 
 /// Unit areas in µm².
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// One differential binary bit-cell (two 1T-1MTJ).
     pub bitcell: f64,
@@ -40,7 +39,7 @@ impl Default for AreaModel {
 }
 
 /// Area report for one method on one network, in µm².
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaReport {
     /// Crossbar cell array.
     pub array: f64,

@@ -9,10 +9,9 @@
 use crate::network::NetworkSpec;
 use crate::profile::MethodProfile;
 use neuspin_bayes::Method;
-use serde::{Deserialize, Serialize};
 
 /// Timing constants of the CIM macro, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// One crossbar evaluation (all rows in parallel, analog settle +
     /// sense).
@@ -47,7 +46,7 @@ impl Default for LatencyModel {
 }
 
 /// Per-image latency breakdown, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyReport {
     /// Crossbar evaluation time across all layers and passes.
     pub crossbar: f64,

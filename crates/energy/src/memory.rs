@@ -3,10 +3,9 @@
 
 use crate::network::NetworkSpec;
 use neuspin_bayes::Method;
-use serde::{Deserialize, Serialize};
 
 /// Storage footprint of a method on a network, in bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryFootprint {
     /// Bits storing the weights themselves.
     pub weight_bits: u64,

@@ -3,7 +3,6 @@
 
 use neuspin_cim::OpCounter;
 use neuspin_device::DeviceEnergy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
@@ -20,7 +19,7 @@ use std::ops::{Add, AddAssign};
 /// assert_eq!(Joules(25e-15).to_string(), "25.000 fJ");
 /// assert!(((Joules(1e-9) + Joules(2e-9)).0 - 3e-9).abs() < 1e-20);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Joules(pub f64);
 
 impl Joules {
@@ -75,7 +74,7 @@ impl Sum for Joules {
 }
 
 /// Per-category energy breakdown of a counter.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Crossbar cell sensing.
     pub reads: Joules,
@@ -120,7 +119,7 @@ impl EnergyBreakdown {
 /// attempt plus a read plus a deterministic RESET — substantially more
 /// expensive than a nominal memory write. The SpinDrop-era literature
 /// puts this at a few pJ per bit; [`EnergyModel::default`] uses 3.2 pJ.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Per-event device constants.
     pub device: DeviceEnergy,

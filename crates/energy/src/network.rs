@@ -5,10 +5,9 @@
 //! and how many activations / feature maps the layer produces (the
 //! dropout-module counts).
 
-use serde::{Deserialize, Serialize};
 
 /// One mapped layer of a reference network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerSpec {
     /// Crossbar input rows (`K·K·C_in` for convs, `in_features` for FC).
     pub rows: usize,
@@ -66,7 +65,7 @@ impl LayerSpec {
 }
 
 /// A full network specification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkSpec {
     /// Network name (for reports).
     pub name: String,

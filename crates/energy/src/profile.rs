@@ -16,10 +16,9 @@ use crate::model::{EnergyBreakdown, EnergyModel, Joules};
 use crate::network::NetworkSpec;
 use neuspin_bayes::Method;
 use neuspin_cim::OpCounter;
-use serde::{Deserialize, Serialize};
 
 /// The hardware/sampling profile of one method.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MethodProfile {
     /// Monte-Carlo passes per prediction (that publication's setting).
     pub passes: usize,
@@ -36,7 +35,7 @@ pub struct MethodProfile {
 }
 
 /// What one RNG decision covers for a method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RngUnit {
     /// No stochastic unit (deterministic baseline).
     None,
@@ -137,7 +136,7 @@ impl MethodProfile {
 }
 
 /// A full per-method energy estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyEstimate {
     /// The method estimated.
     pub method: Method,

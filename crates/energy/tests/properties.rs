@@ -1,4 +1,9 @@
 //! Property-based invariants of the energy/area/memory models.
+//!
+//! Formerly `proptest!` suites; now deterministic seeded loops over the
+//! vendored RNG. Every case's generator is derived from `BASE`, the
+//! property's id, and the case index, so any failure names the exact
+//! seed that reproduces it.
 
 use neuspin_bayes::Method;
 use neuspin_cim::OpCounter;
@@ -6,113 +11,182 @@ use neuspin_energy::{
     estimate_method_energy, estimate_method_latency, memory_footprint, method_area, AreaModel,
     EnergyModel, LatencyModel, LayerSpec, NetworkSpec,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn arb_counter() -> impl Strategy<Value = OpCounter> {
-    (
-        0u64..1_000_000,
-        0u64..1_000,
-        0u64..10_000,
-        0u64..10_000,
-        0u64..100_000,
-        0u64..10_000,
-        0u64..10_000,
-    )
-        .prop_map(|(r, w, sa, adc, rng, sram, dig)| OpCounter {
-            cell_reads: r,
-            cell_writes: w,
-            sa_evals: sa,
-            adc_converts: adc,
-            rng_bits: rng,
-            sram_accesses: sram,
-            digital_ops: dig,
-        })
+/// Fixed base so the whole suite replays bit-identically.
+const BASE: u64 = 0xE4E2_0004;
+
+/// Sampled cases per property.
+const CASES: u64 = 96;
+
+fn case_seed(property: u64, case: u64) -> u64 {
+    BASE ^ property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.rotate_left(17)
 }
 
-fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
-    proptest::collection::vec((1usize..32, 1usize..32, 1usize..5), 1..5).prop_map(|layers| {
-        NetworkSpec {
-            name: "arb".to_string(),
-            layers: layers
-                .into_iter()
-                .map(|(cin, cout, k)| LayerSpec::conv(cin, cout, k, 8))
-                .collect(),
-        }
-    })
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(case_seed(property, case))
 }
 
-proptest! {
-    #[test]
-    fn energy_is_additive_over_counters(a in arb_counter(), b in arb_counter()) {
+/// Mirrors the old proptest `arb_counter` strategy.
+fn arb_counter(rng: &mut StdRng) -> OpCounter {
+    OpCounter {
+        cell_reads: rng.random_range(0u64..1_000_000),
+        cell_writes: rng.random_range(0u64..1_000),
+        sa_evals: rng.random_range(0u64..10_000),
+        adc_converts: rng.random_range(0u64..10_000),
+        rng_bits: rng.random_range(0u64..100_000),
+        sram_accesses: rng.random_range(0u64..10_000),
+        digital_ops: rng.random_range(0u64..10_000),
+    }
+}
+
+/// Mirrors the old proptest `arb_spec` strategy: 1–4 conv layers with
+/// channel counts in [1, 32) and kernels in [1, 5).
+fn arb_spec(rng: &mut StdRng) -> NetworkSpec {
+    let n_layers = rng.random_range(1usize..5);
+    NetworkSpec {
+        name: "arb".to_string(),
+        layers: (0..n_layers)
+            .map(|_| {
+                let cin = rng.random_range(1usize..32);
+                let cout = rng.random_range(1usize..32);
+                let k = rng.random_range(1usize..5);
+                LayerSpec::conv(cin, cout, k, 8)
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn energy_is_additive_over_counters() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let a = arb_counter(&mut rng);
+        let b = arb_counter(&mut rng);
         let model = EnergyModel::default();
         let mut merged = a;
         merged.merge(&b);
         let sum = model.energy_of(&a).0 + model.energy_of(&b).0;
-        prop_assert!((model.energy_of(&merged).0 - sum).abs() < 1e-18 * (1.0 + sum.abs()));
+        assert!(
+            (model.energy_of(&merged).0 - sum).abs() < 1e-18 * (1.0 + sum.abs()),
+            "seed {:#x}",
+            case_seed(1, case)
+        );
     }
+}
 
-    #[test]
-    fn energy_is_monotone_in_counts(a in arb_counter(), extra in arb_counter()) {
+#[test]
+fn energy_is_monotone_in_counts() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = arb_counter(&mut rng);
+        let extra = arb_counter(&mut rng);
         let model = EnergyModel::default();
         let mut bigger = a;
         bigger.merge(&extra);
-        prop_assert!(model.energy_of(&bigger).0 >= model.energy_of(&a).0);
+        assert!(
+            model.energy_of(&bigger).0 >= model.energy_of(&a).0,
+            "seed {:#x}",
+            case_seed(2, case)
+        );
     }
+}
 
-    #[test]
-    fn breakdown_totals_consistent(c in arb_counter()) {
+#[test]
+fn breakdown_totals_consistent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let c = arb_counter(&mut rng);
         let model = EnergyModel::default();
         let b = model.breakdown(&c);
         let entries: f64 = b.entries().iter().map(|(_, j)| j.0).sum();
-        prop_assert!((entries - b.total().0).abs() < 1e-18 * (1.0 + entries));
+        assert!(
+            (entries - b.total().0).abs() < 1e-18 * (1.0 + entries),
+            "seed {:#x}",
+            case_seed(3, case)
+        );
     }
+}
 
-    #[test]
-    fn method_estimates_positive_and_finite(spec in arb_spec()) {
+#[test]
+fn method_estimates_positive_and_finite() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let spec = arb_spec(&mut rng);
         for method in Method::ALL {
             let e = estimate_method_energy(&spec, method);
-            prop_assert!(e.per_image.0.is_finite());
-            prop_assert!(e.per_image.0 > 0.0);
+            let seed = case_seed(4, case);
+            assert!(e.per_image.0.is_finite(), "seed {seed:#x}: {method}");
+            assert!(e.per_image.0 > 0.0, "seed {seed:#x}: {method}");
         }
     }
+}
 
-    #[test]
-    fn bayesian_methods_cost_more_than_deterministic(spec in arb_spec()) {
+#[test]
+fn bayesian_methods_cost_more_than_deterministic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let spec = arb_spec(&mut rng);
         let det = estimate_method_energy(&spec, Method::Deterministic).per_image.0;
         for method in Method::ALL {
             if method.is_bayesian() {
-                prop_assert!(
+                assert!(
                     estimate_method_energy(&spec, method).per_image.0 > det,
-                    "{method}"
+                    "seed {:#x}: {method}",
+                    case_seed(5, case)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn memory_footprints_positive(spec in arb_spec()) {
+#[test]
+fn memory_footprints_positive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let spec = arb_spec(&mut rng);
         for method in Method::ALL {
             let m = memory_footprint(&spec, method);
-            prop_assert!(m.total_bits() > 0);
-            prop_assert!(m.kilobytes() > 0.0);
+            let seed = case_seed(6, case);
+            assert!(m.total_bits() > 0, "seed {seed:#x}: {method}");
+            assert!(m.kilobytes() > 0.0, "seed {seed:#x}: {method}");
         }
     }
+}
 
-    #[test]
-    fn area_reports_finite_positive(spec in arb_spec()) {
+#[test]
+fn area_reports_finite_positive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let spec = arb_spec(&mut rng);
         let model = AreaModel::default();
         for method in Method::ALL {
             let a = method_area(&spec, method, &model);
-            prop_assert!(a.total().is_finite() && a.total() > 0.0, "{method}");
+            assert!(
+                a.total().is_finite() && a.total() > 0.0,
+                "seed {:#x}: {method}",
+                case_seed(7, case)
+            );
         }
     }
+}
 
-    #[test]
-    fn latency_totals_scale_with_passes(spec in arb_spec()) {
+#[test]
+fn latency_totals_scale_with_passes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let spec = arb_spec(&mut rng);
         let model = LatencyModel::default();
         let det = estimate_method_latency(&spec, Method::Deterministic, &model);
         let sd = estimate_method_latency(&spec, Method::SpinDrop, &model);
         // 100 passes vs 1 pass: at least 50× the crossbar time.
-        prop_assert!(sd.crossbar > 50.0 * det.crossbar);
+        assert!(
+            sd.crossbar > 50.0 * det.crossbar,
+            "seed {:#x}: {} vs {}",
+            case_seed(8, case),
+            sd.crossbar,
+            det.crossbar
+        );
     }
 }

@@ -137,6 +137,7 @@ impl Layer for BatchNorm {
         let mut xhat = Tensor::zeros(input.shape());
         let mut out = Tensor::zeros(input.shape());
         for ni in 0..n {
+            #[allow(clippy::needless_range_loop)] // fi indexes four arrays plus idx()
             for fi in 0..f {
                 for si in 0..spatial {
                     let i = idx(ni, fi, si);

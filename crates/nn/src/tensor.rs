@@ -6,7 +6,6 @@
 //! This module provides exactly that, with shape checks that panic early
 //! and loudly (shape errors are programming errors, not runtime inputs).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Index, IndexMut, Mul, Neg, Sub};
 
@@ -24,7 +23,7 @@ use std::ops::{Add, Div, Index, IndexMut, Mul, Neg, Sub};
 /// let d = a.matmul(&b);
 /// assert_eq!(d.as_slice(), &[3.0, 3.0, 7.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,

@@ -1,71 +1,119 @@
 //! Property-based invariants of the tensor / layer framework.
+//!
+//! Formerly `proptest!` suites; now deterministic seeded loops over the
+//! vendored RNG. Every case's generator is derived from `BASE`, the
+//! property's id, and the case index, so any failure names the exact
+//! seed that reproduces it.
 
 use neuspin_nn::{
     cross_entropy, im2col, mse, softmax, BinaryLinear, ConvGeometry, Layer, Linear, Mode, Relu,
     Tensor,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
-fn small_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-5.0f32..5.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+/// Fixed base so the whole suite replays bit-identically.
+const BASE: u64 = 0x7E25_0003;
+
+/// Sampled cases per property.
+const CASES: u64 = 96;
+
+fn case_seed(property: u64, case: u64) -> u64 {
+    BASE ^ property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.rotate_left(17)
 }
 
-proptest! {
-    #[test]
-    fn matmul_respects_identity(t in small_tensor(4, 4)) {
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(case_seed(property, case))
+}
+
+/// Mirrors the old proptest `small_tensor` strategy: entries in [-5, 5).
+fn small_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let v: Vec<f32> = (0..rows * cols).map(|_| rng.random_range(-5.0f32..5.0)).collect();
+    Tensor::from_vec(v, &[rows, cols])
+}
+
+#[test]
+fn matmul_respects_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let t = small_tensor(&mut rng, 4, 4);
         let eye = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
         let out = t.matmul(&eye);
         for (a, b) in out.as_slice().iter().zip(t.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5, "seed {:#x}", case_seed(1, case));
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involution(t in small_tensor(3, 5)) {
-        prop_assert_eq!(t.transpose().transpose(), t);
+#[test]
+fn transpose_is_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let t = small_tensor(&mut rng, 3, 5);
+        assert_eq!(t.transpose().transpose(), t, "seed {:#x}", case_seed(2, case));
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(a in small_tensor(3, 4), b in small_tensor(4, 2)) {
+#[test]
+fn matmul_transpose_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = small_tensor(&mut rng, 3, 4);
+        let b = small_tensor(&mut rng, 4, 2);
         // (A·B)ᵀ == Bᵀ·Aᵀ
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         let diff = (&lhs - &rhs).map(f32::abs).max();
-        prop_assert!(diff < 1e-4);
+        assert!(diff < 1e-4, "seed {:#x}: diff {diff}", case_seed(3, case));
     }
+}
 
-    #[test]
-    fn softmax_preserves_argmax(t in small_tensor(2, 6)) {
+#[test]
+fn softmax_preserves_argmax() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let t = small_tensor(&mut rng, 2, 6);
         let p = softmax(&t);
-        prop_assert_eq!(p.argmax_rows(), t.argmax_rows());
+        assert_eq!(p.argmax_rows(), t.argmax_rows(), "seed {:#x}", case_seed(4, case));
     }
+}
 
-    #[test]
-    fn cross_entropy_is_nonnegative(t in small_tensor(3, 4), labels in proptest::collection::vec(0usize..4, 3)) {
+#[test]
+fn cross_entropy_is_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let t = small_tensor(&mut rng, 3, 4);
+        let labels: Vec<usize> = (0..3).map(|_| rng.random_range(0usize..4)).collect();
         let (loss, grad) = cross_entropy(&t, &labels);
-        prop_assert!(loss >= 0.0);
-        prop_assert!(grad.all_finite());
+        let seed = case_seed(5, case);
+        assert!(loss >= 0.0, "seed {seed:#x}: loss {loss}");
+        assert!(grad.all_finite(), "seed {seed:#x}");
         // Gradient rows sum to ~0 (softmax simplex tangent).
         for i in 0..3 {
             let s: f32 = grad.row(i).iter().sum();
-            prop_assert!(s.abs() < 1e-5);
+            assert!(s.abs() < 1e-5, "seed {seed:#x}: row {i} sums to {s}");
         }
     }
+}
 
-    #[test]
-    fn mse_zero_iff_equal(t in small_tensor(2, 3)) {
+#[test]
+fn mse_zero_iff_equal() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let t = small_tensor(&mut rng, 2, 3);
         let (loss, grad) = mse(&t, &t);
-        prop_assert_eq!(loss, 0.0);
-        prop_assert_eq!(grad.sum(), 0.0);
+        let seed = case_seed(6, case);
+        assert_eq!(loss, 0.0, "seed {seed:#x}");
+        assert_eq!(grad.sum(), 0.0, "seed {seed:#x}");
     }
+}
 
-    #[test]
-    fn linear_layer_is_affine(seed in 0u64..200, scale in 0.25f32..4.0) {
+#[test]
+fn linear_layer_is_affine() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let scale = rng.random_range(0.25f32..4.0);
         // f(s·x) − f(0) == s·(f(x) − f(0)).
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut layer = Linear::new(5, 3, &mut rng);
         let x = Tensor::from_fn(&[1, 5], |i| ((i as f32) - 2.0) / 2.0);
         let zero = Tensor::zeros(&[1, 5]);
@@ -76,14 +124,20 @@ proptest! {
         for j in 0..3 {
             let lhs = fsx[j] - f0[j];
             let rhs = scale * (fx[j] - f0[j]);
-            prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "seed {:#x}: {lhs} vs {rhs}",
+                case_seed(7, case)
+            );
         }
     }
+}
 
-    #[test]
-    fn binary_linear_outputs_bounded_by_alpha_sum(seed in 0u64..200) {
+#[test]
+fn binary_linear_outputs_bounded_by_alpha_sum() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
         // |y_j − b_j| ≤ α_j · Σ|x| for binarized weights.
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut layer = BinaryLinear::new(6, 2, &mut rng);
         let x = Tensor::from_fn(&[1, 6], |i| ((i * 7 % 5) as f32 - 2.0) / 2.0);
         let y = layer.forward(&x, Mode::Eval, &mut rng);
@@ -91,29 +145,41 @@ proptest! {
         let l1: f32 = x.as_slice().iter().map(|v| v.abs()).sum();
         for j in 0..2 {
             let bound = alphas[j] * l1 + layer.bias()[j].abs() + 1e-4;
-            prop_assert!(y[j].abs() <= bound, "{} > {}", y[j].abs(), bound);
+            assert!(
+                y[j].abs() <= bound,
+                "seed {:#x}: {} > {}",
+                case_seed(8, case),
+                y[j].abs(),
+                bound
+            );
         }
     }
+}
 
-    #[test]
-    fn relu_is_idempotent(t in small_tensor(2, 8)) {
-        let mut rng = StdRng::seed_from_u64(0);
+#[test]
+fn relu_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let t = small_tensor(&mut rng, 2, 8);
         let mut relu = Relu::new();
         let once = relu.forward(&t, Mode::Eval, &mut rng);
         let twice = relu.forward(&once, Mode::Eval, &mut rng);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {:#x}", case_seed(9, case));
     }
+}
 
-    #[test]
-    fn im2col_preserves_total_energy_1x1(seed in 0u64..100) {
+#[test]
+fn im2col_preserves_total_energy_1x1() {
+    for case in 0..CASES {
         // A 1×1 kernel im2col is a permutation: same multiset of values.
-        let x = Tensor::from_fn(&[1, 3, 4, 4], |i| ((i as u64 * 37 + seed) % 101) as f32);
-        let geo = ConvGeometry { in_channels: 3, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+        let x = Tensor::from_fn(&[1, 3, 4, 4], |i| ((i as u64 * 37 + case) % 101) as f32);
+        let geo =
+            ConvGeometry { in_channels: 3, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
         let col = im2col(&x, &geo);
         let mut a: Vec<i64> = x.as_slice().iter().map(|v| *v as i64).collect();
         let mut b: Vec<i64> = col.as_slice().iter().map(|v| *v as i64).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

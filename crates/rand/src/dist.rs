@@ -1,0 +1,330 @@
+//! Self-contained probability distributions.
+//!
+//! Uniform, Gaussian (Box–Muller), lognormal, and Bernoulli sampling on
+//! top of the [`Rng`] trait. These are *the* implementations for the
+//! whole workspace — `neuspin-device`'s `stats` module re-exports them —
+//! so every stochastic mechanism in the NeuSpin reproduction draws from
+//! one pinned, bit-reproducible sampling path.
+
+use crate::rng::{Random, Rng, RngExt, SampleRange};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws `n` values into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The standard distribution of `T` (what [`RngExt::random`] draws).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Standard;
+
+impl<T: Random> Distribution<T> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        rng.random()
+    }
+}
+
+/// A uniform distribution over a half-open range `[low, high)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::dist::{Distribution, Uniform};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let d = Uniform::new(10.0, 20.0);
+/// let x = d.sample(&mut rng);
+/// assert!((10.0..20.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform requires low < high");
+        Self { low, high }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn low(&self) -> T {
+        self.low
+    }
+
+    /// Upper bound (exclusive).
+    pub fn high(&self) -> T {
+        self.high
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy,
+    core::ops::Range<T>: SampleRange<T>,
+{
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        rng.random_range(self.low..self.high)
+    }
+}
+
+/// Draws a standard-normal variate via Box–Muller.
+///
+/// Consumes exactly **two** uniform draws per call, which keeps the RNG
+/// stream position predictable — a property the determinism tests rely
+/// on. (A Ziggurat sampler would be faster but consumes a data-dependent
+/// number of draws; predictability wins here.)
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A Gaussian (normal) distribution `N(mean, std²)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::dist::Gaussian;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let g = Gaussian::new(1.0, 0.1);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = g.sample(&mut rng);
+/// assert!((x - 1.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0, got {std}");
+        Self { mean, std }
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Returns the mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Returns the standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Draws one sample (two uniform draws, always).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Gaussian::sample(self, rng)
+    }
+}
+
+/// A lognormal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used for device-to-device resistance and thermal-stability variation,
+/// which are multiplicative in nature (a device is "x % off nominal").
+///
+/// # Examples
+///
+/// ```
+/// use rand::dist::LogNormal;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Median 5 kΩ, 10 % relative sigma.
+/// let d = LogNormal::from_median_sigma(5_000.0, 0.10);
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let r = d.sample(&mut rng);
+/// assert!(r > 2_000.0 && r < 12_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// Creates a lognormal whose *median* is `median` and whose
+    /// log-domain standard deviation is `sigma` (≈ relative spread for
+    /// small `sigma`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn from_median_sigma(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Returns the median (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Returns the log-domain sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        LogNormal::sample(self, rng)
+    }
+}
+
+/// A Bernoulli distribution over `{true, false}`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::dist::Bernoulli;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let b = Bernoulli::new(0.25);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let _bit: bool = b.sample(&mut rng);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        Self { p }
+    }
+
+    /// Returns the success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample (one uniform draw, always).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random::<f64>() < self.p
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        Bernoulli::sample(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{SeedableRng, StdRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn gaussian_consumes_exactly_two_draws() {
+        let g = Gaussian::standard();
+        let mut a = rng();
+        let mut b = rng();
+        let _ = g.sample(&mut a);
+        b.next_u64();
+        b.next_u64();
+        assert_eq!(a, b, "Gaussian::sample must advance the stream by exactly 2 words");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let d = Uniform::new(-2.0f64, 3.0);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut r);
+            assert!((-2.0..3.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn uniform_integer_covers_domain() {
+        let mut r = rng();
+        let d = Uniform::new(0usize, 4);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[d.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn uniform_rejects_empty() {
+        let _ = Uniform::new(1.0f64, 1.0);
+    }
+
+    #[test]
+    fn distribution_trait_objects_compose() {
+        let mut r = rng();
+        let samples = Gaussian::new(2.0, 0.5).sample_n(32, &mut r);
+        assert_eq!(samples.len(), 32);
+        assert!(samples.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,52 @@
+//! # `rand` — the workspace's vendored deterministic RNG subsystem
+//!
+//! This crate is **not** the crates.io `rand`: it is a small,
+//! dependency-free, bit-reproducible pseudo-random subsystem owned by
+//! the NeuSpin workspace, published under the same name so that the
+//! `use rand::...` call sites across all eight crates work unchanged.
+//!
+//! Why vendor it? Every stochastic mechanism in the paper reproduction
+//! — SpinDrop's MTJ dropout sampling, Scale-Dropout's stochastic scale
+//! vectors, device variation draws, Monte-Carlo passes — is derived
+//! from seeded PRNG streams, and the experiment suite asserts
+//! *bit-identical* replay from a seed. Owning the generator outright
+//! means:
+//!
+//! * **zero external dependencies** — the workspace builds offline;
+//! * **a pinned stream** — upstream `rand` explicitly reserves the
+//!   right to change `StdRng`'s algorithm between versions, which would
+//!   silently invalidate every golden number in `EXPERIMENTS.md`;
+//! * **a predictable draw count** — samplers document exactly how many
+//!   words they consume, so stream positions can be reasoned about.
+//!
+//! ## Algorithms
+//!
+//! * [`SplitMix64`] expands a single `u64` seed into full generator
+//!   state (and is itself a valid, if small, generator).
+//! * [`Xoshiro256PlusPlus`] (xoshiro256++) is the workhorse behind
+//!   [`rngs::StdRng`]: 256-bit state, period 2²⁵⁶ − 1, passes BigCrush,
+//!   ~0.8 ns/word. Verified against the upstream `rand_xoshiro`
+//!   reference vector in this crate's tests.
+//! * [`dist`] layers uniform / Gaussian (Box–Muller) / lognormal /
+//!   Bernoulli sampling on top.
+//!
+//! ## API surface
+//!
+//! The shim intentionally mirrors the subset of the real `rand` API the
+//! workspace uses: [`SeedableRng::seed_from_u64`], [`Rng`] as the core
+//! word source, and [`RngExt`] for typed draws
+//! ([`random`](RngExt::random), [`random_range`](RngExt::random_range),
+//! [`random_bool`](RngExt::random_bool)).
+
+pub mod dist;
+pub mod rng;
+
+pub use rng::{
+    uniform_u64_below, Random, Rng, RngExt, SampleRange, SeedableRng, SplitMix64,
+    Xoshiro256PlusPlus,
+};
+
+/// Named generators (mirrors the upstream `rand::rngs` module path).
+pub mod rngs {
+    pub use crate::rng::{SplitMix64, StdRng, Xoshiro256PlusPlus};
+}

@@ -1,0 +1,629 @@
+//! Generators and the `Rng`/`RngExt`/`SeedableRng` trait surface.
+//!
+//! Two algorithms, both public-domain reference designs by Blackman &
+//! Vigna (<https://prng.di.unimi.it/>):
+//!
+//! * [`SplitMix64`] — a 64-bit state-increment generator used purely as
+//!   a seed expander. It is guaranteed never to emit the same value for
+//!   two different seeds within one stream, which makes it the standard
+//!   way to fill a larger generator's state from one `u64` seed.
+//! * [`Xoshiro256PlusPlus`] — the workspace's workhorse generator
+//!   (period 2²⁵⁶ − 1, passes BigCrush). [`StdRng`] is a thin wrapper
+//!   around it so the workspace's `StdRng::seed_from_u64(seed)` call
+//!   sites pin an algorithm *we* own: the stream for any seed is fixed
+//!   forever, independent of upstream crate or toolchain versions.
+
+/// The SplitMix64 seed expander.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(0);
+/// assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates an expander starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produces the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// The xoshiro256++ generator (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period 2²⁵⁶ − 1; the `++` output scrambler makes
+/// all 64 output bits full-quality (unlike `+`, whose low bits are an
+/// LFSR). The all-zero state is the one fixed point of the transition
+/// and is remapped at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Builds a generator directly from four state words.
+    ///
+    /// An all-zero state (the degenerate fixed point) is replaced by the
+    /// SplitMix64 expansion of 0, matching [`SeedableRng::seed_from_u64`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return <Self as SeedableRng>::seed_from_u64(0);
+        }
+        Self { s }
+    }
+
+    /// The raw state words (for serialization / inspection).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Produces the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Advances the state by 2¹²⁸ steps in O(1), yielding a stream that
+    /// will not overlap the original for 2¹²⁸ draws — the standard way
+    /// to carve independent parallel substreams out of one seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s = [0u64; 4];
+        for word in JUMP {
+            for bit in 0..64 {
+                if (word >> bit) & 1 == 1 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s == [0; 4] {
+            // Degenerate fixed point: expand instead, as seed_from_u64(0)
+            // would.
+            let mut sm = SplitMix64::new(0);
+            for word in &mut s {
+                *word = sm.next_u64();
+            }
+        }
+        Self { s }
+    }
+}
+
+/// The workspace's default deterministic generator.
+///
+/// A wrapper around [`Xoshiro256PlusPlus`] under the name every call
+/// site already uses. Unlike upstream `rand`, the algorithm behind this
+/// alias is **pinned**: `StdRng::seed_from_u64(s)` yields the same
+/// stream on every platform, forever.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{RngExt, SeedableRng};
+///
+/// let mut a = StdRng::seed_from_u64(42);
+/// let mut b = StdRng::seed_from_u64(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256PlusPlus);
+
+impl StdRng {
+    /// Splits off an independent substream (state jump of 2¹²⁸): the
+    /// parent and child streams are guaranteed non-overlapping for any
+    /// realistic draw count.
+    pub fn split(&mut self) -> StdRng {
+        let child = self.0.clone();
+        self.0.jump();
+        StdRng(child)
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(Xoshiro256PlusPlus::from_seed(seed))
+    }
+}
+
+/// A source of uniformly random 64-bit words.
+///
+/// The one required method is [`next_u64`](Rng::next_u64); everything
+/// else (typed draws, ranges, Bernoulli bits) lives on the blanket
+/// extension trait [`RngExt`].
+pub trait Rng {
+    /// Produces the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produces 32 uniformly random bits (the *upper* half of
+    /// [`next_u64`](Rng::next_u64), which for `++`-scrambled xoshiro are
+    /// the strongest bits).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Typed convenience draws, blanket-implemented for every [`Rng`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{RngExt, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x: f64 = rng.random();
+/// assert!((0.0..1.0).contains(&x));
+/// let k = rng.random_range(10..20);
+/// assert!((10..20).contains(&k));
+/// let _coin = rng.random_bool(0.5);
+/// ```
+pub trait RngExt: Rng {
+    /// Draws a value of type `T` from its standard distribution:
+    /// uniform over all values for integers, uniform in `[0, 1)` for
+    /// floats, a fair coin for `bool`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
+        self.random::<f64>() < p
+    }
+
+    /// Fills a slice with standard draws.
+    fn fill<T: Random>(&mut self, dest: &mut [T]) {
+        for slot in dest {
+            *slot = self.random();
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64`, expanded through
+    /// [`SplitMix64`] — the workspace's canonical seeding path.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types drawable from a standard distribution via [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draws one value.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Truncation of the (full-quality) low bits.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+impl Random for u128 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                <$u as Random>::random_from(rng) as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl Random for bool {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Sign bit of the output word.
+        (rng.next_u64() >> 63) == 1
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of mantissa entropy
+    /// (`2⁻²⁴`-spaced grid — every value exactly representable).
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of mantissa entropy.
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform draw of a `u64` in `[0, n)` by Lemire's widening-multiply
+/// rejection method — unbiased, and needs no division in the common
+/// accept path.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    let mut lo = m as u64;
+    if lo < n {
+        // Threshold (2⁶⁴ mod n) below which the bucket is over-full.
+        let t = n.wrapping_neg() % n;
+        while lo < t {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let offset = uniform_u64_below(rng, span) as $u;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX || span.wrapping_add(1) == 0 {
+                    // Full 64-bit domain: every value is fair game.
+                    return <$t as Random>::random_from(rng);
+                }
+                let offset = uniform_u64_below(rng, span + 1) as $u;
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start.is_finite() && self.end.is_finite() && self.start < self.end,
+                    "cannot sample from empty or non-finite float range"
+                );
+                let u: $t = Random::random_from(rng);
+                // Clamp guards the (measure-zero) rounding case u*(b-a)+a == b.
+                let x = self.start + u * (self.end - self.start);
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the upstream `rand_xoshiro` crate for
+    /// xoshiro256++ seeded with state words `[1, 2, 3, 4]`.
+    #[test]
+    fn xoshiro256pp_matches_reference_vector() {
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), want, "output {i}");
+        }
+    }
+
+    /// Well-known SplitMix64 outputs for seed 0.
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let mut rng = Xoshiro256PlusPlus::from_state([0; 4]);
+        // Must not be stuck at the all-zero fixed point.
+        assert!((0..4).any(|_| rng.next_u64() != 0));
+        assert_eq!(
+            Xoshiro256PlusPlus::from_state([0; 4]),
+            Xoshiro256PlusPlus::seed_from_u64(0)
+        );
+    }
+
+    #[test]
+    fn float_draws_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            let a = rng.random_range(3..17usize);
+            assert!((3..17).contains(&a));
+            let b = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&b));
+            let c = rng.random_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn range_draws_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let draws: Vec<u8> = (0..2_000).map(|_| rng.random_range(0..=3u8)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&3));
+        assert!(draws.iter().all(|&d| d <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let _ = rng.random_range(5..5usize);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefix() {
+        let mut base = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let a: Vec<u64> = (0..32).map(|_| base.next_u64()).collect();
+        let mut jumped = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        jumped.jump();
+        let b: Vec<u64> = (0..32).map(|_| jumped.next_u64()).collect();
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn split_children_are_independent() {
+        let mut parent = StdRng::seed_from_u64(99);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let a: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn works_through_mut_references_and_unsized() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let via_ref = draw(&mut rng);
+        assert!((0.0..1.0).contains(&via_ref));
+        let dynamic: &mut StdRng = &mut rng;
+        let _ = draw(dynamic);
+    }
+}

@@ -8,9 +8,7 @@
 
 use neuspin::bayes::{mc_predict, ViScale};
 use neuspin::data::moons::two_moons;
-use neuspin::nn::{
-    cross_entropy, Adam, Layer, Linear, Mode, Optimizer, Relu, Sequential, Tensor,
-};
+use neuspin::nn::{cross_entropy, Adam, Linear, Mode, Optimizer, Relu, Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

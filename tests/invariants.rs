@@ -1,113 +1,169 @@
-//! Property-based invariants spanning the workspace (proptest).
+//! Property-based invariants spanning the workspace.
+//!
+//! Formerly `proptest!` suites; now deterministic seeded loops over the
+//! vendored RNG. Every case's generator is derived from `BASE`, the
+//! property's id, and the case index, so any failure names the exact
+//! seed that reproduces it.
 
 use neuspin::bayes::quantize;
 use neuspin::cim::{Adc, Crossbar, CrossbarConfig};
 use neuspin::device::{MtjParams, SwitchingModel};
 use neuspin::nn::{softmax, Tensor};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    #[test]
-    fn switching_probability_is_a_probability(
-        current in 0.0f64..200e-6,
-        duration in 0.0f64..1e-6,
-    ) {
+/// Fixed base so the whole suite replays bit-identically.
+const BASE: u64 = 0x14FA_0005;
+
+/// Sampled cases per property.
+const CASES: u64 = 96;
+
+fn case_seed(property: u64, case: u64) -> u64 {
+    BASE ^ property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.rotate_left(17)
+}
+
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(case_seed(property, case))
+}
+
+#[test]
+fn switching_probability_is_a_probability() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let current = rng.random_range(0.0f64..200e-6);
+        let duration = rng.random_range(0.0f64..1e-6);
         let m = SwitchingModel::from_params(&MtjParams::default());
         let p = m.probability(current, duration);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(p.is_finite());
+        let seed = case_seed(1, case);
+        assert!((0.0..=1.0).contains(&p), "seed {seed:#x}: p {p}");
+        assert!(p.is_finite(), "seed {seed:#x}: p {p}");
     }
+}
 
-    #[test]
-    fn switching_probability_monotone_in_current(
-        base in 1e-6f64..100e-6,
-        delta in 0.0f64..50e-6,
-    ) {
+#[test]
+fn switching_probability_monotone_in_current() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let base = rng.random_range(1e-6f64..100e-6);
+        let delta = rng.random_range(0.0f64..50e-6);
         let m = SwitchingModel::from_params(&MtjParams::default());
         let t = 10e-9;
-        prop_assert!(m.probability(base + delta, t) >= m.probability(base, t));
+        assert!(
+            m.probability(base + delta, t) >= m.probability(base, t),
+            "seed {:#x}",
+            case_seed(2, case)
+        );
     }
+}
 
-    #[test]
-    fn calibration_inverse_roundtrips(p in 0.01f64..0.99) {
+#[test]
+fn calibration_inverse_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let p = rng.random_range(0.01f64..0.99);
         let m = SwitchingModel::from_params(&MtjParams::default());
         let i = m.current_for_probability(p, 10e-9);
         let back = m.probability(i, 10e-9);
-        prop_assert!((back - p).abs() < 1e-6, "p {p} → {back}");
+        assert!((back - p).abs() < 1e-6, "seed {:#x}: p {p} → {back}", case_seed(3, case));
     }
+}
 
-    #[test]
-    fn adc_quantization_error_bounded(
-        bits in 2u32..10,
-        x in -100.0f64..100.0,
-    ) {
+#[test]
+fn adc_quantization_error_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let bits = rng.random_range(2u32..10);
+        let x = rng.random_range(-100.0f64..100.0);
         let adc = Adc::new(bits, 50.0);
         let q = adc.quantize(x);
         let clipped = x.clamp(-50.0, 50.0);
-        prop_assert!((q - clipped).abs() <= adc.step() / 2.0 + 1e-9);
+        assert!(
+            (q - clipped).abs() <= adc.step() / 2.0 + 1e-9,
+            "seed {:#x}: x {x} q {q}",
+            case_seed(4, case)
+        );
     }
+}
 
-    #[test]
-    fn weight_quantization_bounded_and_idempotent(
-        w in -3.0f32..3.0,
-        levels in 2usize..64,
-    ) {
+#[test]
+fn weight_quantization_bounded_and_idempotent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let w = rng.random_range(-3.0f32..3.0);
+        let levels = rng.random_range(2usize..64);
         let q = quantize(w, levels, 1.0);
-        prop_assert!((-1.0..=1.0).contains(&q));
+        let seed = case_seed(5, case);
+        assert!((-1.0..=1.0).contains(&q), "seed {seed:#x}: q {q}");
         let qq = quantize(q, levels, 1.0);
-        prop_assert!((q - qq).abs() < 1e-6, "quantization must be idempotent");
+        assert!((q - qq).abs() < 1e-6, "seed {seed:#x}: quantization must be idempotent");
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(data in proptest::collection::vec(-20.0f32..20.0, 12)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let data: Vec<f32> = (0..12).map(|_| rng.random_range(-20.0f32..20.0)).collect();
         let t = Tensor::from_vec(data, &[3, 4]);
         let p = softmax(&t);
+        let seed = case_seed(6, case);
         for i in 0..3 {
             let row_sum: f32 = p.row(i).iter().sum();
-            prop_assert!((row_sum - 1.0).abs() < 1e-4);
-            prop_assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((row_sum - 1.0).abs() < 1e-4, "seed {seed:#x}: row {i} sums to {row_sum}");
+            assert!(
+                p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "seed {seed:#x}: row {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ideal_crossbar_mvm_is_linear(
-        seed in 0u64..1000,
-        scale in 0.1f32..4.0,
-    ) {
+#[test]
+fn ideal_crossbar_mvm_is_linear() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let scale = rng.random_range(0.1f32..4.0);
         // f(a·x) == a·f(x) for an ideal (noise-free, no-ADC) crossbar.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let w: Vec<f32> = (0..24).map(|i| if (i * 7 + seed as usize) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let w: Vec<f32> = (0..24)
+            .map(|i| if (i * 7 + case as usize).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
         let mut xbar = Crossbar::program(&w, 6, 4, &CrossbarConfig::ideal(), &mut rng);
         let x: Vec<f32> = (0..6).map(|i| ((i as f32) - 2.5) / 3.0).collect();
         let y1 = xbar.matvec(&x, &mut rng);
         let xs: Vec<f32> = x.iter().map(|v| v * scale).collect();
         let y2 = xbar.matvec(&xs, &mut rng);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a * scale as f64 - b).abs() < 1e-4, "{a} {b}");
+            assert!(
+                (a * scale as f64 - b).abs() < 1e-4,
+                "seed {:#x}: {a} {b}",
+                case_seed(7, case)
+            );
         }
     }
+}
 
-    #[test]
-    fn tensor_matmul_distributes_over_addition(
-        seed in 0u64..500,
-    ) {
+#[test]
+fn tensor_matmul_distributes_over_addition() {
+    for case in 0..CASES {
         let mk = |s: u64, shape: &[usize]| {
-            Tensor::from_fn(shape, |i| (((i as u64 * 2654435761 + s) % 1000) as f32 / 500.0) - 1.0)
+            Tensor::from_fn(shape, |i| {
+                (((i as u64 * 2654435761 + s) % 1000) as f32 / 500.0) - 1.0
+            })
         };
-        let a = mk(seed, &[3, 4]);
-        let b = mk(seed + 1, &[4, 2]);
-        let c = mk(seed + 2, &[4, 2]);
+        let a = mk(case, &[3, 4]);
+        let b = mk(case + 1, &[4, 2]);
+        let c = mk(case + 2, &[4, 2]);
         let lhs = a.matmul(&(&b + &c));
         let rhs = &a.matmul(&b) + &a.matmul(&c);
         let diff = (&lhs - &rhs).map(f32::abs).max();
-        prop_assert!(diff < 1e-4, "distributivity violated by {diff}");
+        assert!(diff < 1e-4, "case {case}: distributivity violated by {diff}");
     }
+}
 
-    #[test]
-    fn crossbar_row_gating_equals_zeroed_input(seed in 0u64..300) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn crossbar_row_gating_equals_zeroed_input() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
         let w: Vec<f32> = (0..20).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
         let config = CrossbarConfig::ideal();
         let mut xbar = Crossbar::program(&w, 5, 4, &config, &mut rng);
@@ -120,7 +176,7 @@ proptest! {
         x_zeroed[2] = 0.0;
         let zeroed = xbar.matvec(&x_zeroed, &mut rng);
         for (a, b) in gated.iter().zip(&zeroed) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "seed {:#x}", case_seed(9, case));
         }
     }
 }

@@ -53,7 +53,7 @@ fn detection_rate_substantial_on_noise_probe() {
     let auroc = neuspin::bayes::auroc(&p_ood.entropy, &p_id.entropy);
     assert!(auroc > 0.6, "uniform-noise AUROC {auroc}");
     let rate = detection_rate_at_95(&p_id.entropy, &p_ood.entropy);
-    assert!(rate >= 0.0 && rate <= 1.0, "rate must be a proportion: {rate}");
+    assert!((0.0..=1.0).contains(&rate), "rate must be a proportion: {rate}");
 }
 
 #[test]

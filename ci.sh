@@ -21,4 +21,14 @@ cargo test -q --offline
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Fault-management campaign smoke: a tiny grid end to end, then re-parse
+# the emitted JSON and fail on schema drift or any non-finite value.
+# Smoke output goes under target/ so the tracked full-run artifact in
+# results/ is not clobbered.
+echo "==> exp_faultmgmt smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_faultmgmt
+NEUSPIN_RESULTS=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_faultmgmt -- --check
+
 echo "==> OK"

@@ -29,10 +29,12 @@ pub mod spinbayes;
 pub mod vi;
 
 pub use ensemble::Ensemble;
-pub use mc::{eval_predict, mc_predict, mc_predict_with, Predictive};
+pub use mc::{eval_predict, mc_predict, mc_predict_with, Gated, Predictive};
 pub use methods::{
     build_cnn, build_fp_mlp, build_mlp, calibrate_norm, spinbayes_from_mlp, ArchConfig, Method,
 };
-pub use metrics::{auroc, brier, detection_rate_at_95, ece, rmse};
+pub use metrics::{
+    auroc, brier, detection_rate_at_95, ece, entropy_threshold_for_coverage, rmse,
+};
 pub use spinbayes::{quantize, SpinBayesConfig, SpinBayesLinear};
 pub use vi::{ScalePrior, ViScale};

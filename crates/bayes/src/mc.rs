@@ -59,6 +59,65 @@ impl Predictive {
             })
             .collect()
     }
+
+    /// Entropy-gates the batch: samples whose predictive entropy
+    /// exceeds `threshold` are abstained (graceful degradation — the
+    /// system says "I don't know" instead of emitting a garbage label).
+    pub fn gate(&self, threshold: f64) -> Gated {
+        Gated {
+            accepted: self.entropy.iter().map(|&h| h <= threshold).collect(),
+            threshold,
+        }
+    }
+
+    /// Accuracy over the samples a gate accepted. Returns 0 when the
+    /// gate accepted nothing (full abstention — no claims, no credit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` or the gate disagree with the batch size.
+    pub fn accuracy_on_accepted(&self, labels: &[usize], gated: &Gated) -> f64 {
+        let preds = self.predictions();
+        assert_eq!(preds.len(), labels.len(), "label count mismatch");
+        assert_eq!(preds.len(), gated.accepted.len(), "gate size mismatch");
+        let mut accepted = 0usize;
+        let mut hits = 0usize;
+        for ((p, l), &keep) in preds.iter().zip(labels).zip(&gated.accepted) {
+            if keep {
+                accepted += 1;
+                hits += usize::from(p == l);
+            }
+        }
+        if accepted == 0 {
+            0.0
+        } else {
+            hits as f64 / accepted as f64
+        }
+    }
+}
+
+/// An abstention decision per sample, from [`Predictive::gate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gated {
+    /// `true` = prediction accepted, `false` = abstained.
+    pub accepted: Vec<bool>,
+    /// The entropy threshold that produced the decisions.
+    pub threshold: f64,
+}
+
+impl Gated {
+    /// Fraction of samples accepted (1 = no abstentions).
+    pub fn coverage(&self) -> f64 {
+        if self.accepted.is_empty() {
+            return 1.0;
+        }
+        self.accepted.iter().filter(|&&a| a).count() as f64 / self.accepted.len() as f64
+    }
+
+    /// Number of abstained samples.
+    pub fn abstained(&self) -> usize {
+        self.accepted.iter().filter(|&&a| !a).count()
+    }
 }
 
 fn entropy_of(row: &[f32]) -> f64 {
@@ -231,5 +290,39 @@ mod tests {
     #[should_panic(expected = "at least one MC pass")]
     fn zero_passes_rejected() {
         let _ = mc_predict_with(0, |_| Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn gate_abstains_on_high_entropy() {
+        let probs = Tensor::from_vec(vec![0.99, 0.01, 0.5, 0.5, 0.95, 0.05], &[3, 2]);
+        let p = Predictive {
+            mean_probs: probs,
+            entropy: vec![0.056, 0.693, 0.199],
+            mutual_information: vec![0.0; 3],
+            variance: vec![0.0; 3],
+            passes: 1,
+        };
+        let g = p.gate(0.3);
+        assert_eq!(g.accepted, vec![true, false, true]);
+        assert!((g.coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.abstained(), 1);
+        // Labels: sample 0 right, sample 1 wrong (abstained), sample 2 right.
+        assert_eq!(p.accuracy(&[0, 0, 0]), 2.0 / 3.0);
+        assert_eq!(p.accuracy_on_accepted(&[0, 0, 0], &g), 1.0);
+    }
+
+    #[test]
+    fn full_abstention_scores_zero() {
+        let probs = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]);
+        let p = Predictive {
+            mean_probs: probs,
+            entropy: vec![0.693],
+            mutual_information: vec![0.0],
+            variance: vec![0.0],
+            passes: 1,
+        };
+        let g = p.gate(0.1);
+        assert_eq!(g.coverage(), 0.0);
+        assert_eq!(p.accuracy_on_accepted(&[0], &g), 0.0);
     }
 }

@@ -113,6 +113,25 @@ pub fn detection_rate_at_95(id_scores: &[f64], ood_scores: &[f64]) -> f64 {
     detected as f64 / ood_scores.len() as f64
 }
 
+/// Calibrates an entropy abstention threshold from a held-out set: the
+/// smallest entropy value that keeps at least `coverage` of the samples
+/// (so gating at the returned threshold accepts ≥ `coverage` of data
+/// statistically similar to `entropies`).
+///
+/// # Panics
+///
+/// Panics if `entropies` is empty, contains non-finite values, or
+/// `coverage` is outside `(0, 1]`.
+pub fn entropy_threshold_for_coverage(entropies: &[f64], coverage: f64) -> f64 {
+    assert!(!entropies.is_empty(), "need calibration entropies");
+    assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0, 1], got {coverage}");
+    assert!(entropies.iter().all(|h| h.is_finite()), "entropies must be finite");
+    let mut sorted: Vec<f64> = entropies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let keep = ((coverage * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[keep - 1]
+}
+
 /// Root-mean-square error between predictions and targets.
 ///
 /// # Panics
@@ -201,5 +220,22 @@ mod tests {
     fn ece_rejects_bad_labels() {
         let probs = Tensor::zeros(&[2, 2]);
         let _ = ece(&probs, &[0], 10);
+    }
+
+    #[test]
+    fn entropy_threshold_keeps_requested_coverage() {
+        let entropies: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let t = entropy_threshold_for_coverage(&entropies, 0.7);
+        let kept = entropies.iter().filter(|&&h| h <= t).count();
+        assert!(kept >= 70, "kept {kept}");
+        assert!(kept <= 71, "threshold must be tight, kept {kept}");
+        // Full coverage → max entropy.
+        assert_eq!(entropy_threshold_for_coverage(&entropies, 1.0), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be in (0, 1]")]
+    fn entropy_threshold_rejects_bad_coverage() {
+        let _ = entropy_threshold_for_coverage(&[0.1], 0.0);
     }
 }

@@ -13,7 +13,7 @@
 
 use neuspin_bayes::Method;
 use neuspin_bench::{write_json, Setup};
-use neuspin_core::{reliability_base, sweep, Series, SweepKind};
+use neuspin_core::{reliability_base, sweep, Series, SweepConfig, SweepKind};
 
 #[derive(Debug)]
 struct SelfHealReport {
@@ -47,27 +47,24 @@ fn main() {
     let mut reports = Vec::new();
     for (name, kind, severities) in scenarios {
         println!("-- {name} --");
+        let sweep_config = SweepConfig::new(kind, severities.clone(), setup.seed);
         let bn_points = sweep(
             &mut bn_model,
             Method::SpinDrop,
             &setup.arch,
             &config,
-            kind,
-            &severities,
+            &sweep_config,
             &calib,
             &test,
-            setup.seed,
         );
         let inv_points = sweep(
             &mut inv_model,
             Method::AffineDropout,
             &setup.arch,
             &config,
-            kind,
-            &severities,
+            &sweep_config,
             &calib,
             &test,
-            setup.seed,
         );
         println!("{:<12} {:>18} {:>24} {:>8}", "severity", "SpinDrop (BN)", "InvNorm+AffineDrop", "gain");
         let mut max_gain = 0.0f64;

@@ -14,6 +14,7 @@
 //! | `exp_ood` | §III OOD-detection claims |
 //! | `exp_corrupt` | corrupted-data accuracy claims |
 //! | `exp_selfheal` | §III-A4 self-healing under variation/drift |
+//! | `exp_faultmgmt` | §II-B BIST + repair + remap + abstention campaign |
 //! | `exp_lstm` | §III-A4 LSTM time-series RMSE |
 //! | `exp_subset_vi` | §III-B1 memory / power ratios, NLL shift |
 //! | `exp_spinbayes` | §III-B2 instance-count study + segmentation |

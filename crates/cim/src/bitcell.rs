@@ -91,6 +91,22 @@ impl XnorBitCell {
         self.plus_defect.is_some() || self.minus_defect.is_some()
     }
 
+    /// The defect on the plus-side device, if any.
+    pub fn plus_defect(&self) -> Option<DefectKind> {
+        self.plus_defect
+    }
+
+    /// The defect on the minus-side device, if any.
+    pub fn minus_defect(&self) -> Option<DefectKind> {
+        self.minus_defect
+    }
+
+    /// The defect on either device (plus side wins if both), if any —
+    /// the single-kind summary a [`neuspin_device::DefectMap`] carries.
+    pub fn defect(&self) -> Option<DefectKind> {
+        self.plus_defect.or(self.minus_defect)
+    }
+
     fn device_conductance(levels: (f64, f64), parallel: bool, defect: Option<DefectKind>) -> f64 {
         match defect {
             Some(kind) => defects::defect_conductance(kind, levels.0, levels.1),

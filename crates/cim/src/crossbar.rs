@@ -20,6 +20,18 @@ use crate::bitcell::{MlcBitCell, XnorBitCell};
 use neuspin_device::{stats, DefectMap, DefectRates, VariedParams};
 use rand::rngs::StdRng;
 
+/// A spare bit-cell column held in reserve for redundancy repair.
+///
+/// Spares are fabricated alongside the main array (same process corner,
+/// same defect statistics) and sit disconnected until
+/// [`Crossbar::substitute_column`] fuses one in place of a defective
+/// main column.
+#[derive(Debug, Clone)]
+struct SpareColumn {
+    cells: Vec<XnorBitCell>,
+    used: bool,
+}
+
 /// Configuration shared by crossbar constructors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarConfig {
@@ -89,6 +101,16 @@ pub struct Crossbar {
     counter: OpCounter,
     defects: DefectMap,
     ir_drop: f64,
+    /// Redundant columns fabricated next to the main array.
+    spares: Vec<SpareColumn>,
+    /// Remap indirection (logical line of each physical line); `None`
+    /// means identity. See [`Crossbar::apply_remap`].
+    row_src: Option<Vec<usize>>,
+    col_src: Option<Vec<usize>>,
+    /// Running sense-margin statistics (|analog column value| at the
+    /// sense-amplifier input), for the health monitor.
+    margin_sum: f64,
+    margin_count: u64,
 }
 
 impl Crossbar {
@@ -107,15 +129,44 @@ impl Crossbar {
         config: &CrossbarConfig,
         rng: &mut StdRng,
     ) -> Self {
+        Self::program_with_spares(weights, rows, cols, 0, config, rng)
+    }
+
+    /// Like [`Crossbar::program`], but also fabricates `spares`
+    /// redundant columns next to the array. Spares come from the same
+    /// process corner and defect statistics as the main array (a spare
+    /// can itself be born defective) and stay disconnected until
+    /// [`Crossbar::substitute_column`] fuses one in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` or either dim is zero.
+    pub fn program_with_spares(
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        spares: usize,
+        config: &CrossbarConfig,
+        rng: &mut StdRng,
+    ) -> Self {
         assert!(rows > 0 && cols > 0, "dimensions must be positive");
         assert_eq!(weights.len(), rows * cols, "weight count mismatch");
-        let defects = DefectMap::sample(rows, cols, &config.defect_rates, rng);
+        // One defect draw over the whole fabricated stripe (main array
+        // plus spares); with `spares == 0` the RNG stream is identical
+        // to the historical `program` path.
+        let physical = cols + spares;
+        let fab_defects = DefectMap::sample(rows, physical, &config.defect_rates, rng);
         let mut cells = Vec::with_capacity(rows * cols);
+        let mut spare_cols: Vec<SpareColumn> =
+            (0..spares).map(|_| SpareColumn { cells: Vec::with_capacity(rows), used: false }).collect();
+        let mut defects = DefectMap::empty(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
+            for c in 0..physical {
                 let mut cell = XnorBitCell::new(config.corner, rng);
-                cell.program(weights[r * cols + c]);
-                if let Some(kind) = defects.defect_at(r, c) {
+                if c < cols {
+                    cell.program(weights[r * cols + c]);
+                }
+                if let Some(kind) = fab_defects.defect_at(r, c) {
                     // A defect hits one device of the pair; alternate
                     // deterministically by position parity.
                     if (r + c) % 2 == 0 {
@@ -124,7 +175,14 @@ impl Crossbar {
                         cell.inject_minus_defect(kind);
                     }
                 }
-                cells.push(cell);
+                if c < cols {
+                    if let Some(kind) = fab_defects.defect_at(r, c) {
+                        defects.inject(r, c, kind);
+                    }
+                    cells.push(cell);
+                } else {
+                    spare_cols[c - cols].cells.push(cell);
+                }
             }
         }
         let adc = config.adc_bits.map(|b| Adc::new(b, rows as f64));
@@ -139,6 +197,11 @@ impl Crossbar {
             counter: OpCounter::new(),
             defects,
             ir_drop: config.ir_drop,
+            spares: spare_cols,
+            row_src: None,
+            col_src: None,
+            margin_sum: 0.0,
+            margin_count: 0,
         };
         xbar.refresh_eff();
         // Each cell programs two devices (write + verify each).
@@ -163,9 +226,199 @@ impl Crossbar {
         self.cols
     }
 
-    /// The sampled defect map.
+    /// The ground-truth defect map of the *connected* array (physical
+    /// coordinates). Updated by [`Crossbar::substitute_column`]; a
+    /// production-test flow must not read it — run the BIST instead.
     pub fn defects(&self) -> &DefectMap {
         &self.defects
+    }
+
+    /// Number of spare columns fabricated (used or not).
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Number of spare columns still available for repair.
+    pub fn available_spares(&self) -> usize {
+        self.spares.iter().filter(|s| !s.used).count()
+    }
+
+    /// Whether spare `k` is unused *and* free of fabrication defects.
+    /// Spares are exhaustively screened at production test (they are
+    /// few), so the repair controller knows their state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn spare_is_clean(&self, k: usize) -> bool {
+        let s = &self.spares[k];
+        !s.used && s.cells.iter().all(|c| !c.is_defective())
+    }
+
+    /// Fuses spare column `k` in place of main column `col`: the spare's
+    /// cells take over the physical column, are programmed with the
+    /// column's current stored signs (write + verify tallied), and the
+    /// ground-truth defect map is updated — the old column's defects
+    /// disappear, the spare's own defects (if any) appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` or `k` is out of range, or spare `k` was already
+    /// used.
+    pub fn substitute_column(&mut self, col: usize, k: usize) {
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
+        assert!(k < self.spares.len(), "spare {k} out of range {}", self.spares.len());
+        assert!(!self.spares[k].used, "spare {k} already used");
+        self.spares[k].used = true;
+        self.defects.clear_column(col);
+        for r in 0..self.rows {
+            let idx = r * self.cols + col;
+            let sign = self.cells[idx].stored_sign();
+            let retired = self.cells[idx].clone();
+            let mut cell = std::mem::replace(&mut self.spares[k].cells[r], retired);
+            cell.program(sign);
+            if let Some(kind) = cell.defect() {
+                self.defects.inject(r, col, kind);
+            }
+            self.cells[idx] = cell;
+            self.eff[idx] = self.cells[idx].effective_weight();
+        }
+        self.counter.cell_writes += (self.rows * 2) as u64;
+        self.counter.cell_reads += (self.rows * 2) as u64;
+    }
+
+    /// The stored sign pattern in *logical* coordinates (undoing any
+    /// remap), row-major — what [`Crossbar::reprogram`] would need to
+    /// reproduce the current contents.
+    pub fn stored_logical_signs(&self) -> Vec<f32> {
+        let mut signs = vec![0.0f32; self.rows * self.cols];
+        for p in 0..self.rows {
+            let lr = self.row_src.as_ref().map_or(p, |m| m[p]);
+            for pc in 0..self.cols {
+                let lc = self.col_src.as_ref().map_or(pc, |m| m[pc]);
+                signs[lr * self.cols + lc] = self.cells[p * self.cols + pc].stored_sign();
+            }
+        }
+        signs
+    }
+
+    /// Rewrites every cell's stored sign from row-major *logical*
+    /// weights (routed through any active remap). Devices and defects
+    /// are physical and persist — only the stored state changes. Write
+    /// and verify costs are tallied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols`.
+    pub fn reprogram(&mut self, weights: &[f32]) {
+        assert_eq!(weights.len(), self.rows * self.cols, "weight count mismatch");
+        for p in 0..self.rows {
+            let lr = self.row_src.as_ref().map_or(p, |m| m[p]);
+            for pc in 0..self.cols {
+                let lc = self.col_src.as_ref().map_or(pc, |m| m[pc]);
+                self.cells[p * self.cols + pc].program(weights[lr * self.cols + lc]);
+            }
+        }
+        self.refresh_eff();
+        self.counter.cell_writes += (self.rows * self.cols * 2) as u64;
+        self.counter.cell_reads += (self.rows * self.cols * 2) as u64;
+    }
+
+    /// Writes a test pattern in *physical* coordinates (used by the
+    /// march-test BIST, which probes the fabricated array directly).
+    /// Write and verify costs are tallied.
+    pub fn program_pattern(&mut self, pattern: impl Fn(usize, usize) -> f32) {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                self.cells[r * self.cols + c].program(pattern(r, c));
+            }
+        }
+        self.refresh_eff();
+        self.counter.cell_writes += (self.rows * self.cols * 2) as u64;
+        self.counter.cell_reads += (self.rows * self.cols * 2) as u64;
+    }
+
+    /// Raw single-row read through the sense-amplifier path, in
+    /// *physical* coordinates: returns each column's analog value with
+    /// the word line of `row` driven at unit input and every other row
+    /// off. Read noise applies; the ADC is bypassed (production test
+    /// reads margins, not codes). Read costs are tallied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn read_row(&mut self, row: usize, rng: &mut StdRng) -> Vec<f64> {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        self.counter.cell_reads += self.cols as u64;
+        self.counter.sa_evals += self.cols as u64;
+        let mut out = vec![0.0f64; self.cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut term = self.eff[row * self.cols + j];
+            if self.ir_drop > 0.0 {
+                term /= 1.0
+                    + self.ir_drop
+                        * (row as f64 / self.rows as f64 + j as f64 / self.cols as f64);
+            }
+            if self.read_noise > 0.0 && term != 0.0 {
+                term += self.read_noise * term.abs() * stats::standard_normal(rng);
+            }
+            *o = term;
+        }
+        out
+    }
+
+    /// Installs a line remap: `row_src[p]` / `col_src[p]` name the
+    /// *logical* row/column carried by physical line `p`. The current
+    /// logical contents are re-programmed into their new physical homes
+    /// (defective devices stay put — that is the point: the permutation
+    /// chooses which logical lines land on them). [`Crossbar::matvec`]
+    /// keeps its logical interface: inputs and outputs are routed
+    /// through the maps by the (digital) periphery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either map is not a permutation of its index range.
+    pub fn apply_remap(&mut self, row_src: Vec<usize>, col_src: Vec<usize>) {
+        assert_permutation(&row_src, self.rows, "row_src");
+        assert_permutation(&col_src, self.cols, "col_src");
+        let logical = self.stored_logical_signs();
+        let identity_rows = row_src.iter().enumerate().all(|(i, &v)| i == v);
+        let identity_cols = col_src.iter().enumerate().all(|(i, &v)| i == v);
+        self.row_src = if identity_rows { None } else { Some(row_src) };
+        self.col_src = if identity_cols { None } else { Some(col_src) };
+        self.reprogram(&logical);
+    }
+
+    /// The active remap as `(row_src, col_src)` (identity if none was
+    /// applied).
+    pub fn remap(&self) -> (Vec<usize>, Vec<usize>) {
+        let rows = self
+            .row_src
+            .clone()
+            .unwrap_or_else(|| (0..self.rows).collect());
+        let cols = self
+            .col_src
+            .clone()
+            .unwrap_or_else(|| (0..self.cols).collect());
+        (rows, cols)
+    }
+
+    /// Mean |analog column value| at the sense-amplifier input since the
+    /// last [`Crossbar::reset_sense_margin`] — the drift-sensitive
+    /// signal the runtime health monitor watches. Returns 0 before any
+    /// evaluation.
+    pub fn mean_sense_margin(&self) -> f64 {
+        if self.margin_count == 0 {
+            0.0
+        } else {
+            self.margin_sum / self.margin_count as f64
+        }
+    }
+
+    /// Starts a fresh sense-margin window.
+    pub fn reset_sense_margin(&mut self) {
+        self.margin_sum = 0.0;
+        self.margin_count = 0;
     }
 
     /// The op counter accumulated so far.
@@ -204,7 +457,11 @@ impl Crossbar {
     }
 
     /// Analog matrix-vector product: `y_j = Σ_i x_i · w_ij` over enabled
-    /// rows, with read noise and optional ADC quantization.
+    /// rows, with read noise and optional ADC quantization. Inputs and
+    /// outputs stay in *logical* coordinates: any active remap (see
+    /// [`Crossbar::apply_remap`]) is resolved by the digital periphery,
+    /// while IR drop acts on the *physical* line positions — which is
+    /// exactly what fault-aware remapping exploits.
     ///
     /// # Panics
     ///
@@ -218,19 +475,22 @@ impl Crossbar {
             self.counter.adc_converts += self.cols as u64;
         }
         self.counter.digital_ops += self.cols as u64;
+        let row_src = self.row_src.as_deref();
+        let col_src = self.col_src.as_deref();
         let mut out = vec![0.0f64; self.cols];
-        for (j, o) in out.iter_mut().enumerate() {
+        for (pj, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             let mut power = 0.0f64; // Σ (x·w)² for the noise model
-            for (i, &xi) in input.iter().take(self.rows).enumerate() {
-                if !self.row_enabled[i] {
+            for p in 0..self.rows {
+                let l = row_src.map_or(p, |m| m[p]);
+                if !self.row_enabled[l] {
                     continue;
                 }
-                let mut term = xi as f64 * self.eff[i * self.cols + j];
+                let mut term = input[l] as f64 * self.eff[p * self.cols + pj];
                 if self.ir_drop > 0.0 {
                     term /= 1.0
                         + self.ir_drop
-                            * (i as f64 / self.rows as f64 + j as f64 / self.cols as f64);
+                            * (p as f64 / self.rows as f64 + pj as f64 / self.cols as f64);
                 }
                 acc += term;
                 power += term * term;
@@ -238,10 +498,20 @@ impl Crossbar {
             if self.read_noise > 0.0 && power > 0.0 {
                 acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
             }
+            self.margin_sum += acc.abs();
+            self.margin_count += 1;
             *o = match &self.adc {
                 Some(adc) => adc.quantize(acc),
                 None => acc,
             };
+        }
+        // Un-permute columns back to logical order.
+        if let Some(map) = col_src {
+            let mut logical = vec![0.0f64; self.cols];
+            for (pj, &l) in map.iter().enumerate() {
+                logical[l] = out[pj];
+            }
+            out = logical;
         }
         out
     }
@@ -268,6 +538,17 @@ impl Crossbar {
     }
 }
 
+/// Panics unless `map` is a permutation of `0..len`.
+fn assert_permutation(map: &[usize], len: usize, name: &str) {
+    assert_eq!(map.len(), len, "{name} length mismatch");
+    let mut seen = vec![false; len];
+    for &v in map {
+        assert!(v < len, "{name} entry {v} out of range {len}");
+        assert!(!seen[v], "{name} repeats entry {v}");
+        seen[v] = true;
+    }
+}
+
 /// A quantized-weight crossbar of multi-level cells (`k` MTJs per cell,
 /// `k + 1` levels), used by SpinBayes and the sub-set VI architecture.
 #[derive(Debug, Clone)]
@@ -280,6 +561,8 @@ pub struct MlcCrossbar {
     read_noise: f64,
     adc: Option<Adc>,
     counter: OpCounter,
+    margin_sum: f64,
+    margin_count: u64,
 }
 
 impl MlcCrossbar {
@@ -320,7 +603,26 @@ impl MlcCrossbar {
             read_noise: config.read_noise,
             adc,
             counter,
+            margin_sum: 0.0,
+            margin_count: 0,
         }
+    }
+
+    /// Mean |analog column value| at the sense-amplifier input since the
+    /// last [`MlcCrossbar::reset_sense_margin`] (see
+    /// [`Crossbar::mean_sense_margin`]).
+    pub fn mean_sense_margin(&self) -> f64 {
+        if self.margin_count == 0 {
+            0.0
+        } else {
+            self.margin_sum / self.margin_count as f64
+        }
+    }
+
+    /// Starts a fresh sense-margin window.
+    pub fn reset_sense_margin(&mut self) {
+        self.margin_sum = 0.0;
+        self.margin_count = 0;
     }
 
     /// Number of input rows.
@@ -400,6 +702,8 @@ impl MlcCrossbar {
             if self.read_noise > 0.0 && power > 0.0 {
                 acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
             }
+            self.margin_sum += acc.abs();
+            self.margin_count += 1;
             *o = match &self.adc {
                 Some(adc) => adc.quantize(acc),
                 None => acc,
@@ -412,7 +716,7 @@ impl MlcCrossbar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neuspin_device::{MtjParams, VariationModel};
+    use neuspin_device::{DefectKind, MtjParams, VariationModel};
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
@@ -591,5 +895,131 @@ mod tests {
     fn program_rejects_bad_shape() {
         let mut r = rng();
         let _ = Crossbar::program(&[1.0; 5], 2, 3, &ideal(), &mut r);
+    }
+
+    #[test]
+    fn zero_spares_matches_plain_program_exactly() {
+        let w: Vec<f32> = (0..48).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.03),
+            read_noise: 0.02,
+            ..CrossbarConfig::default()
+        };
+        let mut ra = rng();
+        let mut rb = rng();
+        let mut a = Crossbar::program(&w, 8, 6, &config, &mut ra);
+        let mut b = Crossbar::program_with_spares(&w, 8, 6, 0, &config, &mut rb);
+        let x = vec![1.0f32; 8];
+        assert_eq!(a.matvec(&x, &mut ra), b.matvec(&x, &mut rb));
+    }
+
+    #[test]
+    fn substitute_column_replaces_defective_cells() {
+        let mut r = rng();
+        let w = vec![1.0f32; 16]; // 4×4
+        let mut xbar = Crossbar::program_with_spares(&w, 4, 4, 2, &ideal(), &mut r);
+        assert_eq!(xbar.spare_count(), 2);
+        assert_eq!(xbar.available_spares(), 2);
+        // Corrupt a column by hand, then repair it with a clean spare.
+        let col = 1;
+        for row in 0..4 {
+            xbar.defects.inject(row, col, DefectKind::Open);
+        }
+        assert_eq!(xbar.defects().column_defect_count(col), 4);
+        assert!(xbar.spare_is_clean(0));
+        xbar.substitute_column(col, 0);
+        assert_eq!(xbar.defects().column_defect_count(col), 0);
+        assert_eq!(xbar.available_spares(), 1);
+        // The substituted column carries the same stored signs.
+        let y = xbar.matvec(&[1.0; 4], &mut r);
+        assert!((y[col] - 4.0).abs() < 1e-9, "repaired column reads clean: {}", y[col]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn substitute_column_rejects_reuse() {
+        let mut r = rng();
+        let w = vec![1.0f32; 4];
+        let mut xbar = Crossbar::program_with_spares(&w, 2, 2, 1, &ideal(), &mut r);
+        xbar.substitute_column(0, 0);
+        xbar.substitute_column(1, 0);
+    }
+
+    #[test]
+    fn remap_preserves_logical_matvec() {
+        let mut r = rng();
+        let w = vec![
+            1.0, -1.0, 1.0, //
+            -1.0, 1.0, 1.0, //
+        ]; // 2×3
+        let mut xbar = Crossbar::program(&w, 2, 3, &ideal(), &mut r);
+        let x = [1.0f32, -1.0];
+        let before = xbar.matvec(&x, &mut r);
+        xbar.apply_remap(vec![1, 0], vec![2, 0, 1]);
+        let after = xbar.matvec(&x, &mut r);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-9, "remap must be transparent: {before:?} vs {after:?}");
+        }
+        let (rs, cs) = xbar.remap();
+        assert_eq!(rs, vec![1, 0]);
+        assert_eq!(cs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn remap_routes_row_gating_logically() {
+        let mut r = rng();
+        let w = vec![1.0f32; 4]; // 2×2
+        let mut xbar = Crossbar::program(&w, 2, 2, &ideal(), &mut r);
+        xbar.apply_remap(vec![1, 0], vec![0, 1]);
+        xbar.set_row_enabled(0, false); // logical row 0
+        let y = xbar.matvec(&[1.0, 1.0], &mut r);
+        assert!((y[0] - 1.0).abs() < 1e-9, "only logical row 1 contributes: {y:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row_src repeats entry")]
+    fn remap_rejects_non_permutation() {
+        let mut r = rng();
+        let w = vec![1.0f32; 4];
+        let mut xbar = Crossbar::program(&w, 2, 2, &ideal(), &mut r);
+        xbar.apply_remap(vec![0, 0], vec![0, 1]);
+    }
+
+    #[test]
+    fn reprogram_and_stored_signs_round_trip() {
+        let mut r = rng();
+        let w = vec![1.0, -1.0, -1.0, 1.0];
+        let mut xbar = Crossbar::program(&w, 2, 2, &ideal(), &mut r);
+        xbar.apply_remap(vec![1, 0], vec![1, 0]);
+        let w2 = vec![-1.0, -1.0, 1.0, 1.0];
+        xbar.reprogram(&w2);
+        assert_eq!(xbar.stored_logical_signs(), w2);
+        let y = xbar.matvec(&[1.0, 1.0], &mut r);
+        assert!((y[0] - 0.0).abs() < 1e-9);
+        assert!((y[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_row_senses_physical_weights() {
+        let mut r = rng();
+        let w = vec![1.0, -1.0, -1.0, 1.0];
+        let mut xbar = Crossbar::program(&w, 2, 2, &ideal(), &mut r);
+        let top = xbar.read_row(0, &mut r);
+        assert!((top[0] - 1.0).abs() < 1e-9);
+        assert!((top[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sense_margin_tracks_column_magnitude() {
+        let mut r = rng();
+        let w = vec![1.0f32; 8]; // 4×2
+        let mut xbar = Crossbar::program(&w, 4, 2, &ideal(), &mut r);
+        assert_eq!(xbar.mean_sense_margin(), 0.0);
+        let _ = xbar.matvec(&[1.0; 4], &mut r);
+        assert!((xbar.mean_sense_margin() - 4.0).abs() < 1e-9);
+        xbar.reset_sense_margin();
+        assert_eq!(xbar.mean_sense_margin(), 0.0);
+        let _ = xbar.matvec(&[0.5; 4], &mut r);
+        assert!((xbar.mean_sense_margin() - 2.0).abs() < 1e-9);
     }
 }

@@ -12,7 +12,10 @@
 //! * [`SpinDropModule`], [`SpatialDropModule`], [`ScaleDropModule`],
 //!   [`Arbiter`] — the four stochastic-MTJ dropout/selection modules;
 //! * [`mapping`] — layer-to-crossbar mapping strategies ①/② with
-//!   module-count reports;
+//!   module-count reports, plus fault-aware line placement
+//!   ([`fault_aware_remap`]);
+//! * [`bist`] / [`repair`] — the active fault-management front half:
+//!   march-test defect estimation and spare-column redundancy repair;
 //! * [`OpCounter`] — the operation tallies the energy model consumes.
 //!
 //! ## Example
@@ -36,15 +39,22 @@
 //! ```
 
 pub mod adc;
+pub mod bist;
 pub mod bitcell;
 pub mod crossbar;
 pub mod decoder;
 pub mod dropout_modules;
 pub mod mapping;
+pub mod repair;
 
 pub use adc::{Adc, OpCounter};
+pub use bist::{march_test, BistConfig, BistReport};
 pub use bitcell::{MlcBitCell, XnorBitCell};
 pub use crossbar::{Crossbar, CrossbarConfig, MlcCrossbar};
 pub use decoder::WordlineDecoder;
 pub use dropout_modules::{Arbiter, ScaleDropModule, SpatialDropModule, SpinDropModule};
-pub use mapping::{map_conv, map_linear, ArrayLimit, ConvMapping, LayerShape, MappingReport};
+pub use mapping::{
+    fault_aware_remap, map_conv, map_linear, ArrayLimit, ConvMapping, LayerShape, MappingReport,
+    Remap,
+};
+pub use repair::{repair_columns, RepairReport};

@@ -14,7 +14,14 @@
 //! The report also counts the dropout modules each Bayesian method needs
 //! on that mapping — the quantity behind the paper's 9× module-count
 //! reduction for Spatial-SpinDrop.
+//!
+//! The module also hosts the *fault-aware* placement step of the fault
+//! management loop ([`fault_aware_remap`]): given the estimated defect
+//! map left over after spare-column repair, it permutes logical
+//! rows/columns so the highest-magnitude weights land on the cleanest
+//! physical lines.
 
+use neuspin_device::{DefectKind, DefectMap};
 use std::fmt;
 
 /// Physical crossbar size limit for tiling.
@@ -210,6 +217,107 @@ pub fn map_conv(
     }
 }
 
+/// A line permutation pair for [`crate::Crossbar::apply_remap`]:
+/// `row_src[p]` / `col_src[p]` give the *logical* line carried by
+/// physical line `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remap {
+    /// Logical row on each physical row.
+    pub row_src: Vec<usize>,
+    /// Logical column on each physical column.
+    pub col_src: Vec<usize>,
+}
+
+impl Remap {
+    /// The identity remap (logical = physical).
+    pub fn identity(rows: usize, cols: usize) -> Self {
+        Self { row_src: (0..rows).collect(), col_src: (0..cols).collect() }
+    }
+
+    /// Whether this remap moves nothing.
+    pub fn is_identity(&self) -> bool {
+        self.row_src.iter().enumerate().all(|(i, &v)| i == v)
+            && self.col_src.iter().enumerate().all(|(i, &v)| i == v)
+    }
+}
+
+/// Severity weight of one estimated defect for placement purposes.
+/// Mirrors the repair controller's ranking: shorts poison a whole
+/// column sum, opens lose one differential arm, stuck-at freezes a
+/// single weight.
+fn placement_severity(kind: DefectKind) -> u64 {
+    match kind {
+        DefectKind::Short => 100,
+        DefectKind::Open => 10,
+        DefectKind::StuckParallel | DefectKind::StuckAntiParallel => 1,
+    }
+}
+
+/// Computes a fault-aware placement: logical lines ranked by total
+/// weight magnitude are assigned to physical lines ranked by estimated
+/// cleanliness, so the most important weights sit on the least damaged
+/// hardware (and any shorts the spares could not absorb end up under
+/// the least important columns).
+///
+/// `weights` are the *logical* real-valued weights, row-major
+/// `rows × cols`; `estimated` is the post-repair defect estimate in
+/// physical coordinates. Fully deterministic: ties break by line index.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != rows * cols` or the map's shape
+/// disagrees.
+pub fn fault_aware_remap(
+    estimated: &DefectMap,
+    weights: &[f32],
+    rows: usize,
+    cols: usize,
+) -> Remap {
+    assert_eq!(weights.len(), rows * cols, "weight count mismatch");
+    assert_eq!(estimated.shape(), (rows, cols), "defect map shape mismatch");
+
+    // Damage per physical line.
+    let mut row_damage = vec![0u64; rows];
+    let mut col_damage = vec![0u64; cols];
+    for ((r, c), kind) in estimated {
+        let s = placement_severity(kind);
+        row_damage[r] += s;
+        col_damage[c] += s;
+    }
+    // Importance per logical line.
+    let mut row_weight = vec![0.0f64; rows];
+    let mut col_weight = vec![0.0f64; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let m = weights[r * cols + c].abs() as f64;
+            row_weight[r] += m;
+            col_weight[c] += m;
+        }
+    }
+
+    let assign = |damage: &[u64], importance: &[f64]| -> Vec<usize> {
+        let n = damage.len();
+        // Physical lines, cleanest first.
+        let mut physical: Vec<usize> = (0..n).collect();
+        physical.sort_by(|&a, &b| damage[a].cmp(&damage[b]).then(a.cmp(&b)));
+        // Logical lines, most important first.
+        let mut logical: Vec<usize> = (0..n).collect();
+        logical.sort_by(|&a, &b| {
+            importance[b].partial_cmp(&importance[a]).unwrap().then(a.cmp(&b))
+        });
+        let mut src = vec![0usize; n];
+        for (p, l) in physical.into_iter().zip(logical) {
+            src[p] = l;
+        }
+        src
+    };
+
+    Remap {
+        row_src: assign(&row_damage, &row_weight),
+        col_src: assign(&col_damage, &col_weight),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +395,68 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_dims_rejected() {
         let _ = map_linear(0, 4, &ArrayLimit::default());
+    }
+
+    #[test]
+    fn clean_map_yields_importance_order_only() {
+        let est = DefectMap::empty(2, 3);
+        // Logical col 1 carries the most weight, then 0, then 2.
+        let w = vec![
+            0.1, 0.9, 0.0, //
+            0.2, 0.8, 0.1, //
+        ];
+        let remap = fault_aware_remap(&est, &w, 2, 3);
+        // All physical lines equally clean → cleanest-first is index
+        // order, so physical 0 gets the heaviest logical line.
+        assert_eq!(remap.col_src, vec![1, 0, 2]);
+        assert_eq!(remap.row_src, vec![1, 0], "row 1 is heavier (1.1 vs 1.0)");
+    }
+
+    #[test]
+    fn damaged_column_gets_lightest_weights() {
+        let mut est = DefectMap::empty(2, 3);
+        est.inject(0, 0, DefectKind::Short);
+        let w = vec![
+            0.9, 0.5, 0.1, //
+            0.9, 0.5, 0.1, //
+        ];
+        let remap = fault_aware_remap(&est, &w, 2, 3);
+        // Physical column 0 is poisoned → carries the lightest logical
+        // column (2); clean physical 1 and 2 carry logical 0 and 1.
+        assert_eq!(remap.col_src[0], 2);
+        assert_eq!(remap.col_src, vec![2, 0, 1]);
+        // The shorted row likewise repels the heavier logical row.
+        assert_eq!(remap.row_src, vec![1, 0]);
+    }
+
+    #[test]
+    fn severity_ranks_short_above_many_stuck() {
+        let mut est = DefectMap::empty(4, 2);
+        est.inject(0, 0, DefectKind::Short);
+        for r in 0..4 {
+            est.inject(r, 1, DefectKind::StuckParallel);
+        }
+        let w = vec![1.0f32; 8];
+        let remap = fault_aware_remap(&est, &w, 4, 2);
+        // 4 stuck-at (severity 4) is still cleaner than one short
+        // (severity 100): logical col 0 goes to physical col 1.
+        assert_eq!(remap.col_src, vec![1, 0]);
+    }
+
+    #[test]
+    fn identity_helpers() {
+        let id = Remap::identity(3, 2);
+        assert!(id.is_identity());
+        assert_eq!(id.row_src, vec![0, 1, 2]);
+        let est = DefectMap::empty(1, 2);
+        let remap = fault_aware_remap(&est, &[0.5, 0.5], 1, 2);
+        assert!(remap.is_identity(), "uniform weights + clean array move nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn remap_rejects_shape_mismatch() {
+        let est = DefectMap::empty(2, 2);
+        let _ = fault_aware_remap(&est, &[1.0; 6], 2, 3);
     }
 }

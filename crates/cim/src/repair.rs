@@ -1,0 +1,216 @@
+//! Spare-column redundancy repair.
+//!
+//! Crossbar macros fabricate a handful of spare columns next to the
+//! main array ([`Crossbar::program_with_spares`]); after the march-test
+//! BIST recovers an estimated defect map, the repair controller fuses
+//! spares in place of the worst columns. This replaces the old
+//! `DefectMap::repair_shorts` hand-wave with a modeled flow that:
+//!
+//! * ranks columns by estimated fault *severity* (a short poisons the
+//!   whole column's analog sum; an open loses one differential arm;
+//!   stuck-at cells merely freeze one weight),
+//! * spends clean spares on the worst columns first (spares come from
+//!   the same process corner and can themselves be born defective —
+//!   dirty spares are discarded, not fused),
+//! * **runs out**: columns left over when spares are exhausted stay
+//!   faulty and are reported, so the caller can fall back to
+//!   fault-aware remapping and uncertainty gating.
+//!
+//! Deterministic: same estimated map + same array ⇒ same decisions.
+
+use crate::crossbar::Crossbar;
+use neuspin_device::{DefectKind, DefectMap};
+
+/// Relative severity used to rank columns for repair.
+fn kind_severity(kind: DefectKind) -> u64 {
+    match kind {
+        DefectKind::Short => 100,
+        DefectKind::Open => 10,
+        DefectKind::StuckParallel | DefectKind::StuckAntiParallel => 1,
+    }
+}
+
+/// Per-column severity score under an estimated defect map.
+pub fn column_severity(estimated: &DefectMap, col: usize) -> u64 {
+    estimated
+        .iter()
+        .filter(|&((_, c), _)| c == col)
+        .map(|(_, kind)| kind_severity(kind))
+        .sum()
+}
+
+/// Outcome of a repair run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// `(column, spare)` substitutions performed, in order.
+    pub repaired: Vec<(usize, usize)>,
+    /// Spares discarded because they were themselves defective.
+    pub dirty_spares: usize,
+    /// Columns that needed repair but got none (spares exhausted),
+    /// worst first.
+    pub unrepaired: Vec<usize>,
+}
+
+impl RepairReport {
+    /// Whether every column that needed a spare got one.
+    pub fn fully_repaired(&self) -> bool {
+        self.unrepaired.is_empty()
+    }
+
+    /// Fraction of needy columns that were repaired (1 if none needed).
+    pub fn success_rate(&self) -> f64 {
+        let total = self.repaired.len() + self.unrepaired.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.repaired.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Repairs the crossbar using its spare columns, guided by the
+/// *estimated* defect map from the BIST (which may contain noise-induced
+/// misclassifications — the controller acts on what the tester saw, not
+/// on ground truth).
+///
+/// Columns containing at least one estimated **short or open** are
+/// repair candidates, ranked by severity (worst first, ties by column
+/// index for determinism). Each candidate consumes the next clean spare
+/// via [`Crossbar::substitute_column`]; the estimated map is updated in
+/// place (a fused spare was screened clean). When no clean spare
+/// remains, the remaining candidates are reported as unrepaired — no
+/// panic, graceful degradation is the caller's job.
+pub fn repair_columns(xbar: &mut Crossbar, estimated: &mut DefectMap) -> RepairReport {
+    // Candidates: columns with a hard fault, worst first.
+    let mut candidates: Vec<(u64, usize)> = (0..xbar.cols())
+        .filter(|&c| {
+            estimated
+                .iter()
+                .any(|((_, col), kind)| {
+                    col == c && matches!(kind, DefectKind::Short | DefectKind::Open)
+                })
+        })
+        .map(|c| (column_severity(estimated, c), c))
+        .collect();
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut repaired = Vec::new();
+    let mut unrepaired = Vec::new();
+    let mut dirty_spares = 0usize;
+    let mut next_spare = 0usize;
+    for (_, col) in candidates {
+        // Advance past dirty spares (screened at production test).
+        let mut chosen = None;
+        while next_spare < xbar.spare_count() {
+            if xbar.spare_is_clean(next_spare) {
+                chosen = Some(next_spare);
+                break;
+            }
+            dirty_spares += 1;
+            next_spare += 1;
+        }
+        match chosen {
+            Some(k) => {
+                xbar.substitute_column(col, k);
+                estimated.clear_column(col);
+                repaired.push((col, k));
+                next_spare += 1;
+            }
+            None => unrepaired.push(col),
+        }
+    }
+    RepairReport { repaired, dirty_spares, unrepaired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bist::{march_test, BistConfig};
+    use crate::crossbar::CrossbarConfig;
+    use neuspin_device::DefectRates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shorts_config(rate: f64) -> CrossbarConfig {
+        CrossbarConfig {
+            defect_rates: DefectRates { short: rate, ..DefectRates::none() },
+            read_noise: 0.02,
+            ..CrossbarConfig::default()
+        }
+    }
+
+    #[test]
+    fn repair_clears_estimated_and_ground_truth_columns() {
+        let mut r = StdRng::seed_from_u64(5);
+        let w = vec![1.0f32; 128];
+        let mut xbar = Crossbar::program_with_spares(&w, 8, 16, 8, &shorts_config(0.04), &mut r);
+        assert!(xbar.defects().defect_count() > 0, "fixture needs shorts");
+        let mut est = march_test(&mut xbar, &BistConfig::default(), &mut r).estimated;
+        let shorted: Vec<usize> =
+            (0..16).filter(|&c| est.column_defect_count(c) > 0).collect();
+        let report = repair_columns(&mut xbar, &mut est);
+        assert!(report.fully_repaired(), "8 spares cover {} columns", shorted.len());
+        assert_eq!(report.repaired.len(), shorted.len());
+        for c in shorted {
+            assert_eq!(est.column_defect_count(c), 0);
+            assert_eq!(xbar.defects().column_defect_count(c), 0);
+        }
+    }
+
+    #[test]
+    fn exhausting_spares_reports_unrepaired_without_panicking() {
+        let mut r = StdRng::seed_from_u64(9);
+        let w = vec![1.0f32; 512];
+        // Heavy shorts, one spare: most columns must go unrepaired.
+        let mut xbar = Crossbar::program_with_spares(&w, 16, 32, 1, &shorts_config(0.08), &mut r);
+        let mut est = march_test(&mut xbar, &BistConfig::default(), &mut r).estimated;
+        let needy: Vec<usize> = (0..32).filter(|&c| est.column_defect_count(c) > 0).collect();
+        assert!(needy.len() > 2, "fixture needs more faulty columns than spares");
+        let report = repair_columns(&mut xbar, &mut est);
+        assert!(report.repaired.len() <= 1);
+        assert!(!report.fully_repaired());
+        assert!(report.success_rate() < 1.0);
+        assert_eq!(report.repaired.len() + report.unrepaired.len(), needy.len());
+    }
+
+    #[test]
+    fn worst_columns_get_spares_first() {
+        let mut r = StdRng::seed_from_u64(3);
+        let w = vec![1.0f32; 64];
+        let mut xbar =
+            Crossbar::program_with_spares(&w, 8, 8, 1, &CrossbarConfig::ideal(), &mut r);
+        // Hand-build an estimate: column 2 has one open, column 5 two shorts.
+        let mut est = DefectMap::empty(8, 8);
+        est.inject(0, 2, DefectKind::Open);
+        est.inject(1, 5, DefectKind::Short);
+        est.inject(2, 5, DefectKind::Short);
+        let report = repair_columns(&mut xbar, &mut est);
+        assert_eq!(report.repaired, vec![(5, 0)], "the shorted column outranks the open");
+        assert_eq!(report.unrepaired, vec![2]);
+    }
+
+    #[test]
+    fn stuck_only_columns_are_not_repair_candidates() {
+        let mut r = StdRng::seed_from_u64(4);
+        let w = vec![1.0f32; 64];
+        let mut xbar =
+            Crossbar::program_with_spares(&w, 8, 8, 4, &CrossbarConfig::ideal(), &mut r);
+        let mut est = DefectMap::empty(8, 8);
+        est.inject(0, 1, DefectKind::StuckParallel);
+        est.inject(3, 6, DefectKind::StuckAntiParallel);
+        let report = repair_columns(&mut xbar, &mut est);
+        assert!(report.repaired.is_empty(), "stuck-at is tolerable, spares are precious");
+        assert!(report.fully_repaired());
+        assert_eq!(xbar.available_spares(), 4);
+    }
+
+    #[test]
+    fn success_rate_is_one_when_nothing_needed() {
+        let mut r = StdRng::seed_from_u64(6);
+        let w = vec![1.0f32; 16];
+        let mut xbar = Crossbar::program(&w, 4, 4, &CrossbarConfig::ideal(), &mut r);
+        let mut est = DefectMap::empty(4, 4);
+        let report = repair_columns(&mut xbar, &mut est);
+        assert_eq!(report.success_rate(), 1.0);
+    }
+}

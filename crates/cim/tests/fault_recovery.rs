@@ -1,0 +1,134 @@
+//! Seeded end-to-end checks of the BIST → repair loop on a single
+//! crossbar: with enough clean spares a shorts-only array is restored
+//! **bit-for-bit** to the defect-free reference, and running out of
+//! spares degrades the answer without panicking.
+
+use neuspin_cim::{march_test, repair_columns, BistConfig, Crossbar, CrossbarConfig};
+use neuspin_device::{DefectKind, DefectRates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROWS: usize = 16;
+const COLS: usize = 16;
+
+fn weights() -> Vec<f32> {
+    (0..ROWS * COLS).map(|i| if (i * 37 + 11) % 3 == 0 { 1.0 } else { -1.0 }).collect()
+}
+
+fn input() -> Vec<f32> {
+    (0..ROWS).map(|i| ((i * 13 % 7) as f32 - 3.0) / 3.0).collect()
+}
+
+fn shorts_only(rate: f64) -> CrossbarConfig {
+    CrossbarConfig {
+        defect_rates: DefectRates { short: rate, ..DefectRates::none() },
+        ..CrossbarConfig::ideal()
+    }
+}
+
+/// With ideal devices every healthy cell is nominal, so once every
+/// shorted column has been swapped for a clean spare the crossbar must
+/// agree with a defect-free build *exactly* — same bits, not just
+/// close.
+#[test]
+fn bist_repair_restores_shorts_only_crossbar_bit_for_bit() {
+    let w = weights();
+    let mut rng = StdRng::seed_from_u64(0xFA_017);
+    let mut reference =
+        Crossbar::program(&w, ROWS, COLS, &CrossbarConfig::ideal(), &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(0xFA_017);
+    let mut faulty = Crossbar::program_with_spares(
+        &w,
+        ROWS,
+        COLS,
+        8,
+        &shorts_only(0.01),
+        &mut rng,
+    );
+    let truth_shorts = faulty.defects().count_of(DefectKind::Short);
+    assert!(truth_shorts > 0, "seed must inject at least one short");
+
+    let mut bist_rng = StdRng::seed_from_u64(7);
+    let report = march_test(&mut faulty, &BistConfig::default(), &mut bist_rng);
+    // Noiseless ideal devices: every short reads at +/- ~83 and must be
+    // caught.
+    assert!(
+        (report.detection_rate(faulty.defects(), &[DefectKind::Short]) - 1.0).abs() < 1e-12,
+        "missed shorts: {report:?}"
+    );
+
+    let mut estimated = report.estimated;
+    let repair = repair_columns(&mut faulty, &mut estimated);
+    assert!(repair.fully_repaired(), "8 spares must cover {repair:?}");
+
+    let x = input();
+    let mut rng_a = StdRng::seed_from_u64(99);
+    let mut rng_b = StdRng::seed_from_u64(99);
+    let clean = reference.matvec(&x, &mut rng_a);
+    let repaired = faulty.matvec(&x, &mut rng_b);
+    assert_eq!(clean, repaired, "repair must restore the exact defect-free output");
+}
+
+/// Deliberately starve the repair stage: a heavy short rate against a
+/// single spare leaves columns unrepaired, and that is a *reported*
+/// condition, not a crash. The crossbar keeps answering (finitely) with
+/// whatever signal margin remains.
+#[test]
+fn spare_exhaustion_degrades_without_panicking() {
+    let w = weights();
+    let mut rng = StdRng::seed_from_u64(0xFA_018);
+    let mut faulty = Crossbar::program_with_spares(
+        &w,
+        ROWS,
+        COLS,
+        1,
+        &shorts_only(0.15),
+        &mut rng,
+    );
+
+    let mut bist_rng = StdRng::seed_from_u64(8);
+    let report = march_test(&mut faulty, &BistConfig::default(), &mut bist_rng);
+    let mut estimated = report.estimated;
+    let repair = repair_columns(&mut faulty, &mut estimated);
+    assert!(!repair.fully_repaired(), "1 spare cannot absorb a 15 % short rate");
+    assert!(!repair.unrepaired.is_empty());
+    assert!(repair.success_rate() < 1.0);
+    // The lone spare was either consumed or discarded as dirty —
+    // either way the budget is gone.
+    assert!(
+        faulty.available_spares() == 0 || repair.dirty_spares > 0,
+        "spare neither used nor rejected: {repair:?}"
+    );
+
+    let x = input();
+    let mut mv_rng = StdRng::seed_from_u64(100);
+    let out = faulty.matvec(&x, &mut mv_rng);
+    assert!(out.iter().all(|v| v.is_finite()), "degraded output must stay finite");
+}
+
+/// The whole loop is a pure function of its seeds: a second identical
+/// run reproduces the estimated map, the repair log, and the outputs.
+#[test]
+fn fault_management_loop_is_deterministic() {
+    let run = || {
+        let w = weights();
+        let mut rng = StdRng::seed_from_u64(0xFA_019);
+        let mut xbar = Crossbar::program_with_spares(
+            &w,
+            ROWS,
+            COLS,
+            4,
+            &shorts_only(0.02),
+            &mut rng,
+        );
+        let mut bist_rng = StdRng::seed_from_u64(9);
+        let report = march_test(&mut xbar, &BistConfig::default(), &mut bist_rng);
+        let mut estimated = report.estimated;
+        let repair = repair_columns(&mut xbar, &mut estimated);
+        let mut mv_rng = StdRng::seed_from_u64(101);
+        let out = xbar.matvec(&input(), &mut mv_rng);
+        (report.flagged_by_kind, repair.repaired, repair.unrepaired, out)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,329 @@
+//! Runtime health monitoring and the graceful-degradation policy.
+//!
+//! Deployed CIM parts degrade silently: conductances drift, sense
+//! margins shrink, and the network keeps emitting labels — increasingly
+//! wrong ones. The NeuSpin observation (shared by Spatial-SpinDrop and
+//! Scale-Dropout) is that a Bayesian network *tells you* when its
+//! hardware is rotting: predictive entropy rises with fault severity.
+//! The [`HealthMonitor`] operationalizes that signal:
+//!
+//! * it tracks rolling per-batch means of **predictive entropy** (from
+//!   [`neuspin_bayes::Predictive`]) and **sense margin** (from
+//!   [`neuspin_cim::Crossbar::mean_sense_margin`] via
+//!   [`crate::HardwareModel::mean_sense_margin`]),
+//! * a post-calibration [`HealthMonitor::freeze_baseline`] pins the
+//!   healthy reference,
+//! * [`HealthMonitor::policy`] compares the rolling window against the
+//!   baseline and escalates through [`HealthPolicy`]:
+//!   `Healthy → Recalibrate → RemapTier → Abstain`.
+//!
+//! The monitor is pure bookkeeping — deterministic, no RNG — so the
+//! same observation sequence always produces the same policy decisions.
+
+use std::collections::VecDeque;
+
+/// The degradation response ladder, least to most drastic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthPolicy {
+    /// Signals within tolerance of the baseline: keep predicting.
+    Healthy,
+    /// Mild drift: re-run norm calibration (cheap, digital-only).
+    Recalibrate,
+    /// Serious signal loss: re-run BIST + repair + fault-aware remap
+    /// (the full `neuspin_cim` fault-management tier).
+    RemapTier,
+    /// Uncertainty beyond the calibrated threshold: gate predictions
+    /// through [`neuspin_bayes::Predictive::gate`] and abstain rather
+    /// than emit garbage.
+    Abstain,
+}
+
+impl std::fmt::Display for HealthPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthPolicy::Healthy => "healthy",
+            HealthPolicy::Recalibrate => "recalibrate",
+            HealthPolicy::RemapTier => "remap-tier",
+            HealthPolicy::Abstain => "abstain",
+        })
+    }
+}
+
+/// Monitor tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Batches in the rolling window.
+    pub window: usize,
+    /// Tolerated relative rise of mean predictive entropy over the
+    /// baseline before escalation (doubling it triggers the remap
+    /// tier).
+    pub entropy_slack: f64,
+    /// Tolerated relative loss of mean sense margin (doubling it
+    /// triggers the remap tier).
+    pub margin_slack: f64,
+    /// Absolute rolling-entropy level (nats) beyond which predictions
+    /// are abstained. Calibrate with
+    /// [`neuspin_bayes::entropy_threshold_for_coverage`] on held-out
+    /// data; `f64::INFINITY` disables abstention.
+    pub abstain_entropy: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self { window: 8, entropy_slack: 0.25, margin_slack: 0.15, abstain_entropy: f64::INFINITY }
+    }
+}
+
+/// Rolling drift detector over (entropy, sense-margin) batch summaries.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    window: VecDeque<(f64, f64)>,
+    baseline: Option<(f64, f64)>,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given tuning and no observations yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window == 0` or the slacks are not positive
+    /// and finite.
+    pub fn new(config: HealthConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.entropy_slack > 0.0 && config.entropy_slack.is_finite(),
+            "entropy_slack must be positive and finite"
+        );
+        assert!(
+            config.margin_slack > 0.0 && config.margin_slack.is_finite(),
+            "margin_slack must be positive and finite"
+        );
+        Self { config, window: VecDeque::new(), baseline: None }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Sets the abstention threshold (e.g. after calibrating it on
+    /// held-out data).
+    pub fn set_abstain_entropy(&mut self, threshold: f64) {
+        self.config.abstain_entropy = threshold;
+    }
+
+    /// Records one inference batch: its mean predictive entropy and the
+    /// hardware's mean sense margin over the same batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either signal is non-finite or negative.
+    pub fn observe(&mut self, mean_entropy: f64, mean_margin: f64) {
+        assert!(
+            mean_entropy.is_finite() && mean_entropy >= 0.0,
+            "entropy must be finite and >= 0, got {mean_entropy}"
+        );
+        assert!(
+            mean_margin.is_finite() && mean_margin >= 0.0,
+            "margin must be finite and >= 0, got {mean_margin}"
+        );
+        if self.window.len() == self.config.window {
+            self.window.pop_front();
+        }
+        self.window.push_back((mean_entropy, mean_margin));
+    }
+
+    /// Rolling mean predictive entropy (0 before any observation).
+    pub fn rolling_entropy(&self) -> f64 {
+        self.rolling().0
+    }
+
+    /// Rolling mean sense margin (0 before any observation).
+    pub fn rolling_margin(&self) -> f64 {
+        self.rolling().1
+    }
+
+    fn rolling(&self) -> (f64, f64) {
+        if self.window.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.window.len() as f64;
+        let (se, sm) = self
+            .window
+            .iter()
+            .fold((0.0, 0.0), |(ae, am), &(e, m)| (ae + e, am + m));
+        (se / n, sm / n)
+    }
+
+    /// Pins the current rolling means as the healthy reference. Call
+    /// once after deployment calibration (and again after a successful
+    /// repair, which establishes a new normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed yet.
+    pub fn freeze_baseline(&mut self) {
+        assert!(!self.window.is_empty(), "observe at least one batch before freezing");
+        self.baseline = Some(self.rolling());
+    }
+
+    /// The frozen baseline `(entropy, margin)`, if any.
+    pub fn baseline(&self) -> Option<(f64, f64)> {
+        self.baseline
+    }
+
+    /// Relative entropy rise over the baseline (0 when healthy or no
+    /// baseline).
+    pub fn entropy_rise(&self) -> f64 {
+        match self.baseline {
+            Some((be, _)) if be > 1e-12 => (self.rolling_entropy() / be - 1.0).max(0.0),
+            // Degenerate baseline (zero entropy): any entropy at all
+            // is an infinite relative rise; report a large finite one.
+            Some(_) if self.rolling_entropy() > 1e-12 => f64::MAX,
+            _ => 0.0,
+        }
+    }
+
+    /// Relative margin loss versus the baseline (0 when healthy or no
+    /// baseline).
+    pub fn margin_loss(&self) -> f64 {
+        match self.baseline {
+            Some((_, bm)) if bm > 1e-12 => (1.0 - self.rolling_margin() / bm).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Whether drift onset is detected (either signal left its slack
+    /// band).
+    pub fn drift_detected(&self) -> bool {
+        self.entropy_rise() > self.config.entropy_slack
+            || self.margin_loss() > self.config.margin_slack
+    }
+
+    /// The current policy decision: the most drastic response any
+    /// signal warrants.
+    ///
+    /// * rolling entropy above the calibrated absolute threshold →
+    ///   [`HealthPolicy::Abstain`];
+    /// * either signal at more than twice its slack →
+    ///   [`HealthPolicy::RemapTier`];
+    /// * either signal beyond its slack → [`HealthPolicy::Recalibrate`];
+    /// * otherwise [`HealthPolicy::Healthy`].
+    pub fn policy(&self) -> HealthPolicy {
+        if self.rolling_entropy() > self.config.abstain_entropy {
+            return HealthPolicy::Abstain;
+        }
+        let e = self.entropy_rise();
+        let m = self.margin_loss();
+        if e > 2.0 * self.config.entropy_slack || m > 2.0 * self.config.margin_slack {
+            HealthPolicy::RemapTier
+        } else if e > self.config.entropy_slack || m > self.config.margin_slack {
+            HealthPolicy::Recalibrate
+        } else {
+            HealthPolicy::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig { window: 4, ..HealthConfig::default() })
+    }
+
+    #[test]
+    fn healthy_until_baseline_deviates() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.observe(0.5, 10.0);
+        }
+        m.freeze_baseline();
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+        assert!(!m.drift_detected());
+        // Small wiggles stay healthy.
+        m.observe(0.55, 9.8);
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn entropy_rise_escalates_to_recalibrate_then_remap() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.observe(0.5, 10.0);
+        }
+        m.freeze_baseline();
+        // Rolling mean drifts up past 25 % → recalibrate.
+        for _ in 0..4 {
+            m.observe(0.7, 10.0);
+        }
+        assert!(m.drift_detected());
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+        // Past 50 % → remap tier.
+        for _ in 0..4 {
+            m.observe(0.9, 10.0);
+        }
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+    }
+
+    #[test]
+    fn margin_collapse_triggers_remap_tier() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.observe(0.5, 10.0);
+        }
+        m.freeze_baseline();
+        for _ in 0..4 {
+            m.observe(0.5, 5.0); // 50 % margin loss > 2 × 15 %
+        }
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+    }
+
+    #[test]
+    fn absolute_entropy_threshold_wins() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 2,
+            abstain_entropy: 1.0,
+            ..HealthConfig::default()
+        });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(1.4, 10.0);
+        m.observe(1.4, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::Abstain);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_batches() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.observe(1.0, 10.0);
+        }
+        assert!((m.rolling_entropy() - 1.0).abs() < 1e-12);
+        for _ in 0..4 {
+            m.observe(0.2, 10.0);
+        }
+        assert!((m.rolling_entropy() - 0.2).abs() < 1e-12, "window fully turned over");
+    }
+
+    #[test]
+    fn policies_are_ordered() {
+        assert!(HealthPolicy::Healthy < HealthPolicy::Recalibrate);
+        assert!(HealthPolicy::Recalibrate < HealthPolicy::RemapTier);
+        assert!(HealthPolicy::RemapTier < HealthPolicy::Abstain);
+    }
+
+    #[test]
+    #[should_panic(expected = "observe at least one batch")]
+    fn freeze_needs_observations() {
+        monitor().freeze_baseline();
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy must be finite")]
+    fn observe_rejects_nan() {
+        monitor().observe(f64::NAN, 1.0);
+    }
+}

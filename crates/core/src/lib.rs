@@ -44,6 +44,7 @@ pub mod blocks;
 mod blocks_tests;
 pub mod dist;
 pub mod extract;
+pub mod health;
 pub mod json;
 pub mod model;
 pub mod reliability;
@@ -51,9 +52,10 @@ pub mod report;
 pub mod rng;
 
 pub use extract::TrainedParams;
+pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
 pub use json::{Json, ToJson};
-pub use model::{HardwareConfig, HardwareModel};
-pub use reliability::{reliability_base, sweep, SweepKind, SweepPoint};
+pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFaultReport};
+pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
 
 #[cfg(test)]
@@ -212,6 +214,74 @@ mod tests {
         assert!(s.contains("crossbar conv 9×8"), "{s}");
         assert!(s.contains("crossbar fc 256×64"), "{s}");
         assert!(s.contains("digital fc 64×10"), "{s}");
+    }
+
+    #[test]
+    fn fault_management_flags_repairs_and_stays_finite() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut sw = build_cnn(Method::SpinDrop, &a, &mut rng);
+        let config = HardwareConfig {
+            crossbar: CrossbarConfig {
+                defect_rates: neuspin_device::DefectRates {
+                    short: 0.005,
+                    open: 0.005,
+                    ..neuspin_device::DefectRates::none()
+                },
+                read_noise: 0.02,
+                ..CrossbarConfig::default()
+            },
+            spare_cols: 4,
+            passes: 4,
+            ..HardwareConfig::default()
+        };
+        let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &a, &config, &mut rng);
+        let report = hw.fault_management(&neuspin_cim::BistConfig::default(), &mut rng);
+        assert_eq!(report.layers.len(), 3, "two conv + one fc crossbar");
+        assert!(report.total_flagged() > 0, "0.5 % hard faults must be seen");
+        assert!(report.layers.iter().any(|l| l.repaired > 0), "{report:?}");
+        let rate = report.repair_success_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        let x = Tensor::from_fn(&[2, 1, 16, 16], |i| (i as f32 * 0.03).sin());
+        hw.calibrate(&x, 1, &mut rng);
+        let y = hw.forward(&x, true, &mut rng);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn gated_prediction_and_health_monitor_loop() {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut sw = build_cnn(Method::SpinDrop, &a, &mut rng);
+        let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &a, &ideal_config(), &mut rng);
+        let x = Tensor::from_fn(&[8, 1, 16, 16], |i| ((i * 7 % 23) as f32 / 11.5) - 1.0);
+        hw.calibrate(&x, 1, &mut rng);
+
+        let threshold = hw.calibrate_abstention(&x, 0.75, &mut rng);
+        assert!(threshold.is_finite() && threshold > 0.0);
+        let (pred, gated) = hw.predict_gated(&x, threshold, &mut rng);
+        assert_eq!(gated.accepted.len(), 8);
+        assert!(gated.coverage() > 0.0);
+        assert!(pred.entropy.iter().all(|h| h.is_finite()));
+
+        // Feed the monitor a healthy baseline, then wreck the hardware.
+        let mut monitor = HealthMonitor::new(HealthConfig { window: 2, ..Default::default() });
+        hw.reset_sense_margins();
+        let healthy = hw.predict(&x, &mut rng);
+        let healthy_entropy =
+            healthy.entropy.iter().sum::<f64>() / healthy.entropy.len() as f64;
+        monitor.observe(healthy_entropy, hw.mean_sense_margin());
+        monitor.freeze_baseline();
+        assert_eq!(monitor.policy(), HealthPolicy::Healthy);
+
+        hw.inject_drift(0.3, 0.4, &mut rng); // severe conductance collapse
+        hw.reset_sense_margins();
+        let sick = hw.predict(&x, &mut rng);
+        let sick_entropy = sick.entropy.iter().sum::<f64>() / sick.entropy.len() as f64;
+        monitor.observe(sick_entropy, hw.mean_sense_margin());
+        monitor.observe(sick_entropy, hw.mean_sense_margin());
+        assert!(monitor.drift_detected(), "70 % margin loss must be seen");
+        assert!(monitor.policy() > HealthPolicy::Healthy, "{:?}", monitor.policy());
     }
 
     #[test]

@@ -4,10 +4,13 @@ use crate::blocks::{
     FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes, HwInvNorm, HwNorm,
 };
 use crate::extract::TrainedParams;
-use neuspin_bayes::{mc_predict_with, quantize, ArchConfig, Method, Predictive, SpinBayesConfig};
+use neuspin_bayes::{
+    entropy_threshold_for_coverage, mc_predict_with, quantize, ArchConfig, Gated, Method,
+    Predictive, SpinBayesConfig,
+};
 use neuspin_cim::{
-    Arbiter, Crossbar, CrossbarConfig, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule,
-    SpinDropModule,
+    fault_aware_remap, march_test, repair_columns, Arbiter, BistConfig, Crossbar, CrossbarConfig,
+    MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
 };
 use neuspin_device::stats::LogNormal;
 use neuspin_energy::{EnergyBreakdown, EnergyModel, Joules};
@@ -35,6 +38,10 @@ pub struct HardwareConfig {
     /// measurement bits per bisection step (0 disables tuning and
     /// leaves every module at its variation-skewed open-loop bias).
     pub module_tuning_bits: u32,
+    /// Spare columns fabricated per binary crossbar for redundancy
+    /// repair (0 = no spares; see
+    /// [`HardwareModel::fault_management`]).
+    pub spare_cols: usize,
 }
 
 impl Default for HardwareConfig {
@@ -45,6 +52,7 @@ impl Default for HardwareConfig {
             spinbayes: SpinBayesConfig::default(),
             vi_bits_per_sample: 4,
             module_tuning_bits: 150,
+            spare_cols: 0,
         }
     }
 }
@@ -96,7 +104,14 @@ impl HardwareModel {
             let (o, i) = (c_out, c_in * 9);
             let layout = TrainedParams::to_crossbar_layout(&signs, o, i);
             HwConv {
-                xbar: Crossbar::program(&layout, i, o, &config.crossbar, rng),
+                xbar: Crossbar::program_with_spares(
+                    &layout,
+                    i,
+                    o,
+                    config.spare_cols,
+                    &config.crossbar,
+                    rng,
+                ),
                 geo: conv_geo(c_in, c_out),
                 alphas,
                 bias: params.biases[idx].as_slice().to_vec(),
@@ -275,7 +290,14 @@ impl HardwareModel {
             let (o, i) = (arch.hidden, arch.flat_features());
             let layout = TrainedParams::to_crossbar_layout(&signs, o, i);
             blocks.push(HwBlock::Fc(HwFc {
-                xbar: Crossbar::program(&layout, i, o, &config.crossbar, rng),
+                xbar: Crossbar::program_with_spares(
+                    &layout,
+                    i,
+                    o,
+                    config.spare_cols,
+                    &config.crossbar,
+                    rng,
+                ),
                 alphas,
                 bias: params.biases[2].as_slice().to_vec(),
                 local: OpCounter::new(),
@@ -354,6 +376,115 @@ impl HardwareModel {
     pub fn predict(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
         let passes = if self.method.is_bayesian() { self.passes } else { 1 };
         mc_predict_with(passes, |_| self.forward(inputs, self.method.is_bayesian(), rng))
+    }
+
+    /// Uncertainty-gated prediction: like [`HardwareModel::predict`],
+    /// but samples whose predictive entropy exceeds `abstain_entropy`
+    /// are abstained instead of silently answered — the graceful-
+    /// degradation exit of the fault-management loop. Calibrate the
+    /// threshold with [`HardwareModel::calibrate_abstention`].
+    pub fn predict_gated(
+        &mut self,
+        inputs: &Tensor,
+        abstain_entropy: f64,
+        rng: &mut StdRng,
+    ) -> (Predictive, Gated) {
+        let pred = self.predict(inputs, rng);
+        let gated = pred.gate(abstain_entropy);
+        (pred, gated)
+    }
+
+    /// Calibrates the abstention threshold on held-out inputs: runs one
+    /// predictive pass and returns the entropy level that keeps at
+    /// least `coverage` of these (assumed healthy-hardware) samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `(0, 1]` or `calib` is empty.
+    pub fn calibrate_abstention(
+        &mut self,
+        calib: &Tensor,
+        coverage: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let pred = self.predict(calib, rng);
+        entropy_threshold_for_coverage(&pred.entropy, coverage)
+    }
+
+    /// Runs the production-test half of the fault-management loop over
+    /// every binary crossbar: march-test BIST (estimated defect map),
+    /// spare-column repair, and fault-aware remapping that routes the
+    /// highest-α output channels onto the cleanest physical columns.
+    /// Run it after compilation and *before* [`HardwareModel::calibrate`]
+    /// (the remap changes each line's IR-drop position, which
+    /// calibration then absorbs).
+    ///
+    /// Deterministic given the RNG seed: same die + same seed ⇒ same
+    /// estimate, same repair decisions, same remap.
+    pub fn fault_management(
+        &mut self,
+        bist: &BistConfig,
+        rng: &mut StdRng,
+    ) -> FaultManagementReport {
+        let mut layers = Vec::new();
+        for block in &mut self.blocks {
+            let (xbar, alphas): (&mut Crossbar, &[f32]) = match block {
+                HwBlock::Conv(b) => (&mut b.xbar, &b.alphas),
+                HwBlock::Fc(b) => (&mut b.xbar, &b.alphas),
+                _ => continue,
+            };
+            layers.push(manage_crossbar(xbar, alphas, bist, rng));
+        }
+        FaultManagementReport { layers }
+    }
+
+    /// Mean sense margin over every crossbar since the last
+    /// [`HardwareModel::reset_sense_margins`] — the hardware-side
+    /// signal for [`crate::HealthMonitor`]. Crossbars that have not
+    /// evaluated yet contribute 0.
+    pub fn mean_sense_margin(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for block in &self.blocks {
+            match block {
+                HwBlock::Conv(b) => {
+                    sum += b.xbar.mean_sense_margin();
+                    n += 1;
+                }
+                HwBlock::Fc(b) => {
+                    sum += b.xbar.mean_sense_margin();
+                    n += 1;
+                }
+                HwBlock::FcSpinBayes(b) => {
+                    for xb in &b.xbars {
+                        sum += xb.mean_sense_margin();
+                        n += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Starts a fresh sense-margin window on every crossbar.
+    pub fn reset_sense_margins(&mut self) {
+        for block in &mut self.blocks {
+            match block {
+                HwBlock::Conv(b) => b.xbar.reset_sense_margin(),
+                HwBlock::Fc(b) => b.xbar.reset_sense_margin(),
+                HwBlock::FcSpinBayes(b) => {
+                    for xb in &mut b.xbars {
+                        xb.reset_sense_margin();
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Deterministic (1-pass, stochastic units off) prediction.
@@ -485,6 +616,97 @@ impl HardwareModel {
                 _ => 0,
             })
             .sum()
+    }
+}
+
+/// Per-crossbar outcome of [`HardwareModel::fault_management`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerFaultReport {
+    /// Crossbar shape.
+    pub rows: usize,
+    /// Crossbar shape.
+    pub cols: usize,
+    /// Cells the BIST flagged as defective (estimate, physical
+    /// coordinates).
+    pub flagged: usize,
+    /// Columns repaired with a spare.
+    pub repaired: usize,
+    /// Columns that needed a spare and got none.
+    pub unrepaired: usize,
+    /// Spares discarded as born-defective.
+    pub dirty_spares: usize,
+    /// Spares still unused after repair.
+    pub spares_left: usize,
+    /// Whether a non-identity fault-aware remap was applied.
+    pub remapped: bool,
+}
+
+/// Aggregate outcome of [`HardwareModel::fault_management`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultManagementReport {
+    /// One entry per binary crossbar, in pipeline order.
+    pub layers: Vec<LayerFaultReport>,
+}
+
+impl FaultManagementReport {
+    /// Total BIST-flagged cells.
+    pub fn total_flagged(&self) -> usize {
+        self.layers.iter().map(|l| l.flagged).sum()
+    }
+
+    /// Fraction of repair-needing columns that got a spare (1 when no
+    /// column needed one).
+    pub fn repair_success_rate(&self) -> f64 {
+        let repaired: usize = self.layers.iter().map(|l| l.repaired).sum();
+        let needed = repaired + self.layers.iter().map(|l| l.unrepaired).sum::<usize>();
+        if needed == 0 {
+            1.0
+        } else {
+            repaired as f64 / needed as f64
+        }
+    }
+
+    /// Whether any crossbar was left with unrepaired hard faults.
+    pub fn degraded(&self) -> bool {
+        self.layers.iter().any(|l| l.unrepaired > 0)
+    }
+}
+
+/// BIST → repair → fault-aware remap on one binary crossbar. Output
+/// columns are ranked by |α| (each column's contribution is scaled by
+/// its channel α, so high-α channels matter most); rows carry equal
+/// binary weight and are ranked by damage only.
+fn manage_crossbar(
+    xbar: &mut Crossbar,
+    alphas: &[f32],
+    bist: &BistConfig,
+    rng: &mut StdRng,
+) -> LayerFaultReport {
+    let report = march_test(xbar, bist, rng);
+    let flagged = report.flagged();
+    let mut estimated = report.estimated;
+    let repair = repair_columns(xbar, &mut estimated);
+    let (rows, cols) = (xbar.rows(), xbar.cols());
+    let mut importance = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            importance[r * cols + c] = alphas.get(c).map_or(1.0, |a| a.abs());
+        }
+    }
+    let remap = fault_aware_remap(&estimated, &importance, rows, cols);
+    let remapped = !remap.is_identity();
+    if remapped {
+        xbar.apply_remap(remap.row_src, remap.col_src);
+    }
+    LayerFaultReport {
+        rows,
+        cols,
+        flagged,
+        repaired: repair.repaired.len(),
+        unrepaired: repair.unrepaired.len(),
+        dirty_spares: repair.dirty_spares,
+        spares_left: xbar.available_spares(),
+        remapped,
     }
 }
 

@@ -37,38 +37,65 @@ pub enum SweepKind {
     Drift,
 }
 
-/// Hardware instances averaged per sweep point (each with fresh device
-/// draws) — reliability curves from a single die are noisy.
-pub const INSTANCES_PER_POINT: usize = 3;
+/// Parameters of a reliability sweep: the severity knob, the points to
+/// visit, the averaging budget, and the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// The severity knob this sweep turns.
+    pub kind: SweepKind,
+    /// Severity values to visit, in order.
+    pub severities: Vec<f64>,
+    /// Hardware instances averaged per sweep point (each with fresh
+    /// device draws) — reliability curves from a single die are noisy.
+    /// Defaults to 3; campaigns that need tighter error bars raise it.
+    pub instances_per_point: usize,
+    /// Base RNG seed; every (point, instance) pair derives its own
+    /// stream from it.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep over the given severities with the default averaging
+    /// budget of 3 instances per point.
+    pub fn new(kind: SweepKind, severities: Vec<f64>, seed: u64) -> Self {
+        Self { kind, severities, instances_per_point: 3, seed }
+    }
+}
 
 /// Runs a reliability sweep for one trained model.
 ///
-/// For every severity, the trained model is compiled onto
-/// [`INSTANCES_PER_POINT`] fresh hardware instances (new device draws),
-/// each calibrated on `calib` and evaluated on `test`; the point is the
-/// average. For [`SweepKind::Drift`] the hardware is calibrated *first*
-/// and the drift injected afterwards — the scenario where stored norm
-/// statistics go stale.
+/// For every severity in `sweep_config`, the trained model is compiled
+/// onto [`SweepConfig::instances_per_point`] fresh hardware instances
+/// (new device draws), each calibrated on `calib` and evaluated on
+/// `test`; the point is the average. For [`SweepKind::Drift`] the
+/// hardware is calibrated *first* and the drift injected afterwards —
+/// the scenario where stored norm statistics go stale.
 ///
 /// The defect sweep injects stuck-at and open defects only: barrier
 /// shorts are catastrophic, screened at production test, and mapped out
 /// by the row/column redundancy every memory product ships — modelling
 /// them as unrepaired in-field defects would measure the repair flow,
-/// not the network.
-#[allow(clippy::too_many_arguments)]
+/// not the network (see `neuspin_cim::bist` / `neuspin_cim::repair` and
+/// the fault-management campaign for exactly that study).
+///
+/// # Panics
+///
+/// Panics if `sweep_config.instances_per_point == 0`.
 pub fn sweep(
     trained: &mut Sequential,
     method: Method,
     arch: &ArchConfig,
     base: &HardwareConfig,
-    kind: SweepKind,
-    severities: &[f64],
+    sweep_config: &SweepConfig,
     calib: &Dataset,
     test: &Dataset,
-    seed: u64,
 ) -> Vec<SweepPoint> {
-    let mut points = Vec::with_capacity(severities.len());
-    for (i, &severity) in severities.iter().enumerate() {
+    let instances_per_point = sweep_config.instances_per_point;
+    assert!(instances_per_point > 0, "instances_per_point must be positive");
+    let kind = sweep_config.kind;
+    let seed = sweep_config.seed;
+    let mut points = Vec::with_capacity(sweep_config.severities.len());
+    for (i, &severity) in sweep_config.severities.iter().enumerate() {
         let mut config = *base;
         match kind {
             SweepKind::Variation => {
@@ -88,7 +115,7 @@ pub fn sweep(
         }
         let mut acc_sum = 0.0;
         let mut entropy_sum = 0.0;
-        for instance in 0..INSTANCES_PER_POINT {
+        for instance in 0..instances_per_point {
             let mut rng =
                 StdRng::seed_from_u64(seed ^ ((i as u64) << 32) ^ ((instance as u64) << 16));
             let mut hw = HardwareModel::compile(trained, method, arch, &config, &mut rng);
@@ -103,8 +130,8 @@ pub fn sweep(
         }
         points.push(SweepPoint {
             severity,
-            accuracy: acc_sum / INSTANCES_PER_POINT as f64,
-            mean_entropy: entropy_sum / INSTANCES_PER_POINT as f64,
+            accuracy: acc_sum / instances_per_point as f64,
+            mean_entropy: entropy_sum / instances_per_point as f64,
         });
     }
     points

@@ -85,8 +85,30 @@ impl DefectRates {
     ///
     /// Panics if `4 * rate > 1` (rates must form a sub-probability).
     pub fn uniform(rate: f64) -> Self {
-        assert!(rate >= 0.0 && 4.0 * rate <= 1.0, "4*rate must be <= 1, got rate {rate}");
-        Self { stuck_parallel: rate, stuck_antiparallel: rate, short: rate, open: rate }
+        let rates =
+            Self { stuck_parallel: rate, stuck_antiparallel: rate, short: rate, open: rate };
+        rates.validate();
+        rates
+    }
+
+    /// Validates that the rates form a per-cell sub-probability: every
+    /// rate finite and `>= 0`, and the total `<= 1`.
+    ///
+    /// Every sampling entry point ([`DefectMap::sample`]) calls this, so
+    /// a hand-built `DefectRates` with public fields cannot silently
+    /// skew the categorical draw in [`DefectRates::sample_cell`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or non-finite, or the rates sum to
+    /// more than 1.
+    pub fn validate(&self) {
+        for kind in DefectKind::ALL {
+            let r = self.rate(kind);
+            assert!(r.is_finite() && r >= 0.0, "{kind} rate must be finite and >= 0, got {r}");
+        }
+        let total = self.total();
+        assert!(total <= 1.0, "total defect rate must be <= 1, got {total}");
     }
 
     /// Total per-cell defect probability.
@@ -137,7 +159,12 @@ impl DefectMap {
 
     /// Samples a defect map for an `rows × cols` array from the given
     /// rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` fails [`DefectRates::validate`].
     pub fn sample<R: Rng + ?Sized>(rows: usize, cols: usize, rates: &DefectRates, rng: &mut R) -> Self {
+        rates.validate();
         let mut cells = BTreeMap::new();
         for r in 0..rows {
             for c in 0..cols {
@@ -185,8 +212,8 @@ impl DefectMap {
     }
 
     /// Iterates `((row, col), kind)` in row-major order.
-    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), DefectKind)> + '_ {
-        self.cells.iter().map(|(&pos, &kind)| (pos, kind))
+    pub fn iter(&self) -> DefectMapIter<'_> {
+        DefectMapIter { inner: self.cells.iter() }
     }
 
     /// Count of defects of one kind.
@@ -194,9 +221,34 @@ impl DefectMap {
         self.cells.values().filter(|&&k| k == kind).count()
     }
 
-    /// Models the production repair flow: barrier shorts are screened at
-    /// test and mapped to spare columns, so they disappear from the
-    /// in-field defect population. Returns the number repaired.
+    /// Removes a defect marker (e.g. after the cell was rewired to a
+    /// spare). Returns the removed kind, if the cell was defective.
+    pub fn clear(&mut self, row: usize, col: usize) -> Option<DefectKind> {
+        self.cells.remove(&(row, col))
+    }
+
+    /// Removes every defect marker in one column (the unit of spare
+    /// redundancy repair). Returns the number cleared.
+    pub fn clear_column(&mut self, col: usize) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|&(_, c), _| c != col);
+        before - self.cells.len()
+    }
+
+    /// Number of defective cells in one column.
+    pub fn column_defect_count(&self, col: usize) -> usize {
+        self.cells.keys().filter(|&&(_, c)| c == col).count()
+    }
+
+    /// Idealized stand-in for the production repair flow: *assumes*
+    /// barrier shorts are screened at test and mapped to spare columns,
+    /// and simply erases them from the in-field defect population.
+    /// Returns the number erased.
+    ///
+    /// The modeled flow — march-test detection, a finite spare-column
+    /// budget that can run out, and imperfect spares — lives in
+    /// `neuspin_cim::bist` / `neuspin_cim::repair`; prefer it whenever
+    /// the repair process itself is part of the scenario under study.
     pub fn repair_shorts(&mut self) -> usize {
         let before = self.cells.len();
         self.cells.retain(|_, kind| *kind != DefectKind::Short);
@@ -204,12 +256,35 @@ impl DefectMap {
     }
 }
 
+/// Row-major iterator over the defective cells of a [`DefectMap`].
+///
+/// A concrete wrapper around the underlying B-tree iterator, so
+/// `for … in &map` neither boxes nor allocates.
+#[derive(Debug, Clone)]
+pub struct DefectMapIter<'a> {
+    inner: std::collections::btree_map::Iter<'a, (usize, usize), DefectKind>,
+}
+
+impl<'a> Iterator for DefectMapIter<'a> {
+    type Item = ((usize, usize), DefectKind);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(&pos, &kind)| (pos, kind))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for DefectMapIter<'_> {}
+
 impl<'a> IntoIterator for &'a DefectMap {
     type Item = ((usize, usize), DefectKind);
-    type IntoIter = Box<dyn Iterator<Item = ((usize, usize), DefectKind)> + 'a>;
+    type IntoIter = DefectMapIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        Box::new(self.iter())
+        self.iter()
     }
 }
 
@@ -318,5 +393,65 @@ mod tests {
         m.inject(0, 1, DefectKind::Short);
         let order: Vec<_> = m.iter().map(|(pos, _)| pos).collect();
         assert_eq!(order, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn ref_into_iter_is_concrete_and_sized() {
+        let mut m = DefectMap::empty(3, 3);
+        m.inject(1, 1, DefectKind::Short);
+        m.inject(2, 2, DefectKind::Open);
+        let it: DefectMapIter<'_> = (&m).into_iter();
+        assert_eq!(it.len(), 2);
+        let collected: Vec<_> = (&m).into_iter().collect();
+        assert_eq!(collected, vec![((1, 1), DefectKind::Short), ((2, 2), DefectKind::Open)]);
+    }
+
+    #[test]
+    fn validate_accepts_sub_probability() {
+        DefectRates { stuck_parallel: 0.3, stuck_antiparallel: 0.3, short: 0.2, open: 0.2 }
+            .validate();
+        DefectRates::none().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and >= 0")]
+    fn validate_rejects_negative_rate() {
+        DefectRates { open: -0.1, ..DefectRates::none() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "total defect rate must be <= 1")]
+    fn validate_rejects_super_probability() {
+        DefectRates { short: 0.6, open: 0.6, ..DefectRates::none() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "total defect rate must be <= 1")]
+    fn sample_rejects_invalid_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = DefectRates { stuck_parallel: 0.9, short: 0.9, ..DefectRates::none() };
+        let _ = DefectMap::sample(4, 4, &bad, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and >= 0")]
+    fn sample_rejects_nan_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = DefectRates { short: f64::NAN, ..DefectRates::none() };
+        let _ = DefectMap::sample(4, 4, &bad, &mut rng);
+    }
+
+    #[test]
+    fn clear_and_column_helpers() {
+        let mut m = DefectMap::empty(4, 4);
+        m.inject(0, 2, DefectKind::Short);
+        m.inject(3, 2, DefectKind::Open);
+        m.inject(1, 0, DefectKind::StuckParallel);
+        assert_eq!(m.column_defect_count(2), 2);
+        assert_eq!(m.clear(0, 2), Some(DefectKind::Short));
+        assert_eq!(m.clear(0, 2), None);
+        assert_eq!(m.clear_column(2), 1);
+        assert_eq!(m.column_defect_count(2), 0);
+        assert_eq!(m.defect_count(), 1, "other columns untouched");
     }
 }

@@ -47,7 +47,7 @@ pub mod stats;
 pub mod switching;
 pub mod variation;
 
-pub use defects::{DefectKind, DefectMap, DefectRates};
+pub use defects::{DefectKind, DefectMap, DefectMapIter, DefectRates};
 pub use energy::DeviceEnergy;
 pub use mlc::MultiLevelCell;
 pub use mtj::{Mtj, MtjParams, MtjState};

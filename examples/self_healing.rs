@@ -8,7 +8,7 @@
 //! ```
 
 use neuspin::bayes::{build_cnn, ArchConfig, Method};
-use neuspin::core::{reliability_base, sweep, SweepKind};
+use neuspin::core::{reliability_base, sweep, SweepConfig, SweepKind};
 use neuspin::data::digits::{dataset, DigitStyle};
 use neuspin::nn::{fit, Adam, TrainConfig};
 use rand::rngs::StdRng;
@@ -43,11 +43,9 @@ fn main() {
             method,
             &arch,
             &config,
-            SweepKind::Drift,
-            &severities,
+            &SweepConfig::new(SweepKind::Drift, severities.to_vec(), 777),
             &calib,
             &test,
-            777,
         );
         let row: Vec<String> =
             points.iter().map(|p| format!("{:>5.1}%", 100.0 * p.accuracy)).collect();

@@ -1,0 +1,262 @@
+//! E2E acceptance for the active fault-management tier.
+//!
+//! A 16-input × 64-column crossbar classifier (10 template classes on
+//! the first 10 columns) is fabricated at `DefectRates::uniform(0.01)`
+//! with 4 spare columns. The acceptance criteria, all from fixed seeds:
+//!
+//! 1. march-test BIST detects ≥ 90 % of the injected shorts/opens,
+//! 2. spare-column repair + fault-aware remapping recovers at least
+//!    half of the accuracy lost to defects versus the no-management
+//!    baseline on the *same die*,
+//! 3. entropy-gated abstention on the unmanaged die yields
+//!    accuracy-on-accepted above the unguarded accuracy while keeping
+//!    coverage ≥ 70 %,
+//! 4. the whole loop is bit-for-bit deterministic.
+
+use neuspin::bayes::{entropy_threshold_for_coverage, mc_predict_with, Predictive};
+use neuspin::cim::{
+    fault_aware_remap, march_test, repair_columns, BistConfig, Crossbar, CrossbarConfig,
+};
+use neuspin::device::{DefectKind, DefectRates, VariedParams};
+use neuspin::nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const ROWS: usize = 16; // input dimension
+const COLS: usize = 64; // physical columns; the first CLASSES are logits
+const CLASSES: usize = 10;
+const SPARES: usize = 4;
+const PASSES: usize = 8;
+const TEMP: f32 = 4.0; // softmax temperature on the (ADC-clipped) logits
+const DIE_SEED: u64 = 0xD1E_0008;
+
+fn faulty_config() -> CrossbarConfig {
+    CrossbarConfig {
+        corner: VariedParams::ideal(),
+        defect_rates: DefectRates::uniform(0.01),
+        read_noise: 0.05,
+        adc_bits: Some(6),
+        ir_drop: 0.0,
+    }
+}
+
+fn clean_config() -> CrossbarConfig {
+    CrossbarConfig { defect_rates: DefectRates::none(), ..faulty_config() }
+}
+
+/// One ±1 template per class, plus filler ±1 weights on the unused
+/// columns (binary crossbars cannot store zeros).
+fn weights(rng: &mut StdRng) -> Vec<f32> {
+    let templates: Vec<Vec<f32>> = (0..CLASSES)
+        .map(|_| (0..ROWS).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
+        .collect();
+    let mut w = vec![0.0f32; ROWS * COLS];
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            w[r * COLS + c] = if c < CLASSES {
+                templates[c][r]
+            } else if (r * 31 + c * 7) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+        }
+    }
+    w
+}
+
+/// Noisy class templates: the crossbar's matched filter should recover
+/// the label with a wide margin on healthy hardware.
+fn make_split(n: usize, w: &[f32], rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut inputs = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let x: Vec<f32> = (0..ROWS)
+            .map(|r| 0.8 * w[r * COLS + class] + 0.35 * rand::dist::standard_normal(rng) as f32)
+            .collect();
+        inputs.push(x);
+        labels.push(class);
+    }
+    (inputs, labels)
+}
+
+fn predict(xbar: &mut Crossbar, inputs: &[Vec<f32>], rng: &mut StdRng) -> Predictive {
+    let n = inputs.len();
+    mc_predict_with(PASSES, |_| {
+        let mut logits = vec![0.0f32; n * CLASSES];
+        for (i, x) in inputs.iter().enumerate() {
+            let out = xbar.matvec(x, rng);
+            for c in 0..CLASSES {
+                logits[i * CLASSES + c] = out[c] as f32 / TEMP;
+            }
+        }
+        Tensor::from_vec(logits, &[n, CLASSES])
+    })
+}
+
+/// Logical-column importance for the remap stage: only the class
+/// columns carry signal; the filler columns are expendable.
+fn importance() -> Vec<f32> {
+    let mut m = vec![0.0f32; ROWS * COLS];
+    for r in 0..ROWS {
+        for c in 0..CLASSES {
+            m[r * COLS + c] = 1.0;
+        }
+    }
+    m
+}
+
+struct Outcome {
+    detection: f64,
+    acc_clean: f64,
+    acc_baseline: f64,
+    acc_managed: f64,
+    acc_accepted: f64,
+    coverage: f64,
+    gated_entropies: Vec<f64>,
+}
+
+fn run_campaign() -> Outcome {
+    let w = weights(&mut StdRng::seed_from_u64(0x7E71));
+    let (calib, calib_labels) = make_split(100, &w, &mut StdRng::seed_from_u64(0xCA11B));
+    let (test, test_labels) = make_split(200, &w, &mut StdRng::seed_from_u64(0x7E57));
+    let _ = calib_labels;
+
+    // Healthy reference die.
+    let mut clean = Crossbar::program_with_spares(
+        &w,
+        ROWS,
+        COLS,
+        SPARES,
+        &clean_config(),
+        &mut StdRng::seed_from_u64(DIE_SEED),
+    );
+    let acc_clean =
+        predict(&mut clean, &test, &mut StdRng::seed_from_u64(31)).accuracy(&test_labels);
+
+    // Damaged die, left alone.
+    let mut baseline = Crossbar::program_with_spares(
+        &w,
+        ROWS,
+        COLS,
+        SPARES,
+        &faulty_config(),
+        &mut StdRng::seed_from_u64(DIE_SEED),
+    );
+    let base_pred = predict(&mut baseline, &test, &mut StdRng::seed_from_u64(31));
+    let acc_baseline = base_pred.accuracy(&test_labels);
+
+    // Same damaged die (same seed), full management pipeline.
+    let mut managed = Crossbar::program_with_spares(
+        &w,
+        ROWS,
+        COLS,
+        SPARES,
+        &faulty_config(),
+        &mut StdRng::seed_from_u64(DIE_SEED),
+    );
+    let report =
+        march_test(&mut managed, &BistConfig::default(), &mut StdRng::seed_from_u64(41));
+    let detection =
+        report.detection_rate(managed.defects(), &[DefectKind::Short, DefectKind::Open]);
+    let mut estimated = report.estimated;
+    let _repair = repair_columns(&mut managed, &mut estimated);
+    let remap = fault_aware_remap(&estimated, &importance(), ROWS, COLS);
+    if !remap.is_identity() {
+        managed.apply_remap(remap.row_src, remap.col_src);
+    }
+    let acc_managed =
+        predict(&mut managed, &test, &mut StdRng::seed_from_u64(31)).accuracy(&test_labels);
+
+    // Abstention on the *unmanaged* die: graceful degradation when no
+    // spares/remap are available. Threshold calibrated for 80 %
+    // coverage on held-out data pushed through the same damaged die.
+    let calib_pred = predict(&mut baseline, &calib, &mut StdRng::seed_from_u64(51));
+    let threshold = entropy_threshold_for_coverage(&calib_pred.entropy, 0.8);
+    let gated = base_pred.gate(threshold);
+    let acc_accepted = base_pred.accuracy_on_accepted(&test_labels, &gated);
+
+    Outcome {
+        detection,
+        acc_clean,
+        acc_baseline,
+        acc_managed,
+        acc_accepted,
+        coverage: gated.coverage(),
+        gated_entropies: base_pred.entropy.clone(),
+    }
+}
+
+#[test]
+fn bist_detects_at_least_ninety_percent_of_hard_faults() {
+    let outcome = run_campaign();
+    assert!(
+        outcome.detection >= 0.9,
+        "detection rate {:.3} below the 90 % acceptance bar",
+        outcome.detection
+    );
+}
+
+#[test]
+fn repair_and_remap_recover_half_the_lost_accuracy() {
+    let o = run_campaign();
+    let lost = o.acc_clean - o.acc_baseline;
+    assert!(
+        lost > 0.05,
+        "seed must injure the baseline (clean {:.3}, baseline {:.3})",
+        o.acc_clean,
+        o.acc_baseline
+    );
+    let recovered = o.acc_managed - o.acc_baseline;
+    assert!(
+        recovered >= 0.5 * lost,
+        "recovered {recovered:.3} of {lost:.3} lost (clean {:.3} baseline {:.3} managed {:.3})",
+        o.acc_clean,
+        o.acc_baseline,
+        o.acc_managed
+    );
+}
+
+#[test]
+fn abstention_beats_unguarded_accuracy_at_high_coverage() {
+    let o = run_campaign();
+    assert!(
+        o.coverage >= 0.7,
+        "coverage {:.3} below the 70 % acceptance bar",
+        o.coverage
+    );
+    assert!(
+        o.acc_accepted > o.acc_baseline,
+        "accuracy-on-accepted {:.3} must beat unguarded {:.3}",
+        o.acc_accepted,
+        o.acc_baseline
+    );
+    assert!(o.gated_entropies.iter().all(|h| h.is_finite()));
+}
+
+/// Not an assertion — run with `--ignored --nocapture` to inspect the
+/// campaign's raw numbers when retuning seeds or thresholds.
+#[test]
+#[ignore]
+fn print_campaign_numbers() {
+    let o = run_campaign();
+    eprintln!("detection     {:.3}", o.detection);
+    eprintln!("acc clean     {:.3}", o.acc_clean);
+    eprintln!("acc baseline  {:.3}", o.acc_baseline);
+    eprintln!("acc managed   {:.3}", o.acc_managed);
+    eprintln!("acc accepted  {:.3}", o.acc_accepted);
+    eprintln!("coverage      {:.3}", o.coverage);
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let a = run_campaign();
+    let b = run_campaign();
+    assert_eq!(a.detection, b.detection);
+    assert_eq!(a.acc_clean, b.acc_clean);
+    assert_eq!(a.acc_baseline, b.acc_baseline);
+    assert_eq!(a.acc_managed, b.acc_managed);
+    assert_eq!(a.acc_accepted, b.acc_accepted);
+    assert_eq!(a.coverage, b.coverage);
+}

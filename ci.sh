@@ -18,6 +18,13 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+# The deterministic parallel MC engine must be thread-count-invariant:
+# re-run the workspace tests with a forced 4-worker default pool. Any
+# test that consults NEUSPIN_THREADS (directly or via
+# ThreadPool::from_env) now exercises the parallel path.
+echo "==> cargo test -q --offline (NEUSPIN_THREADS=4)"
+NEUSPIN_THREADS=4 cargo test -q --offline
+
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -30,5 +37,15 @@ NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_FAST=1 \
     cargo run -q --release --offline -p neuspin-bench --bin exp_faultmgmt
 NEUSPIN_RESULTS=target/ci-results \
     cargo run -q --release --offline -p neuspin-bench --bin exp_faultmgmt -- --check
+
+# Throughput baseline smoke: kernel + MC engine micro-run (bit-identity
+# across engines is asserted inside the binary), then the schema gate.
+# NEUSPIN_BENCH_ROOT keeps the smoke's BENCH_throughput.json under
+# target/ so the tracked repo-root artifact stays the full run's.
+echo "==> exp_throughput smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_throughput
+NEUSPIN_RESULTS=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_throughput -- --check
 
 echo "==> OK"

@@ -29,7 +29,10 @@ pub mod spinbayes;
 pub mod vi;
 
 pub use ensemble::Ensemble;
-pub use mc::{eval_predict, mc_predict, mc_predict_with, Gated, Predictive};
+pub use mc::{
+    eval_predict, mc_aggregate, mc_predict, mc_predict_seeded, mc_predict_with, pass_seeds,
+    Gated, Predictive,
+};
 pub use methods::{
     build_cnn, build_fp_mlp, build_mlp, calibrate_norm, spinbayes_from_mlp, ArchConfig, Method,
 };

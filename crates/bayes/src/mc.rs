@@ -10,6 +10,7 @@
 
 use neuspin_nn::{softmax, Mode, Sequential, Tensor};
 use rand::rngs::StdRng;
+use rand::{SeedableRng, SplitMix64};
 
 /// The output of a Monte-Carlo predictive pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,14 +144,30 @@ fn entropy_of(row: &[f32]) -> f64 {
 ///
 /// Panics if `passes == 0` or the closure returns inconsistent shapes.
 pub fn mc_predict_with(passes: usize, mut forward: impl FnMut(usize) -> Tensor) -> Predictive {
+    mc_aggregate(passes, |t| softmax(&forward(t)))
+}
+
+/// Reduces `passes` per-pass softmax probability tensors (requested in
+/// ascending pass order) into a [`Predictive`].
+///
+/// The accumulation order is part of the contract: pass 0 seeds the
+/// sums and passes `1..` are added in order, so any producer that
+/// supplies bit-identical per-pass probabilities gets a bit-identical
+/// report — the invariant the parallel engine in `neuspin-core::pool`
+/// relies on to make results thread-count-invariant.
+///
+/// # Panics
+///
+/// Panics if `passes == 0` or the closure returns inconsistent shapes.
+pub fn mc_aggregate(passes: usize, mut probs_at: impl FnMut(usize) -> Tensor) -> Predictive {
     assert!(passes > 0, "need at least one MC pass");
-    let first = softmax(&forward(0));
+    let first = probs_at(0);
     let (n, c) = (first.shape()[0], first.shape()[1]);
     let mut sum = first.clone();
     let mut sum_sq = &first * &first;
     let mut sum_entropy: Vec<f64> = (0..n).map(|i| entropy_of(first.row(i))).collect();
     for t in 1..passes {
-        let probs = softmax(&forward(t));
+        let probs = probs_at(t);
         assert_eq!(probs.shape(), first.shape(), "inconsistent logit shapes across passes");
         sum.axpy(1.0, &probs);
         sum_sq.axpy(1.0, &(&probs * &probs));
@@ -177,6 +194,39 @@ pub fn mc_predict_with(passes: usize, mut forward: impl FnMut(usize) -> Tensor) 
         })
         .collect();
     Predictive { mean_probs, entropy, mutual_information, variance, passes }
+}
+
+/// Derives the per-pass RNG seeds for seeded MC inference: a
+/// [`SplitMix64`] stream over the caller's master seed, one output per
+/// pass. This schedule is shared by [`mc_predict_seeded`] and the
+/// parallel engine in `neuspin-core::pool`, so a pass draws the same
+/// noise no matter which worker (or how many) executes it.
+pub fn pass_seeds(seed: u64, passes: usize) -> Vec<u64> {
+    let mut sm = SplitMix64::new(seed);
+    (0..passes).map(|_| sm.next_u64()).collect()
+}
+
+/// Sequential reference for seeded MC inference: runs `passes` forward
+/// passes, each on its own RNG stream derived from `seed` via
+/// [`pass_seeds`], reduced in ascending pass order. The parallel engine
+/// is bit-identical to this function at any thread count.
+///
+/// The closure receives the pass index and that pass's private RNG and
+/// must return logits `[N, C]`.
+///
+/// # Panics
+///
+/// Panics if `passes == 0` or the closure returns inconsistent shapes.
+pub fn mc_predict_seeded(
+    passes: usize,
+    seed: u64,
+    mut forward: impl FnMut(usize, &mut StdRng) -> Tensor,
+) -> Predictive {
+    let seeds = pass_seeds(seed, passes);
+    mc_predict_with(passes, |t| {
+        let mut rng = StdRng::seed_from_u64(seeds[t]);
+        forward(t, &mut rng)
+    })
 }
 
 /// Monte-Carlo prediction of a software model: `passes` forward passes
@@ -290,6 +340,32 @@ mod tests {
     #[should_panic(expected = "at least one MC pass")]
     fn zero_passes_rejected() {
         let _ = mc_predict_with(0, |_| Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn pass_seeds_deterministic_distinct_and_prefix_stable() {
+        let a = pass_seeds(42, 8);
+        assert_eq!(a, pass_seeds(42, 8));
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "per-pass seeds must be distinct");
+        assert_ne!(pass_seeds(43, 8), a);
+        assert_eq!(pass_seeds(42, 4)[..], a[..4], "shorter runs share the prefix");
+    }
+
+    #[test]
+    fn mc_predict_seeded_is_reproducible_and_isolated() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::ones(&[3, 4]);
+        let a = mc_predict_seeded(6, 9, |_, pass_rng| m.forward(&x, Mode::Sample, pass_rng));
+        // A detour on the ambient RNG must not affect seeded prediction.
+        let _ = m.forward(&x, Mode::Sample, &mut r);
+        let b = mc_predict_seeded(6, 9, |_, pass_rng| m.forward(&x, Mode::Sample, pass_rng));
+        assert_eq!(a, b);
+        let c = mc_predict_seeded(6, 10, |_, pass_rng| m.forward(&x, Mode::Sample, pass_rng));
+        assert_ne!(a.mean_probs, c.mean_probs, "different seed, different draws");
     }
 
     #[test]

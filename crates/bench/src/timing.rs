@@ -27,6 +27,15 @@ use std::time::{Duration, Instant};
 /// Number of timed batches per benchmark.
 pub const BATCHES: usize = 10;
 
+/// Upper bound on a calibrated batch size. One noisy warm-up sample of
+/// an ultra-fast closure can suggest a batch of billions of iterations;
+/// the clamp keeps a single batch bounded regardless.
+pub const MAX_BATCH: u64 = 1 << 24;
+
+/// Extra timed budget granted to slow closures, in units of the target
+/// batch duration (see the slow path in [`Bencher::iter`]).
+const SLOW_BUDGET_BATCHES: usize = 4;
+
 /// Runs closures under the timer for one named benchmark.
 pub struct Bencher {
     warmup: Duration,
@@ -47,8 +56,27 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        self.batch_size =
-            ((self.target_batch.as_secs_f64() / per_iter.max(1e-12)) as u64).max(1);
+        let target = self.target_batch.as_secs_f64();
+        if warm_iters > 0 && per_iter >= target {
+            // Slow closure: one call already overshoots the target
+            // batch, so the calibrated size is 1 and the batch count is
+            // the only remaining knob. Sizing BATCHES full batches off
+            // that single noisy warm-up sample made smoke runs take
+            // ~11x one call; instead keep the warm-up measurement as a
+            // sample and bound the extra timed calls by a fixed time
+            // budget.
+            self.batch_size = 1;
+            self.samples.push(per_iter);
+            let extra = ((SLOW_BUDGET_BATCHES as f64 * target / per_iter) as usize)
+                .clamp(1, BATCHES - 1);
+            for _ in 0..extra {
+                let start = Instant::now();
+                black_box(f());
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+            return;
+        }
+        self.batch_size = ((target / per_iter.max(1e-12)) as u64).clamp(1, MAX_BATCH);
         // Timed batches.
         for _ in 0..BATCHES {
             let start = Instant::now();
@@ -183,6 +211,47 @@ mod tests {
         assert_eq!(format_ns(12.34), "12.3 ns");
         assert_eq!(format_ns(12_340.0), "12.34 µs");
         assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+    }
+
+    #[test]
+    fn slow_closure_runs_bounded_batches() {
+        // A 5 ms closure against a 1 ms target: the warm-up call is the
+        // first sample and the extra-batch budget clamps to one more
+        // call — 2 total, not the 1 + BATCHES the old sizing ran.
+        let calls = std::cell::Cell::new(0u32);
+        let mut b = Bencher {
+            warmup: Duration::from_millis(1),
+            target_batch: Duration::from_millis(1),
+            batch_size: 1,
+            samples: Vec::new(),
+        };
+        b.iter(|| {
+            calls.set(calls.get() + 1);
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        assert_eq!(calls.get(), 2);
+        assert_eq!(b.batch_size, 1);
+        assert_eq!(b.samples.len(), 2);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn fast_closure_batch_size_is_clamped() {
+        // A huge target batch against a ~ns closure would calibrate to
+        // billions of iterations without the clamp.
+        let mut b = Bencher {
+            warmup: Duration::from_micros(10),
+            target_batch: Duration::from_secs(3600),
+            batch_size: 1,
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            black_box(acc)
+        });
+        assert_eq!(b.batch_size, MAX_BATCH);
+        assert_eq!(b.samples.len(), BATCHES);
     }
 
     #[test]

@@ -96,11 +96,21 @@ pub struct Crossbar {
     /// Cached effective weights (refreshed on program/defect injection).
     eff: Vec<f64>,
     row_enabled: Vec<bool>,
+    /// Cached count of `true` entries in `row_enabled` (kept in sync by
+    /// [`Crossbar::set_row_enabled`] and friends so the hot kernel never
+    /// rescans the word lines).
+    enabled_count: usize,
     read_noise: f64,
     adc: Option<Adc>,
     counter: OpCounter,
     defects: DefectMap,
     ir_drop: f64,
+    /// Precomputed per-cell IR-drop denominators
+    /// `1 + ir_drop · (r/rows + c/cols)` in row-major physical order;
+    /// empty when `ir_drop == 0`. Dividing by the cached denominator is
+    /// bit-identical to the seed kernel's inline computation (a
+    /// reciprocal-*multiply* would round differently).
+    ir_denom: Vec<f64>,
     /// Redundant columns fabricated next to the main array.
     spares: Vec<SpareColumn>,
     /// Remap indirection (logical line of each physical line); `None`
@@ -111,6 +121,30 @@ pub struct Crossbar {
     /// sense-amplifier input), for the health monitor.
     margin_sum: f64,
     margin_count: u64,
+    /// Column accumulator scratch (`[acc | power]`), reused across
+    /// evaluations to keep the kernel allocation-free.
+    scratch: Vec<f64>,
+    /// Routes evaluations through the retained seed kernel
+    /// ([`Crossbar::matvec_reference`]) for equivalence tests and
+    /// throughput baselines.
+    reference_kernel: bool,
+}
+
+/// The per-cell IR-drop denominator table (empty when the effect is
+/// disabled). Entries are computed with the exact expression the seed
+/// kernel used inline, so lookups reproduce its bits.
+fn ir_denom_table(rows: usize, cols: usize, ir_drop: f64) -> Vec<f64> {
+    if ir_drop <= 0.0 {
+        return Vec::new();
+    }
+    let mut table = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let row_term = r as f64 / rows as f64;
+        for c in 0..cols {
+            table.push(1.0 + ir_drop * (row_term + c as f64 / cols as f64));
+        }
+    }
+    table
 }
 
 impl Crossbar {
@@ -192,16 +226,20 @@ impl Crossbar {
             cells,
             eff: vec![0.0; rows * cols],
             row_enabled: vec![true; rows],
+            enabled_count: rows,
             read_noise: config.read_noise,
             adc,
             counter: OpCounter::new(),
             defects,
             ir_drop: config.ir_drop,
+            ir_denom: ir_denom_table(rows, cols, config.ir_drop),
             spares: spare_cols,
             row_src: None,
             col_src: None,
             margin_sum: 0.0,
             margin_count: 0,
+            scratch: Vec::new(),
+            reference_kernel: false,
         };
         xbar.refresh_eff();
         // Each cell programs two devices (write + verify each).
@@ -354,10 +392,8 @@ impl Crossbar {
         let mut out = vec![0.0f64; self.cols];
         for (j, o) in out.iter_mut().enumerate() {
             let mut term = self.eff[row * self.cols + j];
-            if self.ir_drop > 0.0 {
-                term /= 1.0
-                    + self.ir_drop
-                        * (row as f64 / self.rows as f64 + j as f64 / self.cols as f64);
+            if !self.ir_denom.is_empty() {
+                term /= self.ir_denom[row * self.cols + j];
             }
             if self.read_noise > 0.0 && term != 0.0 {
                 term += self.read_noise * term.abs() * stats::standard_normal(rng);
@@ -387,6 +423,10 @@ impl Crossbar {
         self.row_src = if identity_rows { None } else { Some(row_src) };
         self.col_src = if identity_cols { None } else { Some(col_src) };
         self.reprogram(&logical);
+        // Gating is logical, so the remap cannot change which rows are
+        // enabled — revalidate the cached count anyway (cheap, and keeps
+        // the invariant local to every mutation site).
+        self.enabled_count = self.row_enabled.iter().filter(|&&e| e).count();
     }
 
     /// The active remap as `(row_src, col_src)` (identity if none was
@@ -443,17 +483,25 @@ impl Crossbar {
     /// Panics if `row` is out of range.
     pub fn set_row_enabled(&mut self, row: usize, enabled: bool) {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        self.row_enabled[row] = enabled;
+        if self.row_enabled[row] != enabled {
+            if enabled {
+                self.enabled_count += 1;
+            } else {
+                self.enabled_count -= 1;
+            }
+            self.row_enabled[row] = enabled;
+        }
     }
 
     /// Re-enables every word line.
     pub fn enable_all_rows(&mut self) {
         self.row_enabled.iter_mut().for_each(|e| *e = true);
+        self.enabled_count = self.rows;
     }
 
-    /// Number of currently enabled rows.
+    /// Number of currently enabled rows (cached — O(1)).
     pub fn enabled_rows(&self) -> usize {
-        self.row_enabled.iter().filter(|&&e| e).count()
+        self.enabled_count
     }
 
     /// Analog matrix-vector product: `y_j = Σ_i x_i · w_ij` over enabled
@@ -467,8 +515,93 @@ impl Crossbar {
     ///
     /// Panics if `input.len() != rows`.
     pub fn matvec(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.cols];
+        self.matvec_into(input, &mut out, rng);
+        out
+    }
+
+    /// [`Crossbar::matvec`] writing into a caller-provided buffer (the
+    /// batch path reuses one allocation per batch).
+    fn matvec_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
+        if self.reference_kernel {
+            self.matvec_reference_into(input, out, rng);
+            return;
+        }
         assert_eq!(input.len(), self.rows, "input length mismatch");
-        let active = self.enabled_rows() as u64;
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        let cols = self.cols;
+        self.counter.cell_reads += self.enabled_count as u64 * cols as u64;
+        self.counter.sa_evals += cols as u64;
+        if self.adc.is_some() {
+            self.counter.adc_converts += cols as u64;
+        }
+        self.counter.digital_ops += cols as u64;
+        // Row-outer / column-inner accumulation: each enabled physical
+        // row streams its contiguous `eff` (and IR denominator) slice
+        // into per-column accumulators, so every column's partial sums
+        // still arrive in ascending-`p` order — the same order (hence
+        // the same floating-point bits) as the column-outer seed kernel.
+        self.scratch.clear();
+        self.scratch.resize(2 * cols, 0.0);
+        let (acc, power) = self.scratch.split_at_mut(cols);
+        let row_src = self.row_src.as_deref();
+        for p in 0..self.rows {
+            let l = row_src.map_or(p, |m| m[p]);
+            if !self.row_enabled[l] {
+                continue;
+            }
+            let x = input[l] as f64;
+            let eff_row = &self.eff[p * cols..(p + 1) * cols];
+            if self.ir_denom.is_empty() {
+                for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(eff_row) {
+                    let term = x * w;
+                    *a += term;
+                    *pw += term * term; // Σ (x·w)² for the noise model
+                }
+            } else {
+                let denom_row = &self.ir_denom[p * cols..(p + 1) * cols];
+                for (((a, pw), &w), &d) in
+                    acc.iter_mut().zip(power.iter_mut()).zip(eff_row).zip(denom_row)
+                {
+                    let term = x * w / d;
+                    *a += term;
+                    *pw += term * term;
+                }
+            }
+        }
+        // Finalize columns in physical order — noise draws, margin
+        // tallies, and ADC conversions keep the seed kernel's per-column
+        // sequence — scattering through any column remap straight into
+        // the logical output slot.
+        let col_src = self.col_src.as_deref();
+        for (pj, (&a, &pw)) in acc.iter().zip(power.iter()).enumerate() {
+            let mut a = a;
+            if self.read_noise > 0.0 && pw > 0.0 {
+                a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+            }
+            self.margin_sum += a.abs();
+            self.margin_count += 1;
+            out[col_src.map_or(pj, |m| m[pj])] = match &self.adc {
+                Some(adc) => adc.quantize(a),
+                None => a,
+            };
+        }
+    }
+
+    /// The retained seed kernel (column-outer, inline IR drop, fresh
+    /// enabled-row scan) — the bit-exact baseline the row-major
+    /// [`Crossbar::matvec`] is verified against, and the "before" side
+    /// of the `exp_throughput` kernel comparison.
+    pub fn matvec_reference(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.cols];
+        self.matvec_reference_into(input, &mut out, rng);
+        out
+    }
+
+    fn matvec_reference_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
+        assert_eq!(input.len(), self.rows, "input length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        let active = self.row_enabled.iter().filter(|&&e| e).count() as u64;
         self.counter.cell_reads += active * self.cols as u64;
         self.counter.sa_evals += self.cols as u64;
         if self.adc.is_some() {
@@ -477,8 +610,8 @@ impl Crossbar {
         self.counter.digital_ops += self.cols as u64;
         let row_src = self.row_src.as_deref();
         let col_src = self.col_src.as_deref();
-        let mut out = vec![0.0f64; self.cols];
-        for (pj, o) in out.iter_mut().enumerate() {
+        let mut phys = vec![0.0f64; self.cols];
+        for (pj, o) in phys.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             let mut power = 0.0f64; // Σ (x·w)² for the noise model
             for p in 0..self.rows {
@@ -507,13 +640,32 @@ impl Crossbar {
         }
         // Un-permute columns back to logical order.
         if let Some(map) = col_src {
-            let mut logical = vec![0.0f64; self.cols];
             for (pj, &l) in map.iter().enumerate() {
-                logical[l] = out[pj];
+                out[l] = phys[pj];
             }
-            out = logical;
+        } else {
+            out.copy_from_slice(&phys);
         }
-        out
+    }
+
+    /// Routes every evaluation through [`Crossbar::matvec_reference`]
+    /// instead of the row-major kernel — for equivalence tests and the
+    /// throughput baseline. `false` restores the fast kernel.
+    pub fn set_reference_kernel(&mut self, on: bool) {
+        self.reference_kernel = on;
+    }
+
+    /// Raw sense-margin accumulator `(sum, count)` — lets the parallel
+    /// inference engine snapshot and merge worker-clone statistics.
+    pub fn sense_margin_parts(&self) -> (f64, u64) {
+        (self.margin_sum, self.margin_count)
+    }
+
+    /// Folds externally accumulated sense-margin statistics (a worker
+    /// clone's delta) into this crossbar's running window.
+    pub fn merge_sense_margin(&mut self, sum: f64, count: u64) {
+        self.margin_sum += sum;
+        self.margin_count += count;
     }
 
     /// Applies an in-field drift transform to every cell's effective
@@ -528,11 +680,83 @@ impl Crossbar {
 
     /// Batch version of [`matvec`](Self::matvec): input matrix
     /// `[n, rows]` flattened row-major, returns `[n, cols]` flattened.
+    ///
+    /// Runs the row-major kernel with the per-call bookkeeping hoisted
+    /// out of the batch loop: the row indirection (remap + enable
+    /// gates) is resolved once, the accumulator scratch is sized once,
+    /// and op counts are tallied in bulk. Each batch element still
+    /// accumulates and finalizes exactly like one [`Crossbar::matvec`]
+    /// call, in order — the output and the RNG stream are bit-identical
+    /// to `n` sequential `matvec` calls.
     pub fn matmul(&mut self, inputs: &[f32], n: usize, rng: &mut StdRng) -> Vec<f64> {
         assert_eq!(inputs.len(), n * self.rows, "batch input length mismatch");
-        let mut out = Vec::with_capacity(n * self.cols);
-        for b in 0..n {
-            out.extend(self.matvec(&inputs[b * self.rows..(b + 1) * self.rows], rng));
+        let mut out = vec![0.0f64; n * self.cols];
+        if self.reference_kernel {
+            for (input, chunk) in
+                inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(self.cols))
+            {
+                self.matvec_reference_into(input, chunk, rng);
+            }
+            return out;
+        }
+        let cols = self.cols;
+        // The gate pattern and remap are fixed across the batch:
+        // resolve each enabled physical row to its logical input index
+        // once (ascending physical order, as the per-call kernel walks).
+        let row_src = self.row_src.as_deref();
+        let active: Vec<(usize, usize)> = (0..self.rows)
+            .filter_map(|p| {
+                let l = row_src.map_or(p, |m| m[p]);
+                self.row_enabled[l].then_some((p, l))
+            })
+            .collect();
+        self.counter.cell_reads += (n * self.enabled_count * cols) as u64;
+        self.counter.sa_evals += (n * cols) as u64;
+        if self.adc.is_some() {
+            self.counter.adc_converts += (n * cols) as u64;
+        }
+        self.counter.digital_ops += (n * cols) as u64;
+        self.scratch.clear();
+        self.scratch.resize(2 * cols, 0.0);
+        let col_src = self.col_src.as_deref();
+        for (input, chunk) in
+            inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(cols))
+        {
+            let (acc, power) = self.scratch.split_at_mut(cols);
+            acc.fill(0.0);
+            power.fill(0.0);
+            for &(p, l) in &active {
+                let x = input[l] as f64;
+                let eff_row = &self.eff[p * cols..(p + 1) * cols];
+                if self.ir_denom.is_empty() {
+                    for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(eff_row) {
+                        let term = x * w;
+                        *a += term;
+                        *pw += term * term;
+                    }
+                } else {
+                    let denom_row = &self.ir_denom[p * cols..(p + 1) * cols];
+                    for (((a, pw), &w), &d) in
+                        acc.iter_mut().zip(power.iter_mut()).zip(eff_row).zip(denom_row)
+                    {
+                        let term = x * w / d;
+                        *a += term;
+                        *pw += term * term;
+                    }
+                }
+            }
+            for (pj, (&a, &pw)) in acc.iter().zip(power.iter()).enumerate() {
+                let mut a = a;
+                if self.read_noise > 0.0 && pw > 0.0 {
+                    a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+                }
+                self.margin_sum += a.abs();
+                self.margin_count += 1;
+                chunk[col_src.map_or(pj, |m| m[pj])] = match &self.adc {
+                    Some(adc) => adc.quantize(a),
+                    None => a,
+                };
+            }
         }
         out
     }
@@ -687,29 +911,51 @@ impl MlcCrossbar {
             self.counter.adc_converts += self.cols as u64;
         }
         self.counter.digital_ops += self.cols as u64;
-        let mut out = vec![0.0f64; self.cols];
-        for (j, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0f64;
-            let mut power = 0.0f64;
-            for (i, &xi) in input.iter().take(self.rows).enumerate() {
-                if !self.row_enabled[i] {
-                    continue;
-                }
-                let term = xi as f64 * self.eff[i * self.cols + j];
-                acc += term;
-                power += term * term;
+        // Row-outer / column-inner over contiguous `eff` rows; partial
+        // sums reach each column in ascending-row order, matching the
+        // column-outer formulation bit for bit.
+        let cols = self.cols;
+        let mut acc = vec![0.0f64; cols];
+        let mut power = vec![0.0f64; cols];
+        for (i, (&xi, &enabled)) in input.iter().zip(&self.row_enabled).enumerate() {
+            if !enabled {
+                continue;
             }
-            if self.read_noise > 0.0 && power > 0.0 {
-                acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
+            let x = xi as f64;
+            let eff_row = &self.eff[i * cols..(i + 1) * cols];
+            for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(eff_row) {
+                let term = x * w;
+                *a += term;
+                *pw += term * term;
             }
-            self.margin_sum += acc.abs();
+        }
+        let mut out = vec![0.0f64; cols];
+        for ((o, &a), &pw) in out.iter_mut().zip(&acc).zip(&power) {
+            let mut a = a;
+            if self.read_noise > 0.0 && pw > 0.0 {
+                a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+            }
+            self.margin_sum += a.abs();
             self.margin_count += 1;
             *o = match &self.adc {
-                Some(adc) => adc.quantize(acc),
-                None => acc,
+                Some(adc) => adc.quantize(a),
+                None => a,
             };
         }
         out
+    }
+
+    /// Raw sense-margin accumulator `(sum, count)` (see
+    /// [`Crossbar::sense_margin_parts`]).
+    pub fn sense_margin_parts(&self) -> (f64, u64) {
+        (self.margin_sum, self.margin_count)
+    }
+
+    /// Folds externally accumulated sense-margin statistics into this
+    /// crossbar (see [`Crossbar::merge_sense_margin`]).
+    pub fn merge_sense_margin(&mut self, sum: f64, count: u64) {
+        self.margin_sum += sum;
+        self.margin_count += count;
     }
 }
 
@@ -1007,6 +1253,180 @@ mod tests {
         let top = xbar.read_row(0, &mut r);
         assert!((top[0] - 1.0).abs() < 1e-9);
         assert!((top[1] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enabled_count_cache_matches_fresh_scan() {
+        let mut r = rng();
+        let w = vec![1.0f32; 64]; // 8×8
+        let mut xbar = Crossbar::program(&w, 8, 8, &ideal(), &mut r);
+        for step in 0..200usize {
+            // Deterministic toggle pattern with redundant sets (same
+            // state written twice), bulk re-enables, and a mid-stream
+            // remap — every mutation site the cache must survive.
+            let row = (step * 5 + step / 7) % 8;
+            let enabled = (step / 3) % 2 == 0;
+            xbar.set_row_enabled(row, enabled);
+            xbar.set_row_enabled(row, enabled);
+            if step % 50 == 49 {
+                xbar.enable_all_rows();
+            }
+            if step == 100 {
+                xbar.apply_remap(vec![7, 6, 5, 4, 3, 2, 1, 0], (0..8).collect());
+            }
+            let scan = xbar.row_enabled.iter().filter(|&&e| e).count();
+            assert_eq!(xbar.enabled_rows(), scan, "cache diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn row_major_kernel_bit_identical_to_reference() {
+        // Worst-case feature mix: defective, remapped, IR-dropped,
+        // ADC-quantized, partially disabled, noisy.
+        let w: Vec<f32> =
+            (0..12 * 10).map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            read_noise: 0.05,
+            adc_bits: Some(6),
+            ir_drop: 0.07,
+            ..CrossbarConfig::default()
+        };
+        let mut ra = StdRng::seed_from_u64(42);
+        let mut rb = StdRng::seed_from_u64(42);
+        let mut a = Crossbar::program(&w, 12, 10, &config, &mut ra);
+        let mut b = Crossbar::program(&w, 12, 10, &config, &mut rb);
+        let row_map: Vec<usize> = (0..12).map(|i| (i + 5) % 12).collect();
+        let col_map: Vec<usize> = (0..10).map(|i| (i + 3) % 10).collect();
+        a.apply_remap(row_map.clone(), col_map.clone());
+        b.apply_remap(row_map, col_map);
+        for xbar in [&mut a, &mut b] {
+            xbar.set_row_enabled(3, false);
+            xbar.set_row_enabled(7, false);
+        }
+        b.set_reference_kernel(true);
+        for trial in 0..16 {
+            let x: Vec<f32> =
+                (0..12).map(|i| ((i * (trial + 3)) % 5) as f32 - 2.0).collect();
+            let ya = a.matvec(&x, &mut ra);
+            let yb = b.matvec(&x, &mut rb);
+            for (j, (va, vb)) in ya.iter().zip(&yb).enumerate() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "col {j} trial {trial}: {va} vs {vb}"
+                );
+            }
+        }
+        // Counters, margin statistics, and the downstream RNG position
+        // advance identically too.
+        assert_eq!(a.counter(), b.counter());
+        let ((sa, ca), (sb, cb)) = (a.sense_margin_parts(), b.sense_margin_parts());
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(ca, cb);
+        assert_eq!(
+            stats::standard_normal(&mut ra).to_bits(),
+            stats::standard_normal(&mut rb).to_bits(),
+            "kernels must consume the same RNG stream"
+        );
+    }
+
+    #[test]
+    fn batched_matmul_bit_identical_to_reference_loop() {
+        // The hoisted-bookkeeping batch kernel against a per-sample
+        // seed-kernel loop: same outputs, counters, margins, and RNG
+        // stream position.
+        let w: Vec<f32> =
+            (0..12 * 10).map(|i| if (i * 5) % 4 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            read_noise: 0.05,
+            adc_bits: Some(6),
+            ir_drop: 0.07,
+            ..CrossbarConfig::default()
+        };
+        let mut ra = StdRng::seed_from_u64(1717);
+        let mut rb = StdRng::seed_from_u64(1717);
+        let mut a = Crossbar::program(&w, 12, 10, &config, &mut ra);
+        let mut b = Crossbar::program(&w, 12, 10, &config, &mut rb);
+        let row_map: Vec<usize> = (0..12).map(|i| (i + 4) % 12).collect();
+        let col_map: Vec<usize> = (0..10).map(|i| (i + 7) % 10).collect();
+        a.apply_remap(row_map.clone(), col_map.clone());
+        b.apply_remap(row_map, col_map);
+        for xbar in [&mut a, &mut b] {
+            xbar.set_row_enabled(1, false);
+            xbar.set_row_enabled(8, false);
+        }
+        let n = 7;
+        let inputs: Vec<f32> =
+            (0..n * 12).map(|i| ((i * 3) % 11) as f32 / 5.0 - 1.0).collect();
+        let ya = a.matmul(&inputs, n, &mut ra);
+        let mut yb = vec![0.0f64; n * 10];
+        for (input, chunk) in inputs.chunks_exact(12).zip(yb.chunks_exact_mut(10)) {
+            chunk.copy_from_slice(&b.matvec_reference(input, &mut rb));
+        }
+        for (i, (va, vb)) in ya.iter().zip(&yb).enumerate() {
+            assert_eq!(va.to_bits(), vb.to_bits(), "element {i}: {va} vs {vb}");
+        }
+        assert_eq!(a.counter(), b.counter());
+        let ((sa, ca), (sb, cb)) = (a.sense_margin_parts(), b.sense_margin_parts());
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(ca, cb);
+        assert_eq!(
+            stats::standard_normal(&mut ra).to_bits(),
+            stats::standard_normal(&mut rb).to_bits(),
+            "batched kernel must consume the same RNG stream"
+        );
+    }
+
+    #[test]
+    fn matvec_seed42_golden_vector() {
+        // Seed-42 golden vector (same convention as the neuspin-core RNG
+        // golden tests): a defective, remapped, IR-dropped, quantized,
+        // partially disabled, noisy 16×8 crossbar. These bits were
+        // captured from the seed kernel; they pin the full evaluation
+        // path — programming stream, remap routing, IR denominators,
+        // noise draws, ADC codes — against silent drift.
+        const GOLDEN_BITS: [u64; 8] = [
+            0x4006000000000000, // 2.75
+            0x402f800000000000, // 15.75
+            0xbfd0000000000000, // -0.25
+            0x3fe8000000000000, // 0.75
+            0x3ffc000000000000, // 1.75
+            0xbfe8000000000000, // -0.75
+            0x3ff4000000000000, // 1.25
+            0x3ffc000000000000, // 1.75
+        ];
+        let w: Vec<f32> =
+            (0..16 * 8).map(|i| if (i * 5) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            read_noise: 0.05,
+            adc_bits: Some(6),
+            ir_drop: 0.07,
+            ..CrossbarConfig::default()
+        };
+        let x: Vec<f32> = (0..16).map(|i| ((i * 3) % 7) as f32 / 3.0 - 1.0).collect();
+        // Both kernels must reproduce the recorded bits.
+        for reference in [false, true] {
+            let mut r = StdRng::seed_from_u64(42);
+            let mut xbar = Crossbar::program(&w, 16, 8, &config, &mut r);
+            let row_map: Vec<usize> = (0..16).map(|i| (i + 9) % 16).collect();
+            let col_map: Vec<usize> = (0..8).map(|i| (i + 5) % 8).collect();
+            xbar.apply_remap(row_map, col_map);
+            xbar.set_row_enabled(2, false);
+            xbar.set_row_enabled(11, false);
+            xbar.set_reference_kernel(reference);
+            let y = xbar.matvec(&x, &mut r);
+            for (j, (v, &bits)) in y.iter().zip(&GOLDEN_BITS).enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    bits,
+                    "col {j} (reference={reference}): got {v}, want {}",
+                    f64::from_bits(bits)
+                );
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn layout(shape: &[usize]) -> (usize, usize, usize) {
 
 /// A binary-crossbar convolution: sign weights in the array, per-channel
 /// α scales and biases applied digitally.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwConv {
     pub(crate) xbar: Crossbar,
     pub(crate) geo: ConvGeometry,
@@ -73,15 +73,17 @@ impl HwConv {
         let (oh, ow) = (self.geo.out_size(h), self.geo.out_size(w));
         let cout = self.geo.out_channels;
         let col = im2col(x, &self.geo);
-        let patch = self.geo.patch_len();
         let positions = n * oh * ow;
+        // One batched crossbar call for all im2col positions: same
+        // matvec sequence (and RNG stream) as the per-position loop,
+        // without `positions` intermediate allocations.
+        let y = self.xbar.matmul(col.as_slice(), positions, rng);
         let mut out = Tensor::zeros(&[n, cout, oh, ow]);
         for pos in 0..positions {
-            let input = &col.as_slice()[pos * patch..(pos + 1) * patch];
-            let y = self.xbar.matvec(input, rng);
+            let row = &y[pos * cout..(pos + 1) * cout];
             let (ni, rem) = (pos / (oh * ow), pos % (oh * ow));
             let (oy, ox) = (rem / ow, rem % ow);
-            for (co, &v) in y.iter().enumerate() {
+            for (co, &v) in row.iter().enumerate() {
                 out[((ni * cout + co) * oh + oy) * ow + ox] =
                     v as f32 * self.alphas[co] + self.bias[co];
             }
@@ -99,7 +101,7 @@ impl HwConv {
 }
 
 /// A binary-crossbar fully-connected layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwFc {
     pub(crate) xbar: Crossbar,
     pub(crate) alphas: Vec<f32>,
@@ -110,12 +112,13 @@ pub struct HwFc {
 impl HwFc {
     pub(crate) fn forward(&mut self, x: &Tensor, rng: &mut StdRng) -> Tensor {
         assert_eq!(x.ndim(), 2, "HwFc expects [N, F]");
-        let (n, f) = (x.shape()[0], x.shape()[1]);
+        let n = x.shape()[0];
         let o = self.alphas.len();
+        let y = self.xbar.matmul(x.as_slice(), n, rng);
         let mut out = Tensor::zeros(&[n, o]);
         for ni in 0..n {
-            let y = self.xbar.matvec(&x.as_slice()[ni * f..(ni + 1) * f], rng);
-            for (j, &v) in y.iter().enumerate() {
+            let row = &y[ni * o..(ni + 1) * o];
+            for (j, &v) in row.iter().enumerate() {
                 out[ni * o + j] = v as f32 * self.alphas[j] + self.bias[j];
             }
         }
@@ -133,7 +136,7 @@ impl HwFc {
 
 /// The SpinBayes multi-instance FC layer: `N` quantized crossbars and a
 /// stochastic Arbiter choosing one per forward pass (Fig. 3).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwFcSpinBayes {
     pub(crate) xbars: Vec<MlcCrossbar>,
     pub(crate) arbiter: Arbiter,
@@ -173,7 +176,7 @@ impl HwFcSpinBayes {
 }
 
 /// The final classifier, executed in the digital periphery.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwDigitalFc {
     pub(crate) weight: Tensor, // [o, i]
     pub(crate) bias: Vec<f32>,
@@ -198,7 +201,7 @@ impl HwDigitalFc {
 /// and variance are measured at this pipeline position by calibration
 /// passes run on the compiled hardware, so they absorb programming-time
 /// crossbar variation (the standard CIM deployment flow).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwNorm {
     pub(crate) gamma: Vec<f32>,
     pub(crate) beta: Vec<f32>,
@@ -248,7 +251,7 @@ impl HwNorm {
 /// Digital inverted normalization (affine first, per-sample whitening
 /// after) with optional hardware affine-dropout modules. Needs no
 /// calibration — the self-healing property.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HwInvNorm {
     pub(crate) gamma: Vec<f32>,
     pub(crate) beta: Vec<f32>,
@@ -297,7 +300,7 @@ impl HwInvNorm {
 }
 
 /// Hardware stochastic (dropout) units.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum HwDropout {
     /// One SpinDrop module per neuron (gates one word-line pair each).
     PerNeuron {
@@ -441,7 +444,7 @@ impl HwDropout {
 }
 
 /// One stage of the compiled hardware pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum HwBlock {
     /// Binary crossbar convolution.
     Conv(HwConv),

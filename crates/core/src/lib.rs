@@ -47,6 +47,7 @@ pub mod extract;
 pub mod health;
 pub mod json;
 pub mod model;
+pub mod pool;
 pub mod reliability;
 pub mod report;
 pub mod rng;
@@ -55,6 +56,7 @@ pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
 pub use json::{Json, ToJson};
 pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFaultReport};
+pub use pool::{mc_predict_par, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
 

@@ -4,9 +4,10 @@ use crate::blocks::{
     FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes, HwInvNorm, HwNorm,
 };
 use crate::extract::TrainedParams;
+use crate::pool::ThreadPool;
 use neuspin_bayes::{
-    entropy_threshold_for_coverage, mc_predict_with, quantize, ArchConfig, Gated, Method,
-    Predictive, SpinBayesConfig,
+    entropy_threshold_for_coverage, mc_predict_seeded, mc_predict_with, quantize, ArchConfig,
+    Gated, Method, Predictive, SpinBayesConfig,
 };
 use neuspin_cim::{
     fault_aware_remap, march_test, repair_columns, Arbiter, BistConfig, Crossbar, CrossbarConfig,
@@ -63,12 +64,16 @@ impl Default for HardwareConfig {
 /// run [`HardwareModel::calibrate`] once after compilation (and after
 /// any drift injection, if re-calibration is part of the scenario being
 /// studied), then [`HardwareModel::predict`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HardwareModel {
     blocks: Vec<HwBlock>,
     method: Method,
     passes: usize,
     baseline: OpCounter,
+    /// Op counts merged back from parallel worker clones (their blocks'
+    /// counters advanced off-model); folded into
+    /// [`HardwareModel::raw_counter`].
+    extra: OpCounter,
     energy_model: EnergyModel,
 }
 
@@ -323,6 +328,7 @@ impl HardwareModel {
             method,
             passes: config.passes.max(1),
             baseline: OpCounter::new(),
+            extra: OpCounter::new(),
             energy_model: EnergyModel::default(),
         };
         model.baseline = model.raw_counter();
@@ -376,6 +382,113 @@ impl HardwareModel {
     pub fn predict(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
         let passes = if self.method.is_bayesian() { self.passes } else { 1 };
         mc_predict_with(passes, |_| self.forward(inputs, self.method.is_bayesian(), rng))
+    }
+
+    /// Seeded sequential Bayesian prediction: like
+    /// [`HardwareModel::predict`], but every MC pass runs on its own RNG
+    /// stream derived from `seed` (the [`neuspin_bayes::pass_seeds`]
+    /// schedule) instead of one shared ambient stream. The reference
+    /// path [`HardwareModel::predict_par`] is bit-identical to, at any
+    /// thread count.
+    pub fn predict_seeded(&mut self, inputs: &Tensor, seed: u64) -> Predictive {
+        let stochastic = self.method.is_bayesian();
+        let passes = if stochastic { self.passes } else { 1 };
+        mc_predict_seeded(passes, seed, |_, rng| self.forward(inputs, stochastic, rng))
+    }
+
+    /// Deterministic parallel Bayesian prediction: the MC passes fan out
+    /// over `pool` workers, each pass on the same per-pass RNG stream
+    /// [`HardwareModel::predict_seeded`] would give it, reduced in pass
+    /// order — so the returned [`Predictive`] is bit-identical for any
+    /// thread count. Each worker runs on a clone of the model; the
+    /// clones' op counters and sense-margin statistics are merged back
+    /// into `self` on join, keeping energy accounting and the health
+    /// monitor accurate.
+    pub fn predict_par(&mut self, inputs: &Tensor, seed: u64, pool: &ThreadPool) -> Predictive {
+        let stochastic = self.method.is_bayesian();
+        let passes = if stochastic { self.passes } else { 1 };
+        let base_counter = self.raw_counter();
+        let base_margins = self.crossbar_margins();
+        let this: &HardwareModel = self;
+        let (pred, workers) = crate::pool::mc_predict_par(
+            pool,
+            passes,
+            seed,
+            |_| this.clone(),
+            |model: &mut HardwareModel, _, rng| model.forward(inputs, stochastic, rng),
+        );
+        let mut counter_delta = OpCounter::new();
+        let mut margin_deltas = vec![(0.0f64, 0u64); base_margins.len()];
+        for worker in &workers {
+            counter_delta.merge(&worker.raw_counter().since(&base_counter));
+            for (delta, (after, before)) in margin_deltas
+                .iter_mut()
+                .zip(worker.crossbar_margins().into_iter().zip(&base_margins))
+            {
+                delta.0 += after.0 - before.0;
+                delta.1 += after.1 - before.1;
+            }
+        }
+        self.extra.merge(&counter_delta);
+        self.merge_crossbar_margins(&margin_deltas);
+        pred
+    }
+
+    /// Per-crossbar sense-margin accumulators `(sum, count)` in pipeline
+    /// order — the snapshot/merge format of the parallel engine.
+    fn crossbar_margins(&self) -> Vec<(f64, u64)> {
+        let mut parts = Vec::new();
+        for block in &self.blocks {
+            match block {
+                HwBlock::Conv(b) => parts.push(b.xbar.sense_margin_parts()),
+                HwBlock::Fc(b) => parts.push(b.xbar.sense_margin_parts()),
+                HwBlock::FcSpinBayes(b) => {
+                    parts.extend(b.xbars.iter().map(|xb| xb.sense_margin_parts()));
+                }
+                _ => {}
+            }
+        }
+        parts
+    }
+
+    /// Folds per-crossbar sense-margin deltas (same order as
+    /// [`HardwareModel::crossbar_margins`]) back into the live model.
+    fn merge_crossbar_margins(&mut self, deltas: &[(f64, u64)]) {
+        let mut it = deltas.iter();
+        let mut next = || *it.next().expect("margin delta count mismatch");
+        for block in &mut self.blocks {
+            match block {
+                HwBlock::Conv(b) => {
+                    let (sum, count) = next();
+                    b.xbar.merge_sense_margin(sum, count);
+                }
+                HwBlock::Fc(b) => {
+                    let (sum, count) = next();
+                    b.xbar.merge_sense_margin(sum, count);
+                }
+                HwBlock::FcSpinBayes(b) => {
+                    for xb in &mut b.xbars {
+                        let (sum, count) = next();
+                        xb.merge_sense_margin(sum, count);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Routes every binary crossbar through the retained seed kernel
+    /// ([`neuspin_cim::Crossbar::matvec_reference`]) — the "before"
+    /// baseline of the `exp_throughput` comparison. `false` restores
+    /// the row-major kernel. Outputs are bit-identical either way.
+    pub fn use_reference_kernel(&mut self, on: bool) {
+        for block in &mut self.blocks {
+            match block {
+                HwBlock::Conv(b) => b.xbar.set_reference_kernel(on),
+                HwBlock::Fc(b) => b.xbar.set_reference_kernel(on),
+                _ => {}
+            }
+        }
     }
 
     /// Uncertainty-gated prediction: like [`HardwareModel::predict`],
@@ -493,7 +606,7 @@ impl HardwareModel {
     }
 
     fn raw_counter(&self) -> OpCounter {
-        let mut c = OpCounter::new();
+        let mut c = self.extra;
         for b in &self.blocks {
             c.merge(&b.counter());
         }

@@ -1,0 +1,238 @@
+//! Deterministic scoped-thread worker pool and the parallel MC engine.
+//!
+//! The hot loop of every NeuSpin method is `T` stochastic forward
+//! passes, and the passes are independent given independent RNG
+//! streams — an embarrassingly parallel axis. [`ThreadPool`] fans
+//! indexed jobs over `std::thread::scope` workers (no external deps),
+//! and [`mc_predict_par`] layers the determinism policy on top:
+//!
+//! * every pass `t` draws from its own `StdRng` seeded with
+//!   [`neuspin_bayes::pass_seeds`]`(seed, T)[t]` — a SplitMix64
+//!   expansion of the caller's master seed — so the noise a pass sees
+//!   does not depend on which worker runs it;
+//! * per-pass probabilities are collected by pass index and reduced in
+//!   ascending order by [`neuspin_bayes::mc_aggregate`], so the
+//!   floating-point reduction order does not depend on thread count.
+//!
+//! Together these make the result bit-identical for 1, 2, or N workers
+//! and to the sequential reference [`neuspin_bayes::mc_predict_seeded`].
+//! Worker states (model clones, whose op counters and sense-margin
+//! tallies advanced) are returned to the caller for merging.
+
+use neuspin_bayes::{mc_aggregate, pass_seeds, Predictive};
+use neuspin_nn::{softmax, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixed-size scoped-thread worker pool.
+///
+/// Threads are spawned per [`ThreadPool::run_chunked`] call inside a
+/// `std::thread::scope` (workers may borrow from the caller's stack)
+/// and joined before it returns; a pool of 1 runs inline with no spawn
+/// at all, making it literally the sequential path.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// Sizes the pool from the `NEUSPIN_THREADS` environment variable
+    /// (a positive integer), falling back to the host's available
+    /// parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("NEUSPIN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `jobs` indexed tasks across the pool and returns
+    /// `(results in job order, final worker states in worker order)`.
+    ///
+    /// Each worker `w` gets one state from `init(w)` and a contiguous
+    /// chunk of job indices (`w·jobs/W .. (w+1)·jobs/W` — deterministic,
+    /// balanced to within one job). Chunking only decides *where* a job
+    /// runs; a job that derives everything from its index computes the
+    /// same value on any worker.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn run_chunked<S, T, FI, FJ>(&self, jobs: usize, init: FI, job: FJ) -> (Vec<T>, Vec<S>)
+    where
+        S: Send,
+        T: Send,
+        FI: Fn(usize) -> S + Sync,
+        FJ: Fn(&mut S, usize) -> T + Sync,
+    {
+        if jobs == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let workers = self.threads.min(jobs);
+        if workers == 1 {
+            let mut state = init(0);
+            let results = (0..jobs).map(|t| job(&mut state, t)).collect();
+            return (results, vec![state]);
+        }
+        let init = &init;
+        let job = &job;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * jobs / workers;
+                    let hi = (w + 1) * jobs / workers;
+                    scope.spawn(move || {
+                        let mut state = init(w);
+                        let out: Vec<T> = (lo..hi).map(|t| job(&mut state, t)).collect();
+                        (out, state)
+                    })
+                })
+                .collect();
+            let mut results = Vec::with_capacity(jobs);
+            let mut states = Vec::with_capacity(workers);
+            for handle in handles {
+                let (out, state) = handle.join().expect("pool worker panicked");
+                results.extend(out);
+                states.push(state);
+            }
+            (results, states)
+        })
+    }
+}
+
+/// The deterministic parallel MC engine: fans `passes` stochastic
+/// forward passes over `pool`, each on its own RNG stream derived from
+/// `seed` (the [`pass_seeds`] schedule), and reduces the softmaxed
+/// outputs in ascending pass order.
+///
+/// `init(w)` builds worker `w`'s private state (typically a clone of
+/// the model); `forward(state, t, rng)` must return logits `[N, C]` for
+/// pass `t` using only `state` and `rng` for stochasticity. Under that
+/// contract the returned [`Predictive`] is bit-identical for any thread
+/// count and to [`neuspin_bayes::mc_predict_seeded`] with the same
+/// seed. The final worker states come back for statistics merging.
+///
+/// # Panics
+///
+/// Panics if `passes == 0`, on inconsistent logit shapes, or if a
+/// worker panics.
+pub fn mc_predict_par<S, FI, FF>(
+    pool: &ThreadPool,
+    passes: usize,
+    seed: u64,
+    init: FI,
+    forward: FF,
+) -> (Predictive, Vec<S>)
+where
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FF: Fn(&mut S, usize, &mut StdRng) -> Tensor + Sync,
+{
+    assert!(passes > 0, "need at least one MC pass");
+    let seeds = pass_seeds(seed, passes);
+    let seeds = &seeds;
+    let forward = &forward;
+    let (probs, states) = pool.run_chunked(passes, init, move |state, t| {
+        let mut rng = StdRng::seed_from_u64(seeds[t]);
+        softmax(&forward(state, t, &mut rng))
+    });
+    let mut slots: Vec<Option<Tensor>> = probs.into_iter().map(Some).collect();
+    let pred = mc_aggregate(passes, |t| slots[t].take().expect("each pass reduced once"));
+    (pred, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_clamps_to_one_worker() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert_eq!(ThreadPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn run_chunked_preserves_job_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let (results, states) =
+                pool.run_chunked(10, |w| w, |state, t| (*state, t * t));
+            assert_eq!(results.len(), 10, "{threads} threads");
+            for (t, &(_, sq)) in results.iter().enumerate() {
+                assert_eq!(sq, t * t, "{threads} threads");
+            }
+            assert_eq!(states.len(), threads.min(10));
+        }
+    }
+
+    #[test]
+    fn run_chunked_chunks_are_contiguous_and_balanced() {
+        let pool = ThreadPool::new(3);
+        let (results, _) = pool.run_chunked(8, |w| w, |w, t| (*w, t));
+        // Worker of each job is non-decreasing and chunk sizes differ
+        // by at most one.
+        let mut counts = [0usize; 3];
+        let mut last_worker = 0;
+        for &(w, _) in &results {
+            assert!(w >= last_worker, "contiguous chunks");
+            last_worker = w;
+            counts[w] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(counts.iter().all(|&c| c == 2 || c == 3), "{counts:?}");
+    }
+
+    #[test]
+    fn run_chunked_zero_jobs() {
+        let pool = ThreadPool::new(4);
+        let (results, states) = pool.run_chunked(0, |w| w, |_, t| t);
+        assert!(results.is_empty());
+        assert!(states.is_empty());
+    }
+
+    #[test]
+    fn mc_predict_par_matches_seeded_sequential_for_any_thread_count() {
+        // A pure function of (pass index, rng) — the forward contract.
+        let forward = |t: usize, rng: &mut StdRng| {
+            Tensor::from_fn(&[2, 3], |i| {
+                (t as f32 * 0.1) + neuspin_device::stats::standard_normal(rng) as f32 + i as f32
+            })
+        };
+        let reference = neuspin_bayes::mc_predict_seeded(9, 77, forward);
+        for threads in [1, 2, 4, 9, 16] {
+            let pool = ThreadPool::new(threads);
+            let (pred, _) =
+                mc_predict_par(&pool, 9, 77, |_| (), |_, t, rng| forward(t, rng));
+            assert_eq!(pred, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn from_env_reads_neuspin_threads() {
+        // Only assert the parse contract on the current env (the test
+        // harness is multi-threaded; setting env vars here would race).
+        let pool = ThreadPool::from_env();
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MC pass")]
+    fn mc_predict_par_rejects_zero_passes() {
+        let pool = ThreadPool::new(2);
+        let _ = mc_predict_par(&pool, 0, 1, |_| (), |_, _, _| Tensor::zeros(&[1, 2]));
+    }
+}

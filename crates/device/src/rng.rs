@@ -17,7 +17,7 @@
 
 use crate::mtj::{Mtj, MtjParams};
 use crate::variation::VariedParams;
-use rand::Rng;
+use rand::{Rng, RngExt};
 
 /// Outcome of calibrating a [`SpinRng`] against a target probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +63,11 @@ pub struct SpinRng {
     bias_current: f64,
     target_p: f64,
     bits_generated: u64,
+    /// The device's switching probability at the current bias point,
+    /// cached on every bias change: the per-bit hot path is one uniform
+    /// draw against this value, without re-evaluating the switching
+    /// model (two `exp` calls) per bit.
+    p_at_bias: f64,
 }
 
 impl SpinRng {
@@ -76,7 +81,20 @@ impl SpinRng {
             bias_current: 0.0,
             target_p: 0.0,
             bits_generated: 0,
+            p_at_bias: 0.0,
         }
+    }
+
+    /// Applies a new bias current and refreshes the cached switching
+    /// probability. All bias mutations must go through here.
+    fn set_bias(&mut self, current: f64) {
+        self.bias_current = current;
+        // `Mtj::try_set` pulses with the magnitude of the current, so
+        // the cache must too.
+        self.p_at_bias = self
+            .device
+            .switching()
+            .probability(current.abs(), self.device.params().pulse_width);
     }
 
     /// The probability the module is currently calibrated for.
@@ -114,7 +132,7 @@ impl SpinRng {
     /// Panics if `p` is not in `(0, 1)`.
     pub fn calibrate_nominal(&mut self, p: f64) -> CalibrationReport {
         let nominal_model = crate::SwitchingModel::from_params(&self.nominal);
-        self.bias_current = nominal_model.current_for_probability(p, self.nominal.pulse_width);
+        self.set_bias(nominal_model.current_for_probability(p, self.nominal.pulse_width));
         self.target_p = p;
         CalibrationReport {
             target_p: p,
@@ -153,7 +171,7 @@ impl SpinRng {
         let mut best = center;
         for _ in 0..max_steps {
             let mid = 0.5 * (lo + hi);
-            self.bias_current = mid;
+            self.set_bias(mid);
             let mut ones = 0u32;
             for _ in 0..bits_per_step {
                 if self.raw_bit(rng) {
@@ -172,7 +190,7 @@ impl SpinRng {
                 hi = mid;
             }
         }
-        self.bias_current = best;
+        self.set_bias(best);
         self.target_p = p;
         CalibrationReport {
             target_p: p,
@@ -183,15 +201,19 @@ impl SpinRng {
     }
 
     fn raw_bit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
-        // SET attempt at the bias current.
-        let switched = self.device.try_set(self.bias_current, rng);
-        // Sense-amplifier read of the post-pulse state; with write-verify
-        // semantics the read reflects the switch outcome.
-        let bit = switched;
-        // RESET to parallel for the next cycle.
-        self.device.reset();
+        // One SET attempt at the bias point (sensed with write-verify
+        // semantics), then RESET for the next cycle. The device starts
+        // every cycle in the parallel state, so the attempt reduces to
+        // one uniform draw against the cached switching probability —
+        // the same draw and the same comparison `Mtj::try_set` would
+        // make, without re-evaluating the switching model per bit.
         self.bits_generated += 1;
-        bit
+        if self.bias_current == 0.0 {
+            // Uncalibrated: a zero-amplitude pulse never switches and
+            // draws nothing.
+            return false;
+        }
+        rng.random::<f64>() < self.p_at_bias
     }
 
     /// Produces one random bit (one full SET → read → RESET cycle).

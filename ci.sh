@@ -48,4 +48,23 @@ NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_B
 NEUSPIN_RESULTS=target/ci-results \
     cargo run -q --release --offline -p neuspin-bench --bin exp_throughput -- --check
 
+# Lifetime campaign smoke: age three copies of one die (unmanaged /
+# scrub-only / closed-loop) through the fast grid, then the JSON gate
+# (degradation ≥ 10 pp unmanaged, closed-loop regression ≤ 2 pp).
+echo "==> exp_lifetime smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_lifetime
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_lifetime -- --check
+
+# Lifetime trajectories must be bit-reproducible for any worker count:
+# repeat the smoke with a forced 4-worker pool into a second directory
+# and byte-compare both emitted JSON artifacts.
+echo "==> exp_lifetime thread invariance (NEUSPIN_THREADS=4)"
+NEUSPIN_THREADS=4 NEUSPIN_RESULTS=target/ci-results-t4 NEUSPIN_BENCH_ROOT=target/ci-results-t4 \
+    NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_lifetime
+cmp target/ci-results/exp_lifetime.json target/ci-results-t4/exp_lifetime.json
+cmp target/ci-results/BENCH_lifetime.json target/ci-results-t4/BENCH_lifetime.json
+
 echo "==> OK"

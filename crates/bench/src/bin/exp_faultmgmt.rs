@@ -20,11 +20,11 @@
 //! (the CI gate).
 
 use neuspin_bayes::Method;
+use neuspin_bench::scenarios::faulty_hardware_config;
 use neuspin_bench::{results_dir, write_json, Setup};
 use neuspin_cim::BistConfig;
 use neuspin_core::json;
-use neuspin_core::{HardwareConfig, HardwareModel};
-use neuspin_device::DefectRates;
+use neuspin_core::HardwareModel;
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -145,19 +145,7 @@ fn main() -> ExitCode {
     );
     for (di, &defect_rate) in defect_rates.iter().enumerate() {
         for (si, &spare_cols) in spare_budgets.iter().enumerate() {
-            let hw_config = HardwareConfig {
-                crossbar: neuspin_cim::CrossbarConfig {
-                    defect_rates: DefectRates {
-                        short: defect_rate / 2.0,
-                        open: defect_rate / 2.0,
-                        ..DefectRates::none()
-                    },
-                    ..neuspin_core::reliability_base().crossbar
-                },
-                spare_cols,
-                passes: setup.passes,
-                ..neuspin_core::reliability_base()
-            };
+            let hw_config = faulty_hardware_config(defect_rate, spare_cols, setup.passes);
             let point_tag = 0x10_000 + (di as u64) * 64 + si as u64;
 
             // Same die twice: identical compile seed, divergent care.

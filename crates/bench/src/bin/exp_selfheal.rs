@@ -12,8 +12,9 @@
 //! ```
 
 use neuspin_bayes::Method;
+use neuspin_bench::scenarios::severity_scenarios;
 use neuspin_bench::{write_json, Setup};
-use neuspin_core::{reliability_base, sweep, Series, SweepConfig, SweepKind};
+use neuspin_core::{reliability_base, sweep, Series, SweepConfig};
 
 #[derive(Debug)]
 struct SelfHealReport {
@@ -38,16 +39,11 @@ fn main() {
     let mut config = reliability_base();
     config.passes = setup.passes.min(12);
 
-    let scenarios: [(&str, SweepKind, Vec<f64>); 3] = [
-        ("programming variation σ", SweepKind::Variation, vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3]),
-        ("defect rate", SweepKind::Defects, vec![0.0, 0.005, 0.01, 0.02, 0.05]),
-        ("post-calibration common-mode drift", SweepKind::Drift, vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
-    ];
-
     let mut reports = Vec::new();
-    for (name, kind, severities) in scenarios {
+    for scenario in severity_scenarios() {
+        let (name, severities) = (scenario.name, scenario.severities);
         println!("-- {name} --");
-        let sweep_config = SweepConfig::new(kind, severities.clone(), setup.seed);
+        let sweep_config = SweepConfig::new(scenario.kind, severities.clone(), setup.seed);
         let bn_points = sweep(
             &mut bn_model,
             Method::SpinDrop,

@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
+pub mod scenarios;
 pub mod timing;
 
 /// Where result JSON files land (`results/` at the workspace root).

@@ -1,0 +1,109 @@
+//! Shared hardware-severity scenario builders.
+//!
+//! The reliability campaigns (`exp_selfheal`, `exp_faultmgmt`,
+//! `exp_lifetime`) stress the same physical knobs — programming
+//! variation, manufacturing defects, post-calibration drift — and for
+//! years-of-service studies the same defect-rate → [`DefectRates`] and
+//! defect-rate → [`HardwareConfig`] recipes. This module is the single
+//! place those recipes live, so the experiments agree on what
+//! "defect rate 0.01" means.
+
+use neuspin_core::{reliability_base, HardwareConfig, SweepKind};
+use neuspin_device::DefectRates;
+
+/// One named severity sweep: which non-ideality axis to stress and the
+/// grid of severities to stress it at.
+#[derive(Debug, Clone)]
+pub struct SeverityScenario {
+    /// Human-readable axis name (used in tables and JSON).
+    pub name: &'static str,
+    /// Which hardware knob the severity scales.
+    pub kind: SweepKind,
+    /// Severity grid, mildest first.
+    pub severities: Vec<f64>,
+}
+
+/// The canonical three severity sweeps of the self-healing study
+/// (§III-A4): programming-time variation, manufacturing defects, and
+/// post-calibration common-mode drift.
+pub fn severity_scenarios() -> Vec<SeverityScenario> {
+    vec![
+        SeverityScenario {
+            name: "programming variation σ",
+            kind: SweepKind::Variation,
+            severities: vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3],
+        },
+        SeverityScenario {
+            name: "defect rate",
+            kind: SweepKind::Defects,
+            severities: vec![0.0, 0.005, 0.01, 0.02, 0.05],
+        },
+        SeverityScenario {
+            name: "post-calibration common-mode drift",
+            kind: SweepKind::Drift,
+            severities: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        },
+    ]
+}
+
+/// Splits a total hard-fault rate evenly between shorts (stuck-on) and
+/// opens (stuck-off) — the convention every fault campaign uses.
+pub fn hard_fault_rates(rate: f64) -> DefectRates {
+    DefectRates {
+        short: rate / 2.0,
+        open: rate / 2.0,
+        ..DefectRates::none()
+    }
+}
+
+/// The reliability-study hardware config with a given total hard-fault
+/// rate, spare-column budget, and MC pass count, everything else at
+/// [`reliability_base`] settings.
+pub fn faulty_hardware_config(defect_rate: f64, spare_cols: usize, passes: usize) -> HardwareConfig {
+    let base = reliability_base();
+    HardwareConfig {
+        crossbar: neuspin_cim::CrossbarConfig {
+            defect_rates: hard_fault_rates(defect_rate),
+            ..base.crossbar
+        },
+        spare_cols,
+        passes,
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_cover_the_three_axes_in_increasing_severity() {
+        let scenarios = severity_scenarios();
+        assert_eq!(scenarios.len(), 3);
+        let kinds: Vec<SweepKind> = scenarios.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SweepKind::Variation, SweepKind::Defects, SweepKind::Drift]
+        );
+        for s in &scenarios {
+            assert!(s.severities.windows(2).all(|w| w[0] < w[1]), "{} not sorted", s.name);
+            assert_eq!(s.severities[0], 0.0, "{} must include the clean point", s.name);
+        }
+    }
+
+    #[test]
+    fn hard_faults_split_evenly_between_shorts_and_opens() {
+        let rates = hard_fault_rates(0.02);
+        assert_eq!(rates.short, 0.01);
+        assert_eq!(rates.open, 0.01);
+    }
+
+    #[test]
+    fn faulty_config_carries_rate_spares_and_passes() {
+        let config = faulty_hardware_config(0.01, 4, 6);
+        assert_eq!(config.crossbar.defect_rates.short, 0.005);
+        assert_eq!(config.crossbar.defect_rates.open, 0.005);
+        assert_eq!(config.spare_cols, 4);
+        assert_eq!(config.passes, 6);
+    }
+}

@@ -34,7 +34,7 @@
 //! RNG.
 
 use crate::crossbar::Crossbar;
-use neuspin_device::{DefectKind, DefectMap};
+use neuspin_device::{DefectConfusion, DefectKind, DefectMap};
 use rand::rngs::StdRng;
 
 /// Thresholds for the march-test classifier.
@@ -100,6 +100,19 @@ impl BistReport {
         } else {
             caught as f64 / total as f64
         }
+    }
+
+    /// Per-kind estimation quality against the true defect map
+    /// (detected / misclassified / missed / false positives) — see
+    /// [`DefectMap::confusion`]. Lifetime experiments use this to
+    /// report how well the BIST tracked an aging population, not just
+    /// the downstream accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` was built for a different array shape.
+    pub fn confusion(&self, truth: &DefectMap) -> DefectConfusion {
+        self.estimated.confusion(truth)
     }
 }
 
@@ -276,6 +289,31 @@ mod tests {
             &[DefectKind::StuckParallel, DefectKind::StuckAntiParallel],
         );
         assert!(rate >= 0.9, "stuck-at escapes one polarity but not both, got {rate}");
+    }
+
+    #[test]
+    fn confusion_tracks_march_quality() {
+        let mut r = rng();
+        let w = vec![1.0f32; 256];
+        let config = CrossbarConfig {
+            defect_rates: DefectRates { short: 0.04, open: 0.04, ..DefectRates::none() },
+            read_noise: 0.02,
+            ..CrossbarConfig::default()
+        };
+        let mut xbar = Crossbar::program(&w, 16, 16, &config, &mut r);
+        let truth = xbar.defects().clone();
+        assert!(truth.defect_count() > 5, "fixture needs defects");
+        let report = march_test(&mut xbar, &BistConfig::default(), &mut r);
+        let c = report.confusion(&truth);
+        assert!(c.detection_rate() >= 0.9, "hard faults nearly all caught: {c:?}");
+        let accounted =
+            c.total_detected() + c.total_misclassified() + c.total_missed();
+        assert_eq!(accounted, truth.defect_count(), "every true defect is accounted for");
+        assert_eq!(
+            c.total_detected() + c.total_misclassified() + c.total_false_positives(),
+            report.flagged(),
+            "every flag is accounted for"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use crate::adc::{Adc, OpCounter};
 use crate::bitcell::{MlcBitCell, XnorBitCell};
-use neuspin_device::{stats, DefectMap, DefectRates, VariedParams};
+use neuspin_device::{
+    stats, AgingConfig, AgingReport, AgingState, DefectKind, DefectMap, DefectRates, VariedParams,
+};
 use rand::rngs::StdRng;
 
 /// A spare bit-cell column held in reserve for redundancy repair.
@@ -30,6 +32,20 @@ use rand::rngs::StdRng;
 struct SpareColumn {
     cells: Vec<XnorBitCell>,
     used: bool,
+}
+
+/// Temporal-degradation state attached to a crossbar by
+/// [`Crossbar::enable_aging`].
+#[derive(Debug, Clone)]
+struct AgingHook {
+    state: AgingState,
+    /// The logical sign pattern captured at enable time — the reference
+    /// contents a [`Crossbar::scrub`] restores.
+    golden: Vec<f32>,
+    /// Op-counter snapshots from the last [`Crossbar::advance_time`],
+    /// so per-read disturb and write wear ride the existing tallies.
+    seen_reads: u64,
+    seen_writes: u64,
 }
 
 /// Configuration shared by crossbar constructors.
@@ -128,6 +144,10 @@ pub struct Crossbar {
     /// ([`Crossbar::matvec_reference`]) for equivalence tests and
     /// throughput baselines.
     reference_kernel: bool,
+    /// Temporal degradation state; `None` until
+    /// [`Crossbar::enable_aging`] attaches it, so arrays that never age
+    /// keep the historical RNG streams and behaviour bit for bit.
+    aging: Option<Box<AgingHook>>,
 }
 
 /// The per-cell IR-drop denominator table (empty when the effect is
@@ -240,6 +260,7 @@ impl Crossbar {
             margin_count: 0,
             scratch: Vec::new(),
             reference_kernel: false,
+            aging: None,
         };
         xbar.refresh_eff();
         // Each cell programs two devices (write + verify each).
@@ -251,6 +272,13 @@ impl Crossbar {
     fn refresh_eff(&mut self) {
         for (i, cell) in self.cells.iter().enumerate() {
             self.eff[i] = cell.effective_weight();
+        }
+        // Aged conductances carry their cumulative drift factor (reset
+        // to 1 by a scrub, so a refreshed array reads as programmed).
+        if let Some(hook) = &self.aging {
+            for (i, w) in self.eff.iter_mut().enumerate() {
+                *w *= hook.state.drift(i);
+            }
         }
     }
 
@@ -323,6 +351,13 @@ impl Crossbar {
         }
         self.counter.cell_writes += (self.rows * 2) as u64;
         self.counter.cell_reads += (self.rows * 2) as u64;
+        // The fused-in spare is a fresh physical device: its temporal
+        // state (drift, wear, endurance budget) restarts.
+        if let Some(hook) = &mut self.aging {
+            for r in 0..self.rows {
+                hook.state.replace_cell(r * self.cols + col);
+            }
+        }
     }
 
     /// The stored sign pattern in *logical* coordinates (undoing any
@@ -676,6 +711,122 @@ impl Crossbar {
         for w in &mut self.eff {
             *w = f(*w);
         }
+    }
+
+    /// Attaches a temporal-degradation engine to the array: from now on
+    /// [`Crossbar::advance_time`] ages the programmed cells and
+    /// [`Crossbar::scrub`] refreshes them back to the contents stored
+    /// *right now* (the golden reference). Calling this again
+    /// re-baselines both the golden contents and the temporal state.
+    ///
+    /// Arrays that never enable aging are bit-for-bit unaffected: the
+    /// engine draws only from its own event-indexed streams.
+    pub fn enable_aging(&mut self, config: &AgingConfig) {
+        self.aging = Some(Box::new(AgingHook {
+            state: AgingState::new(self.rows * self.cols, config.clone()),
+            golden: self.stored_logical_signs(),
+            seen_reads: self.counter.cell_reads,
+            seen_writes: self.counter.cell_writes,
+        }));
+    }
+
+    /// Whether an aging engine is attached.
+    pub fn aging_enabled(&self) -> bool {
+        self.aging.is_some()
+    }
+
+    /// The attached temporal state (e.g. the virtual clock), if any.
+    pub fn aging_state(&self) -> Option<&AgingState> {
+        self.aging.as_deref().map(|h| &h.state)
+    }
+
+    /// Advances the virtual clock by `dt_hours`, applying temporal
+    /// degradation to the array:
+    ///
+    /// * retention and read-disturb flips invert the stored sign of the
+    ///   affected (non-defective) cells;
+    /// * endurance wear-outs convert the cell into a stuck-at defect
+    ///   frozen near its current state, recorded in the ground-truth
+    ///   [`Crossbar::defects`] map (the BIST can then find it);
+    /// * conductance drift accumulates into the effective weights.
+    ///
+    /// Read-disturb exposure and write wear are derived from the op
+    /// counters: the reads/writes tallied since the last call (by
+    /// matvec, BIST, reprogramming, …) are averaged per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Crossbar::enable_aging`] was never called, or
+    /// `dt_hours` is not positive and finite.
+    pub fn advance_time(&mut self, dt_hours: f64) -> AgingReport {
+        let mut hook = self.aging.take().expect("advance_time requires enable_aging");
+        let cells = (self.rows * self.cols) as f64;
+        let reads_per_cell =
+            self.counter.cell_reads.saturating_sub(hook.seen_reads) as f64 / cells;
+        // Programming tallies two device writes per cell.
+        let writes_per_cell =
+            self.counter.cell_writes.saturating_sub(hook.seen_writes) as f64 / (2.0 * cells);
+        let step = hook.state.advance(dt_hours, reads_per_cell, writes_per_cell);
+        for &i in step.retention_flips.iter().chain(&step.disturb_flips) {
+            // Defective cells have no functioning free layer to flip.
+            if !self.cells[i].is_defective() {
+                let s = self.cells[i].stored_sign();
+                self.cells[i].program(-s);
+            }
+        }
+        for &i in &step.wear_outs {
+            let (r, c) = (i / self.cols, i % self.cols);
+            // A worn-out barrier freezes the cell near its current
+            // state; the defect lands on one device of the pair by the
+            // same position parity the fabrication path uses.
+            let kind = if self.cells[i].stored_sign() >= 0.0 {
+                DefectKind::StuckParallel
+            } else {
+                DefectKind::StuckAntiParallel
+            };
+            if (r + c) % 2 == 0 {
+                self.cells[i].inject_plus_defect(kind);
+            } else {
+                self.cells[i].inject_minus_defect(kind);
+            }
+            self.defects.inject(r, c, kind);
+        }
+        hook.seen_reads = self.counter.cell_reads;
+        hook.seen_writes = self.counter.cell_writes;
+        let report = step.summary(dt_hours);
+        self.aging = Some(hook);
+        self.refresh_eff();
+        report
+    }
+
+    /// Scrubs the array: rewrites the golden contents captured at
+    /// [`Crossbar::enable_aging`] over every cell (routed through any
+    /// active remap), clearing accumulated sign flips and conductance
+    /// drift. Stuck-at conversions are *not* healed — that takes the
+    /// repair/remap machinery. Each of the configured
+    /// [`AgingConfig::scrub_passes`] write-verify loops is tallied like
+    /// a full reprogram, which is the scrub's energy cost (and its
+    /// endurance cost at the next [`Crossbar::advance_time`]).
+    ///
+    /// Returns the number of logical cells whose stored sign had
+    /// decayed away from the golden contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Crossbar::enable_aging`] was never called.
+    pub fn scrub(&mut self) -> usize {
+        assert!(self.aging.is_some(), "scrub requires enable_aging");
+        let (golden, passes) = {
+            let hook = self.aging.as_deref().unwrap();
+            (hook.golden.clone(), hook.state.config().scrub_passes)
+        };
+        let current = self.stored_logical_signs();
+        let decayed = current.iter().zip(&golden).filter(|(a, b)| a != b).count();
+        self.aging.as_deref_mut().unwrap().state.reset_drift();
+        for _ in 0..passes {
+            self.reprogram(&golden);
+        }
+        decayed
     }
 
     /// Batch version of [`matvec`](Self::matvec): input matrix
@@ -1427,6 +1578,150 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn aging_flips_decay_contents_and_scrub_restores() {
+        let mut r = rng();
+        let w: Vec<f32> = (0..128).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut xbar = Crossbar::program(&w, 16, 8, &ideal(), &mut r);
+        // Δ = 31 at 300 K: λ ≈ 0.5 over 4 h → ~40 % of cells flip.
+        xbar.enable_aging(&neuspin_device::AgingConfig {
+            seed: 7,
+            thermal_stability: 31.0,
+            ..neuspin_device::AgingConfig::default()
+        });
+        let report = xbar.advance_time(4.0);
+        assert!(report.retention_flips > 20, "flips: {}", report.retention_flips);
+        let decayed_signs = xbar
+            .stored_logical_signs()
+            .iter()
+            .zip(&w)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(decayed_signs > 0, "stored contents must decay");
+        let writes_before = xbar.counter().cell_writes;
+        let decayed = xbar.scrub();
+        assert_eq!(decayed, decayed_signs, "scrub reports the decayed cells");
+        assert_eq!(xbar.stored_logical_signs(), w, "scrub restores golden contents");
+        assert_eq!(
+            xbar.counter().cell_writes - writes_before,
+            (16 * 8 * 2) as u64,
+            "one scrub pass costs a full reprogram"
+        );
+    }
+
+    #[test]
+    fn aging_drift_attenuates_weights_and_scrub_resets() {
+        let mut r = rng();
+        let w = vec![1.0f32; 64];
+        let mut xbar = Crossbar::program(&w, 8, 8, &ideal(), &mut r);
+        xbar.enable_aging(&neuspin_device::AgingConfig {
+            seed: 3,
+            drift_rate: 0.2,
+            ..neuspin_device::AgingConfig::default()
+        });
+        xbar.advance_time(2.0);
+        let expected = (-0.2f64 * 2.0).exp();
+        let eff = xbar.effective_weight(4, 4);
+        assert!((eff - expected).abs() < 1e-9, "eff {eff} vs decay {expected}");
+        xbar.scrub();
+        assert!((xbar.effective_weight(4, 4) - 1.0).abs() < 1e-9, "scrub resets drift");
+    }
+
+    #[test]
+    fn endurance_wear_converts_cells_to_stuck_defects() {
+        let mut r = rng();
+        let w = vec![1.0f32; 64];
+        let mut xbar = Crossbar::program(&w, 8, 8, &ideal(), &mut r);
+        // Median lifetime of 1.5 write cycles: the two reprograms below
+        // push nearly every cell past its budget.
+        xbar.enable_aging(&neuspin_device::AgingConfig {
+            seed: 11,
+            endurance_median: 1.5,
+            endurance_sigma: 0.1,
+            ..neuspin_device::AgingConfig::default()
+        });
+        xbar.reprogram(&w);
+        xbar.reprogram(&w);
+        let report = xbar.advance_time(1.0);
+        assert!(report.wear_outs > 50, "wear-outs: {}", report.wear_outs);
+        assert_eq!(xbar.defects().defect_count(), report.wear_outs);
+        assert!(xbar
+            .defects()
+            .iter()
+            .all(|(_, k)| k == DefectKind::StuckParallel || k == DefectKind::StuckAntiParallel));
+        // Worn cells are frozen: no further wear or flips from them.
+        let again = xbar.advance_time(1.0);
+        assert_eq!(again.wear_outs + report.wear_outs, xbar.defects().defect_count());
+    }
+
+    #[test]
+    fn read_disturb_rides_the_op_counters() {
+        let mut r = rng();
+        let w = vec![1.0f32; 64];
+        let config = neuspin_device::AgingConfig {
+            seed: 5,
+            read_disturb: 1e-3,
+            ..neuspin_device::AgingConfig::default()
+        };
+        let mut idle = Crossbar::program(&w, 8, 8, &ideal(), &mut r);
+        let mut busy = idle.clone();
+        idle.enable_aging(&config);
+        busy.enable_aging(&config);
+        let mut rr = StdRng::seed_from_u64(88);
+        for _ in 0..500 {
+            let _ = busy.matvec(&[1.0; 8], &mut rr);
+        }
+        let quiet = idle.advance_time(1.0).disturb_flips;
+        let disturbed = busy.advance_time(1.0).disturb_flips;
+        assert_eq!(quiet, 0, "no reads, no disturb");
+        assert!(disturbed > 10, "500 reads/cell at 1e-3: {disturbed}");
+    }
+
+    #[test]
+    fn aging_trajectories_are_reproducible() {
+        let mut r = rng();
+        let w: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = neuspin_device::AgingConfig {
+            seed: 9,
+            thermal_stability: 32.0,
+            drift_rate: 0.05,
+            drift_sigma: 0.1,
+            ..neuspin_device::AgingConfig::default()
+        };
+        let mut a = Crossbar::program(&w, 8, 8, &ideal(), &mut r);
+        let mut b = a.clone();
+        a.enable_aging(&config);
+        b.enable_aging(&config);
+        for _ in 0..3 {
+            let ra = a.advance_time(2.0);
+            let rb = b.advance_time(2.0);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.stored_logical_signs(), b.stored_logical_signs());
+        for i in 0..8 {
+            assert_eq!(
+                a.effective_weight(i, i).to_bits(),
+                b.effective_weight(i, i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires enable_aging")]
+    fn advance_time_requires_enable() {
+        let mut r = rng();
+        let mut xbar = Crossbar::program(&[1.0; 4], 2, 2, &ideal(), &mut r);
+        let _ = xbar.advance_time(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires enable_aging")]
+    fn scrub_requires_enable() {
+        let mut r = rng();
+        let mut xbar = Crossbar::program(&[1.0; 4], 2, 2, &ideal(), &mut r);
+        let _ = xbar.scrub();
     }
 
     #[test]

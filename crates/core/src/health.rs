@@ -66,11 +66,27 @@ pub struct HealthConfig {
     /// [`neuspin_bayes::entropy_threshold_for_coverage`] on held-out
     /// data; `f64::INFINITY` disables abstention.
     pub abstain_entropy: f64,
+    /// Consecutive observations a raw escalation must persist before
+    /// [`HealthMonitor::policy`] latches it (`1` latches immediately).
+    /// The [`HealthPolicy::Abstain`] safety tier bypasses the dwell.
+    pub dwell: usize,
+    /// Exit-band factor in `(0, 1]`: a latched tier only releases once
+    /// both signals retreat below `release ×` that tier's entry
+    /// threshold. Together with `dwell` this keeps signals hovering at
+    /// a slack boundary from re-triggering recovery every window.
+    pub release: f64,
 }
 
 impl Default for HealthConfig {
     fn default() -> Self {
-        Self { window: 8, entropy_slack: 0.25, margin_slack: 0.15, abstain_entropy: f64::INFINITY }
+        Self {
+            window: 8,
+            entropy_slack: 0.25,
+            margin_slack: 0.15,
+            abstain_entropy: f64::INFINITY,
+            dwell: 2,
+            release: 0.7,
+        }
     }
 }
 
@@ -80,6 +96,11 @@ pub struct HealthMonitor {
     config: HealthConfig,
     window: VecDeque<(f64, f64)>,
     baseline: Option<(f64, f64)>,
+    /// Hysteresis state: the tier [`HealthMonitor::policy`] reports.
+    latched: HealthPolicy,
+    /// An escalation being dwelled on before it latches.
+    pending: HealthPolicy,
+    pending_count: usize,
 }
 
 impl HealthMonitor {
@@ -87,8 +108,9 @@ impl HealthMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if `config.window == 0` or the slacks are not positive
-    /// and finite.
+    /// Panics if `config.window == 0`, the slacks are not positive and
+    /// finite, `config.dwell == 0`, or `config.release` is outside
+    /// `(0, 1]`.
     pub fn new(config: HealthConfig) -> Self {
         assert!(config.window > 0, "window must be positive");
         assert!(
@@ -99,7 +121,20 @@ impl HealthMonitor {
             config.margin_slack > 0.0 && config.margin_slack.is_finite(),
             "margin_slack must be positive and finite"
         );
-        Self { config, window: VecDeque::new(), baseline: None }
+        assert!(config.dwell > 0, "dwell must be positive");
+        assert!(
+            config.release > 0.0 && config.release <= 1.0,
+            "release must be in (0, 1], got {}",
+            config.release
+        );
+        Self {
+            config,
+            window: VecDeque::new(),
+            baseline: None,
+            latched: HealthPolicy::Healthy,
+            pending: HealthPolicy::Healthy,
+            pending_count: 0,
+        }
     }
 
     /// The tuning in effect.
@@ -132,6 +167,17 @@ impl HealthMonitor {
             self.window.pop_front();
         }
         self.window.push_back((mean_entropy, mean_margin));
+        self.update_latch();
+    }
+
+    /// Drops every buffered observation (and any pending escalation
+    /// streak) so the next batches start a fresh rolling window — used
+    /// after a recovery action invalidates the old signal history. The
+    /// latched policy is kept; re-freeze the baseline to reset it.
+    pub fn clear_window(&mut self) {
+        self.window.clear();
+        self.pending = HealthPolicy::Healthy;
+        self.pending_count = 0;
     }
 
     /// Rolling mean predictive entropy (0 before any observation).
@@ -166,6 +212,11 @@ impl HealthMonitor {
     pub fn freeze_baseline(&mut self) {
         assert!(!self.window.is_empty(), "observe at least one batch before freezing");
         self.baseline = Some(self.rolling());
+        // A fresh normal: whatever was latched against the old baseline
+        // no longer applies.
+        self.latched = HealthPolicy::Healthy;
+        self.pending = HealthPolicy::Healthy;
+        self.pending_count = 0;
     }
 
     /// The frozen baseline `(entropy, margin)`, if any.
@@ -201,8 +252,8 @@ impl HealthMonitor {
             || self.margin_loss() > self.config.margin_slack
     }
 
-    /// The current policy decision: the most drastic response any
-    /// signal warrants.
+    /// The instantaneous (hysteresis-free) tier the rolling signals
+    /// warrant right now:
     ///
     /// * rolling entropy above the calibrated absolute threshold →
     ///   [`HealthPolicy::Abstain`];
@@ -210,7 +261,10 @@ impl HealthMonitor {
     ///   [`HealthPolicy::RemapTier`];
     /// * either signal beyond its slack → [`HealthPolicy::Recalibrate`];
     /// * otherwise [`HealthPolicy::Healthy`].
-    pub fn policy(&self) -> HealthPolicy {
+    ///
+    /// Prefer [`HealthMonitor::policy`] for driving recovery: the raw
+    /// tier flaps when a signal hovers at a slack boundary.
+    pub fn raw_policy(&self) -> HealthPolicy {
         if self.rolling_entropy() > self.config.abstain_entropy {
             return HealthPolicy::Abstain;
         }
@@ -222,6 +276,73 @@ impl HealthMonitor {
             HealthPolicy::Recalibrate
         } else {
             HealthPolicy::Healthy
+        }
+    }
+
+    /// The latched policy decision, with hysteresis:
+    ///
+    /// * an escalation only takes effect after persisting for
+    ///   [`HealthConfig::dwell`] consecutive observations
+    ///   ([`HealthPolicy::Abstain`] bypasses the dwell — uncertainty
+    ///   past the calibrated threshold is a safety condition);
+    /// * a latched tier only releases once both signals retreat below
+    ///   [`HealthConfig::release`] `×` its entry threshold, stepping
+    ///   down to whatever the raw tier then warrants.
+    pub fn policy(&self) -> HealthPolicy {
+        self.latched
+    }
+
+    /// Re-evaluates the latch after each observation.
+    fn update_latch(&mut self) {
+        let raw = self.raw_policy();
+        if raw == HealthPolicy::Abstain {
+            self.latched = HealthPolicy::Abstain;
+            self.pending = HealthPolicy::Healthy;
+            self.pending_count = 0;
+            return;
+        }
+        if raw > self.latched {
+            // Extend the escalation streak; a streak that keeps rising
+            // (Recalibrate then RemapTier) dwells as one streak at the
+            // highest tier seen.
+            if self.pending > self.latched && raw >= self.pending {
+                self.pending = raw;
+                self.pending_count += 1;
+            } else {
+                self.pending = raw;
+                self.pending_count = 1;
+            }
+            if self.pending_count >= self.config.dwell {
+                self.latched = self.pending;
+                self.pending = HealthPolicy::Healthy;
+                self.pending_count = 0;
+            }
+            return;
+        }
+        // At or below the latched tier: the streak is broken.
+        self.pending = HealthPolicy::Healthy;
+        self.pending_count = 0;
+        if raw < self.latched && self.exit_band_cleared() {
+            self.latched = raw;
+        }
+    }
+
+    /// Whether both signals have retreated below `release ×` the entry
+    /// threshold of the currently latched tier.
+    fn exit_band_cleared(&self) -> bool {
+        let r = self.config.release;
+        let e = self.entropy_rise();
+        let m = self.margin_loss();
+        match self.latched {
+            HealthPolicy::Healthy => true,
+            HealthPolicy::Recalibrate => {
+                e <= r * self.config.entropy_slack && m <= r * self.config.margin_slack
+            }
+            HealthPolicy::RemapTier => {
+                e <= r * 2.0 * self.config.entropy_slack
+                    && m <= r * 2.0 * self.config.margin_slack
+            }
+            HealthPolicy::Abstain => self.rolling_entropy() <= r * self.config.abstain_entropy,
         }
     }
 }
@@ -306,6 +427,152 @@ mod tests {
             m.observe(0.2, 10.0);
         }
         assert!((m.rolling_entropy() - 0.2).abs() < 1e-12, "window fully turned over");
+    }
+
+    #[test]
+    fn exactly_at_slack_stays_healthy() {
+        // Escalation comparisons are strict: a rise of exactly the
+        // slack is still within tolerance.
+        let mut m = HealthMonitor::new(HealthConfig { window: 1, ..HealthConfig::default() });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.5 * 1.25, 10.0); // rise == entropy_slack exactly
+        assert!((m.entropy_rise() - 0.25).abs() < 1e-12);
+        assert_eq!(m.raw_policy(), HealthPolicy::Healthy);
+        assert!(!m.drift_detected());
+    }
+
+    #[test]
+    fn exactly_at_twice_slack_is_recalibrate_not_remap() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 1,
+            dwell: 1,
+            ..HealthConfig::default()
+        });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.5 * 1.5, 10.0); // rise == 2 × entropy_slack exactly
+        assert!((m.entropy_rise() - 0.5).abs() < 1e-12);
+        assert_eq!(m.raw_policy(), HealthPolicy::Recalibrate);
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate, "dwell 1 latches at once");
+    }
+
+    #[test]
+    fn abstain_crossing_works_without_frozen_baseline() {
+        // The absolute uncertainty threshold needs no baseline, and
+        // bypasses the dwell: one bad batch is enough.
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 4,
+            abstain_entropy: 1.0,
+            ..HealthConfig::default()
+        });
+        m.observe(0.3, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+        m.observe(5.0, 10.0); // rolling (0.3 + 5.0) / 2 = 2.65 > 1.0
+        assert!(m.baseline().is_none());
+        assert_eq!(m.raw_policy(), HealthPolicy::Abstain);
+        assert_eq!(m.policy(), HealthPolicy::Abstain);
+    }
+
+    #[test]
+    fn dwell_filters_single_batch_spikes() {
+        let mut m = HealthMonitor::new(HealthConfig { window: 1, ..HealthConfig::default() });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.8, 10.0); // rise 0.6: raw wants RemapTier
+        assert_eq!(m.raw_policy(), HealthPolicy::RemapTier);
+        assert_eq!(m.policy(), HealthPolicy::Healthy, "one spike must not latch");
+        m.observe(0.5, 10.0); // back to normal before the dwell elapses
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+        // A persistent rise does latch after `dwell` observations.
+        m.observe(0.8, 10.0);
+        m.observe(0.8, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+    }
+
+    #[test]
+    fn boundary_hover_does_not_flap() {
+        // A signal oscillating around the slack boundary used to
+        // re-trigger Recalibrate every window; the exit band keeps the
+        // tier latched until the signal genuinely retreats.
+        let mut m = HealthMonitor::new(HealthConfig { window: 1, ..HealthConfig::default() });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.64, 10.0); // rise 0.28 > slack
+        m.observe(0.64, 10.0); // dwell met → latch Recalibrate
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+        for _ in 0..5 {
+            m.observe(0.62, 10.0); // rise 0.24: raw Healthy, inside exit band
+            assert_eq!(m.raw_policy(), HealthPolicy::Healthy);
+            assert_eq!(m.policy(), HealthPolicy::Recalibrate, "must hold through hover");
+            m.observe(0.64, 10.0);
+            assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+        }
+        // rise 0.1 < release × slack = 0.175 → genuinely recovered.
+        m.observe(0.55, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn remap_tier_releases_stepwise_through_recalibrate() {
+        let mut m = HealthMonitor::new(HealthConfig { window: 1, ..HealthConfig::default() });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.9, 10.0);
+        m.observe(0.9, 10.0); // rise 0.8 → RemapTier latched
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+        // rise 0.4: raw Recalibrate, but above the remap exit band
+        // (0.7 × 0.5 = 0.35) → still remap tier.
+        m.observe(0.7, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+        // rise 0.3 ≤ 0.35: exit band cleared, step down to the raw tier.
+        m.observe(0.65, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+    }
+
+    #[test]
+    fn freeze_baseline_resets_the_latch() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 1,
+            dwell: 1,
+            ..HealthConfig::default()
+        });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.9, 10.0);
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+        // After a successful repair the host re-baselines at the new
+        // normal; the stale latch must not survive it.
+        m.freeze_baseline();
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn clear_window_drops_history_but_keeps_latch() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 2,
+            dwell: 1,
+            ..HealthConfig::default()
+        });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(1.2, 10.0); // rolling 0.85, rise 0.7 → remap tier
+        assert_eq!(m.policy(), HealthPolicy::RemapTier);
+        m.clear_window();
+        assert_eq!(m.rolling_entropy(), 0.0);
+        assert_eq!(m.policy(), HealthPolicy::RemapTier, "latch persists until re-baseline");
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell must be positive")]
+    fn zero_dwell_rejected() {
+        let _ = HealthMonitor::new(HealthConfig { dwell: 0, ..HealthConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "release must be in (0, 1]")]
+    fn out_of_range_release_rejected() {
+        let _ = HealthMonitor::new(HealthConfig { release: 1.5, ..HealthConfig::default() });
     }
 
     #[test]

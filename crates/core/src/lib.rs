@@ -51,6 +51,7 @@ pub mod pool;
 pub mod reliability;
 pub mod report;
 pub mod rng;
+pub mod runtime;
 
 pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
@@ -59,6 +60,7 @@ pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFault
 pub use pool::{mc_predict_par, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
+pub use runtime::{RecoveryAction, RecoveryEvent, StepReport, Supervisor, SupervisorConfig};
 
 #[cfg(test)]
 mod tests {

@@ -14,6 +14,7 @@ use neuspin_cim::{
     MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
 };
 use neuspin_device::stats::LogNormal;
+use neuspin_device::{AgingConfig, AgingReport};
 use neuspin_energy::{EnergyBreakdown, EnergyModel, Joules};
 use neuspin_nn::conv::ConvGeometry;
 use neuspin_nn::{Sequential, Tensor};
@@ -653,6 +654,82 @@ impl HardwareModel {
                 _ => {}
             }
         }
+    }
+
+    /// Attaches the temporal degradation engine to every binary
+    /// crossbar (see [`neuspin_cim::Crossbar::enable_aging`]), with a
+    /// distinct per-layer seed derived from `config.seed`. The current
+    /// stored contents become each array's golden scrub reference, so
+    /// call this after compilation (and any fault-management remap).
+    ///
+    /// SpinBayes MLC arrays are left out, mirroring
+    /// [`HardwareModel::fault_management`]: the lifetime machinery
+    /// covers the binary SpinDrop family first.
+    pub fn enable_aging(&mut self, config: &AgingConfig) {
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let xbar = match block {
+                HwBlock::Conv(b) => &mut b.xbar,
+                HwBlock::Fc(b) => &mut b.xbar,
+                _ => continue,
+            };
+            let layer = AgingConfig {
+                seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..config.clone()
+            };
+            xbar.enable_aging(&layer);
+        }
+    }
+
+    /// Whether [`HardwareModel::enable_aging`] has attached the engine.
+    pub fn aging_enabled(&self) -> bool {
+        self.blocks.iter().any(|b| match b {
+            HwBlock::Conv(b) => b.xbar.aging_enabled(),
+            HwBlock::Fc(b) => b.xbar.aging_enabled(),
+            _ => false,
+        })
+    }
+
+    /// Advances every aged crossbar's virtual clock by `dt_hours` (see
+    /// [`neuspin_cim::Crossbar::advance_time`]) and merges the per-layer
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if aging was never enabled.
+    pub fn advance_time(&mut self, dt_hours: f64) -> AgingReport {
+        assert!(self.aging_enabled(), "advance_time requires enable_aging");
+        let mut total = AgingReport::default();
+        for block in &mut self.blocks {
+            let xbar = match block {
+                HwBlock::Conv(b) => &mut b.xbar,
+                HwBlock::Fc(b) => &mut b.xbar,
+                _ => continue,
+            };
+            total.merge(&xbar.advance_time(dt_hours));
+        }
+        total
+    }
+
+    /// Scrubs every aged crossbar back to its golden contents (see
+    /// [`neuspin_cim::Crossbar::scrub`]); returns the total number of
+    /// decayed cells refreshed. The write energy is tallied like any
+    /// reprogram and lands in [`HardwareModel::energy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if aging was never enabled.
+    pub fn scrub(&mut self) -> usize {
+        assert!(self.aging_enabled(), "scrub requires enable_aging");
+        let mut refreshed = 0;
+        for block in &mut self.blocks {
+            let xbar = match block {
+                HwBlock::Conv(b) => &mut b.xbar,
+                HwBlock::Fc(b) => &mut b.xbar,
+                _ => continue,
+            };
+            refreshed += xbar.scrub();
+        }
+        refreshed
     }
 
     /// A human-readable description of the compiled pipeline: one line

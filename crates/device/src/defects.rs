@@ -33,6 +33,17 @@ impl DefectKind {
         DefectKind::Short,
         DefectKind::Open,
     ];
+
+    /// Position of this kind in [`DefectKind::ALL`] — the index used by
+    /// per-kind count arrays ([`DefectConfusion`], BIST tallies).
+    pub fn index(self) -> usize {
+        match self {
+            DefectKind::StuckParallel => 0,
+            DefectKind::StuckAntiParallel => 1,
+            DefectKind::Short => 2,
+            DefectKind::Open => 3,
+        }
+    }
 }
 
 impl fmt::Display for DefectKind {
@@ -254,6 +265,86 @@ impl DefectMap {
         self.cells.retain(|_, kind| *kind != DefectKind::Short);
         before - self.cells.len()
     }
+
+    /// Compares this map (an *estimate*, e.g. a BIST result) against the
+    /// true defect population, tallying per-kind detection quality.
+    ///
+    /// Cells present in both maps count as `detected` under the true
+    /// kind when the kinds agree, and as `misclassified` (under the true
+    /// kind) when they disagree. Cells only in `truth` are `missed`;
+    /// cells only in the estimate are `false_positives` (under the
+    /// claimed kind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps were built for different array shapes.
+    pub fn confusion(&self, truth: &DefectMap) -> DefectConfusion {
+        assert_eq!(self.shape(), truth.shape(),
+                   "confusion requires maps of the same shape");
+        let mut out = DefectConfusion::default();
+        for (pos, claimed) in self {
+            match truth.defect_at(pos.0, pos.1) {
+                Some(actual) if actual == claimed => out.detected[actual.index()] += 1,
+                Some(actual) => out.misclassified[actual.index()] += 1,
+                None => out.false_positives[claimed.index()] += 1,
+            }
+        }
+        for (pos, actual) in truth {
+            if self.defect_at(pos.0, pos.1).is_none() {
+                out.missed[actual.index()] += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Per-kind detection quality of an estimated [`DefectMap`] against the
+/// true one, indexed by [`DefectKind::index`] (the [`DefectKind::ALL`]
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DefectConfusion {
+    /// True positives with the kind identified correctly.
+    pub detected: [usize; 4],
+    /// True defects the estimate flagged under the wrong kind
+    /// (tallied by the *true* kind).
+    pub misclassified: [usize; 4],
+    /// True defects the estimate missed entirely (false negatives).
+    pub missed: [usize; 4],
+    /// Healthy cells the estimate flagged (tallied by the claimed kind).
+    pub false_positives: [usize; 4],
+}
+
+impl DefectConfusion {
+    /// Total correctly detected-and-classified defects.
+    pub fn total_detected(&self) -> usize {
+        self.detected.iter().sum()
+    }
+
+    /// Total true defects missed entirely.
+    pub fn total_missed(&self) -> usize {
+        self.missed.iter().sum()
+    }
+
+    /// Total healthy cells falsely flagged.
+    pub fn total_false_positives(&self) -> usize {
+        self.false_positives.iter().sum()
+    }
+
+    /// Total true defects misclassified as another kind.
+    pub fn total_misclassified(&self) -> usize {
+        self.misclassified.iter().sum()
+    }
+
+    /// Fraction of true defects flagged at all (regardless of the
+    /// claimed kind). `1.0` when there are no true defects.
+    pub fn detection_rate(&self) -> f64 {
+        let truth = self.total_detected() + self.total_misclassified() + self.total_missed();
+        if truth == 0 {
+            1.0
+        } else {
+            (self.total_detected() + self.total_misclassified()) as f64 / truth as f64
+        }
+    }
 }
 
 /// Row-major iterator over the defective cells of a [`DefectMap`].
@@ -439,6 +530,49 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let bad = DefectRates { short: f64::NAN, ..DefectRates::none() };
         let _ = DefectMap::sample(4, 4, &bad, &mut rng);
+    }
+
+    #[test]
+    fn confusion_classifies_every_disagreement() {
+        let mut truth = DefectMap::empty(4, 4);
+        truth.inject(0, 0, DefectKind::Short);         // detected exactly
+        truth.inject(1, 1, DefectKind::Open);          // misclassified
+        truth.inject(2, 2, DefectKind::StuckParallel); // missed
+        let mut est = DefectMap::empty(4, 4);
+        est.inject(0, 0, DefectKind::Short);
+        est.inject(1, 1, DefectKind::StuckAntiParallel);
+        est.inject(3, 3, DefectKind::Open);            // false positive
+        let c = est.confusion(&truth);
+        assert_eq!(c.detected[DefectKind::Short.index()], 1);
+        assert_eq!(c.total_detected(), 1);
+        assert_eq!(c.misclassified[DefectKind::Open.index()], 1);
+        assert_eq!(c.total_misclassified(), 1);
+        assert_eq!(c.missed[DefectKind::StuckParallel.index()], 1);
+        assert_eq!(c.total_missed(), 1);
+        assert_eq!(c.false_positives[DefectKind::Open.index()], 1);
+        assert_eq!(c.total_false_positives(), 1);
+        assert!((c.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_on_clean_maps_is_perfect() {
+        let a = DefectMap::empty(2, 2);
+        let c = a.confusion(&DefectMap::empty(2, 2));
+        assert_eq!(c, DefectConfusion::default());
+        assert_eq!(c.detection_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn confusion_rejects_shape_mismatch() {
+        let _ = DefectMap::empty(2, 2).confusion(&DefectMap::empty(2, 3));
+    }
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, kind) in DefectKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
     }
 
     #[test]

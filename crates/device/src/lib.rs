@@ -18,6 +18,10 @@
 //!   loop that tunes the write current to a target probability.
 //! * [`MultiLevelCell`] — a multi-value cell composed of several MTJs
 //!   sharing a read path (used by SpinBayes for quantized weights).
+//! * [`AgingState`] — temporal degradation of a cell population under a
+//!   virtual clock: Néel–Brown retention flips, read disturb, lognormal
+//!   write-endurance wear-out, and conductance drift, with
+//!   event-indexed RNG streams for bit-reproducible lifetimes.
 //!
 //! Everything is deterministic given a seed: all stochastic behaviour is
 //! driven by a caller-supplied [`rand::Rng`].
@@ -37,6 +41,7 @@
 //! assert_eq!(mtj.state(), MtjState::AntiParallel);
 //! ```
 
+pub mod aging;
 pub mod defects;
 pub mod energy;
 pub mod mlc;
@@ -47,7 +52,8 @@ pub mod stats;
 pub mod switching;
 pub mod variation;
 
-pub use defects::{DefectKind, DefectMap, DefectMapIter, DefectRates};
+pub use aging::{AgingConfig, AgingReport, AgingState, AgingStepReport, TemperatureProfile};
+pub use defects::{DefectConfusion, DefectKind, DefectMap, DefectMapIter, DefectRates};
 pub use energy::DeviceEnergy;
 pub use mlc::MultiLevelCell;
 pub use mtj::{Mtj, MtjParams, MtjState};

@@ -1,0 +1,168 @@
+//! E2E acceptance for the temporal-degradation engine + closed-loop
+//! self-healing runtime.
+//!
+//! A small trained CNN is compiled onto a defective die (0.2 %
+//! fabrication hard faults, 2 spare columns), commissioned under a
+//! [`Supervisor`], then aged through conductance drift + retention
+//! flips until the health ladder runs a full escalation:
+//!
+//! 1. the degradation walks Healthy → Recalibrate → RemapTier, and the
+//!    [`RecoveryEvent`] trail records the cheap tier exactly once
+//!    before the full tier;
+//! 2. the re-BIST inside the remap tier flags the fabrication defects
+//!    and every recovery action carries an energy charge;
+//! 3. test accuracy genuinely degrades along the way, and after the
+//!    remap tier (repair + scrub + recalibrate + re-baseline) it
+//!    returns to the commissioning level with the monitor Healthy.
+//!
+//! Everything runs from fixed seeds on the fixed-schedule aging
+//! streams, so the whole escalation is reproducible bit for bit.
+
+use neuspin::bayes::{build_cnn, ArchConfig, Method};
+use neuspin::core::{
+    HardwareConfig, HardwareModel, HealthConfig, HealthPolicy, RecoveryAction, Supervisor,
+    SupervisorConfig,
+};
+use neuspin::data::digits::{dataset, DigitStyle};
+use neuspin::device::AgingConfig;
+use neuspin::nn::{fit, Adam, Dataset, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DRIFT_PER_HOUR: f64 = 0.05;
+/// Δ = 33 at 300 K: ~1.7 % of cells lose retention per device-hour.
+const THERMAL_STABILITY: f64 = 33.0;
+const DEFECT_RATE: f64 = 0.002;
+
+fn arch() -> ArchConfig {
+    ArchConfig { c1: 4, c2: 8, hidden: 32, ..ArchConfig::default() }
+}
+
+fn trained_supervisor() -> (Supervisor, Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let style = DigitStyle::easy();
+    let train = dataset(1_200, &style, &mut rng);
+
+    let mut model = build_cnn(Method::SpinDrop, &arch(), &mut rng);
+    let mut opt = Adam::new(0.004);
+    let cfg = TrainConfig { epochs: 6, batch_size: 64, ..Default::default() };
+    fit(&mut model, &train, &mut opt, &cfg, &mut rng);
+    let calib = dataset(128, &style, &mut rng);
+    let test = dataset(120, &style, &mut rng);
+
+    let hw_config = HardwareConfig {
+        crossbar: neuspin::cim::CrossbarConfig {
+            defect_rates: neuspin::device::DefectRates::uniform(DEFECT_RATE),
+            ..neuspin::cim::CrossbarConfig::default()
+        },
+        spare_cols: 2,
+        passes: 4,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut model, Method::SpinDrop, &arch(), &hw_config, &mut rng);
+    hw.enable_aging(&AgingConfig {
+        seed: 0xA9E5,
+        drift_rate: DRIFT_PER_HOUR,
+        thermal_stability: THERMAL_STABILITY,
+        ..AgingConfig::default()
+    });
+    let config = SupervisorConfig {
+        health: HealthConfig { window: 1, dwell: 1, ..HealthConfig::default() },
+        ..SupervisorConfig::default()
+    };
+    (Supervisor::new(hw, config), calib, test)
+}
+
+#[test]
+fn full_escalation_recovers_the_defective_die() {
+    let (mut sup, calib, test) = trained_supervisor();
+    let baseline = sup.commission(calib.inputs.clone(), &test.inputs);
+    let t0 = baseline.accuracy(&test.labels);
+    assert!(t0 >= 0.6, "the trained die must start usable, got {t0}");
+
+    // Age until the ladder has climbed through RemapTier.
+    let mut policies = Vec::new();
+    let mut accuracies = Vec::new();
+    for _ in 0..8 {
+        let report = sup.step(&test.inputs, 1.0);
+        policies.push(report.policy);
+        accuracies.push(report.predictive.accuracy(&test.labels));
+        if report.actions.contains(&RecoveryAction::RemapTier) {
+            break;
+        }
+    }
+    assert_eq!(policies[0], HealthPolicy::Healthy, "a freshly commissioned die is healthy");
+    assert!(
+        policies.contains(&HealthPolicy::Recalibrate),
+        "the ladder must pass through the cheap tier first, got {policies:?}"
+    );
+    assert_eq!(
+        *policies.last().unwrap(),
+        HealthPolicy::RemapTier,
+        "degradation must eventually force the full tier, got {policies:?}"
+    );
+    let worst = accuracies.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        worst < t0 - 0.10,
+        "degradation should cost real accuracy before recovery (t0 {t0}, worst {worst})"
+    );
+
+    // The structured trail: the cheap tier exactly once before the
+    // full tier, in step order, everything energy-charged.
+    let trail: Vec<RecoveryAction> = sup.events().iter().map(|e| e.action).collect();
+    assert_eq!(
+        trail,
+        vec![RecoveryAction::Recalibrate, RecoveryAction::RemapTier],
+        "one cheap-tier action, then the full tier"
+    );
+    assert!(
+        sup.events().windows(2).all(|w| w[0].step < w[1].step),
+        "recovery events must be ordered by step"
+    );
+    let remap = sup.events().last().unwrap();
+    assert!(
+        remap.flagged > 0,
+        "re-BIST inside the remap tier must flag the fabrication defects"
+    );
+    for event in sup.events() {
+        assert!(
+            event.energy.0 > 0.0,
+            "{} at step {} must be charged to the energy model",
+            event.action,
+            event.step
+        );
+    }
+
+    // Post-recovery: repaired, scrubbed, recalibrated, re-baselined —
+    // the die reports Healthy and scores like its commissioned self.
+    let after = sup.step(&test.inputs, 1.0);
+    let recovered = after.predictive.accuracy(&test.labels);
+    assert_eq!(after.policy, HealthPolicy::Healthy, "recovery must re-arm the monitor");
+    assert!(
+        recovered > worst,
+        "recovered accuracy {recovered} must beat the degraded floor {worst}"
+    );
+    // The recovered die keeps aging (the measurement itself sits one
+    // device-hour past the repair), so allow a modest gap to t = 0.
+    assert!(
+        recovered >= t0 - 0.15,
+        "recovered accuracy {recovered} should be back near commissioning accuracy {t0}"
+    );
+}
+
+#[test]
+fn escalation_trajectory_is_reproducible() {
+    let run = || {
+        let (mut sup, calib, test) = trained_supervisor();
+        sup.commission(calib.inputs.clone(), &test.inputs);
+        let mut sig = Vec::new();
+        for _ in 0..5 {
+            let r = sup.step(&test.inputs, 1.0);
+            sig.push((r.policy, r.predictive.mean_probs.as_slice().to_vec()));
+        }
+        let trail: Vec<(RecoveryAction, usize, usize)> =
+            sup.events().iter().map(|e| (e.action, e.step, e.flagged)).collect();
+        (sig, trail)
+    };
+    assert_eq!(run(), run(), "the whole lifetime escalation must be seed-deterministic");
+}

@@ -48,6 +48,23 @@ NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_B
 NEUSPIN_RESULTS=target/ci-results \
     cargo run -q --release --offline -p neuspin-bench --bin exp_throughput -- --check
 
+# Telemetry gate: the disabled-telemetry kernel must stay within 2 % of
+# the BENCH_throughput.json baseline the smoke above just wrote, and a
+# fully traced predict_par must be bit-identical (predictions AND trace
+# bytes) across 1/2/4-worker pools — both enforced by --check. A second
+# run under NEUSPIN_THREADS=4 then byte-compares the emitted JSONL
+# trace across host thread configurations.
+echo "==> exp_observe smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_observe
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_observe -- --check
+echo "==> exp_observe trace invariance (NEUSPIN_THREADS=4)"
+NEUSPIN_THREADS=4 NEUSPIN_RESULTS=target/ci-results-t4 NEUSPIN_BENCH_ROOT=target/ci-results \
+    NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_observe
+cmp target/ci-results/exp_observe_trace.jsonl target/ci-results-t4/exp_observe_trace.jsonl
+
 # Lifetime campaign smoke: age three copies of one die (unmanaged /
 # scrub-only / closed-loop) through the fast grid, then the JSON gate
 # (degradation ≥ 10 pp unmanaged, closed-loop regression ≤ 2 pp).

@@ -34,6 +34,7 @@
 //! every non-reference engine is the hardware-independent win.
 
 use neuspin_bayes::{ArchConfig, Method};
+use neuspin_bench::timing::{Harness, Measurement};
 use neuspin_bench::{results_dir, write_json, Setup};
 use neuspin_cim::{BistConfig, Crossbar};
 use neuspin_core::json::{self, ToJson};
@@ -100,10 +101,14 @@ struct Report {
     host_threads: f64,
     fast_mode: f64,
     kernel: Vec<KernelRow>,
+    /// Percentile profile (p50/p95/p99) of the same kernels on the
+    /// shared `timing::Bencher` harness — tail latency alongside the
+    /// best-of headline numbers.
+    kernel_timing: Vec<Measurement>,
     mc: Vec<McRow>,
 }
 
-neuspin_core::impl_to_json!(Report { host_threads, fast_mode, kernel, mc });
+neuspin_core::impl_to_json!(Report { host_threads, fast_mode, kernel, kernel_timing, mc });
 
 /// Numeric keys every kernel row must carry, all finite.
 const KERNEL_KEYS: [&str; 8] = [
@@ -195,6 +200,28 @@ fn check_results() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Additive percentile rows: ordered finite tails per measurement.
+    if let Some(timing) = value.get("kernel_timing").and_then(json::Json::as_arr) {
+        for (i, row) in timing.iter().enumerate() {
+            let (p50, p95, p99) = match (
+                finite_num(row, "p50_ns"),
+                finite_num(row, "p95_ns"),
+                finite_num(row, "p99_ns"),
+            ) {
+                (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+                _ => {
+                    eprintln!("check failed: kernel_timing row {i}: bad percentiles");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !(p50 <= p95 && p95 <= p99) {
+                eprintln!(
+                    "check failed: kernel_timing row {i}: unordered percentiles {p50}/{p95}/{p99}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut par_threads = Vec::new();
     for (i, row) in mc.iter().enumerate() {
         let Some(engine) = row.get("engine").and_then(json::Json::as_str) else {
@@ -244,7 +271,7 @@ fn check_results() -> ExitCode {
 /// The kernel micro-benchmark: a remapped, partially realistic array
 /// exercising every feature the row-major rewrite restructured (IR
 /// table, ADC, read noise, permuted row/column sources).
-fn kernel_bench(fast: bool) -> KernelRow {
+fn kernel_bench(fast: bool) -> (KernelRow, Vec<Measurement>) {
     let (rows, cols) = if fast { (96, 48) } else { (256, 64) };
     let config = neuspin_cim::CrossbarConfig {
         defect_rates: DefectRates { short: 0.005, open: 0.005, ..DefectRates::none() },
@@ -263,7 +290,7 @@ fn kernel_bench(fast: bool) -> KernelRow {
     );
     let input: Vec<f32> = (0..rows).map(|i| ((i * 5) % 9) as f32 / 4.0 - 1.0).collect();
 
-    let (reps, calls) = if fast { (2, 20) } else { (5, 400) };
+    let (reps, calls) = if fast { (4, 100) } else { (5, 400) };
     xbar.set_reference_kernel(true);
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     let reference_ns = time_ns_per_call(reps, calls, || {
@@ -275,8 +302,24 @@ fn kernel_bench(fast: bool) -> KernelRow {
         black_box(xbar.matvec(&input, &mut rng));
     });
 
+    // Percentile profile of the same two kernels through the shared
+    // Bencher harness: p50/p95/p99 tail behaviour next to the best-of
+    // headline above (best-of hides scheduler noise; the tail shows it).
+    let mut harness = Harness::new("throughput_kernel");
+    xbar.set_reference_kernel(true);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    harness.bench("matvec/reference", |b| {
+        b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
+    });
+    xbar.set_reference_kernel(false);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    harness.bench("matvec/rowmajor", |b| {
+        b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
+    });
+    let timing = harness.into_results();
+
     let ops = 2.0 * rows as f64 * cols as f64;
-    KernelRow {
+    let row = KernelRow {
         rows: rows as f64,
         cols: cols as f64,
         ops_per_call: ops,
@@ -285,7 +328,8 @@ fn kernel_bench(fast: bool) -> KernelRow {
         reference_gops: ops / reference_ns,
         rowmajor_gops: ops / rowmajor_ns,
         kernel_speedup: reference_ns / rowmajor_ns,
-    }
+    };
+    (row, timing)
 }
 
 fn main() -> ExitCode {
@@ -295,7 +339,7 @@ fn main() -> ExitCode {
     let fast = fast_mode();
 
     println!("== Throughput baseline: crossbar kernels + parallel MC engine ==\n");
-    let kernel = kernel_bench(fast);
+    let (kernel, kernel_timing) = kernel_bench(fast);
     println!(
         "matvec {}x{}: reference {:.0} ns/call ({:.3} GOP/s)  row-major {:.0} ns/call ({:.3} GOP/s)  speedup {:.2}x\n",
         kernel.rows,
@@ -427,6 +471,7 @@ fn main() -> ExitCode {
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64,
         fast_mode: if fast { 1.0 } else { 0.0 },
         kernel: vec![kernel],
+        kernel_timing,
         mc,
     };
     println!("\n→ every engine returns bit-identical Predictive (asserted above);");

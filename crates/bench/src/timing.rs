@@ -104,9 +104,40 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Fastest batch (ns/iter).
     pub min_ns: f64,
+    /// 50th percentile of per-batch means (ns/iter, nearest-rank).
+    pub p50_ns: f64,
+    /// 95th percentile of per-batch means (ns/iter, nearest-rank).
+    pub p95_ns: f64,
+    /// 99th percentile of per-batch means (ns/iter, nearest-rank).
+    pub p99_ns: f64,
 }
 
-neuspin_core::impl_to_json!(Measurement { name, batch_size, batches, median_ns, mean_ns, min_ns });
+neuspin_core::impl_to_json!(Measurement {
+    name,
+    batch_size,
+    batches,
+    median_ns,
+    mean_ns,
+    min_ns,
+    p50_ns,
+    p95_ns,
+    p99_ns,
+});
+
+/// Nearest-rank percentile of an ascending-sorted sample
+/// (`q` in `[0, 100]`): the smallest element such that at least
+/// `q`% of the sample is ≤ it.
+///
+/// # Panics
+///
+/// Panics if `sorted_ns` is empty or `q` is outside `[0, 100]`.
+pub fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
+    assert!(!sorted_ns.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100], got {q}");
+    let n = sorted_ns.len();
+    let rank = ((q / 100.0) * n as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, n) - 1]
+}
 
 /// A named collection of benchmarks: times each, prints a table, and
 /// writes `results/bench_<suite>.json`.
@@ -157,6 +188,13 @@ impl Harness {
     pub fn finish(self) {
         crate::write_json(&format!("bench_{}", self.suite), &self.results);
     }
+
+    /// Consumes the harness and returns its measurements without
+    /// writing the suite file — for experiment binaries that embed the
+    /// measurements in their own report.
+    pub fn into_results(self) -> Vec<Measurement> {
+        self.results
+    }
 }
 
 fn summarize(name: &str, b: Bencher) -> Measurement {
@@ -172,6 +210,9 @@ fn summarize(name: &str, b: Bencher) -> Measurement {
         median_ns,
         mean_ns,
         min_ns: per_iter_ns[0],
+        p50_ns: percentile(&per_iter_ns, 50.0),
+        p95_ns: percentile(&per_iter_ns, 95.0),
+        p99_ns: percentile(&per_iter_ns, 99.0),
     }
 }
 
@@ -204,6 +245,32 @@ mod tests {
         assert!((m.min_ns - 1.0).abs() < 1e-9);
         assert!((m.median_ns - 2.0).abs() < 1e-9);
         assert!(m.min_ns <= m.median_ns && m.median_ns <= m.mean_ns + 1e-9);
+        // Percentiles bracket the distribution and are ordered.
+        assert!((m.p50_ns - 2.0).abs() < 1e-9);
+        assert!((m.p95_ns - 3.0).abs() < 1e-9);
+        assert!((m.p99_ns - 3.0).abs() < 1e-9);
+        assert!(m.p50_ns <= m.p95_ns && m.p95_ns <= m.p99_ns);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        // Small samples: every percentile is a real observation.
+        let small = [5.0, 7.0];
+        assert_eq!(percentile(&small, 50.0), 5.0);
+        assert_eq!(percentile(&small, 99.0), 7.0);
+        assert_eq!(percentile(&[42.0], 95.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
     }
 
     #[test]

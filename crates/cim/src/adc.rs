@@ -81,6 +81,9 @@ pub struct OpCounter {
     pub sa_evals: u64,
     /// ADC conversions.
     pub adc_converts: u64,
+    /// Column conversions that clipped at the ADC rails — the
+    /// quantizer saw a current outside ±full-scale and saturated.
+    pub adc_saturations: u64,
     /// Stochastic-MTJ RNG bits produced.
     pub rng_bits: u64,
     /// SRAM word accesses (scale vectors, arbiter state).
@@ -101,6 +104,7 @@ impl OpCounter {
         self.cell_writes += other.cell_writes;
         self.sa_evals += other.sa_evals;
         self.adc_converts += other.adc_converts;
+        self.adc_saturations += other.adc_saturations;
         self.rng_bits += other.rng_bits;
         self.sram_accesses += other.sram_accesses;
         self.digital_ops += other.digital_ops;
@@ -119,6 +123,7 @@ impl OpCounter {
             cell_writes: self.cell_writes.saturating_sub(earlier.cell_writes),
             sa_evals: self.sa_evals.saturating_sub(earlier.sa_evals),
             adc_converts: self.adc_converts.saturating_sub(earlier.adc_converts),
+            adc_saturations: self.adc_saturations.saturating_sub(earlier.adc_saturations),
             rng_bits: self.rng_bits.saturating_sub(earlier.rng_bits),
             sram_accesses: self.sram_accesses.saturating_sub(earlier.sram_accesses),
             digital_ops: self.digital_ops.saturating_sub(earlier.digital_ops),
@@ -131,9 +136,23 @@ impl OpCounter {
             + self.cell_writes
             + self.sa_evals
             + self.adc_converts
+            + self.adc_saturations
             + self.rng_bits
             + self.sram_accesses
             + self.digital_ops
+    }
+
+    /// Folds a sequence of counters into one — the single merge path
+    /// shared by the parallel-join reduction, [`HardwareModel`]'s
+    /// block-counter rollup, and the telemetry per-thread buffer merge.
+    ///
+    /// [`HardwareModel`]: https://docs.rs/neuspin-core
+    pub fn merged(counters: impl IntoIterator<Item = OpCounter>) -> OpCounter {
+        let mut total = OpCounter::new();
+        for c in counters {
+            total.merge(&c);
+        }
+        total
     }
 }
 
@@ -224,5 +243,29 @@ mod tests {
         let mut a = OpCounter::new();
         a += OpCounter { sa_evals: 4, ..OpCounter::new() };
         assert_eq!(a.sa_evals, 4);
+    }
+
+    #[test]
+    fn counter_merged_folds_in_order() {
+        let parts = [
+            OpCounter { cell_reads: 1, adc_saturations: 2, ..OpCounter::new() },
+            OpCounter { cell_reads: 10, sa_evals: 3, ..OpCounter::new() },
+            OpCounter::new(),
+        ];
+        let total = OpCounter::merged(parts);
+        assert_eq!(total.cell_reads, 11);
+        assert_eq!(total.adc_saturations, 2);
+        assert_eq!(total.sa_evals, 3);
+        assert_eq!(OpCounter::merged([]), OpCounter::new());
+    }
+
+    #[test]
+    fn saturations_tracked_through_merge_and_since() {
+        let mut a = OpCounter { adc_saturations: 4, ..OpCounter::new() };
+        a.merge(&OpCounter { adc_saturations: 3, ..OpCounter::new() });
+        assert_eq!(a.adc_saturations, 7);
+        let d = a.since(&OpCounter { adc_saturations: 2, ..OpCounter::new() });
+        assert_eq!(d.adc_saturations, 5);
+        assert_eq!(a.total_events(), 7);
     }
 }

@@ -617,7 +617,12 @@ impl Crossbar {
             self.margin_sum += a.abs();
             self.margin_count += 1;
             out[col_src.map_or(pj, |m| m[pj])] = match &self.adc {
-                Some(adc) => adc.quantize(a),
+                Some(adc) => {
+                    if a.abs() > adc.full_scale() {
+                        self.counter.adc_saturations += 1;
+                    }
+                    adc.quantize(a)
+                }
                 None => a,
             };
         }
@@ -669,7 +674,12 @@ impl Crossbar {
             self.margin_sum += acc.abs();
             self.margin_count += 1;
             *o = match &self.adc {
-                Some(adc) => adc.quantize(acc),
+                Some(adc) => {
+                    if acc.abs() > adc.full_scale() {
+                        self.counter.adc_saturations += 1;
+                    }
+                    adc.quantize(acc)
+                }
                 None => acc,
             };
         }
@@ -904,7 +914,12 @@ impl Crossbar {
                 self.margin_sum += a.abs();
                 self.margin_count += 1;
                 chunk[col_src.map_or(pj, |m| m[pj])] = match &self.adc {
-                    Some(adc) => adc.quantize(a),
+                    Some(adc) => {
+                        if a.abs() > adc.full_scale() {
+                            self.counter.adc_saturations += 1;
+                        }
+                        adc.quantize(a)
+                    }
                     None => a,
                 };
             }
@@ -1089,7 +1104,12 @@ impl MlcCrossbar {
             self.margin_sum += a.abs();
             self.margin_count += 1;
             *o = match &self.adc {
-                Some(adc) => adc.quantize(a),
+                Some(adc) => {
+                    if a.abs() > adc.full_scale() {
+                        self.counter.adc_saturations += 1;
+                    }
+                    adc.quantize(a)
+                }
                 None => a,
             };
         }

@@ -495,6 +495,22 @@ impl HwBlock {
         }
     }
 
+    /// A static label for telemetry span/trace annotations.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            HwBlock::Conv(_) => "conv",
+            HwBlock::Fc(_) => "fc",
+            HwBlock::FcSpinBayes(_) => "fc_spinbayes",
+            HwBlock::DigitalFc(_) => "digital_fc",
+            HwBlock::Norm(_) => "norm",
+            HwBlock::InvNorm(_) => "inv_norm",
+            HwBlock::HardTanh => "hard_tanh",
+            HwBlock::MaxPool(_) => "max_pool",
+            HwBlock::Flatten => "flatten",
+            HwBlock::Dropout(_) => "dropout",
+        }
+    }
+
     /// The block's accumulated op counts.
     pub(crate) fn counter(&self) -> OpCounter {
         match self {

@@ -38,6 +38,19 @@ pub enum HealthPolicy {
     Abstain,
 }
 
+impl HealthPolicy {
+    /// Ladder position as a small integer (`Healthy = 0` … `Abstain =
+    /// 3`) — the encoding of the `health_tier` telemetry gauge.
+    pub fn tier_index(self) -> u32 {
+        match self {
+            HealthPolicy::Healthy => 0,
+            HealthPolicy::Recalibrate => 1,
+            HealthPolicy::RemapTier => 2,
+            HealthPolicy::Abstain => 3,
+        }
+    }
+}
+
 impl std::fmt::Display for HealthPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -294,6 +307,15 @@ impl HealthMonitor {
 
     /// Re-evaluates the latch after each observation.
     fn update_latch(&mut self) {
+        self.update_latch_inner();
+        // The telemetry gauge reports the *latched* tier — the one
+        // recovery acts on — never the flappy instantaneous score.
+        if crate::telemetry::metrics_enabled() {
+            crate::telemetry::gauge("health_tier").set(self.latched.tier_index() as f64);
+        }
+    }
+
+    fn update_latch_inner(&mut self) {
         let raw = self.raw_policy();
         if raw == HealthPolicy::Abstain {
             self.latched = HealthPolicy::Abstain;
@@ -327,8 +349,10 @@ impl HealthMonitor {
         }
     }
 
-    /// Whether both signals have retreated below `release ×` the entry
-    /// threshold of the currently latched tier.
+    /// Whether both signals have retreated *strictly* below `release ×`
+    /// the entry threshold of the currently latched tier. A signal
+    /// sitting exactly on the band holds the latch — hysteresis must
+    /// never toggle on a boundary value.
     fn exit_band_cleared(&self) -> bool {
         let r = self.config.release;
         let e = self.entropy_rise();
@@ -336,13 +360,13 @@ impl HealthMonitor {
         match self.latched {
             HealthPolicy::Healthy => true,
             HealthPolicy::Recalibrate => {
-                e <= r * self.config.entropy_slack && m <= r * self.config.margin_slack
+                e < r * self.config.entropy_slack && m < r * self.config.margin_slack
             }
             HealthPolicy::RemapTier => {
-                e <= r * 2.0 * self.config.entropy_slack
-                    && m <= r * 2.0 * self.config.margin_slack
+                e < r * 2.0 * self.config.entropy_slack
+                    && m < r * 2.0 * self.config.margin_slack
             }
-            HealthPolicy::Abstain => self.rolling_entropy() <= r * self.config.abstain_entropy,
+            HealthPolicy::Abstain => self.rolling_entropy() < r * self.config.abstain_entropy,
         }
     }
 }
@@ -525,9 +549,67 @@ mod tests {
         // (0.7 × 0.5 = 0.35) → still remap tier.
         m.observe(0.7, 10.0);
         assert_eq!(m.policy(), HealthPolicy::RemapTier);
-        // rise 0.3 ≤ 0.35: exit band cleared, step down to the raw tier.
+        // rise 0.3 < 0.35: exit band cleared, step down to the raw tier.
         m.observe(0.65, 10.0);
         assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+    }
+
+    #[test]
+    fn exactly_on_release_band_holds_the_latch() {
+        // The exit band is strict: a signal sitting *exactly* on
+        // release × slack must not toggle the tier. All values below
+        // are exact in binary floating point, so the comparison really
+        // is `0.125 < 0.125`.
+        let mut m = HealthMonitor::new(HealthConfig {
+            window: 1,
+            entropy_slack: 0.25,
+            release: 0.5, // band = 0.5 × 0.25 = 0.125
+            ..HealthConfig::default()
+        });
+        m.observe(1.0, 10.0);
+        m.freeze_baseline();
+        m.observe(1.5, 10.0);
+        m.observe(1.5, 10.0); // rise 0.5 > slack, dwell met → Recalibrate
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+        for _ in 0..4 {
+            m.observe(1.125, 10.0); // rise exactly 0.125 = the band
+            assert_eq!(m.raw_policy(), HealthPolicy::Healthy);
+            assert_eq!(
+                m.policy(),
+                HealthPolicy::Recalibrate,
+                "boundary value must hold the latch, not release it"
+            );
+        }
+        m.observe(1.0, 10.0); // rise 0 < band → genuine recovery
+        assert_eq!(m.policy(), HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn telemetry_gauge_tracks_latched_tier_not_raw_score() {
+        let _guard = crate::telemetry::test_lock();
+        crate::telemetry::reset();
+        crate::telemetry::set_enabled(true, false);
+        let gauge = crate::telemetry::gauge("health_tier");
+
+        let mut m = HealthMonitor::new(HealthConfig { window: 1, ..HealthConfig::default() });
+        m.observe(0.5, 10.0);
+        m.freeze_baseline();
+        m.observe(0.64, 10.0); // raw Recalibrate, still dwelling
+        assert_eq!(m.raw_policy(), HealthPolicy::Recalibrate);
+        assert_eq!(gauge.get(), 0.0, "dwelling escalation must not move the gauge");
+        m.observe(0.64, 10.0); // dwell met → latch
+        assert_eq!(gauge.get(), 1.0);
+        // Raw drops back inside the exit band's hover zone: the latch
+        // (and the gauge) must hold, not track the instantaneous score.
+        m.observe(0.62, 10.0);
+        assert_eq!(m.raw_policy(), HealthPolicy::Healthy);
+        assert_eq!(m.policy(), HealthPolicy::Recalibrate);
+        assert_eq!(gauge.get(), 1.0, "gauge must reflect the latched tier");
+        m.observe(0.55, 10.0); // genuine recovery
+        assert_eq!(gauge.get(), 0.0);
+
+        crate::telemetry::set_enabled(false, false);
+        crate::telemetry::reset();
     }
 
     #[test]

@@ -197,6 +197,8 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -541,6 +543,7 @@ crate::impl_to_json!(neuspin_cim::OpCounter {
     cell_writes,
     sa_evals,
     adc_converts,
+    adc_saturations,
     rng_bits,
     sram_accesses,
     digital_ops,
@@ -581,6 +584,31 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!("a\"b\\c\nd".to_json().to_string(), r#""a\"b\\c\nd""#);
         assert_eq!("\u{1}".to_json().to_string(), r#""\u0001""#);
+    }
+
+    #[test]
+    fn short_form_escapes_for_backspace_and_formfeed() {
+        assert_eq!("\u{8}\u{c}".to_json().to_string(), r#""\b\f""#);
+    }
+
+    #[test]
+    fn control_chars_round_trip() {
+        // Every control character below 0x20 must survive
+        // serialize → parse unchanged (telemetry span annotations and
+        // trace fields flow through this path).
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let original = format!("a{c}z");
+            let encoded = original.to_json().to_string();
+            assert!(
+                encoded.bytes().all(|b| (0x20..0x80).contains(&b)),
+                "U+{code:04X} must be escaped, got {encoded:?}"
+            );
+            match parse(&encoded) {
+                Ok(Json::Str(s)) => assert_eq!(s, original, "U+{code:04X}"),
+                other => panic!("U+{code:04X}: expected string, got {other:?}"),
+            }
+        }
     }
 
     #[test]

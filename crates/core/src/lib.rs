@@ -52,6 +52,7 @@ pub mod reliability;
 pub mod report;
 pub mod rng;
 pub mod runtime;
+pub mod telemetry;
 
 pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
@@ -61,6 +62,7 @@ pub use pool::{mc_predict_par, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
 pub use runtime::{RecoveryAction, RecoveryEvent, StepReport, Supervisor, SupervisorConfig};
+pub use telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, SpanGuard, TraceEvent};
 
 #[cfg(test)]
 mod tests {

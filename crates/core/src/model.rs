@@ -4,6 +4,7 @@ use crate::blocks::{
     FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes, HwInvNorm, HwNorm,
 };
 use crate::extract::TrainedParams;
+use crate::json::ToJson;
 use crate::pool::ThreadPool;
 use neuspin_bayes::{
     entropy_threshold_for_coverage, mc_predict_seeded, mc_predict_with, quantize, ArchConfig,
@@ -358,10 +359,36 @@ impl HardwareModel {
 
     /// One hardware forward pass.
     pub fn forward(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        if crate::telemetry::active() {
+            return self.forward_traced(x, stochastic, rng);
+        }
         let mut cur = x.clone();
         for block in &mut self.blocks {
             cur = block.forward(&cur, stochastic, false, rng);
         }
+        cur
+    }
+
+    /// The telemetry-instrumented twin of [`HardwareModel::forward`]:
+    /// one span per pipeline block carrying the block's op-counter
+    /// delta, plus a whole-pass span with the energy charged to this
+    /// forward. Consumes exactly the same RNG draws as the plain path,
+    /// so traced and untraced runs are bit-identical.
+    fn forward_traced(&mut self, x: &Tensor, stochastic: bool, rng: &mut StdRng) -> Tensor {
+        let mut span = crate::span!("hw_forward", batch = x.shape()[0]);
+        let before = self.raw_counter();
+        let mut cur = x.clone();
+        for (layer, block) in self.blocks.iter_mut().enumerate() {
+            let mut block_span = crate::span!("hw_block", layer = layer, kind = block.kind());
+            let block_before = block.counter();
+            cur = block.forward(&cur, stochastic, false, rng);
+            block_span.record_ops(&block.counter().since(&block_before));
+        }
+        let delta = self.raw_counter().since(&before);
+        // Recorded as a field only: the per-block spans above already
+        // folded these ops into the registry rollup.
+        span.record("ops", delta.to_json());
+        span.record("energy_j", self.energy_model.energy_of(&delta).0);
         cur
     }
 
@@ -394,7 +421,11 @@ impl HardwareModel {
     pub fn predict_seeded(&mut self, inputs: &Tensor, seed: u64) -> Predictive {
         let stochastic = self.method.is_bayesian();
         let passes = if stochastic { self.passes } else { 1 };
-        mc_predict_seeded(passes, seed, |_, rng| self.forward(inputs, stochastic, rng))
+        let _span = crate::span!("predict", engine = "seq", passes = passes);
+        mc_predict_seeded(passes, seed, |t, rng| {
+            let _pass = crate::span!("mc_pass", pass = t);
+            self.forward(inputs, stochastic, rng)
+        })
     }
 
     /// Deterministic parallel Bayesian prediction: the MC passes fan out
@@ -408,6 +439,7 @@ impl HardwareModel {
     pub fn predict_par(&mut self, inputs: &Tensor, seed: u64, pool: &ThreadPool) -> Predictive {
         let stochastic = self.method.is_bayesian();
         let passes = if stochastic { self.passes } else { 1 };
+        let mut span = crate::span!("predict", engine = "par", passes = passes);
         let base_counter = self.raw_counter();
         let base_margins = self.crossbar_margins();
         let this: &HardwareModel = self;
@@ -418,10 +450,11 @@ impl HardwareModel {
             |_| this.clone(),
             |model: &mut HardwareModel, _, rng| model.forward(inputs, stochastic, rng),
         );
-        let mut counter_delta = OpCounter::new();
+        // The one shared merge path (satellite: no bespoke `+=` loops).
+        let counter_delta =
+            OpCounter::merged(workers.iter().map(|w| w.raw_counter().since(&base_counter)));
         let mut margin_deltas = vec![(0.0f64, 0u64); base_margins.len()];
         for worker in &workers {
-            counter_delta.merge(&worker.raw_counter().since(&base_counter));
             for (delta, (after, before)) in margin_deltas
                 .iter_mut()
                 .zip(worker.crossbar_margins().into_iter().zip(&base_margins))
@@ -432,6 +465,9 @@ impl HardwareModel {
         }
         self.extra.merge(&counter_delta);
         self.merge_crossbar_margins(&margin_deltas);
+        // Field only: worker-side block spans already fed the rollup.
+        span.record("ops", counter_delta.to_json());
+        span.record("energy_j", self.energy_model.energy_of(&counter_delta).0);
         pred
     }
 
@@ -540,14 +576,29 @@ impl HardwareModel {
         bist: &BistConfig,
         rng: &mut StdRng,
     ) -> FaultManagementReport {
+        let _span = crate::span!("fault_management");
         let mut layers = Vec::new();
-        for block in &mut self.blocks {
+        for (layer, block) in self.blocks.iter_mut().enumerate() {
             let (xbar, alphas): (&mut Crossbar, &[f32]) = match block {
                 HwBlock::Conv(b) => (&mut b.xbar, &b.alphas),
                 HwBlock::Fc(b) => (&mut b.xbar, &b.alphas),
                 _ => continue,
             };
-            layers.push(manage_crossbar(xbar, alphas, bist, rng));
+            let report = manage_crossbar(xbar, alphas, bist, rng);
+            if crate::telemetry::active() {
+                crate::trace_event!(
+                    "layer_fault",
+                    layer = layer,
+                    flagged = report.flagged as u64,
+                    repaired = report.repaired as u64,
+                    unrepaired = report.unrepaired as u64,
+                    remapped = report.remapped
+                );
+                crate::telemetry::counter("bist_flagged_total").add(report.flagged as u64);
+                crate::telemetry::counter("repairs_total").add(report.repaired as u64);
+                crate::telemetry::counter("remaps_total").add(u64::from(report.remapped));
+            }
+            layers.push(report);
         }
         FaultManagementReport { layers }
     }
@@ -607,10 +658,8 @@ impl HardwareModel {
     }
 
     fn raw_counter(&self) -> OpCounter {
-        let mut c = self.extra;
-        for b in &self.blocks {
-            c.merge(&b.counter());
-        }
+        let mut c = OpCounter::merged(self.blocks.iter().map(|b| b.counter()));
+        c.merge(&self.extra);
         c
     }
 

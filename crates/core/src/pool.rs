@@ -146,12 +146,33 @@ where
     let seeds = pass_seeds(seed, passes);
     let seeds = &seeds;
     let forward = &forward;
-    let (probs, states) = pool.run_chunked(passes, init, move |state, t| {
+    // Telemetry follows the op-counter discipline: each pass buffers
+    // its trace events thread-locally (harvested with a mark/drain
+    // pair) and the harvested buffers are re-appended in ascending
+    // pass order after the join, so the emitted trace byte-compares
+    // for any worker count. Workers inherit the caller's span depth.
+    let telemetry_on = crate::telemetry::active();
+    let base_depth = crate::telemetry::trace_depth();
+    let (results, states) = pool.run_chunked(passes, init, move |state, t| {
         let mut rng = StdRng::seed_from_u64(seeds[t]);
-        softmax(&forward(state, t, &mut rng))
+        if !telemetry_on {
+            return (softmax(&forward(state, t, &mut rng)), Vec::new());
+        }
+        crate::telemetry::set_trace_depth(base_depth);
+        let mark = crate::telemetry::trace_mark();
+        let probs = {
+            let _pass = crate::span!("mc_pass", pass = t);
+            softmax(&forward(state, t, &mut rng))
+        };
+        (probs, crate::telemetry::take_trace_since(mark))
     });
+    let (probs, traces): (Vec<Tensor>, Vec<Vec<crate::telemetry::TraceEvent>>) =
+        results.into_iter().unzip();
     let mut slots: Vec<Option<Tensor>> = probs.into_iter().map(Some).collect();
     let pred = mc_aggregate(passes, |t| slots[t].take().expect("each pass reduced once"));
+    for events in traces {
+        crate::telemetry::append_trace(events);
+    }
     (pred, states)
 }
 

@@ -234,8 +234,12 @@ impl Supervisor {
             "dt_hours must be positive and finite, got {dt_hours}"
         );
         self.step += 1;
+        let _span = crate::span!("supervisor_step", step = self.step, dt_hours = dt_hours);
         let aging = self.model.advance_time(dt_hours);
         self.now_hours += dt_hours;
+        // Virtual device-hours: stamped into every span closed from
+        // here on (deterministic — it tracks simulated time only).
+        crate::telemetry::set_model_time_hours(self.now_hours);
 
         let mut actions = Vec::new();
         if self.scrub_due() {
@@ -383,6 +387,28 @@ impl Supervisor {
         repaired: usize,
         energy: Joules,
     ) {
+        if crate::telemetry::active() {
+            let name = match action {
+                RecoveryAction::Scrub => "scrub",
+                RecoveryAction::Recalibrate => "recalibrate",
+                RecoveryAction::RemapTier => "remap_tier",
+                RecoveryAction::Abstain => "abstain",
+            };
+            crate::trace_event!(
+                "recovery",
+                action = name,
+                step = self.step,
+                policy = policy.tier_index(),
+                cells_refreshed = cells_refreshed,
+                flagged = flagged,
+                repaired = repaired,
+                energy_j = energy.0
+            );
+            crate::telemetry::counter(&format!("recovery_{name}_total")).inc();
+            if action == RecoveryAction::Scrub {
+                crate::telemetry::gauge("scrub_energy_j").add(energy.0);
+            }
+        }
         self.events.push(RecoveryEvent {
             at_hours: self.now_hours,
             step: self.step,

@@ -185,6 +185,7 @@ mod tests {
             cell_writes: 10,
             sa_evals: 50,
             adc_converts: 50,
+            adc_saturations: 0,
             rng_bits: 100,
             sram_accesses: 20,
             digital_ops: 50,

@@ -174,6 +174,7 @@ pub fn estimate_with_model(
         cell_writes: 0, // programming is amortized over the device lifetime
         sa_evals: cols * t,
         adc_converts: cols * t,
+        adc_saturations: 0, // analytic profile assumes in-range columns
         rng_bits: profile.rng_bits_per_pass(spec) * t,
         sram_accesses: (profile.sram_words_per_scale * spec.channels()) as u64 * t,
         digital_ops: cols * t,

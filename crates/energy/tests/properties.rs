@@ -35,6 +35,9 @@ fn arb_counter(rng: &mut StdRng) -> OpCounter {
         cell_writes: rng.random_range(0u64..1_000),
         sa_evals: rng.random_range(0u64..10_000),
         adc_converts: rng.random_range(0u64..10_000),
+        // Kept zero so the draw schedule (and every seeded golden value
+        // downstream) is unchanged; saturations carry no energy anyway.
+        adc_saturations: 0,
         rng_bits: rng.random_range(0u64..100_000),
         sram_accesses: rng.random_range(0u64..10_000),
         digital_ops: rng.random_range(0u64..10_000),

@@ -137,3 +137,30 @@ fn generic_engine_matches_seeded_sequential_on_a_crossbar_classifier() {
         assert!(!workers.is_empty());
     }
 }
+
+#[test]
+fn traced_predict_par_is_byte_identical_across_worker_counts() {
+    // Full tracing on: predictions must stay bit-identical (telemetry
+    // never consumes RNG draws) and the serialized JSONL trace must
+    // byte-compare across pool sizes (per-thread buffers are merged in
+    // pass order; trace events carry no wall-clock fields).
+    let _guard = neuspin::core::telemetry::test_lock();
+    let mut hw = e2e_model();
+    let x = inputs(6, 0);
+    let untraced = hw.predict_par(&x, 0xD15E, &ThreadPool::new(2));
+
+    let mut traces: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        neuspin::core::telemetry::set_enabled(true, true);
+        neuspin::core::telemetry::reset();
+        let pred = hw.predict_par(&x, 0xD15E, &ThreadPool::new(threads));
+        let events = neuspin::core::telemetry::take_trace();
+        neuspin::core::telemetry::set_enabled(false, false);
+        assert_eq!(pred, untraced, "{threads} threads, traced vs untraced");
+        assert!(!events.is_empty(), "trace must capture the MC passes");
+        traces.push(neuspin::core::telemetry::trace_to_jsonl(&events));
+    }
+    assert_eq!(traces[0], traces[1], "trace bytes, 1 vs 2 workers");
+    assert_eq!(traces[0], traces[2], "trace bytes, 1 vs 4 workers");
+    assert!(traces[0].contains("\"span\":\"mc_pass\""));
+}

@@ -39,9 +39,13 @@ NEUSPIN_RESULTS=target/ci-results \
     cargo run -q --release --offline -p neuspin-bench --bin exp_faultmgmt -- --check
 
 # Throughput baseline smoke: kernel + MC engine micro-run (bit-identity
-# across engines is asserted inside the binary), then the schema gate.
-# NEUSPIN_BENCH_ROOT keeps the smoke's BENCH_throughput.json under
-# target/ so the tracked repo-root artifact stays the full run's.
+# across engines — including the packed XNOR/popcount path — is
+# asserted inside the binary), then the schema gate. --check also
+# enforces the packed-kernel floor: every engaged kernel row must show
+# packed ≥ 2× the row-major scalar kernel, and at least one row must
+# have engaged the packed path at all. NEUSPIN_BENCH_ROOT keeps the
+# smoke's BENCH_throughput.json under target/ so the tracked repo-root
+# artifact stays the full run's.
 echo "==> exp_throughput smoke (NEUSPIN_BENCH_FAST=1)"
 NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
     cargo run -q --release --offline -p neuspin-bench --bin exp_throughput

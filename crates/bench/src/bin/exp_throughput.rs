@@ -3,12 +3,16 @@
 //!
 //! Two measurement families:
 //!
-//! 1. **Kernel micro-bench** — `Crossbar::matvec` (row-major/cache-
-//!    friendly) against the retained seed kernel
-//!    `Crossbar::matvec_reference` on a remapped, IR-dropped,
-//!    ADC-quantized array. Outputs are bit-identical; only the walk
-//!    order and table lookups differ, so the ratio is the pure kernel
-//!    win.
+//! 1. **Kernel micro-bench** — two rows. The *analog* row pits
+//!    `Crossbar::matvec` (row-major/cache-friendly) against the
+//!    retained seed kernel `Crossbar::matvec_reference` on a remapped,
+//!    IR-dropped, ADC-quantized array; the packed path cannot engage
+//!    there (`packed_engaged = 0`). The *binary* row re-runs the
+//!    comparison on a noiseless ternary tile with ±1 inputs, where the
+//!    `Auto` policy routes the bit-packed XNOR/popcount kernel
+//!    (`packed_engaged = 1`); its `packed_vs_rowmajor` ratio is the
+//!    CI-gated regression floor ([`PACKED_FLOOR`]). All outputs are
+//!    bit-identical across kernels; the ratios are pure kernel wins.
 //! 2. **MC engine** — end-to-end Bayesian prediction on the compiled
 //!    SpinDrop CNN after fault management + calibration, across
 //!    engines: `seq_reference` (seed kernel, sequential),
@@ -36,7 +40,7 @@
 use neuspin_bayes::{ArchConfig, Method};
 use neuspin_bench::timing::{Harness, Measurement};
 use neuspin_bench::{results_dir, write_json, Setup};
-use neuspin_cim::{BistConfig, Crossbar};
+use neuspin_cim::{BistConfig, Crossbar, KernelPolicy};
 use neuspin_core::json::{self, ToJson};
 use neuspin_core::{HardwareConfig, HardwareModel, ThreadPool};
 use neuspin_data::digits::dataset;
@@ -47,6 +51,11 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Minimum packed-over-rowmajor throughput ratio on engaged rows —
+/// the `--check` regression gate (the acceptance floor; measured
+/// ratios land far above it).
+const PACKED_FLOOR: f64 = 2.0;
+
 /// One kernel micro-benchmark row.
 #[derive(Debug)]
 struct KernelRow {
@@ -55,9 +64,16 @@ struct KernelRow {
     ops_per_call: f64,
     reference_ns_per_call: f64,
     rowmajor_ns_per_call: f64,
+    packed_ns_per_call: f64,
     reference_gops: f64,
     rowmajor_gops: f64,
+    packed_gops: f64,
     kernel_speedup: f64,
+    /// Packed over rowmajor (the CI-gated ratio on engaged rows).
+    packed_vs_rowmajor: f64,
+    /// 1 when the `Auto` policy actually served the calls with the
+    /// packed kernel, 0 when it fell back (analog configurations).
+    packed_engaged: f64,
 }
 
 neuspin_core::impl_to_json!(KernelRow {
@@ -66,9 +82,13 @@ neuspin_core::impl_to_json!(KernelRow {
     ops_per_call,
     reference_ns_per_call,
     rowmajor_ns_per_call,
+    packed_ns_per_call,
     reference_gops,
     rowmajor_gops,
-    kernel_speedup
+    packed_gops,
+    kernel_speedup,
+    packed_vs_rowmajor,
+    packed_engaged
 });
 
 /// One MC-engine measurement cell.
@@ -111,15 +131,19 @@ struct Report {
 neuspin_core::impl_to_json!(Report { host_threads, fast_mode, kernel, kernel_timing, mc });
 
 /// Numeric keys every kernel row must carry, all finite.
-const KERNEL_KEYS: [&str; 8] = [
+const KERNEL_KEYS: [&str; 12] = [
     "rows",
     "cols",
     "ops_per_call",
     "reference_ns_per_call",
     "rowmajor_ns_per_call",
+    "packed_ns_per_call",
     "reference_gops",
     "rowmajor_gops",
+    "packed_gops",
     "kernel_speedup",
+    "packed_vs_rowmajor",
+    "packed_engaged",
 ];
 
 /// Numeric keys every MC row must carry, all finite.
@@ -187,6 +211,7 @@ fn check_results() -> ExitCode {
         eprintln!("check failed: empty kernel or mc section");
         return ExitCode::FAILURE;
     }
+    let mut engaged_rows = 0usize;
     for (i, row) in kernel.iter().enumerate() {
         for key in KERNEL_KEYS {
             if let Err(e) = finite_num(row, key) {
@@ -199,6 +224,23 @@ fn check_results() -> ExitCode {
             eprintln!("check failed: kernel row {i}: non-positive speedup {speedup}");
             return ExitCode::FAILURE;
         }
+        // The packed regression gate: on rows where the Auto policy
+        // engaged the XNOR/popcount kernel, it must clear the floor
+        // over the rowmajor scalar kernel.
+        if finite_num(row, "packed_engaged").unwrap() == 1.0 {
+            engaged_rows += 1;
+            let ratio = finite_num(row, "packed_vs_rowmajor").unwrap();
+            if ratio < PACKED_FLOOR {
+                eprintln!(
+                    "check failed: kernel row {i}: packed_vs_rowmajor {ratio:.2} below the {PACKED_FLOOR}x floor"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if engaged_rows == 0 {
+        eprintln!("check failed: no kernel row engaged the packed kernel");
+        return ExitCode::FAILURE;
     }
     // Additive percentile rows: ordered finite tails per measurement.
     if let Some(timing) = value.get("kernel_timing").and_then(json::Json::as_arr) {
@@ -268,11 +310,47 @@ fn check_results() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The kernel micro-benchmark: a remapped, partially realistic array
-/// exercising every feature the row-major rewrite restructured (IR
-/// table, ADC, read noise, permuted row/column sources).
-fn kernel_bench(fast: bool) -> (KernelRow, Vec<Measurement>) {
+/// Times `matvec` under each of the three kernel policies on the same
+/// array (the RNG is reseeded per policy, so noise draws replay).
+fn time_policies(
+    xbar: &mut Crossbar,
+    input: &[f32],
+    reps: usize,
+    calls: usize,
+) -> (f64, f64, f64) {
+    let mut times = [0.0f64; 3];
+    for (slot, policy) in
+        [KernelPolicy::Reference, KernelPolicy::Scalar, KernelPolicy::Auto].into_iter().enumerate()
+    {
+        xbar.set_kernel_policy(policy);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        times[slot] = time_ns_per_call(reps, calls, || {
+            black_box(xbar.matvec(input, &mut rng));
+        });
+    }
+    (times[0], times[1], times[2])
+}
+
+/// The kernel micro-benchmark, two rows:
+///
+/// * **analog** — a remapped, IR-dropped, ADC-quantized, noisy array
+///   exercising every feature the row-major rewrite restructured; the
+///   packed path is ineligible and `Auto` must cost the same as the
+///   scalar kernel (`packed_engaged = 0`).
+/// * **binary** — a noiseless ideal-corner ternary tile (stuck-at
+///   defects only) with ±1 inputs, remapped and partially gated: the
+///   packed XNOR/popcount regime (`packed_engaged = 1`, CI-gated).
+fn kernel_bench(fast: bool) -> (Vec<KernelRow>, Vec<Measurement>) {
     let (rows, cols) = if fast { (96, 48) } else { (256, 64) };
+    let (reps, calls) = if fast { (4, 100) } else { (5, 400) };
+    let ops = 2.0 * rows as f64 * cols as f64;
+    // Percentile profile of the same kernels through the shared Bencher
+    // harness: p50/p95/p99 tail behaviour next to the best-of headline
+    // numbers (best-of hides scheduler noise; the tail shows it).
+    let mut harness = Harness::new("throughput_kernel");
+    let mut kernel = Vec::new();
+
+    // --- analog row ---
     let config = neuspin_cim::CrossbarConfig {
         defect_rates: DefectRates { short: 0.005, open: 0.005, ..DefectRates::none() },
         read_noise: 0.05,
@@ -289,47 +367,95 @@ fn kernel_bench(fast: bool) -> (KernelRow, Vec<Measurement>) {
         (0..cols).map(|i| (i + 3) % cols).collect(),
     );
     let input: Vec<f32> = (0..rows).map(|i| ((i * 5) % 9) as f32 / 4.0 - 1.0).collect();
-
-    let (reps, calls) = if fast { (4, 100) } else { (5, 400) };
-    xbar.set_reference_kernel(true);
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
-    let reference_ns = time_ns_per_call(reps, calls, || {
-        black_box(xbar.matvec(&input, &mut rng));
-    });
-    xbar.set_reference_kernel(false);
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
-    let rowmajor_ns = time_ns_per_call(reps, calls, || {
-        black_box(xbar.matvec(&input, &mut rng));
-    });
-
-    // Percentile profile of the same two kernels through the shared
-    // Bencher harness: p50/p95/p99 tail behaviour next to the best-of
-    // headline above (best-of hides scheduler noise; the tail shows it).
-    let mut harness = Harness::new("throughput_kernel");
-    xbar.set_reference_kernel(true);
+    let (reference_ns, rowmajor_ns, auto_ns) = time_policies(&mut xbar, &input, reps, calls);
+    assert_eq!(xbar.packed_calls(), 0, "packed kernel must not engage on the analog tile");
+    xbar.set_kernel_policy(KernelPolicy::Reference);
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     harness.bench("matvec/reference", |b| {
         b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
     });
-    xbar.set_reference_kernel(false);
+    xbar.set_kernel_policy(KernelPolicy::Scalar);
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     harness.bench("matvec/rowmajor", |b| {
         b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
     });
-    let timing = harness.into_results();
-
-    let ops = 2.0 * rows as f64 * cols as f64;
-    let row = KernelRow {
+    kernel.push(KernelRow {
         rows: rows as f64,
         cols: cols as f64,
         ops_per_call: ops,
         reference_ns_per_call: reference_ns,
         rowmajor_ns_per_call: rowmajor_ns,
+        packed_ns_per_call: auto_ns,
         reference_gops: ops / reference_ns,
         rowmajor_gops: ops / rowmajor_ns,
+        packed_gops: ops / auto_ns,
         kernel_speedup: reference_ns / rowmajor_ns,
+        packed_vs_rowmajor: rowmajor_ns / auto_ns,
+        packed_engaged: 0.0,
+    });
+
+    // --- binary row ---
+    let config = neuspin_cim::CrossbarConfig {
+        defect_rates: DefectRates {
+            stuck_parallel: 0.01,
+            stuck_antiparallel: 0.01,
+            ..DefectRates::none()
+        },
+        read_noise: 0.0,
+        adc_bits: Some(8),
+        ir_drop: 0.0,
+        ..neuspin_cim::CrossbarConfig::ideal()
     };
-    (row, timing)
+    let mut rng = StdRng::seed_from_u64(0x7412_0002);
+    let mut xbar = Crossbar::program(&weights, rows, cols, &config, &mut rng);
+    xbar.apply_remap(
+        (0..rows).map(|i| (i + 7) % rows).collect(),
+        (0..cols).map(|i| (i + 5) % cols).collect(),
+    );
+    for r in (0..rows).step_by(13) {
+        xbar.set_row_enabled(r, false); // dropout-style gating
+    }
+    let input: Vec<f32> =
+        (0..rows).map(|i| if i % 7 == 0 { 0.0 } else if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    // Bit-identity across the three policies before any timing — the
+    // bench itself re-proves what the differential suite established.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    xbar.set_kernel_policy(KernelPolicy::Reference);
+    let expect = xbar.matvec(&input, &mut rng);
+    for policy in [KernelPolicy::Scalar, KernelPolicy::Auto] {
+        xbar.set_kernel_policy(policy);
+        let got = xbar.matvec(&input, &mut rng);
+        let same = got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{policy:?} kernel diverged from reference on the binary tile");
+    }
+    assert!(xbar.packed_calls() > 0, "packed kernel must engage on the binary tile");
+    let (reference_ns, rowmajor_ns, packed_ns) = time_policies(&mut xbar, &input, reps, calls);
+    xbar.set_kernel_policy(KernelPolicy::Scalar);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    harness.bench("matvec/binary_rowmajor", |b| {
+        b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
+    });
+    xbar.set_kernel_policy(KernelPolicy::Auto);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    harness.bench("matvec/binary_packed", |b| {
+        b.iter(|| black_box(xbar.matvec(&input, &mut rng)))
+    });
+    kernel.push(KernelRow {
+        rows: rows as f64,
+        cols: cols as f64,
+        ops_per_call: ops,
+        reference_ns_per_call: reference_ns,
+        rowmajor_ns_per_call: rowmajor_ns,
+        packed_ns_per_call: packed_ns,
+        reference_gops: ops / reference_ns,
+        rowmajor_gops: ops / rowmajor_ns,
+        packed_gops: ops / packed_ns,
+        kernel_speedup: reference_ns / rowmajor_ns,
+        packed_vs_rowmajor: rowmajor_ns / packed_ns,
+        packed_engaged: 1.0,
+    });
+
+    (kernel, harness.into_results())
 }
 
 fn main() -> ExitCode {
@@ -340,16 +466,23 @@ fn main() -> ExitCode {
 
     println!("== Throughput baseline: crossbar kernels + parallel MC engine ==\n");
     let (kernel, kernel_timing) = kernel_bench(fast);
-    println!(
-        "matvec {}x{}: reference {:.0} ns/call ({:.3} GOP/s)  row-major {:.0} ns/call ({:.3} GOP/s)  speedup {:.2}x\n",
-        kernel.rows,
-        kernel.cols,
-        kernel.reference_ns_per_call,
-        kernel.reference_gops,
-        kernel.rowmajor_ns_per_call,
-        kernel.rowmajor_gops,
-        kernel.kernel_speedup,
-    );
+    for row in &kernel {
+        let tile = if row.packed_engaged == 1.0 { "binary" } else { "analog" };
+        println!(
+            "matvec {}x{} [{tile}]: reference {:.0} ns/call ({:.3} GOP/s)  row-major {:.0} ns/call ({:.3} GOP/s, {:.2}x)  packed/auto {:.0} ns/call ({:.3} GOP/s, {:.2}x vs row-major)",
+            row.rows,
+            row.cols,
+            row.reference_ns_per_call,
+            row.reference_gops,
+            row.rowmajor_ns_per_call,
+            row.rowmajor_gops,
+            row.kernel_speedup,
+            row.packed_ns_per_call,
+            row.packed_gops,
+            row.packed_vs_rowmajor,
+        );
+    }
+    println!();
 
     // The throughput model uses paper-scale layer widths (NeuSpin's
     // backbones are VGG-small-class networks, not 8-channel toys): the
@@ -470,7 +603,7 @@ fn main() -> ExitCode {
     let report = Report {
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64,
         fast_mode: if fast { 1.0 } else { 0.0 },
-        kernel: vec![kernel],
+        kernel,
         kernel_timing,
         mc,
     };

@@ -17,10 +17,55 @@
 
 use crate::adc::{Adc, OpCounter};
 use crate::bitcell::{MlcBitCell, XnorBitCell};
+use crate::packed::PackedPlane;
 use neuspin_device::{
     stats, AgingConfig, AgingReport, AgingState, DefectKind, DefectMap, DefectRates, VariedParams,
 };
 use rand::rngs::StdRng;
+
+/// Which evaluation kernel a [`Crossbar`] routes `matvec`/`matmul`
+/// through. See the module docs of [`crate::packed`] for the packed
+/// fast path and DESIGN.md for the selection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Pick automatically: the bit-packed XNOR/popcount kernel when the
+    /// tile is noiseless (no read noise, no IR drop), its weights are
+    /// ternary, and the call's inputs are ternary — the scalar
+    /// row-major kernel otherwise. All choices are bit-identical, so
+    /// this is purely a speed decision.
+    #[default]
+    Auto,
+    /// Always the scalar row-major kernel (the PR-5 cache-friendly
+    /// rewrite) — the packed path's bit-identity counterpart.
+    Scalar,
+    /// Always the retained seed kernel ([`Crossbar::matvec_reference`])
+    /// — the golden oracle for equivalence tests and baselines.
+    Reference,
+}
+
+/// Diagnostic state of a crossbar's packed plane (see
+/// [`Crossbar::packed_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedState {
+    /// The plane is out of date (weights changed since the last build,
+    /// or no eligible evaluation has happened yet); the next eligible
+    /// `matvec` rebuilds it.
+    Stale,
+    /// The plane is built and serving evaluations.
+    Ready,
+    /// The tile cannot be packed (too many non-ternary weights —
+    /// variation corners, drifted or heavily shorted arrays); the
+    /// scalar kernel serves until the weights change again.
+    Unsupported,
+}
+
+/// Lazily maintained packed plane attached to a [`Crossbar`].
+#[derive(Debug, Clone)]
+enum PackedSlot {
+    Stale,
+    Ready(Box<PackedPlane>),
+    Unsupported,
+}
 
 /// A spare bit-cell column held in reserve for redundancy repair.
 ///
@@ -140,10 +185,14 @@ pub struct Crossbar {
     /// Column accumulator scratch (`[acc | power]`), reused across
     /// evaluations to keep the kernel allocation-free.
     scratch: Vec<f64>,
-    /// Routes evaluations through the retained seed kernel
-    /// ([`Crossbar::matvec_reference`]) for equivalence tests and
-    /// throughput baselines.
-    reference_kernel: bool,
+    /// Kernel routing policy (see [`KernelPolicy`]); `Auto` by default.
+    policy: KernelPolicy,
+    /// Lazily (re)built bit-packed weight plane for the XNOR/popcount
+    /// fast path; invalidated at every effective-weight mutation site.
+    packed: PackedSlot,
+    /// Number of evaluations served by the packed kernel (diagnostic;
+    /// lets tests and benches assert the fast path actually engaged).
+    packed_calls: u64,
     /// Temporal degradation state; `None` until
     /// [`Crossbar::enable_aging`] attaches it, so arrays that never age
     /// keep the historical RNG streams and behaviour bit for bit.
@@ -259,7 +308,9 @@ impl Crossbar {
             margin_sum: 0.0,
             margin_count: 0,
             scratch: Vec::new(),
-            reference_kernel: false,
+            policy: KernelPolicy::Auto,
+            packed: PackedSlot::Stale,
+            packed_calls: 0,
             aging: None,
         };
         xbar.refresh_eff();
@@ -280,6 +331,16 @@ impl Crossbar {
                 *w *= hook.state.drift(i);
             }
         }
+        self.invalidate_packed();
+    }
+
+    /// Marks the packed plane stale. Must be called by every site that
+    /// mutates `eff` — [`Crossbar::refresh_eff`] (programming, scrub,
+    /// remap, aging), [`Crossbar::substitute_column`], and
+    /// [`Crossbar::apply_drift`] — so the next eligible evaluation
+    /// rebuilds the plane from the current weights.
+    fn invalidate_packed(&mut self) {
+        self.packed = PackedSlot::Stale;
     }
 
     /// Number of input rows.
@@ -349,6 +410,7 @@ impl Crossbar {
             self.cells[idx] = cell;
             self.eff[idx] = self.cells[idx].effective_weight();
         }
+        self.invalidate_packed();
         self.counter.cell_writes += (self.rows * 2) as u64;
         self.counter.cell_reads += (self.rows * 2) as u64;
         // The fused-in spare is a fresh physical device: its temporal
@@ -556,12 +618,127 @@ impl Crossbar {
     }
 
     /// [`Crossbar::matvec`] writing into a caller-provided buffer (the
-    /// batch path reuses one allocation per batch).
+    /// batch path reuses one allocation per batch). Dispatches on the
+    /// [`KernelPolicy`]; under `Auto` the packed XNOR/popcount kernel
+    /// serves noiseless ternary evaluations and the scalar row-major
+    /// kernel everything else — bit-identically either way.
     fn matvec_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
-        if self.reference_kernel {
-            self.matvec_reference_into(input, out, rng);
-            return;
+        match self.policy {
+            KernelPolicy::Reference => self.matvec_reference_into(input, out, rng),
+            KernelPolicy::Scalar => self.matvec_scalar_into(input, out, rng),
+            KernelPolicy::Auto => {
+                if !(self.packed_ready() && self.matvec_packed_into(input, out)) {
+                    self.matvec_scalar_into(input, out, rng);
+                }
+            }
         }
+    }
+
+    /// Whether the packed plane is usable, lazily rebuilding it when the
+    /// weights changed. Tiles with read noise or IR drop are never
+    /// eligible (those effects need the scalar per-cell walk), and tiles
+    /// whose weights are substantially non-ternary cache as unsupported
+    /// until the next weight mutation.
+    fn packed_ready(&mut self) -> bool {
+        if self.read_noise > 0.0 || self.ir_drop > 0.0 {
+            return false;
+        }
+        if matches!(self.packed, PackedSlot::Stale) {
+            self.packed = match PackedPlane::build(&self.eff, self.rows, self.cols) {
+                Some(plane) => PackedSlot::Ready(Box::new(plane)),
+                None => PackedSlot::Unsupported,
+            };
+        }
+        matches!(self.packed, PackedSlot::Ready(_))
+    }
+
+    /// Attempts the bit-packed XNOR/popcount kernel. Returns `false`
+    /// without any side effect (no tallies, no margin, no output) when
+    /// the call's inputs are not ternary — the caller then falls back
+    /// to the scalar kernel. Only called with a `Ready` plane.
+    fn matvec_packed_into(&mut self, input: &[f32], out: &mut [f64]) -> bool {
+        assert_eq!(input.len(), self.rows, "input length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        // Move the plane out so the borrow checker lets the kernel read
+        // `self` freely; restored before returning.
+        let PackedSlot::Ready(mut plane) = std::mem::replace(&mut self.packed, PackedSlot::Stale)
+        else {
+            unreachable!("matvec_packed_into requires a ready plane")
+        };
+        let served = self.matvec_packed_with(&mut plane, input, out);
+        self.packed = PackedSlot::Ready(plane);
+        served
+    }
+
+    /// The packed kernel body: pack the input through remap + gating,
+    /// popcount the packable columns, walk the few non-ternary columns
+    /// in reference row order, then finalize every column in ascending
+    /// physical order exactly like the scalar kernels (margin tally,
+    /// ADC). No RNG is touched: the packed path only runs on noiseless
+    /// tiles, where the scalar kernels draw nothing either — downstream
+    /// RNG streams stay aligned across kernel choices.
+    fn matvec_packed_with(
+        &mut self,
+        plane: &mut PackedPlane,
+        input: &[f32],
+        out: &mut [f64],
+    ) -> bool {
+        if !plane.pack_input(input, self.row_src.as_deref(), &self.row_enabled) {
+            return false;
+        }
+        let cols = self.cols;
+        self.counter.cell_reads += self.enabled_count as u64 * cols as u64;
+        self.counter.sa_evals += cols as u64;
+        if self.adc.is_some() {
+            self.counter.adc_converts += cols as u64;
+        }
+        self.counter.digital_ops += cols as u64;
+        self.packed_calls += 1;
+        self.scratch.clear();
+        self.scratch.resize(cols, 0.0);
+        let row_src = self.row_src.as_deref();
+        for pj in 0..cols {
+            self.scratch[pj] = if plane.col_is_packed(pj) {
+                // Exact integer accumulation: order-independent, so the
+                // whole-word popcount matches the scalar kernels'
+                // ascending-row float sum bit for bit.
+                plane.column_sum(pj)
+            } else {
+                // Non-ternary column (short/open defect): replicate the
+                // reference kernel's ascending-row walk exactly.
+                let mut acc = 0.0f64;
+                for p in 0..self.rows {
+                    let l = row_src.map_or(p, |m| m[p]);
+                    if !self.row_enabled[l] {
+                        continue;
+                    }
+                    acc += input[l] as f64 * self.eff[p * cols + pj];
+                }
+                acc
+            };
+        }
+        let col_src = self.col_src.as_deref();
+        for pj in 0..cols {
+            let a = self.scratch[pj];
+            self.margin_sum += a.abs();
+            self.margin_count += 1;
+            out[col_src.map_or(pj, |m| m[pj])] = match &self.adc {
+                Some(adc) => {
+                    if a.abs() > adc.full_scale() {
+                        self.counter.adc_saturations += 1;
+                    }
+                    adc.quantize(a)
+                }
+                None => a,
+            };
+        }
+        true
+    }
+
+    /// The scalar row-major kernel (the PR-5 cache-friendly rewrite):
+    /// handles every configuration — noise, IR drop, analog weights —
+    /// bit-identically to [`Crossbar::matvec_reference`].
+    fn matvec_scalar_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
         assert_eq!(input.len(), self.rows, "input length mismatch");
         assert_eq!(out.len(), self.cols, "output length mismatch");
         let cols = self.cols;
@@ -694,10 +871,43 @@ impl Crossbar {
     }
 
     /// Routes every evaluation through [`Crossbar::matvec_reference`]
-    /// instead of the row-major kernel — for equivalence tests and the
-    /// throughput baseline. `false` restores the fast kernel.
+    /// instead of the fast kernels — for equivalence tests and the
+    /// throughput baseline. `false` restores automatic kernel
+    /// selection. Convenience wrapper over
+    /// [`Crossbar::set_kernel_policy`].
     pub fn set_reference_kernel(&mut self, on: bool) {
-        self.reference_kernel = on;
+        self.set_kernel_policy(if on { KernelPolicy::Reference } else { KernelPolicy::Auto });
+    }
+
+    /// Sets the kernel routing policy. All policies produce
+    /// bit-identical outputs, counters, margins, and RNG consumption —
+    /// this is a speed/diagnostics knob, never a semantics knob.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active kernel routing policy.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Diagnostic state of the packed plane. `Stale` until the first
+    /// eligible evaluation builds it (and again after every weight
+    /// mutation); tiles with read noise or IR drop stay `Stale` forever
+    /// (they are never eligible).
+    pub fn packed_state(&self) -> PackedState {
+        match self.packed {
+            PackedSlot::Stale => PackedState::Stale,
+            PackedSlot::Ready(_) => PackedState::Ready,
+            PackedSlot::Unsupported => PackedState::Unsupported,
+        }
+    }
+
+    /// Number of evaluations the packed XNOR/popcount kernel served
+    /// since programming — lets tests and benches assert the fast path
+    /// actually engaged (worker clones do not merge this diagnostic).
+    pub fn packed_calls(&self) -> u64 {
+        self.packed_calls
     }
 
     /// Raw sense-margin accumulator `(sum, count)` — lets the parallel
@@ -721,6 +931,7 @@ impl Crossbar {
         for w in &mut self.eff {
             *w = f(*w);
         }
+        self.invalidate_packed();
     }
 
     /// Attaches a temporal-degradation engine to the array: from now on
@@ -842,24 +1053,46 @@ impl Crossbar {
     /// Batch version of [`matvec`](Self::matvec): input matrix
     /// `[n, rows]` flattened row-major, returns `[n, cols]` flattened.
     ///
-    /// Runs the row-major kernel with the per-call bookkeeping hoisted
-    /// out of the batch loop: the row indirection (remap + enable
-    /// gates) is resolved once, the accumulator scratch is sized once,
-    /// and op counts are tallied in bulk. Each batch element still
-    /// accumulates and finalizes exactly like one [`Crossbar::matvec`]
-    /// call, in order — the output and the RNG stream are bit-identical
-    /// to `n` sequential `matvec` calls.
+    /// Dispatches on the same [`KernelPolicy`] as the per-call path, so
+    /// the batch is always bit-identical to `n` sequential `matvec`
+    /// calls — output, counters, margins, and RNG stream alike:
+    ///
+    /// * `Reference` loops the seed kernel per batch element (what a
+    ///   sequence of `matvec` calls does under that policy);
+    /// * `Auto` on an eligible packed tile dispatches per element —
+    ///   packed for ternary inputs, scalar for the rest — exactly
+    ///   mirroring the per-call selection;
+    /// * otherwise the scalar row-major kernel runs with the per-call
+    ///   bookkeeping hoisted out of the batch loop (row indirection
+    ///   resolved once, scratch sized once, op counts tallied in bulk).
     pub fn matmul(&mut self, inputs: &[f32], n: usize, rng: &mut StdRng) -> Vec<f64> {
         assert_eq!(inputs.len(), n * self.rows, "batch input length mismatch");
         let mut out = vec![0.0f64; n * self.cols];
-        if self.reference_kernel {
-            for (input, chunk) in
-                inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(self.cols))
-            {
-                self.matvec_reference_into(input, chunk, rng);
+        let policy = self.policy;
+        match policy {
+            KernelPolicy::Reference => {
+                for (input, chunk) in
+                    inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(self.cols))
+                {
+                    self.matvec_reference_into(input, chunk, rng);
+                }
             }
-            return out;
+            KernelPolicy::Auto if self.packed_ready() => {
+                for (input, chunk) in
+                    inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(self.cols))
+                {
+                    if !self.matvec_packed_into(input, chunk) {
+                        self.matvec_scalar_into(input, chunk, rng);
+                    }
+                }
+            }
+            _ => self.matmul_scalar_into(inputs, n, &mut out, rng),
         }
+        out
+    }
+
+    /// The hoisted scalar batch kernel (see [`Crossbar::matmul`]).
+    fn matmul_scalar_into(&mut self, inputs: &[f32], n: usize, out: &mut [f64], rng: &mut StdRng) {
         let cols = self.cols;
         // The gate pattern and remap are fixed across the batch:
         // resolve each enabled physical row to its logical input index
@@ -924,7 +1157,6 @@ impl Crossbar {
                 };
             }
         }
-        out
     }
 }
 
@@ -1598,6 +1830,164 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Twin helper for the packed edge-case tests: two bit-identical
+    /// noiseless crossbars, the second pinned to the seed oracle.
+    fn noiseless_twins(w: &[f32], rows: usize, cols: usize, seed: u64) -> (Crossbar, Crossbar) {
+        let mut ra = StdRng::seed_from_u64(seed);
+        let mut rb = StdRng::seed_from_u64(seed);
+        let a = Crossbar::program(w, rows, cols, &ideal(), &mut ra);
+        let mut b = Crossbar::program(w, rows, cols, &ideal(), &mut rb);
+        b.set_kernel_policy(KernelPolicy::Reference);
+        (a, b)
+    }
+
+    fn assert_outputs_and_state_match(ya: &[f64], yb: &[f64], a: &Crossbar, b: &Crossbar) {
+        for (j, (va, vb)) in ya.iter().zip(yb).enumerate() {
+            assert_eq!(va.to_bits(), vb.to_bits(), "col {j}: {va} vs {vb}");
+        }
+        assert_eq!(a.counter(), b.counter());
+        let ((sa, ca), (sb, cb)) = (a.sense_margin_parts(), b.sense_margin_parts());
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn packed_kernel_word_boundary_geometries_match_reference() {
+        // Row counts straddling the 64-bit word size (1, 63, 64, 65,
+        // 128, 129): partial last words and single-row tiles must
+        // popcount to the same bits as the seed kernel.
+        let mut r = rng();
+        for rows in [1usize, 63, 64, 65, 128, 129] {
+            for cols in [1usize, 3] {
+                let w: Vec<f32> = (0..rows * cols)
+                    .map(|i| if (i * 13) % 5 < 2 { 1.0 } else { -1.0 })
+                    .collect();
+                let (mut a, mut b) = noiseless_twins(&w, rows, cols, 7 + rows as u64);
+                for trial in 0..3 {
+                    let x: Vec<f32> =
+                        (0..rows).map(|i| [1.0f32, -1.0, 0.0][(i + trial) % 3]).collect();
+                    let ya = a.matvec(&x, &mut r);
+                    let yb = b.matvec(&x, &mut r);
+                    assert_outputs_and_state_match(&ya, &yb, &a, &b);
+                }
+                assert_eq!(a.packed_calls(), 3, "rows {rows} cols {cols}: packed must engage");
+                assert_eq!(a.packed_state(), PackedState::Ready);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_fully_masked_column_matches_reference() {
+        // A column whose every effective weight is zero (e.g. all its
+        // cells defect-balanced) contributes no popcount words at all;
+        // its accumulation must still be exactly +0.0 with the margin
+        // and ADC stages applied, like the scalar kernels do.
+        let mut r = rng();
+        let (rows, cols) = (70, 4);
+        let w: Vec<f32> =
+            (0..rows * cols).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let (mut a, mut b) = noiseless_twins(&w, rows, cols, 23);
+        for xbar in [&mut a, &mut b] {
+            // Zero out column 1 positionally (apply_drift walks eff in
+            // row-major physical order).
+            let mut i = 0usize;
+            xbar.apply_drift(|w| {
+                let zero = i % cols == 1;
+                i += 1;
+                if zero { 0.0 } else { w }
+            });
+        }
+        let x: Vec<f32> = (0..rows).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let ya = a.matvec(&x, &mut r);
+        let yb = b.matvec(&x, &mut r);
+        assert_outputs_and_state_match(&ya, &yb, &a, &b);
+        assert_eq!(ya[1].to_bits(), 0.0f64.to_bits(), "masked column reads exactly +0.0");
+        assert_eq!(a.packed_calls(), 1, "all-ternary tile must engage the packed path");
+    }
+
+    #[test]
+    fn packed_kernel_zero_enabled_rows_matches_reference() {
+        // Every word line gated off: no cell reads, but the sense
+        // amplifiers still evaluate each column to +0.0 and the margin
+        // window still advances — identically in both kernels.
+        let mut r = rng();
+        let (rows, cols) = (65, 3);
+        let w = vec![1.0f32; rows * cols];
+        let (mut a, mut b) = noiseless_twins(&w, rows, cols, 31);
+        for xbar in [&mut a, &mut b] {
+            for row in 0..rows {
+                xbar.set_row_enabled(row, false);
+            }
+        }
+        let x = vec![1.0f32; rows];
+        let ya = a.matvec(&x, &mut r);
+        let yb = b.matvec(&x, &mut r);
+        assert_outputs_and_state_match(&ya, &yb, &a, &b);
+        assert!(ya.iter().all(|v| v.to_bits() == 0.0f64.to_bits()));
+        assert_eq!(a.counter().cell_reads - b.counter().cell_reads, 0);
+        assert_eq!(a.packed_calls(), 1);
+    }
+
+    #[test]
+    fn packed_plane_invalidation_tracks_every_mutation_site() {
+        // The plane must go Stale at every weight-mutation site —
+        // substitute_column, apply_remap, scrub, apply_drift — and the
+        // next evaluation must rebuild it against the *new* weights.
+        let mut ra = rng();
+        let mut rb = rng();
+        let (rows, cols) = (66, 4);
+        let w: Vec<f32> =
+            (0..rows * cols).map(|i| if (i * 3) % 7 < 4 { 1.0 } else { -1.0 }).collect();
+        let mut a = Crossbar::program_with_spares(&w, rows, cols, 2, &ideal(), &mut ra);
+        let mut b = Crossbar::program_with_spares(&w, rows, cols, 2, &ideal(), &mut rb);
+        b.set_kernel_policy(KernelPolicy::Reference);
+        let x: Vec<f32> = (0..rows).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert_eq!(a.packed_state(), PackedState::Stale, "no plane before first evaluation");
+
+        let check = |a: &mut Crossbar, b: &mut Crossbar, ra: &mut StdRng, rb: &mut StdRng| {
+            let ya = a.matvec(&x, ra);
+            let yb = b.matvec(&x, rb);
+            assert_outputs_and_state_match(&ya, &yb, a, b);
+        };
+        check(&mut a, &mut b, &mut ra, &mut rb);
+        assert_eq!(a.packed_state(), PackedState::Ready);
+
+        // Redundancy repair rewires a physical column.
+        a.substitute_column(2, 0);
+        b.substitute_column(2, 0);
+        assert_eq!(a.packed_state(), PackedState::Stale, "substitute_column must invalidate");
+        check(&mut a, &mut b, &mut ra, &mut rb);
+        assert_eq!(a.packed_state(), PackedState::Ready);
+
+        // Remapping reprograms the array into new physical homes.
+        let row_map: Vec<usize> = (0..rows).map(|i| (i + 17) % rows).collect();
+        let col_map: Vec<usize> = (0..cols).map(|i| (i + 1) % cols).collect();
+        a.apply_remap(row_map.clone(), col_map.clone());
+        b.apply_remap(row_map, col_map);
+        assert_eq!(a.packed_state(), PackedState::Stale, "apply_remap must invalidate");
+        check(&mut a, &mut b, &mut ra, &mut rb);
+
+        // A scrub rewrites the golden contents.
+        let cfg = neuspin_device::AgingConfig { seed: 5, ..neuspin_device::AgingConfig::default() };
+        a.enable_aging(&cfg);
+        b.enable_aging(&cfg);
+        a.scrub();
+        b.scrub();
+        assert_eq!(a.packed_state(), PackedState::Stale, "scrub must invalidate");
+        check(&mut a, &mut b, &mut ra, &mut rb);
+
+        // In-field drift makes the weights non-ternary: the rebuild
+        // must classify the tile unsupported and fall back to the
+        // scalar kernel — still bit-identical to the oracle.
+        a.apply_drift(|w| w * 0.5);
+        b.apply_drift(|w| w * 0.5);
+        assert_eq!(a.packed_state(), PackedState::Stale, "apply_drift must invalidate");
+        let engaged_before = a.packed_calls();
+        check(&mut a, &mut b, &mut ra, &mut rb);
+        assert_eq!(a.packed_state(), PackedState::Unsupported);
+        assert_eq!(a.packed_calls(), engaged_before, "drifted tile must not engage");
     }
 
     #[test]

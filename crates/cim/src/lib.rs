@@ -45,12 +45,13 @@ pub mod crossbar;
 pub mod decoder;
 pub mod dropout_modules;
 pub mod mapping;
+mod packed;
 pub mod repair;
 
 pub use adc::{Adc, OpCounter};
 pub use bist::{march_test, BistConfig, BistReport};
 pub use bitcell::{MlcBitCell, XnorBitCell};
-pub use crossbar::{Crossbar, CrossbarConfig, MlcCrossbar};
+pub use crossbar::{Crossbar, CrossbarConfig, KernelPolicy, MlcCrossbar, PackedState};
 pub use decoder::WordlineDecoder;
 pub use dropout_modules::{Arbiter, ScaleDropModule, SpatialDropModule, SpinDropModule};
 pub use mapping::{

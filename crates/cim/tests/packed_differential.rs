@@ -1,0 +1,316 @@
+//! Differential battery: the bit-packed XNOR/popcount kernel against
+//! the retained seed oracle `Crossbar::matvec_reference`.
+//!
+//! Every property drives a *twin pair* of crossbars built bit-for-bit
+//! identically (same seeds, same construction plan) — one left on the
+//! default `Auto` policy, one pinned to `Reference` — through the same
+//! evaluation sequence, then demands exact equality of output bits,
+//! op counters, sense-margin accumulators, and downstream RNG
+//! position. The scenario grid randomizes geometry (including row
+//! counts off the 64-bit word size), defect rates (stuck, open,
+//! short), spare-column repair, line remapping, word-line gating, ADC
+//! resolution, and input ternary-ness, 96 cases per property with the
+//! reproducing seed in every failure message (house idiom of
+//! `properties.rs`).
+
+use neuspin_cim::{Crossbar, CrossbarConfig, KernelPolicy, PackedState};
+use neuspin_device::{DefectRates, MtjParams, VariationModel, VariedParams};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Fixed base so the whole suite replays bit-identically.
+const BASE: u64 = 0xC1FB_0006;
+
+/// Sampled cases per property.
+const CASES: u64 = 96;
+
+fn case_seed(property: u64, case: u64) -> u64 {
+    BASE ^ property.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.rotate_left(17)
+}
+
+/// Builds one randomized noiseless scenario deterministically from its
+/// seed: geometry × defects × spares (with repair) × remap × gating.
+/// Calling it twice with the same seed yields bit-identical twins.
+fn build_noiseless(seed: u64) -> Crossbar {
+    let mut plan = StdRng::seed_from_u64(seed);
+    let rows = plan.random_range(1usize..130);
+    let cols = plan.random_range(1usize..10);
+    let spares = plan.random_range(0usize..3);
+    // Defect classes: pristine / stuck-only / the full mix with the
+    // analog kinds (open, short) that force per-column scalar fallback.
+    let defect_rates = match plan.random_range(0u32..4) {
+        0 => DefectRates::none(),
+        1 => DefectRates { stuck_parallel: 0.03, stuck_antiparallel: 0.03, ..DefectRates::none() },
+        2 => DefectRates { stuck_parallel: 0.02, open: 0.01, ..DefectRates::none() },
+        _ => DefectRates { stuck_parallel: 0.02, stuck_antiparallel: 0.02, short: 0.01, open: 0.01 },
+    };
+    let config = CrossbarConfig {
+        corner: VariedParams::ideal(),
+        defect_rates,
+        read_noise: 0.0,
+        adc_bits: if plan.random_bool(0.5) { Some(plan.random_range(4u32..9)) } else { None },
+        ir_drop: 0.0,
+    };
+    let weights: Vec<f32> =
+        (0..rows * cols).map(|_| if plan.random_bool(0.5) { 1.0 } else { -1.0 }).collect();
+    let mut dev = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+    let mut xbar = Crossbar::program_with_spares(&weights, rows, cols, spares, &config, &mut dev);
+    // Redundancy repair: fuse clean spares over the worst columns, the
+    // order the repair controller would pick them.
+    let mut spare = 0;
+    for col in 0..cols {
+        if spare >= xbar.spare_count() {
+            break;
+        }
+        if xbar.defects().column_defect_count(col) > 0 && xbar.spare_is_clean(spare) {
+            xbar.substitute_column(col, spare);
+            spare += 1;
+        }
+    }
+    // Line remapping: a rotation permutation on rows, columns, or both.
+    if plan.random_bool(0.5) {
+        let rshift = plan.random_range(0usize..rows.max(1));
+        let cshift = plan.random_range(0usize..cols.max(1));
+        xbar.apply_remap(
+            (0..rows).map(|i| (i + rshift) % rows).collect(),
+            (0..cols).map(|i| (i + cshift) % cols).collect(),
+        );
+    }
+    // Word-line gating: the dropout modules' view of the array. One
+    // case in eleven gates *every* row off.
+    if plan.random_range(0u32..11) == 0 {
+        for r in 0..rows {
+            xbar.set_row_enabled(r, false);
+        }
+    } else if plan.random_bool(0.5) {
+        for r in 0..rows {
+            if plan.random_bool(0.25) {
+                xbar.set_row_enabled(r, false);
+            }
+        }
+    }
+    xbar
+}
+
+/// A ternary input vector; `zeros` adds inactive lines.
+fn ternary_input(rows: usize, zeros: bool, rng: &mut StdRng) -> Vec<f32> {
+    (0..rows)
+        .map(|_| {
+            if zeros && rng.random_bool(0.25) {
+                0.0
+            } else if rng.random_bool(0.5) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect()
+}
+
+/// Asserts the full observable state of a twin pair matches bit for
+/// bit: outputs, counters, sense margins, and RNG stream position.
+#[allow(clippy::too_many_arguments)]
+fn assert_twins_match(
+    seed: u64,
+    trial: usize,
+    ya: &[f64],
+    yb: &[f64],
+    a: &Crossbar,
+    b: &Crossbar,
+    rng_a: &mut StdRng,
+    rng_b: &mut StdRng,
+) {
+    for (j, (va, vb)) in ya.iter().zip(yb).enumerate() {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "seed {seed:#x} trial {trial}: col {j}: packed/auto {va} vs reference {vb}"
+        );
+    }
+    assert_eq!(a.counter(), b.counter(), "seed {seed:#x} trial {trial}: op counters diverged");
+    let (ma, ca) = a.sense_margin_parts();
+    let (mb, cb) = b.sense_margin_parts();
+    assert_eq!(
+        (ma.to_bits(), ca),
+        (mb.to_bits(), cb),
+        "seed {seed:#x} trial {trial}: sense margins diverged"
+    );
+    assert_eq!(
+        rng_a.next_u64(),
+        rng_b.next_u64(),
+        "seed {seed:#x} trial {trial}: RNG streams desynchronized"
+    );
+}
+
+#[test]
+fn packed_matvec_bit_identical_to_reference_over_scenario_grid() {
+    let mut engaged_cases = 0u64;
+    for case in 0..CASES {
+        let seed = case_seed(1, case);
+        let mut a = build_noiseless(seed);
+        let mut b = build_noiseless(seed);
+        b.set_kernel_policy(KernelPolicy::Reference);
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xE7A1);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xE7A1);
+        let mut xrng = StdRng::seed_from_u64(seed ^ 0x1297);
+        for trial in 0..4 {
+            let x = ternary_input(a.rows(), trial % 2 == 0, &mut xrng);
+            let ya = a.matvec(&x, &mut rng_a);
+            let yb = b.matvec(&x, &mut rng_b);
+            assert_twins_match(seed, trial, &ya, &yb, &a, &b, &mut rng_a, &mut rng_b);
+        }
+        if a.packed_calls() > 0 {
+            engaged_cases += 1;
+            assert_eq!(
+                a.packed_state(),
+                PackedState::Ready,
+                "seed {seed:#x}: engaged tile must report a ready plane"
+            );
+        }
+    }
+    // The grid must actually exercise the packed path, not just fall
+    // back everywhere: only tiles whose analog-defect draw spoils more
+    // than a quarter of the columns may opt out.
+    assert!(
+        engaged_cases > CASES / 2,
+        "packed kernel engaged on only {engaged_cases}/{CASES} cases"
+    );
+}
+
+#[test]
+fn packed_matmul_bit_identical_to_sequential_matvec_reference() {
+    // The batch path must equal `n` sequential per-call evaluations
+    // under *every* policy — the unified dispatch fix. The `a` twin
+    // runs one `matmul`; the `b` twin runs the per-call loop.
+    for (p, policy) in
+        [KernelPolicy::Auto, KernelPolicy::Scalar, KernelPolicy::Reference].into_iter().enumerate()
+    {
+        for case in 0..CASES / 3 {
+            let seed = case_seed(2 + p as u64, case);
+            let mut a = build_noiseless(seed);
+            let mut b = build_noiseless(seed);
+            a.set_kernel_policy(policy);
+            b.set_kernel_policy(policy);
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let mut xrng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let n = xrng.random_range(1usize..6);
+            let batch: Vec<f32> = (0..n)
+                .flat_map(|i| ternary_input(a.rows(), i % 2 == 0, &mut xrng))
+                .collect();
+            let ya = a.matmul(&batch, n, &mut rng_a);
+            let mut yb = Vec::with_capacity(n * b.cols());
+            for chunk in batch.chunks_exact(b.rows()) {
+                yb.extend(b.matvec(chunk, &mut rng_b));
+            }
+            assert_twins_match(seed, n, &ya, &yb, &a, &b, &mut rng_a, &mut rng_b);
+        }
+    }
+}
+
+#[test]
+fn auto_policy_matches_reference_on_ineligible_tiles_and_inputs() {
+    // Noisy, IR-dropped, and variation-corner tiles must never engage
+    // the packed kernel — and the automatic fallback must stay
+    // bit-identical to the oracle, RNG draws included. Non-ternary
+    // inputs interleave with ternary ones so the per-call bail-out
+    // path is crossed mid-stream.
+    for case in 0..CASES {
+        let seed = case_seed(5, case);
+        let mut plan = StdRng::seed_from_u64(seed);
+        let rows = plan.random_range(2usize..80);
+        let cols = plan.random_range(1usize..8);
+        let kind = plan.random_range(0u32..3);
+        let config = CrossbarConfig {
+            corner: if kind == 2 {
+                VariedParams::new(MtjParams::default(), VariationModel::typical())
+            } else {
+                VariedParams::ideal()
+            },
+            defect_rates: DefectRates { stuck_parallel: 0.02, ..DefectRates::none() },
+            read_noise: if kind == 0 { 0.05 } else { 0.0 },
+            adc_bits: Some(6),
+            ir_drop: if kind == 1 { 0.05 } else { 0.0 },
+        };
+        let weights: Vec<f32> =
+            (0..rows * cols).map(|_| if plan.random_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let mut dev = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+        let mut a = Crossbar::program(&weights, rows, cols, &config, &mut dev);
+        let mut dev = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+        let mut b = Crossbar::program(&weights, rows, cols, &config, &mut dev);
+        b.set_kernel_policy(KernelPolicy::Reference);
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0x0A11);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0x0A11);
+        let mut xrng = StdRng::seed_from_u64(seed ^ 0x77AA);
+        for trial in 0..3 {
+            let x: Vec<f32> = if trial == 1 {
+                // Analog input levels: ineligible even on clean tiles.
+                (0..rows).map(|_| (xrng.random_range(-4i32..5) as f32) / 4.0).collect()
+            } else {
+                ternary_input(rows, true, &mut xrng)
+            };
+            let ya = a.matvec(&x, &mut rng_a);
+            let yb = b.matvec(&x, &mut rng_b);
+            assert_twins_match(seed, trial, &ya, &yb, &a, &b, &mut rng_a, &mut rng_b);
+        }
+        if kind != 2 || a.packed_state() != PackedState::Ready {
+            // Noise/IR tiles never build a plane; variation corners may
+            // build one only if every drawn device still lands ternary
+            // (possible but vanishingly rare).
+            if kind != 2 {
+                assert_eq!(
+                    a.packed_calls(),
+                    0,
+                    "seed {seed:#x}: packed kernel engaged on an ineligible tile"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repair_remap_and_scrub_keep_packed_plane_coherent() {
+    // Weight-mutating operations between evaluations must invalidate
+    // the packed plane; the next evaluation rebuilds it from the new
+    // weights and still matches the oracle exactly.
+    for case in 0..CASES {
+        let seed = case_seed(6, case);
+        let mut a = build_noiseless(seed);
+        let mut b = build_noiseless(seed);
+        b.set_kernel_policy(KernelPolicy::Reference);
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut xrng = StdRng::seed_from_u64(seed ^ 0xF1E1);
+        let (rows, cols) = (a.rows(), a.cols());
+        for round in 0..3 {
+            let x = ternary_input(rows, true, &mut xrng);
+            let ya = a.matvec(&x, &mut rng_a);
+            let yb = b.matvec(&x, &mut rng_b);
+            assert_twins_match(seed, round, &ya, &yb, &a, &b, &mut rng_a, &mut rng_b);
+            // Mutate both twins identically between rounds.
+            match round {
+                0 => {
+                    let fresh: Vec<f32> = ternary_input(rows * cols, false, &mut xrng);
+                    a.reprogram(&fresh);
+                    b.reprogram(&fresh);
+                }
+                _ => {
+                    let rshift = xrng.random_range(1usize..rows.max(2));
+                    a.apply_remap(
+                        (0..rows).map(|i| (i + rshift) % rows).collect(),
+                        (0..cols).collect(),
+                    );
+                    b.apply_remap(
+                        (0..rows).map(|i| (i + rshift) % rows).collect(),
+                        (0..cols).collect(),
+                    );
+                }
+            }
+            assert_eq!(
+                a.packed_state(),
+                PackedState::Stale,
+                "seed {seed:#x} round {round}: weight mutation must invalidate the plane"
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@ use neuspin_bayes::{
 };
 use neuspin_cim::{
     fault_aware_remap, march_test, repair_columns, Arbiter, BistConfig, Crossbar, CrossbarConfig,
-    MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
+    KernelPolicy, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
 };
 use neuspin_device::stats::LogNormal;
 use neuspin_device::{AgingConfig, AgingReport};
@@ -517,15 +517,45 @@ impl HardwareModel {
     /// Routes every binary crossbar through the retained seed kernel
     /// ([`neuspin_cim::Crossbar::matvec_reference`]) — the "before"
     /// baseline of the `exp_throughput` comparison. `false` restores
-    /// the row-major kernel. Outputs are bit-identical either way.
+    /// automatic kernel selection. Outputs are bit-identical either
+    /// way. Convenience wrapper over
+    /// [`HardwareModel::set_kernel_policy`].
     pub fn use_reference_kernel(&mut self, on: bool) {
+        self.set_kernel_policy(if on {
+            KernelPolicy::Reference
+        } else {
+            KernelPolicy::Auto
+        });
+    }
+
+    /// Sets the evaluation-kernel routing policy on every binary
+    /// crossbar (see [`neuspin_cim::KernelPolicy`]). All policies are
+    /// bit-identical; `Auto` (the default) lets noiseless ternary tiles
+    /// take the packed XNOR/popcount fast path.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
         for block in &mut self.blocks {
             match block {
-                HwBlock::Conv(b) => b.xbar.set_reference_kernel(on),
-                HwBlock::Fc(b) => b.xbar.set_reference_kernel(on),
+                HwBlock::Conv(b) => b.xbar.set_kernel_policy(policy),
+                HwBlock::Fc(b) => b.xbar.set_kernel_policy(policy),
                 _ => {}
             }
         }
+    }
+
+    /// Total evaluations served by the packed XNOR/popcount kernel
+    /// across all binary crossbars (see
+    /// [`neuspin_cim::Crossbar::packed_calls`]). Worker clones do not
+    /// merge this diagnostic, so assert engagement on sequential runs.
+    pub fn packed_call_count(&self) -> u64 {
+        let mut total = 0;
+        for block in &self.blocks {
+            match block {
+                HwBlock::Conv(b) => total += b.xbar.packed_calls(),
+                HwBlock::Fc(b) => total += b.xbar.packed_calls(),
+                _ => {}
+            }
+        }
+        total
     }
 
     /// Uncertainty-gated prediction: like [`HardwareModel::predict`],

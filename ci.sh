@@ -88,4 +88,17 @@ NEUSPIN_THREADS=4 NEUSPIN_RESULTS=target/ci-results-t4 NEUSPIN_BENCH_ROOT=target
 cmp target/ci-results/exp_lifetime.json target/ci-results-t4/exp_lifetime.json
 cmp target/ci-results/BENCH_lifetime.json target/ci-results-t4/BENCH_lifetime.json
 
+# Serving campaign smoke: a real TCP front door over a three-die
+# fleet, one die aged to Abstain mid-traffic. --check gates the
+# no-drop contract (every request answered 200), failover engagement,
+# the degraded die's quiescence, and p99 latency under budget. No
+# thread-invariance cmp here: batch composition is timing-dependent by
+# design (the determinism contract is per-batch, covered by the
+# serving integration tests).
+echo "==> exp_serving smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_serving
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_serving -- --check
+
 echo "==> OK"

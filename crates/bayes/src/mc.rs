@@ -71,6 +71,34 @@ impl Predictive {
         }
     }
 
+    /// Gathers the given sample rows into a new sub-batch
+    /// [`Predictive`] (same pass count; per-sample uncertainty carried
+    /// over row by row). This is the batched-serving primitive: a
+    /// request batch answered by one die can be split — accepted rows
+    /// responded to, abstained rows re-batched onto a failover die —
+    /// without ever re-running the passes that produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> Predictive {
+        let (n, c) = (self.mean_probs.shape()[0], self.mean_probs.shape()[1]);
+        for &i in indices {
+            assert!(i < n, "sample index {i} out of range for batch of {n}");
+        }
+        let mean_probs = Tensor::from_fn(&[indices.len(), c], |flat| {
+            let (row, col) = (flat / c, flat % c);
+            self.mean_probs[indices[row] * c + col]
+        });
+        Predictive {
+            mean_probs,
+            entropy: indices.iter().map(|&i| self.entropy[i]).collect(),
+            mutual_information: indices.iter().map(|&i| self.mutual_information[i]).collect(),
+            variance: indices.iter().map(|&i| self.variance[i]).collect(),
+            passes: self.passes,
+        }
+    }
+
     /// Accuracy over the samples a gate accepted. Returns 0 when the
     /// gate accepted nothing (full abstention — no claims, no credit).
     ///
@@ -385,6 +413,42 @@ mod tests {
         // Labels: sample 0 right, sample 1 wrong (abstained), sample 2 right.
         assert_eq!(p.accuracy(&[0, 0, 0]), 2.0 / 3.0);
         assert_eq!(p.accuracy_on_accepted(&[0, 0, 0], &g), 1.0);
+    }
+
+    #[test]
+    fn select_gathers_rows_bit_for_bit() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::from_fn(&[5, 4], |i| (i as f32 * 0.37).cos());
+        let p = mc_predict(&mut m, &x, 8, &mut r);
+        let sub = p.select(&[3, 0, 3]);
+        assert_eq!(sub.mean_probs.shape(), &[3, 3]);
+        assert_eq!(sub.passes, p.passes);
+        for (out_row, &src_row) in [3usize, 0, 3].iter().enumerate() {
+            assert_eq!(sub.mean_probs.row(out_row), p.mean_probs.row(src_row));
+            assert_eq!(sub.entropy[out_row].to_bits(), p.entropy[src_row].to_bits());
+            assert_eq!(
+                sub.mutual_information[out_row].to_bits(),
+                p.mutual_information[src_row].to_bits()
+            );
+            assert_eq!(sub.variance[out_row].to_bits(), p.variance[src_row].to_bits());
+        }
+        let empty = p.select(&[]);
+        assert_eq!(empty.mean_probs.shape(), &[0, 3]);
+        assert!(empty.entropy.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_rejects_out_of_range_rows() {
+        let p = Predictive {
+            mean_probs: Tensor::from_vec(vec![0.5, 0.5], &[1, 2]),
+            entropy: vec![0.0],
+            mutual_information: vec![0.0],
+            variance: vec![0.0],
+            passes: 1,
+        };
+        let _ = p.select(&[1]);
     }
 
     #[test]

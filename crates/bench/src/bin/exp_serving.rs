@@ -1,0 +1,519 @@
+//! **Serving-under-degradation campaign**: stands up the `core::serve`
+//! HTTP front door over a three-die [`DieFleet`] and load-tests it
+//! while one die ages to the Abstain tier mid-traffic.
+//!
+//! Scenario:
+//!
+//! 1. Commission three dies (independent seeds, drift aging enabled)
+//!    and start the server: batching queue, abstention-aware routing,
+//!    per-die telemetry.
+//! 2. Phase A: four closed-loop clients stream `POST /predict`
+//!    requests at the fleet.
+//! 3. Mid-traffic, die 0 is aged (conductance drift over hundreds of
+//!    device-hours) and its abstention threshold collapses — the next
+//!    batch it serves latches [`HealthPolicy::Abstain`]. The samples of
+//!    that batch are re-served on a healthy die (per-sample failover);
+//!    every later batch routes around die 0 entirely.
+//! 4. Phase B: traffic continues; a final quiescence burst proves the
+//!    abstaining die receives nothing.
+//!
+//! Reported: sustained RPS, client-side p50/p95/p99 latency,
+//! drop/shed/failover/abstain counters, per-die health tiers and
+//! served counts, and the Prometheus exposition with the per-die
+//! health-tier gauges. `--check` re-parses the emitted JSON and gates:
+//! zero drops, failover engaged, die 0 latched + quiesced, p99 under
+//! `NEUSPIN_SERVING_P99_MS` (default 500 ms).
+//!
+//! ```sh
+//! cargo run --release -p neuspin-bench --bin exp_serving
+//! NEUSPIN_BENCH_FAST=1 cargo run --release -p neuspin-bench --bin exp_serving
+//! cargo run --release -p neuspin-bench --bin exp_serving -- --check
+//! ```
+//!
+//! Artifacts: `results/exp_serving.json`,
+//! `results/exp_serving_prometheus.txt`, and `BENCH_serving.json` at
+//! the workspace root (override with `NEUSPIN_BENCH_ROOT`).
+
+use neuspin_bayes::{build_cnn, ArchConfig, Method};
+use neuspin_bench::timing::percentile;
+use neuspin_bench::{results_dir, write_json};
+use neuspin_cim::CrossbarConfig;
+use neuspin_core::json::{self, ToJson};
+use neuspin_core::serve::client;
+use neuspin_core::{
+    serve, telemetry, DieFleet, HardwareConfig, HardwareModel, HealthConfig, HealthPolicy,
+    ServeConfig, Supervisor, SupervisorConfig,
+};
+use neuspin_device::AgingConfig;
+use neuspin_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const DIES: usize = 3;
+const CLIENTS: usize = 4;
+const MASTER_SEED: u64 = 0x5E84_0001;
+/// Device-hours of conductance drift applied to die 0 mid-traffic.
+const AGE_HOURS: f64 = 500.0;
+const DEFAULT_P99_MS: f64 = 500.0;
+
+fn fast_mode() -> bool {
+    std::env::var("NEUSPIN_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+fn p99_budget_ms() -> f64 {
+    std::env::var("NEUSPIN_SERVING_P99_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 0.0)
+        .unwrap_or(DEFAULT_P99_MS)
+}
+
+struct Params {
+    arch: ArchConfig,
+    passes: usize,
+    /// Requests per client per phase (two phases).
+    per_phase: usize,
+    /// Requests in the post-latch quiescence burst.
+    quiesce: usize,
+}
+
+fn params(fast: bool) -> Params {
+    if fast {
+        Params {
+            arch: ArchConfig {
+                c1: 2,
+                c2: 4,
+                hidden: 16,
+                classes: 4,
+                side: 8,
+                ..ArchConfig::default()
+            },
+            passes: 3,
+            per_phase: 12,
+            quiesce: 8,
+        }
+    } else {
+        Params {
+            arch: ArchConfig {
+                c1: 4,
+                c2: 8,
+                hidden: 32,
+                classes: 10,
+                side: 16,
+                ..ArchConfig::default()
+            },
+            passes: 6,
+            per_phase: 50,
+            quiesce: 20,
+        }
+    }
+}
+
+/// One commissioned die: ideal crossbar + drift aging, independent
+/// seed, abstention calibrated at high coverage (so healthy dies
+/// rarely abstain and the degradation signal stands out).
+fn die(p: &Params, seed: u64) -> Supervisor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = build_cnn(Method::SpinDrop, &p.arch, &mut rng);
+    let config = HardwareConfig {
+        crossbar: CrossbarConfig::ideal(),
+        passes: p.passes,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &p.arch, &config, &mut rng);
+    hw.enable_aging(&AgingConfig { seed: seed ^ 0xA9, drift_rate: 0.002, ..AgingConfig::default() });
+    // Generous monitor slack: synthetic load-test traffic must not trip
+    // the drift detectors on its own, so the only thing that can latch a
+    // die during the campaign is the mid-run abstention collapse.
+    let health = HealthConfig { entropy_slack: 4.0, margin_slack: 4.0, ..HealthConfig::default() };
+    let mut sup = Supervisor::new(
+        hw,
+        SupervisorConfig { seed, coverage: 0.98, health, ..SupervisorConfig::default() },
+    );
+    let side = p.arch.side;
+    let calib = Tensor::from_fn(&[32, 1, side, side], |i| ((i * 13 % 97) as f32 / 97.0) - 0.5);
+    let monitor = Tensor::from_fn(&[8, 1, side, side], |i| ((i * 7 % 89) as f32 / 89.0) - 0.5);
+    sup.commission(calib, &monitor);
+    sup
+}
+
+fn sample(len: usize, tag: usize) -> Vec<f32> {
+    (0..len).map(|i| (((i * 31 + tag * 131) % 83) as f32 / 83.0) - 0.5).collect()
+}
+
+/// One client observation.
+#[derive(Clone, Copy)]
+struct Obs {
+    status: u16,
+    die: i64,
+    abstained: bool,
+    latency_ms: f64,
+    /// 0 = phase A, 1 = phase B, 2 = quiescence burst.
+    phase: u8,
+}
+
+fn send_one(addr: std::net::SocketAddr, input: &[f32], phase: u8) -> Obs {
+    let start = Instant::now();
+    match client::predict(addr, input, Duration::from_secs(30)) {
+        Ok(resp) => {
+            let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+            let body = json::parse(&resp.text()).unwrap_or(json::Json::Null);
+            Obs {
+                status: resp.status,
+                die: body.get("die").and_then(json::Json::as_f64).map_or(-1, |d| d as i64),
+                abstained: body.get("abstained").and_then(json::Json::as_bool).unwrap_or(false),
+                latency_ms,
+                phase,
+            }
+        }
+        // Transport failure = a dropped request: the one thing the
+        // campaign exists to prove never happens.
+        Err(_) => Obs { status: 0, die: -1, abstained: false, latency_ms: -1.0, phase },
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    fast_mode: f64,
+    host_threads: f64,
+    dies: f64,
+    clients: f64,
+    total_requests: f64,
+    responses_200: f64,
+    responses_abstained: f64,
+    /// Transport failures (no HTTP response at all).
+    dropped: f64,
+    shed: f64,
+    failovers: f64,
+    sample_retries: f64,
+    unserveable: f64,
+    deadline_expired: f64,
+    duration_s: f64,
+    sustained_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    /// 1 when die 0's latched policy ended at Abstain.
+    die0_latched_abstain: f64,
+    /// Samples served by die 0 after its latch (must be 0).
+    die0_served_after_latch: f64,
+    /// Requests answered by die 0 during phase B / quiescence.
+    post_latch_die0_responses: f64,
+    /// Final latched tier per die (0–3).
+    die_tiers: Vec<f64>,
+    /// Lifetime served samples per die.
+    die_served: Vec<f64>,
+    /// 1 when the Prometheus exposition carries every per-die tier
+    /// gauge.
+    gauges_reported: f64,
+}
+
+neuspin_core::impl_to_json!(Report {
+    fast_mode,
+    host_threads,
+    dies,
+    clients,
+    total_requests,
+    responses_200,
+    responses_abstained,
+    dropped,
+    shed,
+    failovers,
+    sample_retries,
+    unserveable,
+    deadline_expired,
+    duration_s,
+    sustained_rps,
+    p50_ms,
+    p95_ms,
+    p99_ms,
+    die0_latched_abstain,
+    die0_served_after_latch,
+    post_latch_die0_responses,
+    die_tiers,
+    die_served,
+    gauges_reported,
+});
+
+fn finite_num(obj: &json::Json, key: &str) -> Result<f64, String> {
+    match obj.get(key).and_then(json::Json::as_f64) {
+        Some(v) if v.is_finite() => Ok(v),
+        Some(v) => Err(format!("key {key} is non-finite ({v})")),
+        None => Err(format!("missing numeric key {key}")),
+    }
+}
+
+fn check_results() -> ExitCode {
+    let path = results_dir().join("exp_serving.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check failed: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check failed: invalid JSON in {}: {e:?}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let get = |key: &str| finite_num(&value, key);
+    let fail = |why: String| {
+        eprintln!("check failed: {why}");
+        ExitCode::FAILURE
+    };
+
+    // 1. Zero drops: every request got a terminal 200 — nothing lost
+    //    to the degradation, nothing timed out, nothing unserveable.
+    let total = match get("total_requests") {
+        Ok(v) if v > 0.0 => v,
+        Ok(v) => return fail(format!("total_requests must be positive, got {v}")),
+        Err(e) => return fail(e),
+    };
+    for key in ["dropped", "unserveable", "deadline_expired"] {
+        match get(key) {
+            Ok(0.0) => {}
+            Ok(v) => return fail(format!("{key} must be 0, got {v}")),
+            Err(e) => return fail(e),
+        }
+    }
+    match get("responses_200") {
+        Ok(v) if v == total => {}
+        Ok(v) => return fail(format!("responses_200 = {v}, want every one of {total}")),
+        Err(e) => return fail(e),
+    }
+
+    // 2. Failover engaged: the latching batch's samples were re-served
+    //    on a healthy die (and/or whole batches were retried).
+    let failovers = get("failovers").unwrap_or(0.0);
+    let retries = get("sample_retries").unwrap_or(0.0);
+    if failovers + retries < 1.0 {
+        return fail(format!(
+            "failover never engaged (failovers {failovers}, sample_retries {retries})"
+        ));
+    }
+
+    // 3. The degraded die latched Abstain and went quiet.
+    match get("die0_latched_abstain") {
+        Ok(1.0) => {}
+        Ok(v) => return fail(format!("die 0 must latch Abstain, got flag {v}")),
+        Err(e) => return fail(e),
+    }
+    match get("die0_served_after_latch") {
+        Ok(0.0) => {}
+        Ok(v) => return fail(format!("die 0 served {v} samples after its Abstain latch")),
+        Err(e) => return fail(e),
+    }
+    match value.get("die_tiers").and_then(json::Json::as_arr) {
+        Some(tiers) if !tiers.is_empty() => {
+            let die0 = tiers[0].as_f64().unwrap_or(-1.0);
+            if die0 != f64::from(HealthPolicy::Abstain.tier_index()) {
+                return fail(format!("die_tiers[0] = {die0}, want Abstain (3)"));
+            }
+        }
+        _ => return fail("missing die_tiers array".to_string()),
+    }
+
+    // 4. Latency: p99 under budget, percentiles ordered.
+    let (p50, p95, p99) = match (get("p50_ms"), get("p95_ms"), get("p99_ms")) {
+        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(e),
+    };
+    if !(0.0 < p50 && p50 <= p95 && p95 <= p99) {
+        return fail(format!("percentiles disordered: p50 {p50}, p95 {p95}, p99 {p99}"));
+    }
+    let budget = p99_budget_ms();
+    if p99 > budget {
+        return fail(format!("p99 {p99:.1} ms over the {budget:.0} ms budget"));
+    }
+
+    // 5. Per-die health-tier gauges made it into the exposition.
+    match get("gauges_reported") {
+        Ok(1.0) => {}
+        Ok(v) => return fail(format!("per-die tier gauges missing from exposition ({v})")),
+        Err(e) => return fail(e),
+    }
+    let prom_path = results_dir().join("exp_serving_prometheus.txt");
+    if let Err(e) = std::fs::read_to_string(&prom_path) {
+        return fail(format!("cannot read {}: {e}", prom_path.display()));
+    }
+
+    println!(
+        "exp_serving.json: {total} requests, zero drops, failover engaged \
+         ({failovers} batch + {retries} sample), die 0 latched+quiet, \
+         p50/p95/p99 {p50:.1}/{p95:.1}/{p99:.1} ms (budget {budget:.0})",
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--check") {
+        return check_results();
+    }
+    let fast = fast_mode();
+    let p = params(fast);
+    let input_len = p.arch.side * p.arch.side;
+    println!("== Serving under degradation: {DIES} dies, {CLIENTS} clients ==\n");
+
+    telemetry::set_enabled(true, false);
+    telemetry::reset();
+
+    eprintln!("commissioning {DIES} dies ...");
+    let fleet =
+        DieFleet::new((0..DIES).map(|i| die(&p, MASTER_SEED + i as u64)).collect());
+    let config = ServeConfig {
+        input_shape: vec![1, p.arch.side, p.arch.side],
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 256,
+        conn_capacity: 256,
+        http_workers: CLIENTS,
+        request_timeout: Duration::from_secs(20),
+        seed: MASTER_SEED,
+        ..ServeConfig::default()
+    };
+    let mut handle = serve(fleet, config).expect("bind serving socket");
+    let addr = handle.addr();
+    println!("serving on {addr}");
+
+    // Two traffic phases around the mid-run degradation, fenced by
+    // barriers so the aging lands between them deterministically.
+    let half_done = Arc::new(Barrier::new(CLIENTS + 1));
+    let resume = Arc::new(Barrier::new(CLIENTS + 1));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let half_done = Arc::clone(&half_done);
+            let resume = Arc::clone(&resume);
+            let per_phase = p.per_phase;
+            std::thread::spawn(move || {
+                let mut obs = Vec::with_capacity(2 * per_phase);
+                for r in 0..per_phase {
+                    obs.push(send_one(addr, &sample(input_len, c * 10_000 + r), 0));
+                }
+                half_done.wait();
+                resume.wait();
+                for r in 0..per_phase {
+                    obs.push(send_one(addr, &sample(input_len, c * 10_000 + 5_000 + r), 1));
+                }
+                obs
+            })
+        })
+        .collect();
+
+    half_done.wait();
+    // Mid-traffic degradation: age die 0's conductances by AGE_HOURS of
+    // drift, and collapse its abstention threshold (standing in for
+    // entropy rising past the calibrated threshold on the aged part).
+    // The monitor only notices when traffic arrives — the next batch
+    // die 0 serves latches Abstain and fails its samples over.
+    eprintln!("aging die 0: {AGE_HOURS} h of drift + abstention-threshold collapse");
+    handle.fleet().with_die(0, |sup| {
+        sup.model_mut().advance_time(AGE_HOURS);
+        sup.monitor_mut().set_abstain_entropy(1e-6);
+    });
+    resume.wait();
+
+    let mut observations: Vec<Obs> =
+        clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+    let duration_s = started.elapsed().as_secs_f64();
+
+    // Die 0 must have latched during phase B; freeze its served count
+    // and prove the quiescence burst routes around it entirely.
+    let die0_latched = handle.fleet().tier(0) == HealthPolicy::Abstain;
+    let die0_served_at_latch = handle.fleet().served(0);
+    for r in 0..p.quiesce {
+        observations.push(send_one(addr, &sample(input_len, 90_000 + r), 2));
+    }
+    let die0_served_after = handle.fleet().served(0) - die0_served_at_latch;
+
+    let die_tiers: Vec<f64> =
+        (0..DIES).map(|d| f64::from(handle.fleet().tier(d).tier_index())).collect();
+    let die_served: Vec<f64> = (0..DIES).map(|d| handle.fleet().served(d) as f64).collect();
+    let stats = handle.stats();
+    let prometheus = telemetry::prometheus_text();
+    let gauges_reported =
+        (0..DIES).all(|d| prometheus.contains(&format!("serve_die{d}_tier")));
+    let drain = handle.shutdown(Duration::from_secs(10));
+    telemetry::set_enabled(false, false);
+    telemetry::reset();
+
+    let total = observations.len();
+    let ok = observations.iter().filter(|o| o.status == 200).count();
+    let abstained = observations.iter().filter(|o| o.status == 200 && o.abstained).count();
+    let dropped = observations.iter().filter(|o| o.status == 0).count();
+    let post_latch_die0 =
+        observations.iter().filter(|o| o.phase > 0 && o.die == 0).count();
+    let mut latencies: Vec<f64> =
+        observations.iter().filter(|o| o.latency_ms >= 0.0).map(|o| o.latency_ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+
+    println!("\n{total} requests in {duration_s:.2} s → {:.1} req/s", total as f64 / duration_s);
+    println!("  200: {ok}  (abstained flag: {abstained})   dropped: {dropped}");
+    println!(
+        "  shed: {}  failovers: {}  sample retries: {}  unserveable: {}  expired: {}",
+        stats.shed, stats.failovers, stats.sample_retries, stats.unserveable,
+        stats.deadline_expired,
+    );
+    println!("  latency p50/p95/p99: {p50:.2}/{p95:.2}/{p99:.2} ms");
+    println!(
+        "  die tiers: {die_tiers:?}  served: {die_served:?}  die0 after latch: +{die0_served_after}"
+    );
+    println!("  drain: {drain:?}");
+
+    let report = Report {
+        fast_mode: if fast { 1.0 } else { 0.0 },
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64,
+        dies: DIES as f64,
+        clients: CLIENTS as f64,
+        total_requests: total as f64,
+        responses_200: ok as f64,
+        responses_abstained: abstained as f64,
+        dropped: dropped as f64,
+        shed: stats.shed as f64,
+        failovers: stats.failovers as f64,
+        sample_retries: stats.sample_retries as f64,
+        unserveable: stats.unserveable as f64,
+        deadline_expired: stats.deadline_expired as f64,
+        duration_s,
+        sustained_rps: total as f64 / duration_s,
+        p50_ms: p50,
+        p95_ms: p95,
+        p99_ms: p99,
+        die0_latched_abstain: if die0_latched { 1.0 } else { 0.0 },
+        die0_served_after_latch: die0_served_after as f64,
+        post_latch_die0_responses: post_latch_die0 as f64,
+        die_tiers,
+        die_served,
+        gauges_reported: if gauges_reported { 1.0 } else { 0.0 },
+    };
+
+    write_json("exp_serving", &report);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("cannot create results dir");
+    let prom_path = dir.join("exp_serving_prometheus.txt");
+    std::fs::write(&prom_path, &prometheus).expect("cannot write Prometheus exposition");
+    println!("[wrote {}]", prom_path.display());
+    let root = std::env::var("NEUSPIN_BENCH_ROOT").unwrap_or_else(|_| ".".to_string());
+    std::fs::create_dir_all(&root).expect("cannot create bench root");
+    let bench_path = std::path::Path::new(&root).join("BENCH_serving.json");
+    std::fs::write(&bench_path, report.to_json().to_string_pretty())
+        .expect("cannot write BENCH_serving.json");
+    println!("[wrote {}]", bench_path.display());
+
+    if !die0_latched || dropped > 0 || !drain.drained {
+        eprintln!("serving gate FAILED (see report)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@
 //! | `exp_subset_vi` | §III-B1 memory / power ratios, NLL shift |
 //! | `exp_spinbayes` | §III-B2 instance-count study + segmentation |
 //! | `exp_device` | §II-A device characterization |
+//! | `exp_serving` | edge serving: fleet failover under mid-traffic degradation |
 
 use neuspin_bayes::{build_cnn, ArchConfig, Method};
 use neuspin_core::json::ToJson;

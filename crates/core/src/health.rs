@@ -49,6 +49,17 @@ impl HealthPolicy {
             HealthPolicy::Abstain => 3,
         }
     }
+
+    /// Inverse of [`HealthPolicy::tier_index`]; anything past the
+    /// ladder clamps to [`HealthPolicy::Abstain`] (fail safe).
+    pub fn from_tier_index(tier: u32) -> Self {
+        match tier {
+            0 => HealthPolicy::Healthy,
+            1 => HealthPolicy::Recalibrate,
+            2 => HealthPolicy::RemapTier,
+            _ => HealthPolicy::Abstain,
+        }
+    }
 }
 
 impl std::fmt::Display for HealthPolicy {

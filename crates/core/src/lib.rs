@@ -52,7 +52,10 @@ pub mod reliability;
 pub mod report;
 pub mod rng;
 pub mod runtime;
+pub mod serve;
 pub mod telemetry;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
@@ -61,7 +64,11 @@ pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFault
 pub use pool::{mc_predict_par, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
-pub use runtime::{RecoveryAction, RecoveryEvent, StepReport, Supervisor, SupervisorConfig};
+pub use runtime::{
+    RecoveryAction, RecoveryEvent, ServeReport, StepReport, Supervisor, SupervisorConfig,
+};
+pub use serve::fleet::{DieFleet, DieStatus, FleetError};
+pub use serve::{serve, DrainReport, ServeConfig, ServerHandle, StatsSnapshot};
 pub use telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, SpanGuard, TraceEvent};
 
 #[cfg(test)]

@@ -71,7 +71,11 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any worker.
+    /// A panicking job is caught at the job boundary (the worker's
+    /// remaining chunk is skipped; sibling workers run to completion),
+    /// counted on the `pool_job_panics_total` telemetry counter, and
+    /// re-raised with its *original* payload after all workers have
+    /// joined — the panic of the lowest-indexed failing job wins.
     pub fn run_chunked<S, T, FI, FJ>(&self, jobs: usize, init: FI, job: FJ) -> (Vec<T>, Vec<S>)
     where
         S: Send,
@@ -85,33 +89,88 @@ impl ThreadPool {
         let workers = self.threads.min(jobs);
         if workers == 1 {
             let mut state = init(0);
-            let results = (0..jobs).map(|t| job(&mut state, t)).collect();
+            let mut results = Vec::with_capacity(jobs);
+            for t in 0..jobs {
+                match run_job(&job, &mut state, t) {
+                    Ok(out) => results.push(out),
+                    Err(panic) => std::panic::resume_unwind(panic.payload),
+                }
+            }
             return (results, vec![state]);
         }
         let init = &init;
         let job = &job;
-        std::thread::scope(|scope| {
+        let (results, states, panic) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let lo = w * jobs / workers;
                     let hi = (w + 1) * jobs / workers;
                     scope.spawn(move || {
                         let mut state = init(w);
-                        let out: Vec<T> = (lo..hi).map(|t| job(&mut state, t)).collect();
-                        (out, state)
+                        let mut out: Vec<T> = Vec::with_capacity(hi - lo);
+                        for t in lo..hi {
+                            match run_job(job, &mut state, t) {
+                                Ok(v) => out.push(v),
+                                // Stop this chunk: the state may be
+                                // inconsistent mid-panic; siblings keep
+                                // running and the payload is re-raised
+                                // after the join.
+                                Err(panic) => return (out, state, Some(panic)),
+                            }
+                        }
+                        (out, state, None)
                     })
                 })
                 .collect();
             let mut results = Vec::with_capacity(jobs);
             let mut states = Vec::with_capacity(workers);
+            let mut first_panic: Option<JobPanic> = None;
             for handle in handles {
-                let (out, state) = handle.join().expect("pool worker panicked");
+                // Workers catch at the job boundary, so a join error can
+                // only come from `init` panicking; surface that as-is.
+                let (out, state, panic) = match handle.join() {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        first_panic.get_or_insert(JobPanic { job: usize::MAX, payload });
+                        continue;
+                    }
+                };
                 results.extend(out);
                 states.push(state);
+                if let Some(p) = panic {
+                    let lower = first_panic.as_ref().is_none_or(|f| p.job < f.job);
+                    if lower {
+                        first_panic = Some(p);
+                    }
+                }
             }
-            (results, states)
-        })
+            (results, states, first_panic)
+        });
+        if let Some(panic) = panic {
+            std::panic::resume_unwind(panic.payload);
+        }
+        (results, states)
     }
+}
+
+/// A panic caught at a job boundary, tagged with the job index so the
+/// lowest-indexed failure is the one re-raised deterministically.
+struct JobPanic {
+    job: usize,
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+/// Runs one job with the panic boundary: the payload is caught (so
+/// sibling jobs and workers are not torn down mid-flight), counted on
+/// `pool_job_panics_total`, and handed back for the post-join re-raise.
+fn run_job<S, T, FJ>(job: &FJ, state: &mut S, t: usize) -> Result<T, JobPanic>
+where
+    FJ: Fn(&mut S, usize) -> T,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(state, t))).map_err(|payload| {
+        crate::telemetry::counter("pool_job_panics_total").inc();
+        JobPanic { job: t, payload }
+    })
 }
 
 /// The deterministic parallel MC engine: fans `passes` stochastic
@@ -255,5 +314,104 @@ mod tests {
     fn mc_predict_par_rejects_zero_passes() {
         let pool = ThreadPool::new(2);
         let _ = mc_predict_par(&pool, 0, 1, |_| (), |_, _, _| Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn job_panic_is_propagated_with_its_original_payload() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_chunked(
+                    8,
+                    |w| w,
+                    |_, t| {
+                        if t == 5 {
+                            panic!("job 5 exploded");
+                        }
+                        t
+                    },
+                )
+            }));
+            let payload = result.expect_err("the job panic must propagate on join");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                msg.contains("job 5 exploded"),
+                "{threads} threads: original payload must survive, got {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_jobs_complete_when_one_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // 4 workers × 2 jobs each; job 0 panics immediately. Every job
+        // outside the failing worker's chunk (jobs 2..8) must still run
+        // — the pool no longer loses work when one thread dies.
+        let completed = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunked(
+                8,
+                |w| w,
+                |_, t| {
+                    if t == 0 {
+                        panic!("first job dies");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    t
+                },
+            )
+        }));
+        assert!(result.is_err(), "the panic must still propagate");
+        assert!(
+            completed.load(Ordering::SeqCst) >= 6,
+            "sibling chunks must run to completion: {} of 7 non-panicking jobs ran",
+            completed.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_when_several_jobs_fail() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunked(
+                8,
+                |w| w,
+                |_, t| {
+                    if t % 2 == 1 {
+                        panic!("job {t} failed");
+                    }
+                    t
+                },
+            )
+        }));
+        let payload = result.expect_err("panics must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "job 1 failed", "deterministic: lowest job index is re-raised");
+    }
+
+    #[test]
+    fn job_panics_are_counted_via_telemetry() {
+        let _guard = crate::telemetry::test_lock();
+        crate::telemetry::reset();
+        crate::telemetry::set_enabled(true, false);
+        let counter = crate::telemetry::counter("pool_job_panics_total");
+        let before = counter.get();
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunked(4, |w| w, |_, t| if t == 3 { panic!("boom") } else { t })
+        }));
+        assert!(result.is_err());
+        assert_eq!(counter.get() - before, 1, "one panicking job, one count");
+        crate::telemetry::set_enabled(false, false);
+        crate::telemetry::reset();
     }
 }

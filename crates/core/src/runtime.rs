@@ -136,6 +136,21 @@ pub struct StepReport {
     pub actions: Vec<RecoveryAction>,
 }
 
+/// Outcome of one [`Supervisor::serve_predict`] live-traffic batch.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Latched policy after observing this batch's health signals.
+    pub policy: HealthPolicy,
+    /// The prediction over the served batch.
+    pub predictive: Predictive,
+    /// Per-sample abstention decisions at the calibrated entropy
+    /// threshold (all accepted while the threshold is uncalibrated /
+    /// infinite).
+    pub gated: Gated,
+    /// Recovery actions executed in response to this batch's signals.
+    pub actions: Vec<RecoveryAction>,
+}
+
 /// The closed-loop self-healing runtime.
 ///
 /// Construct with [`Supervisor::new`] over a model that already has
@@ -262,6 +277,42 @@ impl Supervisor {
             aging,
             actions,
         }
+    }
+
+    /// Serves one live-traffic batch through the managed die, keeping
+    /// the closed loop engaged while the die is under load: predict on
+    /// the caller's seed, observe the health signals the batch
+    /// produced, execute whatever the latched policy demands (the same
+    /// recalibrate / remap / abstain ladder as [`Supervisor::step`]),
+    /// and entropy-gate every sample at the calibrated threshold.
+    ///
+    /// Unlike [`Supervisor::step`] no device time passes — serving is a
+    /// zero-`dt` step — so a fleet can interleave traffic on some dies
+    /// with aging on others. The caller owns the seed policy: a fixed
+    /// per-batch seed stream keeps served predictions bit-reproducible
+    /// for a given batch composition (the serving determinism
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor was never commissioned.
+    pub fn serve_predict(&mut self, inputs: &Tensor, seed: u64) -> ServeReport {
+        assert!(self.commissioned, "commission the Supervisor before serving");
+        self.step += 1;
+        let _span = crate::span!(
+            "serve_predict",
+            step = self.step,
+            batch = inputs.shape()[0]
+        );
+        self.model.reset_sense_margins();
+        let pred = self.model.predict_par(inputs, seed, &self.pool);
+        self.monitor
+            .observe(mean(&pred.entropy), self.model.mean_sense_margin());
+        let policy = self.monitor.policy();
+        let mut actions = Vec::new();
+        let _ = self.escalate(policy, inputs, &pred, &mut actions);
+        let gated = pred.gate(self.abstain_threshold());
+        ServeReport { policy, predictive: pred, gated, actions }
     }
 
     /// Executes whatever the latched policy demands, honouring the
@@ -431,6 +482,12 @@ impl Supervisor {
     /// Current device time in hours.
     pub fn now_hours(&self) -> f64 {
         self.now_hours
+    }
+
+    /// The currently latched health policy — the routing tier a
+    /// serving fleet keys on.
+    pub fn policy(&self) -> HealthPolicy {
+        self.monitor.policy()
     }
 
     /// The calibrated abstention-entropy threshold.
@@ -694,6 +751,51 @@ mod tests {
             sup.step(&x, 0.0);
         }));
         assert!(r.is_err(), "dt = 0 must panic");
+    }
+
+    #[test]
+    fn serve_predict_gates_observes_and_is_seed_deterministic() {
+        let hw = compiled(&ideal_config(), &drift_aging(0.0));
+        let mut sup = Supervisor::new(hw, SupervisorConfig::default());
+        let x = inputs(4);
+        sup.commission(x.clone(), &x);
+        let steps_before = sup.step;
+        let a = sup.serve_predict(&x, 0xFEED);
+        assert_eq!(a.policy, HealthPolicy::Healthy);
+        assert_eq!(a.gated.accepted.len(), 4);
+        assert!(a.actions.is_empty(), "healthy die must not trigger recovery");
+        assert_eq!(sup.step, steps_before + 1, "serving is a zero-dt step");
+        assert_eq!(sup.now_hours(), 0.0, "no device time passes while serving");
+        // Same batch + same seed ⇒ bit-identical prediction (the
+        // serving determinism contract).
+        let b = sup.serve_predict(&x, 0xFEED);
+        assert_eq!(a.predictive, b.predictive);
+        // A fresh seed draws different device noise.
+        let c = sup.serve_predict(&x, 0xFEED + 1);
+        assert_ne!(a.predictive.mean_probs, c.predictive.mean_probs);
+    }
+
+    #[test]
+    fn serve_predict_abstains_when_threshold_collapses() {
+        let hw = compiled(&ideal_config(), &drift_aging(0.0));
+        let mut sup = Supervisor::new(hw, SupervisorConfig::default());
+        let x = inputs(4);
+        sup.commission(x.clone(), &x);
+        sup.monitor_mut().set_abstain_entropy(1e-6);
+        let r = sup.serve_predict(&x, 0xFEED);
+        assert_eq!(r.policy, HealthPolicy::Abstain);
+        assert_eq!(r.gated.coverage(), 0.0, "threshold 1e-6 abstains on everything");
+        assert_eq!(r.actions, vec![RecoveryAction::Abstain]);
+        assert_eq!(sup.policy(), HealthPolicy::Abstain);
+    }
+
+    #[test]
+    #[should_panic(expected = "commission the Supervisor before serving")]
+    fn serve_predict_requires_commissioning() {
+        let hw = compiled(&ideal_config(), &drift_aging(0.0));
+        let mut sup = Supervisor::new(hw, SupervisorConfig::default());
+        let x = inputs(2);
+        let _ = sup.serve_predict(&x, 1);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Bounded blocking queues for the serving pipeline.
+//!
+//! Two policies live here, both over the same `Mutex` + `Condvar`
+//! core:
+//!
+//! * [`BatchQueue::try_push`] — *shed, don't queue*: a full queue
+//!   rejects immediately so the caller can answer `429` while the
+//!   system is still healthy enough to say so.
+//! * [`BatchQueue::pop_batch`] — *coalesce under a max-batch /
+//!   max-wait policy*: the consumer takes everything available up to
+//!   `max_batch`, waiting at most `max_wait` for the first item and a
+//!   short linger after it so singles coalesce into real batches.
+//!
+//! Closing the queue wakes all waiters; producers see `Closed`,
+//! consumers drain what remains and then observe emptiness. No
+//! spin-waiting, no unbounded growth, no external crates.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue is at capacity: shed the request instead of queueing.
+    Full,
+    /// Queue is closed: the server is draining or down.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with batch-coalescing pops.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BatchQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, or refuses without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max_batch` items.
+    ///
+    /// Blocks up to `max_wait` for the first item; once one arrives,
+    /// lingers up to `linger` more for stragglers so that singles
+    /// coalesce (the max-batch / max-wait policy: a batch departs when
+    /// it is full or when its oldest member has waited `linger`).
+    /// Returns an empty vec on timeout; returns whatever is left
+    /// (possibly empty) once the queue is closed and drained.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration, linger: Duration) -> Vec<T> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let deadline = Instant::now() + max_wait;
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        // Phase 1: wait for the first item (or close, or timeout).
+        while inner.items.is_empty() && !inner.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("batch queue poisoned");
+            inner = guard;
+        }
+        // Phase 2: linger briefly to let stragglers coalesce.
+        let linger_deadline = Instant::now() + linger;
+        while inner.items.len() < max_batch && !inner.closed {
+            let now = Instant::now();
+            if now >= linger_deadline || inner.items.is_empty() {
+                break;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(inner, linger_deadline - now)
+                .expect("batch queue poisoned");
+            inner = guard;
+        }
+        let take = inner.items.len().min(max_batch);
+        inner.items.drain(..take).collect()
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("batch queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("batch queue poisoned").closed
+    }
+
+    /// Closes the queue: producers are refused, waiting consumers wake.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SHORT: Duration = Duration::from_millis(20);
+    const TINY: Duration = Duration::from_millis(2);
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = BatchQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, err) = q.try_push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max_batch() {
+        let q = BatchQueue::new(16);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(3, SHORT, TINY);
+        assert_eq!(batch, vec![0, 1, 2]);
+        let rest = q.pop_batch(8, SHORT, TINY);
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn linger_coalesces_a_straggler_into_the_batch() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            q2.try_push(1).unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+            q2.try_push(2).unwrap();
+        });
+        let batch = q.pop_batch(4, Duration::from_millis(200), Duration::from_millis(100));
+        producer.join().unwrap();
+        assert_eq!(batch, vec![1, 2], "straggler must coalesce within the linger window");
+    }
+
+    #[test]
+    fn pop_batch_times_out_empty() {
+        let q: BatchQueue<u32> = BatchQueue::new(4);
+        let start = Instant::now();
+        assert!(q.pop_batch(4, Duration::from_millis(10), TINY).is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer_and_refuses_producers() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(5), TINY));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+        let (_, err) = q.try_push(9).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+    }
+
+    #[test]
+    fn close_still_drains_queued_items() {
+        let q = BatchQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4, SHORT, TINY), vec![7]);
+        assert!(q.pop_batch(4, TINY, TINY).is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_never_exceed_capacity() {
+        let q: Arc<BatchQueue<usize>> = Arc::new(BatchQueue::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut accepted = 0usize;
+                for i in 0..64 {
+                    if q.try_push(t * 1000 + i).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            }));
+        }
+        let accepted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(q.len() <= 8, "queue overflowed its bound: {}", q.len());
+        assert_eq!(q.len(), accepted, "accepted items must all be queued");
+    }
+}

@@ -1,0 +1,102 @@
+//! A minimal blocking HTTP/1.1 client for exercising the server from
+//! tests and the `exp_serving` load campaign — same zero-dependency
+//! discipline as the server: raw [`TcpStream`], one request per
+//! connection, `Connection: close` framing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues one request and reads the full response.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed response
+/// framing as [`std::io::Error`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    let body_bytes = body.unwrap_or("").as_bytes();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body_bytes.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body_bytes)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Convenience: `POST /predict` with a single flattened sample.
+pub fn predict(
+    addr: SocketAddr,
+    input: &[f32],
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let elems: Vec<String> = input.iter().map(|x| format!("{x}")).collect();
+    let body = format!("{{\"input\": [{}]}}", elems.join(", "));
+    request(addr, "POST", "/predict", Some(&body), timeout)
+}
+
+/// Splits a raw HTTP/1.1 response into status + body.
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let bad = |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok(Response { status, body: raw[head_end + 4..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\nhi";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.text(), "hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! A fleet of simulated dies behind one serving front door.
+//!
+//! Each [`Die`] wraps its own [`Supervisor`] — private aging clock,
+//! health monitor, recovery ladder, telemetry — behind a mutex, plus
+//! two lock-free caches the router reads on the hot path: the latched
+//! health tier and a served-samples counter. Routing is
+//! abstention-aware: [`DieFleet::pick`] returns the healthiest
+//! least-loaded eligible die (ties broken by id, so placement is
+//! deterministic for a given history), and [`DieFleet::predict_on`]
+//! refuses to serve through a die whose latched policy is
+//! [`HealthPolicy::Abstain`] — the caller fails over rather than
+//! shipping answers the die itself has disavowed.
+//!
+//! Per-die telemetry: gauge `serve_die{N}_tier` tracks each die's
+//! latched tier (same 0–3 encoding as the global `health_tier` gauge),
+//! counter `serve_die{N}_samples_total` its lifetime served samples.
+
+use crate::health::HealthPolicy;
+use crate::runtime::{ServeReport, Supervisor};
+use neuspin_nn::Tensor;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Why the fleet could not serve a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The targeted die's latched policy is Abstain: it refuses
+    /// traffic until recovery releases the latch.
+    DieAbstaining {
+        /// Which die refused.
+        die: usize,
+    },
+    /// Every die in the fleet is at the Abstain tier (or excluded).
+    NoEligibleDie,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::DieAbstaining { die } => write!(f, "die {die} is abstaining"),
+            FleetError::NoEligibleDie => f.write_str("no eligible die in the fleet"),
+        }
+    }
+}
+
+/// One simulated die: a supervised model plus routing caches.
+struct Die {
+    supervisor: Mutex<Supervisor>,
+    /// Latched tier, mirrored out of the supervisor after every
+    /// interaction so the router never takes the lock just to route.
+    tier: AtomicU32,
+    /// Lifetime served samples — the load-balance key.
+    served: AtomicU64,
+}
+
+/// A point-in-time view of one die, for health endpoints and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DieStatus {
+    /// Die index within the fleet.
+    pub id: usize,
+    /// Latched health tier.
+    pub policy: HealthPolicy,
+    /// Lifetime served samples.
+    pub served: u64,
+}
+
+/// N independent dies with abstention-aware routing.
+pub struct DieFleet {
+    dies: Vec<Die>,
+}
+
+impl DieFleet {
+    /// Assembles a fleet from commissioned supervisors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supervisors` is empty.
+    pub fn new(supervisors: Vec<Supervisor>) -> Self {
+        assert!(!supervisors.is_empty(), "a fleet needs at least one die");
+        let dies: Vec<Die> = supervisors
+            .into_iter()
+            .map(|s| Die {
+                tier: AtomicU32::new(s.policy().tier_index()),
+                supervisor: Mutex::new(s),
+                served: AtomicU64::new(0),
+            })
+            .collect();
+        let fleet = DieFleet { dies };
+        for id in 0..fleet.dies.len() {
+            fleet.publish_tier(id);
+        }
+        fleet
+    }
+
+    /// Number of dies.
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// True for an empty fleet (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// The cached latched tier of `die`.
+    pub fn tier(&self, die: usize) -> HealthPolicy {
+        HealthPolicy::from_tier_index(self.dies[die].tier.load(Ordering::Acquire))
+    }
+
+    /// Lifetime served samples of `die`.
+    pub fn served(&self, die: usize) -> u64 {
+        self.dies[die].served.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time status of every die.
+    pub fn snapshot(&self) -> Vec<DieStatus> {
+        (0..self.dies.len())
+            .map(|id| DieStatus { id, policy: self.tier(id), served: self.served(id) })
+            .collect()
+    }
+
+    /// Dies currently below the Abstain tier.
+    pub fn eligible_count(&self) -> usize {
+        (0..self.dies.len())
+            .filter(|&id| self.tier(id) != HealthPolicy::Abstain)
+            .count()
+    }
+
+    /// Routes a request: the eligible die (not excluded, not
+    /// abstaining) with the lowest `(tier, served, id)` key — healthiest
+    /// first, then least loaded, then deterministic by id.
+    pub fn pick(&self, exclude: &[usize]) -> Option<usize> {
+        (0..self.dies.len())
+            .filter(|id| !exclude.contains(id))
+            .filter(|&id| self.tier(id) != HealthPolicy::Abstain)
+            .min_by_key(|&id| (self.tier(id).tier_index(), self.served(id), id))
+    }
+
+    /// Serves one batch on `die`, refusing if its latched policy is
+    /// Abstain (checked again under the lock — the cache may be stale).
+    ///
+    /// On success the die's served counter, tier cache, and telemetry
+    /// are refreshed from the post-batch supervisor state.
+    pub fn predict_on(
+        &self,
+        die: usize,
+        inputs: &Tensor,
+        seed: u64,
+    ) -> Result<ServeReport, FleetError> {
+        let report = {
+            let mut sup = self.dies[die].supervisor.lock().expect("die supervisor poisoned");
+            if sup.policy() == HealthPolicy::Abstain {
+                self.dies[die]
+                    .tier
+                    .store(HealthPolicy::Abstain.tier_index(), Ordering::Release);
+                self.publish_tier(die);
+                return Err(FleetError::DieAbstaining { die });
+            }
+            sup.serve_predict(inputs, seed)
+        };
+        let rows = inputs.shape()[0] as u64;
+        self.dies[die].served.fetch_add(rows, Ordering::Relaxed);
+        self.dies[die]
+            .tier
+            .store(report.policy.tier_index(), Ordering::Release);
+        self.publish_tier(die);
+        if crate::telemetry::metrics_enabled() {
+            crate::telemetry::counter(&format!("serve_die{die}_samples_total")).add(rows);
+        }
+        Ok(report)
+    }
+
+    /// Runs `f` against one die's supervisor (ageing it, tweaking its
+    /// monitor, forcing degradation in a scenario), then refreshes the
+    /// routing caches from the resulting state.
+    pub fn with_die<R>(&self, die: usize, f: impl FnOnce(&mut Supervisor) -> R) -> R {
+        let out = {
+            let mut sup = self.dies[die].supervisor.lock().expect("die supervisor poisoned");
+            let out = f(&mut sup);
+            self.dies[die]
+                .tier
+                .store(sup.policy().tier_index(), Ordering::Release);
+            out
+        };
+        self.publish_tier(die);
+        out
+    }
+
+    /// Mirrors one die's cached tier into its telemetry gauge.
+    fn publish_tier(&self, die: usize) {
+        if crate::telemetry::metrics_enabled() {
+            crate::telemetry::gauge(&format!("serve_die{die}_tier"))
+                .set(self.dies[die].tier.load(Ordering::Acquire) as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{small_commissioned_supervisor, small_inputs};
+
+    fn fleet_of(n: usize) -> DieFleet {
+        DieFleet::new((0..n).map(|i| small_commissioned_supervisor(40 + i as u64)).collect())
+    }
+
+    fn eval_batch() -> Tensor {
+        small_inputs(4, 0xD1E5)
+    }
+
+    #[test]
+    fn pick_prefers_healthiest_then_least_loaded_then_lowest_id() {
+        let fleet = fleet_of(3);
+        // All healthy and unloaded: id breaks the tie.
+        assert_eq!(fleet.pick(&[]), Some(0));
+        assert_eq!(fleet.pick(&[0]), Some(1));
+        // Load die 0 and 1: least-loaded wins.
+        let batch = eval_batch();
+        fleet.predict_on(0, &batch, 11).unwrap();
+        fleet.predict_on(1, &batch, 12).unwrap();
+        fleet.predict_on(0, &batch, 13).unwrap();
+        assert_eq!(fleet.pick(&[]), Some(2));
+        assert_eq!(fleet.pick(&[2]), Some(1), "die 1 served less than die 0");
+    }
+
+    #[test]
+    fn abstaining_die_is_skipped_and_refuses_traffic() {
+        let fleet = fleet_of(2);
+        let batch = eval_batch();
+        // Collapse die 0's abstention threshold: its next observation
+        // latches Abstain (safety tier bypasses the dwell).
+        fleet.with_die(0, |sup| {
+            sup.monitor_mut().set_abstain_entropy(1e-9);
+            sup.serve_predict(&batch, 21);
+        });
+        assert_eq!(fleet.tier(0), HealthPolicy::Abstain);
+        assert_eq!(fleet.pick(&[]), Some(1), "router must skip the abstaining die");
+        assert_eq!(
+            fleet.predict_on(0, &batch, 22).map(|_| ()).unwrap_err(),
+            FleetError::DieAbstaining { die: 0 }
+        );
+        assert_eq!(fleet.pick(&[1]), None, "no eligible die once 1 is excluded");
+    }
+
+    #[test]
+    fn predict_on_counts_samples_and_snapshot_reflects_state() {
+        let fleet = fleet_of(2);
+        let batch = eval_batch();
+        fleet.predict_on(1, &batch, 31).unwrap();
+        assert_eq!(fleet.served(1), batch.shape()[0] as u64);
+        assert_eq!(fleet.served(0), 0);
+        let snap = fleet.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].served, 4);
+        assert_eq!(snap[0].policy, HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn per_die_telemetry_gauges_are_published() {
+        let _guard = crate::telemetry::test_lock();
+        crate::telemetry::set_enabled(true, false);
+        crate::telemetry::reset();
+        let fleet = fleet_of(2);
+        let batch = eval_batch();
+        fleet.predict_on(0, &batch, 41).unwrap();
+        let text = crate::telemetry::prometheus_text();
+        assert!(text.contains("serve_die0_tier"), "missing die-0 tier gauge:\n{text}");
+        assert!(text.contains("serve_die1_tier"), "missing die-1 tier gauge:\n{text}");
+        assert!(
+            text.contains("serve_die0_samples_total"),
+            "missing die-0 sample counter:\n{text}"
+        );
+        crate::telemetry::set_enabled(false, false);
+        crate::telemetry::reset();
+    }
+}

@@ -1,0 +1,464 @@
+//! Minimal, hardened HTTP/1.1 framing over blocking byte streams.
+//!
+//! The serving front door cannot assume well-formed peers: a public
+//! listener sees truncated requests, hostile header blocks, and bodies
+//! that lie about their own length. [`read_request`] therefore parses
+//! defensively — every malformed input maps to a typed [`HttpError`]
+//! (never a panic), head and body sizes are hard-capped, and the
+//! `Content-Length` contract is enforced byte-for-byte. Anything this
+//! module cannot frame cleanly is answered with the 4xx the error maps
+//! to (or the connection is simply closed when the peer vanished
+//! mid-request).
+//!
+//! Scope is deliberately small: one request per connection
+//! (`Connection: close` semantics), no chunked transfer encoding, no
+//! continuation lines — the subset the serving layer needs, hardened,
+//! rather than a general client surface.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + header block).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be framed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before a full request arrived.
+    Truncated,
+    /// Syntactically malformed request line or header block (includes
+    /// non-UTF8 bytes in the head — header values are text here).
+    BadRequest(&'static str),
+    /// The head grew past [`MAX_HEAD_BYTES`] (or [`MAX_HEADERS`]).
+    HeadTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// Missing or unparseable `Content-Length` on a method that
+    /// requires one.
+    BadContentLength,
+    /// Transport error (timeouts surface as `WouldBlock`/`TimedOut`).
+    Io(std::io::ErrorKind),
+}
+
+impl HttpError {
+    /// The response this error maps to, or `None` when the peer is
+    /// already gone and there is nobody left to answer.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Truncated | HttpError::Io(_) => None,
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::BadContentLength => Some((411, "Length Required")),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Truncated => f.write_str("connection closed mid-request"),
+            HttpError::BadRequest(why) => write!(f, "malformed request: {why}"),
+            HttpError::HeadTooLarge => f.write_str("request head too large"),
+            HttpError::BodyTooLarge => f.write_str("request body too large"),
+            HttpError::BadContentLength => f.write_str("missing or invalid content-length"),
+            HttpError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+/// A framed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == needle)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Locates `needle` in `haystack`, scanning from `from`.
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    (from.min(haystack.len())..=haystack.len() - needle.len())
+        .find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+/// Reads and frames one request off `stream`.
+///
+/// Never panics on malformed input: every failure mode is a typed
+/// [`HttpError`]. Reads past the head that belong to the body are kept
+/// (no bytes are lost to buffering).
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    // Accumulate the head until the blank line, with a hard size cap.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let mut scanned = 0usize;
+    let head_end = loop {
+        if let Some(pos) = find_from(&buf, b"\r\n\r\n", scanned.saturating_sub(3)) {
+            break pos;
+        }
+        scanned = buf.len();
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return if buf.is_empty() {
+                // A connection opened and closed without a byte: not an
+                // attack, just a probe — still a truncated request.
+                Err(HttpError::Truncated)
+            } else {
+                Err(HttpError::Truncated)
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+
+    let body_prefix = buf.split_off(head_end + 4);
+    buf.truncate(head_end);
+    let head = std::str::from_utf8(&buf)
+        .map_err(|_| HttpError::BadRequest("non-UTF8 bytes in request head"))?;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("bad method token"));
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(HttpError::BadRequest("bad request target"));
+    }
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(HttpError::BadRequest("bad HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header line without a colon"))?;
+        let name = name.trim();
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(HttpError::BadRequest("bad header name"));
+        }
+        let value = value.trim();
+        if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+            return Err(HttpError::BadRequest("control bytes in header value"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    let request = Request { method, path, headers, body: Vec::new() };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest("transfer-encoding not supported"));
+    }
+
+    // Body framing: `Content-Length` is authoritative. Methods that
+    // carry a body must declare it; a declared length is read exactly.
+    let content_length = match request.header("content-length") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Err(HttpError::BadContentLength),
+        },
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::BadContentLength);
+        }
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let mut body = body_prefix;
+    if body.len() > content_length {
+        // Pipelined extra bytes: out of contract for one-request
+        // connections; drop them rather than mis-frame.
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(HttpError::Truncated);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Writes a complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Convenience: a JSON response body.
+pub fn write_json_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, reason, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    fn valid_post(body: &str) -> Vec<u8> {
+        format!(
+            "POST /predict HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn parses_a_well_formed_post() {
+        let req = parse(&valid_post("{\"input\": [1, 2]}")).expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("CONTENT-TYPE"), Some("application/json"));
+        assert_eq!(req.body, b"{\"input\": [1, 2]}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("valid GET");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // Cursor delivers everything at once; a tiny chunked reader
+        // proves re-reads are handled.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let req = read_request(&mut OneByte(valid_post("{\"k\": 7}"), 0)).expect("valid");
+        assert_eq!(req.body, b"{\"k\": 7}");
+    }
+
+    #[test]
+    fn post_without_content_length_is_rejected() {
+        let err = parse(b"POST /predict HTTP/1.1\r\nHost: x\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadContentLength);
+        assert_eq!(err.status(), Some((411, "Length Required")));
+    }
+
+    #[test]
+    fn declared_body_longer_than_stream_is_truncated() {
+        let err =
+            parse(b"POST /p HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(err, HttpError::Truncated);
+        assert_eq!(err.status(), None, "peer is gone; nothing to answer");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_refused_before_reading_it() {
+        let head = format!(
+            "POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(head.as_bytes()).unwrap_err(), HttpError::BodyTooLarge);
+    }
+
+    #[test]
+    fn pipelined_extra_bytes_are_dropped_not_misframed() {
+        let req =
+            parse(b"POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nokEXTRA").expect("valid");
+        assert_eq!(req.body, b"ok");
+    }
+
+    /// The house 96-case seeded battery: structured corruptions of a
+    /// valid request. Every case must return a clean `Err` — never
+    /// panic, never mis-frame a request out of garbage.
+    #[test]
+    fn malformed_input_battery_errors_cleanly() {
+        const CASES: usize = 96;
+        let base_seed = 0x5E47_E001u64;
+        for case in 0..CASES {
+            let seed = base_seed + case as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let body = "{\"input\": [0.5, -0.5, 0.25]}";
+            let mut bytes = valid_post(body);
+            let kind = case % 8;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match kind {
+                    0 => {
+                        // Truncated head: cut inside the header block.
+                        let head_len = bytes.len() - body.len() - 4;
+                        let cut = 1 + rng.random_range(0..head_len.max(2) - 1);
+                        bytes.truncate(cut);
+                    }
+                    1 => {
+                        // Truncated body: promise more than is sent.
+                        let cut = bytes.len() - 1 - rng.random_range(0..body.len());
+                        bytes.truncate(cut);
+                    }
+                    2 => {
+                        // Bad content-length token.
+                        let garbage: &[&str] = &[
+                            "banana",
+                            "-1",
+                            "0x10",
+                            "18446744073709551617",
+                            "12 13",
+                            "∞",
+                        ];
+                        let text = String::from_utf8(bytes.clone()).unwrap();
+                        bytes = text
+                            .replace(
+                                &format!("Content-Length: {}", body.len()),
+                                &format!(
+                                    "Content-Length: {}",
+                                    garbage[rng.random_range(0..garbage.len())]
+                                ),
+                            )
+                            .into_bytes();
+                    }
+                    3 => {
+                        // Non-UTF8 bytes splattered into the head.
+                        let head_len = bytes.len() - body.len() - 4;
+                        for _ in 0..3 {
+                            let at = rng.random_range(0..head_len);
+                            bytes[at] = 0x80 + (rng.random_range(0..0x7Fu32) as u8 & 0x7F);
+                        }
+                    }
+                    4 => {
+                        // Oversized header block (single giant header).
+                        let filler = "X".repeat(MAX_HEAD_BYTES + 256);
+                        bytes = format!(
+                            "POST /p HTTP/1.1\r\nBig: {filler}\r\nContent-Length: 1\r\n\r\nz"
+                        )
+                        .into_bytes();
+                    }
+                    5 => {
+                        // Random binary garbage, no HTTP structure at all.
+                        let n = 1 + rng.random_range(0..512usize);
+                        bytes = (0..n).map(|_| rng.random_range(0..256u32) as u8).collect();
+                        // Guarantee it is not accidentally a valid head.
+                        bytes.insert(0, 0x00);
+                    }
+                    6 => {
+                        // Control bytes inside a header value.
+                        let text = String::from_utf8(bytes.clone()).unwrap();
+                        bytes = text
+                            .replace("Host: localhost", "Host: local\x01host")
+                            .into_bytes();
+                    }
+                    _ => {
+                        // Broken request line: drop the method or the
+                        // version, or glue the line together.
+                        let lines: &[&str] = &[
+                            "/predict HTTP/1.1",
+                            "POST /predict",
+                            "POST/predictHTTP/1.1",
+                            "post /predict HTTP/1.1",
+                            "POST predict HTTP/1.1",
+                            "POST /predict SMTP/1.0",
+                        ];
+                        let line = lines[rng.random_range(0..lines.len())];
+                        bytes = format!("{line}\r\nContent-Length: 1\r\n\r\nz").into_bytes();
+                    }
+                }
+                parse(&bytes)
+            }));
+            let outcome = result.unwrap_or_else(|_| {
+                panic!("case {case} (kind {kind}, seed {seed:#x}) panicked in the parser")
+            });
+            assert!(
+                outcome.is_err(),
+                "case {case} (kind {kind}, seed {seed:#x}) must error, got {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_statuses_map_sanely() {
+        assert_eq!(HttpError::BadRequest("x").status().unwrap().0, 400);
+        assert_eq!(HttpError::HeadTooLarge.status().unwrap().0, 431);
+        assert_eq!(HttpError::BodyTooLarge.status().unwrap().0, 413);
+        assert_eq!(HttpError::BadContentLength.status().unwrap().0, 411);
+        assert!(HttpError::Io(std::io::ErrorKind::TimedOut).status().is_none());
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "OK", "{\"a\": 1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 8\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"a\": 1}"), "{text}");
+    }
+}

@@ -1,0 +1,758 @@
+//! `neuspin-serve`: the fault-tolerant batched inference front door.
+//!
+//! A zero-dependency HTTP/1.1 server over [`std::net::TcpListener`]
+//! and the existing [`ThreadPool`], serving a [`DieFleet`] of
+//! independently-aging simulated dies:
+//!
+//! * `POST /predict` — one sample in (`{"input": [f32; D]}`), one
+//!   uncertainty-annotated answer out. Requests coalesce in a bounded
+//!   [`BatchQueue`] under a max-batch / max-wait policy before hitting
+//!   the batched Monte-Carlo predict path.
+//! * `GET /healthz` — fleet status: per-die latched health tier and
+//!   served-sample counts.
+//! * `GET /metrics` — the existing Prometheus text exposition
+//!   ([`crate::telemetry::prometheus_text`]).
+//!
+//! **Routing.** Every batch goes to the healthiest least-loaded die
+//! ([`DieFleet::pick`]). A die whose latched policy is Abstain refuses
+//! the batch and the batcher fails over — bounded retries, jittered
+//! exponential backoff — to the next-healthiest die. Samples the
+//! serving die *individually* abstained on (entropy over the
+//! calibrated threshold) get one re-try round on a different die
+//! before the abstention is surfaced to the client. When every die
+//! abstains the request is answered `503`, and when queues are full
+//! the server sheds load with `429` instead of queueing unboundedly.
+//!
+//! **Shutdown.** [`ServerHandle::shutdown`] drains: the acceptor stops,
+//! queued connections are served, queued predictions are answered, and
+//! only then do the workers exit — bounded by a deadline after which
+//! remaining work is abandoned (reported in the [`DrainReport`]).
+//!
+//! **Determinism.** Per-batch prediction seeds derive from the
+//! configured master seed and a batch counter via SplitMix64. Batch
+//! *composition* depends on arrival timing, but a given `(die state,
+//! batch composition, batch index)` always produces bit-identical
+//! predictions — see DESIGN.md, "Serving and failover".
+
+pub mod batch;
+pub mod client;
+pub mod fleet;
+pub mod http;
+
+use crate::health::HealthPolicy;
+use crate::json::Json;
+use crate::pool::ThreadPool;
+use crate::rng::{RngExt, SeedableRng, SplitMix64, StdRng};
+use batch::{BatchQueue, PushError};
+use fleet::{DieFleet, FleetError};
+use http::Request;
+use neuspin_nn::Tensor;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Per-sample input shape (without the batch axis).
+    pub input_shape: Vec<usize>,
+    /// Most samples coalesced into one predict batch.
+    pub max_batch: usize,
+    /// How long a batch lingers for stragglers once it has its first
+    /// sample.
+    pub max_wait: Duration,
+    /// Bound on queued predict samples (beyond: shed with 429).
+    pub queue_capacity: usize,
+    /// Bound on accepted-but-unserviced connections (beyond: 429).
+    pub conn_capacity: usize,
+    /// Connection-handling workers.
+    pub http_workers: usize,
+    /// Batch-assembly/dispatch workers (keep at 1 for a deterministic
+    /// batch-index → seed mapping).
+    pub batchers: usize,
+    /// Bound on whole-batch failover attempts (distinct dies tried).
+    pub max_retries: usize,
+    /// Base delay of the jittered exponential failover backoff.
+    pub backoff_base: Duration,
+    /// Per-request deadline: how long a connection waits for its
+    /// prediction before answering 504.
+    pub request_timeout: Duration,
+    /// Socket read timeout while parsing a request.
+    pub read_timeout: Duration,
+    /// Master seed for the per-batch prediction-seed stream.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            input_shape: vec![1, 8, 8],
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            conn_capacity: 64,
+            http_workers: 4,
+            batchers: 1,
+            max_retries: 3,
+            backoff_base: Duration::from_micros(200),
+            request_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(2),
+            seed: 0x5E4E,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+}
+
+/// Monotonic serving counters (atomics; read with [`ServeStats::snapshot`]).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Predict requests answered 200 with an accepted prediction.
+    pub answered: AtomicU64,
+    /// Predict requests answered 200 but flagged abstained.
+    pub abstained: AtomicU64,
+    /// Requests shed with 429 (either queue full).
+    pub shed: AtomicU64,
+    /// Whole-batch failovers (a die refused; batch retried elsewhere).
+    pub failovers: AtomicU64,
+    /// Samples retried on a second die after per-sample abstention.
+    pub sample_retries: AtomicU64,
+    /// Requests answered 503 because every die was abstaining.
+    pub unserveable: AtomicU64,
+    /// Requests answered 504 (deadline passed before a prediction).
+    pub deadline_expired: AtomicU64,
+    /// Malformed/unroutable requests answered 4xx.
+    pub bad_requests: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// 200s with an accepted prediction.
+    pub answered: u64,
+    /// 200s flagged abstained.
+    pub abstained: u64,
+    /// 429s.
+    pub shed: u64,
+    /// Whole-batch failovers.
+    pub failovers: u64,
+    /// Per-sample failover retries.
+    pub sample_retries: u64,
+    /// 503s (fleet-wide abstention).
+    pub unserveable: u64,
+    /// 504s.
+    pub deadline_expired: u64,
+    /// 4xxs.
+    pub bad_requests: u64,
+}
+
+impl ServeStats {
+    /// Reads every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            abstained: self.abstained.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            sample_retries: self.sample_retries.load(Ordering::Relaxed),
+            unserveable: self.unserveable.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Requests that got *some* terminal answer.
+    pub fn responded(&self) -> u64 {
+        self.answered
+            + self.abstained
+            + self.shed
+            + self.unserveable
+            + self.deadline_expired
+            + self.bad_requests
+    }
+}
+
+/// How one predict request was resolved (sent from batcher to the
+/// waiting connection worker).
+#[derive(Debug, Clone)]
+enum Outcome {
+    Answered {
+        class: usize,
+        probs: Vec<f32>,
+        entropy: f64,
+        abstained: bool,
+        die: usize,
+        failovers: u64,
+    },
+    /// Every die in the fleet is at the Abstain tier.
+    Unserveable,
+    /// The request's deadline passed while it was still queued.
+    Expired,
+}
+
+/// One queued predict sample.
+struct PredictJob {
+    input: Vec<f32>,
+    deadline: Instant,
+    resp: mpsc::Sender<Outcome>,
+}
+
+/// Shared server state (one `Arc` across acceptor/batchers/workers).
+struct ServeState {
+    config: ServeConfig,
+    fleet: DieFleet,
+    listener: Mutex<Option<TcpListener>>,
+    conns: BatchQueue<TcpStream>,
+    predicts: BatchQueue<PredictJob>,
+    shutdown: AtomicBool,
+    force_stop: AtomicBool,
+    done: AtomicBool,
+    live_conn_workers: AtomicUsize,
+    batch_counter: AtomicU64,
+    stats: ServeStats,
+}
+
+/// What the drain achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// True when every worker exited before the deadline.
+    pub drained: bool,
+    /// True when the deadline forced abandonment of remaining work.
+    pub forced: bool,
+    /// Requests still queued (either queue) when force-stop fired.
+    pub abandoned: usize,
+}
+
+/// A running server: address, stats, fleet access, and shutdown.
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.state.stats.snapshot()
+    }
+
+    /// The fleet behind the server (for scenario drivers: aging a die
+    /// mid-traffic, inspecting tiers).
+    pub fn fleet(&self) -> &DieFleet {
+        &self.state.fleet
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections and
+    /// predictions, bounded by `deadline`. Idempotent.
+    pub fn shutdown(&mut self, deadline: Duration) -> DrainReport {
+        let state = &self.state;
+        state.shutdown.store(true, Ordering::SeqCst);
+        let start = Instant::now();
+        while !state.done.load(Ordering::SeqCst) && start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = state.done.load(Ordering::SeqCst);
+        let mut abandoned = 0;
+        if !drained {
+            abandoned = state.conns.len() + state.predicts.len();
+            state.force_stop.store(true, Ordering::SeqCst);
+            state.conns.close();
+            state.predicts.close();
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        DrainReport { drained, forced: !drained, abandoned }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown(Duration::from_secs(5));
+        }
+    }
+}
+
+/// Starts the server over `fleet` and returns once the listener is
+/// bound. The serving loop (acceptor + batchers + connection workers,
+/// multiplexed over one [`ThreadPool::run_chunked`] call) runs on a
+/// background thread until [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// Returns the bind error if the address cannot be bound.
+pub fn serve(fleet: DieFleet, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    assert!(config.max_batch > 0, "max_batch must be positive");
+    assert!(config.http_workers > 0, "need at least one connection worker");
+    assert!(config.batchers > 0, "need at least one batcher");
+    assert!(config.input_len() > 0, "input_shape must be non-empty");
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServeState {
+        conns: BatchQueue::new(config.conn_capacity),
+        predicts: BatchQueue::new(config.queue_capacity),
+        listener: Mutex::new(Some(listener)),
+        shutdown: AtomicBool::new(false),
+        force_stop: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        live_conn_workers: AtomicUsize::new(config.http_workers),
+        batch_counter: AtomicU64::new(0),
+        stats: ServeStats::default(),
+        fleet,
+        config,
+    });
+    let loop_state = Arc::clone(&state);
+    let join = std::thread::Builder::new()
+        .name("neuspin-serve".to_string())
+        .spawn(move || {
+            let jobs = 1 + loop_state.config.batchers + loop_state.config.http_workers;
+            // One pool thread per role: every job is a long-running
+            // loop, so the pool must not multiplex them.
+            let pool = ThreadPool::new(jobs);
+            let state = &loop_state;
+            let seed = state.config.seed;
+            pool.run_chunked(
+                jobs,
+                |w| StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xA5A5_5A5A)),
+                |rng, t| {
+                    if t == 0 {
+                        run_acceptor(state);
+                    } else if t <= state.config.batchers {
+                        run_batcher(state, rng);
+                    } else {
+                        run_conn_worker(state);
+                    }
+                },
+            );
+            loop_state.done.store(true, Ordering::SeqCst);
+        })?;
+    Ok(ServerHandle { state, addr, join: Some(join) })
+}
+
+/// Job 0: accept connections, shed when the connection queue is full.
+fn run_acceptor(state: &ServeState) {
+    let listener = state
+        .listener
+        .lock()
+        .expect("listener mutex poisoned")
+        .take()
+        .expect("acceptor started twice");
+    listener.set_nonblocking(true).expect("set_nonblocking failed");
+    while !state.shutdown.load(Ordering::SeqCst) && !state.force_stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                if let Err((mut stream, _)) = state.conns.try_push(stream) {
+                    // Too many unserviced connections: shed right here.
+                    state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    crate::telemetry::counter("serve_shed_total").inc();
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = http::write_json_response(
+                        &mut stream,
+                        429,
+                        "Too Many Requests",
+                        "{\"error\": \"connection queue full\"}",
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // No more producers: once drained, the connection workers exit.
+    state.conns.close();
+}
+
+/// Batcher job: coalesce queued samples and dispatch to the fleet.
+fn run_batcher(state: &ServeState, rng: &mut StdRng) {
+    let poll = Duration::from_millis(5);
+    loop {
+        if state.force_stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let batch =
+            state.predicts.pop_batch(state.config.max_batch, poll, state.config.max_wait);
+        if batch.is_empty() {
+            if state.predicts.is_closed() && state.predicts.is_empty() {
+                break;
+            }
+            continue;
+        }
+        execute_batch(state, batch, rng);
+    }
+}
+
+/// Per-batch prediction seed: SplitMix64 stream over the batch index,
+/// keyed by the master seed. Batch `k` always predicts with the same
+/// seed, whatever thread runs it.
+fn batch_seed(master: u64, index: u64) -> u64 {
+    let mut mix = SplitMix64::new(master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    mix.next_u64()
+}
+
+/// Runs one coalesced batch through the fleet with failover.
+fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRng) {
+    let now = Instant::now();
+    // Expire whatever already missed its deadline (the connection
+    // worker has answered 504 and gone; don't burn MC passes on it).
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch.drain(..) {
+        if now >= job.deadline {
+            let _ = job.resp.send(Outcome::Expired);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let d = state.config.input_len();
+    let mut shape = vec![live.len()];
+    shape.extend_from_slice(&state.config.input_shape);
+    let data: Vec<f32> = live.iter().flat_map(|j| j.input.iter().copied()).collect();
+    let inputs = Tensor::from_vec(data, &shape);
+    let index = state.batch_counter.fetch_add(1, Ordering::Relaxed);
+    let seed = batch_seed(state.config.seed, index);
+
+    // Whole-batch failover: walk the fleet healthiest-first with
+    // jittered exponential backoff between attempts.
+    let mut tried: Vec<usize> = Vec::new();
+    let mut report = None;
+    for attempt in 0..=state.config.max_retries {
+        let Some(die) = state.fleet.pick(&tried) else { break };
+        match state.fleet.predict_on(die, &inputs, seed) {
+            Ok(r) => {
+                report = Some((die, r));
+                break;
+            }
+            Err(FleetError::DieAbstaining { .. }) | Err(FleetError::NoEligibleDie) => {
+                tried.push(die);
+                state.stats.failovers.fetch_add(live.len() as u64, Ordering::Relaxed);
+                crate::telemetry::counter("serve_failover_total").add(live.len() as u64);
+                if attempt < state.config.max_retries {
+                    backoff(state.config.backoff_base, attempt, rng);
+                }
+            }
+        }
+    }
+    let Some((die, report)) = report else {
+        // Fleet-wide abstention: answer honestly rather than dropping.
+        state
+            .stats
+            .unserveable
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        for job in live {
+            let _ = job.resp.send(Outcome::Unserveable);
+        }
+        return;
+    };
+    let failovers = tried.len() as u64;
+
+    // Per-sample retry round: samples this die abstained on get one
+    // shot on a different die before the abstention is surfaced.
+    let abstained_rows: Vec<usize> = (0..live.len())
+        .filter(|&i| !report.gated.accepted[i])
+        .collect();
+    let mut retried: Option<(usize, neuspin_bayes::Predictive, Vec<bool>)> = None;
+    if !abstained_rows.is_empty() {
+        let mut exclude = tried.clone();
+        exclude.push(die);
+        if let Some(alt) = state.fleet.pick(&exclude) {
+            let sub_data: Vec<f32> = abstained_rows
+                .iter()
+                .flat_map(|&i| live[i].input.iter().copied())
+                .collect();
+            let mut sub_shape = vec![abstained_rows.len()];
+            sub_shape.extend_from_slice(&state.config.input_shape);
+            let sub = Tensor::from_vec(sub_data, &sub_shape);
+            let sub_seed = batch_seed(state.config.seed, index ^ 0x8000_0000_0000_0000);
+            if let Ok(r2) = state.fleet.predict_on(alt, &sub, sub_seed) {
+                state
+                    .stats
+                    .sample_retries
+                    .fetch_add(abstained_rows.len() as u64, Ordering::Relaxed);
+                retried = Some((alt, r2.predictive, r2.gated.accepted));
+            }
+        }
+    }
+
+    let classes = report.predictive.mean_probs.shape()[1];
+    for (i, job) in live.into_iter().enumerate() {
+        // Default answer: carved from the primary batch report.
+        let mut src = (&report.predictive, i, die, !report.gated.accepted[i], failovers);
+        if let Some((alt, pred2, accepted2)) = retried.as_ref() {
+            if let Some(sub_i) = abstained_rows.iter().position(|&r| r == i) {
+                src = (pred2, sub_i, *alt, !accepted2[sub_i], failovers + 1);
+            }
+        }
+        let (pred, row, from_die, abstained, fo) = src;
+        let probs = pred.mean_probs.row(row).to_vec();
+        let class = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)
+            .unwrap_or(0);
+        debug_assert_eq!(probs.len(), classes);
+        debug_assert_eq!(job.input.len(), d);
+        let _ = job.resp.send(Outcome::Answered {
+            class,
+            probs,
+            entropy: pred.entropy[row],
+            abstained,
+            die: from_die,
+            failovers: fo,
+        });
+    }
+}
+
+/// Jittered exponential backoff: `base · 2^attempt · U(0.5, 1.5)`.
+fn backoff(base: Duration, attempt: usize, rng: &mut StdRng) {
+    let exp = base.as_secs_f64() * (1u64 << attempt.min(16)) as f64;
+    let jitter = 0.5 + rng.random::<f64>();
+    std::thread::sleep(Duration::from_secs_f64(exp * jitter));
+}
+
+/// Connection-worker job: pull connections and answer them.
+fn run_conn_worker(state: &ServeState) {
+    let poll = Duration::from_millis(5);
+    loop {
+        if state.force_stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut conns = state.conns.pop_batch(1, poll, Duration::ZERO);
+        let Some(stream) = conns.pop() else {
+            if state.conns.is_closed() && state.conns.is_empty() {
+                break;
+            }
+            continue;
+        };
+        // A hostile or broken connection must never take the worker
+        // down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(state, stream);
+        }));
+        if result.is_err() {
+            crate::telemetry::counter("serve_conn_panics_total").inc();
+        }
+    }
+    // The last connection worker out closes the predict queue: no
+    // in-flight connection remains that could enqueue more work, so
+    // the batchers can drain and exit.
+    if state.live_conn_workers.fetch_sub(1, Ordering::SeqCst) == 1 {
+        state.predicts.close();
+    }
+}
+
+/// Parses, routes, and answers one connection.
+fn handle_connection(state: &ServeState, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.read_timeout));
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(err) => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            if let Some((code, reason)) = err.status() {
+                let body = Json::obj([("error", Json::Str(err.to_string()))]).to_string();
+                let _ = http::write_json_response(&mut stream, code, reason, &body);
+            }
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => handle_predict(state, &mut stream, &request),
+        ("GET", "/healthz") => handle_healthz(state, &mut stream),
+        ("GET", "/metrics") => {
+            let text = crate::telemetry::prometheus_text();
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            );
+        }
+        ("GET", "/predict") | ("POST", "/healthz") | ("POST", "/metrics") => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json_response(
+                &mut stream,
+                405,
+                "Method Not Allowed",
+                "{\"error\": \"method not allowed\"}",
+            );
+        }
+        _ => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json_response(
+                &mut stream,
+                404,
+                "Not Found",
+                "{\"error\": \"unknown path\"}",
+            );
+        }
+    }
+}
+
+/// `POST /predict`: validate, enqueue, await the batcher's outcome.
+fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request) {
+    let input = match parse_predict_body(&request.body, state.config.input_len()) {
+        Ok(v) => v,
+        Err(why) => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let body = Json::obj([("error", Json::Str(why.to_string()))]).to_string();
+            let _ = http::write_json_response(stream, 400, "Bad Request", &body);
+            return;
+        }
+    };
+    let deadline = Instant::now() + state.config.request_timeout;
+    let (tx, rx) = mpsc::channel();
+    let job = PredictJob { input, deadline, resp: tx };
+    if let Err((_, err)) = state.predicts.try_push(job) {
+        match err {
+            PushError::Full => {
+                state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                crate::telemetry::counter("serve_shed_total").inc();
+                let _ = http::write_json_response(
+                    stream,
+                    429,
+                    "Too Many Requests",
+                    "{\"error\": \"predict queue full\"}",
+                );
+            }
+            PushError::Closed => {
+                let _ = http::write_json_response(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "{\"error\": \"server is draining\"}",
+                );
+            }
+        }
+        return;
+    }
+    crate::telemetry::counter("serve_requests_total").inc();
+    let wait = state.config.request_timeout + Duration::from_millis(250);
+    match rx.recv_timeout(wait) {
+        Ok(Outcome::Answered { class, probs, entropy, abstained, die, failovers }) => {
+            if abstained {
+                state.stats.abstained.fetch_add(1, Ordering::Relaxed);
+            } else {
+                state.stats.answered.fetch_add(1, Ordering::Relaxed);
+            }
+            let body = Json::obj([
+                ("class", Json::Num(class as f64)),
+                ("entropy", Json::Num(entropy)),
+                ("abstained", Json::Bool(abstained)),
+                ("die", Json::Num(die as f64)),
+                ("failovers", Json::Num(failovers as f64)),
+                (
+                    "probs",
+                    Json::Arr(probs.iter().map(|&p| Json::Num(f64::from(p))).collect()),
+                ),
+            ])
+            .to_string();
+            let _ = http::write_json_response(stream, 200, "OK", &body);
+        }
+        Ok(Outcome::Unserveable) => {
+            let _ = http::write_json_response(
+                stream,
+                503,
+                "Service Unavailable",
+                "{\"error\": \"all dies abstaining\"}",
+            );
+        }
+        Ok(Outcome::Expired) | Err(_) => {
+            state.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_json_response(
+                stream,
+                504,
+                "Gateway Timeout",
+                "{\"error\": \"prediction deadline expired\"}",
+            );
+        }
+    }
+}
+
+/// Validates `{"input": [f32; D]}`.
+fn parse_predict_body(body: &[u8], want_len: usize) -> Result<Vec<f32>, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    let json = crate::json::parse(text).map_err(|_| "body is not valid JSON")?;
+    let arr = json
+        .get("input")
+        .and_then(|v| v.as_arr())
+        .ok_or("body must be {\"input\": [numbers]}")?;
+    if arr.len() != want_len {
+        return Err("input has the wrong number of elements");
+    }
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let x = v.as_f64().ok_or("input elements must be numbers")?;
+        if !x.is_finite() {
+            return Err("input elements must be finite");
+        }
+        out.push(x as f32);
+    }
+    Ok(out)
+}
+
+/// `GET /healthz`: fleet snapshot; 503 once no die is eligible.
+fn handle_healthz(state: &ServeState, stream: &mut TcpStream) {
+    let snapshot = state.fleet.snapshot();
+    let eligible = state.fleet.eligible_count();
+    let dies: Vec<Json> = snapshot
+        .iter()
+        .map(|d| {
+            Json::obj([
+                ("id", Json::Num(d.id as f64)),
+                ("tier", Json::Str(d.policy.to_string())),
+                ("tier_index", Json::Num(f64::from(d.policy.tier_index()))),
+                ("served", Json::Num(d.served as f64)),
+            ])
+        })
+        .collect();
+    let status = if eligible == 0 {
+        "unserveable"
+    } else if eligible < snapshot.len() || snapshot.iter().any(|d| d.policy != HealthPolicy::Healthy)
+    {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = Json::obj([
+        ("status", Json::Str(status.to_string())),
+        ("eligible", Json::Num(eligible as f64)),
+        ("dies", Json::Arr(dies)),
+    ])
+    .to_string();
+    if eligible == 0 {
+        let _ = http::write_json_response(stream, 503, "Service Unavailable", &body);
+    } else {
+        let _ = http::write_json_response(stream, 200, "OK", &body);
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared unit-test fixtures (compiled only under `cfg(test)`).
+
+use crate::model::{HardwareConfig, HardwareModel};
+use crate::runtime::{Supervisor, SupervisorConfig};
+use neuspin_nn::Tensor;
+use neuspin_bayes::{build_cnn, ArchConfig, Method};
+use neuspin_cim::CrossbarConfig;
+use neuspin_device::AgingConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The small architecture every serve-layer test runs on: 8×8 inputs,
+/// four classes — big enough to exercise the full pipeline, small
+/// enough to commission dozens of dies per test run.
+pub fn small_arch() -> ArchConfig {
+    ArchConfig { c1: 2, c2: 4, hidden: 16, classes: 4, side: 8, ..ArchConfig::default() }
+}
+
+/// A deterministic evaluation batch shaped for [`small_arch`].
+pub fn small_inputs(n: usize, tag: u64) -> Tensor {
+    Tensor::from_fn(&[n, 1, 8, 8], |i| {
+        (((i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(tag * 131) % 97) as f32 / 97.0) - 0.5
+    })
+}
+
+/// A commissioned single-die supervisor on ideal hardware with aging
+/// enabled (drift only, deterministic) — the building block for fleet
+/// and server tests. Distinct `seed`s give distinct (but individually
+/// reproducible) dies.
+pub fn small_commissioned_supervisor(seed: u64) -> Supervisor {
+    let arch = small_arch();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = build_cnn(Method::SpinDrop, &arch, &mut rng);
+    let config = HardwareConfig {
+        crossbar: CrossbarConfig::ideal(),
+        passes: 3,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &arch, &config, &mut rng);
+    hw.enable_aging(&AgingConfig { seed: seed ^ 0xA9, ..AgingConfig::default() });
+    let mut sup = Supervisor::new(hw, SupervisorConfig { seed, ..SupervisorConfig::default() });
+    let calib = small_inputs(8, seed);
+    let monitor_batch = small_inputs(4, seed.wrapping_add(1));
+    sup.commission(calib, &monitor_batch);
+    sup
+}

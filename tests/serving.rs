@@ -1,0 +1,259 @@
+//! End-to-end tests of the serving front door: a real TCP server over
+//! a [`DieFleet`] of commissioned supervisors, driven by the blocking
+//! client.
+//!
+//! Covered contracts:
+//! * round trips: `POST /predict`, `GET /healthz`, `GET /metrics`;
+//! * abstention-aware routing: an Abstain-tier die receives no
+//!   traffic, and a fleet that is entirely abstaining answers `503`
+//!   instead of emitting garbage;
+//! * load shedding: a saturated predict queue answers `429` — every
+//!   client still gets a terminal HTTP response;
+//! * graceful shutdown: requests in flight when the drain starts are
+//!   all answered before the workers exit (the no-drop guarantee);
+//! * serving determinism: identical fleets + identical request streams
+//!   produce bit-identical probability vectors.
+
+use neuspin::bayes::{build_cnn, ArchConfig, Method};
+use neuspin::cim::CrossbarConfig;
+use neuspin::core::serve::client;
+use neuspin::core::{
+    serve, DieFleet, HardwareConfig, HardwareModel, HealthPolicy, Json, ServeConfig, Supervisor,
+    SupervisorConfig,
+};
+use neuspin::device::AgingConfig;
+use neuspin::nn::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const SIDE: usize = 8;
+const CLASSES: usize = 4;
+const INPUT_LEN: usize = SIDE * SIDE;
+
+fn arch() -> ArchConfig {
+    ArchConfig { c1: 2, c2: 4, hidden: 16, classes: CLASSES, side: SIDE, ..ArchConfig::default() }
+}
+
+/// A commissioned die on ideal hardware (drift-only aging).
+fn die(seed: u64) -> Supervisor {
+    let a = arch();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = build_cnn(Method::SpinDrop, &a, &mut rng);
+    let config = HardwareConfig {
+        crossbar: CrossbarConfig::ideal(),
+        passes: 3,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &a, &config, &mut rng);
+    hw.enable_aging(&AgingConfig { seed: seed ^ 0xA9, ..AgingConfig::default() });
+    let mut sup = Supervisor::new(hw, SupervisorConfig { seed, ..SupervisorConfig::default() });
+    let calib = Tensor::from_fn(&[8, 1, SIDE, SIDE], |i| ((i * 13 % 97) as f32 / 97.0) - 0.5);
+    let monitor = Tensor::from_fn(&[4, 1, SIDE, SIDE], |i| ((i * 7 % 89) as f32 / 89.0) - 0.5);
+    sup.commission(calib, &monitor);
+    sup
+}
+
+fn fleet(n: usize, base_seed: u64) -> DieFleet {
+    DieFleet::new((0..n).map(|i| die(base_seed + i as u64)).collect())
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        input_shape: vec![1, SIDE, SIDE],
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+fn sample(tag: usize) -> Vec<f32> {
+    (0..INPUT_LEN)
+        .map(|i| (((i * 31 + tag * 131) % 83) as f32 / 83.0) - 0.5)
+        .collect()
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(15);
+
+fn predict_json(addr: std::net::SocketAddr, tag: usize) -> (u16, Json) {
+    let resp = client::predict(addr, &sample(tag), CLIENT_TIMEOUT).expect("predict transport");
+    let json = neuspin::core::json::parse(&resp.text()).expect("predict body must be JSON");
+    (resp.status, json)
+}
+
+#[test]
+fn predict_healthz_and_metrics_round_trip() {
+    let mut handle = serve(fleet(2, 0x7100), config()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, json) = predict_json(addr, 1);
+    assert_eq!(status, 200);
+    let class = json.get("class").and_then(|v| v.as_f64()).expect("class") as usize;
+    assert!(class < CLASSES, "class {class} out of range");
+    let probs = json.get("probs").and_then(|v| v.as_arr()).expect("probs");
+    assert_eq!(probs.len(), CLASSES);
+    let total: f64 = probs.iter().filter_map(|p| p.as_f64()).sum();
+    assert!((total - 1.0).abs() < 1e-3, "probs must sum to 1, got {total}");
+    assert!(json.get("entropy").and_then(|v| v.as_f64()).expect("entropy") >= 0.0);
+    assert!(json.get("abstained").and_then(|v| v.as_bool()).is_some());
+
+    let health = client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    let hj = neuspin::core::json::parse(&health.text()).expect("healthz JSON");
+    assert_eq!(hj.get("dies").and_then(|v| v.as_arr()).expect("dies").len(), 2);
+
+    let metrics = client::request(addr, "GET", "/metrics", None, CLIENT_TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+
+    let missing = client::request(addr, "GET", "/nope", None, CLIENT_TIMEOUT).expect("404 route");
+    assert_eq!(missing.status, 404);
+    let bad = client::request(addr, "POST", "/predict", Some("{\"input\": [1]}"), CLIENT_TIMEOUT)
+        .expect("short input");
+    assert_eq!(bad.status, 400, "wrong-length input must be a client error");
+
+    let report = handle.shutdown(Duration::from_secs(10));
+    assert!(report.drained && !report.forced, "{report:?}");
+}
+
+#[test]
+fn abstaining_die_gets_no_traffic_and_empty_fleet_is_503() {
+    let mut handle = serve(fleet(2, 0x7200), config()).expect("bind");
+    let addr = handle.addr();
+    let eval = Tensor::from_fn(&[4, 1, SIDE, SIDE], |i| ((i * 11 % 71) as f32 / 71.0) - 0.5);
+
+    // Collapse die 0's abstention threshold: the next observation
+    // latches Abstain (the safety tier bypasses the dwell).
+    handle.fleet().with_die(0, |sup| {
+        sup.monitor_mut().set_abstain_entropy(1e-9);
+        sup.serve_predict(&eval, 0xAB);
+    });
+    assert_eq!(handle.fleet().tier(0), HealthPolicy::Abstain);
+
+    for tag in 0..6 {
+        let (status, json) = predict_json(addr, tag);
+        assert_eq!(status, 200, "healthy die 1 must keep serving");
+        let served_by = json.get("die").and_then(|v| v.as_f64()).expect("die") as usize;
+        assert_eq!(served_by, 1, "abstaining die 0 must receive no traffic");
+    }
+    assert_eq!(handle.fleet().served(0), 0);
+
+    let health = client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    let hj = neuspin::core::json::parse(&health.text()).expect("healthz JSON");
+    assert_eq!(hj.get("status").and_then(|v| v.as_str()), Some("degraded"));
+
+    // Now collapse die 1 as well: the whole fleet abstains, and the
+    // server must answer 503 — an honest refusal, not a drop.
+    handle.fleet().with_die(1, |sup| {
+        sup.monitor_mut().set_abstain_entropy(1e-9);
+        sup.serve_predict(&eval, 0xAC);
+    });
+    let resp = client::predict(addr, &sample(9), CLIENT_TIMEOUT).expect("transport");
+    assert_eq!(resp.status, 503, "fleet-wide abstention must be 503: {}", resp.text());
+
+    let health = client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 503);
+
+    handle.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn saturated_predict_queue_sheds_with_429_and_answers_everyone() {
+    // One-slot predict queue + a long linger: while the batcher holds
+    // its first sample, one more can queue and the rest must shed.
+    let cfg = ServeConfig {
+        input_shape: vec![1, SIDE, SIDE],
+        queue_capacity: 1,
+        max_batch: 8,
+        max_wait: Duration::from_millis(300),
+        http_workers: 4,
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let mut handle = serve(fleet(1, 0x7300), cfg).expect("bind");
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                client::predict(addr, &sample(tag), CLIENT_TIMEOUT)
+                    .expect("every client must get a terminal HTTP response")
+                    .status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    assert_eq!(ok + shed, 8, "only 200/429 expected, got {statuses:?}");
+    assert!(ok >= 1, "someone must be served: {statuses:?}");
+    assert!(shed >= 1, "a one-slot queue under an 8-way burst must shed: {statuses:?}");
+    assert!(handle.stats().shed >= shed as u64);
+
+    handle.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn graceful_shutdown_drains_every_in_flight_request() {
+    // A long linger keeps requests parked in the batch queue; shutdown
+    // fires while they are in flight and must still answer them all.
+    let cfg = ServeConfig {
+        input_shape: vec![1, SIDE, SIDE],
+        max_batch: 16,
+        max_wait: Duration::from_millis(400),
+        queue_capacity: 64,
+        http_workers: 6,
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let mut handle = serve(fleet(2, 0x7400), cfg).expect("bind");
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..6)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                client::predict(addr, &sample(tag), CLIENT_TIMEOUT)
+                    .expect("drain must answer, never drop")
+                    .status
+            })
+        })
+        .collect();
+    // Let the requests reach the predict queue, then start the drain
+    // mid-linger.
+    std::thread::sleep(Duration::from_millis(120));
+    let report = handle.shutdown(Duration::from_secs(10));
+    assert!(report.drained, "drain must finish inside the deadline: {report:?}");
+    assert!(!report.forced);
+    assert_eq!(report.abandoned, 0);
+
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert!(
+        statuses.iter().all(|&s| s == 200),
+        "every in-flight request must be answered 200 through the drain, got {statuses:?}"
+    );
+}
+
+#[test]
+fn identical_fleets_and_requests_serve_bit_identical_probabilities() {
+    let run = || {
+        let mut handle = serve(fleet(1, 0x7500), config()).expect("bind");
+        let addr = handle.addr();
+        let mut probs_seen = Vec::new();
+        for tag in 0..3 {
+            let (status, json) = predict_json(addr, tag);
+            assert_eq!(status, 200);
+            let probs: Vec<u32> = json
+                .get("probs")
+                .and_then(|v| v.as_arr())
+                .expect("probs")
+                .iter()
+                .map(|p| (p.as_f64().unwrap() as f32).to_bits())
+                .collect();
+            probs_seen.push(probs);
+        }
+        handle.shutdown(Duration::from_secs(10));
+        probs_seen
+    };
+    // Sequential single requests: batch k always gets batch-seed k, so
+    // two identical servers serve identical streams bit-for-bit.
+    assert_eq!(run(), run(), "serving must be deterministic under fixed seeds");
+}

@@ -31,7 +31,7 @@ pub mod vi;
 pub use ensemble::Ensemble;
 pub use mc::{
     eval_predict, mc_aggregate, mc_predict, mc_predict_seeded, mc_predict_with, pass_seeds,
-    Gated, Predictive,
+    Gated, McAccumulator, Predictive,
 };
 pub use methods::{
     build_cnn, build_fp_mlp, build_mlp, calibrate_norm, spinbayes_from_mlp, ArchConfig, Method,

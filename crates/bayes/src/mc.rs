@@ -189,39 +189,109 @@ pub fn mc_predict_with(passes: usize, mut forward: impl FnMut(usize) -> Tensor) 
 /// Panics if `passes == 0` or the closure returns inconsistent shapes.
 pub fn mc_aggregate(passes: usize, mut probs_at: impl FnMut(usize) -> Tensor) -> Predictive {
     assert!(passes > 0, "need at least one MC pass");
-    let first = probs_at(0);
-    let (n, c) = (first.shape()[0], first.shape()[1]);
-    let mut sum = first.clone();
-    let mut sum_sq = &first * &first;
-    let mut sum_entropy: Vec<f64> = (0..n).map(|i| entropy_of(first.row(i))).collect();
-    for t in 1..passes {
-        let probs = probs_at(t);
-        assert_eq!(probs.shape(), first.shape(), "inconsistent logit shapes across passes");
-        sum.axpy(1.0, &probs);
-        sum_sq.axpy(1.0, &(&probs * &probs));
-        for (i, acc) in sum_entropy.iter_mut().enumerate() {
-            *acc += entropy_of(probs.row(i));
-        }
+    let mut acc = McAccumulator::new();
+    for t in 0..passes {
+        acc.push(&probs_at(t));
     }
-    let tf = passes as f32;
-    let mean_probs = sum.map(|v| v / tf);
-    let entropy: Vec<f64> = (0..n).map(|i| entropy_of(mean_probs.row(i))).collect();
-    let mutual_information: Vec<f64> = (0..n)
-        .map(|i| (entropy[i] - sum_entropy[i] / passes as f64).max(0.0))
-        .collect();
-    let variance: Vec<f64> = (0..n)
-        .map(|i| {
-            (0..c)
-                .map(|j| {
-                    let m = mean_probs[i * c + j] as f64;
-                    (sum_sq[i * c + j] as f64 / passes as f64) - m * m
-                })
-                .sum::<f64>()
-                .max(0.0)
-                / c as f64
-        })
-        .collect();
-    Predictive { mean_probs, entropy, mutual_information, variance, passes }
+    acc.finish()
+}
+
+/// Incremental, push-based form of [`mc_aggregate`]: feed each pass's
+/// `[N, C]` softmax probabilities as they are produced, then [`finish`]
+/// once. The accumulation arithmetic is element-for-element identical
+/// to [`mc_aggregate`] (pass 0 seeds the sums, later passes fold in as
+/// `acc += 1.0 * x`), so a producer supplying bit-identical per-pass
+/// probabilities gets a bit-identical [`Predictive`].
+///
+/// This is the allocation-free MC primitive: after the first [`push`]
+/// sizes the internal buffers, subsequent pushes of the same batch
+/// shape touch the heap zero times. Only [`finish`] allocates (it
+/// builds the output report).
+///
+/// [`push`]: McAccumulator::push
+/// [`finish`]: McAccumulator::finish
+#[derive(Debug, Clone, Default)]
+pub struct McAccumulator {
+    passes: usize,
+    sum: Tensor,
+    sum_sq: Tensor,
+    sum_entropy: Vec<f64>,
+}
+
+impl McAccumulator {
+    /// An empty accumulator (no passes folded in yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of passes pushed so far.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Folds one pass's `[N, C]` probabilities into the running sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from earlier passes.
+    pub fn push(&mut self, probs: &Tensor) {
+        let n = probs.shape()[0];
+        if self.passes == 0 {
+            self.sum.copy_from(probs);
+            self.sum_sq.resize_to(probs.shape());
+            for (s, &p) in self.sum_sq.as_mut_slice().iter_mut().zip(probs.as_slice()) {
+                *s = p * p;
+            }
+            self.sum_entropy.clear();
+            self.sum_entropy.extend((0..n).map(|i| entropy_of(probs.row(i))));
+        } else {
+            assert_eq!(
+                probs.shape(),
+                self.sum.shape(),
+                "inconsistent logit shapes across passes"
+            );
+            self.sum.axpy(1.0, probs);
+            for (s, &p) in self.sum_sq.as_mut_slice().iter_mut().zip(probs.as_slice()) {
+                *s += 1.0 * (p * p);
+            }
+            for (i, acc) in self.sum_entropy.iter_mut().enumerate() {
+                *acc += entropy_of(probs.row(i));
+            }
+        }
+        self.passes += 1;
+    }
+
+    /// Reduces everything pushed so far into a [`Predictive`]. The
+    /// accumulator is left untouched, so more passes can still be
+    /// folded in afterwards (running reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pass was pushed — "need at least one MC pass".
+    pub fn finish(&self) -> Predictive {
+        assert!(self.passes > 0, "need at least one MC pass");
+        let passes = self.passes;
+        let (n, c) = (self.sum.shape()[0], self.sum.shape()[1]);
+        let tf = passes as f32;
+        let mean_probs = self.sum.map(|v| v / tf);
+        let entropy: Vec<f64> = (0..n).map(|i| entropy_of(mean_probs.row(i))).collect();
+        let mutual_information: Vec<f64> = (0..n)
+            .map(|i| (entropy[i] - self.sum_entropy[i] / passes as f64).max(0.0))
+            .collect();
+        let variance: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..c)
+                    .map(|j| {
+                        let m = mean_probs[i * c + j] as f64;
+                        (self.sum_sq[i * c + j] as f64 / passes as f64) - m * m
+                    })
+                    .sum::<f64>()
+                    .max(0.0)
+                    / c as f64
+            })
+            .collect();
+        Predictive { mean_probs, entropy, mutual_information, variance, passes }
+    }
 }
 
 /// Derives the per-pass RNG seeds for seeded MC inference: a
@@ -368,6 +438,51 @@ mod tests {
     #[should_panic(expected = "at least one MC pass")]
     fn zero_passes_rejected() {
         let _ = mc_predict_with(0, |_| Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MC pass")]
+    fn empty_accumulator_rejected() {
+        let _ = McAccumulator::new().finish();
+    }
+
+    #[test]
+    fn accumulator_matches_mc_aggregate_bitwise() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::from_fn(&[4, 4], |i| (i as f32 * 0.43).sin());
+        // Pre-generate the per-pass probabilities so both reducers see
+        // bit-identical inputs.
+        let per_pass: Vec<Tensor> =
+            (0..7).map(|_| softmax(&m.forward(&x, Mode::Sample, &mut r))).collect();
+        let want = mc_aggregate(7, |t| per_pass[t].clone());
+        let mut acc = McAccumulator::new();
+        for p in &per_pass {
+            acc.push(p);
+        }
+        assert_eq!(acc.passes(), 7);
+        let got = acc.finish();
+        assert_eq!(got.passes, want.passes);
+        for (a, b) in got.mean_probs.as_slice().iter().zip(want.mean_probs.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in got.entropy.iter().zip(&want.entropy) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in got.mutual_information.iter().zip(&want.mutual_information) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in got.variance.iter().zip(&want.variance) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent logit shapes")]
+    fn accumulator_rejects_shape_drift() {
+        let mut acc = McAccumulator::new();
+        acc.push(&Tensor::from_vec(vec![0.5, 0.5], &[1, 2]));
+        acc.push(&Tensor::from_vec(vec![0.5, 0.5, 0.0], &[1, 3]));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use neuspin_bench::{results_dir, write_json, Setup};
 use neuspin_cim::{BistConfig, Crossbar};
 use neuspin_core::json::{self, ToJson};
 use neuspin_core::telemetry::{self, MetricsSnapshot};
-use neuspin_core::{HardwareConfig, HardwareModel, ThreadPool};
+use neuspin_core::{HardwareConfig, HardwareModel, ReplicaBank, ThreadPool};
 use neuspin_data::digits::dataset;
 use neuspin_device::DefectRates;
 use rand::rngs::StdRng;
@@ -76,6 +76,14 @@ struct Report {
     trace_overhead_ratio: f64,
     /// Spans closed during the instrumented reference run.
     span_total: f64,
+    /// Forward-plan metrics observed by the instrumented run: a
+    /// batch-shape change must bump the `plan_rebuilds_total` counter
+    /// and export the arena size through the `scratch_bytes` gauge,
+    /// and the persistent-replica engine must count its delta resync
+    /// in `replica_syncs_total`. All three are `--check`-gated.
+    plan_rebuilds_total: f64,
+    replica_syncs_total: f64,
+    scratch_bytes_gauge: f64,
     /// Trace events in the emitted JSONL (one per line).
     trace_events: f64,
     trace_bytes: f64,
@@ -99,6 +107,9 @@ neuspin_core::impl_to_json!(Report {
     metrics_overhead_ratio,
     trace_overhead_ratio,
     span_total,
+    plan_rebuilds_total,
+    replica_syncs_total,
+    scratch_bytes_gauge,
     trace_events,
     trace_bytes,
     metrics,
@@ -259,7 +270,7 @@ fn check_results() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    const POSITIVE: [&str; 8] = [
+    const POSITIVE: [&str; 11] = [
         "kernel_disabled_ns_per_call",
         "kernel_overhead_vs_baseline",
         "mc_off_ns",
@@ -268,6 +279,9 @@ fn check_results() -> ExitCode {
         "metrics_overhead_ratio",
         "trace_overhead_ratio",
         "span_total",
+        "plan_rebuilds_total",
+        "replica_syncs_total",
+        "scratch_bytes_gauge",
     ];
     for key in POSITIVE {
         match finite_num(&value, key) {
@@ -385,7 +399,7 @@ fn main() -> ExitCode {
     );
 
     // 2. The throughput CNN.
-    let (mut hw, inputs, _setup) = build_model(fast);
+    let (mut hw, inputs, setup) = build_model(fast);
 
     // 3. Determinism gate: fully traced predict_par on 1/2/4 workers.
     let mut preds: Vec<Predictive> = Vec::new();
@@ -442,10 +456,18 @@ fn main() -> ExitCode {
 
     // 5. Instrumented reference run for the registry artifacts: one
     //    fully traced predict + one fault-management sweep on a scratch
-    //    clone (BIST/repair/remap counters) feeding the same registry.
+    //    clone (BIST/repair/remap counters) feeding the same registry,
+    //    plus the forward-plan metrics gate — a batch-shape change must
+    //    rebuild the plan (counter + scratch gauge) and the persistent-
+    //    replica engine must count its delta resync.
     telemetry::set_enabled(true, true);
     telemetry::reset();
     let _ = hw.predict_par(&inputs, PREDICT_SEED, &pool);
+    let alt_batch = if fast { 4 } else { 16 };
+    let alt = dataset(alt_batch, &setup.style, &mut setup.rng(0x7462)).inputs;
+    let _ = hw.predict_seeded(&alt, PREDICT_SEED);
+    let mut bank = ReplicaBank::new();
+    let _ = hw.predict_par_in(&inputs, PREDICT_SEED, &pool, &mut bank);
     let mut scratch = hw.clone();
     let _ = scratch.fault_management(&BistConfig::default(), &mut StdRng::seed_from_u64(0x7461));
     let _ = telemetry::take_trace();
@@ -454,6 +476,19 @@ fn main() -> ExitCode {
     let prometheus = telemetry::prometheus_text();
     telemetry::set_enabled(false, false);
     telemetry::reset();
+    let plan_rebuilds_total = snapshot.counter("plan_rebuilds_total").unwrap_or(0) as f64;
+    let replica_syncs_total = snapshot.counter("replica_syncs_total").unwrap_or(0) as f64;
+    let scratch_bytes_gauge = snapshot.gauge("scratch_bytes").unwrap_or(0.0);
+    assert!(
+        plan_rebuilds_total >= 1.0,
+        "a batch-shape change must rebuild the forward plan under metrics"
+    );
+    assert!(replica_syncs_total >= 1.0, "predict_par_in must count its replica resync");
+    assert!(scratch_bytes_gauge > 0.0, "a plan rebuild must export the scratch_bytes gauge");
+    println!(
+        "forward-plan metrics: plan_rebuilds_total {plan_rebuilds_total} | \
+         replica_syncs_total {replica_syncs_total} | scratch_bytes {scratch_bytes_gauge:.0}"
+    );
 
     let report = Report {
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64,
@@ -470,6 +505,9 @@ fn main() -> ExitCode {
         metrics_overhead_ratio: mc_metrics_ns / mc_off_ns,
         trace_overhead_ratio: mc_trace_ns / mc_off_ns,
         span_total: span_total as f64,
+        plan_rebuilds_total,
+        replica_syncs_total,
+        scratch_bytes_gauge,
         trace_events: trace_events as f64,
         trace_bytes: trace_bytes as f64,
         metrics: snapshot,

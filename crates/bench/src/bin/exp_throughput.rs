@@ -15,11 +15,19 @@
 //!    bit-identical across kernels; the ratios are pure kernel wins.
 //! 2. **MC engine** — end-to-end Bayesian prediction on the compiled
 //!    SpinDrop CNN after fault management + calibration, across
-//!    engines: `seq_reference` (seed kernel, sequential),
-//!    `seq` (row-major kernel, sequential `predict_seeded`), and
-//!    `par` (deterministic parallel `predict_par`) at 1/2/4 threads
-//!    and two batch sizes. All engines are bit-identical by
-//!    construction; the binary asserts it on every cell.
+//!    engines: `seq_reference` (seed kernel, sequential), `seq` (the
+//!    planned zero-allocation `predict_seeded`), `seq_legacy` (the
+//!    retained pre-plan `predict_seeded_unplanned`, the allocation
+//!    "before" picture), and `par` (deterministic parallel
+//!    `predict_par`) at 1/2/4 threads and two batch sizes. All engines
+//!    are bit-identical by construction; the binary asserts it on
+//!    every cell.
+//! 3. **Allocation discipline** — the counting global allocator
+//!    ([`neuspin_bench::allocs`]) measures the warm planned forward:
+//!    steady-state MC passes must perform **zero** heap allocations,
+//!    both directly (a counted `forward_planned` loop) and
+//!    differentially (extra passes on `predict_seeded` must add zero
+//!    allocation events).
 //!
 //! ```sh
 //! cargo run --release -p neuspin-bench --bin exp_throughput
@@ -31,13 +39,17 @@
 //! `BENCH_throughput.json` at the workspace root (override the root
 //! with `NEUSPIN_BENCH_ROOT`) — the headline numbers live next to the
 //! code they measure. `--check` re-parses the results file and exits
-//! non-zero on schema/finiteness violations (the CI gate).
+//! non-zero on schema/finiteness violations, a non-zero steady-state
+//! allocation count, and — for full-mode runs — a `seq` engine slower
+//! than [`MC_SPEEDUP_FLOOR`]× the recorded pre-optimization baseline
+//! ([`RECORDED_SEQ_NS`]).
 //!
 //! Note: on a single-core host the `par` rows cannot beat `seq` (the
 //! scoped workers time-share one CPU); the kernel speedup carried by
 //! every non-reference engine is the hardware-independent win.
 
 use neuspin_bayes::{ArchConfig, Method};
+use neuspin_bench::allocs::count_allocs;
 use neuspin_bench::timing::{Harness, Measurement};
 use neuspin_bench::{results_dir, write_json, Setup};
 use neuspin_cim::{BistConfig, Crossbar, KernelPolicy};
@@ -55,6 +67,20 @@ use std::time::Instant;
 /// the `--check` regression gate (the acceptance floor; measured
 /// ratios land far above it).
 const PACKED_FLOOR: f64 = 2.0;
+
+/// Full-mode `seq` baselines (ns/predict by batch size) recorded in
+/// `BENCH_throughput.json` before the zero-allocation forward plan,
+/// the ziggurat read-noise sampler, and the folded IR-drop weight
+/// table landed. The `--check` speedup gate divides these by the
+/// current full-mode `seq` measurements.
+const RECORDED_SEQ_NS: [(f64, f64); 2] = [(32.0, 797_037_832.0), (128.0, 3_258_563_394.0)];
+
+/// Minimum full-mode `seq` speedup over [`RECORDED_SEQ_NS`] — the
+/// MC end-to-end regression floor (measured runs land near 1.9×).
+const MC_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Extra MC passes used by the differential allocation probe.
+const ALLOC_EXTRA_PASSES: usize = 4;
 
 /// One kernel micro-benchmark row.
 #[derive(Debug)]
@@ -102,6 +128,10 @@ struct McRow {
     mc_passes_per_s: f64,
     predictions_per_s: f64,
     speedup_vs_seq_reference: f64,
+    /// Recorded-baseline ratio ([`RECORDED_SEQ_NS`] / this row), the
+    /// CI-gated end-to-end win; 0 when no baseline applies (fast mode,
+    /// or a batch size the baseline never recorded).
+    speedup_vs_recorded_baseline: f64,
 }
 
 neuspin_core::impl_to_json!(McRow {
@@ -112,7 +142,36 @@ neuspin_core::impl_to_json!(McRow {
     ns_per_predict,
     mc_passes_per_s,
     predictions_per_s,
-    speedup_vs_seq_reference
+    speedup_vs_seq_reference,
+    speedup_vs_recorded_baseline
+});
+
+/// Allocation-discipline measurements for one batch size.
+#[derive(Debug)]
+struct AllocRow {
+    batch: f64,
+    /// Warm planned forward passes driven under the counting allocator.
+    warm_passes_measured: f64,
+    /// Allocation events during those passes (gated: must be 0).
+    warm_alloc_events: f64,
+    /// Differential probe: allocation events added per extra MC pass
+    /// when `predict_seeded` runs with more passes (gated: must be 0).
+    allocs_per_extra_pass: f64,
+    /// Allocation events of one whole warm `predict_seeded` call (the
+    /// per-call fixed cost: spans, the returned `Predictive`).
+    warm_predict_alloc_events: f64,
+    /// `HardwareModel::scratch_bytes` after warm-up — the arena the
+    /// zero numbers above are buying.
+    plan_scratch_bytes: f64,
+}
+
+neuspin_core::impl_to_json!(AllocRow {
+    batch,
+    warm_passes_measured,
+    warm_alloc_events,
+    allocs_per_extra_pass,
+    warm_predict_alloc_events,
+    plan_scratch_bytes
 });
 
 /// The whole report (one JSON object).
@@ -126,9 +185,10 @@ struct Report {
     /// best-of headline numbers.
     kernel_timing: Vec<Measurement>,
     mc: Vec<McRow>,
+    alloc: Vec<AllocRow>,
 }
 
-neuspin_core::impl_to_json!(Report { host_threads, fast_mode, kernel, kernel_timing, mc });
+neuspin_core::impl_to_json!(Report { host_threads, fast_mode, kernel, kernel_timing, mc, alloc });
 
 /// Numeric keys every kernel row must carry, all finite.
 const KERNEL_KEYS: [&str; 12] = [
@@ -146,8 +206,10 @@ const KERNEL_KEYS: [&str; 12] = [
     "packed_engaged",
 ];
 
-/// Numeric keys every MC row must carry, all finite.
-const MC_KEYS: [&str; 7] = [
+/// Numeric keys every MC row must carry, all finite. The two speedup
+/// keys may be zero (no baseline recorded); everything else must be
+/// strictly positive.
+const MC_KEYS: [&str; 8] = [
     "threads",
     "batch",
     "passes",
@@ -155,6 +217,17 @@ const MC_KEYS: [&str; 7] = [
     "mc_passes_per_s",
     "predictions_per_s",
     "speedup_vs_seq_reference",
+    "speedup_vs_recorded_baseline",
+];
+
+/// Numeric keys every allocation row must carry, all finite.
+const ALLOC_KEYS: [&str; 6] = [
+    "batch",
+    "warm_passes_measured",
+    "warm_alloc_events",
+    "allocs_per_extra_pass",
+    "warm_predict_alloc_events",
+    "plan_scratch_bytes",
 ];
 
 fn fast_mode() -> bool {
@@ -264,15 +337,19 @@ fn check_results() -> ExitCode {
             }
         }
     }
+    let fast_mode = finite_num(&value, "fast_mode").unwrap_or(1.0) == 1.0;
     let mut par_threads = Vec::new();
+    let mut legacy_rows = 0usize;
+    let mut gated_seq_rows = 0usize;
     for (i, row) in mc.iter().enumerate() {
         let Some(engine) = row.get("engine").and_then(json::Json::as_str) else {
             eprintln!("check failed: mc row {i} missing engine string");
             return ExitCode::FAILURE;
         };
+        let speedup_keys = ["speedup_vs_seq_reference", "speedup_vs_recorded_baseline"];
         for key in MC_KEYS {
             match finite_num(row, key) {
-                Ok(v) if key != "speedup_vs_seq_reference" && v <= 0.0 => {
+                Ok(v) if !speedup_keys.contains(&key) && v <= 0.0 => {
                     eprintln!("check failed: mc row {i}: non-positive {key} ({v})");
                     return ExitCode::FAILURE;
                 }
@@ -288,6 +365,25 @@ fn check_results() -> ExitCode {
             eprintln!("check failed: mc row {i}: non-positive speedup {speedup}");
             return ExitCode::FAILURE;
         }
+        if engine == "seq_legacy" {
+            legacy_rows += 1;
+        }
+        // The end-to-end regression gate: every full-mode `seq` row
+        // with a recorded baseline must clear the floor. Fast-mode runs
+        // measure a different workload, so the ratio is 0 (ungated)
+        // there — the alloc gates below still apply.
+        if engine == "seq" && !fast_mode {
+            let vs_recorded = finite_num(row, "speedup_vs_recorded_baseline").unwrap();
+            if vs_recorded > 0.0 {
+                gated_seq_rows += 1;
+                if vs_recorded < MC_SPEEDUP_FLOOR {
+                    eprintln!(
+                        "check failed: mc row {i}: seq speedup {vs_recorded:.2} below the {MC_SPEEDUP_FLOOR}x recorded-baseline floor"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         if engine == "par" {
             let t = finite_num(row, "threads").unwrap();
             if !par_threads.contains(&t) {
@@ -301,11 +397,58 @@ fn check_results() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if legacy_rows == 0 {
+        eprintln!("check failed: no seq_legacy (pre-plan engine) row");
+        return ExitCode::FAILURE;
+    }
+    if !fast_mode && gated_seq_rows == 0 {
+        eprintln!("check failed: full-mode report has no recorded-baseline seq row to gate");
+        return ExitCode::FAILURE;
+    }
+    // The zero-allocation gate: a steady-state MC pass must not touch
+    // the heap — directly (counted forward_planned loop) and
+    // differentially (extra predict_seeded passes add nothing).
+    let Some(alloc) = value.get("alloc").and_then(json::Json::as_arr) else {
+        eprintln!("check failed: missing alloc array");
+        return ExitCode::FAILURE;
+    };
+    if alloc.is_empty() {
+        eprintln!("check failed: empty alloc section");
+        return ExitCode::FAILURE;
+    }
+    for (i, row) in alloc.iter().enumerate() {
+        for key in ALLOC_KEYS {
+            if let Err(e) = finite_num(row, key) {
+                eprintln!("check failed: alloc row {i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let warm = finite_num(row, "warm_alloc_events").unwrap();
+        if warm != 0.0 {
+            eprintln!(
+                "check failed: alloc row {i}: {warm} allocation events in the warm planned forward (must be 0)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let per_pass = finite_num(row, "allocs_per_extra_pass").unwrap();
+        if per_pass != 0.0 {
+            eprintln!(
+                "check failed: alloc row {i}: {per_pass} allocation events per extra MC pass (must be 0)"
+            );
+            return ExitCode::FAILURE;
+        }
+        if finite_num(row, "plan_scratch_bytes").unwrap() <= 0.0 {
+            eprintln!("check failed: alloc row {i}: plan scratch is empty");
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
-        "exp_throughput.json: {} kernel rows, {} mc rows ({} par thread counts), schema OK, all finite",
+        "exp_throughput.json: {} kernel rows, {} mc rows ({} par thread counts, {} gated seq rows), {} alloc rows (all zero-steady-state), schema OK, all finite",
         kernel.len(),
         mc.len(),
         par_threads.len(),
+        gated_seq_rows,
+        alloc.len(),
     );
     ExitCode::SUCCESS
 }
@@ -542,6 +685,7 @@ fn main() -> ExitCode {
     let reps = if fast { 1 } else { 3 };
     let passes = setup.passes as f64;
     let mut mc = Vec::new();
+    let mut alloc = Vec::new();
     println!(
         "{:>14} {:>8} {:>7} {:>14} {:>14} {:>12} {:>9}",
         "engine", "threads", "batch", "ms/predict", "mc passes/s", "preds/s", "speedup"
@@ -556,7 +700,18 @@ fn main() -> ExitCode {
         });
         hw.use_reference_kernel(false);
 
+        // The recorded pre-optimization baseline only applies to the
+        // full-mode `seq` engine at the batch sizes it was captured at.
+        let recorded_ns = if fast {
+            None
+        } else {
+            RECORDED_SEQ_NS.iter().find(|(b, _)| *b == batch as f64).map(|&(_, ns)| ns)
+        };
         let push = |engine: &str, threads: usize, ns: f64, mc: &mut Vec<McRow>| {
+            let vs_recorded = match recorded_ns {
+                Some(base) if engine == "seq" => base / ns,
+                _ => 0.0,
+            };
             let row = McRow {
                 engine: engine.to_string(),
                 threads: threads as f64,
@@ -566,6 +721,7 @@ fn main() -> ExitCode {
                 mc_passes_per_s: passes / (ns / 1e9),
                 predictions_per_s: batch as f64 / (ns / 1e9),
                 speedup_vs_seq_reference: ref_ns / ns,
+                speedup_vs_recorded_baseline: vs_recorded,
             };
             println!(
                 "{:>14} {:>8} {:>7} {:>14.2} {:>14.1} {:>12.1} {:>8.2}x",
@@ -577,6 +733,9 @@ fn main() -> ExitCode {
                 row.predictions_per_s,
                 row.speedup_vs_seq_reference,
             );
+            if vs_recorded > 0.0 {
+                println!("{:>14} {:>56.2}x vs recorded baseline", "", vs_recorded);
+            }
             mc.push(row);
         };
 
@@ -589,6 +748,15 @@ fn main() -> ExitCode {
         });
         push("seq", 1, seq_ns, &mut mc);
 
+        // The retained pre-plan engine: same kernels, per-pass heap
+        // traffic. Its gap to `seq` is what the forward plan buys.
+        let got = hw.predict_seeded_unplanned(&inputs, PREDICT_SEED);
+        assert_eq!(got, expect, "legacy engine diverged from planned (batch {batch})");
+        let legacy_ns = time_ns_per_call(reps, 1, || {
+            black_box(hw.predict_seeded_unplanned(&inputs, PREDICT_SEED));
+        });
+        push("seq_legacy", 1, legacy_ns, &mut mc);
+
         for &threads in &thread_counts {
             let pool = ThreadPool::new(threads);
             let got = hw.predict_par(&inputs, PREDICT_SEED, &pool);
@@ -598,6 +766,62 @@ fn main() -> ExitCode {
             });
             push("par", threads, par_ns, &mut mc);
         }
+
+        // --- allocation discipline (the tentpole gate) ---
+        // The plan is warm from the timing loops above; count heap
+        // events over a window of steady-state planned passes.
+        let warm_passes = if fast { 4usize } else { 8 };
+        let mut rng = StdRng::seed_from_u64(PREDICT_SEED);
+        black_box(hw.forward_planned(&inputs, true, &mut rng));
+        let (_, warm_alloc_events) = count_allocs(|| {
+            let mut rng = StdRng::seed_from_u64(PREDICT_SEED);
+            for _ in 0..warm_passes {
+                black_box(hw.forward_planned(&inputs, true, &mut rng));
+            }
+        });
+        // Per-call fixed cost of a whole warm prediction (spans, the
+        // accumulator, the returned `Predictive`) — informational.
+        let (_, warm_predict_alloc_events) = count_allocs(|| {
+            black_box(hw.predict_seeded(&inputs, PREDICT_SEED));
+        });
+        // Differential probe: the per-call cost above is independent of
+        // the pass count, so extra passes must add exactly zero events.
+        let base_passes = hw.passes();
+        let (_, base_events) = count_allocs(|| {
+            black_box(hw.predict_seeded(&inputs, PREDICT_SEED));
+        });
+        hw.set_passes(base_passes + ALLOC_EXTRA_PASSES);
+        black_box(hw.predict_seeded(&inputs, PREDICT_SEED));
+        let (_, more_events) = count_allocs(|| {
+            black_box(hw.predict_seeded(&inputs, PREDICT_SEED));
+        });
+        hw.set_passes(base_passes);
+        let allocs_per_extra_pass =
+            (more_events as f64 - base_events as f64) / ALLOC_EXTRA_PASSES as f64;
+        alloc.push(AllocRow {
+            batch: batch as f64,
+            warm_passes_measured: warm_passes as f64,
+            warm_alloc_events: warm_alloc_events as f64,
+            allocs_per_extra_pass,
+            warm_predict_alloc_events: warm_predict_alloc_events as f64,
+            plan_scratch_bytes: hw.scratch_bytes() as f64,
+        });
+    }
+
+    println!(
+        "\n{:>7} {:>12} {:>12} {:>16} {:>16} {:>14}",
+        "batch", "warm passes", "warm allocs", "per extra pass", "predict allocs", "scratch KiB"
+    );
+    for row in &alloc {
+        println!(
+            "{:>7} {:>12} {:>12} {:>16.2} {:>16} {:>14.1}",
+            row.batch,
+            row.warm_passes_measured,
+            row.warm_alloc_events,
+            row.allocs_per_extra_pass,
+            row.warm_predict_alloc_events,
+            row.plan_scratch_bytes / 1024.0,
+        );
     }
 
     let report = Report {
@@ -606,6 +830,7 @@ fn main() -> ExitCode {
         kernel,
         kernel_timing,
         mc,
+        alloc,
     };
     println!("\n→ every engine returns bit-identical Predictive (asserted above);");
     println!("  on few-core hosts the kernel speedup, not thread scaling, is the win.");

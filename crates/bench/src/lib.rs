@@ -29,6 +29,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 
+pub mod allocs;
 pub mod scenarios;
 pub mod timing;
 

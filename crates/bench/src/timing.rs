@@ -8,9 +8,12 @@
 //!
 //! Methodology: [`Bencher::iter`] first warms the closure up for a
 //! fixed budget, sizes a batch from the observed rate so one batch
-//! lasts ~10 ms, then times [`BATCHES`] batches and reports the
-//! per-iteration **median of batch means** (robust to scheduler noise)
-//! plus min and mean. `NEUSPIN_BENCH_FAST=1` shrinks the budgets ~20×
+//! lasts ~10 ms, then times [`BATCHES`] batches — each as
+//! [`SAMPLES_PER_BATCH`] equal chunks, so the statistics run over
+//! `BATCHES × SAMPLES_PER_BATCH` per-iteration samples rather than ten
+//! batch means (ten samples made nearest-rank p95 and p99 the same
+//! element, always). The headline number is the median sample; min and
+//! mean ride along. `NEUSPIN_BENCH_FAST=1` shrinks the budgets ~20×
 //! for smoke runs and CI.
 //!
 //! ```no_run
@@ -26,6 +29,13 @@ use std::time::{Duration, Instant};
 
 /// Number of timed batches per benchmark.
 pub const BATCHES: usize = 10;
+
+/// Timing samples taken per batch: each batch runs as this many equal
+/// chunks, each chunk contributing one per-iteration sample. With
+/// `BATCHES × SAMPLES_PER_BATCH = 100` samples, nearest-rank p95 and
+/// p99 resolve to distinct observations (over 10 batch means they
+/// collapsed to the same element).
+pub const SAMPLES_PER_BATCH: usize = 10;
 
 /// Upper bound on a calibrated batch size. One noisy warm-up sample of
 /// an ultra-fast closure can suggest a batch of billions of iterations;
@@ -76,15 +86,20 @@ impl Bencher {
             }
             return;
         }
-        self.batch_size = ((target / per_iter.max(1e-12)) as u64).clamp(1, MAX_BATCH);
-        // Timed batches.
-        for _ in 0..BATCHES {
+        // Size a chunk (one timing sample) at 1/SAMPLES_PER_BATCH of
+        // the target batch; a batch is SAMPLES_PER_BATCH back-to-back
+        // chunks, so total timed work matches the old one-timer-per-
+        // batch scheme while percentiles see 10× the samples.
+        let chunk_target = target / SAMPLES_PER_BATCH as f64;
+        let chunk = ((chunk_target / per_iter.max(1e-12)) as u64).clamp(1, MAX_BATCH);
+        self.batch_size = chunk;
+        for _ in 0..BATCHES * SAMPLES_PER_BATCH {
             let start = Instant::now();
-            for _ in 0..self.batch_size {
+            for _ in 0..chunk {
                 black_box(f());
             }
             let elapsed = start.elapsed().as_secs_f64();
-            self.samples.push(elapsed / self.batch_size as f64);
+            self.samples.push(elapsed / chunk as f64);
         }
     }
 }
@@ -94,21 +109,21 @@ impl Bencher {
 pub struct Measurement {
     /// Benchmark name.
     pub name: String,
-    /// Iterations per timed batch.
+    /// Iterations per timing sample (one chunk under the timer).
     pub batch_size: u64,
-    /// Number of timed batches.
+    /// Number of timing samples the statistics are computed over.
     pub batches: usize,
-    /// Median of per-batch means (ns/iter) — the headline number.
+    /// Median per-iteration sample (ns/iter) — the headline number.
     pub median_ns: f64,
-    /// Mean over all batches (ns/iter).
+    /// Mean over all samples (ns/iter).
     pub mean_ns: f64,
-    /// Fastest batch (ns/iter).
+    /// Fastest sample (ns/iter).
     pub min_ns: f64,
-    /// 50th percentile of per-batch means (ns/iter, nearest-rank).
+    /// 50th percentile of per-iteration samples (ns/iter, nearest-rank).
     pub p50_ns: f64,
-    /// 95th percentile of per-batch means (ns/iter, nearest-rank).
+    /// 95th percentile of per-iteration samples (ns/iter, nearest-rank).
     pub p95_ns: f64,
-    /// 99th percentile of per-batch means (ns/iter, nearest-rank).
+    /// 99th percentile of per-iteration samples (ns/iter, nearest-rank).
     pub p99_ns: f64,
 }
 
@@ -318,7 +333,26 @@ mod tests {
             black_box(acc)
         });
         assert_eq!(b.batch_size, MAX_BATCH);
-        assert_eq!(b.samples.len(), BATCHES);
+        assert_eq!(b.samples.len(), BATCHES * SAMPLES_PER_BATCH);
+    }
+
+    #[test]
+    fn percentiles_resolve_distinct_tail_samples() {
+        // The regression this guards: with only 10 batch-mean samples,
+        // nearest-rank p95 and p99 were always the same element. Over
+        // a 100-sample spread they must pick distinct tail ranks.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-9).collect();
+        let b = Bencher {
+            warmup: Duration::ZERO,
+            target_batch: Duration::ZERO,
+            batch_size: 1,
+            samples,
+        };
+        let m = summarize("tail", b);
+        assert_eq!(m.batches, 100);
+        assert!((m.p95_ns - 95.0).abs() < 1e-9);
+        assert!((m.p99_ns - 99.0).abs() < 1e-9);
+        assert!(m.p95_ns < m.p99_ns, "tail percentiles must not collapse");
     }
 
     #[test]

@@ -168,10 +168,20 @@ pub struct Crossbar {
     ir_drop: f64,
     /// Precomputed per-cell IR-drop denominators
     /// `1 + ir_drop · (r/rows + c/cols)` in row-major physical order;
-    /// empty when `ir_drop == 0`. Dividing by the cached denominator is
-    /// bit-identical to the seed kernel's inline computation (a
-    /// reciprocal-*multiply* would round differently).
+    /// empty when `ir_drop == 0`. Positions are physical, so the table
+    /// survives remaps unchanged; it exists to build [`Crossbar::wd`].
     ir_denom: Vec<f64>,
+    /// Effective weights with the IR-drop denominator folded in:
+    /// `wd[i] = eff[i] / ir_denom[i]` (a plain copy of `eff` when IR
+    /// drop is disabled, so noiseless configs keep their historical
+    /// bits). The evaluation kernels read this table instead of
+    /// dividing per MAC — the division happens once per device-state
+    /// mutation instead of rows×cols times per evaluation, which
+    /// removes the divider-throughput bottleneck from the MC hot path.
+    /// Every kernel folds the same way, so cross-kernel bit-identity is
+    /// preserved. Refreshed by [`Crossbar::refresh_wd`] under the same
+    /// discipline as [`Crossbar::invalidate_packed`].
+    wd: Vec<f64>,
     /// Redundant columns fabricated next to the main array.
     spares: Vec<SpareColumn>,
     /// Remap indirection (logical line of each physical line); `None`
@@ -185,6 +195,9 @@ pub struct Crossbar {
     /// Column accumulator scratch (`[acc | power]`), reused across
     /// evaluations to keep the kernel allocation-free.
     scratch: Vec<f64>,
+    /// Resolved `(physical, logical)` enabled-row pairs, reused by the
+    /// batch kernel so steady-state `matmul` calls allocate nothing.
+    row_scratch: Vec<(usize, usize)>,
     /// Kernel routing policy (see [`KernelPolicy`]); `Auto` by default.
     policy: KernelPolicy,
     /// Lazily (re)built bit-packed weight plane for the XNOR/popcount
@@ -302,12 +315,14 @@ impl Crossbar {
             defects,
             ir_drop: config.ir_drop,
             ir_denom: ir_denom_table(rows, cols, config.ir_drop),
+            wd: vec![0.0; rows * cols],
             spares: spare_cols,
             row_src: None,
             col_src: None,
             margin_sum: 0.0,
             margin_count: 0,
             scratch: Vec::new(),
+            row_scratch: Vec::new(),
             policy: KernelPolicy::Auto,
             packed: PackedSlot::Stale,
             packed_calls: 0,
@@ -331,7 +346,21 @@ impl Crossbar {
                 *w *= hook.state.drift(i);
             }
         }
+        self.refresh_wd();
         self.invalidate_packed();
+    }
+
+    /// Rebuilds the folded weight table [`Crossbar::wd`]. Must
+    /// accompany every mutation of `eff` — the same discipline (and the
+    /// same three sites) as [`Crossbar::invalidate_packed`].
+    fn refresh_wd(&mut self) {
+        if self.ir_denom.is_empty() {
+            self.wd.copy_from_slice(&self.eff);
+        } else {
+            for ((w, &e), &d) in self.wd.iter_mut().zip(&self.eff).zip(&self.ir_denom) {
+                *w = e / d;
+            }
+        }
     }
 
     /// Marks the packed plane stale. Must be called by every site that
@@ -410,6 +439,7 @@ impl Crossbar {
             self.cells[idx] = cell;
             self.eff[idx] = self.cells[idx].effective_weight();
         }
+        self.refresh_wd();
         self.invalidate_packed();
         self.counter.cell_writes += (self.rows * 2) as u64;
         self.counter.cell_reads += (self.rows * 2) as u64;
@@ -488,12 +518,11 @@ impl Crossbar {
         self.counter.sa_evals += self.cols as u64;
         let mut out = vec![0.0f64; self.cols];
         for (j, o) in out.iter_mut().enumerate() {
-            let mut term = self.eff[row * self.cols + j];
-            if !self.ir_denom.is_empty() {
-                term /= self.ir_denom[row * self.cols + j];
-            }
+            // `wd` is exactly `eff / ir_denom`, the value this read
+            // historically computed inline.
+            let mut term = self.wd[row * self.cols + j];
             if self.read_noise > 0.0 && term != 0.0 {
-                term += self.read_noise * term.abs() * stats::standard_normal(rng);
+                term += self.read_noise * term.abs() * stats::ziggurat_normal(rng);
             }
             *o = term;
         }
@@ -617,12 +646,17 @@ impl Crossbar {
         out
     }
 
-    /// [`Crossbar::matvec`] writing into a caller-provided buffer (the
-    /// batch path reuses one allocation per batch). Dispatches on the
-    /// [`KernelPolicy`]; under `Auto` the packed XNOR/popcount kernel
-    /// serves noiseless ternary evaluations and the scalar row-major
-    /// kernel everything else — bit-identically either way.
-    fn matvec_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
+    /// [`Crossbar::matvec`] writing into a caller-provided buffer —
+    /// the zero-allocation entry point of the forward-plan execution
+    /// layer (and the batch path's per-row primitive). Dispatches on
+    /// the [`KernelPolicy`]; under `Auto` the packed XNOR/popcount
+    /// kernel serves noiseless ternary evaluations and the scalar
+    /// row-major kernel everything else — bit-identically either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != cols`.
+    pub fn matvec_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
         match self.policy {
             KernelPolicy::Reference => self.matvec_reference_into(input, out, rng),
             KernelPolicy::Scalar => self.matvec_scalar_into(input, out, rng),
@@ -712,7 +746,7 @@ impl Crossbar {
                     if !self.row_enabled[l] {
                         continue;
                     }
-                    acc += input[l] as f64 * self.eff[p * cols + pj];
+                    acc += input[l] as f64 * self.wd[p * cols + pj];
                 }
                 acc
             };
@@ -749,7 +783,7 @@ impl Crossbar {
         }
         self.counter.digital_ops += cols as u64;
         // Row-outer / column-inner accumulation: each enabled physical
-        // row streams its contiguous `eff` (and IR denominator) slice
+        // row streams its contiguous folded-weight (`wd`) slice
         // into per-column accumulators, so every column's partial sums
         // still arrive in ascending-`p` order — the same order (hence
         // the same floating-point bits) as the column-outer seed kernel.
@@ -763,22 +797,11 @@ impl Crossbar {
                 continue;
             }
             let x = input[l] as f64;
-            let eff_row = &self.eff[p * cols..(p + 1) * cols];
-            if self.ir_denom.is_empty() {
-                for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(eff_row) {
-                    let term = x * w;
-                    *a += term;
-                    *pw += term * term; // Σ (x·w)² for the noise model
-                }
-            } else {
-                let denom_row = &self.ir_denom[p * cols..(p + 1) * cols];
-                for (((a, pw), &w), &d) in
-                    acc.iter_mut().zip(power.iter_mut()).zip(eff_row).zip(denom_row)
-                {
-                    let term = x * w / d;
-                    *a += term;
-                    *pw += term * term;
-                }
+            let wd_row = &self.wd[p * cols..(p + 1) * cols];
+            for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(wd_row) {
+                let term = x * w; // IR denominator pre-folded into `wd`
+                *a += term;
+                *pw += term * term; // Σ term² for the noise model
             }
         }
         // Finalize columns in physical order — noise draws, margin
@@ -789,7 +812,7 @@ impl Crossbar {
         for (pj, (&a, &pw)) in acc.iter().zip(power.iter()).enumerate() {
             let mut a = a;
             if self.read_noise > 0.0 && pw > 0.0 {
-                a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+                a += self.read_noise * pw.sqrt() * stats::ziggurat_normal(rng);
             }
             self.margin_sum += a.abs();
             self.margin_count += 1;
@@ -805,10 +828,14 @@ impl Crossbar {
         }
     }
 
-    /// The retained seed kernel (column-outer, inline IR drop, fresh
-    /// enabled-row scan) — the bit-exact baseline the row-major
-    /// [`Crossbar::matvec`] is verified against, and the "before" side
-    /// of the `exp_throughput` kernel comparison.
+    /// The retained seed kernel (column-outer, fresh enabled-row scan)
+    /// — the bit-exact baseline the row-major [`Crossbar::matvec`] is
+    /// verified against, and the "before" side of the `exp_throughput`
+    /// kernel comparison. Reads the same folded weight table
+    /// ([`Crossbar::wd`]) as the production kernels: folding the IR
+    /// denominator is a rounding change, so the baseline folds too and
+    /// the differential batteries keep their bit-exact teeth on
+    /// traversal order, remap routing, noise, and ADC behaviour.
     pub fn matvec_reference(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
         let mut out = vec![0.0f64; self.cols];
         self.matvec_reference_into(input, &mut out, rng);
@@ -827,8 +854,12 @@ impl Crossbar {
         self.counter.digital_ops += self.cols as u64;
         let row_src = self.row_src.as_deref();
         let col_src = self.col_src.as_deref();
-        let mut phys = vec![0.0f64; self.cols];
-        for (pj, o) in phys.iter_mut().enumerate() {
+        // Physical-order staging lives in the shared scratch so repeated
+        // calls (the batch loop, the planned forward path) never
+        // allocate; the math below is byte-for-byte the seed kernel's.
+        self.scratch.clear();
+        self.scratch.resize(self.cols, 0.0);
+        for pj in 0..self.cols {
             let mut acc = 0.0f64;
             let mut power = 0.0f64; // Σ (x·w)² for the noise model
             for p in 0..self.rows {
@@ -836,21 +867,16 @@ impl Crossbar {
                 if !self.row_enabled[l] {
                     continue;
                 }
-                let mut term = input[l] as f64 * self.eff[p * self.cols + pj];
-                if self.ir_drop > 0.0 {
-                    term /= 1.0
-                        + self.ir_drop
-                            * (p as f64 / self.rows as f64 + pj as f64 / self.cols as f64);
-                }
+                let term = input[l] as f64 * self.wd[p * self.cols + pj];
                 acc += term;
                 power += term * term;
             }
             if self.read_noise > 0.0 && power > 0.0 {
-                acc += self.read_noise * power.sqrt() * stats::standard_normal(rng);
+                acc += self.read_noise * power.sqrt() * stats::ziggurat_normal(rng);
             }
             self.margin_sum += acc.abs();
             self.margin_count += 1;
-            *o = match &self.adc {
+            self.scratch[pj] = match &self.adc {
                 Some(adc) => {
                     if acc.abs() > adc.full_scale() {
                         self.counter.adc_saturations += 1;
@@ -863,10 +889,10 @@ impl Crossbar {
         // Un-permute columns back to logical order.
         if let Some(map) = col_src {
             for (pj, &l) in map.iter().enumerate() {
-                out[l] = phys[pj];
+                out[l] = self.scratch[pj];
             }
         } else {
-            out.copy_from_slice(&phys);
+            out.copy_from_slice(&self.scratch);
         }
     }
 
@@ -931,6 +957,7 @@ impl Crossbar {
         for w in &mut self.eff {
             *w = f(*w);
         }
+        self.refresh_wd();
         self.invalidate_packed();
     }
 
@@ -1066,8 +1093,23 @@ impl Crossbar {
     ///   bookkeeping hoisted out of the batch loop (row indirection
     ///   resolved once, scratch sized once, op counts tallied in bulk).
     pub fn matmul(&mut self, inputs: &[f32], n: usize, rng: &mut StdRng) -> Vec<f64> {
-        assert_eq!(inputs.len(), n * self.rows, "batch input length mismatch");
         let mut out = vec![0.0f64; n * self.cols];
+        self.matmul_into(inputs, n, &mut out, rng);
+        out
+    }
+
+    /// [`Crossbar::matmul`] writing into a caller-provided buffer: the
+    /// forward-plan path's batch primitive. Every output element is
+    /// overwritten (no pre-zeroing needed) and steady-state calls
+    /// perform zero heap allocations; dispatch, float-op order, tallies
+    /// and RNG consumption are identical to `matmul`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * cols`.
+    pub fn matmul_into(&mut self, inputs: &[f32], n: usize, out: &mut [f64], rng: &mut StdRng) {
+        assert_eq!(inputs.len(), n * self.rows, "batch input length mismatch");
+        assert_eq!(out.len(), n * self.cols, "batch output length mismatch");
         let policy = self.policy;
         match policy {
             KernelPolicy::Reference => {
@@ -1086,9 +1128,8 @@ impl Crossbar {
                     }
                 }
             }
-            _ => self.matmul_scalar_into(inputs, n, &mut out, rng),
+            _ => self.matmul_scalar_into(inputs, n, out, rng),
         }
-        out
     }
 
     /// The hoisted scalar batch kernel (see [`Crossbar::matmul`]).
@@ -1096,14 +1137,18 @@ impl Crossbar {
         let cols = self.cols;
         // The gate pattern and remap are fixed across the batch:
         // resolve each enabled physical row to its logical input index
-        // once (ascending physical order, as the per-call kernel walks).
-        let row_src = self.row_src.as_deref();
-        let active: Vec<(usize, usize)> = (0..self.rows)
-            .filter_map(|p| {
+        // once (ascending physical order, as the per-call kernel walks)
+        // into the reusable row scratch — taken out of `self` for the
+        // duration so the borrow checker allows field access alongside.
+        let mut active = std::mem::take(&mut self.row_scratch);
+        active.clear();
+        {
+            let row_src = self.row_src.as_deref();
+            active.extend((0..self.rows).filter_map(|p| {
                 let l = row_src.map_or(p, |m| m[p]);
                 self.row_enabled[l].then_some((p, l))
-            })
-            .collect();
+            }));
+        }
         self.counter.cell_reads += (n * self.enabled_count * cols) as u64;
         self.counter.sa_evals += (n * cols) as u64;
         if self.adc.is_some() {
@@ -1121,28 +1166,17 @@ impl Crossbar {
             power.fill(0.0);
             for &(p, l) in &active {
                 let x = input[l] as f64;
-                let eff_row = &self.eff[p * cols..(p + 1) * cols];
-                if self.ir_denom.is_empty() {
-                    for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(eff_row) {
-                        let term = x * w;
-                        *a += term;
-                        *pw += term * term;
-                    }
-                } else {
-                    let denom_row = &self.ir_denom[p * cols..(p + 1) * cols];
-                    for (((a, pw), &w), &d) in
-                        acc.iter_mut().zip(power.iter_mut()).zip(eff_row).zip(denom_row)
-                    {
-                        let term = x * w / d;
-                        *a += term;
-                        *pw += term * term;
-                    }
+                let wd_row = &self.wd[p * cols..(p + 1) * cols];
+                for ((a, pw), &w) in acc.iter_mut().zip(power.iter_mut()).zip(wd_row) {
+                    let term = x * w; // IR denominator pre-folded into `wd`
+                    *a += term;
+                    *pw += term * term;
                 }
             }
             for (pj, (&a, &pw)) in acc.iter().zip(power.iter()).enumerate() {
                 let mut a = a;
                 if self.read_noise > 0.0 && pw > 0.0 {
-                    a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+                    a += self.read_noise * pw.sqrt() * stats::ziggurat_normal(rng);
                 }
                 self.margin_sum += a.abs();
                 self.margin_count += 1;
@@ -1157,6 +1191,15 @@ impl Crossbar {
                 };
             }
         }
+        self.row_scratch = active;
+    }
+
+    /// Bytes of reusable kernel scratch currently held by this array
+    /// (column accumulators plus the batch row-resolution buffer) — the
+    /// raw material of the `scratch_bytes` telemetry gauge.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.capacity() * std::mem::size_of::<f64>()
+            + self.row_scratch.capacity() * std::mem::size_of::<(usize, usize)>()
     }
 }
 
@@ -1185,6 +1228,9 @@ pub struct MlcCrossbar {
     counter: OpCounter,
     margin_sum: f64,
     margin_count: u64,
+    /// Column accumulator scratch (`[acc | power]`), reused across
+    /// evaluations to keep the kernel allocation-free.
+    scratch: Vec<f64>,
 }
 
 impl MlcCrossbar {
@@ -1227,6 +1273,7 @@ impl MlcCrossbar {
             counter,
             margin_sum: 0.0,
             margin_count: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -1301,7 +1348,23 @@ impl MlcCrossbar {
     ///
     /// Panics if `input.len() != rows`.
     pub fn matvec(&mut self, input: &[f32], rng: &mut StdRng) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.cols];
+        self.matvec_into(input, &mut out, rng);
+        out
+    }
+
+    /// [`MlcCrossbar::matvec`] writing into a caller-provided buffer —
+    /// the zero-allocation primitive of the forward-plan path. Column
+    /// accumulators live in the reused scratch, so steady-state calls
+    /// perform no heap allocation; float-op order, tallies and RNG
+    /// consumption are identical to `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != cols`.
+    pub fn matvec_into(&mut self, input: &[f32], out: &mut [f64], rng: &mut StdRng) {
         assert_eq!(input.len(), self.rows, "input length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
         let active = self.row_enabled.iter().filter(|&&e| e).count() as u64;
         self.counter.cell_reads += active * self.cols as u64;
         self.counter.sa_evals += self.cols as u64;
@@ -1313,8 +1376,9 @@ impl MlcCrossbar {
         // sums reach each column in ascending-row order, matching the
         // column-outer formulation bit for bit.
         let cols = self.cols;
-        let mut acc = vec![0.0f64; cols];
-        let mut power = vec![0.0f64; cols];
+        self.scratch.clear();
+        self.scratch.resize(2 * cols, 0.0);
+        let (acc, power) = self.scratch.split_at_mut(cols);
         for (i, (&xi, &enabled)) in input.iter().zip(&self.row_enabled).enumerate() {
             if !enabled {
                 continue;
@@ -1327,11 +1391,10 @@ impl MlcCrossbar {
                 *pw += term * term;
             }
         }
-        let mut out = vec![0.0f64; cols];
-        for ((o, &a), &pw) in out.iter_mut().zip(&acc).zip(&power) {
+        for ((o, &a), &pw) in out.iter_mut().zip(acc.iter()).zip(power.iter()) {
             let mut a = a;
             if self.read_noise > 0.0 && pw > 0.0 {
-                a += self.read_noise * pw.sqrt() * stats::standard_normal(rng);
+                a += self.read_noise * pw.sqrt() * stats::ziggurat_normal(rng);
             }
             self.margin_sum += a.abs();
             self.margin_count += 1;
@@ -1345,7 +1408,12 @@ impl MlcCrossbar {
                 None => a,
             };
         }
-        out
+    }
+
+    /// Bytes of reusable kernel scratch currently held by this array
+    /// (see [`Crossbar::scratch_bytes`]).
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Raw sense-margin accumulator `(sum, count)` (see
@@ -1783,17 +1851,95 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_bit_identical_and_reuse_scratch() {
+        // matvec_into / matmul_into against their allocating twins on a
+        // full-feature tile, from a dirty output buffer, under every
+        // kernel policy — then again to prove the scratch is warm (no
+        // capacity growth).
+        let w: Vec<f32> =
+            (0..12 * 10).map(|i| if (i * 11) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            read_noise: 0.05,
+            adc_bits: Some(6),
+            ir_drop: 0.07,
+            ..CrossbarConfig::default()
+        };
+        for policy in [KernelPolicy::Reference, KernelPolicy::Scalar, KernelPolicy::Auto] {
+            let mut ra = StdRng::seed_from_u64(77);
+            let mut rb = StdRng::seed_from_u64(77);
+            let mut a = Crossbar::program(&w, 12, 10, &config, &mut ra);
+            let mut b = Crossbar::program(&w, 12, 10, &config, &mut rb);
+            for xbar in [&mut a, &mut b] {
+                xbar.set_row_enabled(2, false);
+                xbar.set_kernel_policy(policy);
+            }
+            let x: Vec<f32> = (0..12).map(|i| ((i * 3) % 7) as f32 / 3.0 - 1.0).collect();
+            let expect = a.matvec(&x, &mut ra);
+            let mut got = vec![f64::NAN; 10];
+            b.matvec_into(&x, &mut got, &mut rb);
+            for (va, vb) in expect.iter().zip(&got) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{policy:?} matvec_into diverged");
+            }
+            let n = 5;
+            let inputs: Vec<f32> =
+                (0..n * 12).map(|i| ((i * 7) % 9) as f32 / 4.0 - 1.0).collect();
+            let expect = a.matmul(&inputs, n, &mut ra);
+            let mut got = vec![f64::NAN; n * 10];
+            b.matmul_into(&inputs, n, &mut got, &mut rb);
+            for (va, vb) in expect.iter().zip(&got) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{policy:?} matmul_into diverged");
+            }
+            assert_eq!(a.counter(), b.counter(), "{policy:?} tallies diverged");
+            // Warm scratch: a repeat call must not grow the buffers.
+            let bytes = b.scratch_bytes();
+            b.matmul_into(&inputs, n, &mut got, &mut rb);
+            assert_eq!(b.scratch_bytes(), bytes, "{policy:?} scratch grew when warm");
+            assert!(bytes > 0);
+        }
+    }
+
+    #[test]
+    fn mlc_matvec_into_bit_identical_to_matvec() {
+        let w: Vec<f32> = (0..8 * 6).map(|i| ((i * 5) % 7) as f32 / 3.5 - 1.0).collect();
+        let config = CrossbarConfig { read_noise: 0.04, adc_bits: Some(6), ..ideal() };
+        let mut ra = StdRng::seed_from_u64(55);
+        let mut rb = StdRng::seed_from_u64(55);
+        let mut a = MlcCrossbar::program(&w, 8, 6, 4, 1.0, &config, &mut ra);
+        let mut b = MlcCrossbar::program(&w, 8, 6, 4, 1.0, &config, &mut rb);
+        for xbar in [&mut a, &mut b] {
+            xbar.set_row_enabled(3, false);
+        }
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 / 4.0) - 1.0).collect();
+        for _ in 0..4 {
+            let expect = a.matvec(&x, &mut ra);
+            let mut got = vec![f64::NAN; 6];
+            b.matvec_into(&x, &mut got, &mut rb);
+            for (va, vb) in expect.iter().zip(&got) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "mlc matvec_into diverged");
+            }
+        }
+        assert_eq!(a.counter(), b.counter());
+        let ((sa, ca), (sb, cb)) = (a.sense_margin_parts(), b.sense_margin_parts());
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(ca, cb);
+        assert!(b.scratch_bytes() > 0);
+    }
+
+    #[test]
     fn matvec_seed42_golden_vector() {
         // Seed-42 golden vector (same convention as the neuspin-core RNG
         // golden tests): a defective, remapped, IR-dropped, quantized,
         // partially disabled, noisy 16×8 crossbar. These bits were
         // captured from the seed kernel; they pin the full evaluation
         // path — programming stream, remap routing, IR denominators,
-        // noise draws, ADC codes — against silent drift.
+        // noise draws, ADC codes — against silent drift. (Re-captured
+        // when read noise moved from Box–Muller to the ziggurat
+        // sampler; only column 2 shifted, the ADC absorbed the rest.)
         const GOLDEN_BITS: [u64; 8] = [
             0x4006000000000000, // 2.75
             0x402f800000000000, // 15.75
-            0xbfd0000000000000, // -0.25
+            0xbfe8000000000000, // -0.75
             0x3fe8000000000000, // 0.75
             0x3ffc000000000000, // 1.75
             0xbfe8000000000000, // -0.75

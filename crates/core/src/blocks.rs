@@ -10,7 +10,7 @@
 use neuspin_cim::{
     Arbiter, Crossbar, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
 };
-use neuspin_nn::conv::{im2col, ConvGeometry};
+use neuspin_nn::conv::{im2col, im2col_into, ConvGeometry};
 use neuspin_nn::Tensor;
 use rand::rngs::StdRng;
 
@@ -65,6 +65,10 @@ pub struct HwConv {
     pub(crate) alphas: Vec<f32>,
     pub(crate) bias: Vec<f32>,
     pub(crate) local: OpCounter,
+    /// Reused im2col staging buffer (forward-plan scratch).
+    pub(crate) col: Tensor,
+    /// Reused crossbar output buffer (forward-plan scratch).
+    pub(crate) ybuf: Vec<f64>,
 }
 
 impl HwConv {
@@ -92,6 +96,42 @@ impl HwConv {
         out
     }
 
+    /// [`HwConv::forward`] writing into a caller-provided tensor, with
+    /// the im2col staging and crossbar output held in block-owned
+    /// scratch. Steady-state calls perform no heap allocation; the
+    /// float-op order (hence output bits, tallies, and RNG stream) is
+    /// identical to the allocating path.
+    pub(crate) fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, rng: &mut StdRng) {
+        let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (self.geo.out_size(h), self.geo.out_size(w));
+        let cout = self.geo.out_channels;
+        im2col_into(x, &self.geo, &mut self.col);
+        let positions = n * oh * ow;
+        if self.ybuf.len() != positions * cout {
+            self.ybuf.clear();
+            self.ybuf.resize(positions * cout, 0.0);
+        }
+        self.xbar.matmul_into(self.col.as_slice(), positions, &mut self.ybuf, rng);
+        out.resize_to(&[n, cout, oh, ow]);
+        for pos in 0..positions {
+            let row = &self.ybuf[pos * cout..(pos + 1) * cout];
+            let (ni, rem) = (pos / (oh * ow), pos % (oh * ow));
+            let (oy, ox) = (rem / ow, rem % ow);
+            for (co, &v) in row.iter().enumerate() {
+                out[((ni * cout + co) * oh + oy) * ow + ox] =
+                    v as f32 * self.alphas[co] + self.bias[co];
+            }
+        }
+        self.local.digital_ops += (positions * cout) as u64;
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        self.col.capacity() * std::mem::size_of::<f32>()
+            + self.ybuf.capacity() * std::mem::size_of::<f64>()
+            + self.xbar.scratch_bytes()
+    }
+
     pub(crate) fn counter(&self) -> OpCounter {
         let mut c = *self.xbar.counter();
         c.merge(&self.local);
@@ -107,6 +147,8 @@ pub struct HwFc {
     pub(crate) alphas: Vec<f32>,
     pub(crate) bias: Vec<f32>,
     pub(crate) local: OpCounter,
+    /// Reused crossbar output buffer (forward-plan scratch).
+    pub(crate) ybuf: Vec<f64>,
 }
 
 impl HwFc {
@@ -126,6 +168,34 @@ impl HwFc {
         out
     }
 
+    /// [`HwFc::forward`] writing into a caller-provided tensor; the
+    /// crossbar output lives in block-owned scratch, so steady-state
+    /// calls are allocation-free and bit-identical to the allocating
+    /// path.
+    pub(crate) fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, rng: &mut StdRng) {
+        assert_eq!(x.ndim(), 2, "HwFc expects [N, F]");
+        let n = x.shape()[0];
+        let o = self.alphas.len();
+        if self.ybuf.len() != n * o {
+            self.ybuf.clear();
+            self.ybuf.resize(n * o, 0.0);
+        }
+        self.xbar.matmul_into(x.as_slice(), n, &mut self.ybuf, rng);
+        out.resize_to(&[n, o]);
+        for ni in 0..n {
+            let row = &self.ybuf[ni * o..(ni + 1) * o];
+            for (j, &v) in row.iter().enumerate() {
+                out[ni * o + j] = v as f32 * self.alphas[j] + self.bias[j];
+            }
+        }
+        self.local.digital_ops += (n * o) as u64;
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        self.ybuf.capacity() * std::mem::size_of::<f64>() + self.xbar.scratch_bytes()
+    }
+
     pub(crate) fn counter(&self) -> OpCounter {
         let mut c = *self.xbar.counter();
         c.merge(&self.local);
@@ -143,6 +213,8 @@ pub struct HwFcSpinBayes {
     pub(crate) bias: Vec<f32>,
     pub(crate) out_features: usize,
     pub(crate) local: OpCounter,
+    /// Reused per-row crossbar output buffer (forward-plan scratch).
+    pub(crate) ybuf: Vec<f64>,
 }
 
 impl HwFcSpinBayes {
@@ -165,6 +237,44 @@ impl HwFcSpinBayes {
         out
     }
 
+    /// [`HwFcSpinBayes::forward`] writing into a caller-provided
+    /// tensor; the per-row matvec output lives in block-owned scratch.
+    /// Arbiter selection and RNG consumption match the allocating path
+    /// exactly.
+    pub(crate) fn forward_into(
+        &mut self,
+        x: &Tensor,
+        out: &mut Tensor,
+        stochastic: bool,
+        rng: &mut StdRng,
+    ) {
+        assert_eq!(x.ndim(), 2, "HwFcSpinBayes expects [N, F]");
+        let (n, f) = (x.shape()[0], x.shape()[1]);
+        let o = self.out_features;
+        let before = self.arbiter.bits_used();
+        let selected = if stochastic { self.arbiter.select(rng) } else { 0 };
+        self.local.rng_bits += self.arbiter.bits_used() - before;
+        if self.ybuf.len() != o {
+            self.ybuf.clear();
+            self.ybuf.resize(o, 0.0);
+        }
+        let xbar = &mut self.xbars[selected];
+        out.resize_to(&[n, o]);
+        for ni in 0..n {
+            xbar.matvec_into(&x.as_slice()[ni * f..(ni + 1) * f], &mut self.ybuf, rng);
+            for (j, &v) in self.ybuf.iter().enumerate() {
+                out[ni * o + j] = v as f32 + self.bias[j];
+            }
+        }
+        self.local.digital_ops += (n * o) as u64;
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        self.ybuf.capacity() * std::mem::size_of::<f64>()
+            + self.xbars.iter().map(|xb| xb.scratch_bytes()).sum::<usize>()
+    }
+
     pub(crate) fn counter(&self) -> OpCounter {
         let mut c = self.local;
         for xb in &self.xbars {
@@ -181,6 +291,10 @@ pub struct HwDigitalFc {
     pub(crate) weight: Tensor, // [o, i]
     pub(crate) bias: Vec<f32>,
     pub(crate) local: OpCounter,
+    /// Cached transpose of `weight`, built on the first planned call.
+    /// Safe to cache: classifier weights are fixed at compile time and
+    /// untouched by fault management (which targets crossbars only).
+    pub(crate) weight_t: Tensor,
 }
 
 impl HwDigitalFc {
@@ -194,6 +308,30 @@ impl HwDigitalFc {
         }
         self.local.digital_ops += (x.len() * o) as u64;
         out
+    }
+
+    /// [`HwDigitalFc::forward`] writing into a caller-provided tensor,
+    /// reusing a cached weight transpose. The transpose is a
+    /// deterministic data movement, so the matmul consumes identical
+    /// operands in identical order — outputs stay bit-identical.
+    pub(crate) fn forward_into(&mut self, x: &Tensor, out: &mut Tensor) {
+        let (o, i) = (self.weight.shape()[0], self.weight.shape()[1]);
+        if self.weight_t.shape() != [i, o] {
+            self.weight_t = self.weight.transpose();
+        }
+        x.matmul_into(&self.weight_t, out);
+        let n = out.shape()[0];
+        for ni in 0..n {
+            for j in 0..o {
+                out[ni * o + j] += self.bias[j];
+            }
+        }
+        self.local.digital_ops += (x.len() * o) as u64;
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        self.weight_t.capacity() * std::mem::size_of::<f32>()
     }
 }
 
@@ -246,6 +384,43 @@ impl HwNorm {
         self.local.digital_ops += x.len() as u64;
         out
     }
+
+    /// [`HwNorm::forward`] writing into a caller-provided tensor.
+    /// Calibration statistics update identically; the normalize loop
+    /// runs in the same order, so outputs stay bit-identical.
+    pub(crate) fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, calibrating: bool) {
+        let (n, f, spatial) = layout(x.shape());
+        assert_eq!(f, self.gamma.len(), "feature mismatch");
+        if calibrating {
+            self.stats.ensure(f);
+            for ni in 0..n {
+                for si in 0..spatial {
+                    self.stats.count += 1;
+                    for fi in 0..f {
+                        let v = x[(ni * f + fi) * spatial + si] as f64;
+                        self.stats.push(fi, v);
+                    }
+                }
+            }
+            for fi in 0..f {
+                let (m, v) = self.stats.mean_var(fi);
+                self.mean[fi] = m;
+                self.var[fi] = v;
+            }
+        }
+        out.resize_to(x.shape());
+        for ni in 0..n {
+            for fi in 0..f {
+                let inv = 1.0 / (self.var[fi] + 1e-5).sqrt();
+                let (g, b, m) = (self.gamma[fi], self.beta[fi], self.mean[fi]);
+                for si in 0..spatial {
+                    let i = (ni * f + fi) * spatial + si;
+                    out[i] = g * (x[i] - m) * inv + b;
+                }
+            }
+        }
+        self.local.digital_ops += x.len() as u64;
+    }
 }
 
 /// Digital inverted normalization (affine first, per-sample whitening
@@ -258,6 +433,8 @@ pub struct HwInvNorm {
     /// Affine-dropout modules for (γ, β); `None` when p = 0.
     pub(crate) modules: Option<(SpinDropModule, SpinDropModule)>,
     pub(crate) local: OpCounter,
+    /// Reused per-sample affine buffer (forward-plan scratch).
+    pub(crate) abuf: Vec<f32>,
 }
 
 impl HwInvNorm {
@@ -297,6 +474,62 @@ impl HwInvNorm {
         self.local.sram_accesses += 2 * f as u64; // γ and β reads
         out
     }
+
+    /// [`HwInvNorm::forward`] writing into a caller-provided tensor;
+    /// the per-sample affine staging lives in block-owned scratch. The
+    /// affine loop fully overwrites the buffer each sample, so reuse
+    /// cannot leak values between samples; module sampling order and
+    /// RNG consumption match the allocating path exactly.
+    pub(crate) fn forward_into(
+        &mut self,
+        x: &Tensor,
+        out: &mut Tensor,
+        stochastic: bool,
+        rng: &mut StdRng,
+    ) {
+        let (n, f, spatial) = layout(x.shape());
+        assert_eq!(f, self.gamma.len(), "feature mismatch");
+        let (gamma_kept, beta_kept) = match (&mut self.modules, stochastic) {
+            (Some((mg, mb)), true) => {
+                self.local.rng_bits += 2;
+                (!mg.sample(rng), !mb.sample(rng))
+            }
+            _ => (true, true),
+        };
+        let m_elems = (f * spatial) as f32;
+        if self.abuf.len() != f * spatial {
+            self.abuf.clear();
+            self.abuf.resize(f * spatial, 0.0);
+        }
+        out.resize_to(x.shape());
+        for ni in 0..n {
+            // Affine first.
+            for fi in 0..f {
+                let g = if gamma_kept { self.gamma[fi] } else { 1.0 };
+                let b = if beta_kept { self.beta[fi] } else { 0.0 };
+                for si in 0..spatial {
+                    self.abuf[fi * spatial + si] = g * x[(ni * f + fi) * spatial + si] + b;
+                }
+            }
+            // Per-sample whitening.
+            let mean: f32 = self.abuf.iter().sum::<f32>() / m_elems;
+            let var: f32 =
+                self.abuf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m_elems;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for (idx, &v) in self.abuf.iter().enumerate() {
+                let fi = idx / spatial;
+                let si = idx % spatial;
+                out[(ni * f + fi) * spatial + si] = (v - mean) * inv;
+            }
+        }
+        self.local.digital_ops += 2 * x.len() as u64;
+        self.local.sram_accesses += 2 * f as u64; // γ and β reads
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        self.abuf.capacity() * std::mem::size_of::<f32>()
+    }
 }
 
 /// Hardware stochastic (dropout) units.
@@ -335,6 +568,8 @@ pub enum HwDropout {
         bits_per_sample: u32,
         /// Local op tallies.
         local: OpCounter,
+        /// Reused sampled-scale buffer (forward-plan scratch).
+        scratch: Vec<f32>,
     },
 }
 
@@ -398,7 +633,7 @@ impl HwDropout {
                 }
                 out
             }
-            HwDropout::ViScale { mu, sigma, bits_per_sample, local } => {
+            HwDropout::ViScale { mu, sigma, bits_per_sample, local, .. } => {
                 assert_eq!(mu.len(), f, "scale length mismatch");
                 let sampled: Vec<f32> = if stochastic {
                     local.rng_bits += u64::from(*bits_per_sample) * f as u64;
@@ -424,6 +659,110 @@ impl HwDropout {
                 }
                 out
             }
+        }
+    }
+
+    /// [`HwDropout::forward`] writing into a caller-provided tensor.
+    /// Deterministic passes copy the input through; stochastic passes
+    /// draw the same module/RNG sequence as the allocating path. The
+    /// ViScale posterior samples live in variant-owned scratch.
+    pub(crate) fn forward_into(
+        &mut self,
+        x: &Tensor,
+        out: &mut Tensor,
+        stochastic: bool,
+        rng: &mut StdRng,
+    ) {
+        let (n, f, spatial) = layout(x.shape());
+        match self {
+            HwDropout::PerNeuron { modules, p } => {
+                if !stochastic {
+                    out.copy_from(x);
+                    return;
+                }
+                assert_eq!(modules.len(), f * spatial, "one module per neuron");
+                let keep_scale = 1.0 / (1.0 - *p);
+                out.resize_to(x.shape());
+                for ni in 0..n {
+                    for (mi, module) in modules.iter_mut().enumerate() {
+                        let dropped = module.sample(rng);
+                        let i = ni * f * spatial + mi;
+                        out[i] = if dropped { 0.0 } else { x[i] * keep_scale };
+                    }
+                }
+            }
+            HwDropout::PerChannel { modules, p } => {
+                if !stochastic {
+                    out.copy_from(x);
+                    return;
+                }
+                assert_eq!(modules.len(), f, "one module per channel");
+                let keep_scale = 1.0 / (1.0 - *p);
+                out.resize_to(x.shape());
+                for ni in 0..n {
+                    for (fi, module) in modules.iter_mut().enumerate() {
+                        let dropped = module.sample(rng);
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = if dropped { 0.0 } else { x[i] * keep_scale };
+                        }
+                    }
+                }
+            }
+            HwDropout::Scale { module, scale, local } => {
+                let dropped = if stochastic {
+                    module.sample(local, rng)
+                } else {
+                    local.sram_accesses += scale.len() as u64;
+                    false
+                };
+                if dropped {
+                    out.copy_from(x); // scale modulated to identity
+                    return;
+                }
+                assert_eq!(scale.len(), f, "scale length mismatch");
+                out.resize_to(x.shape());
+                for ni in 0..n {
+                    for (fi, &s) in scale.iter().enumerate() {
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = x[i] * s;
+                        }
+                    }
+                }
+            }
+            HwDropout::ViScale { mu, sigma, bits_per_sample, local, scratch } => {
+                assert_eq!(mu.len(), f, "scale length mismatch");
+                scratch.clear();
+                if stochastic {
+                    local.rng_bits += u64::from(*bits_per_sample) * f as u64;
+                    scratch.extend((0..f).map(|j| {
+                        mu[j] + sigma[j] * neuspin_device::stats::standard_normal(rng) as f32
+                    }));
+                } else {
+                    scratch.extend_from_slice(mu);
+                }
+                local.sram_accesses += 2 * f as u64;
+                out.resize_to(x.shape());
+                for ni in 0..n {
+                    for (fi, &s) in scratch.iter().enumerate() {
+                        for si in 0..spatial {
+                            let i = (ni * f + fi) * spatial + si;
+                            out[i] = x[i] * s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this unit.
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        match self {
+            HwDropout::ViScale { scratch, .. } => {
+                scratch.capacity() * std::mem::size_of::<f32>()
+            }
+            _ => 0,
         }
     }
 
@@ -495,6 +834,57 @@ impl HwBlock {
         }
     }
 
+    /// Executes the block, writing the activation into `out` — the
+    /// forward-plan path. Bit-identical to [`HwBlock::forward`]: same
+    /// float-op order, op tallies, and RNG consumption; only the
+    /// destination storage differs.
+    pub(crate) fn forward_into(
+        &mut self,
+        x: &Tensor,
+        out: &mut Tensor,
+        stochastic: bool,
+        calibrating: bool,
+        rng: &mut StdRng,
+    ) {
+        match self {
+            HwBlock::Conv(b) => b.forward_into(x, out, rng),
+            HwBlock::Fc(b) => b.forward_into(x, out, rng),
+            HwBlock::FcSpinBayes(b) => b.forward_into(x, out, stochastic, rng),
+            HwBlock::DigitalFc(b) => b.forward_into(x, out),
+            HwBlock::Norm(b) => b.forward_into(x, out, calibrating),
+            HwBlock::InvNorm(b) => b.forward_into(x, out, stochastic, rng),
+            HwBlock::HardTanh => {
+                out.resize_to(x.shape());
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    *o = v.clamp(-1.0, 1.0);
+                }
+            }
+            HwBlock::MaxPool(k) => max_pool_into(x, *k, out),
+            HwBlock::Flatten => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                out.copy_from(x);
+                out.reshape_in_place(&[n, rest]);
+            }
+            HwBlock::Dropout(d) => d.forward_into(x, out, stochastic, rng),
+        }
+    }
+
+    /// Bytes of reusable forward-plan scratch held by this block
+    /// (activation ping-pong buffers are owned by the model, not the
+    /// blocks, and accounted there).
+    pub(crate) fn scratch_bytes(&self) -> usize {
+        match self {
+            HwBlock::Conv(b) => b.scratch_bytes(),
+            HwBlock::Fc(b) => b.scratch_bytes(),
+            HwBlock::FcSpinBayes(b) => b.scratch_bytes(),
+            HwBlock::DigitalFc(b) => b.scratch_bytes(),
+            HwBlock::InvNorm(b) => b.scratch_bytes(),
+            HwBlock::Dropout(d) => d.scratch_bytes(),
+            _ => 0,
+        }
+    }
+
     /// A static label for telemetry span/trace annotations.
     pub(crate) fn kind(&self) -> &'static str {
         match self {
@@ -527,10 +917,16 @@ impl HwBlock {
 }
 
 fn max_pool(x: &Tensor, k: usize) -> Tensor {
+    let mut out = Tensor::default();
+    max_pool_into(x, k, &mut out);
+    out
+}
+
+fn max_pool_into(x: &Tensor, k: usize, out: &mut Tensor) {
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     assert!(h % k == 0 && w % k == 0, "pool window must divide input");
     let (oh, ow) = (h / k, w / k);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    out.resize_to(&[n, c, oh, ow]);
     for ni in 0..n {
         for ci in 0..c {
             for oy in 0..oh {
@@ -547,5 +943,4 @@ fn max_pool(x: &Tensor, k: usize) -> Tensor {
             }
         }
     }
-    out
 }

@@ -7,10 +7,32 @@ use neuspin_device::VariedParams;
 use neuspin_nn::conv::ConvGeometry;
 use neuspin_nn::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn rng() -> StdRng {
     StdRng::seed_from_u64(4242)
+}
+
+/// Asserts that `forward_into` on a clone of `block` reproduces
+/// `block.forward` bit for bit (same outputs, tallies, and RNG
+/// consumption), twice in a row so the warm-scratch steady state is
+/// covered too.
+fn assert_into_twin(block: &mut HwBlock, x: &Tensor, stochastic: bool) {
+    let mut twin = block.clone();
+    let mut r1 = rng();
+    let mut r2 = rng();
+    let mut out = Tensor::from_vec(vec![f32::NAN; 3], &[3]); // dirty, wrong shape
+    for round in 0..2 {
+        let want = block.forward(x, stochastic, false, &mut r1);
+        twin.forward_into(x, &mut out, stochastic, false, &mut r2);
+        assert_eq!(out.shape(), want.shape(), "round {round}");
+        for (a, b) in out.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+        }
+        assert_eq!(twin.counter(), block.counter(), "round {round}");
+    }
+    // RNG streams advanced identically.
+    assert_eq!(r1.next_u64(), r2.next_u64());
 }
 
 #[test]
@@ -32,6 +54,8 @@ fn hw_conv_matches_direct_convolution() {
         alphas: vec![0.5, 2.0],
         bias: vec![0.1, -0.1],
         local: OpCounter::new(),
+        col: Tensor::default(),
+        ybuf: Vec::new(),
     };
     let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32 * 0.3).sin());
     let y = block.forward(&x, &mut r);
@@ -104,6 +128,7 @@ fn hw_inv_norm_heals_global_scale_at_block_level() {
         beta: vec![0.1, -0.2, 0.0, 0.3],
         modules: None,
         local: OpCounter::new(),
+        abuf: Vec::new(),
     };
     let x = Tensor::from_fn(&[2, 4], |i| (i as f32 * 0.61).cos());
     let y1 = block.forward(&x, false, &mut r);
@@ -118,6 +143,7 @@ fn hw_inv_norm_heals_global_scale_at_block_level() {
         beta: vec![0.0; 4],
         modules: None,
         local: OpCounter::new(),
+        abuf: Vec::new(),
     };
     let z1 = pure.forward(&x, false, &mut r);
     let z2 = pure.forward(&scaled, false, &mut r);
@@ -161,9 +187,125 @@ fn hw_dropout_per_neuron_counts_bits() {
 }
 
 #[test]
+fn forward_into_twins_are_bit_identical() {
+    let mut r = rng();
+    // Noisy analog config so the conv exercises the RNG-drawing scalar
+    // kernel, not just the packed one.
+    let noisy = CrossbarConfig { read_noise: 0.05, ir_drop: 0.03, ..CrossbarConfig::ideal() };
+    let geo = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+    let layout: Vec<f32> =
+        (0..18 * 3).map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    let conv = HwBlock::Conv(HwConv {
+        xbar: Crossbar::program(&layout, 18, 3, &noisy, &mut r),
+        geo,
+        alphas: vec![0.5, 2.0, 1.25],
+        bias: vec![0.1, -0.1, 0.0],
+        local: OpCounter::new(),
+        col: Tensor::default(),
+        ybuf: Vec::new(),
+    });
+    let fc_layout: Vec<f32> = (0..12 * 4).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let fc = HwBlock::Fc(HwFc {
+        xbar: Crossbar::program(&fc_layout, 12, 4, &noisy, &mut r),
+        alphas: vec![1.0, 0.5, 2.0, 1.5],
+        bias: vec![0.0, 0.1, -0.1, 0.2],
+        local: OpCounter::new(),
+        ybuf: Vec::new(),
+    });
+    let mlc_w: Vec<f32> = (0..12 * 4).map(|i| (i as f32 * 0.47).sin()).collect();
+    let spinbayes = HwBlock::FcSpinBayes(HwFcSpinBayes {
+        xbars: (0..3)
+            .map(|_| {
+                neuspin_cim::MlcCrossbar::program(&mlc_w, 12, 4, 4, 1.0, &noisy, &mut r)
+            })
+            .collect(),
+        arbiter: neuspin_cim::Arbiter::new(3, VariedParams::ideal(), &mut r),
+        bias: vec![0.1, -0.2, 0.3, 0.0],
+        out_features: 4,
+        local: OpCounter::new(),
+        ybuf: Vec::new(),
+    });
+    let digital_fc = HwBlock::DigitalFc(HwDigitalFc {
+        weight: Tensor::from_fn(&[5, 12], |i| (i as f32 * 0.31).cos()),
+        bias: vec![0.5, -0.5, 0.25, 0.0, 1.0],
+        local: OpCounter::new(),
+        weight_t: Tensor::default(),
+    });
+    let norm = HwBlock::Norm(HwNorm {
+        gamma: vec![1.1, 0.9, 1.0],
+        beta: vec![0.1, 0.0, -0.1],
+        mean: vec![0.2, -0.3, 0.05],
+        var: vec![1.5, 0.7, 1.0],
+        stats: FeatureStats::default(),
+        local: OpCounter::new(),
+    });
+    let inv_norm = HwBlock::InvNorm(HwInvNorm {
+        gamma: vec![1.3, 0.7, 1.1],
+        beta: vec![0.1, -0.2, 0.0],
+        modules: Some((
+            SpinDropModule::new(0.4, VariedParams::ideal(), &mut r),
+            SpinDropModule::new(0.4, VariedParams::ideal(), &mut r),
+        )),
+        local: OpCounter::new(),
+        abuf: Vec::new(),
+    });
+    let per_neuron = HwBlock::Dropout(HwDropout::PerNeuron {
+        modules: (0..12).map(|_| SpinDropModule::new(0.3, VariedParams::ideal(), &mut r)).collect(),
+        p: 0.3,
+    });
+    let per_channel = HwBlock::Dropout(HwDropout::PerChannel {
+        modules: (0..3)
+            .map(|_| neuspin_cim::SpatialDropModule::new(0.3, 2, VariedParams::ideal(), &mut r))
+            .collect(),
+        p: 0.3,
+    });
+    let scale = HwBlock::Dropout(HwDropout::Scale {
+        module: ScaleDropModule::new(0.5, 3, VariedParams::ideal(), &mut r),
+        scale: vec![0.8, 1.2, 1.0],
+        local: OpCounter::new(),
+    });
+    let vi_scale = HwBlock::Dropout(HwDropout::ViScale {
+        mu: vec![1.0, 0.9, 1.1],
+        sigma: vec![0.1, 0.2, 0.05],
+        bits_per_sample: 8,
+        local: OpCounter::new(),
+        scratch: Vec::new(),
+    });
+
+    let x_img = Tensor::from_fn(&[2, 2, 4, 4], |i| (i as f32 * 0.23).sin());
+    let x_chan3 = Tensor::from_fn(&[2, 3, 2, 2], |i| (i as f32 * 0.41).cos());
+    let x_flat12 = Tensor::from_fn(&[2, 12], |i| (i as f32 * 0.17).sin());
+    let x_feat3 = Tensor::from_fn(&[4, 3], |i| (i as f32 * 0.29).cos());
+    for stochastic in [false, true] {
+        for (block, x) in [
+            (&conv, &x_img),
+            (&fc, &x_flat12),
+            (&spinbayes, &x_flat12),
+            (&digital_fc, &x_flat12),
+            (&norm, &x_feat3),
+            (&inv_norm, &x_feat3),
+            (&per_neuron, &x_flat12),
+            (&per_channel, &x_chan3),
+            (&scale, &x_feat3),
+            (&vi_scale, &x_feat3),
+            (&HwBlock::HardTanh, &x_feat3),
+            (&HwBlock::MaxPool(2), &x_img),
+            (&HwBlock::Flatten, &x_img),
+        ] {
+            assert_into_twin(&mut block.clone(), x, stochastic);
+        }
+    }
+}
+
+#[test]
 fn hw_digital_fc_matches_matmul() {
     let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
-    let mut block = HwDigitalFc { weight: w, bias: vec![0.5, -0.5], local: OpCounter::new() };
+    let mut block = HwDigitalFc {
+        weight: w,
+        bias: vec![0.5, -0.5],
+        local: OpCounter::new(),
+        weight_t: Tensor::default(),
+    };
     let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
     let y = block.forward(&x);
     assert_eq!(y.as_slice(), &[3.5, 6.5]);

@@ -60,8 +60,8 @@ pub(crate) mod testutil;
 pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
 pub use json::{Json, ToJson};
-pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFaultReport};
-pub use pool::{mc_predict_par, ThreadPool};
+pub use model::{FaultManagementReport, HardwareConfig, HardwareModel, LayerFaultReport, ReplicaBank};
+pub use pool::{mc_predict_par, mc_predict_par_on, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
 pub use runtime::{
@@ -297,6 +297,135 @@ mod tests {
         assert!(monitor.policy() > HealthPolicy::Healthy, "{:?}", monitor.policy());
     }
 
+    /// A compiled noisy Bayesian model for the planned-engine batteries
+    /// (noise keeps the packed kernel out, exercising the scalar
+    /// scratch paths).
+    fn noisy_bayesian_model(seed: u64) -> HardwareModel {
+        let a = arch();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sw = build_cnn(Method::SpinDrop, &a, &mut rng);
+        let config = HardwareConfig {
+            crossbar: CrossbarConfig {
+                read_noise: 0.03,
+                ir_drop: 0.02,
+                ..CrossbarConfig::default()
+            },
+            passes: 4,
+            ..HardwareConfig::default()
+        };
+        let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &a, &config, &mut rng);
+        let x = Tensor::from_fn(&[4, 1, 16, 16], |i| (i as f32 * 0.029).sin());
+        hw.calibrate(&x, 1, &mut rng);
+        hw
+    }
+
+    fn assert_predictive_bits_eq(a: &neuspin_bayes::Predictive, b: &neuspin_bayes::Predictive) {
+        assert_eq!(a.passes, b.passes);
+        assert_eq!(a.mean_probs.shape(), b.mean_probs.shape());
+        for (x, y) in a.mean_probs.as_slice().iter().zip(b.mean_probs.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.entropy.iter().zip(&b.entropy) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.mutual_information.iter().zip(&b.mutual_information) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.variance.iter().zip(&b.variance) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn planned_engine_is_bit_identical_to_unplanned() {
+        let mut planned = noisy_bayesian_model(101);
+        let mut legacy = planned.clone();
+        let x = Tensor::from_fn(&[3, 1, 16, 16], |i| ((i * 11 % 37) as f32 / 18.5) - 1.0);
+        for seed in [5u64, 6, 7] {
+            let a = planned.predict_seeded(&x, seed);
+            let b = legacy.predict_seeded_unplanned(&x, seed);
+            assert_predictive_bits_eq(&a, &b);
+        }
+        // Same op tallies and sense-margin trajectory, pass for pass.
+        assert_eq!(planned.counter(), legacy.counter());
+        assert_eq!(
+            planned.mean_sense_margin().to_bits(),
+            legacy.mean_sense_margin().to_bits(),
+            "planned path must advance margins identically"
+        );
+        assert_eq!(planned.plan_rebuilds(), 1, "steady shape → one plan build");
+        assert!(planned.scratch_bytes() > 0, "arenas must be warm after a pass");
+    }
+
+    #[test]
+    fn plan_invalidation_rebuilds_and_stays_bit_identical() {
+        let mut hw = noisy_bayesian_model(103);
+        let shapes: [&[usize]; 4] =
+            [&[4, 1, 16, 16], &[2, 1, 16, 16], &[4, 1, 16, 16], &[1, 1, 16, 16]];
+        for (i, shape) in shapes.iter().enumerate() {
+            let x = Tensor::from_fn(shape, |j| ((j * 13 + i) as f32 * 0.017).cos());
+            let got = hw.predict_seeded(&x, 40 + i as u64);
+            // Ground truth: a fresh model that only ever saw this shape.
+            let mut fresh = noisy_bayesian_model(103);
+            let want = fresh.predict_seeded(&x, 40 + i as u64);
+            assert_predictive_bits_eq(&got, &want);
+            assert_eq!(hw.plan_rebuilds(), i as u64 + 1, "each shape change rebuilds");
+        }
+    }
+
+    #[test]
+    fn predict_par_short_circuits_to_bit_identical_sequential() {
+        let x = Tensor::from_fn(&[3, 1, 16, 16], |i| (i as f32 * 0.041).sin());
+        let mut reference = noisy_bayesian_model(107);
+        let want = reference.predict_seeded(&x, 99);
+        for threads in [1usize, 2, 4] {
+            let mut hw = noisy_bayesian_model(107);
+            let pool = ThreadPool::new(threads);
+            let got = hw.predict_par(&x, 99, &pool);
+            assert_predictive_bits_eq(&got, &want);
+            assert_eq!(hw.counter(), reference.counter(), "{threads} threads");
+        }
+        // passes == 1 also short-circuits, on any pool width.
+        let mut one = noisy_bayesian_model(107);
+        one.set_passes(1);
+        let mut one_ref = one.clone();
+        let a = one.predict_par(&x, 3, &ThreadPool::new(4));
+        let b = one_ref.predict_seeded(&x, 3);
+        assert_predictive_bits_eq(&a, &b);
+    }
+
+    #[test]
+    fn replica_bank_matches_single_worker_ground_truth() {
+        let mut served = noisy_bayesian_model(109);
+        let mut truth = served.clone();
+        let pool = ThreadPool::new(4);
+        let mut bank = ReplicaBank::new();
+        // N interleaved serve calls over two request shapes.
+        for i in 0..6u64 {
+            let n = if i % 2 == 0 { 3 } else { 2 };
+            let x = Tensor::from_fn(&[n, 1, 16, 16], |j| ((j as u64 + 31 * i) as f32 * 0.013).sin());
+            let got = served.predict_par_in(&x, 700 + i, &pool, &mut bank);
+            let want = truth.predict_seeded(&x, 700 + i);
+            assert_predictive_bits_eq(&got, &want);
+        }
+        assert_eq!(bank.len(), 4, "one persistent replica per pool worker");
+        assert_eq!(bank.syncs(), 6, "every call resyncs the deltas");
+        // Counters must match the sequential ground truth exactly; the
+        // margin trajectory up to reassociation of the f64 sums.
+        assert_eq!(served.counter(), truth.counter());
+        let (a, b) = (served.mean_sense_margin(), truth.mean_sense_margin());
+        assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        // Invalidation drops the replicas; the next call re-clones and
+        // still matches ground truth.
+        bank.invalidate();
+        assert!(bank.is_empty());
+        let x = Tensor::from_fn(&[3, 1, 16, 16], |j| (j as f32 * 0.019).cos());
+        let got = served.predict_par_in(&x, 900, &pool, &mut bank);
+        let want = truth.predict_seeded(&x, 900);
+        assert_predictive_bits_eq(&got, &want);
+        assert_eq!(bank.len(), 4);
+    }
+
     #[test]
     fn counter_window_resets() {
         let a = arch();
@@ -312,3 +441,4 @@ mod tests {
         assert_eq!(hw.counter().cell_reads, 0);
     }
 }
+

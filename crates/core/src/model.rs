@@ -7,8 +7,8 @@ use crate::extract::TrainedParams;
 use crate::json::ToJson;
 use crate::pool::ThreadPool;
 use neuspin_bayes::{
-    entropy_threshold_for_coverage, mc_predict_seeded, mc_predict_with, quantize, ArchConfig,
-    Gated, Method, Predictive, SpinBayesConfig,
+    entropy_threshold_for_coverage, mc_predict_seeded, pass_seeds, quantize, ArchConfig, Gated,
+    McAccumulator, Method, Predictive, SpinBayesConfig,
 };
 use neuspin_cim::{
     fault_aware_remap, march_test, repair_columns, Arbiter, BistConfig, Crossbar, CrossbarConfig,
@@ -18,8 +18,9 @@ use neuspin_device::stats::LogNormal;
 use neuspin_device::{AgingConfig, AgingReport};
 use neuspin_energy::{EnergyBreakdown, EnergyModel, Joules};
 use neuspin_nn::conv::ConvGeometry;
-use neuspin_nn::{Sequential, Tensor};
+use neuspin_nn::{softmax_into, Sequential, Tensor};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn softplus(x: f32) -> f32 {
     x.max(0.0) + (-x.abs()).exp().ln_1p()
@@ -77,6 +78,18 @@ pub struct HardwareModel {
     /// [`HardwareModel::raw_counter`].
     extra: OpCounter,
     energy_model: EnergyModel,
+    /// Forward-plan ping-pong activation pair: each block writes into
+    /// one while reading the other, so a steady-state planned pass
+    /// allocates nothing.
+    ping: Tensor,
+    pong: Tensor,
+    /// Per-pass softmax scratch for the planned MC engines.
+    probs: Tensor,
+    /// The input shape the current forward plan was sized for.
+    plan_shape: Vec<usize>,
+    /// Times the plan was (re)built — grows only when the input batch
+    /// shape changes between passes.
+    plan_rebuilds: u64,
 }
 
 impl HardwareModel {
@@ -123,6 +136,8 @@ impl HardwareModel {
                 alphas,
                 bias: params.biases[idx].as_slice().to_vec(),
                 local: OpCounter::new(),
+                col: Tensor::default(),
+                ybuf: Vec::new(),
             }
         };
 
@@ -142,7 +157,13 @@ impl HardwareModel {
                 } else {
                     None
                 };
-                HwBlock::InvNorm(HwInvNorm { gamma, beta, modules, local: OpCounter::new() })
+                HwBlock::InvNorm(HwInvNorm {
+                    gamma,
+                    beta,
+                    modules,
+                    local: OpCounter::new(),
+                    abuf: Vec::new(),
+                })
             } else {
                 let f = gamma.len();
                 HwBlock::Norm(HwNorm {
@@ -198,6 +219,7 @@ impl HardwareModel {
                             sigma,
                             bits_per_sample: config.vi_bits_per_sample,
                             local: OpCounter::new(),
+                            scratch: Vec::new(),
                         }))
                     }
                     _ => None,
@@ -291,6 +313,7 @@ impl HardwareModel {
                 bias: params.biases[2].as_slice().to_vec(),
                 out_features: arch.hidden,
                 local: OpCounter::new(),
+                ybuf: Vec::new(),
             }));
         } else {
             let (signs, alphas) = params.binarized(2);
@@ -308,6 +331,7 @@ impl HardwareModel {
                 alphas,
                 bias: params.biases[2].as_slice().to_vec(),
                 local: OpCounter::new(),
+                ybuf: Vec::new(),
             }));
         }
         blocks.push(norm_block(2, arch.p, rng));
@@ -323,6 +347,7 @@ impl HardwareModel {
             weight: params.weights[3].clone(),
             bias: params.biases[3].as_slice().to_vec(),
             local: OpCounter::new(),
+            weight_t: Tensor::default(),
         }));
 
         let mut model = Self {
@@ -332,6 +357,11 @@ impl HardwareModel {
             baseline: OpCounter::new(),
             extra: OpCounter::new(),
             energy_model: EnergyModel::default(),
+            ping: Tensor::default(),
+            pong: Tensor::default(),
+            probs: Tensor::default(),
+            plan_shape: Vec::new(),
+            plan_rebuilds: 0,
         };
         model.baseline = model.raw_counter();
         model
@@ -392,6 +422,106 @@ impl HardwareModel {
         cur
     }
 
+    /// (Re)sizes the forward plan for input `shape`. Returns whether a
+    /// rebuild happened: the pass that follows a rebuild regrows every
+    /// scratch buffer once; subsequent same-shape passes reuse them.
+    fn plan_for(&mut self, shape: &[usize]) -> bool {
+        if self.plan_shape == shape {
+            return false;
+        }
+        self.plan_shape.clear();
+        self.plan_shape.extend_from_slice(shape);
+        self.plan_rebuilds += 1;
+        if crate::telemetry::metrics_enabled() {
+            crate::telemetry::counter("plan_rebuilds_total").inc();
+        }
+        true
+    }
+
+    /// One hardware forward pass through the planned, allocation-free
+    /// path: activations ping-pong between two persistent buffers and
+    /// every block writes through its `forward_into` twin, so a
+    /// steady-state pass (same batch shape as the previous one) touches
+    /// the heap zero times. Bit-identical to [`HardwareModel::forward`]
+    /// — same float-op order, op tallies, and RNG consumption. The
+    /// result lives in an internal buffer; clone it if it must outlive
+    /// the next pass.
+    pub fn forward_planned(
+        &mut self,
+        x: &Tensor,
+        stochastic: bool,
+        rng: &mut StdRng,
+    ) -> &Tensor {
+        let rebuilt = self.plan_for(x.shape());
+        if crate::telemetry::active() {
+            return self.forward_planned_traced(x, stochastic, rebuilt, rng);
+        }
+        let mut a = std::mem::take(&mut self.ping);
+        let mut b = std::mem::take(&mut self.pong);
+        let mut first = true;
+        for block in &mut self.blocks {
+            let src = if first { x } else { &b };
+            block.forward_into(src, &mut a, stochastic, false, rng);
+            std::mem::swap(&mut a, &mut b);
+            first = false;
+        }
+        self.ping = a;
+        self.pong = b;
+        &self.pong
+    }
+
+    /// The telemetry-instrumented twin of
+    /// [`HardwareModel::forward_planned`]: emits exactly the span
+    /// structure and annotations of [`HardwareModel::forward`]'s traced
+    /// path, so planned and legacy runs produce byte-identical traces.
+    fn forward_planned_traced(
+        &mut self,
+        x: &Tensor,
+        stochastic: bool,
+        rebuilt: bool,
+        rng: &mut StdRng,
+    ) -> &Tensor {
+        let mut span = crate::span!("hw_forward", batch = x.shape()[0]);
+        let before = self.raw_counter();
+        let mut a = std::mem::take(&mut self.ping);
+        let mut b = std::mem::take(&mut self.pong);
+        let mut first = true;
+        for (layer, block) in self.blocks.iter_mut().enumerate() {
+            let mut block_span = crate::span!("hw_block", layer = layer, kind = block.kind());
+            let block_before = block.counter();
+            let src = if first { x } else { &b };
+            block.forward_into(src, &mut a, stochastic, false, rng);
+            block_span.record_ops(&block.counter().since(&block_before));
+            std::mem::swap(&mut a, &mut b);
+            first = false;
+        }
+        self.ping = a;
+        self.pong = b;
+        if rebuilt && crate::telemetry::metrics_enabled() {
+            crate::telemetry::gauge("scratch_bytes").set(self.scratch_bytes() as f64);
+        }
+        let delta = self.raw_counter().since(&before);
+        span.record("ops", delta.to_json());
+        span.record("energy_j", self.energy_model.energy_of(&delta).0);
+        &self.pong
+    }
+
+    /// Bytes currently held by the forward plan's scratch arenas: the
+    /// ping-pong activation pair, the softmax buffer, and every block's
+    /// private scratch. Exported as the `scratch_bytes` gauge when a
+    /// plan rebuild grows them.
+    pub fn scratch_bytes(&self) -> usize {
+        (self.ping.capacity() + self.pong.capacity() + self.probs.capacity()) * 4
+            + self.blocks.iter().map(|b| b.scratch_bytes()).sum::<usize>()
+    }
+
+    /// Times the forward plan has been (re)built (see
+    /// [`HardwareModel::forward_planned`]); a steady stream of
+    /// same-shape batches holds this at 1.
+    pub fn plan_rebuilds(&self) -> u64 {
+        self.plan_rebuilds
+    }
+
     /// Calibrates the digital norm statistics by running `rounds`
     /// deterministic hardware passes over `inputs` (the standard CIM
     /// deployment flow; absorbs programming-time variation). A no-op for
@@ -405,11 +535,21 @@ impl HardwareModel {
         }
     }
 
-    /// Bayesian prediction: `passes` stochastic hardware passes
-    /// aggregated by the shared MC machinery.
+    /// Bayesian prediction: `passes` stochastic hardware passes through
+    /// the planned zero-allocation path, aggregated by the shared MC
+    /// machinery ([`neuspin_bayes::McAccumulator`]).
     pub fn predict(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
-        let passes = if self.method.is_bayesian() { self.passes } else { 1 };
-        mc_predict_with(passes, |_| self.forward(inputs, self.method.is_bayesian(), rng))
+        let stochastic = self.method.is_bayesian();
+        let passes = if stochastic { self.passes } else { 1 };
+        let mut acc = McAccumulator::new();
+        let mut probs = std::mem::take(&mut self.probs);
+        for _ in 0..passes {
+            let logits = self.forward_planned(inputs, stochastic, rng);
+            softmax_into(logits, &mut probs);
+            acc.push(&probs);
+        }
+        self.probs = probs;
+        acc.finish()
     }
 
     /// Seeded sequential Bayesian prediction: like
@@ -417,8 +557,35 @@ impl HardwareModel {
     /// stream derived from `seed` (the [`neuspin_bayes::pass_seeds`]
     /// schedule) instead of one shared ambient stream. The reference
     /// path [`HardwareModel::predict_par`] is bit-identical to, at any
-    /// thread count.
+    /// thread count. Runs through the planned zero-allocation forward;
+    /// [`HardwareModel::predict_seeded_unplanned`] is the retained
+    /// pre-plan engine (bit-identical, allocation-heavy).
     pub fn predict_seeded(&mut self, inputs: &Tensor, seed: u64) -> Predictive {
+        let stochastic = self.method.is_bayesian();
+        let passes = if stochastic { self.passes } else { 1 };
+        let _span = crate::span!("predict", engine = "seq", passes = passes);
+        let seeds = pass_seeds(seed, passes);
+        let mut acc = McAccumulator::new();
+        let mut probs = std::mem::take(&mut self.probs);
+        for (t, &pass_seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(pass_seed);
+            let logits = {
+                let _pass = crate::span!("mc_pass", pass = t);
+                self.forward_planned(inputs, stochastic, &mut rng)
+            };
+            softmax_into(logits, &mut probs);
+            acc.push(&probs);
+        }
+        self.probs = probs;
+        acc.finish()
+    }
+
+    /// The pre-plan sequential engine: allocates a fresh activation
+    /// tensor per block per pass. Retained as the "before" baseline of
+    /// the `exp_throughput` allocation/speedup comparison — results and
+    /// traces are bit-identical to [`HardwareModel::predict_seeded`],
+    /// only the memory behavior differs.
+    pub fn predict_seeded_unplanned(&mut self, inputs: &Tensor, seed: u64) -> Predictive {
         let stochastic = self.method.is_bayesian();
         let passes = if stochastic { self.passes } else { 1 };
         let _span = crate::span!("predict", engine = "seq", passes = passes);
@@ -440,6 +607,13 @@ impl HardwareModel {
         let stochastic = self.method.is_bayesian();
         let passes = if stochastic { self.passes } else { 1 };
         let mut span = crate::span!("predict", engine = "par", passes = passes);
+        // Nothing to fan out: run the planned sequential engine inline
+        // (no clone, no merge). Same RNG schedule, reduction order, and
+        // trace bytes as the pooled path, so results stay bit-identical
+        // across thread counts.
+        if passes == 1 || pool.threads() == 1 {
+            return self.mc_inline_par(inputs, seed, passes, stochastic, &mut span);
+        }
         let base_counter = self.raw_counter();
         let base_margins = self.crossbar_margins();
         let this: &HardwareModel = self;
@@ -469,6 +643,106 @@ impl HardwareModel {
         span.record("ops", counter_delta.to_json());
         span.record("energy_j", self.energy_model.energy_of(&counter_delta).0);
         pred
+    }
+
+    /// [`HardwareModel::predict_par`] over persistent replicas: instead
+    /// of cloning the model per call, the workers run on `bank`'s
+    /// replicas — cloned once when the bank is (re)attached — and their
+    /// op-counter and sense-margin deltas are resynced into `self`
+    /// through the same merge path after every call. Bit-identical to
+    /// [`HardwareModel::predict_seeded`] at any thread count; a
+    /// steady-state call clones nothing.
+    ///
+    /// Call [`ReplicaBank::invalidate`] after any mutation of `self`
+    /// (fault management, drift, scrub, recalibration) so the next call
+    /// re-clones from the updated weights.
+    pub fn predict_par_in(
+        &mut self,
+        inputs: &Tensor,
+        seed: u64,
+        pool: &ThreadPool,
+        bank: &mut ReplicaBank,
+    ) -> Predictive {
+        let stochastic = self.method.is_bayesian();
+        let passes = if stochastic { self.passes } else { 1 };
+        let mut span = crate::span!("predict", engine = "par", passes = passes);
+        if passes == 1 || pool.threads() == 1 {
+            return self.mc_inline_par(inputs, seed, passes, stochastic, &mut span);
+        }
+        let workers = pool.threads().min(passes);
+        bank.ensure(self, workers);
+        let pred = crate::pool::mc_predict_par_on(
+            pool,
+            passes,
+            seed,
+            &mut bank.replicas,
+            |rep: &mut Replica, _, rng| rep.model.forward_planned(inputs, stochastic, rng).clone(),
+        );
+        // Resync: fold each replica's delta since its last sync into
+        // the live model through the one shared merge path, then
+        // refresh the bases so the next sync starts clean.
+        let counter_delta = OpCounter::merged(
+            bank.replicas.iter().map(|r| r.model.raw_counter().since(&r.counter_base)),
+        );
+        let mut margin_deltas: Vec<(f64, u64)> = Vec::new();
+        for rep in &bank.replicas {
+            let after = rep.model.crossbar_margins();
+            if margin_deltas.is_empty() {
+                margin_deltas = vec![(0.0, 0); after.len()];
+            }
+            for (delta, (a, b)) in
+                margin_deltas.iter_mut().zip(after.into_iter().zip(&rep.margin_base))
+            {
+                delta.0 += a.0 - b.0;
+                delta.1 += a.1 - b.1;
+            }
+        }
+        self.extra.merge(&counter_delta);
+        self.merge_crossbar_margins(&margin_deltas);
+        for rep in &mut bank.replicas {
+            rep.counter_base = rep.model.raw_counter();
+            rep.margin_base = rep.model.crossbar_margins();
+        }
+        bank.syncs += 1;
+        if crate::telemetry::metrics_enabled() {
+            crate::telemetry::counter("replica_syncs_total").inc();
+        }
+        span.record("ops", counter_delta.to_json());
+        span.record("energy_j", self.energy_model.energy_of(&counter_delta).0);
+        pred
+    }
+
+    /// The short-circuit body shared by the parallel engines when there
+    /// is nothing to fan out (`passes == 1` or a single-thread pool):
+    /// the planned sequential loop, but with the softmax inside each
+    /// `mc_pass` span — exactly where the pooled workers put it — so
+    /// the emitted trace byte-compares with every other thread count.
+    fn mc_inline_par(
+        &mut self,
+        inputs: &Tensor,
+        seed: u64,
+        passes: usize,
+        stochastic: bool,
+        span: &mut crate::telemetry::SpanGuard,
+    ) -> Predictive {
+        let base_counter = self.raw_counter();
+        let seeds = pass_seeds(seed, passes);
+        let mut acc = McAccumulator::new();
+        let mut probs = std::mem::take(&mut self.probs);
+        for (t, &pass_seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(pass_seed);
+            {
+                let _pass = crate::span!("mc_pass", pass = t);
+                let logits = self.forward_planned(inputs, stochastic, &mut rng);
+                softmax_into(logits, &mut probs);
+            }
+            acc.push(&probs);
+        }
+        self.probs = probs;
+        let delta = self.raw_counter().since(&base_counter);
+        span.record("ops", delta.to_json());
+        span.record("energy_j", self.energy_model.energy_of(&delta).0);
+        acc.finish()
     }
 
     /// Per-crossbar sense-margin accumulators `(sum, count)` in pipeline
@@ -682,9 +956,16 @@ impl HardwareModel {
         }
     }
 
-    /// Deterministic (1-pass, stochastic units off) prediction.
+    /// Deterministic (1-pass, stochastic units off) prediction through
+    /// the planned zero-allocation path.
     pub fn predict_deterministic(&mut self, inputs: &Tensor, rng: &mut StdRng) -> Predictive {
-        mc_predict_with(1, |_| self.forward(inputs, false, rng))
+        let mut acc = McAccumulator::new();
+        let mut probs = std::mem::take(&mut self.probs);
+        let logits = self.forward_planned(inputs, false, rng);
+        softmax_into(logits, &mut probs);
+        acc.push(&probs);
+        self.probs = probs;
+        acc.finish()
     }
 
     fn raw_counter(&self) -> OpCounter {
@@ -885,6 +1166,73 @@ impl HardwareModel {
                 _ => 0,
             })
             .sum()
+    }
+}
+
+/// Persistent per-worker model replicas for
+/// [`HardwareModel::predict_par_in`]: cloned from the serving model
+/// once at attach time (or after [`ReplicaBank::invalidate`]) and
+/// reused across calls, so steady-state parallel prediction spawns no
+/// per-call clones. Each replica tracks the op-counter and sense-margin
+/// baseline of its last sync; deltas beyond the baseline are folded
+/// back into the live model through the same merge path
+/// [`HardwareModel::predict_par`] uses.
+#[derive(Debug, Default)]
+pub struct ReplicaBank {
+    replicas: Vec<Replica>,
+    syncs: u64,
+}
+
+#[derive(Debug)]
+struct Replica {
+    model: HardwareModel,
+    counter_base: OpCounter,
+    margin_base: Vec<(f64, u64)>,
+}
+
+impl ReplicaBank {
+    /// An empty bank; replicas are cloned lazily on first parallel use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the bank currently holds no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Times replica deltas have been merged back into a live model.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Drops every replica: the next parallel call re-clones from the
+    /// live model. Call after any mutation of the source model (fault
+    /// management, drift, scrub, aging, recalibration, remapping) — a
+    /// stale replica would otherwise keep serving the old weights.
+    pub fn invalidate(&mut self) {
+        self.replicas.clear();
+    }
+
+    /// Commissions `workers` replicas of `src` unless that many are
+    /// already attached. A replica's baselines start at `src`'s current
+    /// tallies (a clone carries them), so the first sync reports only
+    /// ops the replicas themselves performed.
+    fn ensure(&mut self, src: &HardwareModel, workers: usize) {
+        if self.replicas.len() == workers {
+            return;
+        }
+        self.replicas.clear();
+        self.replicas.extend((0..workers).map(|_| Replica {
+            model: src.clone(),
+            counter_base: src.raw_counter(),
+            margin_base: src.crossbar_margins(),
+        }));
     }
 }
 

@@ -151,6 +151,88 @@ impl ThreadPool {
         }
         (results, states)
     }
+
+    /// Like [`ThreadPool::run_chunked`], but each worker borrows one of
+    /// the caller's persistent `states` instead of building a fresh one
+    /// via `init`: worker `w` gets exclusive use of `states[w]` for its
+    /// chunk, and mutations stay visible to the caller afterwards.
+    /// Exactly `threads().min(jobs).min(states.len())` workers run; job
+    /// chunking, result ordering, and the panic discipline match
+    /// [`ThreadPool::run_chunked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty while `jobs > 0`, or re-raises a
+    /// panicking job's payload like [`ThreadPool::run_chunked`].
+    pub fn run_chunked_on<S, T, FJ>(&self, jobs: usize, states: &mut [S], job: FJ) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        FJ: Fn(&mut S, usize) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        assert!(!states.is_empty(), "run_chunked_on needs at least one state");
+        let workers = self.threads.min(jobs).min(states.len());
+        if workers == 1 {
+            let state = &mut states[0];
+            let mut results = Vec::with_capacity(jobs);
+            for t in 0..jobs {
+                match run_job(&job, state, t) {
+                    Ok(out) => results.push(out),
+                    Err(panic) => std::panic::resume_unwind(panic.payload),
+                }
+            }
+            return results;
+        }
+        let job = &job;
+        let (results, panic) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut rest = states;
+            for w in 0..workers {
+                let (state, tail) = rest.split_first_mut().expect("one state per worker");
+                rest = tail;
+                let lo = w * jobs / workers;
+                let hi = (w + 1) * jobs / workers;
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<T> = Vec::with_capacity(hi - lo);
+                    for t in lo..hi {
+                        match run_job(job, state, t) {
+                            Ok(v) => out.push(v),
+                            // Same policy as run_chunked: stop this
+                            // chunk, let siblings finish, re-raise
+                            // after the join.
+                            Err(panic) => return (out, Some(panic)),
+                        }
+                    }
+                    (out, None)
+                }));
+            }
+            let mut results = Vec::with_capacity(jobs);
+            let mut first_panic: Option<JobPanic> = None;
+            for handle in handles {
+                let (out, panic) = match handle.join() {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        first_panic.get_or_insert(JobPanic { job: usize::MAX, payload });
+                        continue;
+                    }
+                };
+                results.extend(out);
+                if let Some(p) = panic {
+                    if first_panic.as_ref().is_none_or(|f| p.job < f.job) {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+            (results, first_panic)
+        });
+        if let Some(panic) = panic {
+            std::panic::resume_unwind(panic.payload);
+        }
+        results
+    }
 }
 
 /// A panic caught at a job boundary, tagged with the job index so the
@@ -235,6 +317,60 @@ where
     (pred, states)
 }
 
+/// [`mc_predict_par`] over persistent worker states: the same
+/// determinism, reduction, and trace-harvest policy, but workers run on
+/// the caller's pre-built `states` (e.g. model replicas cloned once at
+/// commission time) instead of `init`-ing fresh ones each call, so a
+/// steady-state call builds no worker state at all. `states.len()` caps
+/// the worker count alongside the pool width; state mutations (op
+/// counters, margins) stay visible to the caller for merging.
+///
+/// # Panics
+///
+/// Panics if `passes == 0`, `states` is empty, on inconsistent logit
+/// shapes, or if a worker panics.
+pub fn mc_predict_par_on<S, FF>(
+    pool: &ThreadPool,
+    passes: usize,
+    seed: u64,
+    states: &mut [S],
+    forward: FF,
+) -> Predictive
+where
+    S: Send,
+    FF: Fn(&mut S, usize, &mut StdRng) -> Tensor + Sync,
+{
+    assert!(passes > 0, "need at least one MC pass");
+    let seeds = pass_seeds(seed, passes);
+    let seeds = &seeds;
+    let forward = &forward;
+    // Same trace discipline as mc_predict_par: buffer per pass, harvest
+    // with a mark/drain pair, re-append in ascending pass order.
+    let telemetry_on = crate::telemetry::active();
+    let base_depth = crate::telemetry::trace_depth();
+    let results = pool.run_chunked_on(passes, states, move |state, t| {
+        let mut rng = StdRng::seed_from_u64(seeds[t]);
+        if !telemetry_on {
+            return (softmax(&forward(state, t, &mut rng)), Vec::new());
+        }
+        crate::telemetry::set_trace_depth(base_depth);
+        let mark = crate::telemetry::trace_mark();
+        let probs = {
+            let _pass = crate::span!("mc_pass", pass = t);
+            softmax(&forward(state, t, &mut rng))
+        };
+        (probs, crate::telemetry::take_trace_since(mark))
+    });
+    let (probs, traces): (Vec<Tensor>, Vec<Vec<crate::telemetry::TraceEvent>>) =
+        results.into_iter().unzip();
+    let mut slots: Vec<Option<Tensor>> = probs.into_iter().map(Some).collect();
+    let pred = mc_aggregate(passes, |t| slots[t].take().expect("each pass reduced once"));
+    for events in traces {
+        crate::telemetry::append_trace(events);
+    }
+    pred
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +433,40 @@ mod tests {
             let pool = ThreadPool::new(threads);
             let (pred, _) =
                 mc_predict_par(&pool, 9, 77, |_| (), |_, t, rng| forward(t, rng));
+            assert_eq!(pred, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_chunked_on_uses_caller_states_and_preserves_order() {
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut states = vec![0usize; threads];
+            let results = pool.run_chunked_on(10, &mut states, |s, t| {
+                *s += 1;
+                t * t
+            });
+            assert_eq!(results, (0..10).map(|t| t * t).collect::<Vec<_>>());
+            assert_eq!(
+                states.iter().sum::<usize>(),
+                10,
+                "{threads} threads: every job must run on a caller-owned state"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_predict_par_on_matches_init_based_engine() {
+        let forward = |t: usize, rng: &mut StdRng| {
+            Tensor::from_fn(&[2, 3], |i| {
+                (t as f32 * 0.1) + neuspin_device::stats::standard_normal(rng) as f32 + i as f32
+            })
+        };
+        let reference = neuspin_bayes::mc_predict_seeded(9, 77, forward);
+        for threads in [1usize, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut states = vec![(); threads];
+            let pred = mc_predict_par_on(&pool, 9, 77, &mut states, |_, t, rng| forward(t, rng));
             assert_eq!(pred, reference, "{threads} threads");
         }
     }

@@ -16,7 +16,7 @@
 //! steps reflect hardware state, never sampling noise.
 
 use crate::health::{HealthConfig, HealthMonitor, HealthPolicy};
-use crate::model::HardwareModel;
+use crate::model::{HardwareModel, ReplicaBank};
 use crate::pool::ThreadPool;
 use crate::rng::stream;
 use neuspin_bayes::{Gated, Predictive};
@@ -167,6 +167,13 @@ pub struct Supervisor {
     step: usize,
     events: Vec<RecoveryEvent>,
     pool: ThreadPool,
+    /// Persistent per-worker model replicas for the parallel MC
+    /// engine. Attached (cloned once per pool worker) on the first
+    /// evaluation after commissioning and reused across every
+    /// subsequent `step`/`serve_predict` evaluation; invalidated
+    /// whenever the managed model's device state mutates (aging,
+    /// scrub, recalibration, remap) so stale weights never serve.
+    replicas: ReplicaBank,
     /// Highest escalation tier acted on since the last healthy
     /// observation — makes Recalibrate/RemapTier idempotent while the
     /// policy holds.
@@ -204,6 +211,7 @@ impl Supervisor {
             step: 0,
             events: Vec::new(),
             pool: ThreadPool::from_env(),
+            replicas: ReplicaBank::new(),
             engaged_tier: HealthPolicy::Healthy,
             commissioned: false,
         }
@@ -224,8 +232,14 @@ impl Supervisor {
                 .calibrate_abstention(&calib, self.config.coverage, &mut stream(seed, 2));
         self.monitor.set_abstain_entropy(threshold);
         self.calib = calib;
+        // Calibration rewrote norm statistics: any replicas cloned
+        // from the pre-calibration weights are stale. The eval below
+        // eagerly re-attaches fresh ones.
+        self.replicas.invalidate();
         self.model.reset_sense_margins();
-        let pred = self.model.predict_par(monitor_batch, self.eval_seed(), &self.pool);
+        let pred =
+            self.model
+                .predict_par_in(monitor_batch, self.eval_seed(), &self.pool, &mut self.replicas);
         self.monitor
             .observe(mean(&pred.entropy), self.model.mean_sense_margin());
         self.monitor.freeze_baseline();
@@ -251,6 +265,9 @@ impl Supervisor {
         self.step += 1;
         let _span = crate::span!("supervisor_step", step = self.step, dt_hours = dt_hours);
         let aging = self.model.advance_time(dt_hours);
+        // Aging mutated the device arrays; replicas cloned before this
+        // step would evaluate on stale physics.
+        self.replicas.invalidate();
         self.now_hours += dt_hours;
         // Virtual device-hours: stamped into every span closed from
         // here on (deterministic — it tracks simulated time only).
@@ -263,7 +280,9 @@ impl Supervisor {
         }
 
         self.model.reset_sense_margins();
-        let pred = self.model.predict_par(inputs, self.eval_seed(), &self.pool);
+        let pred =
+            self.model
+                .predict_par_in(inputs, self.eval_seed(), &self.pool, &mut self.replicas);
         self.monitor
             .observe(mean(&pred.entropy), self.model.mean_sense_margin());
         let policy = self.monitor.policy();
@@ -305,7 +324,9 @@ impl Supervisor {
             batch = inputs.shape()[0]
         );
         self.model.reset_sense_margins();
-        let pred = self.model.predict_par(inputs, seed, &self.pool);
+        let pred = self
+            .model
+            .predict_par_in(inputs, seed, &self.pool, &mut self.replicas);
         self.monitor
             .observe(mean(&pred.entropy), self.model.mean_sense_margin());
         let policy = self.monitor.policy();
@@ -368,6 +389,7 @@ impl Supervisor {
     fn run_scrub(&mut self, policy: HealthPolicy) {
         let before = self.model.energy();
         let refreshed = self.model.scrub();
+        self.replicas.invalidate();
         let cost = Joules(self.model.energy().0 - before.0);
         self.last_scrub_hours = self.now_hours;
         self.log_event(RecoveryAction::Scrub, policy, refreshed, 0, 0, cost);
@@ -389,6 +411,7 @@ impl Supervisor {
             &mut stream(seed, TAG_ABSTAIN + tag),
         );
         self.monitor.set_abstain_entropy(threshold);
+        self.replicas.invalidate();
         let cost = Joules(self.model.energy().0 - before.0);
         self.log_event(RecoveryAction::Recalibrate, policy, 0, 0, 0, cost);
     }
@@ -418,10 +441,14 @@ impl Supervisor {
         let repaired: usize = report.layers.iter().map(|l| l.repaired).sum();
         let flagged = report.total_flagged();
         // Re-baseline: the repaired + recalibrated die is the new
-        // healthy reference.
+        // healthy reference. The repair/remap/recalibrate sequence
+        // above rewrote device state, so replicas re-attach here.
+        self.replicas.invalidate();
         self.monitor.clear_window();
         self.model.reset_sense_margins();
-        let pred = self.model.predict_par(inputs, self.eval_seed(), &self.pool);
+        let pred =
+            self.model
+                .predict_par_in(inputs, self.eval_seed(), &self.pool, &mut self.replicas);
         self.monitor
             .observe(mean(&pred.entropy), self.model.mean_sense_margin());
         self.monitor.freeze_baseline();
@@ -507,9 +534,25 @@ impl Supervisor {
 
     /// Mutable access to the managed model (test instrumentation and
     /// custom experiments; the supervisor does not defend against
-    /// edits that invalidate its baseline).
+    /// edits that invalidate its baseline). Conservatively invalidates
+    /// the replica bank — the caller may mutate anything.
     pub fn model_mut(&mut self) -> &mut HardwareModel {
+        self.replicas.invalidate();
         &mut self.model
+    }
+
+    /// Read access to the persistent replica bank (observability:
+    /// replica count and lifetime sync total).
+    pub fn replicas(&self) -> &ReplicaBank {
+        &self.replicas
+    }
+
+    /// Replaces the evaluation worker pool (e.g. to pin a die to a
+    /// fixed thread count regardless of `NEUSPIN_THREADS`). Drops any
+    /// attached replicas: the bank is sized to the pool.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ThreadPool::new(threads);
+        self.replicas.invalidate();
     }
 
     /// Read access to the health monitor.
@@ -796,6 +839,34 @@ mod tests {
         let mut sup = Supervisor::new(hw, SupervisorConfig::default());
         let x = inputs(2);
         let _ = sup.serve_predict(&x, 1);
+    }
+
+    #[test]
+    fn replicas_persist_across_serving_and_invalidate_on_mutation() {
+        let hw = compiled(&ideal_config(), &drift_aging(0.0));
+        let mut sup = Supervisor::new(hw, SupervisorConfig::default());
+        sup.pool = ThreadPool::new(4);
+        let x = inputs(4);
+        sup.commission(x.clone(), &x);
+        // Commissioning's baseline eval eagerly attached the bank
+        // (ideal config has 4 passes, pool has 4 workers).
+        assert_eq!(sup.replicas().len(), 4);
+        assert_eq!(sup.replicas().syncs(), 1);
+        // Serving is a zero-dt path: the same replicas serve batch
+        // after batch with one sync each and no re-clone.
+        for i in 0..3 {
+            sup.serve_predict(&x, 100 + i);
+            assert_eq!(sup.replicas().len(), 4);
+        }
+        assert_eq!(sup.replicas().syncs(), 4);
+        // A step ages the device, which must drop the stale clones;
+        // the step's own eval re-attaches fresh ones.
+        sup.step(&x, 1.0);
+        assert_eq!(sup.replicas().len(), 4);
+        assert_eq!(sup.replicas().syncs(), 5);
+        // model_mut is a conservative invalidation point.
+        let _ = sup.model_mut();
+        assert!(sup.replicas().is_empty());
     }
 
     #[test]

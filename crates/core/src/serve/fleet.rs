@@ -14,6 +14,12 @@
 //! Per-die telemetry: gauge `serve_die{N}_tier` tracks each die's
 //! latched tier (same 0–3 encoding as the global `health_tier` gauge),
 //! counter `serve_die{N}_samples_total` its lifetime served samples.
+//!
+//! Serving is allocation-lean: each die's supervisor keeps a
+//! persistent bank of per-worker model replicas (see
+//! [`crate::ReplicaBank`]), cloned once and reused batch after batch —
+//! the steady-state serve path clones nothing and re-plans nothing
+//! until device state actually mutates (aging, scrub, recalibration).
 
 use crate::health::HealthPolicy;
 use crate::runtime::{ServeReport, Supervisor};
@@ -253,6 +259,30 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[1].served, 4);
         assert_eq!(snap[0].policy, HealthPolicy::Healthy);
+    }
+
+    #[test]
+    fn fleet_serving_reuses_persistent_replicas() {
+        let fleet = fleet_of(1);
+        let batch = eval_batch();
+        // Pin the die to 2 workers (drops whatever the commissioning
+        // eval attached) and capture the lifetime sync count.
+        let base = fleet.with_die(0, |sup| {
+            sup.set_threads(2);
+            assert!(sup.replicas().is_empty(), "set_threads must drop the bank");
+            sup.replicas().syncs()
+        });
+        for i in 0..3 {
+            fleet.predict_on(0, &batch, 50 + i).unwrap();
+        }
+        fleet.with_die(0, |sup| {
+            assert_eq!(
+                sup.replicas().len(),
+                2,
+                "first serve attaches one replica per worker; later serves reuse them"
+            );
+            assert_eq!(sup.replicas().syncs(), base + 3, "one delta sync per served batch");
+        });
     }
 
     #[test]

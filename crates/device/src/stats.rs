@@ -9,7 +9,7 @@
 //! [`Running`] accumulator, which is a measurement tool rather than a
 //! sampler.
 
-pub use rand::dist::{standard_normal, Bernoulli, Gaussian, LogNormal};
+pub use rand::dist::{standard_normal, ziggurat_normal, Bernoulli, Gaussian, LogNormal};
 
 /// Running mean/variance accumulator (Welford's algorithm).
 ///

@@ -47,12 +47,23 @@ impl ConvGeometry {
 /// Lowers NCHW input `[n, c, h, w]` to a patch matrix
 /// `[n·oh·ow, c·k·k]` (im2col).
 pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Tensor {
+    let mut col = Tensor::default();
+    im2col_into(input, geo, &mut col);
+    col
+}
+
+/// [`im2col`] into a caller-provided patch matrix: `col` is resized and
+/// re-zeroed in place (the zero fill is load-bearing — padding
+/// positions are never written), so repeated calls at one input shape
+/// are allocation-free and bit-identical to `im2col`.
+pub fn im2col_into(input: &Tensor, geo: &ConvGeometry, col: &mut Tensor) {
     let (n, c, h, w) = shape4(input);
     assert_eq!(c, geo.in_channels, "channel mismatch");
     let (oh, ow) = (geo.out_size(h), geo.out_size(w));
     let (k, s, p) = (geo.kernel, geo.stride, geo.padding);
     let patch = geo.patch_len();
-    let mut col = Tensor::zeros(&[n * oh * ow, patch]);
+    col.resize_to(&[n * oh * ow, patch]);
+    col.as_mut_slice().fill(0.0);
     let data = input.as_slice();
     let out = col.as_mut_slice();
     for ni in 0..n {
@@ -79,7 +90,6 @@ pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Tensor {
             }
         }
     }
-    col
 }
 
 /// Adjoint of [`im2col`]: scatters patch-matrix gradients back to an
@@ -407,6 +417,22 @@ mod tests {
         // Pixel (0,0): channels 0 and 4.
         assert_eq!(col.row(0), &[0.0, 4.0]);
         assert_eq!(col.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_into_rezeros_dirty_buffer() {
+        let geo = ConvGeometry { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| (i as f32 * 0.7).sin());
+        let expect = im2col(&x, &geo);
+        // A dirty buffer of the wrong shape: _into must resize and
+        // re-zero so padding positions read 0, not stale data.
+        let mut col = Tensor::full(&[3, 3], 9.0);
+        im2col_into(&x, &geo, &mut col);
+        assert_eq!(col, expect);
+        let cap = col.as_slice().len();
+        im2col_into(&x, &geo, &mut col);
+        assert_eq!(col, expect);
+        assert_eq!(col.as_slice().len(), cap);
     }
 
     #[test]

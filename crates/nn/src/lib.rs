@@ -49,11 +49,11 @@ pub mod tensor;
 pub mod train;
 
 pub use act::{HardTanh, Relu, SignSte};
-pub use conv::{col2im, im2col, BinaryConv2d, Conv2d, ConvGeometry};
+pub use conv::{col2im, im2col, im2col_into, BinaryConv2d, Conv2d, ConvGeometry};
 pub use dropout::{Dropout, ScaleDrop, SpatialDropout};
 pub use layer::{grad_check_input, grad_check_params, Layer, Mode, Param};
 pub use linear::{BinaryLinear, DropConnectLinear, Linear};
-pub use loss::{cross_entropy, mse, nll, softmax};
+pub use loss::{cross_entropy, mse, nll, softmax, softmax_into};
 pub use lstm::Lstm;
 pub use model::Sequential;
 pub use norm::{BatchNorm, InvertedNorm};

@@ -7,9 +7,18 @@ use crate::tensor::Tensor;
 
 /// Row-wise softmax of a `[N, C]` logit matrix (numerically stabilised).
 pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// [`softmax`] writing into a caller-provided tensor: the same
+/// float-op order (so outputs are bit-identical), with no allocation
+/// once `out`'s capacity covers the batch.
+pub fn softmax_into(logits: &Tensor, out: &mut Tensor) {
     assert_eq!(logits.ndim(), 2, "softmax expects [N, C], got {:?}", logits.shape());
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
-    let mut out = Tensor::zeros(&[n, c]);
+    out.resize_to(&[n, c]);
     for i in 0..n {
         let row = logits.row(i);
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -23,7 +32,6 @@ pub fn softmax(logits: &Tensor) -> Tensor {
             out[i * c + j] /= z;
         }
     }
-    out
 }
 
 /// Mean softmax cross-entropy between `[N, C]` logits and integer

@@ -85,6 +85,12 @@ impl Tensor {
         self.data.is_empty()
     }
 
+    /// Elements the backing storage can hold without reallocating
+    /// (scratch-arena accounting).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Number of dimensions.
     pub fn ndim(&self) -> usize {
         self.shape.len()
@@ -114,7 +120,8 @@ impl Tensor {
         Self::from_vec(self.data.clone(), shape)
     }
 
-    /// Reshapes in place (no data movement).
+    /// Reshapes in place (no data movement, and no allocation while the
+    /// shape vector's capacity covers the new rank).
     ///
     /// # Panics
     ///
@@ -122,7 +129,26 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let expected: usize = shape.iter().product();
         assert_eq!(self.data.len(), expected, "cannot reshape {:?} to {:?}", self.shape, shape);
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Resizes to `shape`, reusing the existing data and shape
+    /// allocations when their capacity allows. Element values are
+    /// unspecified afterwards (callers overwrite them); repeated calls
+    /// at an already-seen size are allocation-free.
+    pub fn resize_to(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Makes `self` an element-for-element copy of `other`, reusing
+    /// `self`'s allocations when capacity allows.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.resize_to(&other.shape);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Element at a multi-dimensional index.
@@ -261,6 +287,38 @@ impl Tensor {
             }
         }
         Self { shape: vec![m, n], data: out }
+    }
+
+    /// [`Self::matmul`] into a caller-provided output tensor — the same
+    /// float-op order (row-outer, zero-skipped inner accumulation), so
+    /// results are bit-identical to `matmul`; `out` is resized and
+    /// zeroed in place, with no allocation once its capacity covers
+    /// `m × n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching inner dimension.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {:?} × {:?}", self.shape, other.shape);
+        out.resize_to(&[m, n]);
+        out.data.fill(0.0);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -440,6 +498,40 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise_and_reuses_capacity() {
+        let a = Tensor::from_fn(&[3, 5], |i| ((i * 7) % 11) as f32 / 3.0 - 1.0);
+        let b = Tensor::from_fn(&[5, 4], |i| ((i * 13) % 9) as f32 / 4.0 - 1.0);
+        let expect = a.matmul(&b);
+        // Start from a dirty, larger buffer: matmul_into must zero it.
+        let mut out = Tensor::full(&[6, 6], 7.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), expect.shape());
+        assert!(out
+            .as_slice()
+            .iter()
+            .zip(expect.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Second call at the same size must not need new capacity.
+        let cap = out.data.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data.capacity(), cap);
+    }
+
+    #[test]
+    fn resize_to_and_copy_from_reuse_storage() {
+        let mut t = Tensor::zeros(&[4, 4]);
+        let cap = t.data.capacity();
+        t.resize_to(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.data.capacity(), cap, "shrinking must keep capacity");
+        let src = Tensor::from_fn(&[2, 2], |i| i as f32);
+        t.copy_from(&src);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_slice(), src.as_slice());
     }
 
     #[test]

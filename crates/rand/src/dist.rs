@@ -85,13 +85,106 @@ where
 ///
 /// Consumes exactly **two** uniform draws per call, which keeps the RNG
 /// stream position predictable — a property the determinism tests rely
-/// on. (A Ziggurat sampler would be faster but consumes a data-dependent
-/// number of draws; predictability wins here.)
+/// on. Hot loops that draw Gaussians by the tens of thousands and do
+/// not need the fixed-consumption contract should use
+/// [`ziggurat_normal`] instead (~6× cheaper per draw).
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Guard the log against u1 == 0.
     let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.random::<f64>();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Number of ziggurat strips (the classic 128-strip table).
+const ZIG_N: usize = 128;
+/// Right edge of the base strip — the start of the analytic tail.
+const ZIG_R: f64 = 3.442_619_855_899;
+/// Area of each strip (base rectangle + tail for strip 0).
+const ZIG_V: f64 = 9.912_563_035_262_17e-3;
+
+/// Precomputed ziggurat tables: strip widths, inner fast-accept
+/// thresholds, and pdf values at each strip's right edge.
+struct ZigTables {
+    /// `w[i]`: right edge of strip `i`. Strip 0 is the base (virtual
+    /// width `V / f(R)` so the fast-accept test stays uniform); strips
+    /// 127 down to 1 stack upward with decreasing widths.
+    w: [f64; ZIG_N],
+    /// `inner[i]`: accept `x = u·w[i]` immediately when `x < inner[i]`
+    /// (the point falls under the strip above, so certainly under the
+    /// pdf). `inner[1] = 0` — the top strip always takes the wedge test.
+    inner: [f64; ZIG_N],
+    /// `f[i] = exp(-w[i]²/2)`, with `f[0] = 1` standing in for the pdf
+    /// at the top strip's upper edge (`f(0)`).
+    f: [f64; ZIG_N],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let pdf = |x: f64| (-0.5 * x * x).exp();
+        let mut w = [0.0f64; ZIG_N];
+        w[0] = ZIG_V / pdf(ZIG_R); // virtual base width (> R)
+        w[ZIG_N - 1] = ZIG_R;
+        // Walk upward: each strip's right edge satisfies
+        // f(x_next) = f(x) + V / x (equal strip areas).
+        for i in (1..ZIG_N - 1).rev() {
+            let fi = pdf(w[i + 1]) + ZIG_V / w[i + 1];
+            w[i] = (-2.0 * fi.ln()).sqrt();
+        }
+        let mut f = [0.0f64; ZIG_N];
+        f[0] = 1.0; // pdf at the top strip's upper edge, f(0)
+        for i in 1..ZIG_N {
+            f[i] = pdf(w[i]);
+        }
+        let mut inner = [0.0f64; ZIG_N];
+        inner[0] = ZIG_R; // base rectangle ends where the tail starts
+        inner[2..ZIG_N].copy_from_slice(&w[1..(ZIG_N - 1)]);
+        ZigTables { w, inner, f }
+    })
+}
+
+/// Draws a standard-normal variate via the 128-strip ziggurat method.
+///
+/// This is the *fast* Gaussian: ~98 % of draws cost one `next_u64`, a
+/// table lookup, a multiply, and a compare — no transcendentals — which
+/// is why the crossbar read-noise hot path uses it (tens of thousands
+/// of draws per Monte-Carlo pass). The price is a **data-dependent
+/// number of uniform draws** per sample, so it must never replace
+/// [`standard_normal`] where the two-draw stream contract matters
+/// (device programming, aging, anything replayed by draw counting).
+/// Kernels compared for bit-identity stay aligned automatically: they
+/// share one RNG stream and call the sampler at the same points, so
+/// they consume identical word counts.
+pub fn ziggurat_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let t = zig_tables();
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0x7F) as usize; // strip index: low 7 bits
+        let sign = if bits & 0x80 == 0 { 1.0 } else { -1.0 }; // bit 7
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // top 53 bits
+        let x = u * t.w[i];
+        if x < t.inner[i] {
+            return sign * x; // under the strip above: certainly under the pdf
+        }
+        if i == 0 {
+            // Tail beyond R: Marsaglia's exponential rejection.
+            loop {
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let xt = -u1.ln() / ZIG_R;
+                let yt = -u2.ln();
+                if yt + yt >= xt * xt {
+                    return sign * (ZIG_R + xt);
+                }
+            }
+        }
+        // Wedge: uniform height within the strip, accept under the pdf.
+        let u2: f64 = rng.random();
+        if t.f[i] + u2 * (t.f[i - 1] - t.f[i]) < (-0.5 * x * x).exp() {
+            return sign * x;
+        }
+    }
 }
 
 /// A Gaussian (normal) distribution `N(mean, std²)`.
@@ -291,6 +384,65 @@ mod tests {
         b.next_u64();
         b.next_u64();
         assert_eq!(a, b, "Gaussian::sample must advance the stream by exactly 2 words");
+    }
+
+    #[test]
+    fn ziggurat_tables_close_at_the_top() {
+        // The equal-area recurrence must terminate with a top strip of
+        // area V: w[1] · (f(0) − f(w[1])) ≈ V, and widths must decrease
+        // strictly from the base upward.
+        let t = super::zig_tables();
+        let top_area = t.w[1] * (1.0 - (-0.5 * t.w[1] * t.w[1]).exp());
+        assert!(
+            (top_area / ZIG_V - 1.0).abs() < 1e-6,
+            "top strip area {top_area} vs V {ZIG_V}"
+        );
+        for i in 2..ZIG_N - 1 {
+            assert!(t.w[i] < t.w[i + 1], "widths must decrease upward at {i}");
+        }
+        assert!(t.w[0] > ZIG_R, "virtual base width must exceed R");
+    }
+
+    #[test]
+    fn ziggurat_moments_and_tails_match_normal() {
+        let mut r = rng();
+        let n = 200_000;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut beyond_2 = 0usize;
+        let mut beyond_r = 0usize;
+        for k in 0..n {
+            let z = ziggurat_normal(&mut r);
+            let delta = z - mean;
+            mean += delta / (k + 1) as f64;
+            m2 += delta * (z - mean);
+            if z.abs() > 2.0 {
+                beyond_2 += 1;
+            }
+            if z.abs() > ZIG_R {
+                beyond_r += 1;
+            }
+        }
+        let std = (m2 / (n - 1) as f64).sqrt();
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((std - 1.0).abs() < 0.01, "std {std}");
+        // P(|Z| > 2) ≈ 0.0455.
+        let p2 = beyond_2 as f64 / n as f64;
+        assert!((p2 - 0.0455).abs() < 0.004, "P(|Z|>2) = {p2}");
+        // The analytic tail must actually fire: P(|Z| > R) ≈ 5.8e-4.
+        assert!(beyond_r > 20, "tail path never taken ({beyond_r} hits)");
+    }
+
+    #[test]
+    fn ziggurat_is_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..1_000 {
+            assert_eq!(
+                ziggurat_normal(&mut a).to_bits(),
+                ziggurat_normal(&mut b).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -109,4 +109,24 @@ NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_B
 NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
     cargo run -q --release --offline -p neuspin-bench --bin exp_serving -- --check
 
+# Chaos campaign smoke: deterministic fault injection (queue stalls,
+# latency spikes, worker panics, malformed requests, weight bit-flips,
+# die crash/restart) over three escalating stages, plus the checkpoint
+# round-trip proof. --check gates request conservation under every
+# fault, >=1 injection at each site, and byte-equal restored outputs.
+# The request driver is sequential and closed-loop, so the
+# non-wall-clock report fields are bit-reproducible for any worker
+# count: byte-compare BENCH_chaos.json against a forced 4-thread run.
+echo "==> exp_chaos smoke (NEUSPIN_BENCH_FAST=1)"
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_chaos
+NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_chaos -- --check
+
+echo "==> exp_chaos thread invariance (NEUSPIN_THREADS=4)"
+NEUSPIN_THREADS=4 NEUSPIN_RESULTS=target/ci-results-t4 NEUSPIN_BENCH_ROOT=target/ci-results-t4 \
+    NEUSPIN_BENCH_FAST=1 \
+    cargo run -q --release --offline -p neuspin-bench --bin exp_chaos
+cmp target/ci-results/BENCH_chaos.json target/ci-results-t4/BENCH_chaos.json
+
 echo "==> OK"

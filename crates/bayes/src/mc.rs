@@ -61,6 +61,36 @@ impl Predictive {
             .collect()
     }
 
+    /// FNV-1a-64 digest over the exact bit patterns of every field
+    /// (mean probabilities, entropies, mutual information, variances,
+    /// pass count). Two predictives digest equal iff they are
+    /// bit-identical — the cheap equality that chaos campaigns use to
+    /// compare a restored die's outputs against the no-crash control.
+    pub fn bits_digest(&self) -> u64 {
+        const BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = BASIS;
+        let eat64 = |h: &mut u64, word: u64| {
+            for byte in word.to_le_bytes() {
+                *h ^= u64::from(byte);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &dim in self.mean_probs.shape() {
+            eat64(&mut h, dim as u64);
+        }
+        for &p in self.mean_probs.as_slice() {
+            eat64(&mut h, u64::from(p.to_bits()));
+        }
+        for xs in [&self.entropy, &self.mutual_information, &self.variance] {
+            for &x in xs {
+                eat64(&mut h, x.to_bits());
+            }
+        }
+        eat64(&mut h, self.passes as u64);
+        h
+    }
+
     /// Entropy-gates the batch: samples whose predictive entropy
     /// exceeds `threshold` are abstained (graceful degradation — the
     /// system says "I don't know" instead of emitting a garbage label).
@@ -379,6 +409,25 @@ mod tests {
             assert!(p.mutual_information[i] <= p.entropy[i] + 1e-9);
             assert!(p.variance[i] >= 0.0);
         }
+    }
+
+    #[test]
+    fn bits_digest_separates_bit_level_differences() {
+        let mut r = rng();
+        let mut m = dropout_model(&mut r);
+        let x = Tensor::ones(&[3, 4]);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = mc_predict(&mut m, &x, 8, &mut r1);
+        let b = mc_predict(&mut m, &x, 8, &mut r2);
+        assert_eq!(a.bits_digest(), b.bits_digest(), "same seed → same digest");
+        let mut c = mc_predict(&mut m, &x, 8, &mut StdRng::seed_from_u64(6));
+        assert_ne!(a.bits_digest(), c.bits_digest(), "different passes → different digest");
+        // A single ULP flip in one probability must change the digest.
+        c = a.clone();
+        let flat = c.mean_probs.as_mut_slice();
+        flat[0] = f32::from_bits(flat[0].to_bits() ^ 1);
+        assert_ne!(a.bits_digest(), c.bits_digest());
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! drop/shed/failover/abstain counters, per-die health tiers and
 //! served counts, and the Prometheus exposition with the per-die
 //! health-tier gauges. `--check` re-parses the emitted JSON and gates:
-//! zero drops, failover engaged, die 0 latched + quiesced, p99 under
+//! zero drops, request conservation (accepted == terminal outcomes),
+//! failover engaged, die 0 latched + quiesced, p99 under
 //! `NEUSPIN_SERVING_P99_MS` (default 500 ms).
 //!
 //! ```sh
@@ -191,6 +192,9 @@ struct Report {
     sample_retries: f64,
     unserveable: f64,
     deadline_expired: f64,
+    /// 1 when the server's request-conservation law held at quiescence
+    /// (accepted == sum of terminal outcomes).
+    stats_conserved: f64,
     duration_s: f64,
     sustained_rps: f64,
     p50_ms: f64,
@@ -225,6 +229,7 @@ neuspin_core::impl_to_json!(Report {
     sample_retries,
     unserveable,
     deadline_expired,
+    stats_conserved,
     duration_s,
     sustained_rps,
     p50_ms,
@@ -285,6 +290,11 @@ fn check_results() -> ExitCode {
     match get("responses_200") {
         Ok(v) if v == total => {}
         Ok(v) => return fail(format!("responses_200 = {v}, want every one of {total}")),
+        Err(e) => return fail(e),
+    }
+    match get("stats_conserved") {
+        Ok(1.0) => {}
+        Ok(v) => return fail(format!("request-conservation law violated (flag {v})")),
         Err(e) => return fail(e),
     }
 
@@ -485,6 +495,7 @@ fn main() -> ExitCode {
         sample_retries: stats.sample_retries as f64,
         unserveable: stats.unserveable as f64,
         deadline_expired: stats.deadline_expired as f64,
+        stats_conserved: if stats.is_conserved() { 1.0 } else { 0.0 },
         duration_s,
         sustained_rps: total as f64 / duration_s,
         p50_ms: p50,

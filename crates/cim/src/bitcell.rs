@@ -12,6 +12,27 @@
 use neuspin_device::{defects, DefectKind, MultiLevelCell, VariedParams};
 use rand::rngs::StdRng;
 
+/// The complete state of an [`XnorBitCell`], as plain data for
+/// checkpointing. Unlike most device state, the *conductance levels*
+/// must travel with the checkpoint: spare-column substitution physically
+/// swaps cells between the array and the spare bank, so a cell's device
+/// draw can no longer be derived from the fabrication RNG replay alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XnorCellState {
+    /// `(g_parallel, g_antiparallel)` of the plus device.
+    pub plus_levels: (f64, f64),
+    /// `(g_parallel, g_antiparallel)` of the minus device.
+    pub minus_levels: (f64, f64),
+    /// Stored sign (`true` = +1).
+    pub sign: bool,
+    /// Defect on the plus device, if any.
+    pub plus_defect: Option<DefectKind>,
+    /// Defect on the minus device, if any.
+    pub minus_defect: Option<DefectKind>,
+    /// Nominal sensing-reference conductances.
+    pub reference: (f64, f64),
+}
+
 /// A differential two-MTJ binary bit-cell.
 ///
 /// The cell caches its two device conductances (drawn once with
@@ -69,6 +90,30 @@ impl XnorBitCell {
     /// Programs the stored sign from a real weight (`>= 0` → `+1`).
     pub fn program(&mut self, weight: f32) {
         self.sign = weight >= 0.0;
+    }
+
+    /// Exports the complete cell state for checkpointing.
+    pub fn state(&self) -> XnorCellState {
+        XnorCellState {
+            plus_levels: self.plus_levels,
+            minus_levels: self.minus_levels,
+            sign: self.sign,
+            plus_defect: self.plus_defect,
+            minus_defect: self.minus_defect,
+            reference: self.reference,
+        }
+    }
+
+    /// Rebuilds a cell from an exported [`XnorCellState`].
+    pub fn from_state(state: &XnorCellState) -> Self {
+        Self {
+            plus_levels: state.plus_levels,
+            minus_levels: state.minus_levels,
+            sign: state.sign,
+            plus_defect: state.plus_defect,
+            minus_defect: state.minus_defect,
+            reference: state.reference,
+        }
     }
 
     /// The stored sign as `±1`.

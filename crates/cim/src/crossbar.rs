@@ -16,10 +16,11 @@
 //! energy model.
 
 use crate::adc::{Adc, OpCounter};
-use crate::bitcell::{MlcBitCell, XnorBitCell};
+use crate::bitcell::{MlcBitCell, XnorBitCell, XnorCellState};
 use crate::packed::PackedPlane;
 use neuspin_device::{
-    stats, AgingConfig, AgingReport, AgingState, DefectKind, DefectMap, DefectRates, VariedParams,
+    stats, AgingConfig, AgingReport, AgingSnapshot, AgingState, DefectKind, DefectMap,
+    DefectRates, VariedParams,
 };
 use rand::rngs::StdRng;
 
@@ -91,6 +92,86 @@ struct AgingHook {
     /// so per-read disturb and write wear ride the existing tallies.
     seen_reads: u64,
     seen_writes: u64,
+}
+
+/// Mutable state of one spare column inside a [`CrossbarState`].
+///
+/// Spare cells must be captured per device: a used spare's original
+/// cells were physically swapped into the main array by
+/// [`Crossbar::substitute_column`], so no constructor replay can
+/// recover the placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpareColumnState {
+    /// Per-cell device state, top row first.
+    pub cells: Vec<XnorCellState>,
+    /// Whether the spare was already fused into the array.
+    pub used: bool,
+}
+
+/// Mutable state of an attached aging engine inside a
+/// [`CrossbarState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingHookState {
+    /// Virtual clock, event-RNG stream position, and per-cell temporal
+    /// state.
+    pub aging: AgingSnapshot,
+    /// The golden sign image a scrub restores.
+    pub golden: Vec<f32>,
+    /// Op-counter snapshots from the last [`Crossbar::advance_time`].
+    pub seen_reads: u64,
+    pub seen_writes: u64,
+}
+
+/// The complete *mutable* state of a [`Crossbar`] — everything that can
+/// diverge from a freshly fabricated twin over the die's lifetime.
+///
+/// Captured by [`Crossbar::export_state`] and reapplied by
+/// [`Crossbar::import_state`] onto a crossbar built by the *same
+/// deterministic constructor* (same weights, geometry, config, and
+/// seed). Immutable structure — geometry, device corner, read noise,
+/// ADC, IR-drop table, kernel policy — is *not* captured: the twin
+/// already has it, bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarState {
+    /// Per-cell device state in row-major physical order.
+    pub cells: Vec<XnorCellState>,
+    /// Effective weights, verbatim (drift already folded in).
+    pub eff: Vec<f64>,
+    /// Word-line gates (logical coordinates).
+    pub row_enabled: Vec<bool>,
+    /// Accumulated op tallies.
+    pub counter: OpCounter,
+    /// Ground-truth defect population as `(row, col, kind)` triples in
+    /// row-major order.
+    pub defects: Vec<(usize, usize, DefectKind)>,
+    /// Spare-column bank, per fabricated spare.
+    pub spares: Vec<SpareColumnState>,
+    /// Remap indirection (`None` = identity).
+    pub row_src: Option<Vec<usize>>,
+    pub col_src: Option<Vec<usize>>,
+    /// Running sense-margin window.
+    pub margin_sum: f64,
+    pub margin_count: u64,
+    /// Packed-kernel engagement diagnostic.
+    pub packed_calls: u64,
+    /// Temporal-degradation state, if aging was enabled.
+    pub aging: Option<AgingHookState>,
+}
+
+/// The complete mutable state of an [`MlcCrossbar`] (see
+/// [`CrossbarState`]; the MLC array keeps only effective weights, so
+/// its state is far smaller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlcCrossbarState {
+    /// Effective (quantized, variation-perturbed) weights, verbatim.
+    pub eff: Vec<f64>,
+    /// Word-line gates.
+    pub row_enabled: Vec<bool>,
+    /// Accumulated op tallies.
+    pub counter: OpCounter,
+    /// Running sense-margin window.
+    pub margin_sum: f64,
+    pub margin_count: u64,
 }
 
 /// Configuration shared by crossbar constructors.
@@ -1201,6 +1282,136 @@ impl Crossbar {
         self.scratch.capacity() * std::mem::size_of::<f64>()
             + self.row_scratch.capacity() * std::mem::size_of::<(usize, usize)>()
     }
+
+    /// Flips the stored sign of the (non-defective) cell at physical
+    /// `(row, col)` — the transient-upset hook of the chaos engine,
+    /// modelling a particle strike or write-path glitch between scrubs.
+    /// No electrical write is tallied (the upset is not an operation the
+    /// periphery performed), so op-counter-derived wear is unaffected.
+    /// Returns `false` when the cell is defective (a pinned free layer
+    /// absorbs the hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn flip_stored_sign(&mut self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        let idx = row * self.cols + col;
+        if self.cells[idx].is_defective() {
+            return false;
+        }
+        let s = self.cells[idx].stored_sign();
+        self.cells[idx].program(-s);
+        let mut eff = self.cells[idx].effective_weight();
+        // Keep the cell's accumulated conductance drift folded in, as
+        // refresh_eff would.
+        if let Some(hook) = &self.aging {
+            eff *= hook.state.drift(idx);
+        }
+        self.eff[idx] = eff;
+        self.refresh_wd();
+        self.invalidate_packed();
+        true
+    }
+
+    /// Captures the complete mutable state of this array for a die
+    /// checkpoint (see [`CrossbarState`]).
+    pub fn export_state(&self) -> CrossbarState {
+        CrossbarState {
+            cells: self.cells.iter().map(|c| c.state()).collect(),
+            eff: self.eff.clone(),
+            row_enabled: self.row_enabled.clone(),
+            counter: self.counter,
+            defects: self.defects.iter().map(|((r, c), k)| (r, c, k)).collect(),
+            spares: self
+                .spares
+                .iter()
+                .map(|s| SpareColumnState {
+                    cells: s.cells.iter().map(|c| c.state()).collect(),
+                    used: s.used,
+                })
+                .collect(),
+            row_src: self.row_src.clone(),
+            col_src: self.col_src.clone(),
+            margin_sum: self.margin_sum,
+            margin_count: self.margin_count,
+            packed_calls: self.packed_calls,
+            aging: self.aging.as_deref().map(|hook| AgingHookState {
+                aging: hook.state.snapshot(),
+                golden: hook.golden.clone(),
+                seen_reads: hook.seen_reads,
+                seen_writes: hook.seen_writes,
+            }),
+        }
+    }
+
+    /// Reapplies a captured state onto a crossbar built by the same
+    /// deterministic constructor (and, when the checkpoint carries
+    /// aging state, with [`Crossbar::enable_aging`] already attached
+    /// under the same config). Every mutable field is overwritten —
+    /// `eff` verbatim, so accumulated drift survives — then the derived
+    /// tables (folded weights, packed plane, enabled-row cache) are
+    /// rebuilt. After the call the array is bit-identical to the one
+    /// that exported the state: outputs, tallies, margins, and every
+    /// event-RNG stream position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any population, shape, or aging-attachment check
+    /// fails — the state came from a differently built array.
+    pub fn import_state(&mut self, state: &CrossbarState) {
+        let n = self.rows * self.cols;
+        assert_eq!(state.cells.len(), n, "cell state population mismatch");
+        assert_eq!(state.eff.len(), n, "eff state population mismatch");
+        assert_eq!(state.row_enabled.len(), self.rows, "row_enabled state length mismatch");
+        assert_eq!(state.spares.len(), self.spares.len(), "spare count mismatch");
+        if let Some(map) = &state.row_src {
+            assert_permutation(map, self.rows, "row_src");
+        }
+        if let Some(map) = &state.col_src {
+            assert_permutation(map, self.cols, "col_src");
+        }
+        for (cell, s) in self.cells.iter_mut().zip(&state.cells) {
+            *cell = XnorBitCell::from_state(s);
+        }
+        self.eff.copy_from_slice(&state.eff);
+        self.row_enabled.copy_from_slice(&state.row_enabled);
+        self.enabled_count = self.row_enabled.iter().filter(|&&e| e).count();
+        self.counter = state.counter;
+        let mut defects = DefectMap::empty(self.rows, self.cols);
+        for &(r, c, kind) in &state.defects {
+            defects.inject(r, c, kind);
+        }
+        self.defects = defects;
+        for (spare, s) in self.spares.iter_mut().zip(&state.spares) {
+            assert_eq!(s.cells.len(), self.rows, "spare column population mismatch");
+            spare.cells.clear();
+            spare.cells.extend(s.cells.iter().map(XnorBitCell::from_state));
+            spare.used = s.used;
+        }
+        self.row_src = state.row_src.clone();
+        self.col_src = state.col_src.clone();
+        self.margin_sum = state.margin_sum;
+        self.margin_count = state.margin_count;
+        self.packed_calls = state.packed_calls;
+        match (self.aging.as_deref_mut(), &state.aging) {
+            (Some(hook), Some(s)) => {
+                assert_eq!(s.golden.len(), n, "golden image population mismatch");
+                hook.state.restore(&s.aging);
+                hook.golden = s.golden.clone();
+                hook.seen_reads = s.seen_reads;
+                hook.seen_writes = s.seen_writes;
+            }
+            (None, None) => {}
+            _ => panic!("aging attachment mismatch between die and checkpoint"),
+        }
+        // `eff` was restored verbatim with drift already folded in:
+        // rebuild only the derived tables (refresh_eff would re-apply
+        // the drift factor a second time).
+        self.refresh_wd();
+        self.invalidate_packed();
+    }
 }
 
 /// Panics unless `map` is a permutation of `0..len`.
@@ -1427,6 +1638,35 @@ impl MlcCrossbar {
     pub fn merge_sense_margin(&mut self, sum: f64, count: u64) {
         self.margin_sum += sum;
         self.margin_count += count;
+    }
+
+    /// Captures the complete mutable state of this array for a die
+    /// checkpoint (see [`MlcCrossbarState`]).
+    pub fn export_state(&self) -> MlcCrossbarState {
+        MlcCrossbarState {
+            eff: self.eff.clone(),
+            row_enabled: self.row_enabled.clone(),
+            counter: self.counter,
+            margin_sum: self.margin_sum,
+            margin_count: self.margin_count,
+        }
+    }
+
+    /// Reapplies a captured state onto an array built by the same
+    /// deterministic constructor (see [`Crossbar::import_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state population disagrees with this array's
+    /// geometry.
+    pub fn import_state(&mut self, state: &MlcCrossbarState) {
+        assert_eq!(state.eff.len(), self.rows * self.cols, "eff state population mismatch");
+        assert_eq!(state.row_enabled.len(), self.rows, "row_enabled state length mismatch");
+        self.eff.copy_from_slice(&state.eff);
+        self.row_enabled.copy_from_slice(&state.row_enabled);
+        self.counter = state.counter;
+        self.margin_sum = state.margin_sum;
+        self.margin_count = state.margin_count;
     }
 }
 
@@ -2278,6 +2518,121 @@ mod tests {
         let mut r = rng();
         let mut xbar = Crossbar::program(&[1.0; 4], 2, 2, &ideal(), &mut r);
         let _ = xbar.scrub();
+    }
+
+    #[test]
+    fn state_round_trip_onto_twin_is_bit_identical() {
+        // The full lifecycle: defective fabrication with spares, aging,
+        // a repair that physically swaps cells, a remap, a scrub, and a
+        // chaos flip — then export, import onto a constructor twin, and
+        // prove evaluation *and* further aging stay bit-identical.
+        let w: Vec<f32> =
+            (0..16 * 6).map(|i| if (i * 7) % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let config = CrossbarConfig {
+            defect_rates: DefectRates::uniform(0.02),
+            read_noise: 0.03,
+            adc_bits: Some(6),
+            ir_drop: 0.05,
+            ..CrossbarConfig::default()
+        };
+        let aging_cfg = neuspin_device::AgingConfig {
+            seed: 13,
+            thermal_stability: 33.0,
+            drift_rate: 0.02,
+            ..neuspin_device::AgingConfig::default()
+        };
+        let mut ra = StdRng::seed_from_u64(909);
+        let mut a = Crossbar::program_with_spares(&w, 16, 6, 2, &config, &mut ra);
+        a.enable_aging(&aging_cfg);
+        let mut drive = StdRng::seed_from_u64(5);
+        let _ = a.advance_time(2.0);
+        a.substitute_column(1, 0);
+        a.apply_remap((0..16).map(|i| (i + 3) % 16).collect(), vec![2, 0, 1, 4, 3, 5]);
+        let _ = a.scrub();
+        let _ = a.advance_time(1.5);
+        a.set_row_enabled(4, false);
+        a.flip_stored_sign(2, 3);
+        let _ = a.matvec(&[1.0; 16], &mut drive);
+
+        // The twin replays fabrication (same constructor, same seed) and
+        // aging attachment, then receives the state.
+        let mut rb = StdRng::seed_from_u64(909);
+        let mut b = Crossbar::program_with_spares(&w, 16, 6, 2, &config, &mut rb);
+        b.enable_aging(&aging_cfg);
+        let state = a.export_state();
+        b.import_state(&state);
+        assert_eq!(b.export_state(), state, "re-export must reproduce the state");
+        assert_eq!(a.defects(), b.defects());
+        assert_eq!(a.remap(), b.remap());
+        assert_eq!(a.enabled_rows(), b.enabled_rows());
+
+        // Continued operation diverges nowhere: evaluation, margins,
+        // tallies, and the aging event streams all line up.
+        let mut da = StdRng::seed_from_u64(33);
+        let mut db = StdRng::seed_from_u64(33);
+        for trial in 0..4 {
+            let x: Vec<f32> = (0..16).map(|i| ((i * (trial + 2)) % 5) as f32 - 2.0).collect();
+            let ya = a.matvec(&x, &mut da);
+            let yb = b.matvec(&x, &mut db);
+            for (j, (va, vb)) in ya.iter().zip(&yb).enumerate() {
+                assert_eq!(va.to_bits(), vb.to_bits(), "col {j} trial {trial}");
+            }
+        }
+        assert_eq!(a.advance_time(2.0), b.advance_time(2.0), "aging streams must resume");
+        assert_eq!(a.scrub(), b.scrub());
+        assert_eq!(a.counter(), b.counter());
+        let ((sa, ca), (sb, cb)) = (a.sense_margin_parts(), b.sense_margin_parts());
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn mlc_state_round_trip_onto_twin_is_bit_identical() {
+        let w: Vec<f32> = (0..8 * 5).map(|i| ((i * 5) % 7) as f32 / 3.5 - 1.0).collect();
+        let config = CrossbarConfig { read_noise: 0.02, adc_bits: Some(6), ..ideal() };
+        let mut ra = StdRng::seed_from_u64(111);
+        let mut rb = StdRng::seed_from_u64(111);
+        let mut a = MlcCrossbar::program(&w, 8, 5, 4, 1.0, &config, &mut ra);
+        let mut b = MlcCrossbar::program(&w, 8, 5, 4, 1.0, &config, &mut rb);
+        let mut drive = StdRng::seed_from_u64(6);
+        a.set_row_enabled(2, false);
+        a.apply_drift(|w| w * 0.97);
+        let _ = a.matvec(&[0.5; 8], &mut drive);
+        b.import_state(&a.export_state());
+        let mut da = StdRng::seed_from_u64(44);
+        let mut db = StdRng::seed_from_u64(44);
+        let ya = a.matvec(&[0.25; 8], &mut da);
+        let yb = b.matvec(&[0.25; 8], &mut db);
+        for (va, vb) in ya.iter().zip(&yb) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        assert_eq!(a.counter(), b.counter());
+    }
+
+    #[test]
+    fn flip_stored_sign_inverts_weight_and_scrub_heals() {
+        let mut r = rng();
+        let w = vec![1.0f32; 16]; // 4×4
+        let mut xbar = Crossbar::program(&w, 4, 4, &ideal(), &mut r);
+        xbar.enable_aging(&neuspin_device::AgingConfig::default());
+        assert!(xbar.flip_stored_sign(1, 2));
+        assert!((xbar.effective_weight(1, 2) + 1.0).abs() < 1e-9, "sign inverted");
+        assert_eq!(xbar.scrub(), 1, "scrub sees exactly the flipped cell");
+        assert!((xbar.effective_weight(1, 2) - 1.0).abs() < 1e-9, "scrub heals the upset");
+        // A defective cell absorbs the hit.
+        let mut bad = Crossbar::program(&w, 4, 4, &ideal(), &mut r);
+        bad.cells[5].inject_plus_defect(DefectKind::Open);
+        bad.cells[5].inject_minus_defect(DefectKind::Open);
+        assert!(!bad.flip_stored_sign(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell state population mismatch")]
+    fn import_state_rejects_wrong_geometry() {
+        let mut r = rng();
+        let a = Crossbar::program(&[1.0; 4], 2, 2, &ideal(), &mut r);
+        let mut b = Crossbar::program(&[1.0; 9], 3, 3, &ideal(), &mut r);
+        b.import_state(&a.export_state());
     }
 
     #[test]

@@ -12,8 +12,21 @@
 //! | [`Arbiter`] | which of `N` crossbars is read | `⌈log₂N⌉` bits/pass |
 
 use crate::adc::OpCounter;
-use neuspin_device::{SpinRng, VariedParams};
+use neuspin_device::{SpinRng, SpinRngState, VariedParams};
 use rand::rngs::StdRng;
+
+/// Mutable state of an [`Arbiter`] — the bias point and stream position
+/// of each bit source plus the consumed-bit tally. Captured by
+/// [`Arbiter::state`] for die checkpoints and reapplied by
+/// [`Arbiter::restore_state`] onto an arbiter built by the same
+/// deterministic constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterState {
+    /// Per-bit-source device state, in selection order.
+    pub bit_sources: Vec<SpinRngState>,
+    /// Total RNG bits consumed so far.
+    pub bits_used: u64,
+}
 
 /// A per-neuron dropout module (SpinDrop, §III-A1): one stochastic MTJ
 /// whose SET→read→RESET cycle yields one drop/keep decision for one
@@ -77,6 +90,17 @@ impl SpinDropModule {
     pub fn bits_used(&self) -> u64 {
         self.rng.bits_generated()
     }
+
+    /// The underlying device's mutable state (bias point, target, stream
+    /// position) for die checkpoints.
+    pub fn rng_state(&self) -> SpinRngState {
+        self.rng.state()
+    }
+
+    /// Reapplies a captured device state (see [`SpinRng::restore_state`]).
+    pub fn restore_rng_state(&mut self, state: &SpinRngState) {
+        self.rng.restore_state(state);
+    }
 }
 
 /// A per-feature-map dropout module (Spatial-SpinDrop, §III-A2): the
@@ -132,6 +156,16 @@ impl SpatialDropModule {
     /// Total RNG bits consumed so far.
     pub fn bits_used(&self) -> u64 {
         self.inner.bits_used()
+    }
+
+    /// The underlying device's mutable state for die checkpoints.
+    pub fn rng_state(&self) -> SpinRngState {
+        self.inner.rng_state()
+    }
+
+    /// Reapplies a captured device state (see [`SpinRng::restore_state`]).
+    pub fn restore_rng_state(&mut self, state: &SpinRngState) {
+        self.inner.restore_rng_state(state);
     }
 }
 
@@ -197,6 +231,16 @@ impl ScaleDropModule {
     /// Total RNG bits consumed so far.
     pub fn bits_used(&self) -> u64 {
         self.inner.bits_used()
+    }
+
+    /// The underlying device's mutable state for die checkpoints.
+    pub fn rng_state(&self) -> SpinRngState {
+        self.inner.rng_state()
+    }
+
+    /// Reapplies a captured device state (see [`SpinRng::restore_state`]).
+    pub fn restore_rng_state(&mut self, state: &SpinRngState) {
+        self.inner.restore_rng_state(state);
     }
 }
 
@@ -267,6 +311,33 @@ impl Arbiter {
     /// Total RNG bits consumed so far.
     pub fn bits_used(&self) -> u64 {
         self.bits_used
+    }
+
+    /// The arbiter's full mutable state for die checkpoints.
+    pub fn state(&self) -> ArbiterState {
+        ArbiterState {
+            bit_sources: self.bit_sources.iter().map(|s| s.state()).collect(),
+            bits_used: self.bits_used,
+        }
+    }
+
+    /// Reapplies a captured state onto an arbiter built by the same
+    /// deterministic constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit-source count disagrees (the checkpoint came
+    /// from a differently shaped arbiter).
+    pub fn restore_state(&mut self, state: &ArbiterState) {
+        assert_eq!(
+            state.bit_sources.len(),
+            self.bit_sources.len(),
+            "arbiter bit-source count mismatch"
+        );
+        for (src, s) in self.bit_sources.iter_mut().zip(&state.bit_sources) {
+            src.restore_state(s);
+        }
+        self.bits_used = state.bits_used;
     }
 }
 
@@ -372,5 +443,45 @@ mod tests {
         let mut arb = Arbiter::new(1, VariedParams::ideal(), &mut r);
         assert_eq!(arb.select(&mut r), 0);
         assert_eq!(arb.bits_used(), 0);
+    }
+
+    #[test]
+    fn module_state_round_trip_onto_twin_is_exact() {
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.05));
+        let mut ra = StdRng::seed_from_u64(71);
+        let mut rb = StdRng::seed_from_u64(71);
+        let mut a = SpinDropModule::new(0.3, corner, &mut ra);
+        let mut b = SpinDropModule::new(0.3, corner, &mut rb);
+        let mut use_rng = StdRng::seed_from_u64(9);
+        let _ = a.tune(64, 0.02, &mut use_rng);
+        for _ in 0..17 {
+            let _ = a.sample(&mut use_rng);
+        }
+        b.restore_rng_state(&a.rng_state());
+        assert_eq!(a, b, "restored module must equal the source exactly");
+    }
+
+    #[test]
+    fn arbiter_state_round_trip_onto_twin_is_exact() {
+        let corner = VariedParams::new(MtjParams::default(), VariationModel::uniform(0.05));
+        let mut ra = StdRng::seed_from_u64(72);
+        let mut rb = StdRng::seed_from_u64(72);
+        let mut a = Arbiter::new(3, corner, &mut ra);
+        let mut b = Arbiter::new(3, corner, &mut rb);
+        let mut use_rng = StdRng::seed_from_u64(10);
+        for _ in 0..25 {
+            let _ = a.select(&mut use_rng);
+        }
+        b.restore_state(&a.state());
+        assert_eq!(a, b, "restored arbiter must equal the source exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-source count mismatch")]
+    fn arbiter_restore_rejects_shape_mismatch() {
+        let mut r = rng();
+        let a = Arbiter::new(8, VariedParams::ideal(), &mut r);
+        let mut b = Arbiter::new(2, VariedParams::ideal(), &mut r);
+        b.restore_state(&a.state());
     }
 }

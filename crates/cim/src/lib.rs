@@ -50,10 +50,15 @@ pub mod repair;
 
 pub use adc::{Adc, OpCounter};
 pub use bist::{march_test, BistConfig, BistReport};
-pub use bitcell::{MlcBitCell, XnorBitCell};
-pub use crossbar::{Crossbar, CrossbarConfig, KernelPolicy, MlcCrossbar, PackedState};
+pub use bitcell::{MlcBitCell, XnorBitCell, XnorCellState};
+pub use crossbar::{
+    AgingHookState, Crossbar, CrossbarConfig, CrossbarState, KernelPolicy, MlcCrossbar,
+    MlcCrossbarState, PackedState, SpareColumnState,
+};
 pub use decoder::WordlineDecoder;
-pub use dropout_modules::{Arbiter, ScaleDropModule, SpatialDropModule, SpinDropModule};
+pub use dropout_modules::{
+    Arbiter, ArbiterState, ScaleDropModule, SpatialDropModule, SpinDropModule,
+};
 pub use mapping::{
     fault_aware_remap, map_conv, map_linear, ArrayLimit, ConvMapping, LayerShape, MappingReport,
     Remap,

@@ -8,18 +8,24 @@
 //! for the energy model.
 
 use neuspin_cim::{
-    Arbiter, Crossbar, MlcCrossbar, OpCounter, ScaleDropModule, SpatialDropModule, SpinDropModule,
+    Arbiter, ArbiterState, Crossbar, CrossbarState, MlcCrossbar, MlcCrossbarState, OpCounter,
+    ScaleDropModule, SpatialDropModule, SpinDropModule,
 };
+use neuspin_device::SpinRngState;
 use neuspin_nn::conv::{im2col, im2col_into, ConvGeometry};
 use neuspin_nn::Tensor;
 use rand::rngs::StdRng;
 
 /// Welford accumulator for per-feature calibration statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Fields are crate-visible so the checkpoint module can capture and
+/// restore the accumulator exactly (a restored die must resume
+/// calibration mid-stream bit for bit).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct FeatureStats {
-    count: u64,
-    mean: Vec<f64>,
-    m2: Vec<f64>,
+    pub(crate) count: u64,
+    pub(crate) mean: Vec<f64>,
+    pub(crate) m2: Vec<f64>,
 }
 
 impl FeatureStats {
@@ -912,6 +918,178 @@ impl HwBlock {
             HwBlock::InvNorm(b) => b.local,
             HwBlock::Dropout(d) => d.counter(),
             _ => OpCounter::new(),
+        }
+    }
+}
+
+/// The mutable state of one pipeline block — everything a block can
+/// accumulate after compilation (device state, RNG stream positions,
+/// calibration statistics, op tallies). Captured by
+/// [`HwBlock::export_state`] and reapplied by [`HwBlock::import_state`]
+/// onto the matching block of a twin pipeline compiled by the same
+/// deterministic constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum BlockState {
+    Conv { xbar: CrossbarState, local: OpCounter },
+    Fc { xbar: CrossbarState, local: OpCounter },
+    FcSpinBayes { xbars: Vec<MlcCrossbarState>, arbiter: ArbiterState, local: OpCounter },
+    DigitalFc { local: OpCounter },
+    Norm { mean: Vec<f32>, var: Vec<f32>, stats: FeatureStats, local: OpCounter },
+    InvNorm { modules: Option<(SpinRngState, SpinRngState)>, local: OpCounter },
+    DropPerNeuron { modules: Vec<SpinRngState> },
+    DropPerChannel { modules: Vec<SpinRngState> },
+    DropScale { module: SpinRngState, local: OpCounter },
+    DropViScale { local: OpCounter },
+    /// HardTanh / MaxPool / Flatten — nothing to capture.
+    Stateless,
+}
+
+impl BlockState {
+    /// A short label for mismatch diagnostics (the full state can hold
+    /// megabytes of device data — never printed).
+    fn kind(&self) -> &'static str {
+        match self {
+            BlockState::Conv { .. } => "conv",
+            BlockState::Fc { .. } => "fc",
+            BlockState::FcSpinBayes { .. } => "fc_spinbayes",
+            BlockState::DigitalFc { .. } => "digital_fc",
+            BlockState::Norm { .. } => "norm",
+            BlockState::InvNorm { .. } => "inv_norm",
+            BlockState::DropPerNeuron { .. } => "dropout_per_neuron",
+            BlockState::DropPerChannel { .. } => "dropout_per_channel",
+            BlockState::DropScale { .. } => "dropout_scale",
+            BlockState::DropViScale { .. } => "dropout_vi_scale",
+            BlockState::Stateless => "stateless",
+        }
+    }
+}
+
+impl HwBlock {
+    /// Captures the block's complete mutable state.
+    pub(crate) fn export_state(&self) -> BlockState {
+        match self {
+            HwBlock::Conv(b) => {
+                BlockState::Conv { xbar: b.xbar.export_state(), local: b.local }
+            }
+            HwBlock::Fc(b) => BlockState::Fc { xbar: b.xbar.export_state(), local: b.local },
+            HwBlock::FcSpinBayes(b) => BlockState::FcSpinBayes {
+                xbars: b.xbars.iter().map(MlcCrossbar::export_state).collect(),
+                arbiter: b.arbiter.state(),
+                local: b.local,
+            },
+            HwBlock::DigitalFc(b) => BlockState::DigitalFc { local: b.local },
+            HwBlock::Norm(b) => BlockState::Norm {
+                mean: b.mean.clone(),
+                var: b.var.clone(),
+                stats: b.stats.clone(),
+                local: b.local,
+            },
+            HwBlock::InvNorm(b) => BlockState::InvNorm {
+                modules: b.modules.as_ref().map(|(g, be)| (g.rng_state(), be.rng_state())),
+                local: b.local,
+            },
+            HwBlock::Dropout(HwDropout::PerNeuron { modules, .. }) => BlockState::DropPerNeuron {
+                modules: modules.iter().map(SpinDropModule::rng_state).collect(),
+            },
+            HwBlock::Dropout(HwDropout::PerChannel { modules, .. }) => {
+                BlockState::DropPerChannel {
+                    modules: modules.iter().map(SpatialDropModule::rng_state).collect(),
+                }
+            }
+            HwBlock::Dropout(HwDropout::Scale { module, local, .. }) => {
+                BlockState::DropScale { module: module.rng_state(), local: *local }
+            }
+            HwBlock::Dropout(HwDropout::ViScale { local, .. }) => {
+                BlockState::DropViScale { local: *local }
+            }
+            HwBlock::HardTanh | HwBlock::MaxPool(_) | HwBlock::Flatten => BlockState::Stateless,
+        }
+    }
+
+    /// Reapplies a captured state onto this block. The block must be
+    /// the same pipeline stage of a twin compiled from the same
+    /// constructor inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state variant does not match the block kind, or a
+    /// module population differs.
+    pub(crate) fn import_state(&mut self, state: &BlockState) {
+        match (self, state) {
+            (HwBlock::Conv(b), BlockState::Conv { xbar, local }) => {
+                b.xbar.import_state(xbar);
+                b.local = *local;
+            }
+            (HwBlock::Fc(b), BlockState::Fc { xbar, local }) => {
+                b.xbar.import_state(xbar);
+                b.local = *local;
+            }
+            (HwBlock::FcSpinBayes(b), BlockState::FcSpinBayes { xbars, arbiter, local }) => {
+                assert_eq!(
+                    b.xbars.len(),
+                    xbars.len(),
+                    "checkpoint SpinBayes instance count mismatch"
+                );
+                for (x, s) in b.xbars.iter_mut().zip(xbars) {
+                    x.import_state(s);
+                }
+                b.arbiter.restore_state(arbiter);
+                b.local = *local;
+            }
+            (HwBlock::DigitalFc(b), BlockState::DigitalFc { local }) => b.local = *local,
+            (HwBlock::Norm(b), BlockState::Norm { mean, var, stats, local }) => {
+                b.mean = mean.clone();
+                b.var = var.clone();
+                b.stats = stats.clone();
+                b.local = *local;
+            }
+            (HwBlock::InvNorm(b), BlockState::InvNorm { modules, local }) => {
+                match (&mut b.modules, modules) {
+                    (Some((g, be)), Some((gs, bs))) => {
+                        g.restore_rng_state(gs);
+                        be.restore_rng_state(bs);
+                    }
+                    (None, None) => {}
+                    _ => panic!("checkpoint InvNorm module presence mismatch"),
+                }
+                b.local = *local;
+            }
+            (
+                HwBlock::Dropout(HwDropout::PerNeuron { modules, .. }),
+                BlockState::DropPerNeuron { modules: states },
+            ) => {
+                assert_eq!(modules.len(), states.len(), "dropout module population mismatch");
+                for (m, s) in modules.iter_mut().zip(states) {
+                    m.restore_rng_state(s);
+                }
+            }
+            (
+                HwBlock::Dropout(HwDropout::PerChannel { modules, .. }),
+                BlockState::DropPerChannel { modules: states },
+            ) => {
+                assert_eq!(modules.len(), states.len(), "dropout module population mismatch");
+                for (m, s) in modules.iter_mut().zip(states) {
+                    m.restore_rng_state(s);
+                }
+            }
+            (
+                HwBlock::Dropout(HwDropout::Scale { module, local, .. }),
+                BlockState::DropScale { module: state, local: l },
+            ) => {
+                module.restore_rng_state(state);
+                *local = *l;
+            }
+            (
+                HwBlock::Dropout(HwDropout::ViScale { local, .. }),
+                BlockState::DropViScale { local: l },
+            ) => *local = *l,
+            (HwBlock::HardTanh | HwBlock::MaxPool(_) | HwBlock::Flatten, BlockState::Stateless) => {
+            }
+            (block, state) => panic!(
+                "checkpoint block state '{}' does not match pipeline block '{}'",
+                state.kind(),
+                block.kind()
+            ),
         }
     }
 }

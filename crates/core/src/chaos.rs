@@ -1,0 +1,258 @@
+//! Deterministic chaos injection.
+//!
+//! A [`ChaosPlan`] decides *where* faults strike — die crashes, worker
+//! panics, queue stalls, latency spikes, stored-weight bit flips,
+//! malformed request bytes — from a dedicated seed that never touches
+//! the model or serving RNG streams. Decisions are **stateless**: each
+//! is a pure hash of `(chaos seed, site, key)`, where the key is a
+//! deterministic progress coordinate (batch index, connection-job
+//! index, die id). Two consequences fall out of that design:
+//!
+//! * the same plan replayed against the same workload injects the same
+//!   faults at the same points, regardless of thread count or timing —
+//!   chaos campaigns are reproducible and their reports byte-stable;
+//! * consulting the plan consumes nothing: probing a site that does not
+//!   fire leaves every other decision unchanged, so hooks can be added
+//!   or skipped freely without reshuffling the injected faults.
+//!
+//! Intensities are expressed per mille (0–1000). A plan with every
+//! intensity at zero never fires anywhere and costs one hash per probe
+//! — the serve layer runs the hooks unconditionally and lets the plan
+//! say no.
+
+use crate::rng::SplitMix64;
+
+/// Golden-ratio odd constant used by every seed-splitting site in the
+/// workspace.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A named fault-injection site. The discriminant feeds the decision
+/// hash, so each site sees an independent stream: raising the stall
+/// intensity cannot move a single panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosSite {
+    /// A connection worker panics at a job boundary (after the response
+    /// for the keyed job was written). Keyed by connection-job index.
+    WorkerPanic,
+    /// The batcher sleeps before draining the keyed batch. Keyed by
+    /// batch index.
+    QueueStall,
+    /// One die's evaluation is delayed before it starts. Keyed by
+    /// `batch_index · #dies + die`.
+    LatencySpike,
+    /// A die crashes (power-fails) between request waves. Keyed by
+    /// `wave · #dies + die`.
+    DieCrash,
+    /// Stored weight bits flip between scrubs (radiation / retention
+    /// upsets beyond the aging model). Keyed by `wave · #dies + die`.
+    WeightFlip,
+    /// The client ships malformed or truncated request bytes. Keyed by
+    /// request index.
+    MalformedRequest,
+}
+
+impl ChaosSite {
+    fn tag(self) -> u64 {
+        match self {
+            ChaosSite::WorkerPanic => 0xC4A0_0001,
+            ChaosSite::QueueStall => 0xC4A0_0002,
+            ChaosSite::LatencySpike => 0xC4A0_0003,
+            ChaosSite::DieCrash => 0xC4A0_0004,
+            ChaosSite::WeightFlip => 0xC4A0_0005,
+            ChaosSite::MalformedRequest => 0xC4A0_0006,
+        }
+    }
+}
+
+/// Per-site chaos intensities plus the plan seed. `Default` is fully
+/// quiet (every intensity zero), so embedding a plan in a config never
+/// changes behaviour until a campaign turns a knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the chaos decision stream. Independent of (and never
+    /// mixed into) model, serving, or evaluation seeds.
+    pub seed: u64,
+    /// Probability, in per mille, that a connection worker panics after
+    /// finishing a job.
+    pub worker_panic_per_mille: u32,
+    /// Probability, in per mille, that the batcher stalls before a
+    /// batch.
+    pub queue_stall_per_mille: u32,
+    /// Probability, in per mille, of a per-die latency spike on a
+    /// batch evaluation.
+    pub latency_spike_per_mille: u32,
+    /// Probability, in per mille, of a die crash per (wave, die).
+    pub die_crash_per_mille: u32,
+    /// Probability, in per mille, of a weight-flip event per
+    /// (wave, die).
+    pub weight_flip_per_mille: u32,
+    /// Probability, in per mille, that a client request is shipped
+    /// malformed.
+    pub malformed_per_mille: u32,
+    /// Duration of an injected queue stall, in milliseconds.
+    pub stall_millis: u64,
+    /// Duration of an injected latency spike, in milliseconds.
+    pub spike_millis: u64,
+    /// Stored-sign flips injected per firing [`ChaosSite::WeightFlip`]
+    /// event.
+    pub flips_per_event: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            worker_panic_per_mille: 0,
+            queue_stall_per_mille: 0,
+            latency_spike_per_mille: 0,
+            die_crash_per_mille: 0,
+            weight_flip_per_mille: 0,
+            malformed_per_mille: 0,
+            stall_millis: 5,
+            spike_millis: 5,
+            flips_per_event: 4,
+        }
+    }
+}
+
+/// The stateless decision engine over a [`ChaosConfig`]. Construction
+/// is free; the plan holds no mutable state and is `Copy`, so every
+/// thread can carry its own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    config: ChaosConfig,
+}
+
+impl ChaosPlan {
+    /// Wraps a config in a decision engine.
+    pub fn new(config: ChaosConfig) -> Self {
+        Self { config }
+    }
+
+    /// The wrapped config.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// The decision hash for `(site, key)`: two chained SplitMix64
+    /// outputs so that neighbouring keys land far apart.
+    fn hash(&self, site: ChaosSite, key: u64) -> u64 {
+        let mut outer = SplitMix64::new(self.config.seed ^ site.tag().wrapping_mul(GOLDEN));
+        let lane = outer.next_u64();
+        let mut inner = SplitMix64::new(lane ^ key.wrapping_mul(GOLDEN));
+        inner.next_u64()
+    }
+
+    fn per_mille(&self, site: ChaosSite) -> u32 {
+        match site {
+            ChaosSite::WorkerPanic => self.config.worker_panic_per_mille,
+            ChaosSite::QueueStall => self.config.queue_stall_per_mille,
+            ChaosSite::LatencySpike => self.config.latency_spike_per_mille,
+            ChaosSite::DieCrash => self.config.die_crash_per_mille,
+            ChaosSite::WeightFlip => self.config.weight_flip_per_mille,
+            ChaosSite::MalformedRequest => self.config.malformed_per_mille,
+        }
+    }
+
+    /// Whether the fault at `site` strikes occurrence `key`. Pure: the
+    /// same `(plan, site, key)` always answers the same, and probing
+    /// never perturbs other decisions.
+    pub fn fires(&self, site: ChaosSite, key: u64) -> bool {
+        let pm = self.per_mille(site);
+        pm > 0 && self.hash(site, key) % 1000 < u64::from(pm)
+    }
+
+    /// A deterministic auxiliary draw for a firing site (which cell to
+    /// flip, how many bytes to truncate, …). Distinct `salt`s give
+    /// independent values for the same occurrence.
+    pub fn draw(&self, site: ChaosSite, key: u64, salt: u64) -> u64 {
+        self.hash(site, key ^ salt.wrapping_mul(GOLDEN).rotate_left(17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(seed: u64) -> ChaosPlan {
+        ChaosPlan::new(ChaosConfig {
+            seed,
+            worker_panic_per_mille: 100,
+            queue_stall_per_mille: 100,
+            latency_spike_per_mille: 100,
+            die_crash_per_mille: 100,
+            weight_flip_per_mille: 100,
+            malformed_per_mille: 100,
+            ..ChaosConfig::default()
+        })
+    }
+
+    const SITES: [ChaosSite; 6] = [
+        ChaosSite::WorkerPanic,
+        ChaosSite::QueueStall,
+        ChaosSite::LatencySpike,
+        ChaosSite::DieCrash,
+        ChaosSite::WeightFlip,
+        ChaosSite::MalformedRequest,
+    ];
+
+    #[test]
+    fn decisions_are_pure_and_reproducible() {
+        let a = noisy(42);
+        let b = noisy(42);
+        for site in SITES {
+            for key in 0..500 {
+                assert_eq!(a.fires(site, key), b.fires(site, key), "{site:?}/{key}");
+                assert_eq!(a.draw(site, key, 7), b.draw(site, key, 7), "{site:?}/{key}");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = ChaosPlan::new(ChaosConfig { seed: 9, ..ChaosConfig::default() });
+        for site in SITES {
+            for key in 0..200 {
+                assert!(!plan.fires(site, key), "{site:?}/{key} fired on a quiet plan");
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_tracks_firing_rate() {
+        let plan = noisy(7);
+        for site in SITES {
+            let hits = (0..10_000u64).filter(|&k| plan.fires(site, k)).count();
+            // 10 % nominal; a generous window keeps the test seed-robust.
+            assert!((500..1500).contains(&hits), "{site:?}: {hits}/10000 at 100 per mille");
+        }
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        let plan = noisy(11);
+        // The per-key decisions of two sites with identical intensity
+        // must not be identical — each site hashes through its own tag.
+        let panics: Vec<bool> = (0..2000).map(|k| plan.fires(ChaosSite::WorkerPanic, k)).collect();
+        let stalls: Vec<bool> = (0..2000).map(|k| plan.fires(ChaosSite::QueueStall, k)).collect();
+        assert_ne!(panics, stalls);
+    }
+
+    #[test]
+    fn seeds_move_the_fault_pattern() {
+        let a = noisy(1);
+        let b = noisy(2);
+        let pa: Vec<bool> = (0..2000).map(|k| a.fires(ChaosSite::DieCrash, k)).collect();
+        let pb: Vec<bool> = (0..2000).map(|k| b.fires(ChaosSite::DieCrash, k)).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn draw_salts_are_independent() {
+        let plan = noisy(3);
+        assert_ne!(
+            plan.draw(ChaosSite::WeightFlip, 5, 0),
+            plan.draw(ChaosSite::WeightFlip, 5, 1)
+        );
+    }
+}

@@ -114,6 +114,26 @@ impl Default for HealthConfig {
     }
 }
 
+/// The complete mutable state of a [`HealthMonitor`] — observation
+/// window, frozen baseline, latched tier, and the hysteresis dwell in
+/// progress — captured by [`HealthMonitor::export_state`] for die
+/// checkpoints and reapplied by [`HealthMonitor::import_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorState {
+    /// The runtime-calibrated abstention threshold (the one
+    /// [`HealthConfig`] field that mutates after construction).
+    pub abstain_entropy: f64,
+    /// Rolling `(entropy, margin)` observations, oldest first.
+    pub window: Vec<(f64, f64)>,
+    /// The frozen healthy reference, if any.
+    pub baseline: Option<(f64, f64)>,
+    /// The latched policy tier.
+    pub latched: HealthPolicy,
+    /// An escalation being dwelled on before it latches.
+    pub pending: HealthPolicy,
+    pub pending_count: usize,
+}
+
 /// Rolling drift detector over (entropy, sense-margin) batch summaries.
 #[derive(Debug, Clone)]
 pub struct HealthMonitor {
@@ -358,6 +378,44 @@ impl HealthMonitor {
         if raw < self.latched && self.exit_band_cleared() {
             self.latched = raw;
         }
+    }
+
+    /// Captures the full mutable state of the monitor for a die
+    /// checkpoint (see [`MonitorState`]).
+    pub fn export_state(&self) -> MonitorState {
+        MonitorState {
+            abstain_entropy: self.config.abstain_entropy,
+            window: self.window.iter().copied().collect(),
+            baseline: self.baseline,
+            latched: self.latched,
+            pending: self.pending,
+            pending_count: self.pending_count,
+        }
+    }
+
+    /// Reapplies a captured state onto a monitor built with the same
+    /// [`HealthConfig`] (the immutable tuning is not captured — only
+    /// the runtime-calibrated `abstain_entropy` travels with the
+    /// state). After the call the same observation sequence produces
+    /// the same latched decisions as the source monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the captured window is longer than this monitor's
+    /// configured window.
+    pub fn import_state(&mut self, state: &MonitorState) {
+        assert!(
+            state.window.len() <= self.config.window,
+            "monitor window state ({}) exceeds configured window ({})",
+            state.window.len(),
+            self.config.window
+        );
+        self.config.abstain_entropy = state.abstain_entropy;
+        self.window = state.window.iter().copied().collect();
+        self.baseline = state.baseline;
+        self.latched = state.latched;
+        self.pending = state.pending;
+        self.pending_count = state.pending_count;
     }
 
     /// Whether both signals have retreated *strictly* below `release ×`
@@ -654,6 +712,43 @@ mod tests {
         m.clear_window();
         assert_eq!(m.rolling_entropy(), 0.0);
         assert_eq!(m.policy(), HealthPolicy::RemapTier, "latch persists until re-baseline");
+    }
+
+    #[test]
+    fn monitor_state_round_trip_preserves_latch_and_dwell() {
+        let config = HealthConfig { window: 1, ..HealthConfig::default() };
+        let mut a = HealthMonitor::new(config);
+        a.observe(0.5, 10.0);
+        a.freeze_baseline();
+        a.set_abstain_entropy(2.0);
+        a.observe(0.9, 10.0); // rise 0.8: raw RemapTier, mid-dwell
+        assert_eq!(a.policy(), HealthPolicy::Healthy, "still dwelling");
+
+        let mut b = HealthMonitor::new(config);
+        b.import_state(&a.export_state());
+        assert_eq!(b.export_state(), a.export_state(), "re-export must reproduce the state");
+        assert_eq!(b.config().abstain_entropy, 2.0, "calibrated threshold travels");
+
+        // The in-flight dwell streak resumes: one more bad batch
+        // latches on both, and further recovery releases identically.
+        a.observe(0.9, 10.0);
+        b.observe(0.9, 10.0);
+        assert_eq!(a.policy(), HealthPolicy::RemapTier);
+        assert_eq!(b.policy(), HealthPolicy::RemapTier);
+        a.observe(0.5, 10.0);
+        b.observe(0.5, 10.0);
+        assert_eq!(a.policy(), b.policy(), "release path must match too");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds configured window")]
+    fn monitor_import_rejects_oversized_window() {
+        let mut a = HealthMonitor::new(HealthConfig { window: 4, ..HealthConfig::default() });
+        for _ in 0..4 {
+            a.observe(0.5, 10.0);
+        }
+        let mut b = HealthMonitor::new(HealthConfig { window: 2, ..HealthConfig::default() });
+        b.import_state(&a.export_state());
     }
 
     #[test]

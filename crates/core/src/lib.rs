@@ -42,6 +42,8 @@
 pub mod blocks;
 #[cfg(test)]
 mod blocks_tests;
+pub mod chaos;
+pub mod checkpoint;
 pub mod dist;
 pub mod extract;
 pub mod health;
@@ -57,6 +59,8 @@ pub mod telemetry;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosSite};
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use extract::TrainedParams;
 pub use health::{HealthConfig, HealthMonitor, HealthPolicy};
 pub use json::{Json, ToJson};
@@ -65,7 +69,8 @@ pub use pool::{mc_predict_par, mc_predict_par_on, ThreadPool};
 pub use reliability::{reliability_base, sweep, SweepConfig, SweepKind, SweepPoint};
 pub use report::{CorruptionResult, OodResult, Series, Table1Row};
 pub use runtime::{
-    RecoveryAction, RecoveryEvent, ServeReport, StepReport, Supervisor, SupervisorConfig,
+    BistGateReport, RecoveryAction, RecoveryEvent, ServeReport, StepReport, Supervisor,
+    SupervisorConfig,
 };
 pub use serve::fleet::{DieFleet, DieStatus, FleetError};
 pub use serve::{serve, DrainReport, ServeConfig, ServerHandle, StatsSnapshot};

@@ -1,7 +1,8 @@
 //! The compiled hardware model: compile → calibrate → predict.
 
 use crate::blocks::{
-    FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes, HwInvNorm, HwNorm,
+    BlockState, FeatureStats, HwBlock, HwConv, HwDigitalFc, HwDropout, HwFc, HwFcSpinBayes,
+    HwInvNorm, HwNorm,
 };
 use crate::extract::TrainedParams;
 use crate::json::ToJson;
@@ -20,7 +21,7 @@ use neuspin_energy::{EnergyBreakdown, EnergyModel, Joules};
 use neuspin_nn::conv::ConvGeometry;
 use neuspin_nn::{softmax_into, Sequential, Tensor};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{SeedableRng, SplitMix64};
 
 fn softplus(x: f32) -> f32 {
     x.max(0.0) + (-x.abs()).exp().ln_1p()
@@ -90,6 +91,20 @@ pub struct HardwareModel {
     /// Times the plan was (re)built — grows only when the input batch
     /// shape changes between passes.
     plan_rebuilds: u64,
+}
+
+/// The complete mutable state of a compiled pipeline — per-block device
+/// and RNG state plus the model-level op-counter windows. Captured by
+/// [`HardwareModel::export_state`] and reapplied by
+/// [`HardwareModel::import_state`] onto a twin compiled by the same
+/// deterministic constructor (same trained weights, architecture,
+/// hardware config, and seed). Forward-plan scratch (`ping`/`pong`,
+/// plan shape) is derived per batch and deliberately not captured.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ModelState {
+    pub(crate) blocks: Vec<BlockState>,
+    pub(crate) baseline: OpCounter,
+    pub(crate) extra: OpCounter,
 }
 
 impl HardwareModel {
@@ -615,26 +630,33 @@ impl HardwareModel {
             return self.mc_inline_par(inputs, seed, passes, stochastic, &mut span);
         }
         let base_counter = self.raw_counter();
-        let base_margins = self.crossbar_margins();
+        let n_margins = self.crossbar_margins().len();
         let this: &HardwareModel = self;
         let (pred, workers) = crate::pool::mc_predict_par(
             pool,
             passes,
             seed,
-            |_| this.clone(),
+            // Margin accumulators start from zero in every clone: the
+            // delta below is then an exact per-worker sum, independent
+            // of the source model's accumulated (non-dyadic) totals —
+            // a `(base + m) - base` subtraction is not.
+            |_| {
+                let mut m = this.clone();
+                m.reset_sense_margins();
+                m
+            },
             |model: &mut HardwareModel, _, rng| model.forward(inputs, stochastic, rng),
         );
         // The one shared merge path (satellite: no bespoke `+=` loops).
         let counter_delta =
             OpCounter::merged(workers.iter().map(|w| w.raw_counter().since(&base_counter)));
-        let mut margin_deltas = vec![(0.0f64, 0u64); base_margins.len()];
+        let mut margin_deltas = vec![(0.0f64, 0u64); n_margins];
         for worker in &workers {
-            for (delta, (after, before)) in margin_deltas
-                .iter_mut()
-                .zip(worker.crossbar_margins().into_iter().zip(&base_margins))
+            for (delta, after) in
+                margin_deltas.iter_mut().zip(worker.crossbar_margins())
             {
-                delta.0 += after.0 - before.0;
-                delta.1 += after.1 - before.1;
+                delta.0 += after.0;
+                delta.1 += after.1;
             }
         }
         self.extra.merge(&counter_delta);
@@ -701,6 +723,12 @@ impl HardwareModel {
         self.merge_crossbar_margins(&margin_deltas);
         for rep in &mut bank.replicas {
             rep.counter_base = rep.model.raw_counter();
+            // Zero the replica's margin accumulators so the next op's
+            // delta is again an exact zero-based sum — warm and
+            // freshly-cloned banks must produce bit-identical merges
+            // (the checkpoint/restore battery holds this at any
+            // thread count).
+            rep.model.reset_sense_margins();
             rep.margin_base = rep.model.crossbar_margins();
         }
         bank.syncs += 1;
@@ -907,6 +935,27 @@ impl HardwareModel {
         FaultManagementReport { layers }
     }
 
+    /// Read-only BIST audit over every binary crossbar: runs the march
+    /// test (which restores array contents exactly — post-audit
+    /// effective weights are bit-identical) without repairing or
+    /// remapping, and returns `(flagged, known_defects)` per crossbar.
+    /// Used as the re-commission gate when a restored die rejoins a
+    /// fleet: a healthy restore flags no more cells than the die's
+    /// known fabricated defect population (plus estimator slack).
+    pub fn bist_audit(&mut self, bist: &BistConfig, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for block in self.blocks.iter_mut() {
+            let xbar: &mut Crossbar = match block {
+                HwBlock::Conv(b) => &mut b.xbar,
+                HwBlock::Fc(b) => &mut b.xbar,
+                _ => continue,
+            };
+            let report = march_test(xbar, bist, rng);
+            out.push((report.flagged(), xbar.defects().defect_count()));
+        }
+        out
+    }
+
     /// Mean sense margin over every crossbar since the last
     /// [`HardwareModel::reset_sense_margins`] — the hardware-side
     /// signal for [`crate::HealthMonitor`]. Crossbars that have not
@@ -1092,6 +1141,75 @@ impl HardwareModel {
         refreshed
     }
 
+    /// Captures the pipeline's complete mutable state (see
+    /// [`ModelState`]).
+    pub(crate) fn export_state(&self) -> ModelState {
+        ModelState {
+            blocks: self.blocks.iter().map(HwBlock::export_state).collect(),
+            baseline: self.baseline,
+            extra: self.extra,
+        }
+    }
+
+    /// Reapplies a captured state onto this pipeline. The model must be
+    /// a twin: compiled by the same constructor from the same inputs
+    /// (and with aging enabled if the captured state carries aging).
+    /// The forward plan is invalidated — the next planned pass rebuilds
+    /// it for its batch shape, which perturbs only the
+    /// `plan_rebuilds` diagnostic, never outputs or RNG streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline length or any block kind/population
+    /// differs from the captured state.
+    pub(crate) fn import_state(&mut self, state: &ModelState) {
+        assert_eq!(
+            self.blocks.len(),
+            state.blocks.len(),
+            "checkpoint pipeline length mismatch"
+        );
+        for (block, s) in self.blocks.iter_mut().zip(&state.blocks) {
+            block.import_state(s);
+        }
+        self.baseline = state.baseline;
+        self.extra = state.extra;
+        self.plan_shape.clear();
+    }
+
+    /// Chaos hook: flips the stored sign of `flips` pseudo-randomly
+    /// chosen (non-defective) binary-crossbar cells — transient upsets
+    /// beyond the aging model's retention/disturb machinery. Cell
+    /// choices come from a dedicated SplitMix64 stream over `seed`;
+    /// model and evaluation RNG streams are untouched, and no op-energy
+    /// is tallied (radiation is free). Returns the number of cells
+    /// actually flipped (defective targets are skipped, not redrawn).
+    pub fn flip_stored_weight_bits(&mut self, flips: usize, seed: u64) -> usize {
+        let mut targets: Vec<&mut Crossbar> = self
+            .blocks
+            .iter_mut()
+            .filter_map(|b| match b {
+                HwBlock::Conv(b) => Some(&mut b.xbar),
+                HwBlock::Fc(b) => Some(&mut b.xbar),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        let mut stream = SplitMix64::new(seed);
+        let mut flipped = 0;
+        for _ in 0..flips {
+            let which = (stream.next_u64() % targets.len() as u64) as usize;
+            let xbar = &mut targets[which];
+            let row = (stream.next_u64() % xbar.rows() as u64) as usize;
+            let col = (stream.next_u64() % xbar.cols() as u64) as usize;
+            if xbar.flip_stored_sign(row, col) {
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
     /// A human-readable description of the compiled pipeline: one line
     /// per stage with crossbar dimensions and module counts.
     pub fn summary(&self) -> String {
@@ -1220,18 +1338,22 @@ impl ReplicaBank {
     }
 
     /// Commissions `workers` replicas of `src` unless that many are
-    /// already attached. A replica's baselines start at `src`'s current
-    /// tallies (a clone carries them), so the first sync reports only
-    /// ops the replicas themselves performed.
+    /// already attached. A replica's counter baseline starts at `src`'s
+    /// current tally (a clone carries it), so the first sync reports
+    /// only ops the replicas themselves performed; margin accumulators
+    /// are zeroed so every sync's delta is an exact zero-based sum
+    /// (bit-identical whether the bank is warm or freshly cloned).
     fn ensure(&mut self, src: &HardwareModel, workers: usize) {
         if self.replicas.len() == workers {
             return;
         }
         self.replicas.clear();
-        self.replicas.extend((0..workers).map(|_| Replica {
-            model: src.clone(),
-            counter_base: src.raw_counter(),
-            margin_base: src.crossbar_margins(),
+        self.replicas.extend((0..workers).map(|_| {
+            let mut model = src.clone();
+            model.reset_sense_margins();
+            let counter_base = src.raw_counter();
+            let margin_base = model.crossbar_margins();
+            Replica { model, counter_base, margin_base }
         }));
     }
 }

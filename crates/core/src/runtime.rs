@@ -15,6 +15,7 @@
 //! seed (common random numbers), so health-signal changes between
 //! steps reflect hardware state, never sampling noise.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, SupervisorState};
 use crate::health::{HealthConfig, HealthMonitor, HealthPolicy};
 use crate::model::{HardwareModel, ReplicaBank};
 use crate::pool::ThreadPool;
@@ -31,6 +32,8 @@ use std::fmt;
 const TAG_CALIBRATE: u64 = 0x4000;
 const TAG_ABSTAIN: u64 = 0x4800;
 const TAG_REMAP: u64 = 0x5000;
+/// Re-commission BIST audit after a crash restore.
+const TAG_BIST: u64 = 0x6000;
 /// Fixed evaluation-seed tag: every health-probe prediction uses this
 /// one stream so step-to-step signal changes are hardware, not noise.
 const TAG_EVAL: u64 = 0x0E7A;
@@ -52,6 +55,11 @@ pub struct SupervisorConfig {
     pub calib_rounds: usize,
     /// Master seed; all supervisor RNG streams derive from it.
     pub seed: u64,
+    /// Take a crash-safe checkpoint every this many steps (`step` and
+    /// `serve_predict` both count); 0 disables periodic checkpointing.
+    /// The latest checkpoint is retained in memory and readable via
+    /// [`Supervisor::last_checkpoint`].
+    pub checkpoint_interval_steps: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -63,6 +71,7 @@ impl Default for SupervisorConfig {
             coverage: 0.9,
             calib_rounds: 2,
             seed: 0x5EED,
+            checkpoint_interval_steps: 0,
         }
     }
 }
@@ -179,6 +188,14 @@ pub struct Supervisor {
     /// policy holds.
     engaged_tier: HealthPolicy,
     commissioned: bool,
+    /// The most recent periodic checkpoint (serialized), if periodic
+    /// checkpointing is enabled. This is what a crash restart restores
+    /// from.
+    last_checkpoint: Option<String>,
+    /// Monotonic count of periodic checkpoints taken — lets callers
+    /// (e.g. [`crate::DieFleet`]) detect a fresh checkpoint without
+    /// comparing strings.
+    checkpoint_seq: u64,
 }
 
 impl Supervisor {
@@ -214,6 +231,8 @@ impl Supervisor {
             replicas: ReplicaBank::new(),
             engaged_tier: HealthPolicy::Healthy,
             commissioned: false,
+            last_checkpoint: None,
+            checkpoint_seq: 0,
         }
     }
 
@@ -287,6 +306,7 @@ impl Supervisor {
             .observe(mean(&pred.entropy), self.model.mean_sense_margin());
         let policy = self.monitor.policy();
         let gated = self.escalate(policy, inputs, &pred, &mut actions);
+        self.maybe_checkpoint();
 
         StepReport {
             at_hours: self.now_hours,
@@ -333,6 +353,7 @@ impl Supervisor {
         let mut actions = Vec::new();
         let _ = self.escalate(policy, inputs, &pred, &mut actions);
         let gated = pred.gate(self.abstain_threshold());
+        self.maybe_checkpoint();
         ServeReport { policy, predictive: pred, gated, actions }
     }
 
@@ -566,10 +587,129 @@ impl Supervisor {
         &mut self.monitor
     }
 
+    /// Enables periodic checkpointing every `steps` supervisor
+    /// interactions (0 disables) — for scenario drivers taking an
+    /// already-built die into a crash-safe serving campaign.
+    pub fn set_checkpoint_interval(&mut self, steps: usize) {
+        self.config.checkpoint_interval_steps = steps;
+    }
+
+    /// Serializes the die's full mutable state as a versioned,
+    /// checksummed checkpoint document (see [`crate::checkpoint`]).
+    /// Byte-deterministic: the same supervisor state always produces
+    /// the same string.
+    pub fn checkpoint(&self) -> String {
+        Checkpoint::encode_state(&self.export_state())
+    }
+
+    /// The most recent periodic checkpoint, if
+    /// [`SupervisorConfig::checkpoint_interval_steps`] is enabled and
+    /// at least one interval has elapsed. This is what a crash restart
+    /// restores from.
+    pub fn last_checkpoint(&self) -> Option<&str> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Monotonic count of periodic checkpoints taken over this
+    /// supervisor's in-memory lifetime (not carried by checkpoints —
+    /// it identifies fresh [`Supervisor::last_checkpoint`] values, it
+    /// is not device state).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// Applies a decoded checkpoint onto this supervisor, which must be
+    /// the deterministic twin of the checkpoint's source (same trained
+    /// weights, geometry, config, and seeds — restore carries only the
+    /// mutable divergence; see the restore-onto-twin contract in
+    /// [`crate::checkpoint`]). After the call, any `step` /
+    /// `serve_predict` / scrub sequence is bit-identical to the
+    /// uninterrupted source run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's pipeline shape does not match this
+    /// supervisor's model (it was taken from a different architecture).
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        let s = &checkpoint.state;
+        self.model.import_state(&s.model);
+        self.monitor.import_state(&s.monitor);
+        self.calib = s.calib.clone();
+        self.now_hours = s.now_hours;
+        self.last_scrub_hours = s.last_scrub_hours;
+        self.step = s.step;
+        self.engaged_tier = s.engaged_tier;
+        self.commissioned = s.commissioned;
+        self.events = s.events.clone();
+        // Every replica was cloned from pre-restore device state.
+        self.replicas.invalidate();
+        self.last_checkpoint = None;
+        crate::telemetry::set_model_time_hours(self.now_hours);
+    }
+
+    /// Decodes and applies a serialized checkpoint. Verification
+    /// happens before any state is touched: a malformed, version-skewed
+    /// or checksum-failing document leaves the supervisor unchanged.
+    pub fn restore_from_str(&mut self, text: &str) -> Result<(), CheckpointError> {
+        let decoded = Checkpoint::decode(text)?;
+        self.restore(&decoded);
+        Ok(())
+    }
+
+    /// Re-commission gate for a die restored from a checkpoint: a
+    /// read-only BIST audit over every binary crossbar, seeded from the
+    /// supervisor master seed and current step. The march test restores
+    /// array contents exactly, so a gate run leaves predictions
+    /// bit-identical — only op tallies advance. A crossbar passes when
+    /// the audit flags no more cells than its known fabricated defect
+    /// population plus estimator slack.
+    pub fn bist_gate(&mut self) -> BistGateReport {
+        let mut rng = stream(self.config.seed, TAG_BIST.wrapping_add(self.step as u64));
+        let layers = self.model.bist_audit(&self.config.bist, &mut rng);
+        let passed = layers
+            .iter()
+            .all(|&(flagged, known)| flagged <= known + known / 10 + 2);
+        // March writes advanced the master model's op tallies; replicas
+        // cloned earlier would merge stale counters.
+        self.replicas.invalidate();
+        BistGateReport { layers, passed }
+    }
+
+    pub(crate) fn export_state(&self) -> SupervisorState {
+        SupervisorState {
+            model: self.model.export_state(),
+            monitor: self.monitor.export_state(),
+            calib: self.calib.clone(),
+            now_hours: self.now_hours,
+            last_scrub_hours: self.last_scrub_hours,
+            step: self.step,
+            engaged_tier: self.engaged_tier,
+            commissioned: self.commissioned,
+            events: self.events.clone(),
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let interval = self.config.checkpoint_interval_steps;
+        if interval > 0 && self.step.is_multiple_of(interval) {
+            self.last_checkpoint = Some(self.checkpoint());
+            self.checkpoint_seq += 1;
+        }
+    }
+
     /// Consumes the supervisor, returning the managed model.
     pub fn into_model(self) -> HardwareModel {
         self.model
     }
+}
+
+/// Outcome of a [`Supervisor::bist_gate`] re-commission audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BistGateReport {
+    /// `(flagged, known_defects)` per binary crossbar, pipeline order.
+    pub layers: Vec<(usize, usize)>,
+    /// Whether every crossbar passed the gate criterion.
+    pub passed: bool,
 }
 
 fn mean(xs: &[f64]) -> f64 {

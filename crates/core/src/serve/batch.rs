@@ -15,8 +15,9 @@
 //! consumers drain what remains and then observe emptiness. No
 //! spin-waiting, no unbounded growth, no external crates.
 
+use super::lock_recover;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Why a push was refused.
@@ -53,7 +54,7 @@ impl<T> BatchQueue<T> {
 
     /// Enqueues `item`, or refuses without blocking.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err((item, PushError::Closed));
         }
@@ -77,18 +78,14 @@ impl<T> BatchQueue<T> {
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration, linger: Duration) -> Vec<T> {
         assert!(max_batch > 0, "max_batch must be positive");
         let deadline = Instant::now() + max_wait;
-        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         // Phase 1: wait for the first item (or close, or timeout).
         while inner.items.is_empty() && !inner.closed {
             let now = Instant::now();
             if now >= deadline {
                 return Vec::new();
             }
-            let (guard, _timeout) = self
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .expect("batch queue poisoned");
-            inner = guard;
+            inner = wait_recover(&self.not_empty, inner, deadline - now);
         }
         // Phase 2: linger briefly to let stragglers coalesce.
         let linger_deadline = Instant::now() + linger;
@@ -97,19 +94,25 @@ impl<T> BatchQueue<T> {
             if now >= linger_deadline || inner.items.is_empty() {
                 break;
             }
-            let (guard, _timeout) = self
-                .not_empty
-                .wait_timeout(inner, linger_deadline - now)
-                .expect("batch queue poisoned");
-            inner = guard;
+            inner = wait_recover(&self.not_empty, inner, linger_deadline - now);
         }
         let take = inner.items.len().min(max_batch);
         inner.items.drain(..take).collect()
     }
 
+    /// Deliberately poisons the queue mutex (panic while holding the
+    /// guard) so tests can prove the queue keeps serving afterwards.
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.lock().unwrap();
+            panic!("poisoning the queue mutex");
+        }));
+    }
+
     /// Number of queued items right now.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("batch queue poisoned").items.len()
+        lock_recover(&self.inner).items.len()
     }
 
     /// True when nothing is queued.
@@ -119,15 +122,33 @@ impl<T> BatchQueue<T> {
 
     /// True once [`BatchQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("batch queue poisoned").closed
+        lock_recover(&self.inner).closed
     }
 
     /// Closes the queue: producers are refused, waiting consumers wake.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
+    }
+}
+
+/// Condvar wait that recovers a poisoned queue (another thread panicked
+/// while holding the lock) instead of propagating the panic: the
+/// protected state is a plain deque + flag, valid whatever the panic
+/// interrupted, so recovery is always safe.
+fn wait_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, Inner<T>>,
+    timeout: Duration,
+) -> MutexGuard<'a, Inner<T>> {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((guard, _timeout)) => guard,
+        Err(poisoned) => {
+            super::count_lock_poisoned();
+            poisoned.into_inner().0
+        }
     }
 }
 
@@ -203,6 +224,20 @@ mod tests {
         q.close();
         assert_eq!(q.pop_batch(4, SHORT, TINY), vec![7]);
         assert!(q.pop_batch(4, TINY, TINY).is_empty());
+    }
+
+    #[test]
+    fn poisoned_queue_recovers_and_keeps_serving() {
+        let q = BatchQueue::new(4);
+        q.try_push(1).unwrap();
+        q.poison_for_test();
+        // Every entry point must recover the lock rather than panic.
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_closed());
+        assert_eq!(q.pop_batch(4, SHORT, TINY), vec![1, 2]);
+        q.close();
+        assert!(q.is_closed());
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! the steady-state serve path clones nothing and re-plans nothing
 //! until device state actually mutates (aging, scrub, recalibration).
 
+use super::lock_recover;
+use crate::checkpoint::CheckpointError;
 use crate::health::HealthPolicy;
-use crate::runtime::{ServeReport, Supervisor};
+use crate::runtime::{BistGateReport, ServeReport, Supervisor};
 use neuspin_nn::Tensor;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Why the fleet could not serve a request.
@@ -36,6 +38,11 @@ pub enum FleetError {
         /// Which die refused.
         die: usize,
     },
+    /// The targeted die crashed and has not been restored yet.
+    DieDown {
+        /// Which die is down.
+        die: usize,
+    },
     /// Every die in the fleet is at the Abstain tier (or excluded).
     NoEligibleDie,
 }
@@ -44,6 +51,7 @@ impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FleetError::DieAbstaining { die } => write!(f, "die {die} is abstaining"),
+            FleetError::DieDown { die } => write!(f, "die {die} is down"),
             FleetError::NoEligibleDie => f.write_str("no eligible die in the fleet"),
         }
     }
@@ -57,6 +65,17 @@ struct Die {
     tier: AtomicU32,
     /// Lifetime served samples — the load-balance key.
     served: AtomicU64,
+    /// True between [`DieFleet::crash`] and a successful
+    /// [`DieFleet::restore_die`]: the router skips the die and
+    /// [`DieFleet::predict_on`] refuses traffic.
+    down: AtomicBool,
+    /// The last periodic checkpoint that made it to "durable storage"
+    /// before a crash — what a restart restores from. Refreshed
+    /// opportunistically after every served batch.
+    stable: Mutex<Option<String>>,
+    /// [`Supervisor::checkpoint_seq`] of the stable copy, so refreshes
+    /// only clone the checkpoint string when a new one exists.
+    stable_seq: AtomicU64,
 }
 
 /// A point-in-time view of one die, for health endpoints and reports.
@@ -68,6 +87,8 @@ pub struct DieStatus {
     pub policy: HealthPolicy,
     /// Lifetime served samples.
     pub served: u64,
+    /// True while the die is crashed and awaiting restore.
+    pub down: bool,
 }
 
 /// N independent dies with abstention-aware routing.
@@ -89,6 +110,9 @@ impl DieFleet {
                 tier: AtomicU32::new(s.policy().tier_index()),
                 supervisor: Mutex::new(s),
                 served: AtomicU64::new(0),
+                down: AtomicBool::new(false),
+                stable: Mutex::new(None),
+                stable_seq: AtomicU64::new(0),
             })
             .collect();
         let fleet = DieFleet { dies };
@@ -118,28 +142,89 @@ impl DieFleet {
         self.dies[die].served.load(Ordering::Relaxed)
     }
 
+    /// True while `die` is crashed and awaiting restore.
+    pub fn is_down(&self, die: usize) -> bool {
+        self.dies[die].down.load(Ordering::Acquire)
+    }
+
     /// Point-in-time status of every die.
     pub fn snapshot(&self) -> Vec<DieStatus> {
         (0..self.dies.len())
-            .map(|id| DieStatus { id, policy: self.tier(id), served: self.served(id) })
+            .map(|id| DieStatus {
+                id,
+                policy: self.tier(id),
+                served: self.served(id),
+                down: self.is_down(id),
+            })
             .collect()
     }
 
-    /// Dies currently below the Abstain tier.
+    /// Dies currently up and below the Abstain tier.
     pub fn eligible_count(&self) -> usize {
         (0..self.dies.len())
-            .filter(|&id| self.tier(id) != HealthPolicy::Abstain)
+            .filter(|&id| !self.is_down(id) && self.tier(id) != HealthPolicy::Abstain)
             .count()
     }
 
-    /// Routes a request: the eligible die (not excluded, not
+    /// Routes a request: the eligible die (not excluded, not down, not
     /// abstaining) with the lowest `(tier, served, id)` key — healthiest
     /// first, then least loaded, then deterministic by id.
     pub fn pick(&self, exclude: &[usize]) -> Option<usize> {
         (0..self.dies.len())
             .filter(|id| !exclude.contains(id))
-            .filter(|&id| self.tier(id) != HealthPolicy::Abstain)
+            .filter(|&id| !self.is_down(id) && self.tier(id) != HealthPolicy::Abstain)
             .min_by_key(|&id| (self.tier(id).tier_index(), self.served(id), id))
+    }
+
+    /// Simulates a power-fail crash of `die`: the in-memory supervisor
+    /// state is considered lost, the router stops picking the die, and
+    /// [`DieFleet::predict_on`] refuses it with [`FleetError::DieDown`]
+    /// until [`DieFleet::restore_die`] succeeds. Idempotent.
+    pub fn crash(&self, die: usize) {
+        self.dies[die].down.store(true, Ordering::Release);
+        crate::telemetry::counter("serve_die_crashes_total").inc();
+    }
+
+    /// The last checkpoint that reached durable storage for `die`, if
+    /// any — what [`DieFleet::restore_die`] will restore from.
+    pub fn stable_checkpoint(&self, die: usize) -> Option<String> {
+        lock_recover(&self.dies[die].stable).clone()
+    }
+
+    /// Crash-restarts `die`: restores its last stable checkpoint onto
+    /// `twin` (a supervisor built by the same deterministic constructor
+    /// as the crashed die — see the restore-onto-twin contract in
+    /// [`crate::checkpoint`]), runs the BIST re-commission gate, and —
+    /// only if the gate passes — swaps the restored supervisor in and
+    /// marks the die up.
+    ///
+    /// Returns the gate report on a decodable checkpoint; the caller
+    /// checks [`BistGateReport::passed`] to learn whether the die
+    /// rejoined. Fails without touching the die when no stable
+    /// checkpoint exists or the stored bytes no longer verify.
+    pub fn restore_die(
+        &self,
+        die: usize,
+        mut twin: Supervisor,
+    ) -> Result<BistGateReport, CheckpointError> {
+        let stable = self.stable_checkpoint(die).ok_or_else(|| {
+            CheckpointError::Malformed(format!("no stable checkpoint for die {die}"))
+        })?;
+        twin.restore_from_str(&stable)?;
+        let gate = twin.bist_gate();
+        if gate.passed {
+            let seq = twin.checkpoint_seq();
+            {
+                let mut sup = lock_recover(&self.dies[die].supervisor);
+                *sup = twin;
+                self.dies[die].tier.store(sup.policy().tier_index(), Ordering::Release);
+            }
+            self.dies[die].stable_seq.store(seq, Ordering::Release);
+            self.dies[die].down.store(false, Ordering::Release);
+            self.publish_tier(die);
+            crate::telemetry::counter("serve_die_restores_total").inc();
+        }
+        Ok(gate)
     }
 
     /// Serves one batch on `die`, refusing if its latched policy is
@@ -153,8 +238,11 @@ impl DieFleet {
         inputs: &Tensor,
         seed: u64,
     ) -> Result<ServeReport, FleetError> {
+        if self.is_down(die) {
+            return Err(FleetError::DieDown { die });
+        }
         let report = {
-            let mut sup = self.dies[die].supervisor.lock().expect("die supervisor poisoned");
+            let mut sup = lock_recover(&self.dies[die].supervisor);
             if sup.policy() == HealthPolicy::Abstain {
                 self.dies[die]
                     .tier
@@ -162,7 +250,9 @@ impl DieFleet {
                 self.publish_tier(die);
                 return Err(FleetError::DieAbstaining { die });
             }
-            sup.serve_predict(inputs, seed)
+            let report = sup.serve_predict(inputs, seed);
+            self.refresh_stable(die, &sup);
+            report
         };
         let rows = inputs.shape()[0] as u64;
         self.dies[die].served.fetch_add(rows, Ordering::Relaxed);
@@ -181,15 +271,29 @@ impl DieFleet {
     /// routing caches from the resulting state.
     pub fn with_die<R>(&self, die: usize, f: impl FnOnce(&mut Supervisor) -> R) -> R {
         let out = {
-            let mut sup = self.dies[die].supervisor.lock().expect("die supervisor poisoned");
+            let mut sup = lock_recover(&self.dies[die].supervisor);
             let out = f(&mut sup);
             self.dies[die]
                 .tier
                 .store(sup.policy().tier_index(), Ordering::Release);
+            self.refresh_stable(die, &sup);
             out
         };
         self.publish_tier(die);
         out
+    }
+
+    /// Copies the die's latest periodic checkpoint to "durable storage"
+    /// when a new one exists (the sequence number advanced). Cheap when
+    /// nothing changed: one atomic compare, no string traffic.
+    fn refresh_stable(&self, die: usize, sup: &Supervisor) {
+        let seq = sup.checkpoint_seq();
+        if seq != self.dies[die].stable_seq.load(Ordering::Acquire) {
+            if let Some(cp) = sup.last_checkpoint() {
+                *lock_recover(&self.dies[die].stable) = Some(cp.to_string());
+                self.dies[die].stable_seq.store(seq, Ordering::Release);
+            }
+        }
     }
 
     /// Mirrors one die's cached tier into its telemetry gauge.
@@ -283,6 +387,64 @@ mod tests {
             );
             assert_eq!(sup.replicas().syncs(), base + 3, "one delta sync per served batch");
         });
+    }
+
+    #[test]
+    fn crashed_die_is_excluded_until_restored_bit_identically() {
+        let fleet = fleet_of(2);
+        for id in 0..2 {
+            fleet.with_die(id, |sup| sup.set_checkpoint_interval(1));
+        }
+        let b1 = small_inputs(4, 0xB001);
+        let b2 = small_inputs(4, 0xB002);
+        fleet.predict_on(0, &b1, 61).unwrap();
+        let stable =
+            fleet.stable_checkpoint(0).expect("interval-1 checkpointing must publish");
+        // Control: the same post-batch state serves the next batch with
+        // no crash in between.
+        let mut control = small_commissioned_supervisor(40);
+        control.restore_from_str(&stable).unwrap();
+        let control_report = control.serve_predict(&b2, 62);
+
+        fleet.crash(0);
+        assert!(fleet.is_down(0));
+        assert!(fleet.snapshot()[0].down);
+        assert_eq!(fleet.eligible_count(), 1);
+        assert_eq!(fleet.pick(&[]), Some(1), "router must skip the crashed die");
+        assert_eq!(
+            fleet.predict_on(0, &b1, 63).map(|_| ()).unwrap_err(),
+            FleetError::DieDown { die: 0 }
+        );
+
+        let mut twin = small_commissioned_supervisor(40);
+        twin.set_checkpoint_interval(1);
+        let gate = fleet.restore_die(0, twin).unwrap();
+        assert!(gate.passed, "BIST gate must pass on an intact restore: {gate:?}");
+        assert!(!fleet.is_down(0));
+        assert_eq!(fleet.eligible_count(), 2, "restored die rejoins the rotation");
+        let report = fleet.predict_on(0, &b2, 62).unwrap();
+        let got: Vec<u32> =
+            report.predictive.mean_probs.as_slice().iter().map(|p| p.to_bits()).collect();
+        let want: Vec<u32> = control_report
+            .predictive
+            .mean_probs
+            .as_slice()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(got, want, "restored die must serve bit-identically to the no-crash control");
+    }
+
+    #[test]
+    fn restore_without_stable_checkpoint_is_refused() {
+        let fleet = fleet_of(1);
+        fleet.crash(0);
+        let twin = small_commissioned_supervisor(40);
+        let err = fleet.restore_die(0, twin).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)), "{err:?}");
+        assert!(fleet.is_down(0), "a failed restore must leave the die down");
+        assert_eq!(fleet.pick(&[]), None);
+        assert_eq!(fleet.eligible_count(), 0);
     }
 
     #[test]

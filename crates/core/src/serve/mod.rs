@@ -32,25 +32,57 @@
 //! configured master seed and a batch counter via SplitMix64. Batch
 //! *composition* depends on arrival timing, but a given `(die state,
 //! batch composition, batch index)` always produces bit-identical
-//! predictions — see DESIGN.md, "Serving and failover".
+//! predictions — see DESIGN.md, "Serving and failover". Failover
+//! backoff jitter draws from its own tagged stream ([`TAG_BACKOFF`]),
+//! never from anything that feeds predictions, so injected retries
+//! cannot shift an answer.
+//!
+//! **Accounting.** Every accepted connection ends in exactly one
+//! terminal counter — see [`StatsSnapshot::is_conserved`]. The serve
+//! layer also carries the chaos-injection hooks ([`crate::chaos`]):
+//! a quiet [`ChaosPlan`] (the default) probes cost one hash and never
+//! fire; a campaign turns intensities up in [`ServeConfig::chaos`].
 
 pub mod batch;
 pub mod client;
 pub mod fleet;
 pub mod http;
 
+use crate::chaos::{ChaosConfig, ChaosPlan, ChaosSite};
 use crate::health::HealthPolicy;
 use crate::json::Json;
 use crate::pool::ThreadPool;
-use crate::rng::{RngExt, SeedableRng, SplitMix64, StdRng};
+use crate::rng::{stream, RngExt, SplitMix64, StdRng};
 use batch::{BatchQueue, PushError};
 use fleet::{DieFleet, FleetError};
 use http::Request;
 use neuspin_nn::Tensor;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Tag of the failover-backoff RNG stream (split from the serve master
+/// seed, one stream per batcher). Backoff jitter draws from this stream
+/// and nothing else, so chaos-induced retries can never shift the
+/// per-batch prediction-seed assignment.
+const TAG_BACKOFF: u64 = 0xBAC0_FF5E;
+
+/// Locks a serving mutex, recovering a poisoned one (a worker panicked
+/// while holding it) instead of propagating: every serving critical
+/// section leaves its protected state valid at all panic points, so
+/// recovery is always safe. Counted in `serve_lock_poisoned_total`.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        count_lock_poisoned();
+        poisoned.into_inner()
+    })
+}
+
+/// Bumps the poisoned-lock recovery counter.
+pub(crate) fn count_lock_poisoned() {
+    crate::telemetry::counter("serve_lock_poisoned_total").inc();
+}
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -84,6 +116,9 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Master seed for the per-batch prediction-seed stream.
     pub seed: u64,
+    /// Fault-injection intensities. The default is fully quiet; chaos
+    /// campaigns raise per-site intensities (see [`crate::chaos`]).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +137,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(2),
             seed: 0x5E4E,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -113,6 +149,13 @@ impl ServeConfig {
 }
 
 /// Monotonic serving counters (atomics; read with [`ServeStats::snapshot`]).
+///
+/// Terminal counters (everything except `accepted`, `failovers`, and
+/// `sample_retries`) are bumped exactly once per connection, at the
+/// point the response is written — never in the batcher, whose verdicts
+/// reach the connection worker over a channel and are counted there.
+/// That single-count discipline is what makes the conservation law of
+/// [`StatsSnapshot::is_conserved`] exact.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     /// Connections accepted.
@@ -133,6 +176,10 @@ pub struct ServeStats {
     pub deadline_expired: AtomicU64,
     /// Malformed/unroutable requests answered 4xx.
     pub bad_requests: AtomicU64,
+    /// Requests answered 503 because the server was draining.
+    pub draining: AtomicU64,
+    /// `GET /healthz` and `GET /metrics` requests answered.
+    pub info_requests: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`].
@@ -156,6 +203,10 @@ pub struct StatsSnapshot {
     pub deadline_expired: u64,
     /// 4xxs.
     pub bad_requests: u64,
+    /// 503s while draining.
+    pub draining: u64,
+    /// healthz/metrics responses.
+    pub info_requests: u64,
 }
 
 impl ServeStats {
@@ -171,6 +222,8 @@ impl ServeStats {
             unserveable: self.unserveable.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+            info_requests: self.info_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,6 +237,17 @@ impl StatsSnapshot {
             + self.unserveable
             + self.deadline_expired
             + self.bad_requests
+            + self.draining
+            + self.info_requests
+    }
+
+    /// The request-conservation law: at quiescence (no in-flight
+    /// connections — e.g. after a graceful drain), every accepted
+    /// connection has exactly one terminal outcome. A force-stopped
+    /// drain abandons in-flight work, which legitimately breaks the
+    /// equality; chaos campaigns gate on it after graceful drains only.
+    pub fn is_conserved(&self) -> bool {
+        self.accepted == self.responded()
     }
 }
 
@@ -224,7 +288,9 @@ struct ServeState {
     done: AtomicBool,
     live_conn_workers: AtomicUsize,
     batch_counter: AtomicU64,
+    conn_jobs: AtomicU64,
     stats: ServeStats,
+    chaos: ChaosPlan,
 }
 
 /// What the drain achieved.
@@ -318,7 +384,9 @@ pub fn serve(fleet: DieFleet, config: ServeConfig) -> std::io::Result<ServerHand
         done: AtomicBool::new(false),
         live_conn_workers: AtomicUsize::new(config.http_workers),
         batch_counter: AtomicU64::new(0),
+        conn_jobs: AtomicU64::new(0),
         stats: ServeStats::default(),
+        chaos: ChaosPlan::new(config.chaos),
         fleet,
         config,
     });
@@ -331,15 +399,14 @@ pub fn serve(fleet: DieFleet, config: ServeConfig) -> std::io::Result<ServerHand
             // loop, so the pool must not multiplex them.
             let pool = ThreadPool::new(jobs);
             let state = &loop_state;
-            let seed = state.config.seed;
             pool.run_chunked(
                 jobs,
-                |w| StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xA5A5_5A5A)),
-                |rng, t| {
+                |_w| (),
+                |(), t| {
                     if t == 0 {
                         run_acceptor(state);
                     } else if t <= state.config.batchers {
-                        run_batcher(state, rng);
+                        run_batcher(state, t - 1);
                     } else {
                         run_conn_worker(state);
                     }
@@ -352,12 +419,7 @@ pub fn serve(fleet: DieFleet, config: ServeConfig) -> std::io::Result<ServerHand
 
 /// Job 0: accept connections, shed when the connection queue is full.
 fn run_acceptor(state: &ServeState) {
-    let listener = state
-        .listener
-        .lock()
-        .expect("listener mutex poisoned")
-        .take()
-        .expect("acceptor started twice");
+    let listener = lock_recover(&state.listener).take().expect("acceptor started twice");
     listener.set_nonblocking(true).expect("set_nonblocking failed");
     while !state.shutdown.load(Ordering::SeqCst) && !state.force_stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -388,7 +450,13 @@ fn run_acceptor(state: &ServeState) {
 }
 
 /// Batcher job: coalesce queued samples and dispatch to the fleet.
-fn run_batcher(state: &ServeState, rng: &mut StdRng) {
+///
+/// Backoff jitter draws from a dedicated stream keyed by the batcher
+/// index — isolated from the per-batch prediction seeds (pure functions
+/// of the batch counter), so however many retries chaos injects, the
+/// seed each batch predicts with is untouched.
+fn run_batcher(state: &ServeState, batcher: usize) {
+    let mut backoff_rng = stream(state.config.seed, TAG_BACKOFF.wrapping_add(batcher as u64));
     let poll = Duration::from_millis(5);
     loop {
         if state.force_stop.load(Ordering::SeqCst) {
@@ -402,7 +470,7 @@ fn run_batcher(state: &ServeState, rng: &mut StdRng) {
             }
             continue;
         }
-        execute_batch(state, batch, rng);
+        execute_batch(state, batch, &mut backoff_rng);
     }
 }
 
@@ -438,6 +506,10 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     let inputs = Tensor::from_vec(data, &shape);
     let index = state.batch_counter.fetch_add(1, Ordering::Relaxed);
     let seed = batch_seed(state.config.seed, index);
+    if state.chaos.fires(ChaosSite::QueueStall, index) {
+        crate::telemetry::counter("serve_chaos_stalls_total").inc();
+        std::thread::sleep(Duration::from_millis(state.chaos.config().stall_millis));
+    }
 
     // Whole-batch failover: walk the fleet healthiest-first with
     // jittered exponential backoff between attempts.
@@ -445,12 +517,22 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     let mut report = None;
     for attempt in 0..=state.config.max_retries {
         let Some(die) = state.fleet.pick(&tried) else { break };
+        let spike_key =
+            index.wrapping_mul(state.fleet.len() as u64).wrapping_add(die as u64);
+        if state.chaos.fires(ChaosSite::LatencySpike, spike_key) {
+            crate::telemetry::counter("serve_chaos_spikes_total").inc();
+            std::thread::sleep(Duration::from_millis(state.chaos.config().spike_millis));
+        }
         match state.fleet.predict_on(die, &inputs, seed) {
             Ok(r) => {
                 report = Some((die, r));
                 break;
             }
-            Err(FleetError::DieAbstaining { .. }) | Err(FleetError::NoEligibleDie) => {
+            Err(
+                FleetError::DieAbstaining { .. }
+                | FleetError::DieDown { .. }
+                | FleetError::NoEligibleDie,
+            ) => {
                 tried.push(die);
                 state.stats.failovers.fetch_add(live.len() as u64, Ordering::Relaxed);
                 crate::telemetry::counter("serve_failover_total").add(live.len() as u64);
@@ -462,10 +544,8 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     }
     let Some((die, report)) = report else {
         // Fleet-wide abstention: answer honestly rather than dropping.
-        state
-            .stats
-            .unserveable
-            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        // (Counted by the connection worker when it writes the 503, so
+        // the terminal outcome is counted exactly once.)
         for job in live {
             let _ = job.resp.send(Outcome::Unserveable);
         }
@@ -553,9 +633,16 @@ fn run_conn_worker(state: &ServeState) {
             continue;
         };
         // A hostile or broken connection must never take the worker
-        // down with it.
+        // down with it. Chaos panics fire at the job boundary — after
+        // the response for this job was written — so a surviving worker
+        // loop proves the panic cost nothing client-visible.
+        let job_id = state.conn_jobs.fetch_add(1, Ordering::Relaxed);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handle_connection(state, stream);
+            if state.chaos.fires(ChaosSite::WorkerPanic, job_id) {
+                crate::telemetry::counter("serve_chaos_worker_panics_total").inc();
+                panic!("chaos: injected connection-worker panic");
+            }
         }));
         if result.is_err() {
             crate::telemetry::counter("serve_conn_panics_total").inc();
@@ -587,8 +674,12 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
     };
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => handle_predict(state, &mut stream, &request),
-        ("GET", "/healthz") => handle_healthz(state, &mut stream),
+        ("GET", "/healthz") => {
+            state.stats.info_requests.fetch_add(1, Ordering::Relaxed);
+            handle_healthz(state, &mut stream);
+        }
         ("GET", "/metrics") => {
+            state.stats.info_requests.fetch_add(1, Ordering::Relaxed);
             let text = crate::telemetry::prometheus_text();
             let _ = http::write_response(
                 &mut stream,
@@ -646,6 +737,7 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
                 );
             }
             PushError::Closed => {
+                state.stats.draining.fetch_add(1, Ordering::Relaxed);
                 let _ = http::write_json_response(
                     stream,
                     503,
@@ -680,6 +772,7 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
             let _ = http::write_json_response(stream, 200, "OK", &body);
         }
         Ok(Outcome::Unserveable) => {
+            state.stats.unserveable.fetch_add(1, Ordering::Relaxed);
             let _ = http::write_json_response(
                 stream,
                 503,
@@ -733,6 +826,7 @@ fn handle_healthz(state: &ServeState, stream: &mut TcpStream) {
                 ("tier", Json::Str(d.policy.to_string())),
                 ("tier_index", Json::Num(f64::from(d.policy.tier_index()))),
                 ("served", Json::Num(d.served as f64)),
+                ("down", Json::Bool(d.down)),
             ])
         })
         .collect();
@@ -754,5 +848,145 @@ fn handle_healthz(state: &ServeState, stream: &mut TcpStream) {
         let _ = http::write_json_response(stream, 503, "Service Unavailable", &body);
     } else {
         let _ = http::write_json_response(stream, 200, "OK", &body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosConfig;
+    use crate::testutil::{small_commissioned_supervisor, small_inputs};
+
+    const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+    fn two_die_fleet(seed: u64) -> DieFleet {
+        DieFleet::new(vec![
+            small_commissioned_supervisor(seed),
+            small_commissioned_supervisor(seed + 1),
+        ])
+    }
+
+    fn sample(i: usize) -> Vec<f32> {
+        (0..64).map(|k| ((i * 64 + k) % 7) as f32 * 0.11 - 0.3).collect()
+    }
+
+    #[test]
+    fn stats_conservation_holds_across_mixed_traffic() {
+        let mut handle = serve(two_die_fleet(70), ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        for i in 0..6 {
+            let resp = client::predict(addr, &sample(i), CLIENT_TIMEOUT).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+        }
+        let bad = [
+            ("POST", "/predict", Some("{\"input\": \"nope\"}"), 400),
+            ("POST", "/predict", Some("this is not json"), 400),
+            ("GET", "/nope", None, 404),
+            ("GET", "/predict", None, 405),
+        ];
+        for (method, path, body, want) in bad {
+            let resp = client::request(addr, method, path, body, CLIENT_TIMEOUT).unwrap();
+            assert_eq!(resp.status, want, "{method} {path}: {}", resp.text());
+        }
+        assert_eq!(client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).unwrap().status, 200);
+        assert_eq!(client::request(addr, "GET", "/metrics", None, CLIENT_TIMEOUT).unwrap().status, 200);
+        let report = handle.shutdown(Duration::from_secs(20));
+        assert!(report.drained, "graceful drain must finish: {report:?}");
+        let snap = handle.stats();
+        assert!(snap.is_conserved(), "accepted != responded: {snap:?}");
+        assert_eq!(snap.accepted, 12);
+        assert_eq!(snap.answered + snap.abstained, 6);
+        assert_eq!(snap.bad_requests, 4);
+        assert_eq!(snap.info_requests, 2);
+        assert_eq!(snap.draining + snap.shed + snap.unserveable + snap.deadline_expired, 0);
+    }
+
+    /// Runs the same sequential workload against an identically-built
+    /// fleet and returns every response body verbatim.
+    fn run_workload(chaos: ChaosConfig) -> (Vec<String>, StatsSnapshot) {
+        let fleet = two_die_fleet(80);
+        // Latch die 0 at Abstain so routing is pinned to die 1 — the
+        // workload's answers then depend only on die-1 state and the
+        // per-batch seeds, never on load-balance timing.
+        fleet.with_die(0, |sup| {
+            sup.monitor_mut().set_abstain_entropy(1e-9);
+            sup.serve_predict(&small_inputs(2, 0xAB), 5);
+        });
+        let config = ServeConfig { seed: 0xD00D, chaos, ..ServeConfig::default() };
+        let mut handle = serve(fleet, config).unwrap();
+        let mut bodies = Vec::new();
+        for i in 0..8 {
+            let resp = client::predict(handle.addr(), &sample(i), CLIENT_TIMEOUT).unwrap();
+            bodies.push(format!("{} {}", resp.status, resp.text()));
+        }
+        let report = handle.shutdown(Duration::from_secs(20));
+        assert!(report.drained, "graceful drain must finish: {report:?}");
+        (bodies, handle.stats())
+    }
+
+    #[test]
+    fn chaos_timing_faults_leave_answers_bit_identical() {
+        let quiet = ChaosConfig::default();
+        let noisy = ChaosConfig {
+            seed: 0xC405,
+            queue_stall_per_mille: 400,
+            latency_spike_per_mille: 400,
+            stall_millis: 2,
+            spike_millis: 2,
+            ..ChaosConfig::default()
+        };
+        // The noisy plan must actually fire on this workload's batch
+        // indices, or the test proves nothing.
+        let plan = ChaosPlan::new(noisy);
+        assert!(
+            (0..8).any(|k| plan.fires(ChaosSite::QueueStall, k)),
+            "chaos plan never stalls in 8 batches; raise the intensity"
+        );
+        let (control, control_stats) = run_workload(quiet);
+        let (chaotic, chaotic_stats) = run_workload(noisy);
+        assert_eq!(control, chaotic, "injected stalls/spikes shifted an answer");
+        assert_eq!(control_stats.answered, chaotic_stats.answered);
+        assert_eq!(control_stats.abstained, chaotic_stats.abstained);
+        assert!(control_stats.is_conserved() && chaotic_stats.is_conserved());
+    }
+
+    #[test]
+    fn injected_worker_panics_never_drop_responses() {
+        let chaos = ChaosConfig {
+            seed: 0x9A71C,
+            worker_panic_per_mille: 1000, // every connection job panics
+            ..ChaosConfig::default()
+        };
+        let config = ServeConfig { chaos, ..ServeConfig::default() };
+        let mut handle = serve(two_die_fleet(90), config).unwrap();
+        let addr = handle.addr();
+        for i in 0..4 {
+            let resp = client::predict(addr, &sample(i), CLIENT_TIMEOUT).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+        }
+        assert_eq!(client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).unwrap().status, 200);
+        let report = handle.shutdown(Duration::from_secs(20));
+        assert!(report.drained, "workers must survive injected panics: {report:?}");
+        let snap = handle.stats();
+        assert!(snap.is_conserved(), "panics dropped a response: {snap:?}");
+        assert_eq!(snap.answered + snap.abstained, 4);
+        assert_eq!(snap.info_requests, 1);
+    }
+
+    #[test]
+    fn healthz_reports_down_dies() {
+        let mut handle = serve(two_die_fleet(95), ServeConfig::default()).unwrap();
+        handle.fleet().crash(1);
+        let resp =
+            client::request(handle.addr(), "GET", "/healthz", None, CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200, "one die is still up: {}", resp.text());
+        let text = resp.text();
+        let json = crate::json::parse(&text).unwrap();
+        assert_eq!(json.get("status").and_then(|s| s.as_str()), Some("degraded"));
+        assert_eq!(json.get("eligible").and_then(|e| e.as_f64()), Some(1.0));
+        let dies = json.get("dies").and_then(|d| d.as_arr()).unwrap();
+        assert_eq!(dies[0].get("down").and_then(|b| b.as_bool()), Some(false));
+        assert_eq!(dies[1].get("down").and_then(|b| b.as_bool()), Some(true));
+        handle.shutdown(Duration::from_secs(10));
     }
 }

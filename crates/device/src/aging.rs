@@ -235,6 +235,32 @@ impl AgingReport {
     }
 }
 
+/// The full mutable state of an [`AgingState`], as plain data — what a
+/// crash-safe checkpoint must carry to resume the virtual clock and the
+/// event-indexed RNG streams exactly where they stopped.
+///
+/// The tuning ([`AgingConfig`]) is *not* part of the snapshot: it is
+/// fabrication-time configuration, reconstructed by rebuilding the die
+/// from the same deterministic constructor. Restoring a snapshot onto a
+/// twin built with the same config makes every subsequent
+/// [`AgingState::advance`] draw from the same `(seed, epoch, cell)`
+/// streams the uninterrupted run would have used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingSnapshot {
+    /// Virtual clock, device-hours since fabrication.
+    pub now_hours: f64,
+    /// Completed advance epochs (the event-RNG stream position).
+    pub epoch: u64,
+    /// Mean cumulative writes per cell.
+    pub cum_writes: f64,
+    /// Per-cell endurance lifetimes (mutated by cell replacement).
+    pub lifetimes: Vec<f64>,
+    /// Per-cell cumulative conductance drift factors.
+    pub drift: Vec<f64>,
+    /// Worn-out flags.
+    pub worn: Vec<bool>,
+}
+
 /// Temporal state of a population of `n` cells: the virtual clock,
 /// per-cell endurance lifetimes and cumulative drift factors, and the
 /// worn-out set.
@@ -393,6 +419,40 @@ impl AgingState {
     /// stay worn — endurance damage is permanent.
     pub fn reset_drift(&mut self) {
         self.drift.fill(1.0);
+    }
+
+    /// Exports the full mutable state for checkpointing.
+    pub fn snapshot(&self) -> AgingSnapshot {
+        AgingSnapshot {
+            now_hours: self.now_hours,
+            epoch: self.epoch,
+            cum_writes: self.cum_writes,
+            lifetimes: self.lifetimes.clone(),
+            drift: self.drift.clone(),
+            worn: self.worn.clone(),
+        }
+    }
+
+    /// Overwrites the mutable state from a snapshot taken on a
+    /// population of the same size (see [`AgingSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's population size differs from this one.
+    pub fn restore(&mut self, snapshot: &AgingSnapshot) {
+        assert_eq!(
+            snapshot.lifetimes.len(),
+            self.lifetimes.len(),
+            "aging snapshot population mismatch"
+        );
+        assert_eq!(snapshot.drift.len(), self.drift.len());
+        assert_eq!(snapshot.worn.len(), self.worn.len());
+        self.now_hours = snapshot.now_hours;
+        self.epoch = snapshot.epoch;
+        self.cum_writes = snapshot.cum_writes;
+        self.lifetimes.clone_from(&snapshot.lifetimes);
+        self.drift.clone_from(&snapshot.drift);
+        self.worn.clone_from(&snapshot.worn);
     }
 
     /// Records that cell `i` was physically replaced (e.g. fused to a
@@ -559,6 +619,41 @@ mod tests {
         assert!(report.wear_outs.is_empty(), "the fresh budget covers 10 writes");
         let report = state.advance(1.0, 0.0, 500.0);
         assert_eq!(report.wear_outs, vec![3], "the replacement wears out in turn");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_event_streams_bit_exactly() {
+        let mk = || AgingState::new(128, AgingConfig {
+            read_disturb: 1e-3,
+            drift_rate: 0.05,
+            drift_sigma: 0.02,
+            endurance_median: 400.0,
+            ..fast_config()
+        });
+        let mut a = mk();
+        a.advance(1.0, 50.0, 100.0);
+        a.replace_cell(7);
+        a.advance(0.5, 20.0, 150.0);
+        let snap = a.snapshot();
+        // Restore onto a twin built by the same constructor.
+        let mut b = mk();
+        b.restore(&snap);
+        let ra = a.advance(2.0, 80.0, 200.0);
+        let rb = b.advance(2.0, 80.0, 200.0);
+        assert_eq!(ra, rb, "restored twin must replay the same events");
+        for i in 0..128 {
+            assert_eq!(a.drift(i).to_bits(), b.drift(i).to_bits(), "cell {i}");
+            assert_eq!(a.is_worn(i), b.is_worn(i), "cell {i}");
+        }
+        assert_eq!(a.now_hours().to_bits(), b.now_hours().to_bits());
+        assert_eq!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    #[should_panic(expected = "population mismatch")]
+    fn restore_rejects_population_mismatch() {
+        let snap = AgingState::new(8, AgingConfig::default()).snapshot();
+        AgingState::new(16, AgingConfig::default()).restore(&snap);
     }
 
     #[test]

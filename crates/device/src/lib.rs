@@ -52,12 +52,14 @@ pub mod stats;
 pub mod switching;
 pub mod variation;
 
-pub use aging::{AgingConfig, AgingReport, AgingState, AgingStepReport, TemperatureProfile};
+pub use aging::{
+    AgingConfig, AgingReport, AgingSnapshot, AgingState, AgingStepReport, TemperatureProfile,
+};
 pub use defects::{DefectConfusion, DefectKind, DefectMap, DefectMapIter, DefectRates};
 pub use energy::DeviceEnergy;
 pub use mlc::MultiLevelCell;
 pub use mtj::{Mtj, MtjParams, MtjState};
-pub use rng::{CalibrationReport, SpinRng};
+pub use rng::{CalibrationReport, SpinRng, SpinRngState};
 pub use sot::SotDevice;
 pub use stats::{Bernoulli, Gaussian, LogNormal};
 pub use switching::SwitchingModel;

@@ -63,7 +63,9 @@ NEUSPIN_RESULTS=target/ci-results \
 # bytes) across 1/2/4-worker pools — both enforced by --check, along
 # with the forward-plan metrics (plan_rebuilds_total, the scratch_bytes
 # gauge, and the persistent-replica replica_syncs_total counter must
-# all have fired during the instrumented run). A second run under
+# all have fired during the instrumented run). --check also gates the
+# serve-path lineage tax: flight-recorder event recording must stay
+# within 2 % of an untraced closed-loop request. A second run under
 # NEUSPIN_THREADS=4 then byte-compares the emitted JSONL trace across
 # host thread configurations.
 echo "==> exp_observe smoke (NEUSPIN_BENCH_FAST=1)"
@@ -99,7 +101,11 @@ cmp target/ci-results/BENCH_lifetime.json target/ci-results-t4/BENCH_lifetime.js
 # Serving campaign smoke: a real TCP front door over a three-die
 # fleet, one die aged to Abstain mid-traffic. --check gates the
 # no-drop contract (every request answered 200), failover engagement,
-# the degraded die's quiescence, and p99 latency under budget. No
+# the degraded die's quiescence, p99 latency under budget, and the
+# lineage layer: every 200 must carry an X-NeuSpin-Trace header whose
+# die matches the body, the six per-stage waterfall histograms must
+# count every answered request on the tuned bucket ladder, and the
+# SLO tracker must report full availability with zero burn. No
 # thread-invariance cmp here: batch composition is timing-dependent by
 # design (the determinism contract is per-batch, covered by the
 # serving integration tests).
@@ -113,10 +119,14 @@ NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results \
 # latency spikes, worker panics, malformed requests, weight bit-flips,
 # die crash/restart) over three escalating stages, plus the checkpoint
 # round-trip proof. --check gates request conservation under every
-# fault, >=1 injection at each site, and byte-equal restored outputs.
+# fault, >=1 injection at each site, byte-equal restored outputs, and
+# the flight-recorder lineage contract: every injected fault must be
+# reconstructable (site, die, request ids, crash→BIST-gated restore
+# pairing) from the dumped flight JSONL alone, with zero ring drops.
 # The request driver is sequential and closed-loop, so the
-# non-wall-clock report fields are bit-reproducible for any worker
-# count: byte-compare BENCH_chaos.json against a forced 4-thread run.
+# non-wall-clock report fields AND the flight dump are bit-reproducible
+# for any worker count: byte-compare BENCH_chaos.json and the flight
+# JSONL against a forced 4-thread run.
 echo "==> exp_chaos smoke (NEUSPIN_BENCH_FAST=1)"
 NEUSPIN_RESULTS=target/ci-results NEUSPIN_BENCH_ROOT=target/ci-results NEUSPIN_BENCH_FAST=1 \
     cargo run -q --release --offline -p neuspin-bench --bin exp_chaos
@@ -128,5 +138,6 @@ NEUSPIN_THREADS=4 NEUSPIN_RESULTS=target/ci-results-t4 NEUSPIN_BENCH_ROOT=target
     NEUSPIN_BENCH_FAST=1 \
     cargo run -q --release --offline -p neuspin-bench --bin exp_chaos
 cmp target/ci-results/BENCH_chaos.json target/ci-results-t4/BENCH_chaos.json
+cmp target/ci-results/exp_chaos_flight.jsonl target/ci-results-t4/exp_chaos_flight.jsonl
 
 echo "==> OK"

@@ -29,7 +29,10 @@
 //! panic, queue stall, weight-flip event, and malformed request was
 //! injected; every crashed die rejoined through a passing BIST gate
 //! with byte-equal outputs; the fleet ended every stage fully
-//! serveable; p99 under `NEUSPIN_CHAOS_P99_MS` (default 500 ms).
+//! serveable; p99 under `NEUSPIN_CHAOS_P99_MS` (default 500 ms); and
+//! the flight-recorder dump *alone* reconstructs every injected fault
+//! — site, affected request ids, recovery outcome — with exact counts
+//! against the live ledger and zero ring drops.
 //!
 //! ```sh
 //! cargo run --release -p neuspin-bench --bin exp_chaos
@@ -37,7 +40,9 @@
 //! cargo run --release -p neuspin-bench --bin exp_chaos -- --check
 //! ```
 //!
-//! Artifacts: `results/exp_chaos.json` (full, includes timing) and
+//! Artifacts: `results/exp_chaos.json` (full, includes timing),
+//! `results/exp_chaos_flight.jsonl` (the flight-recorder black box —
+//! deterministic, byte-identical across host thread counts), and
 //! `BENCH_chaos.json` at the workspace root (deterministic fields
 //! only — byte-identical across host thread counts; CI compares a
 //! `NEUSPIN_THREADS=4` re-run).
@@ -49,7 +54,7 @@ use neuspin_cim::{BistConfig, CrossbarConfig};
 use neuspin_core::json::{self, Json, ToJson};
 use neuspin_core::serve::client;
 use neuspin_core::{
-    serve, telemetry, ChaosConfig, ChaosPlan, ChaosSite, DieFleet, HardwareConfig,
+    flight, serve, telemetry, ChaosConfig, ChaosPlan, ChaosSite, DieFleet, HardwareConfig,
     HardwareModel, HealthConfig, ServeConfig, Supervisor, SupervisorConfig,
 };
 use neuspin_device::{AgingConfig, DefectRates};
@@ -332,9 +337,23 @@ fn run_stage(p: &Params, stage: usize, cfg: &StageCfg) -> StageOutcome {
             if cfg.flips && plan.fires(ChaosSite::WeightFlip, key) {
                 let n = plan.config().flips_per_event;
                 let s = plan.draw(ChaosSite::WeightFlip, key, 1);
-                out.flips += handle
+                let flipped = handle
                     .fleet()
                     .with_die(d, |sup| sup.model_mut().flip_stored_weight_bits(n, s));
+                out.flips += flipped;
+                // The injector is in-process with the server, so the
+                // injection itself lands in the same flight ring the
+                // serve layer writes — the dump alone reconstructs it.
+                flight::record(
+                    "chaos_flip",
+                    vec![
+                        ("site", Json::Str(ChaosSite::WeightFlip.name().to_string())),
+                        ("stage", Json::Num(stage as f64)),
+                        ("wave", Json::Num(w as f64)),
+                        ("die", Json::Num(d as f64)),
+                        ("flips", Json::Num(flipped as f64)),
+                    ],
+                );
             }
             // Crash only once traffic has produced a stable checkpoint
             // to restart from, and never take the last eligible die.
@@ -358,6 +377,14 @@ fn run_stage(p: &Params, stage: usize, cfg: &StageCfg) -> StageOutcome {
             let started = Instant::now();
             let resp = if plan.fires(ChaosSite::MalformedRequest, k) {
                 out.malformed_sent += 1;
+                flight::record(
+                    "chaos_malformed",
+                    vec![
+                        ("site", Json::Str(ChaosSite::MalformedRequest.name().to_string())),
+                        ("stage", Json::Num(stage as f64)),
+                        ("req", Json::Num(k as f64)),
+                    ],
+                );
                 let cut = (plan.draw(ChaosSite::MalformedRequest, k, 2) % 20) as usize;
                 let body = format!("{{\"input\": [0.25, -0.5{}", "x".repeat(cut));
                 client::request(addr, "POST", "/predict", Some(&body), CLIENT_TIMEOUT)
@@ -462,6 +489,9 @@ struct Report {
     chaos_stalls: f64,
     chaos_spikes: f64,
     chaos_worker_panics: f64,
+    flight_events: f64,
+    flight_dropped: f64,
+    flight_reconstructed: f64,
     dropped: f64,
     shed: f64,
     unserveable: f64,
@@ -496,6 +526,9 @@ neuspin_core::impl_to_json!(Report {
     chaos_stalls,
     chaos_spikes,
     chaos_worker_panics,
+    flight_events,
+    flight_dropped,
+    flight_reconstructed,
     dropped,
     shed,
     unserveable,
@@ -515,6 +548,111 @@ fn counter_value(text: &str, name: &str) -> f64 {
             (parts.next() == Some(name)).then(|| parts.next()?.parse::<f64>().ok())?
         })
         .unwrap_or(0.0)
+}
+
+/// What the campaign injected / recovered, per the live counters — the
+/// ground truth the flight dump must reconstruct on its own.
+struct FaultLedger {
+    stalls: f64,
+    spikes: f64,
+    panics: f64,
+    crashes: f64,
+    restores: f64,
+    gates_passed: f64,
+    flips: f64,
+    malformed: f64,
+}
+
+/// Replays the flight-recorder JSONL and proves every injected fault is
+/// reconstructable from the dump alone: injection site, affected
+/// request ids, and recovery outcome. Exact-count matches against the
+/// live ledger; every `die_crash` must pair with a later gate-passing
+/// `die_restore` of the same die.
+fn reconstruct_faults(dump: &str, want: &FaultLedger) -> Result<(), String> {
+    let mut got = FaultLedger {
+        stalls: 0.0,
+        spikes: 0.0,
+        panics: 0.0,
+        crashes: 0.0,
+        restores: 0.0,
+        gates_passed: 0.0,
+        flips: 0.0,
+        malformed: 0.0,
+    };
+    // Crashed dies awaiting a gate-passing restore, in crash order.
+    let mut open_crashes: Vec<f64> = Vec::new();
+    for (i, line) in dump.lines().enumerate() {
+        let ev = json::parse(line).map_err(|e| format!("flight line {i} unparseable: {e:?}"))?;
+        let kind = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("flight line {i} has no kind"))?;
+        let num = |key: &str| {
+            ev.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("flight {kind} line {i} missing {key}"))
+        };
+        // Lineage contract: every per-request event names its victims.
+        match kind {
+            "route" | "answered" | "chaos_stall" | "chaos_spike" | "failover"
+            | "unserveable" | "sample_retry" => {
+                let rids = ev
+                    .get("rids")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("flight {kind} line {i} missing rids"))?;
+                if rids.is_empty() {
+                    return Err(format!("flight {kind} line {i} names no request ids"));
+                }
+            }
+            "chaos_worker_panic" | "shed" | "expired" => {
+                num("rid")?;
+            }
+            _ => {}
+        }
+        match kind {
+            "chaos_stall" => got.stalls += 1.0,
+            "chaos_spike" => got.spikes += 1.0,
+            "chaos_worker_panic" => got.panics += 1.0,
+            "chaos_flip" => got.flips += num("flips")?,
+            "chaos_malformed" => got.malformed += 1.0,
+            "die_crash" => {
+                got.crashes += 1.0;
+                open_crashes.push(num("die")?);
+            }
+            "die_restore" => {
+                got.restores += 1.0;
+                let die = num("die")?;
+                if ev.get("bist_passed").and_then(Json::as_bool) == Some(true) {
+                    got.gates_passed += 1.0;
+                    if let Some(pos) = open_crashes.iter().position(|&d| d == die) {
+                        open_crashes.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let pairs = [
+        ("queue stalls", got.stalls, want.stalls),
+        ("latency spikes", got.spikes, want.spikes),
+        ("worker panics", got.panics, want.panics),
+        ("die crashes", got.crashes, want.crashes),
+        ("die restores", got.restores, want.restores),
+        ("passed gates", got.gates_passed, want.gates_passed),
+        ("weight flips", got.flips, want.flips),
+        ("malformed requests", got.malformed, want.malformed),
+    ];
+    for (what, g, w) in pairs {
+        if g != w {
+            return Err(format!("dump reconstructs {g} {what}, ledger says {w}"));
+        }
+    }
+    if !open_crashes.is_empty() {
+        return Err(format!(
+            "crashed dies {open_crashes:?} never restored through a passing gate in the dump"
+        ));
+    }
+    Ok(())
 }
 
 fn finite_num(obj: &Json, key: &str) -> Result<f64, String> {
@@ -620,6 +758,36 @@ fn check_results() -> ExitCode {
         }
     }
 
+    // 3b. The black box: the flight dump alone — no counters, no live
+    // state — must reconstruct every injected fault with its site,
+    // affected request ids, and recovery outcome, and the ring must
+    // not have dropped a single event.
+    for (key, want) in [("flight_reconstructed", 1.0), ("flight_dropped", 0.0)] {
+        match get(key) {
+            Ok(v) if v == want => {}
+            Ok(v) => return fail(format!("{key} must be {want}, got {v}")),
+            Err(e) => return fail(e),
+        }
+    }
+    let flight_path = results_dir().join("exp_chaos_flight.jsonl");
+    let dump = match std::fs::read_to_string(&flight_path) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("cannot read {}: {e}", flight_path.display())),
+    };
+    let ledger = FaultLedger {
+        stalls: get("chaos_stalls").unwrap_or(-1.0),
+        spikes: get("chaos_spikes").unwrap_or(-1.0),
+        panics: get("chaos_worker_panics").unwrap_or(-1.0),
+        crashes,
+        restores,
+        gates_passed: gates,
+        flips: get("flips_injected").unwrap_or(-1.0),
+        malformed: malformed.iter().sum::<f64>(),
+    };
+    if let Err(why) = reconstruct_faults(&dump, &ledger) {
+        return fail(format!("flight dump does not reconstruct the campaign: {why}"));
+    }
+
     // 4. Latency bounded despite the injected timing faults.
     let p99 = match get("p99_ms") {
         Ok(v) => v,
@@ -632,7 +800,8 @@ fn check_results() -> ExitCode {
 
     println!(
         "exp_chaos.json: round-trip held, {crashes} crashes all restored through the \
-         BIST gate byte-equal, conservation exact, p99 {p99:.1} ms (budget {budget:.0})",
+         BIST gate byte-equal, conservation exact, flight dump reconstructs the campaign, \
+         p99 {p99:.1} ms (budget {budget:.0})",
     );
     ExitCode::SUCCESS
 }
@@ -671,9 +840,27 @@ fn main() -> ExitCode {
          ({checkpoint_bytes} bytes)"
     );
 
+    // Arm the flight recorder for the campaign: every injection,
+    // routing decision, failover, crash, and gated restore lands in
+    // one ring, dumped to disk on die crash / drain / panic and again
+    // (complete) after the last stage. CI byte-compares the dump
+    // across NEUSPIN_THREADS configurations.
+    let flight_path = results_dir().join("exp_chaos_flight.jsonl");
+    flight::reset();
+    flight::set_capacity(1 << 16);
+    flight::set_dump_path(Some(flight_path.clone()));
+    flight::set_enabled(true);
+
     let cfgs = stage_cfgs();
     let outcomes: Vec<StageOutcome> =
         cfgs.iter().enumerate().map(|(i, cfg)| run_stage(&p, i, cfg)).collect();
+
+    flight::set_enabled(false);
+    let flight_events = flight::len() as f64;
+    let flight_dropped = flight::dropped();
+    let flight_dump = flight::to_jsonl();
+    flight::dump_to(&flight_path).expect("cannot write flight dump");
+    println!("[wrote {} ({} events)]", flight_path.display(), flight_events);
 
     let prometheus = telemetry::prometheus_text();
     telemetry::set_enabled(false, false);
@@ -691,6 +878,29 @@ fn main() -> ExitCode {
     let total: usize = outcomes.iter().map(|o| o.requests).sum();
     println!("\n{total} requests across {STAGES} stages in {duration_s:.2} s");
     println!("  latency p50/p95/p99: {p50:.2}/{p95:.2}/{p99:.2} ms");
+
+    // Black-box proof: the dump alone must reconstruct every injected
+    // fault, exactly, with its victims and recovery outcome.
+    let ledger = FaultLedger {
+        stalls: counter_value(&prometheus, "serve_chaos_stalls_total"),
+        spikes: counter_value(&prometheus, "serve_chaos_spikes_total"),
+        panics: counter_value(&prometheus, "serve_chaos_worker_panics_total"),
+        crashes: outcomes.iter().map(|o| o.crashes as f64).sum(),
+        restores: outcomes.iter().map(|o| o.restores as f64).sum(),
+        gates_passed: outcomes.iter().map(|o| o.gates_passed as f64).sum(),
+        flips: outcomes.iter().map(|o| o.flips as f64).sum(),
+        malformed: outcomes.iter().map(|o| o.malformed_sent as f64).sum(),
+    };
+    let reconstructed = match reconstruct_faults(&flight_dump, &ledger) {
+        Ok(()) => {
+            println!("flight dump reconstructs every injected fault ({flight_events} events)");
+            true
+        }
+        Err(why) => {
+            eprintln!("flight reconstruction FAILED: {why}");
+            false
+        }
+    };
 
     let report = Report {
         fast_mode: if fast { 1.0 } else { 0.0 },
@@ -720,6 +930,9 @@ fn main() -> ExitCode {
         chaos_stalls: counter_value(&prometheus, "serve_chaos_stalls_total"),
         chaos_spikes: counter_value(&prometheus, "serve_chaos_spikes_total"),
         chaos_worker_panics: counter_value(&prometheus, "serve_chaos_worker_panics_total"),
+        flight_events,
+        flight_dropped: flight_dropped as f64,
+        flight_reconstructed: if reconstructed { 1.0 } else { 0.0 },
         dropped: outcomes.iter().map(|o| o.dropped as f64).sum(),
         shed: outcomes.iter().map(|o| o.shed as f64).sum(),
         unserveable: outcomes.iter().map(|o| o.unserveable as f64).sum(),
@@ -750,6 +963,8 @@ fn main() -> ExitCode {
     println!("[wrote {}]", bench_path.display());
 
     let fatal = !roundtrip_identical
+        || !reconstructed
+        || flight_dropped > 0
         || outcomes.iter().any(|o| {
             o.dropped > 0 || !o.conserved || !o.drained || !o.restored_equal
         });

@@ -14,6 +14,13 @@
 //!    (per-thread buffers merged in pass order; no wall-clock data in
 //!    the trace).
 //!
+//! 3. **Request lineage is cheap (≤ 2 %).** A sequential closed-loop
+//!    serve workload is timed under the standard metrics registry with
+//!    the flight-recorder lineage ring on vs off, so the delta is the
+//!    per-request cost of structured event recording; the
+//!    traced/untraced ratio shares the `NEUSPIN_OBSERVE_TOL` tolerance
+//!    and re-measures on noisy hosts.
+//!
 //! On top of the gates it reports the enabled-path cost (metrics-only
 //! and metrics+trace overhead ratios over a disabled run), span counts,
 //! the metrics registry snapshot (histograms included), and a
@@ -29,19 +36,24 @@
 //! `results/exp_observe_prometheus.txt`, and `BENCH_observe.json` at the
 //! workspace root (override with `NEUSPIN_BENCH_ROOT`).
 
-use neuspin_bayes::{ArchConfig, Method, Predictive};
+use neuspin_bayes::{build_cnn, ArchConfig, Method, Predictive};
 use neuspin_bench::{results_dir, write_json, Setup};
 use neuspin_cim::{BistConfig, Crossbar};
 use neuspin_core::json::{self, ToJson};
+use neuspin_core::serve::client;
 use neuspin_core::telemetry::{self, MetricsSnapshot};
-use neuspin_core::{HardwareConfig, HardwareModel, ReplicaBank, ThreadPool};
+use neuspin_core::{
+    flight, serve, HardwareConfig, HardwareModel, ReplicaBank, ServeConfig, Supervisor,
+    SupervisorConfig, ThreadPool,
+};
 use neuspin_data::digits::dataset;
 use neuspin_device::DefectRates;
+use neuspin_nn::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Matches the MC seed of `exp_throughput` so traces describe the same
 /// inference workload the throughput baseline measured.
@@ -84,6 +96,11 @@ struct Report {
     plan_rebuilds_total: f64,
     replica_syncs_total: f64,
     scratch_bytes_gauge: f64,
+    /// Serve path, ns per closed-loop request: lineage layer off / on.
+    serve_untraced_ns_per_req: f64,
+    serve_traced_ns_per_req: f64,
+    /// traced / untraced — gated ≤ 1 + NEUSPIN_OBSERVE_TOL by --check.
+    serve_trace_overhead_ratio: f64,
     /// Trace events in the emitted JSONL (one per line).
     trace_events: f64,
     trace_bytes: f64,
@@ -110,6 +127,9 @@ neuspin_core::impl_to_json!(Report {
     plan_rebuilds_total,
     replica_syncs_total,
     scratch_bytes_gauge,
+    serve_untraced_ns_per_req,
+    serve_traced_ns_per_req,
+    serve_trace_overhead_ratio,
     trace_events,
     trace_bytes,
     metrics,
@@ -173,6 +193,87 @@ fn kernel_disabled_ns(fast: bool) -> f64 {
     time_ns_per_call(reps, calls, || {
         black_box(xbar.matvec(&input, &mut rng));
     })
+}
+
+/// A minimal commissioned die for the serve-path overhead probe: ideal
+/// crossbar, tiny arch — the point is the per-request observability
+/// cost, not the compute.
+fn serve_die(seed: u64) -> Supervisor {
+    const SIDE: usize = 8;
+    let arch =
+        ArchConfig { c1: 2, c2: 4, hidden: 16, classes: 4, side: SIDE, ..ArchConfig::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = build_cnn(Method::SpinDrop, &arch, &mut rng);
+    let config = HardwareConfig {
+        crossbar: neuspin_cim::CrossbarConfig::ideal(),
+        passes: 3,
+        ..HardwareConfig::default()
+    };
+    let mut hw = HardwareModel::compile(&mut sw, Method::SpinDrop, &arch, &config, &mut rng);
+    hw.enable_aging(&neuspin_device::AgingConfig { seed: seed ^ 0xA9, ..Default::default() });
+    // Generous monitor slack + high coverage: the synthetic probe
+    // traffic must not trip the drift detectors mid-measurement.
+    let health = neuspin_core::HealthConfig {
+        entropy_slack: 4.0,
+        margin_slack: 4.0,
+        ..neuspin_core::HealthConfig::default()
+    };
+    let mut sup = Supervisor::new(
+        hw,
+        SupervisorConfig { seed, coverage: 0.98, health, ..SupervisorConfig::default() },
+    );
+    let calib = Tensor::from_fn(&[32, 1, SIDE, SIDE], |i| ((i * 13 % 97) as f32 / 97.0) - 0.5);
+    let monitor = Tensor::from_fn(&[8, 1, SIDE, SIDE], |i| ((i * 7 % 89) as f32 / 89.0) - 0.5);
+    sup.commission(calib, &monitor);
+    sup
+}
+
+/// Wall time per request of a sequential closed-loop serve workload.
+/// Both sides run under the standard metrics registry (the production
+/// posture every serving campaign uses — its cost is reported
+/// separately by `metrics_overhead_ratio`); `traced` additionally turns
+/// on the flight-recorder lineage ring, so the delta is exactly what
+/// per-request event recording costs. A fresh identically-seeded fleet
+/// per measurement keeps the compute byte-identical.
+fn serve_ns_per_request(traced: bool, n: usize) -> f64 {
+    const SIDE: usize = 8;
+    telemetry::set_enabled(true, false);
+    telemetry::reset();
+    flight::reset();
+    if traced {
+        flight::set_capacity(8192);
+        flight::set_enabled(true);
+    } else {
+        flight::set_enabled(false);
+    }
+    let fleet = neuspin_core::DieFleet::new(vec![serve_die(0x0B5E_0001)]);
+    let config = ServeConfig {
+        input_shape: vec![1, SIDE, SIDE],
+        request_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let mut handle = serve(fleet, config).expect("bind serving socket");
+    let addr = handle.addr();
+    let timeout = Duration::from_secs(10);
+    let sample = |tag: usize| -> Vec<f32> {
+        (0..SIDE * SIDE).map(|i| (((i * 31 + tag * 131) % 83) as f32 / 83.0) - 0.5).collect()
+    };
+    let inputs: Vec<Vec<f32>> = (0..n + 4).map(sample).collect();
+    for input in &inputs[n..] {
+        let _ = client::predict(addr, input, timeout); // warmup, untimed
+    }
+    let start = Instant::now();
+    for input in &inputs[..n] {
+        let resp = client::predict(addr, input, timeout).expect("serve transport");
+        assert_eq!(resp.status, 200, "overhead probe must serve cleanly: {}", resp.text());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    handle.shutdown(Duration::from_secs(10));
+    telemetry::set_enabled(false, false);
+    telemetry::reset();
+    flight::set_enabled(false);
+    flight::reset();
+    elapsed * 1e9 / n as f64
 }
 
 /// Reads the like-for-like kernel baseline out of BENCH_throughput.json
@@ -270,7 +371,7 @@ fn check_results() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    const POSITIVE: [&str; 11] = [
+    const POSITIVE: [&str; 14] = [
         "kernel_disabled_ns_per_call",
         "kernel_overhead_vs_baseline",
         "mc_off_ns",
@@ -282,6 +383,9 @@ fn check_results() -> ExitCode {
         "plan_rebuilds_total",
         "replica_syncs_total",
         "scratch_bytes_gauge",
+        "serve_untraced_ns_per_req",
+        "serve_traced_ns_per_req",
+        "serve_trace_overhead_ratio",
     ];
     for key in POSITIVE {
         match finite_num(&value, key) {
@@ -325,6 +429,19 @@ fn check_results() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // The serve-path lineage gate: per-request tracing (waterfall
+    // histograms + flight ring + SLO tracking) must cost no more than
+    // the tolerance over an untraced request.
+    let serve_ratio = finite_num(&value, "serve_trace_overhead_ratio").unwrap_or(f64::MAX);
+    if serve_ratio > 1.0 + tol {
+        eprintln!(
+            "check failed: serve-path tracing is {:.2}% slower than untraced \
+             (tolerance {:.2}%)",
+            (serve_ratio - 1.0) * 100.0,
+            tol * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
     // The emitted trace must exist and be valid JSONL of spans/events.
     let trace_path = results_dir().join("exp_observe_trace.jsonl");
     let trace = match std::fs::read_to_string(&trace_path) {
@@ -355,10 +472,11 @@ fn check_results() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "exp_observe.json: overhead {:.4} (baseline {}), trace {} events byte-stable \
-         across 1/2/4 workers, schema OK, all finite",
+        "exp_observe.json: overhead {:.4} (baseline {}), serve tracing {:.4}, trace {} \
+         events byte-stable across 1/2/4 workers, schema OK, all finite",
         overhead,
         if found == 1.0 { "found" } else { "absent/skipped" },
+        serve_ratio,
         lines,
     );
     ExitCode::SUCCESS
@@ -490,6 +608,31 @@ fn main() -> ExitCode {
          replica_syncs_total {replica_syncs_total} | scratch_bytes {scratch_bytes_gauge:.0}"
     );
 
+    // 6. Serve-path lineage overhead: the same closed-loop workload
+    //    under the standard metrics registry with the flight-recorder
+    //    lineage ring on vs off, best-of with re-measurement on noisy
+    //    hosts (same pattern as the kernel gate). The per-request cost
+    //    of structured event recording must stay inside the tolerance.
+    let tol = overhead_tolerance();
+    let n_req = if fast { 40 } else { 120 };
+    eprintln!("serve-path overhead probe: {n_req} requests per side ...");
+    let mut serve_off_ns = serve_ns_per_request(false, n_req);
+    let mut serve_on_ns = serve_ns_per_request(true, n_req);
+    for _ in 0..3 {
+        if serve_on_ns / serve_off_ns <= 1.0 + tol {
+            break;
+        }
+        serve_off_ns = serve_off_ns.min(serve_ns_per_request(false, n_req));
+        serve_on_ns = serve_on_ns.min(serve_ns_per_request(true, n_req));
+    }
+    let serve_ratio = serve_on_ns / serve_off_ns;
+    println!(
+        "serve path: untraced {:.0} µs/req | traced {:.0} µs/req → overhead {:.4}",
+        serve_off_ns / 1e3,
+        serve_on_ns / 1e3,
+        serve_ratio,
+    );
+
     let report = Report {
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64,
         fast_mode: if fast { 1.0 } else { 0.0 },
@@ -508,6 +651,9 @@ fn main() -> ExitCode {
         plan_rebuilds_total,
         replica_syncs_total,
         scratch_bytes_gauge,
+        serve_untraced_ns_per_req: serve_off_ns,
+        serve_traced_ns_per_req: serve_on_ns,
+        serve_trace_overhead_ratio: serve_ratio,
         trace_events: trace_events as f64,
         trace_bytes: trace_bytes as f64,
         metrics: snapshot,

@@ -23,7 +23,11 @@
 //! health-tier gauges. `--check` re-parses the emitted JSON and gates:
 //! zero drops, request conservation (accepted == terminal outcomes),
 //! failover engaged, die 0 latched + quiesced, p99 under
-//! `NEUSPIN_SERVING_P99_MS` (default 500 ms).
+//! `NEUSPIN_SERVING_P99_MS` (default 500 ms), every 200 carrying a
+//! parseable `X-NeuSpin-Trace` header that names the serving die, the
+//! per-stage waterfall histograms complete on the tuned buckets, and a
+//! clean SLO window (availability 1, zero availability burn) off
+//! `GET /debug/slo`.
 //!
 //! ```sh
 //! cargo run --release -p neuspin-bench --bin exp_serving
@@ -43,7 +47,7 @@ use neuspin_core::json::{self, ToJson};
 use neuspin_core::serve::client;
 use neuspin_core::{
     serve, telemetry, DieFleet, HardwareConfig, HardwareModel, HealthConfig, HealthPolicy,
-    ServeConfig, Supervisor, SupervisorConfig,
+    RequestTrace, ServeConfig, Supervisor, SupervisorConfig,
 };
 use neuspin_device::AgingConfig;
 use neuspin_nn::Tensor;
@@ -154,6 +158,9 @@ struct Obs {
     latency_ms: f64,
     /// 0 = phase A, 1 = phase B, 2 = quiescence burst.
     phase: u8,
+    /// The 200 carried an `X-NeuSpin-Trace` header that parsed and
+    /// named the same die as the body.
+    traced: bool,
 }
 
 fn send_one(addr: std::net::SocketAddr, input: &[f32], phase: u8) -> Obs {
@@ -162,17 +169,25 @@ fn send_one(addr: std::net::SocketAddr, input: &[f32], phase: u8) -> Obs {
         Ok(resp) => {
             let latency_ms = start.elapsed().as_secs_f64() * 1e3;
             let body = json::parse(&resp.text()).unwrap_or(json::Json::Null);
+            let die = body.get("die").and_then(json::Json::as_f64).map_or(-1, |d| d as i64);
+            let traced = resp
+                .header("x-neuspin-trace")
+                .and_then(RequestTrace::parse_header)
+                .is_some_and(|t| t.die as i64 == die);
             Obs {
                 status: resp.status,
-                die: body.get("die").and_then(json::Json::as_f64).map_or(-1, |d| d as i64),
+                die,
                 abstained: body.get("abstained").and_then(json::Json::as_bool).unwrap_or(false),
                 latency_ms,
                 phase,
+                traced,
             }
         }
         // Transport failure = a dropped request: the one thing the
         // campaign exists to prove never happens.
-        Err(_) => Obs { status: 0, die: -1, abstained: false, latency_ms: -1.0, phase },
+        Err(_) => {
+            Obs { status: 0, die: -1, abstained: false, latency_ms: -1.0, phase, traced: false }
+        }
     }
 }
 
@@ -213,6 +228,17 @@ struct Report {
     /// 1 when the Prometheus exposition carries every per-die tier
     /// gauge.
     gauges_reported: f64,
+    /// 200s whose `X-NeuSpin-Trace` header parsed and matched the body.
+    traced_200: f64,
+    /// 1 when every per-stage latency histogram exists, uses the tuned
+    /// serve-latency bucket boundaries, and observed every answer.
+    stage_histograms_ok: f64,
+    /// Rolling-window availability from `/debug/slo` at quiescence.
+    slo_availability: f64,
+    /// Availability burn rate at quiescence (0 on an all-200 campaign).
+    slo_availability_burn: f64,
+    /// Latency burn rate at quiescence (wall-clock; not gated).
+    slo_latency_burn: f64,
 }
 
 neuspin_core::impl_to_json!(Report {
@@ -241,6 +267,11 @@ neuspin_core::impl_to_json!(Report {
     die_tiers,
     die_served,
     gauges_reported,
+    traced_200,
+    stage_histograms_ok,
+    slo_availability,
+    slo_availability_burn,
+    slo_latency_burn,
 });
 
 fn finite_num(obj: &json::Json, key: &str) -> Result<f64, String> {
@@ -353,6 +384,31 @@ fn check_results() -> ExitCode {
         return fail(format!("cannot read {}: {e}", prom_path.display()));
     }
 
+    // 6. Lineage: every 200 carried a parseable trace header naming
+    //    the serving die; the stage waterfall histograms observed every
+    //    answer on the tuned buckets; the SLO window shows a clean
+    //    campaign (availability 1, zero availability burn).
+    match get("traced_200") {
+        Ok(v) if v == total => {}
+        Ok(v) => return fail(format!("traced_200 = {v}, want every one of {total}")),
+        Err(e) => return fail(e),
+    }
+    match get("stage_histograms_ok") {
+        Ok(1.0) => {}
+        Ok(v) => return fail(format!("stage waterfall histograms incomplete (flag {v})")),
+        Err(e) => return fail(e),
+    }
+    match get("slo_availability") {
+        Ok(1.0) => {}
+        Ok(v) => return fail(format!("slo availability must be 1 on an all-200 run, got {v}")),
+        Err(e) => return fail(e),
+    }
+    match get("slo_availability_burn") {
+        Ok(0.0) => {}
+        Ok(v) => return fail(format!("availability burn must be 0 on an all-200 run, got {v}")),
+        Err(e) => return fail(e),
+    }
+
     println!(
         "exp_serving.json: {total} requests, zero drops, failover engaged \
          ({failovers} batch + {retries} sample), die 0 latched+quiet, \
@@ -449,6 +505,33 @@ fn main() -> ExitCode {
     let prometheus = telemetry::prometheus_text();
     let gauges_reported =
         (0..DIES).all(|d| prometheus.contains(&format!("serve_die{d}_tier")));
+
+    // SLO report at quiescence, straight off the debug endpoint.
+    let slo = client::request(addr, "GET", "/debug/slo", None, Duration::from_secs(10))
+        .ok()
+        .and_then(|r| json::parse(&r.text()).ok())
+        .unwrap_or(json::Json::Null);
+    let slo_num = |key: &str| slo.get(key).and_then(json::Json::as_f64).unwrap_or(-1.0);
+
+    // Per-stage waterfall histograms: present, on the tuned serve
+    // buckets, and fed by every answered request.
+    let ok_so_far = observations.iter().filter(|o| o.status == 200).count() as u64;
+    let snap = telemetry::snapshot();
+    let tuned = telemetry::serve_latency_buckets_ms().to_vec();
+    let stage_histograms_ok = [
+        "serve_stage_queue_wait_ms",
+        "serve_stage_batch_assembly_ms",
+        "serve_stage_die_compute_ms",
+        "serve_stage_retry_ms",
+        "serve_stage_write_ms",
+        "serve_request_ms",
+    ]
+    .iter()
+    .all(|name| {
+        snap.histogram(name)
+            .is_some_and(|h| h.bounds == tuned && h.count == ok_so_far)
+    });
+
     let drain = handle.shutdown(Duration::from_secs(10));
     telemetry::set_enabled(false, false);
     telemetry::reset();
@@ -507,6 +590,12 @@ fn main() -> ExitCode {
         die_tiers,
         die_served,
         gauges_reported: if gauges_reported { 1.0 } else { 0.0 },
+        traced_200: observations.iter().filter(|o| o.status == 200 && o.traced).count()
+            as f64,
+        stage_histograms_ok: if stage_histograms_ok { 1.0 } else { 0.0 },
+        slo_availability: slo_num("availability"),
+        slo_availability_burn: slo_num("availability_burn"),
+        slo_latency_burn: slo_num("latency_burn"),
     };
 
     write_json("exp_serving", &report);

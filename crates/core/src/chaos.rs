@@ -52,6 +52,19 @@ pub enum ChaosSite {
 }
 
 impl ChaosSite {
+    /// Stable snake_case name — used by flight-recorder events and the
+    /// chaos campaign's reconstruction cross-check.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosSite::WorkerPanic => "worker_panic",
+            ChaosSite::QueueStall => "queue_stall",
+            ChaosSite::LatencySpike => "latency_spike",
+            ChaosSite::DieCrash => "die_crash",
+            ChaosSite::WeightFlip => "weight_flip",
+            ChaosSite::MalformedRequest => "malformed_request",
+        }
+    }
+
     fn tag(self) -> u64 {
         match self {
             ChaosSite::WorkerPanic => 0xC4A0_0001,

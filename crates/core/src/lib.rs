@@ -46,6 +46,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod dist;
 pub mod extract;
+pub mod flight;
 pub mod health;
 pub mod json;
 pub mod model;
@@ -72,7 +73,9 @@ pub use runtime::{
     BistGateReport, RecoveryAction, RecoveryEvent, ServeReport, StepReport, Supervisor,
     SupervisorConfig,
 };
+pub use flight::FlightEvent;
 pub use serve::fleet::{DieFleet, DieStatus, FleetError};
+pub use serve::trace::{RequestId, RequestTrace, SloTracker};
 pub use serve::{serve, DrainReport, ServeConfig, ServerHandle, StatsSnapshot};
 pub use telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, SpanGuard, TraceEvent};
 

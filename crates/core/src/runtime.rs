@@ -486,13 +486,23 @@ impl Supervisor {
         repaired: usize,
         energy: Joules,
     ) {
+        let name = match action {
+            RecoveryAction::Scrub => "scrub",
+            RecoveryAction::Recalibrate => "recalibrate",
+            RecoveryAction::RemapTier => "remap_tier",
+            RecoveryAction::Abstain => "abstain",
+        };
+        crate::flight::record(
+            "escalate",
+            vec![
+                ("action", crate::json::Json::Str(name.to_string())),
+                ("step", crate::json::Json::Num(self.step as f64)),
+                ("policy", crate::json::Json::Num(policy.tier_index() as f64)),
+                ("flagged", crate::json::Json::Num(flagged as f64)),
+                ("repaired", crate::json::Json::Num(repaired as f64)),
+            ],
+        );
         if crate::telemetry::active() {
-            let name = match action {
-                RecoveryAction::Scrub => "scrub",
-                RecoveryAction::Recalibrate => "recalibrate",
-                RecoveryAction::RemapTier => "remap_tier",
-                RecoveryAction::Abstain => "abstain",
-            };
             crate::trace_event!(
                 "recovery",
                 action = name,

@@ -115,6 +115,11 @@ impl<T> BatchQueue<T> {
         lock_recover(&self.inner).items.len()
     }
 
+    /// The fixed capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

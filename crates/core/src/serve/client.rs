@@ -7,11 +7,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A parsed response: status code and body bytes.
+/// A parsed response: status code, headers, and body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -20,6 +22,15 @@ impl Response {
     /// The body as UTF-8 text (lossy).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Case-insensitive header lookup (first match wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == needle)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -65,7 +76,7 @@ pub fn predict(
     request(addr, "POST", "/predict", Some(&body), timeout)
 }
 
-/// Splits a raw HTTP/1.1 response into status + body.
+/// Splits a raw HTTP/1.1 response into status + headers + body.
 fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
     let bad = |why: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_string());
     let head_end = raw
@@ -73,13 +84,19 @@ fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| bad("no header terminator in response"))?;
     let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
-    let status_line = head.lines().next().unwrap_or("");
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("bad status line"))?;
-    Ok(Response { status, body: raw[head_end + 4..].to_vec() })
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Response { status, headers, body: raw[head_end + 4..].to_vec() })
 }
 
 #[cfg(test)]
@@ -87,16 +104,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_a_response() {
-        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\nhi";
+    fn parses_a_response_with_headers() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\nX-NeuSpin-Trace: rid=4;batch=1;die=0;failovers=0;retries=0\r\n\r\nhi";
         let resp = parse_response(raw).unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.text(), "hi");
+        assert_eq!(resp.header("content-length"), Some("2"));
+        assert_eq!(
+            resp.header("X-NEUSPIN-TRACE"),
+            Some("rid=4;batch=1;die=0;failovers=0;retries=0"),
+            "lookup must be case-insensitive"
+        );
+        assert_eq!(resp.header("absent"), None);
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nno-colon-line\r\n\r\n").is_err());
     }
 }

@@ -23,7 +23,9 @@
 
 use super::lock_recover;
 use crate::checkpoint::CheckpointError;
+use crate::flight;
 use crate::health::HealthPolicy;
+use crate::json::Json;
 use crate::runtime::{BistGateReport, ServeReport, Supervisor};
 use neuspin_nn::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -183,6 +185,8 @@ impl DieFleet {
     pub fn crash(&self, die: usize) {
         self.dies[die].down.store(true, Ordering::Release);
         crate::telemetry::counter("serve_die_crashes_total").inc();
+        flight::record("die_crash", vec![("die", Json::Num(die as f64))]);
+        flight::dump_if_configured();
     }
 
     /// The last checkpoint that reached durable storage for `die`, if
@@ -224,6 +228,13 @@ impl DieFleet {
             self.publish_tier(die);
             crate::telemetry::counter("serve_die_restores_total").inc();
         }
+        flight::record(
+            "die_restore",
+            vec![
+                ("die", Json::Num(die as f64)),
+                ("bist_passed", Json::Bool(gate.passed)),
+            ],
+        );
         Ok(gate)
     }
 

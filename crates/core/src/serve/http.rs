@@ -232,10 +232,32 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, reason, content_type, &[], body)
+}
+
+/// Writes a complete `Connection: close` response with extra headers
+/// (e.g. `X-NeuSpin-Trace`) between `Content-Length` and the blank
+/// line. Caller-supplied names/values must be header-clean; the serve
+/// layer only passes literals and digit-and-separator trace strings.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -249,6 +271,17 @@ pub fn write_json_response(
     body: &str,
 ) -> std::io::Result<()> {
     write_response(stream, status, reason, "application/json", body.as_bytes())
+}
+
+/// Convenience: a JSON response body plus extra headers.
+pub fn write_json_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    write_response_with(stream, status, reason, "application/json", extra_headers, body.as_bytes())
 }
 
 #[cfg(test)]
@@ -460,5 +493,27 @@ mod tests {
         assert!(text.contains("Content-Length: 8\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"a\": 1}"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_land_inside_the_head() {
+        let mut out = Vec::new();
+        write_json_response_with(
+            &mut out,
+            200,
+            "OK",
+            "{}",
+            &[("X-NeuSpin-Trace", "rid=7;batch=3;die=1;failovers=0;retries=0")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let head_end = text.find("\r\n\r\n").expect("blank line");
+        let head = &text[..head_end];
+        assert!(
+            head.contains("X-NeuSpin-Trace: rid=7;batch=3;die=1;failovers=0;retries=0"),
+            "{head}"
+        );
+        assert!(head.ends_with("Connection: close"), "close stays last: {head}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

@@ -12,6 +12,9 @@
 //!   served-sample counts.
 //! * `GET /metrics` — the existing Prometheus text exposition
 //!   ([`crate::telemetry::prometheus_text`]).
+//! * `GET /debug/flight` — the flight recorder's current ring as
+//!   JSONL ([`crate::flight`]); `GET /debug/slo` — the rolling
+//!   availability/latency burn-rate report ([`trace::SloTracker`]).
 //!
 //! **Routing.** Every batch goes to the healthiest least-loaded die
 //! ([`DieFleet::pick`]). A die whose latched policy is Abstain refuses
@@ -42,13 +45,25 @@
 //! layer also carries the chaos-injection hooks ([`crate::chaos`]):
 //! a quiet [`ChaosPlan`] (the default) probes cost one hash and never
 //! fire; a campaign turns intensities up in [`ServeConfig::chaos`].
+//!
+//! **Lineage.** Every parsed `/predict` body gets a deterministic
+//! [`trace::RequestId`] and a [`trace::RequestTrace`] waterfall:
+//! identity fields ride the `X-NeuSpin-Trace` response header and the
+//! flight-recorder events; timing fields feed only the per-stage
+//! histograms (the PR-5 determinism contract). The flight recorder
+//! ([`crate::flight`]) logs routing, failover, retry, shed, chaos,
+//! crash/restore, and drain events — each with the request ids
+//! involved — and dumps its ring on caught panics, die crashes, and
+//! drain.
 
 pub mod batch;
 pub mod client;
 pub mod fleet;
 pub mod http;
+pub mod trace;
 
 use crate::chaos::{ChaosConfig, ChaosPlan, ChaosSite};
+use crate::flight;
 use crate::health::HealthPolicy;
 use crate::json::Json;
 use crate::pool::ThreadPool;
@@ -56,6 +71,7 @@ use crate::rng::{stream, RngExt, SplitMix64, StdRng};
 use batch::{BatchQueue, PushError};
 use fleet::{DieFleet, FleetError};
 use http::Request;
+use trace::{RequestId, RequestTrace, SloTracker};
 use neuspin_nn::Tensor;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -260,8 +276,12 @@ enum Outcome {
         probs: Vec<f32>,
         entropy: f64,
         abstained: bool,
-        die: usize,
-        failovers: u64,
+        /// The request's lineage: identity fields (rid, batch, die,
+        /// failovers, retries) plus the wall-clock waterfall so far.
+        trace: RequestTrace,
+        /// When the batcher finished computing — the write stage is
+        /// measured from here by the connection worker.
+        computed_at: Instant,
     },
     /// Every die in the fleet is at the Abstain tier.
     Unserveable,
@@ -271,8 +291,12 @@ enum Outcome {
 
 /// One queued predict sample.
 struct PredictJob {
+    /// Lineage id, assigned in arrival order at accept.
+    rid: RequestId,
     input: Vec<f32>,
     deadline: Instant,
+    /// When the request was accepted (queue-wait stage starts here).
+    accepted_at: Instant,
     resp: mpsc::Sender<Outcome>,
 }
 
@@ -289,8 +313,12 @@ struct ServeState {
     live_conn_workers: AtomicUsize,
     batch_counter: AtomicU64,
     conn_jobs: AtomicU64,
+    /// Next request id (dense, assigned in accept order).
+    next_rid: AtomicU64,
     stats: ServeStats,
     chaos: ChaosPlan,
+    /// Rolling-window SLO burn tracker fed by terminal outcomes.
+    slo: SloTracker,
 }
 
 /// What the drain achieved.
@@ -330,8 +358,15 @@ impl ServerHandle {
 
     /// Graceful shutdown: stop accepting, drain queued connections and
     /// predictions, bounded by `deadline`. Idempotent.
+    ///
+    /// The first (real) drain is also recorded post-hoc: the
+    /// [`DrainReport`] lands in the registry counters
+    /// (`serve_drains_total`, `serve_drain_forced_total`,
+    /// `serve_drain_abandoned_total`), a `drain` event enters the
+    /// flight recorder, and the recorder dumps to its configured path.
     pub fn shutdown(&mut self, deadline: Duration) -> DrainReport {
         let state = &self.state;
+        let first = self.join.is_some();
         state.shutdown.store(true, Ordering::SeqCst);
         let start = Instant::now();
         while !state.done.load(Ordering::SeqCst) && start.elapsed() < deadline {
@@ -348,7 +383,24 @@ impl ServerHandle {
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
-        DrainReport { drained, forced: !drained, abandoned }
+        let report = DrainReport { drained, forced: !drained, abandoned };
+        if first {
+            crate::telemetry::counter("serve_drains_total").inc();
+            if report.forced {
+                crate::telemetry::counter("serve_drain_forced_total").inc();
+            }
+            crate::telemetry::counter("serve_drain_abandoned_total").add(abandoned as u64);
+            flight::record(
+                "drain",
+                vec![
+                    ("drained", Json::Bool(report.drained)),
+                    ("forced", Json::Bool(report.forced)),
+                    ("abandoned", Json::Num(abandoned as f64)),
+                ],
+            );
+            flight::dump_if_configured();
+        }
+        report
     }
 }
 
@@ -385,8 +437,10 @@ pub fn serve(fleet: DieFleet, config: ServeConfig) -> std::io::Result<ServerHand
         live_conn_workers: AtomicUsize::new(config.http_workers),
         batch_counter: AtomicU64::new(0),
         conn_jobs: AtomicU64::new(0),
+        next_rid: AtomicU64::new(0),
         stats: ServeStats::default(),
         chaos: ChaosPlan::new(config.chaos),
+        slo: SloTracker::default(),
         fleet,
         config,
     });
@@ -483,13 +537,23 @@ fn batch_seed(master: u64, index: u64) -> u64 {
 }
 
 /// Runs one coalesced batch through the fleet with failover.
+///
+/// Stage accounting: `queue_wait` is accept → pop (per request);
+/// `batch_assembly` is pop → tensor built (shared by the batch);
+/// `die_compute` is the successful MC forward; everything else in the
+/// dispatch window — chaos stalls/spikes, failed attempts, backoff,
+/// and the per-sample retry round — lands in the `retry` stage. All of
+/// it is wall-clock and flows only into histograms; the flight events
+/// recorded here carry deterministic fields (batch index, die ids,
+/// request ids) exclusively.
 fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRng) {
-    let now = Instant::now();
+    let popped_at = Instant::now();
     // Expire whatever already missed its deadline (the connection
     // worker has answered 504 and gone; don't burn MC passes on it).
     let mut live = Vec::with_capacity(batch.len());
     for job in batch.drain(..) {
-        if now >= job.deadline {
+        if popped_at >= job.deadline {
+            flight::record("expired", vec![("rid", Json::Num(job.rid.0 as f64))]);
             let _ = job.resp.send(Outcome::Expired);
         } else {
             live.push(job);
@@ -498,6 +562,7 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     if live.is_empty() {
         return;
     }
+    let rids: Vec<RequestId> = live.iter().map(|j| j.rid).collect();
 
     let d = state.config.input_len();
     let mut shape = vec![live.len()];
@@ -506,8 +571,14 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     let inputs = Tensor::from_vec(data, &shape);
     let index = state.batch_counter.fetch_add(1, Ordering::Relaxed);
     let seed = batch_seed(state.config.seed, index);
+    let assembly_ns = elapsed_ns(popped_at);
+    let dispatch_start = Instant::now();
     if state.chaos.fires(ChaosSite::QueueStall, index) {
         crate::telemetry::counter("serve_chaos_stalls_total").inc();
+        flight::record(
+            "chaos_stall",
+            vec![("batch", Json::Num(index as f64)), ("rids", trace::rids_json(&rids))],
+        );
         std::thread::sleep(Duration::from_millis(state.chaos.config().stall_millis));
     }
 
@@ -515,24 +586,53 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
     // jittered exponential backoff between attempts.
     let mut tried: Vec<usize> = Vec::new();
     let mut report = None;
+    let mut compute_ns = 0u64;
     for attempt in 0..=state.config.max_retries {
         let Some(die) = state.fleet.pick(&tried) else { break };
+        flight::record(
+            "route",
+            vec![
+                ("batch", Json::Num(index as f64)),
+                ("attempt", Json::Num(attempt as f64)),
+                ("die", Json::Num(die as f64)),
+                ("rids", trace::rids_json(&rids)),
+            ],
+        );
         let spike_key =
             index.wrapping_mul(state.fleet.len() as u64).wrapping_add(die as u64);
         if state.chaos.fires(ChaosSite::LatencySpike, spike_key) {
             crate::telemetry::counter("serve_chaos_spikes_total").inc();
+            flight::record(
+                "chaos_spike",
+                vec![
+                    ("batch", Json::Num(index as f64)),
+                    ("die", Json::Num(die as f64)),
+                    ("rids", trace::rids_json(&rids)),
+                ],
+            );
             std::thread::sleep(Duration::from_millis(state.chaos.config().spike_millis));
         }
+        let attempt_start = Instant::now();
         match state.fleet.predict_on(die, &inputs, seed) {
             Ok(r) => {
+                compute_ns = elapsed_ns(attempt_start);
                 report = Some((die, r));
                 break;
             }
             Err(
-                FleetError::DieAbstaining { .. }
+                err @ (FleetError::DieAbstaining { .. }
                 | FleetError::DieDown { .. }
-                | FleetError::NoEligibleDie,
+                | FleetError::NoEligibleDie),
             ) => {
+                flight::record(
+                    "failover",
+                    vec![
+                        ("batch", Json::Num(index as f64)),
+                        ("die", Json::Num(die as f64)),
+                        ("err", Json::Str(fleet_err_name(&err).to_string())),
+                        ("rids", trace::rids_json(&rids)),
+                    ],
+                );
                 tried.push(die);
                 state.stats.failovers.fetch_add(live.len() as u64, Ordering::Relaxed);
                 crate::telemetry::counter("serve_failover_total").add(live.len() as u64);
@@ -546,6 +646,10 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
         // Fleet-wide abstention: answer honestly rather than dropping.
         // (Counted by the connection worker when it writes the 503, so
         // the terminal outcome is counted exactly once.)
+        flight::record(
+            "unserveable",
+            vec![("batch", Json::Num(index as f64)), ("rids", trace::rids_json(&rids))],
+        );
         for job in live {
             let _ = job.resp.send(Outcome::Unserveable);
         }
@@ -576,21 +680,40 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
                     .stats
                     .sample_retries
                     .fetch_add(abstained_rows.len() as u64, Ordering::Relaxed);
+                let retry_rids: Vec<RequestId> =
+                    abstained_rows.iter().map(|&i| live[i].rid).collect();
+                flight::record(
+                    "sample_retry",
+                    vec![
+                        ("batch", Json::Num(index as f64)),
+                        ("from_die", Json::Num(die as f64)),
+                        ("alt_die", Json::Num(alt as f64)),
+                        ("rids", trace::rids_json(&retry_rids)),
+                    ],
+                );
                 retried = Some((alt, r2.predictive, r2.gated.accepted));
             }
         }
     }
+    // The dispatch window minus the successful forward: stalls, spikes,
+    // failed attempts, backoff, and the per-sample retry round.
+    let retry_ns = elapsed_ns(dispatch_start).saturating_sub(compute_ns);
+    let computed_at = Instant::now();
 
     let classes = report.predictive.mean_probs.shape()[1];
+    let mut abstained_final = 0u64;
+    let mut outbox = Vec::with_capacity(live.len());
     for (i, job) in live.into_iter().enumerate() {
         // Default answer: carved from the primary batch report.
-        let mut src = (&report.predictive, i, die, !report.gated.accepted[i], failovers);
+        let mut src =
+            (&report.predictive, i, die, !report.gated.accepted[i], failovers, 0u32);
         if let Some((alt, pred2, accepted2)) = retried.as_ref() {
             if let Some(sub_i) = abstained_rows.iter().position(|&r| r == i) {
-                src = (pred2, sub_i, *alt, !accepted2[sub_i], failovers + 1);
+                src = (pred2, sub_i, *alt, !accepted2[sub_i], failovers + 1, 1);
             }
         }
-        let (pred, row, from_die, abstained, fo) = src;
+        let (pred, row, from_die, abstained, fo, retries) = src;
+        abstained_final += u64::from(abstained);
         let probs = pred.mean_probs.row(row).to_vec();
         let class = probs
             .iter()
@@ -600,14 +723,61 @@ fn execute_batch(state: &ServeState, mut batch: Vec<PredictJob>, rng: &mut StdRn
             .unwrap_or(0);
         debug_assert_eq!(probs.len(), classes);
         debug_assert_eq!(job.input.len(), d);
-        let _ = job.resp.send(Outcome::Answered {
+        let trace = RequestTrace {
+            rid: job.rid,
+            batch: index,
+            die: from_die,
+            failovers: fo as u32,
+            retries,
+            queue_wait_ns: duration_ns(popped_at.saturating_duration_since(job.accepted_at)),
+            assembly_ns,
+            compute_ns,
+            retry_ns,
+        };
+        let outcome = Outcome::Answered {
             class,
             probs,
             entropy: pred.entropy[row],
             abstained,
-            die: from_die,
-            failovers: fo,
-        });
+            trace,
+            computed_at,
+        };
+        outbox.push((job, outcome));
+    }
+    // Record before sending: once an outcome is sent, the connection
+    // worker (and, closed-loop, the client's next request) may record
+    // further events — the batch's own event must already be sequenced.
+    flight::record(
+        "answered",
+        vec![
+            ("batch", Json::Num(index as f64)),
+            ("die", Json::Num(die as f64)),
+            ("failovers", Json::Num(failovers as f64)),
+            ("abstained", Json::Num(abstained_final as f64)),
+            ("rids", trace::rids_json(&rids)),
+        ],
+    );
+    for (job, outcome) in outbox {
+        let _ = job.resp.send(outcome);
+    }
+}
+
+/// Nanoseconds since `start`, saturating into `u64`.
+fn elapsed_ns(start: Instant) -> u64 {
+    duration_ns(start.elapsed())
+}
+
+/// A duration as nanoseconds, saturating into `u64`.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The flight-event name of a fleet routing error.
+fn fleet_err_name(err: &FleetError) -> &'static str {
+    match err {
+        FleetError::DieAbstaining { .. } => "die_abstaining",
+        FleetError::DieDown { .. } => "die_down",
+        FleetError::NoEligibleDie => "no_eligible_die",
     }
 }
 
@@ -637,15 +807,32 @@ fn run_conn_worker(state: &ServeState) {
         // the response for this job was written — so a surviving worker
         // loop proves the panic cost nothing client-visible.
         let job_id = state.conn_jobs.fetch_add(1, Ordering::Relaxed);
+        // Probing is pure, so the injection is known before the job
+        // runs; recording it *here* keeps the event strictly before
+        // anything the job (or, closed-loop, the client's next
+        // request) records. `rid` is the id the connection's request
+        // will get if it parses — the request the panic rides behind.
+        let will_panic = state.chaos.fires(ChaosSite::WorkerPanic, job_id);
+        if will_panic {
+            flight::record(
+                "chaos_worker_panic",
+                vec![
+                    ("job", Json::Num(job_id as f64)),
+                    ("rid", Json::Num(state.next_rid.load(Ordering::Relaxed) as f64)),
+                ],
+            );
+        }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handle_connection(state, stream);
-            if state.chaos.fires(ChaosSite::WorkerPanic, job_id) {
+            if will_panic {
                 crate::telemetry::counter("serve_chaos_worker_panics_total").inc();
                 panic!("chaos: injected connection-worker panic");
             }
         }));
         if result.is_err() {
             crate::telemetry::counter("serve_conn_panics_total").inc();
+            // The black-box moment: a worker just died mid-flight.
+            flight::dump_if_configured();
         }
     }
     // The last connection worker out closes the predict queue: no
@@ -668,6 +855,18 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
             if let Some((code, reason)) = err.status() {
                 let body = Json::obj([("error", Json::Str(err.to_string()))]).to_string();
                 let _ = http::write_json_response(&mut stream, code, reason, &body);
+                // The request may have unread bytes left (an oversized
+                // head stops reading mid-stream). Closing now would RST
+                // the response out of the client's buffer; drain a
+                // bounded amount first so the error code is delivered.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 4096];
+                for _ in 0..64 {
+                    match std::io::Read::read(&mut stream, &mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
             }
             return;
         }
@@ -688,6 +887,25 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
                 "text/plain; version=0.0.4",
                 text.as_bytes(),
             );
+        }
+        ("GET", "/debug/flight") => {
+            // The live black box: the current ring as JSONL. Info
+            // traffic records no flight events itself, so scraping
+            // the recorder never perturbs what it records.
+            state.stats.info_requests.fetch_add(1, Ordering::Relaxed);
+            let dump = flight::to_jsonl();
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "application/jsonl",
+                dump.as_bytes(),
+            );
+        }
+        ("GET", "/debug/slo") => {
+            state.stats.info_requests.fetch_add(1, Ordering::Relaxed);
+            let body = state.slo.report(state.fleet.len()).to_string();
+            let _ = http::write_json_response(&mut stream, 200, "OK", &body);
         }
         ("GET", "/predict") | ("POST", "/healthz") | ("POST", "/metrics") => {
             state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -712,6 +930,7 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
 
 /// `POST /predict`: validate, enqueue, await the batcher's outcome.
 fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request) {
+    let accepted_at = Instant::now();
     let input = match parse_predict_body(&request.body, state.config.input_len()) {
         Ok(v) => v,
         Err(why) => {
@@ -721,14 +940,19 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
             return;
         }
     };
-    let deadline = Instant::now() + state.config.request_timeout;
+    // Lineage starts here: a parsed predict body gets the next dense
+    // request id, whatever its fate (queued, shed, or drained).
+    let rid = RequestId(state.next_rid.fetch_add(1, Ordering::Relaxed));
+    let deadline = accepted_at + state.config.request_timeout;
     let (tx, rx) = mpsc::channel();
-    let job = PredictJob { input, deadline, resp: tx };
+    let job = PredictJob { rid, input, deadline, accepted_at, resp: tx };
     if let Err((_, err)) = state.predicts.try_push(job) {
         match err {
             PushError::Full => {
                 state.stats.shed.fetch_add(1, Ordering::Relaxed);
                 crate::telemetry::counter("serve_shed_total").inc();
+                flight::record("shed", vec![("rid", Json::Num(rid.0 as f64))]);
+                state.slo.record(false, 0.0, None);
                 let _ = http::write_json_response(
                     stream,
                     429,
@@ -751,7 +975,7 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
     crate::telemetry::counter("serve_requests_total").inc();
     let wait = state.config.request_timeout + Duration::from_millis(250);
     match rx.recv_timeout(wait) {
-        Ok(Outcome::Answered { class, probs, entropy, abstained, die, failovers }) => {
+        Ok(Outcome::Answered { class, probs, entropy, abstained, trace, computed_at }) => {
             if abstained {
                 state.stats.abstained.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -761,18 +985,30 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
                 ("class", Json::Num(class as f64)),
                 ("entropy", Json::Num(entropy)),
                 ("abstained", Json::Bool(abstained)),
-                ("die", Json::Num(die as f64)),
-                ("failovers", Json::Num(failovers as f64)),
+                ("die", Json::Num(trace.die as f64)),
+                ("failovers", Json::Num(f64::from(trace.failovers))),
                 (
                     "probs",
                     Json::Arr(probs.iter().map(|&p| Json::Num(f64::from(p))).collect()),
                 ),
             ])
             .to_string();
-            let _ = http::write_json_response(stream, 200, "OK", &body);
+            let _ = http::write_json_response_with(
+                stream,
+                200,
+                "OK",
+                &body,
+                &[("X-NeuSpin-Trace", &trace.header_value())],
+            );
+            // Write stage: compute finished → response bytes on the
+            // wire. Observed after the write so it includes it.
+            let write_ns = elapsed_ns(computed_at);
+            trace.observe(write_ns);
+            state.slo.record(true, trace.total_ms(write_ns), Some(trace.die));
         }
         Ok(Outcome::Unserveable) => {
             state.stats.unserveable.fetch_add(1, Ordering::Relaxed);
+            state.slo.record(false, 0.0, None);
             let _ = http::write_json_response(
                 stream,
                 503,
@@ -782,6 +1018,7 @@ fn handle_predict(state: &ServeState, stream: &mut TcpStream, request: &Request)
         }
         Ok(Outcome::Expired) | Err(_) => {
             state.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            state.slo.record(false, 0.0, None);
             let _ = http::write_json_response(
                 stream,
                 504,
@@ -814,7 +1051,8 @@ fn parse_predict_body(body: &[u8], want_len: usize) -> Result<Vec<f32>, &'static
     Ok(out)
 }
 
-/// `GET /healthz`: fleet snapshot; 503 once no die is eligible.
+/// `GET /healthz`: fleet snapshot (with per-die SLO burn); 503 once no
+/// die is eligible.
 fn handle_healthz(state: &ServeState, stream: &mut TcpStream) {
     let snapshot = state.fleet.snapshot();
     let eligible = state.fleet.eligible_count();
@@ -827,6 +1065,7 @@ fn handle_healthz(state: &ServeState, stream: &mut TcpStream) {
                 ("tier_index", Json::Num(f64::from(d.policy.tier_index()))),
                 ("served", Json::Num(d.served as f64)),
                 ("down", Json::Bool(d.down)),
+                ("burn", Json::Num(state.slo.die_burn(d.id))),
             ])
         })
         .collect();
@@ -890,14 +1129,16 @@ mod tests {
         }
         assert_eq!(client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).unwrap().status, 200);
         assert_eq!(client::request(addr, "GET", "/metrics", None, CLIENT_TIMEOUT).unwrap().status, 200);
+        assert_eq!(client::request(addr, "GET", "/debug/flight", None, CLIENT_TIMEOUT).unwrap().status, 200);
+        assert_eq!(client::request(addr, "GET", "/debug/slo", None, CLIENT_TIMEOUT).unwrap().status, 200);
         let report = handle.shutdown(Duration::from_secs(20));
         assert!(report.drained, "graceful drain must finish: {report:?}");
         let snap = handle.stats();
         assert!(snap.is_conserved(), "accepted != responded: {snap:?}");
-        assert_eq!(snap.accepted, 12);
+        assert_eq!(snap.accepted, 14);
         assert_eq!(snap.answered + snap.abstained, 6);
         assert_eq!(snap.bad_requests, 4);
-        assert_eq!(snap.info_requests, 2);
+        assert_eq!(snap.info_requests, 4);
         assert_eq!(snap.draining + snap.shed + snap.unserveable + snap.deadline_expired, 0);
     }
 

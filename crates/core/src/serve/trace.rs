@@ -1,0 +1,402 @@
+//! Request lineage for the serving front door: deterministic request
+//! ids, per-stage waterfall timings, and SLO burn-rate math.
+//!
+//! Three pieces live here:
+//!
+//! * [`RequestId`] — assigned from a process-local counter the moment a
+//!   `/predict` body parses, and carried through the batch queue, die
+//!   routing, failover, and the response write. Deterministic under a
+//!   sequential closed-loop driver (no RNG, no wall-clock).
+//! * [`RequestTrace`] — the per-request waterfall: queue wait, batch
+//!   assembly, die compute, retry, write. The *identity* fields (rid,
+//!   batch, die, failovers, retries) are deterministic and echoed in
+//!   the `X-NeuSpin-Trace` response header; the *timing* fields are
+//!   wall-clock and flow only into the per-stage [`Histogram`]s, per
+//!   the PR-5 determinism contract.
+//! * [`SloTracker`] — a rolling window over the same per-request
+//!   outcomes that feed `serve_request_ms`, reduced to availability and
+//!   latency burn rates (how fast the error budget is being spent: a
+//!   burn of 1.0 exhausts the budget exactly at the window's pace).
+//!
+//! [`Histogram`]: crate::telemetry::Histogram
+
+use crate::json::Json;
+use crate::telemetry;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A deterministic per-request identity: dense, zero-based, assigned at
+/// accept time in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Renders a request-id slice as a JSON array for flight events.
+pub(crate) fn rids_json(rids: &[RequestId]) -> Json {
+    Json::Arr(rids.iter().map(|r| Json::Num(r.0 as f64)).collect())
+}
+
+/// The per-request waterfall, filled in as the request moves through
+/// the pipeline and observed into the stage histograms at response
+/// write time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTrace {
+    /// Identity assigned at accept.
+    pub rid: RequestId,
+    /// Index of the batch that carried the request to a die.
+    pub batch: u64,
+    /// Die that produced the answer.
+    pub die: usize,
+    /// Whole-batch failover attempts before the answering die.
+    pub failovers: u32,
+    /// Per-sample abstention retries this request consumed.
+    pub retries: u32,
+    /// Accept → batch pop (wall-clock, histogram-only).
+    pub queue_wait_ns: u64,
+    /// Batch pop → tensor assembled (wall-clock, histogram-only).
+    pub assembly_ns: u64,
+    /// Successful MC forward on the answering die (wall-clock,
+    /// histogram-only).
+    pub compute_ns: u64,
+    /// Failed attempts, backoff, and abstention retries (wall-clock,
+    /// histogram-only).
+    pub retry_ns: u64,
+}
+
+impl RequestTrace {
+    /// The `X-NeuSpin-Trace` header value. Deterministic fields only —
+    /// the header must be byte-identical across `NEUSPIN_THREADS`, so
+    /// no timing ever appears here.
+    pub fn header_value(&self) -> String {
+        format!(
+            "rid={};batch={};die={};failovers={};retries={}",
+            self.rid, self.batch, self.die, self.failovers, self.retries
+        )
+    }
+
+    /// Parses a header produced by [`RequestTrace::header_value`]
+    /// (timing fields come back zero — they are never in the header).
+    pub fn parse_header(value: &str) -> Option<RequestTrace> {
+        let mut rid = None;
+        let mut batch = None;
+        let mut die = None;
+        let mut failovers = None;
+        let mut retries = None;
+        for part in value.split(';') {
+            let (key, num) = part.split_once('=')?;
+            match key {
+                "rid" => rid = num.parse::<u64>().ok(),
+                "batch" => batch = num.parse::<u64>().ok(),
+                "die" => die = num.parse::<usize>().ok(),
+                "failovers" => failovers = num.parse::<u32>().ok(),
+                "retries" => retries = num.parse::<u32>().ok(),
+                _ => return None,
+            }
+        }
+        Some(RequestTrace {
+            rid: RequestId(rid?),
+            batch: batch?,
+            die: die?,
+            failovers: failovers?,
+            retries: retries?,
+            queue_wait_ns: 0,
+            assembly_ns: 0,
+            compute_ns: 0,
+            retry_ns: 0,
+        })
+    }
+
+    /// Observes the waterfall into the per-stage histograms plus the
+    /// end-to-end `serve_request_ms` total. `write_ns` is the final
+    /// stage (compute done → response bytes written), measured by the
+    /// caller. No-op while metrics are disabled.
+    pub fn observe(&self, write_ns: u64) {
+        if !telemetry::metrics_enabled() {
+            return;
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let bounds = telemetry::serve_latency_buckets_ms();
+        telemetry::histogram("serve_stage_queue_wait_ms", &bounds).observe(ms(self.queue_wait_ns));
+        telemetry::histogram("serve_stage_batch_assembly_ms", &bounds)
+            .observe(ms(self.assembly_ns));
+        telemetry::histogram("serve_stage_die_compute_ms", &bounds).observe(ms(self.compute_ns));
+        telemetry::histogram("serve_stage_retry_ms", &bounds).observe(ms(self.retry_ns));
+        telemetry::histogram("serve_stage_write_ms", &bounds).observe(ms(write_ns));
+        let total =
+            self.queue_wait_ns + self.assembly_ns + self.compute_ns + self.retry_ns + write_ns;
+        telemetry::histogram("serve_request_ms", &bounds).observe(ms(total));
+    }
+
+    /// End-to-end latency in milliseconds given the final write stage.
+    pub fn total_ms(&self, write_ns: u64) -> f64 {
+        (self.queue_wait_ns + self.assembly_ns + self.compute_ns + self.retry_ns + write_ns)
+            as f64
+            / 1e6
+    }
+}
+
+/// One terminal request outcome as the SLO window sees it.
+#[derive(Debug, Clone, Copy)]
+struct SloSample {
+    /// Did the request get a 200 answer?
+    ok: bool,
+    /// Was it over the latency SLO?
+    slow: bool,
+    /// Answering die, when one was reached.
+    die: Option<usize>,
+}
+
+/// Rolling-window availability and latency burn rates.
+///
+/// Two SLOs, both measured over the last `window` terminal outcomes:
+///
+/// * **availability** — at least `availability_target` of requests
+///   answered (shed / unserveable / expired count against it);
+/// * **latency** — at least `latency_target` of requests under
+///   `latency_slo_ms`.
+///
+/// The burn rate is `violating_fraction / error_budget`: 1.0 means the
+/// budget is being spent exactly as fast as the SLO allows, above 1.0
+/// the window is out of compliance. Timing inputs are wall-clock and
+/// flow only into the gauges/debug endpoint (metrics sinks), never
+/// into deterministic responses.
+pub struct SloTracker {
+    inner: Mutex<VecDeque<SloSample>>,
+    window: usize,
+    availability_target: f64,
+    latency_slo_ms: f64,
+    latency_target: f64,
+}
+
+impl Default for SloTracker {
+    fn default() -> Self {
+        SloTracker::new(256, 0.99, 50.0, 0.95)
+    }
+}
+
+impl SloTracker {
+    /// Creates a tracker over the last `window` outcomes.
+    pub fn new(
+        window: usize,
+        availability_target: f64,
+        latency_slo_ms: f64,
+        latency_target: f64,
+    ) -> Self {
+        assert!(window > 0, "SLO window must be positive");
+        assert!(
+            (0.0..1.0).contains(&(1.0 - availability_target))
+                && availability_target < 1.0
+                && latency_target < 1.0,
+            "SLO targets must leave a non-empty error budget"
+        );
+        SloTracker {
+            inner: Mutex::new(VecDeque::with_capacity(window)),
+            window,
+            availability_target,
+            latency_slo_ms,
+            latency_target,
+        }
+    }
+
+    /// Records one terminal outcome and refreshes the burn gauges.
+    pub fn record(&self, ok: bool, latency_ms: f64, die: Option<usize>) {
+        let sample = SloSample { ok, slow: latency_ms > self.latency_slo_ms, die };
+        {
+            let mut win = super::lock_recover(&self.inner);
+            if win.len() >= self.window {
+                win.pop_front();
+            }
+            win.push_back(sample);
+        }
+        if telemetry::metrics_enabled() {
+            let (avail, latency) = self.burns();
+            telemetry::gauge("serve_slo_availability_burn").set(avail);
+            telemetry::gauge("serve_slo_latency_burn").set(latency);
+        }
+    }
+
+    /// `(availability_burn, latency_burn)` over the current window
+    /// (both 0.0 while the window is empty).
+    pub fn burns(&self) -> (f64, f64) {
+        let win = super::lock_recover(&self.inner);
+        if win.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = win.len() as f64;
+        let errors = win.iter().filter(|s| !s.ok).count() as f64;
+        let slow = win.iter().filter(|s| s.slow).count() as f64;
+        ((errors / n) / (1.0 - self.availability_target), (slow / n) / (1.0 - self.latency_target))
+    }
+
+    /// Availability burn restricted to outcomes answered by `die`
+    /// (0.0 when the die has no samples in the window).
+    pub fn die_burn(&self, die: usize) -> f64 {
+        let win = super::lock_recover(&self.inner);
+        let mut total = 0u64;
+        let mut errors = 0u64;
+        for s in win.iter().filter(|s| s.die == Some(die)) {
+            total += 1;
+            if !s.ok {
+                errors += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (errors as f64 / total as f64) / (1.0 - self.availability_target)
+    }
+
+    /// The full SLO report for `GET /debug/slo`: window occupancy,
+    /// both burn rates, and a per-die breakdown.
+    pub fn report(&self, dies: usize) -> Json {
+        let (availability_burn, latency_burn) = self.burns();
+        let win = super::lock_recover(&self.inner);
+        let n = win.len();
+        let ok = win.iter().filter(|s| s.ok).count();
+        let slow = win.iter().filter(|s| s.slow).count();
+        let availability = if n == 0 { 1.0 } else { ok as f64 / n as f64 };
+        let slow_fraction = if n == 0 { 0.0 } else { slow as f64 / n as f64 };
+        let mut per_die = Vec::with_capacity(dies);
+        for d in 0..dies {
+            let mut total = 0u64;
+            let mut errors = 0u64;
+            for s in win.iter().filter(|s| s.die == Some(d)) {
+                total += 1;
+                if !s.ok {
+                    errors += 1;
+                }
+            }
+            let burn = if total == 0 {
+                0.0
+            } else {
+                (errors as f64 / total as f64) / (1.0 - self.availability_target)
+            };
+            per_die.push(Json::obj([
+                ("die", Json::Num(d as f64)),
+                ("requests", Json::Num(total as f64)),
+                ("errors", Json::Num(errors as f64)),
+                ("burn", Json::Num(burn)),
+            ]));
+        }
+        drop(win);
+        Json::obj([
+            ("window", Json::Num(n as f64)),
+            ("window_capacity", Json::Num(self.window as f64)),
+            ("availability", Json::Num(availability)),
+            ("availability_target", Json::Num(self.availability_target)),
+            ("availability_burn", Json::Num(availability_burn)),
+            ("latency_slo_ms", Json::Num(self.latency_slo_ms)),
+            ("latency_target", Json::Num(self.latency_target)),
+            ("slow_fraction", Json::Num(slow_fraction)),
+            ("latency_burn", Json::Num(latency_burn)),
+            ("dies", Json::Arr(per_die)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rid: u64) -> RequestTrace {
+        RequestTrace {
+            rid: RequestId(rid),
+            batch: 3,
+            die: 1,
+            failovers: 2,
+            retries: 1,
+            queue_wait_ns: 1_000_000,
+            assembly_ns: 50_000,
+            compute_ns: 9_000_000,
+            retry_ns: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn header_round_trips_deterministic_fields_only() {
+        let t = trace(41);
+        let header = t.header_value();
+        assert_eq!(header, "rid=41;batch=3;die=1;failovers=2;retries=1");
+        let parsed = RequestTrace::parse_header(&header).unwrap();
+        assert_eq!(parsed.rid, t.rid);
+        assert_eq!(parsed.batch, t.batch);
+        assert_eq!(parsed.die, t.die);
+        assert_eq!(parsed.failovers, t.failovers);
+        assert_eq!(parsed.retries, t.retries);
+        assert_eq!(parsed.queue_wait_ns, 0, "timings never ride the header");
+        assert!(RequestTrace::parse_header("rid=1;bogus=2").is_none());
+        assert!(RequestTrace::parse_header("rid=1;batch=2").is_none());
+    }
+
+    #[test]
+    fn observe_fills_every_stage_histogram() {
+        let _guard = telemetry::test_lock();
+        telemetry::reset();
+        telemetry::set_enabled(true, false);
+        let t = trace(7);
+        t.observe(500_000);
+        let snap = telemetry::snapshot();
+        for stage in
+            ["queue_wait", "batch_assembly", "die_compute", "retry", "write"]
+        {
+            let h = snap
+                .histogram(&format!("serve_stage_{stage}_ms"))
+                .unwrap_or_else(|| panic!("missing stage histogram {stage}"));
+            assert_eq!(h.count, 1, "{stage}");
+            assert_eq!(h.bounds, telemetry::serve_latency_buckets_ms());
+        }
+        let h = snap.histogram("serve_request_ms").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - t.total_ms(500_000)).abs() < 1e-9);
+        telemetry::set_enabled(false, false);
+        telemetry::reset();
+    }
+
+    #[test]
+    fn burn_rates_track_the_rolling_window() {
+        let slo = SloTracker::new(4, 0.99, 50.0, 0.95);
+        assert_eq!(slo.burns(), (0.0, 0.0));
+        for _ in 0..4 {
+            slo.record(true, 10.0, Some(0));
+        }
+        let (avail, lat) = slo.burns();
+        assert_eq!((avail, lat), (0.0, 0.0), "healthy window burns nothing");
+        // One error + one slow answer in a window of 4: 25 % error rate
+        // against a 1 % budget → burn 25; 25 % slow against 5 % → 5.
+        slo.record(false, 0.0, None);
+        slo.record(true, 80.0, Some(1));
+        let (avail, lat) = slo.burns();
+        assert!((avail - 25.0).abs() < 1e-9, "{avail}");
+        assert!((lat - 5.0).abs() < 1e-9, "{lat}");
+        // The window rolls: four fresh healthy samples evict the bad ones.
+        for _ in 0..4 {
+            slo.record(true, 10.0, Some(0));
+        }
+        assert_eq!(slo.burns(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn per_die_burn_isolates_the_sick_die() {
+        let slo = SloTracker::new(8, 0.99, 50.0, 0.95);
+        for _ in 0..3 {
+            slo.record(true, 10.0, Some(0));
+        }
+        slo.record(false, 0.0, Some(1));
+        slo.record(true, 10.0, Some(1));
+        assert_eq!(slo.die_burn(0), 0.0);
+        assert!((slo.die_burn(1) - 50.0).abs() < 1e-9);
+        assert_eq!(slo.die_burn(2), 0.0, "unseen die has no burn");
+        let report = slo.report(2);
+        assert_eq!(report.get("window").and_then(Json::as_f64), Some(5.0));
+        let dies = report.get("dies").and_then(Json::as_arr).unwrap();
+        assert_eq!(dies.len(), 2);
+        assert_eq!(dies[1].get("errors").and_then(Json::as_f64), Some(1.0));
+        // The report must serialize (finite numbers only).
+        let _ = report.to_string();
+    }
+}

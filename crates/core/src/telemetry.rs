@@ -300,6 +300,19 @@ pub fn default_time_buckets_ns() -> [f64; 8] {
     [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10]
 }
 
+/// Serve-latency bucket bounds in milliseconds, tuned to the observed
+/// serving distribution (p50 ≈ 11 ms, p95 ≈ 21 ms, p99 ≈ 35 ms in
+/// `BENCH_serving.json`): dense 1–2 ms steps through the p50–p99 band
+/// so adjacent percentiles land in distinct buckets, decade-spaced
+/// tails on both sides. The decade ladder above collapsed p95 and p99
+/// into one 10–100 ms bucket.
+pub fn serve_latency_buckets_ms() -> [f64; 18] {
+    [
+        0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0, 21.0, 25.0, 30.0, 35.0, 45.0,
+        75.0, 150.0, 500.0,
+    ]
+}
+
 /// Folds an op-counter delta into the registry's device-op rollup via
 /// the single shared [`OpCounter::merge`] (no-op while metrics are
 /// disabled).

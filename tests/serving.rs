@@ -12,14 +12,19 @@
 //! * graceful shutdown: requests in flight when the drain starts are
 //!   all answered before the workers exit (the no-drop guarantee);
 //! * serving determinism: identical fleets + identical request streams
-//!   produce bit-identical probability vectors.
+//!   produce bit-identical probability vectors;
+//! * lineage: every `200` carries an `X-NeuSpin-Trace` header that
+//!   parses and agrees with the response body;
+//! * debug surface: `/debug/flight` and `/debug/slo` round-trip through
+//!   the hardened HTTP parser, unknown debug paths 404, oversized
+//!   queries 431, and dumping the flight log races safely with a drain.
 
 use neuspin::bayes::{build_cnn, ArchConfig, Method};
 use neuspin::cim::CrossbarConfig;
 use neuspin::core::serve::client;
 use neuspin::core::{
-    serve, DieFleet, HardwareConfig, HardwareModel, HealthPolicy, Json, ServeConfig, Supervisor,
-    SupervisorConfig,
+    serve, DieFleet, HardwareConfig, HardwareModel, HealthPolicy, Json, RequestTrace, ServeConfig,
+    Supervisor, SupervisorConfig,
 };
 use neuspin::device::AgingConfig;
 use neuspin::nn::Tensor;
@@ -230,6 +235,147 @@ fn graceful_shutdown_drains_every_in_flight_request() {
         statuses.iter().all(|&s| s == 200),
         "every in-flight request must be answered 200 through the drain, got {statuses:?}"
     );
+}
+
+#[test]
+fn trace_header_agrees_with_the_response_body() {
+    let mut handle = serve(fleet(2, 0x7600), config()).expect("bind");
+    let addr = handle.addr();
+    for tag in 0..3 {
+        let resp = client::predict(addr, &sample(tag), CLIENT_TIMEOUT).expect("transport");
+        assert_eq!(resp.status, 200);
+        let header = resp
+            .header("x-neuspin-trace")
+            .expect("every 200 predict must carry a trace header");
+        let trace = RequestTrace::parse_header(header)
+            .unwrap_or_else(|| panic!("trace header must parse: {header}"));
+        assert_eq!(trace.rid.0, tag as u64, "sequential requests get sequential rids");
+        let json = neuspin::core::json::parse(&resp.text()).expect("predict body JSON");
+        let die = json.get("die").and_then(|v| v.as_f64()).expect("die") as usize;
+        assert_eq!(trace.die, die, "header and body must name the same die");
+        assert_eq!(trace.failovers, 0, "a healthy fleet needs no failover");
+    }
+    // Non-predict routes carry no lineage: they never enter the queue.
+    let health = client::request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    assert!(health.header("x-neuspin-trace").is_none());
+    handle.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn metrics_speak_the_prometheus_exposition_format() {
+    let mut handle = serve(fleet(1, 0x7700), config()).expect("bind");
+    let addr = handle.addr();
+    let _ = predict_json(addr, 0);
+
+    let resp = client::request(addr, "GET", "/metrics", None, CLIENT_TIMEOUT).expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4"),
+        "scrapers key on the exposition-format content type"
+    );
+    // A strict line-level parse of the text format: every line is a
+    // comment or `name value` where the value parses as f64.
+    let body = resp.text();
+    let mut samples = 0;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("metric line must be `name value`: {line:?}"));
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '{'
+                || c == '}' || c == '"' || c == '=' || c == '.' || c == '+'),
+            "metric name has invalid characters: {name:?}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "unparseable sample value in {line:?}");
+        samples += 1;
+    }
+    assert!(samples > 0, "metrics body must expose at least one sample");
+    handle.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn debug_endpoints_round_trip_and_unknown_paths_404() {
+    let _guard = neuspin::core::telemetry::test_lock();
+    neuspin::core::flight::reset();
+    neuspin::core::flight::set_enabled(true);
+
+    let mut handle = serve(fleet(2, 0x7800), config()).expect("bind");
+    let addr = handle.addr();
+    let _ = predict_json(addr, 0);
+
+    let flight = client::request(addr, "GET", "/debug/flight", None, CLIENT_TIMEOUT)
+        .expect("flight dump");
+    assert_eq!(flight.status, 200);
+    assert_eq!(flight.header("content-type"), Some("application/jsonl"));
+    let body = flight.text();
+    assert!(!body.is_empty(), "a served request must leave flight events");
+    let mut kinds = Vec::new();
+    for line in body.lines() {
+        let ev = neuspin::core::json::parse(line).expect("every flight line parses");
+        assert!(ev.get("seq").and_then(|v| v.as_f64()).is_some());
+        kinds.push(ev.get("kind").and_then(|v| v.as_str()).expect("kind").to_string());
+    }
+    assert!(kinds.iter().any(|k| k == "route"), "missing route event: {kinds:?}");
+    assert!(kinds.iter().any(|k| k == "answered"), "missing answered event: {kinds:?}");
+
+    let slo = client::request(addr, "GET", "/debug/slo", None, CLIENT_TIMEOUT).expect("slo");
+    assert_eq!(slo.status, 200);
+    let sj = neuspin::core::json::parse(&slo.text()).expect("slo JSON");
+    assert_eq!(sj.get("window").and_then(|v| v.as_f64()), Some(1.0));
+    assert_eq!(sj.get("availability").and_then(|v| v.as_f64()), Some(1.0));
+    assert_eq!(sj.get("dies").and_then(|v| v.as_arr()).expect("dies").len(), 2);
+
+    // Unknown debug paths fall through the same hardened 404 as any
+    // other unrouted request.
+    let nope = client::request(addr, "GET", "/debug/nope", None, CLIENT_TIMEOUT).expect("404");
+    assert_eq!(nope.status, 404);
+
+    // An oversized query string blows the head budget: 431, not a hang
+    // or an unbounded read.
+    let big = format!("/debug/flight?pad={}", "x".repeat(20 * 1024));
+    let huge = client::request(addr, "GET", &big, None, CLIENT_TIMEOUT).expect("431");
+    assert_eq!(huge.status, 431);
+
+    neuspin::core::flight::set_enabled(false);
+    neuspin::core::flight::reset();
+    handle.shutdown(Duration::from_secs(10));
+}
+
+#[test]
+fn flight_dump_races_safely_with_a_drain() {
+    let mut handle = serve(fleet(1, 0x7900), config()).expect("bind");
+    let addr = handle.addr();
+    let _ = predict_json(addr, 0);
+
+    // Hammer the debug surface from another thread while the server
+    // drains: every request must end in a terminal HTTP response or a
+    // clean transport error (listener gone), never a hang or a panic.
+    let hammer = std::thread::spawn(move || {
+        let mut terminal = 0;
+        for _ in 0..50 {
+            match client::request(addr, "GET", "/debug/flight", None, CLIENT_TIMEOUT) {
+                Ok(resp) => {
+                    assert!(
+                        resp.status == 200 || resp.status == 503,
+                        "unexpected status during drain: {}",
+                        resp.status
+                    );
+                    terminal += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        terminal
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let report = handle.shutdown(Duration::from_secs(10));
+    assert!(report.drained, "{report:?}");
+    let terminal = hammer.join().expect("hammer thread must not panic");
+    assert!(terminal >= 1, "at least one dump must land before the listener closes");
 }
 
 #[test]
